@@ -1,0 +1,65 @@
+// Command dsexplore runs the Figure 8 design-space exploration from the
+// command line: random sampling vs the active-learning loop over the
+// Polystore++ configuration space, printing both Pareto fronts.
+//
+//	dsexplore -budget 40 -seed 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"polystorepp/internal/experiments"
+	"polystorepp/internal/optimizer"
+)
+
+func main() {
+	budget := flag.Int("budget", 35, "evaluation budget per method")
+	seed := flag.Int64("seed", 1, "rng seed")
+	scale := flag.Int("scale", 1, "workload scale inside the evaluator")
+	flag.Parse()
+
+	if err := run(*budget, *seed, *scale); err != nil {
+		fmt.Fprintf(os.Stderr, "dsexplore: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(budget int, seed int64, scale int) error {
+	space, eval, err := experiments.DSESpace(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("design space: %d configurations across %d parameters\n", space.Size(), len(space.Params))
+
+	rs, err := optimizer.RandomSearch(rand.New(rand.NewSource(seed)), space, eval, budget)
+	if err != nil {
+		return err
+	}
+	iterations := (budget - 10) / 5
+	if iterations < 1 {
+		iterations = 1
+	}
+	al, err := optimizer.ActiveLearn(rand.New(rand.NewSource(seed)), space, eval, optimizer.ALConfig{
+		InitSamples: 10, Iterations: iterations, BatchSize: 5, PoolSize: 150,
+	})
+	if err != nil {
+		return err
+	}
+
+	printFront := func(name string, pts []optimizer.Point) {
+		front := optimizer.ParetoFront(pts)
+		fmt.Printf("\n%s: %d evaluations, %d points on front\n", name, len(pts), len(front))
+		for _, p := range front {
+			fmt.Printf("  latency=%.6fs energy=%.3fJ  %s\n", p.Objs[0], p.Objs[1], space.Describe(p.Config))
+		}
+	}
+	printFront("random sampling", rs)
+	printFront("active learning", al.Evaluated)
+	if len(al.SurrogateR2) == 2 {
+		fmt.Printf("\nsurrogate fit R²: latency=%.3f energy=%.3f\n", al.SurrogateR2[0], al.SurrogateR2[1])
+	}
+	return nil
+}

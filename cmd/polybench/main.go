@@ -1,0 +1,50 @@
+// Command polybench regenerates the reproduction experiments E1–E15 of
+// DESIGN.md and prints their tables.
+//
+// Usage:
+//
+//	polybench                  # run everything at scale 1
+//	polybench -experiment E6   # one experiment
+//	polybench -scale 4         # larger workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"polystorepp/internal/experiments"
+)
+
+func main() {
+	experiment := flag.String("experiment", "", "experiment id (E1..E15); empty runs all")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	flag.Parse()
+
+	if *scale < 1 {
+		fmt.Fprintln(os.Stderr, "polybench: -scale must be >= 1")
+		os.Exit(2)
+	}
+	if *experiment != "" {
+		fn, ok := experiments.ByID(*experiment)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "polybench: unknown experiment %q (want E1..E15)\n", *experiment)
+			os.Exit(2)
+		}
+		tab, err := fn(*scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "polybench: %s: %v\n", *experiment, err)
+			os.Exit(1)
+		}
+		fmt.Println(tab)
+		return
+	}
+	tabs, err := experiments.All(*scale)
+	for _, t := range tabs {
+		fmt.Println(t)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "polybench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,73 @@
+// Quickstart: build a two-engine polystore, run a federated SQL program,
+// and compare CPU-only execution with accelerator offload.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"polystorepp"
+	"polystorepp/internal/cast"
+	"polystorepp/internal/hw"
+	"polystorepp/internal/relational"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+
+	// 1. Create a relational store and load a table.
+	store := relational.NewStore("db1")
+	schema := cast.MustSchema(
+		cast.Column{Name: "id", Type: cast.Int64},
+		cast.Column{Name: "score", Type: cast.Int64},
+	)
+	events, err := store.CreateTable("events", schema)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(1))
+	batch := cast.NewBatch(schema, 200_000)
+	for i := 0; i < 200_000; i++ {
+		if err := batch.AppendRow(int64(i), rng.Int63n(1_000_000)); err != nil {
+			return err
+		}
+	}
+	if err := events.InsertBatch(batch); err != nil {
+		return err
+	}
+
+	// 2. Assemble a Polystore++ system with hardware accelerator models.
+	sys := polystore.New(
+		polystore.WithRelational("db1", store),
+		polystore.WithAccelerators(hw.Coprocessor, hw.NewFPGA(), hw.NewGPU()),
+	)
+
+	// 3. Run the same program with and without acceleration.
+	for _, accel := range []bool{false, true} {
+		p := sys.NewProgram()
+		if _, err := p.SQL("db1", "SELECT id, score FROM events ORDER BY score DESC LIMIT 10"); err != nil {
+			return err
+		}
+		res, rep, err := sys.RunWith(ctx, p, polystore.Options{Level: 3, Accel: accel})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("accel=%-5v sim latency=%.6fs energy=%.3fJ wall=%s\n",
+			accel, rep.Latency, rep.Energy, rep.Wall)
+		if !accel {
+			out := res.First().Batch
+			fmt.Printf("top scores (%d rows): ", out.Rows())
+			scores, _ := out.Ints(1)
+			fmt.Println(scores)
+		}
+	}
+	return nil
+}

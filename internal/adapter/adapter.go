@@ -1,0 +1,90 @@
+// Package adapter implements the per-engine adapters of Polystore++
+// (Figure 4, §III-A4): each adapter co-locates with one data-processing
+// engine, receives IR fragments, translates them to native engine calls via
+// a rule table, executes them, and reports performance information back to
+// the middleware. Adapters do not charge hardware cost themselves — they
+// return the kernel work items so the executor can cost them on whatever
+// device the compiler selected.
+package adapter
+
+import (
+	"context"
+	"errors"
+
+	"polystorepp/internal/cast"
+	"polystorepp/internal/hw"
+	"polystorepp/internal/ir"
+	"polystorepp/internal/mlengine"
+	"polystorepp/internal/relational"
+)
+
+// Sentinel errors.
+var (
+	ErrUnsupported = errors.New("adapter: unsupported operator")
+	ErrBadNode     = errors.New("adapter: malformed node")
+	ErrBadInput    = errors.New("adapter: bad input value")
+)
+
+// Value is the payload flowing along IR edges: a tabular batch for most
+// operators, or an opaque model for OpTrain outputs.
+type Value struct {
+	Batch *cast.Batch
+	Model *mlengine.MLP
+}
+
+// Rows returns the batch row count (0 for non-tabular values).
+func (v Value) Rows() int {
+	if v.Batch == nil {
+		return 0
+	}
+	return v.Batch.Rows()
+}
+
+// KernelCall is one hardware-kernel-shaped unit of work an operator
+// performed, to be costed by the executor.
+type KernelCall struct {
+	Class    hw.KernelClass
+	Work     hw.Work
+	OutBytes int64
+}
+
+// ExecInfo is the per-node execution report sent to the middleware's
+// optimizer (§IV-D-d).
+type ExecInfo struct {
+	RowsIn  int64
+	RowsOut int64
+	Kernels []KernelCall
+	Native  string // what the engine actually ran
+	// RuleNodes counts IR-translation rule applications, the work §III-A4
+	// proposes offloading to an accelerator.
+	RuleNodes int64
+}
+
+// Adapter translates and executes IR nodes on one engine instance.
+type Adapter interface {
+	// Engine returns the engine instance name this adapter serves.
+	Engine() string
+	// Execute runs one node whose Engine matches. Inputs are in node input
+	// order.
+	Execute(ctx context.Context, n *ir.Node, inputs []Value) (Value, ExecInfo, error)
+}
+
+// batchSource adapts an in-memory batch to a relational.Operator so native
+// Volcano operators can run over migrated intermediate results.
+type batchSource struct {
+	b   *cast.Batch
+	pos int
+}
+
+func (s *batchSource) Schema() cast.Schema             { return s.b.Schema() }
+func (s *batchSource) Open(context.Context) error      { s.pos = 0; return nil }
+func (s *batchSource) Close() error                    { return nil }
+func (s *batchSource) Stats() relational.OpStats       { return relational.OpStats{Kind: "Mem"} }
+func (s *batchSource) Children() []relational.Operator { return nil }
+func (s *batchSource) Next(context.Context) (*cast.Batch, error) {
+	if s.pos > 0 {
+		return nil, nil
+	}
+	s.pos = 1
+	return s.b, nil
+}

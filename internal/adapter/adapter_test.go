@@ -1,0 +1,265 @@
+package adapter
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"polystorepp/internal/cast"
+	"polystorepp/internal/datagen"
+	"polystorepp/internal/graphstore"
+	"polystorepp/internal/ir"
+	"polystorepp/internal/relational"
+)
+
+func clinical(t testing.TB) *datagen.Clinical {
+	t.Helper()
+	data, err := datagen.GenerateClinical(rand.New(rand.NewSource(8)), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func node(kind ir.OpKind, engine string, attrs map[string]any, inputs ...ir.NodeID) *ir.Node {
+	g := ir.NewGraph()
+	// Build placeholder producers so input ids exist; tests pass values
+	// directly, so only the node shape matters.
+	id := g.Add(kind, engine, attrs, inputs...)
+	return g.MustNode(id)
+}
+
+func TestRelationalScanFilterProject(t *testing.T) {
+	ctx := context.Background()
+	data := clinical(t)
+	a := NewRelational("db", relational.NewEngine(data.Relational))
+	if a.Engine() != "db" {
+		t.Fatal("engine name")
+	}
+	scanOut, info, err := a.Execute(ctx, node(ir.OpScan, "db", map[string]any{"table": "patients"}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scanOut.Rows() != 60 || info.Native == "" || len(info.Kernels) == 0 {
+		t.Fatalf("scan info = %+v", info)
+	}
+	filtOut, info, err := a.Execute(ctx, node(ir.OpFilter, "db", map[string]any{
+		"pred": relational.Bin{Op: relational.OpGt, L: relational.ColRef{Name: "age"}, R: relational.Const{V: int64(50)}},
+	}), []Value{scanOut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filtOut.Rows() == 0 || filtOut.Rows() >= 60 {
+		t.Fatalf("filter rows = %d", filtOut.Rows())
+	}
+	projOut, _, err := a.Execute(ctx, node(ir.OpProject, "db", map[string]any{
+		"items": []relational.ProjItem{{E: relational.ColRef{Name: "pid"}, Name: "pid"}},
+	}), []Value{filtOut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if projOut.Batch.Schema().Len() != 1 {
+		t.Fatal("projection schema")
+	}
+	_ = info
+}
+
+func TestRelationalJoinSortGroupLimit(t *testing.T) {
+	ctx := context.Background()
+	data := clinical(t)
+	a := NewRelational("db", relational.NewEngine(data.Relational))
+	patients, _, err := a.Execute(ctx, node(ir.OpScan, "db", map[string]any{"table": "patients"}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stays, _, err := a.Execute(ctx, node(ir.OpScan, "db", map[string]any{"table": "stays"}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rename stays.pid to avoid join schema collision.
+	stays, _, err = a.Execute(ctx, node(ir.OpProject, "db", map[string]any{
+		"items": []relational.ProjItem{
+			{E: relational.ColRef{Name: "pid"}, Name: "spid"},
+			{E: relational.ColRef{Name: "icu_hours"}, Name: "icu_hours"},
+		},
+	}), []Value{stays})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, info, err := a.Execute(ctx, node(ir.OpHashJoin, "db", map[string]any{
+		"left_col": "pid", "right_col": "spid",
+	}), []Value{patients, stays})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.Rows() == 0 || len(info.Kernels) != 2 {
+		t.Fatalf("join info = %+v", info)
+	}
+	merged, _, err := a.Execute(ctx, node(ir.OpMergeJoin, "db", map[string]any{
+		"left_col": "pid", "right_col": "spid",
+	}), []Value{patients, stays})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Rows() != joined.Rows() {
+		t.Fatalf("merge join %d != hash join %d", merged.Rows(), joined.Rows())
+	}
+	sorted, _, err := a.Execute(ctx, node(ir.OpSort, "db", map[string]any{
+		"order_by": []relational.OrderItem{{Col: "icu_hours", Desc: true}},
+	}), []Value{joined})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hrs, _ := sorted.Batch.Floats(sorted.Batch.Schema().Len() - 1)
+	for i := 1; i < len(hrs); i++ {
+		if hrs[i-1] < hrs[i] {
+			t.Fatal("sort not descending")
+		}
+	}
+	grouped, _, err := a.Execute(ctx, node(ir.OpGroupBy, "db", map[string]any{
+		"group_cols": []string{"pid"},
+		"aggs":       []relational.AggSpec{{Fn: relational.AggCount, As: "n"}},
+	}), []Value{joined})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grouped.Rows() != 60 {
+		t.Fatalf("groups = %d", grouped.Rows())
+	}
+	limited, _, err := a.Execute(ctx, node(ir.OpLimit, "db", map[string]any{"n": int64(5)}), []Value{grouped})
+	if err != nil || limited.Rows() != 5 {
+		t.Fatalf("limit = %d, %v", limited.Rows(), err)
+	}
+}
+
+func TestRelationalSQLNode(t *testing.T) {
+	ctx := context.Background()
+	data := clinical(t)
+	a := NewRelational("db", relational.NewEngine(data.Relational))
+	out, info, err := a.Execute(ctx, node(ir.OpSQL, "db", map[string]any{
+		"sql": "SELECT count(*) AS n FROM patients",
+	}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := out.Batch.Ints(0)
+	if n[0] != 60 || info.RuleNodes < 2 {
+		t.Fatalf("sql node: n=%v rules=%d", n, info.RuleNodes)
+	}
+}
+
+func TestRelationalErrors(t *testing.T) {
+	ctx := context.Background()
+	data := clinical(t)
+	a := NewRelational("db", relational.NewEngine(data.Relational))
+	if _, _, err := a.Execute(ctx, node(ir.OpScan, "db", map[string]any{"table": "ghost"}), nil); !errors.Is(err, relational.ErrNoTable) {
+		t.Fatalf("missing table: %v", err)
+	}
+	if _, _, err := a.Execute(ctx, node(ir.OpFilter, "db", nil), []Value{{}}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("no input: %v", err)
+	}
+	if _, _, err := a.Execute(ctx, node(ir.OpKVGet, "db", nil), nil); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("unsupported: %v", err)
+	}
+}
+
+func TestGraphAdapter(t *testing.T) {
+	ctx := context.Background()
+	gs := graphstore.New("g")
+	gs.AddNode(graphstore.Node{ID: 1, Label: "a"})
+	gs.AddNode(graphstore.Node{ID: 2, Label: "b"})
+	if err := gs.AddEdge(graphstore.Edge{From: 1, To: 2, Type: "x", Weight: 2}); err != nil {
+		t.Fatal(err)
+	}
+	a := NewGraph("g", gs)
+	out, _, err := a.Execute(ctx, node(ir.OpGraphMatch, "g", map[string]any{
+		"label_a": "a", "edge_type": "x", "label_b": "b",
+	}), nil)
+	if err != nil || out.Rows() != 1 {
+		t.Fatalf("match = %d rows, %v", out.Rows(), err)
+	}
+	path, _, err := a.Execute(ctx, node(ir.OpGraphPath, "g", map[string]any{"src": "1", "dst": "2"}), nil)
+	if err != nil || path.Rows() != 2 {
+		t.Fatalf("path = %d rows, %v", path.Rows(), err)
+	}
+	if _, _, err := a.Execute(ctx, node(ir.OpGraphPath, "g", map[string]any{"src": "x", "dst": "2"}), nil); !errors.Is(err, ErrBadNode) {
+		t.Fatalf("bad src: %v", err)
+	}
+}
+
+func TestTimeseriesAdapterEntitySummary(t *testing.T) {
+	ctx := context.Background()
+	data := clinical(t)
+	a := NewTimeseries("ts", data.Timeseries)
+	out, info, err := a.Execute(ctx, node(ir.OpTSWindow, "ts", map[string]any{
+		"series_prefix": "vitals/",
+	}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 60 {
+		t.Fatalf("entities = %d", out.Rows())
+	}
+	if !out.Batch.Schema().Has("hr_mean") || !out.Batch.Schema().Has("spo2_mean") {
+		t.Fatalf("summary schema = %s", out.Batch.Schema())
+	}
+	if info.RowsIn == 0 {
+		t.Fatal("no input rows recorded")
+	}
+}
+
+func TestMLAdapterTrainPredict(t *testing.T) {
+	ctx := context.Background()
+	a := NewML("ml", 3)
+	s := cast.MustSchema(
+		cast.Column{Name: "x", Type: cast.Float64},
+		cast.Column{Name: "y", Type: cast.Int64},
+	)
+	b := cast.NewBatch(s, 0)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		x := rng.Float64()*2 - 1
+		label := int64(0)
+		if x > 0 {
+			label = 1
+		}
+		if err := b.AppendRow(x, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	model, info, err := a.Execute(ctx, node(ir.OpTrain, "ml", map[string]any{
+		"feature_cols": []string{"x"}, "label_col": "y",
+		"hidden": int64(8), "epochs": int64(30), "batch": int64(50), "lr": 0.5,
+	}), []Value{{Batch: b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Model == nil || len(info.Kernels) == 0 {
+		t.Fatal("no model or kernels")
+	}
+	pred, _, err := a.Execute(ctx, node(ir.OpPredict, "ml", map[string]any{
+		"feature_cols": []string{"x"},
+	}), []Value{model, {Batch: b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, _ := pred.Batch.Floats(1)
+	correct := 0
+	labels, _ := b.Ints(1)
+	for i, p := range probs {
+		got := int64(0)
+		if p >= 0.5 {
+			got = 1
+		}
+		if got == labels[i] {
+			correct++
+		}
+	}
+	if float64(correct)/float64(len(probs)) < 0.9 {
+		t.Fatalf("accuracy = %d/%d", correct, len(probs))
+	}
+	if _, _, err := a.Execute(ctx, node(ir.OpPredict, "ml", nil), []Value{{Batch: b}}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("predict without model: %v", err)
+	}
+}

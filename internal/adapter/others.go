@@ -1,0 +1,712 @@
+package adapter
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"polystorepp/internal/cast"
+	"polystorepp/internal/graphstore"
+	"polystorepp/internal/hw"
+	"polystorepp/internal/ir"
+	"polystorepp/internal/kvstore"
+	"polystorepp/internal/mlengine"
+	"polystorepp/internal/relational"
+	"polystorepp/internal/streamstore"
+	"polystorepp/internal/tensor"
+	"polystorepp/internal/textstore"
+	"polystorepp/internal/timeseries"
+)
+
+// --- Graph adapter ---
+
+// Graph adapts a graph engine instance.
+type Graph struct {
+	name  string
+	store *graphstore.Store
+}
+
+// NewGraph returns a graph adapter.
+func NewGraph(name string, store *graphstore.Store) *Graph {
+	return &Graph{name: name, store: store}
+}
+
+// Engine implements Adapter.
+func (a *Graph) Engine() string { return a.name }
+
+// Execute implements Adapter.
+func (a *Graph) Execute(_ context.Context, n *ir.Node, _ []Value) (Value, ExecInfo, error) {
+	info := ExecInfo{RuleNodes: 1}
+	switch n.Kind {
+	case ir.OpGraphMatch:
+		pairs := a.store.MatchPattern(n.StringAttr("label_a"), n.StringAttr("edge_type"), n.StringAttr("label_b"))
+		s := cast.MustSchema(cast.Column{Name: "a", Type: cast.Int64}, cast.Column{Name: "b", Type: cast.Int64})
+		out := cast.NewBatch(s, len(pairs))
+		for _, p := range pairs {
+			if err := out.AppendRow(int64(p[0]), int64(p[1])); err != nil {
+				return Value{}, info, err
+			}
+		}
+		info.RowsOut = int64(out.Rows())
+		info.Native = fmt.Sprintf("MATCH (:%s)-[:%s]->(:%s)", n.StringAttr("label_a"), n.StringAttr("edge_type"), n.StringAttr("label_b"))
+		info.Kernels = []KernelCall{{Class: hw.KHashProbe, Work: hw.Work{Items: int64(a.store.Edges())}, OutBytes: out.ByteSize()}}
+		return Value{Batch: out}, info, nil
+
+	case ir.OpGraphPath:
+		src, err := strconv.ParseInt(n.StringAttr("src"), 10, 64)
+		if err != nil {
+			return Value{}, info, fmt.Errorf("%w: bad src: %v", ErrBadNode, err)
+		}
+		dst, err := strconv.ParseInt(n.StringAttr("dst"), 10, 64)
+		if err != nil {
+			return Value{}, info, fmt.Errorf("%w: bad dst: %v", ErrBadNode, err)
+		}
+		path, w, err := a.store.ShortestPath(graphstore.NodeID(src), graphstore.NodeID(dst))
+		if err != nil {
+			return Value{}, info, err
+		}
+		s := cast.MustSchema(
+			cast.Column{Name: "hop", Type: cast.Int64},
+			cast.Column{Name: "node", Type: cast.Int64},
+			cast.Column{Name: "total_weight", Type: cast.Float64},
+		)
+		out := cast.NewBatch(s, len(path))
+		for i, id := range path {
+			if err := out.AppendRow(int64(i), int64(id), w); err != nil {
+				return Value{}, info, err
+			}
+		}
+		info.RowsOut = int64(out.Rows())
+		info.Native = fmt.Sprintf("ShortestPath(%d->%d)", src, dst)
+		info.Kernels = []KernelCall{{Class: hw.KHashProbe, Work: hw.Work{Items: int64(a.store.Edges())}, OutBytes: out.ByteSize()}}
+		return Value{Batch: out}, info, nil
+
+	case ir.OpGraphSubtree:
+		root := graphstore.NodeID(n.IntAttr("root"))
+		ids, err := a.store.Subtree(root, n.StringAttr("edge_type"), int(n.IntAttr("depth")))
+		if err != nil {
+			return Value{}, info, err
+		}
+		s := cast.MustSchema(cast.Column{Name: "node", Type: cast.Int64})
+		out := cast.NewBatch(s, len(ids))
+		for _, id := range ids {
+			if err := out.AppendRow(int64(id)); err != nil {
+				return Value{}, info, err
+			}
+		}
+		info.RowsOut = int64(out.Rows())
+		info.Native = fmt.Sprintf("Subtree(%d)", root)
+		return Value{Batch: out}, info, nil
+
+	default:
+		return Value{}, info, fmt.Errorf("%w: %s on graph engine", ErrUnsupported, n.Kind)
+	}
+}
+
+// --- Text adapter ---
+
+// Text adapts a text engine instance.
+type Text struct {
+	name  string
+	store *textstore.Store
+}
+
+// NewText returns a text adapter.
+func NewText(name string, store *textstore.Store) *Text {
+	return &Text{name: name, store: store}
+}
+
+// Engine implements Adapter.
+func (a *Text) Engine() string { return a.name }
+
+// Execute implements Adapter.
+func (a *Text) Execute(_ context.Context, n *ir.Node, _ []Value) (Value, ExecInfo, error) {
+	info := ExecInfo{RuleNodes: 1}
+	switch n.Kind {
+	case ir.OpTextSearch:
+		hits, err := a.store.Search(n.StringAttr("query"), int(n.IntAttr("k")))
+		if err != nil {
+			return Value{}, info, err
+		}
+		s := cast.MustSchema(cast.Column{Name: "doc_id", Type: cast.Int64}, cast.Column{Name: "score", Type: cast.Float64})
+		out := cast.NewBatch(s, len(hits))
+		for _, h := range hits {
+			if err := out.AppendRow(h.DocID, h.Score); err != nil {
+				return Value{}, info, err
+			}
+		}
+		info.RowsOut = int64(out.Rows())
+		info.Native = fmt.Sprintf("Search(%q)", n.StringAttr("query"))
+		info.Kernels = []KernelCall{{Class: hw.KHashProbe, Work: hw.Work{Items: int64(a.store.Len())}, OutBytes: out.ByteSize()}}
+		return Value{Batch: out}, info, nil
+
+	case ir.OpTextPhrase:
+		ids, err := a.store.Phrase(n.StringAttr("phrase"))
+		if err != nil {
+			return Value{}, info, err
+		}
+		s := cast.MustSchema(cast.Column{Name: "doc_id", Type: cast.Int64})
+		out := cast.NewBatch(s, len(ids))
+		for _, id := range ids {
+			if err := out.AppendRow(id); err != nil {
+				return Value{}, info, err
+			}
+		}
+		info.RowsOut = int64(out.Rows())
+		info.Native = fmt.Sprintf("Phrase(%q)", n.StringAttr("phrase"))
+		return Value{Batch: out}, info, nil
+
+	default:
+		return Value{}, info, fmt.Errorf("%w: %s on text engine", ErrUnsupported, n.Kind)
+	}
+}
+
+// --- Timeseries adapter ---
+
+// Timeseries adapts a timeseries engine instance. Series are named
+// "<prefix><entity>/<metric>", e.g. "vitals/42/hr".
+type Timeseries struct {
+	name  string
+	store *timeseries.Store
+}
+
+// NewTimeseries returns a timeseries adapter.
+func NewTimeseries(name string, store *timeseries.Store) *Timeseries {
+	return &Timeseries{name: name, store: store}
+}
+
+// Engine implements Adapter.
+func (a *Timeseries) Engine() string { return a.name }
+
+// Execute implements Adapter.
+func (a *Timeseries) Execute(_ context.Context, n *ir.Node, _ []Value) (Value, ExecInfo, error) {
+	info := ExecInfo{RuleNodes: 1}
+	switch n.Kind {
+	case ir.OpTSRange:
+		pts, err := a.store.Range(n.StringAttr("series"), n.IntAttr("from"), n.IntAttr("to"))
+		if err != nil {
+			return Value{}, info, err
+		}
+		s := cast.MustSchema(cast.Column{Name: "ts", Type: cast.Timestamp}, cast.Column{Name: "value", Type: cast.Float64})
+		out := cast.NewBatch(s, len(pts))
+		for _, p := range pts {
+			if err := out.AppendRow(p.TS, p.Value); err != nil {
+				return Value{}, info, err
+			}
+		}
+		info.RowsOut = int64(out.Rows())
+		info.Native = fmt.Sprintf("Range(%s)", n.StringAttr("series"))
+		info.Kernels = []KernelCall{{Class: hw.KProject, Work: hw.Work{Items: int64(len(pts)), Bytes: int64(len(pts)) * 16}, OutBytes: out.ByteSize()}}
+		return Value{Batch: out}, info, nil
+
+	case ir.OpTSWindow:
+		if prefix := n.StringAttr("series_prefix"); prefix != "" {
+			return a.entitySummary(prefix, info)
+		}
+		agg, err := parseAgg(n.StringAttr("agg"))
+		if err != nil {
+			return Value{}, info, err
+		}
+		wrs, err := a.store.Window(n.StringAttr("series"), n.IntAttr("from"), n.IntAttr("to"), n.IntAttr("width"), agg)
+		if err != nil {
+			return Value{}, info, err
+		}
+		s := cast.MustSchema(
+			cast.Column{Name: "start", Type: cast.Timestamp},
+			cast.Column{Name: "value", Type: cast.Float64},
+			cast.Column{Name: "n", Type: cast.Int64},
+		)
+		out := cast.NewBatch(s, len(wrs))
+		var items int64
+		for _, w := range wrs {
+			items += int64(w.N)
+			if err := out.AppendRow(w.Start, w.Value, int64(w.N)); err != nil {
+				return Value{}, info, err
+			}
+		}
+		info.RowsIn = items
+		info.RowsOut = int64(out.Rows())
+		info.Native = fmt.Sprintf("Window(%s, %d)", n.StringAttr("series"), n.IntAttr("width"))
+		info.Kernels = []KernelCall{{Class: hw.KWindowAgg, Work: hw.Work{Items: items, Bytes: items * 16}, OutBytes: out.ByteSize()}}
+		return Value{Batch: out}, info, nil
+
+	default:
+		return Value{}, info, fmt.Errorf("%w: %s on timeseries engine", ErrUnsupported, n.Kind)
+	}
+}
+
+// entitySummary aggregates all series under prefix into one row per entity:
+// "<prefix><id>/<metric>" -> columns "<metric>_mean". The Figure 2 vitals
+// feature extraction.
+func (a *Timeseries) entitySummary(prefix string, info ExecInfo) (Value, ExecInfo, error) {
+	names := a.store.SeriesNames()
+	type key struct{ id, metric string }
+	means := make(map[key]float64)
+	metricSet := make(map[string]bool)
+	idSet := make(map[string]bool)
+	var items int64
+	for _, name := range names {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(name, prefix)
+		parts := strings.SplitN(rest, "/", 2)
+		if len(parts) != 2 {
+			continue
+		}
+		pts, err := a.store.Range(name, math.MinInt64/2, math.MaxInt64/2)
+		if err != nil {
+			return Value{}, info, err
+		}
+		var sum float64
+		for _, p := range pts {
+			sum += p.Value
+		}
+		mean := 0.0
+		if len(pts) > 0 {
+			mean = sum / float64(len(pts))
+		}
+		items += int64(len(pts))
+		means[key{parts[0], parts[1]}] = mean
+		metricSet[parts[1]] = true
+		idSet[parts[0]] = true
+	}
+	metrics := make([]string, 0, len(metricSet))
+	for m := range metricSet {
+		metrics = append(metrics, m)
+	}
+	sort.Strings(metrics)
+	ids := make([]string, 0, len(idSet))
+	for id := range idSet {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	cols := []cast.Column{{Name: "vpid", Type: cast.Int64}}
+	for _, m := range metrics {
+		cols = append(cols, cast.Column{Name: m + "_mean", Type: cast.Float64})
+	}
+	s, err := cast.NewSchema(cols...)
+	if err != nil {
+		return Value{}, info, err
+	}
+	out := cast.NewBatch(s, len(ids))
+	for _, id := range ids {
+		pid, err := strconv.ParseInt(id, 10, 64)
+		if err != nil {
+			continue // non-numeric entity ids are skipped
+		}
+		vals := make([]any, 0, len(cols))
+		vals = append(vals, pid)
+		for _, m := range metrics {
+			vals = append(vals, means[key{id, m}])
+		}
+		if err := out.AppendRow(vals...); err != nil {
+			return Value{}, info, err
+		}
+	}
+	info.RowsIn = items
+	info.RowsOut = int64(out.Rows())
+	info.Native = fmt.Sprintf("EntitySummary(%s*)", prefix)
+	info.Kernels = []KernelCall{{Class: hw.KWindowAgg, Work: hw.Work{Items: items, Bytes: items * 16}, OutBytes: out.ByteSize()}}
+	return Value{Batch: out}, info, nil
+}
+
+func parseAgg(s string) (timeseries.AggKind, error) {
+	switch s {
+	case "mean", "":
+		return timeseries.AggMean, nil
+	case "sum":
+		return timeseries.AggSum, nil
+	case "min":
+		return timeseries.AggMin, nil
+	case "max":
+		return timeseries.AggMax, nil
+	case "count":
+		return timeseries.AggCount, nil
+	case "last":
+		return timeseries.AggLast, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown agg %q", ErrBadNode, s)
+	}
+}
+
+// --- Stream adapter ---
+
+// Stream adapts a stream engine instance.
+type Stream struct {
+	name  string
+	store *streamstore.Store
+}
+
+// NewStream returns a stream adapter.
+func NewStream(name string, store *streamstore.Store) *Stream {
+	return &Stream{name: name, store: store}
+}
+
+// Engine implements Adapter.
+func (a *Stream) Engine() string { return a.name }
+
+// Execute implements Adapter.
+func (a *Stream) Execute(_ context.Context, n *ir.Node, _ []Value) (Value, ExecInfo, error) {
+	info := ExecInfo{RuleNodes: 1}
+	if n.Kind != ir.OpStreamWindow {
+		return Value{}, info, fmt.Errorf("%w: %s on stream engine", ErrUnsupported, n.Kind)
+	}
+	spec := streamstore.WindowSpec{Width: n.IntAttr("width"), Slide: n.IntAttr("slide")}
+	if spec.Slide == 0 {
+		spec.Slide = spec.Width
+	}
+	outs, err := a.store.WindowAggregate(n.StringAttr("stream"), n.IntAttr("from"), n.IntAttr("to"), spec)
+	if err != nil {
+		return Value{}, info, err
+	}
+	s := cast.MustSchema(
+		cast.Column{Name: "start", Type: cast.Timestamp},
+		cast.Column{Name: "key", Type: cast.String},
+		cast.Column{Name: "mean", Type: cast.Float64},
+		cast.Column{Name: "n", Type: cast.Int64},
+	)
+	out := cast.NewBatch(s, len(outs))
+	var items int64
+	for _, w := range outs {
+		items += int64(w.Count)
+		if err := out.AppendRow(w.Start, w.Key, w.Mean(), int64(w.Count)); err != nil {
+			return Value{}, info, err
+		}
+	}
+	info.RowsIn = items
+	info.RowsOut = int64(out.Rows())
+	info.Native = fmt.Sprintf("StreamWindow(%s)", n.StringAttr("stream"))
+	info.Kernels = []KernelCall{{Class: hw.KWindowAgg, Work: hw.Work{Items: items, Bytes: items * 24}, OutBytes: out.ByteSize()}}
+	return Value{Batch: out}, info, nil
+}
+
+// --- KV adapter ---
+
+// KV adapts a key/value engine instance.
+type KV struct {
+	name  string
+	store *kvstore.Store
+}
+
+// NewKV returns a KV adapter.
+func NewKV(name string, store *kvstore.Store) *KV {
+	return &KV{name: name, store: store}
+}
+
+// Engine implements Adapter.
+func (a *KV) Engine() string { return a.name }
+
+// Execute implements Adapter.
+func (a *KV) Execute(_ context.Context, n *ir.Node, _ []Value) (Value, ExecInfo, error) {
+	info := ExecInfo{RuleNodes: 1}
+	switch n.Kind {
+	case ir.OpKVScan:
+		keys := a.store.ScanPrefix(n.StringAttr("prefix"))
+		s := cast.MustSchema(cast.Column{Name: "key", Type: cast.String}, cast.Column{Name: "value", Type: cast.String})
+		out := cast.NewBatch(s, len(keys))
+		for _, k := range keys {
+			v, err := a.store.Get(k)
+			if err != nil {
+				continue // raced with expiry
+			}
+			if err := out.AppendRow(k, string(v)); err != nil {
+				return Value{}, info, err
+			}
+		}
+		info.RowsOut = int64(out.Rows())
+		info.Native = fmt.Sprintf("ScanPrefix(%q)", n.StringAttr("prefix"))
+		info.Kernels = []KernelCall{{Class: hw.KHashProbe, Work: hw.Work{Items: int64(a.store.Len())}, OutBytes: out.ByteSize()}}
+		return Value{Batch: out}, info, nil
+
+	case ir.OpKVGet:
+		v, err := a.store.Get(n.StringAttr("key"))
+		if err != nil {
+			return Value{}, info, err
+		}
+		s := cast.MustSchema(cast.Column{Name: "key", Type: cast.String}, cast.Column{Name: "value", Type: cast.String})
+		out := cast.NewBatch(s, 1)
+		if err := out.AppendRow(n.StringAttr("key"), string(v)); err != nil {
+			return Value{}, info, err
+		}
+		info.RowsOut = 1
+		info.Native = fmt.Sprintf("Get(%q)", n.StringAttr("key"))
+		return Value{Batch: out}, info, nil
+
+	default:
+		return Value{}, info, fmt.Errorf("%w: %s on kv engine", ErrUnsupported, n.Kind)
+	}
+}
+
+// --- ML adapter ---
+
+// ML adapts the ML/DL engine. Training is deterministic for a fixed seed.
+type ML struct {
+	name string
+	seed int64
+}
+
+// NewML returns an ML adapter with a fixed RNG seed for reproducibility.
+func NewML(name string, seed int64) *ML { return &ML{name: name, seed: seed} }
+
+// Engine implements Adapter.
+func (a *ML) Engine() string { return a.name }
+
+// Execute implements Adapter.
+func (a *ML) Execute(ctx context.Context, n *ir.Node, inputs []Value) (Value, ExecInfo, error) {
+	info := ExecInfo{RuleNodes: 1}
+	switch n.Kind {
+	case ir.OpFilter, ir.OpProject:
+		// The ML engine hosts a general-purpose runtime (the Python/Spark
+		// role of Figure 5), so plain dataflow operators run here too.
+		return execTabular(ctx, n, inputs)
+	case ir.OpTrain:
+		in, err := tabular(inputs, 0)
+		if err != nil {
+			return Value{}, info, err
+		}
+		featureCols, _ := n.Attr("feature_cols").([]string)
+		x, err := featureTensor(in, featureCols)
+		if err != nil {
+			return Value{}, info, err
+		}
+		y, err := labelTensor(in, n.StringAttr("label_col"))
+		if err != nil {
+			return Value{}, info, err
+		}
+		rng := rand.New(rand.NewSource(a.seed))
+		hidden := int(n.IntAttr("hidden"))
+		m, err := mlengine.NewMLP(rng, len(featureCols), hidden, 1)
+		if err != nil {
+			return Value{}, info, err
+		}
+		lr, _ := n.Attr("lr").(float64)
+		if lr == 0 {
+			lr = 0.1
+		}
+		epochs := int(n.IntAttr("epochs"))
+		batch := int(n.IntAttr("batch"))
+		if batch <= 0 || batch > x.Dim(0) {
+			batch = x.Dim(0)
+		}
+		nRows := x.Dim(0)
+		for e := 0; e < epochs; e++ {
+			for lo := 0; lo < nRows; lo += batch {
+				hi := lo + batch
+				if hi > nRows {
+					hi = nRows
+				}
+				xb, err := sliceRows(x, lo, hi)
+				if err != nil {
+					return Value{}, info, err
+				}
+				yb, err := sliceRows(y, lo, hi)
+				if err != nil {
+					return Value{}, info, err
+				}
+				if _, err := m.TrainBatch(xb, yb, lr); err != nil {
+					return Value{}, info, err
+				}
+			}
+		}
+		info.RowsIn = int64(nRows)
+		info.Native = fmt.Sprintf("TrainMLP(%d->%d->1, %d epochs)", len(featureCols), hidden, epochs)
+		for _, w := range m.EpochGEMMWork(nRows, batch) {
+			batches := w.Items
+			w.Items = 0
+			for b := int64(0); b < batches*int64(epochs); b++ {
+				info.Kernels = append(info.Kernels, KernelCall{Class: hw.KGEMM, Work: w})
+			}
+		}
+		return Value{Model: m}, info, nil
+
+	case ir.OpPredict:
+		if len(inputs) < 2 || inputs[0].Model == nil {
+			return Value{}, info, fmt.Errorf("%w: predict wants (model, batch)", ErrBadInput)
+		}
+		m := inputs[0].Model
+		in, err := tabular(inputs, 1)
+		if err != nil {
+			return Value{}, info, err
+		}
+		featureCols, _ := n.Attr("feature_cols").([]string)
+		x, err := featureTensor(in, featureCols)
+		if err != nil {
+			return Value{}, info, err
+		}
+		probs, err := m.Predict(x)
+		if err != nil {
+			return Value{}, info, err
+		}
+		s := cast.MustSchema(cast.Column{Name: "row", Type: cast.Int64}, cast.Column{Name: "prob", Type: cast.Float64})
+		out := cast.NewBatch(s, x.Dim(0))
+		pd := probs.Data()
+		for i := 0; i < x.Dim(0); i++ {
+			if err := out.AppendRow(int64(i), pd[i]); err != nil {
+				return Value{}, info, err
+			}
+		}
+		info.RowsIn = int64(in.Rows())
+		info.RowsOut = int64(out.Rows())
+		info.Native = "Predict"
+		sizes := m.Sizes()
+		for i := 0; i+1 < len(sizes); i++ {
+			info.Kernels = append(info.Kernels, KernelCall{Class: hw.KGEMM, Work: hw.Work{
+				M: x.Dim(0), K: sizes[i], N: sizes[i+1],
+				Bytes: int64(x.Dim(0)*sizes[i]+sizes[i]*sizes[i+1]) * 8,
+			}})
+		}
+		return Value{Batch: out}, info, nil
+
+	case ir.OpKMeans:
+		in, err := tabular(inputs, 0)
+		if err != nil {
+			return Value{}, info, err
+		}
+		cols, _ := n.Attr("cols").([]string)
+		x, err := featureTensor(in, cols)
+		if err != nil {
+			return Value{}, info, err
+		}
+		k := int(n.IntAttr("k"))
+		iters := int(n.IntAttr("iters"))
+		res, err := mlengine.KMeans(rand.New(rand.NewSource(a.seed)), x, k, iters)
+		if err != nil {
+			return Value{}, info, err
+		}
+		s := cast.MustSchema(cast.Column{Name: "row", Type: cast.Int64}, cast.Column{Name: "cluster", Type: cast.Int64})
+		out := cast.NewBatch(s, len(res.Assign))
+		for i, c := range res.Assign {
+			if err := out.AppendRow(int64(i), int64(c)); err != nil {
+				return Value{}, info, err
+			}
+		}
+		info.RowsIn = int64(in.Rows())
+		info.RowsOut = int64(out.Rows())
+		info.Native = fmt.Sprintf("KMeans(k=%d, %d iters)", k, res.Iterations)
+		for i := 0; i < res.Iterations; i++ {
+			info.Kernels = append(info.Kernels, KernelCall{Class: hw.KKMeansAssign, Work: hw.Work{
+				Items: int64(x.Dim(0)), K: x.Dim(1), N: k, Bytes: int64(x.Size()) * 8,
+			}})
+		}
+		return Value{Batch: out}, info, nil
+
+	default:
+		return Value{}, info, fmt.Errorf("%w: %s on ml engine", ErrUnsupported, n.Kind)
+	}
+}
+
+// featureTensor extracts named numeric columns as a [rows, len(cols)]
+// tensor. Int64/Timestamp columns are widened to float64.
+func featureTensor(b *cast.Batch, cols []string) (*tensor.Tensor, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("%w: no feature columns", ErrBadNode)
+	}
+	out, err := tensor.New(maxInt(b.Rows(), 1), len(cols))
+	if err != nil {
+		return nil, err
+	}
+	data := out.Data()
+	for j, name := range cols {
+		idx, err := b.Schema().Index(base(name))
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < b.Rows(); i++ {
+			v, err := b.Value(i, idx)
+			if err != nil {
+				return nil, err
+			}
+			var f float64
+			switch x := v.(type) {
+			case int64:
+				f = float64(x)
+			case float64:
+				f = x
+			case bool:
+				if x {
+					f = 1
+				}
+			default:
+				return nil, fmt.Errorf("%w: column %q is not numeric", ErrBadInput, name)
+			}
+			data[i*len(cols)+j] = f
+		}
+	}
+	if b.Rows() == 0 {
+		return tensor.New(1, len(cols))
+	}
+	return out, nil
+}
+
+func labelTensor(b *cast.Batch, col string) (*tensor.Tensor, error) {
+	t, err := featureTensor(b, []string{col})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func sliceRows(t *tensor.Tensor, lo, hi int) (*tensor.Tensor, error) {
+	cols := t.Dim(1)
+	return tensor.FromSlice(t.Data()[lo*cols:hi*cols], hi-lo, cols)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// execTabular executes engine-agnostic Filter/Project nodes over a tabular
+// input — used by adapters whose engines host general-purpose runtimes.
+func execTabular(ctx context.Context, n *ir.Node, inputs []Value) (Value, ExecInfo, error) {
+	info := ExecInfo{RuleNodes: 1}
+	in, err := tabular(inputs, 0)
+	if err != nil {
+		return Value{}, info, err
+	}
+	switch n.Kind {
+	case ir.OpFilter:
+		pred, ok := n.Attr("pred").(relational.Expr)
+		if !ok {
+			return Value{}, info, fmt.Errorf("%w: filter without pred", ErrBadNode)
+		}
+		op := relational.NewFilter(&batchSource{b: in}, pred)
+		out, err := relational.Run(ctx, op)
+		if err != nil {
+			return Value{}, info, err
+		}
+		info.RowsIn = int64(in.Rows())
+		info.RowsOut = int64(out.Rows())
+		info.Native = "Filter" + pred.String()
+		info.Kernels = []KernelCall{{Class: hw.KFilter, Work: hw.Work{Items: int64(in.Rows()), Bytes: in.ByteSize()}, OutBytes: out.ByteSize()}}
+		return Value{Batch: out}, info, nil
+	case ir.OpProject:
+		items, ok := n.Attr("items").([]relational.ProjItem)
+		if !ok {
+			return Value{}, info, fmt.Errorf("%w: project without items", ErrBadNode)
+		}
+		op, err := relational.NewProject(&batchSource{b: in}, items)
+		if err != nil {
+			return Value{}, info, err
+		}
+		out, err := relational.Run(ctx, op)
+		if err != nil {
+			return Value{}, info, err
+		}
+		info.RowsIn = int64(in.Rows())
+		info.RowsOut = int64(out.Rows())
+		info.Native = "Project"
+		info.Kernels = []KernelCall{{Class: hw.KProject, Work: hw.Work{Items: int64(in.Rows()), Bytes: in.ByteSize()}, OutBytes: out.ByteSize()}}
+		return Value{Batch: out}, info, nil
+	default:
+		return Value{}, info, fmt.Errorf("%w: %s", ErrUnsupported, n.Kind)
+	}
+}

@@ -1,0 +1,264 @@
+// Package arraystore implements the array engine of the polystore (the
+// SciDB role of §II: "matrix operations in SciDB"). It stores dense
+// n-dimensional float64 arrays in fixed-size chunks with cell-level access,
+// hyper-rectangle slicing, and whole-array matrix operations delegated to
+// the tensor substrate.
+package arraystore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"polystorepp/internal/tensor"
+)
+
+// Sentinel errors.
+var (
+	ErrNoArray   = errors.New("arraystore: array not found")
+	ErrExists    = errors.New("arraystore: array already exists")
+	ErrBadCoords = errors.New("arraystore: bad coordinates")
+)
+
+// chunkDim is the side length of a storage chunk along each dimension.
+const chunkDim = 64
+
+// Array is one stored dense array. Cells default to zero; chunks materialize
+// on first write.
+type Array struct {
+	mu     sync.RWMutex
+	name   string
+	shape  []int
+	chunks map[string][]float64
+}
+
+// Store is a collection of named arrays. Safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	name   string
+	arrays map[string]*Array
+}
+
+// New returns an empty array store.
+func New(name string) *Store {
+	return &Store{name: name, arrays: make(map[string]*Array)}
+}
+
+// Name returns the store instance name.
+func (s *Store) Name() string { return s.name }
+
+// Create registers a new array of the given shape.
+func (s *Store) Create(name string, shape ...int) (*Array, error) {
+	if len(shape) == 0 {
+		return nil, fmt.Errorf("%w: empty shape", ErrBadCoords)
+	}
+	for _, d := range shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("%w: dimension %d", ErrBadCoords, d)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.arrays[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	own := make([]int, len(shape))
+	copy(own, shape)
+	a := &Array{name: name, shape: own, chunks: make(map[string][]float64)}
+	s.arrays[name] = a
+	return a, nil
+}
+
+// Get returns the named array.
+func (s *Store) Get(name string) (*Array, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.arrays[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoArray, name)
+	}
+	return a, nil
+}
+
+// Names returns the stored array names.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.arrays))
+	for n := range s.arrays {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Shape returns a copy of the array shape.
+func (a *Array) Shape() []int {
+	out := make([]int, len(a.shape))
+	copy(out, a.shape)
+	return out
+}
+
+// Name returns the array name.
+func (a *Array) Name() string { return a.name }
+
+// chunkKeyAndOffset maps global coordinates to (chunk key, offset in chunk).
+func (a *Array) chunkKeyAndOffset(coords []int) (string, int, error) {
+	if len(coords) != len(a.shape) {
+		return "", 0, fmt.Errorf("%w: %d coords for rank %d", ErrBadCoords, len(coords), len(a.shape))
+	}
+	key := make([]byte, 0, 4*len(coords))
+	off := 0
+	for i, c := range coords {
+		if c < 0 || c >= a.shape[i] {
+			return "", 0, fmt.Errorf("%w: coord %d out of [0,%d)", ErrBadCoords, c, a.shape[i])
+		}
+		ci := c / chunkDim
+		key = append(key, byte(ci), byte(ci>>8), byte(ci>>16), byte(ci>>24))
+		off = off*chunkDim + c%chunkDim
+	}
+	return string(key), off, nil
+}
+
+func (a *Array) chunkLen() int {
+	n := 1
+	for range a.shape {
+		n *= chunkDim
+	}
+	return n
+}
+
+// Set writes one cell.
+func (a *Array) Set(v float64, coords ...int) error {
+	key, off, err := a.chunkKeyAndOffset(coords)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ch, ok := a.chunks[key]
+	if !ok {
+		ch = make([]float64, a.chunkLen())
+		a.chunks[key] = ch
+	}
+	ch[off] = v
+	return nil
+}
+
+// At reads one cell (zero when the chunk was never written).
+func (a *Array) At(coords ...int) (float64, error) {
+	key, off, err := a.chunkKeyAndOffset(coords)
+	if err != nil {
+		return 0, err
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	ch, ok := a.chunks[key]
+	if !ok {
+		return 0, nil
+	}
+	return ch[off], nil
+}
+
+// ChunkCount returns the number of materialized chunks.
+func (a *Array) ChunkCount() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.chunks)
+}
+
+// Slice extracts the hyper-rectangle [lo[i], hi[i]) along each dimension as
+// a dense tensor.
+func (a *Array) Slice(lo, hi []int) (*tensor.Tensor, error) {
+	if len(lo) != len(a.shape) || len(hi) != len(a.shape) {
+		return nil, fmt.Errorf("%w: slice rank mismatch", ErrBadCoords)
+	}
+	outShape := make([]int, len(a.shape))
+	for i := range lo {
+		if lo[i] < 0 || hi[i] > a.shape[i] || lo[i] >= hi[i] {
+			return nil, fmt.Errorf("%w: [%d,%d) of %d", ErrBadCoords, lo[i], hi[i], a.shape[i])
+		}
+		outShape[i] = hi[i] - lo[i]
+	}
+	out, err := tensor.New(outShape...)
+	if err != nil {
+		return nil, err
+	}
+	coords := make([]int, len(a.shape))
+	copy(coords, lo)
+	data := out.Data()
+	for i := range data {
+		v, err := a.At(coords...)
+		if err != nil {
+			return nil, err
+		}
+		data[i] = v
+		// Advance coords in row-major order.
+		for d := len(coords) - 1; d >= 0; d-- {
+			coords[d]++
+			if coords[d] < hi[d] {
+				break
+			}
+			coords[d] = lo[d]
+		}
+	}
+	return out, nil
+}
+
+// FromTensor overwrites the array region starting at origin with t.
+func (a *Array) FromTensor(t *tensor.Tensor, origin []int) error {
+	shape := t.Shape()
+	if len(origin) != len(a.shape) || len(shape) != len(a.shape) {
+		return fmt.Errorf("%w: rank mismatch", ErrBadCoords)
+	}
+	coords := make([]int, len(origin))
+	copy(coords, origin)
+	data := t.Data()
+	for i := range data {
+		if err := a.Set(data[i], coords...); err != nil {
+			return err
+		}
+		for d := len(coords) - 1; d >= 0; d-- {
+			coords[d]++
+			if coords[d] < origin[d]+shape[d] {
+				break
+			}
+			coords[d] = origin[d]
+		}
+	}
+	return nil
+}
+
+// MatMul multiplies two stored 2-D arrays into a named result array.
+func (s *Store) MatMul(aName, bName, outName string) (*Array, error) {
+	a, err := s.Get(aName)
+	if err != nil {
+		return nil, err
+	}
+	b, err := s.Get(bName)
+	if err != nil {
+		return nil, err
+	}
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		return nil, fmt.Errorf("%w: MatMul wants 2-D arrays", ErrBadCoords)
+	}
+	at, err := a.Slice([]int{0, 0}, a.shape)
+	if err != nil {
+		return nil, err
+	}
+	bt, err := b.Slice([]int{0, 0}, b.shape)
+	if err != nil {
+		return nil, err
+	}
+	ct, err := tensor.MatMul(at, bt)
+	if err != nil {
+		return nil, err
+	}
+	out, err := s.Create(outName, ct.Dim(0), ct.Dim(1))
+	if err != nil {
+		return nil, err
+	}
+	if err := out.FromTensor(ct, []int{0, 0}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

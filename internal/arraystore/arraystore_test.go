@@ -1,0 +1,173 @@
+package arraystore
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"polystorepp/internal/tensor"
+)
+
+func TestCreateAndGet(t *testing.T) {
+	s := New("arr")
+	a, err := s.Create("m", 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "m" || len(a.Shape()) != 2 {
+		t.Fatalf("array %+v", a)
+	}
+	if _, err := s.Create("m", 2, 2); !errors.Is(err, ErrExists) {
+		t.Fatalf("dup: %v", err)
+	}
+	if _, err := s.Get("nope"); !errors.Is(err, ErrNoArray) {
+		t.Fatalf("missing: %v", err)
+	}
+	if _, err := s.Create("bad"); !errors.Is(err, ErrBadCoords) {
+		t.Fatalf("empty shape: %v", err)
+	}
+	if _, err := s.Create("bad2", 0); !errors.Is(err, ErrBadCoords) {
+		t.Fatalf("zero dim: %v", err)
+	}
+	if len(s.Names()) != 1 {
+		t.Fatalf("Names = %v", s.Names())
+	}
+}
+
+func TestSetAtSparseChunks(t *testing.T) {
+	s := New("arr")
+	a, _ := s.Create("m", 200, 200)
+	if err := a.Set(3.5, 150, 199); err != nil {
+		t.Fatal(err)
+	}
+	v, err := a.At(150, 199)
+	if err != nil || v != 3.5 {
+		t.Fatalf("At = %v, %v", v, err)
+	}
+	// Untouched cells read zero without materializing chunks.
+	v, err = a.At(0, 0)
+	if err != nil || v != 0 {
+		t.Fatalf("zero cell = %v, %v", v, err)
+	}
+	if a.ChunkCount() != 1 {
+		t.Fatalf("chunks = %d, want 1 (lazy)", a.ChunkCount())
+	}
+	if err := a.Set(1, 200, 0); !errors.Is(err, ErrBadCoords) {
+		t.Fatalf("oob set: %v", err)
+	}
+	if _, err := a.At(0); !errors.Is(err, ErrBadCoords) {
+		t.Fatalf("rank mismatch: %v", err)
+	}
+}
+
+func TestSliceRoundTrip(t *testing.T) {
+	s := New("arr")
+	a, _ := s.Create("m", 70, 70) // crosses the 64-chunk boundary
+	rng := rand.New(rand.NewSource(4))
+	want, _ := tensor.Rand(rng, 1, 20, 30)
+	if err := a.FromTensor(want, []int{50, 30}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Slice([]int{50, 30}, []int{70, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("slice round trip differs")
+	}
+	if _, err := a.Slice([]int{0}, []int{1}); !errors.Is(err, ErrBadCoords) {
+		t.Fatalf("rank: %v", err)
+	}
+	if _, err := a.Slice([]int{10, 10}, []int{5, 20}); !errors.Is(err, ErrBadCoords) {
+		t.Fatalf("inverted: %v", err)
+	}
+	if _, err := a.Slice([]int{0, 0}, []int{80, 10}); !errors.Is(err, ErrBadCoords) {
+		t.Fatalf("oob: %v", err)
+	}
+}
+
+func TestMatMulMatchesTensor(t *testing.T) {
+	s := New("arr")
+	rng := rand.New(rand.NewSource(8))
+	at, _ := tensor.Rand(rng, 1, 30, 20)
+	bt, _ := tensor.Rand(rng, 1, 20, 10)
+	aa, _ := s.Create("a", 30, 20)
+	bb, _ := s.Create("b", 20, 10)
+	if err := aa.FromTensor(at, []int{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bb.FromTensor(bt, []int{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.MatMul("a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := out.Slice([]int{0, 0}, []int{30, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := tensor.MatMul(at, bt)
+	if !got.AlmostEqual(want, 1e-12) {
+		t.Fatal("arraystore MatMul differs from tensor MatMul")
+	}
+	if _, err := s.MatMul("a", "nope", "d"); !errors.Is(err, ErrNoArray) {
+		t.Fatalf("missing operand: %v", err)
+	}
+}
+
+func TestThreeDimensional(t *testing.T) {
+	s := New("arr")
+	a, err := s.Create("cube", 10, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Set(7, 1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	v, err := a.At(1, 2, 3)
+	if err != nil || v != 7 {
+		t.Fatalf("3d At = %v, %v", v, err)
+	}
+	sl, err := a.Slice([]int{0, 0, 0}, []int{2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ = sl.At(1, 2, 3)
+	if v != 7 {
+		t.Fatalf("3d slice value = %v", v)
+	}
+}
+
+// Property: Set then At returns the stored value for random coordinates.
+func TestPropertySetAt(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New("p")
+		a, err := s.Create("m", 128, 128)
+		if err != nil {
+			return false
+		}
+		type cell struct{ r, c int }
+		written := map[cell]float64{}
+		for i := 0; i < 50; i++ {
+			r, c := rng.Intn(128), rng.Intn(128)
+			v := rng.Float64()
+			if err := a.Set(v, r, c); err != nil {
+				return false
+			}
+			written[cell{r, c}] = v
+		}
+		for cc, want := range written {
+			got, err := a.At(cc.r, cc.c)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

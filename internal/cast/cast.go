@@ -1,0 +1,593 @@
+// Package cast implements the universal data model of the Polystore++
+// system — the "CAST" layer of BigDAWG terminology that every byte crossing
+// an engine boundary travels through.
+//
+// The central type is Batch: a typed, columnar collection of rows. Engines
+// produce and consume batches; the data migrator serializes them; hardware
+// kernels stream them. The package also defines Schema/Column metadata and
+// value-level helpers (comparison, hashing) shared by join, sort and group-by
+// implementations across the repository.
+package cast
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Type identifies the physical type of a column. Enums start at 1 so the
+// zero value is invalid and misuse is caught early.
+type Type int
+
+// Supported column types.
+const (
+	Int64 Type = iota + 1
+	Float64
+	String
+	Bool
+	// Timestamp is an int64 count of nanoseconds since the Unix epoch. It is
+	// kept distinct from Int64 so cross-model conversions (e.g. into the
+	// timeseries store) know which column is the time axis.
+	Timestamp
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case Int64:
+		return "int64"
+	case Float64:
+		return "float64"
+	case String:
+		return "string"
+	case Bool:
+		return "bool"
+	case Timestamp:
+		return "timestamp"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Valid reports whether t is one of the declared column types.
+func (t Type) Valid() bool { return t >= Int64 && t <= Timestamp }
+
+// FixedWidth returns the serialized width in bytes for fixed-width types and
+// (0, false) for variable-width types (String).
+func (t Type) FixedWidth() (int, bool) {
+	switch t {
+	case Int64, Float64, Timestamp:
+		return 8, true
+	case Bool:
+		return 1, true
+	default:
+		return 0, false
+	}
+}
+
+// Column describes a single column: a name unique within its schema and a
+// physical type.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of columns. Schemas are treated as immutable:
+// all mutating helpers return fresh copies.
+type Schema struct {
+	cols   []Column
+	byName map[string]int
+}
+
+// Sentinel errors returned by this package.
+var (
+	ErrColumnNotFound = errors.New("cast: column not found")
+	ErrTypeMismatch   = errors.New("cast: type mismatch")
+	ErrSchemaMismatch = errors.New("cast: schema mismatch")
+	ErrRowOutOfRange  = errors.New("cast: row index out of range")
+	ErrDuplicateName  = errors.New("cast: duplicate column name")
+	ErrBadValue       = errors.New("cast: value not representable in column type")
+)
+
+// NewSchema builds a schema from the given columns. It returns an error when
+// a column name repeats or a type is invalid.
+func NewSchema(cols ...Column) (Schema, error) {
+	byName := make(map[string]int, len(cols))
+	for i, c := range cols {
+		if !c.Type.Valid() {
+			return Schema{}, fmt.Errorf("cast: column %q: invalid type %d", c.Name, int(c.Type))
+		}
+		if _, dup := byName[c.Name]; dup {
+			return Schema{}, fmt.Errorf("%w: %q", ErrDuplicateName, c.Name)
+		}
+		byName[c.Name] = i
+	}
+	own := make([]Column, len(cols))
+	copy(own, cols)
+	return Schema{cols: own, byName: byName}, nil
+}
+
+// MustSchema is NewSchema for statically-known schemas in tests and
+// generators; it panics on error and must not be used with dynamic input.
+func MustSchema(cols ...Column) Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of columns.
+func (s Schema) Len() int { return len(s.cols) }
+
+// Col returns the i-th column.
+func (s Schema) Col(i int) Column { return s.cols[i] }
+
+// Columns returns a copy of the column list.
+func (s Schema) Columns() []Column {
+	out := make([]Column, len(s.cols))
+	copy(out, s.cols)
+	return out
+}
+
+// Index returns the position of the named column.
+func (s Schema) Index(name string) (int, error) {
+	if i, ok := s.byName[name]; ok {
+		return i, nil
+	}
+	return 0, fmt.Errorf("%w: %q", ErrColumnNotFound, name)
+}
+
+// Has reports whether the schema contains the named column.
+func (s Schema) Has(name string) bool {
+	_, ok := s.byName[name]
+	return ok
+}
+
+// Equal reports whether two schemas have identical column lists.
+func (s Schema) Equal(o Schema) bool {
+	if len(s.cols) != len(o.cols) {
+		return false
+	}
+	for i := range s.cols {
+		if s.cols[i] != o.cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns a schema containing only the named columns, in the given
+// order.
+func (s Schema) Project(names ...string) (Schema, error) {
+	cols := make([]Column, 0, len(names))
+	for _, n := range names {
+		i, err := s.Index(n)
+		if err != nil {
+			return Schema{}, err
+		}
+		cols = append(cols, s.cols[i])
+	}
+	return NewSchema(cols...)
+}
+
+// Rename returns a schema with column old renamed to new.
+func (s Schema) Rename(old, new string) (Schema, error) {
+	i, err := s.Index(old)
+	if err != nil {
+		return Schema{}, err
+	}
+	cols := s.Columns()
+	cols[i].Name = new
+	return NewSchema(cols...)
+}
+
+// Concat returns the concatenation of two schemas. Duplicate names are
+// rejected; callers joining self-similar schemas should Rename first.
+func (s Schema) Concat(o Schema) (Schema, error) {
+	cols := make([]Column, 0, len(s.cols)+len(o.cols))
+	cols = append(cols, s.cols...)
+	cols = append(cols, o.cols...)
+	return NewSchema(cols...)
+}
+
+// String renders the schema as "(name type, ...)".
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(c.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// column is the typed storage of one column. Exactly one backing slice is in
+// use, selected by the column type.
+type column struct {
+	ints  []int64 // Int64 and Timestamp
+	flts  []float64
+	strs  []string
+	bools []bool
+}
+
+func (c *column) grow(t Type, n int) {
+	switch t {
+	case Int64, Timestamp:
+		if cap(c.ints) < n {
+			nw := make([]int64, len(c.ints), n)
+			copy(nw, c.ints)
+			c.ints = nw
+		}
+	case Float64:
+		if cap(c.flts) < n {
+			nw := make([]float64, len(c.flts), n)
+			copy(nw, c.flts)
+			c.flts = nw
+		}
+	case String:
+		if cap(c.strs) < n {
+			nw := make([]string, len(c.strs), n)
+			copy(nw, c.strs)
+			c.strs = nw
+		}
+	case Bool:
+		if cap(c.bools) < n {
+			nw := make([]bool, len(c.bools), n)
+			copy(nw, c.bools)
+			c.bools = nw
+		}
+	}
+}
+
+// Batch is a columnar collection of rows sharing one schema. The zero value
+// is unusable; construct batches with NewBatch.
+type Batch struct {
+	schema Schema
+	cols   []column
+	rows   int
+}
+
+// NewBatch returns an empty batch with the given schema and capacity hint.
+func NewBatch(s Schema, capacity int) *Batch {
+	b := &Batch{schema: s, cols: make([]column, s.Len())}
+	if capacity > 0 {
+		for i := range b.cols {
+			b.cols[i].grow(s.Col(i).Type, capacity)
+		}
+	}
+	return b
+}
+
+// Schema returns the batch schema.
+func (b *Batch) Schema() Schema { return b.schema }
+
+// Rows returns the number of rows currently stored.
+func (b *Batch) Rows() int { return b.rows }
+
+// AppendRow appends one row given as one value per column. Accepted dynamic
+// types per column type: Int64/Timestamp ← int64 or int; Float64 ← float64;
+// String ← string; Bool ← bool.
+func (b *Batch) AppendRow(vals ...any) error {
+	if len(vals) != b.schema.Len() {
+		return fmt.Errorf("%w: got %d values for %d columns", ErrSchemaMismatch, len(vals), b.schema.Len())
+	}
+	for i, v := range vals {
+		if err := b.appendVal(i, v); err != nil {
+			// Roll back the columns already appended for this row.
+			for j := 0; j < i; j++ {
+				b.truncCol(j, b.rows)
+			}
+			return err
+		}
+	}
+	b.rows++
+	return nil
+}
+
+func (b *Batch) appendVal(i int, v any) error {
+	c := &b.cols[i]
+	t := b.schema.Col(i).Type
+	switch t {
+	case Int64, Timestamp:
+		switch x := v.(type) {
+		case int64:
+			c.ints = append(c.ints, x)
+		case int:
+			c.ints = append(c.ints, int64(x))
+		default:
+			return fmt.Errorf("%w: column %q wants %s, got %T", ErrBadValue, b.schema.Col(i).Name, t, v)
+		}
+	case Float64:
+		switch x := v.(type) {
+		case float64:
+			c.flts = append(c.flts, x)
+		case int:
+			c.flts = append(c.flts, float64(x))
+		case int64:
+			c.flts = append(c.flts, float64(x))
+		default:
+			return fmt.Errorf("%w: column %q wants %s, got %T", ErrBadValue, b.schema.Col(i).Name, t, v)
+		}
+	case String:
+		x, ok := v.(string)
+		if !ok {
+			return fmt.Errorf("%w: column %q wants %s, got %T", ErrBadValue, b.schema.Col(i).Name, t, v)
+		}
+		c.strs = append(c.strs, x)
+	case Bool:
+		x, ok := v.(bool)
+		if !ok {
+			return fmt.Errorf("%w: column %q wants %s, got %T", ErrBadValue, b.schema.Col(i).Name, t, v)
+		}
+		c.bools = append(c.bools, x)
+	default:
+		return fmt.Errorf("cast: corrupt schema type %d", int(t))
+	}
+	return nil
+}
+
+func (b *Batch) truncCol(i, n int) {
+	c := &b.cols[i]
+	switch b.schema.Col(i).Type {
+	case Int64, Timestamp:
+		c.ints = c.ints[:n]
+	case Float64:
+		c.flts = c.flts[:n]
+	case String:
+		c.strs = c.strs[:n]
+	case Bool:
+		c.bools = c.bools[:n]
+	}
+}
+
+// Ints returns the backing int64 slice for an Int64/Timestamp column. The
+// slice aliases batch storage; callers must not grow it.
+func (b *Batch) Ints(col int) ([]int64, error) {
+	t := b.schema.Col(col).Type
+	if t != Int64 && t != Timestamp {
+		return nil, fmt.Errorf("%w: column %d is %s, not int64/timestamp", ErrTypeMismatch, col, t)
+	}
+	return b.cols[col].ints, nil
+}
+
+// Floats returns the backing float64 slice for a Float64 column.
+func (b *Batch) Floats(col int) ([]float64, error) {
+	if t := b.schema.Col(col).Type; t != Float64 {
+		return nil, fmt.Errorf("%w: column %d is %s, not float64", ErrTypeMismatch, col, t)
+	}
+	return b.cols[col].flts, nil
+}
+
+// Strings returns the backing string slice for a String column.
+func (b *Batch) Strings(col int) ([]string, error) {
+	if t := b.schema.Col(col).Type; t != String {
+		return nil, fmt.Errorf("%w: column %d is %s, not string", ErrTypeMismatch, col, t)
+	}
+	return b.cols[col].strs, nil
+}
+
+// Bools returns the backing bool slice for a Bool column.
+func (b *Batch) Bools(col int) ([]bool, error) {
+	if t := b.schema.Col(col).Type; t != Bool {
+		return nil, fmt.Errorf("%w: column %d is %s, not bool", ErrTypeMismatch, col, t)
+	}
+	return b.cols[col].bools, nil
+}
+
+// Value returns the value at (row, col) boxed as any.
+func (b *Batch) Value(row, col int) (any, error) {
+	if row < 0 || row >= b.rows {
+		return nil, fmt.Errorf("%w: %d of %d", ErrRowOutOfRange, row, b.rows)
+	}
+	c := &b.cols[col]
+	switch b.schema.Col(col).Type {
+	case Int64, Timestamp:
+		return c.ints[row], nil
+	case Float64:
+		return c.flts[row], nil
+	case String:
+		return c.strs[row], nil
+	case Bool:
+		return c.bools[row], nil
+	}
+	return nil, fmt.Errorf("cast: corrupt schema type")
+}
+
+// Row materializes row i as a []any, one element per column.
+func (b *Batch) Row(i int) ([]any, error) {
+	if i < 0 || i >= b.rows {
+		return nil, fmt.Errorf("%w: %d of %d", ErrRowOutOfRange, i, b.rows)
+	}
+	out := make([]any, b.schema.Len())
+	for c := range out {
+		v, err := b.Value(i, c)
+		if err != nil {
+			return nil, err
+		}
+		out[c] = v
+	}
+	return out, nil
+}
+
+// AppendBatch appends all rows of src (which must have an equal schema).
+func (b *Batch) AppendBatch(src *Batch) error {
+	if !b.schema.Equal(src.schema) {
+		return fmt.Errorf("%w: %s vs %s", ErrSchemaMismatch, b.schema, src.schema)
+	}
+	for i := range b.cols {
+		switch b.schema.Col(i).Type {
+		case Int64, Timestamp:
+			b.cols[i].ints = append(b.cols[i].ints, src.cols[i].ints...)
+		case Float64:
+			b.cols[i].flts = append(b.cols[i].flts, src.cols[i].flts...)
+		case String:
+			b.cols[i].strs = append(b.cols[i].strs, src.cols[i].strs...)
+		case Bool:
+			b.cols[i].bools = append(b.cols[i].bools, src.cols[i].bools...)
+		}
+	}
+	b.rows += src.rows
+	return nil
+}
+
+// Slice returns a new batch holding rows [lo, hi). Data is copied so the
+// result is independent of the receiver.
+func (b *Batch) Slice(lo, hi int) (*Batch, error) {
+	if lo < 0 || hi > b.rows || lo > hi {
+		return nil, fmt.Errorf("%w: [%d,%d) of %d", ErrRowOutOfRange, lo, hi, b.rows)
+	}
+	out := NewBatch(b.schema, hi-lo)
+	for i := range b.cols {
+		switch b.schema.Col(i).Type {
+		case Int64, Timestamp:
+			out.cols[i].ints = append(out.cols[i].ints, b.cols[i].ints[lo:hi]...)
+		case Float64:
+			out.cols[i].flts = append(out.cols[i].flts, b.cols[i].flts[lo:hi]...)
+		case String:
+			out.cols[i].strs = append(out.cols[i].strs, b.cols[i].strs[lo:hi]...)
+		case Bool:
+			out.cols[i].bools = append(out.cols[i].bools, b.cols[i].bools[lo:hi]...)
+		}
+	}
+	out.rows = hi - lo
+	return out, nil
+}
+
+// Gather returns a new batch with the rows at the given indices, in order.
+func (b *Batch) Gather(idx []int) (*Batch, error) {
+	out := NewBatch(b.schema, len(idx))
+	for _, r := range idx {
+		if r < 0 || r >= b.rows {
+			return nil, fmt.Errorf("%w: %d of %d", ErrRowOutOfRange, r, b.rows)
+		}
+	}
+	for i := range b.cols {
+		switch b.schema.Col(i).Type {
+		case Int64, Timestamp:
+			dst := make([]int64, len(idx))
+			for j, r := range idx {
+				dst[j] = b.cols[i].ints[r]
+			}
+			out.cols[i].ints = dst
+		case Float64:
+			dst := make([]float64, len(idx))
+			for j, r := range idx {
+				dst[j] = b.cols[i].flts[r]
+			}
+			out.cols[i].flts = dst
+		case String:
+			dst := make([]string, len(idx))
+			for j, r := range idx {
+				dst[j] = b.cols[i].strs[r]
+			}
+			out.cols[i].strs = dst
+		case Bool:
+			dst := make([]bool, len(idx))
+			for j, r := range idx {
+				dst[j] = b.cols[i].bools[r]
+			}
+			out.cols[i].bools = dst
+		}
+	}
+	out.rows = len(idx)
+	return out, nil
+}
+
+// Project returns a new batch containing only the named columns. Column data
+// is copied.
+func (b *Batch) Project(names ...string) (*Batch, error) {
+	s, err := b.schema.Project(names...)
+	if err != nil {
+		return nil, err
+	}
+	out := NewBatch(s, b.rows)
+	for j, n := range names {
+		i, _ := b.schema.Index(n)
+		switch b.schema.Col(i).Type {
+		case Int64, Timestamp:
+			out.cols[j].ints = append(out.cols[j].ints, b.cols[i].ints...)
+		case Float64:
+			out.cols[j].flts = append(out.cols[j].flts, b.cols[i].flts...)
+		case String:
+			out.cols[j].strs = append(out.cols[j].strs, b.cols[i].strs...)
+		case Bool:
+			out.cols[j].bools = append(out.cols[j].bools, b.cols[i].bools...)
+		}
+	}
+	out.rows = b.rows
+	return out, nil
+}
+
+// Clone returns a deep copy of the batch.
+func (b *Batch) Clone() *Batch {
+	out, err := b.Slice(0, b.rows)
+	if err != nil {
+		// Slice(0, rows) cannot fail on a consistent batch.
+		panic(err)
+	}
+	return out
+}
+
+// ByteSize returns the approximate in-memory payload size of the batch in
+// bytes, used by cost models and migration accounting.
+func (b *Batch) ByteSize() int64 {
+	var total int64
+	for i := range b.cols {
+		c := &b.cols[i]
+		switch b.schema.Col(i).Type {
+		case Int64, Timestamp:
+			total += int64(len(c.ints)) * 8
+		case Float64:
+			total += int64(len(c.flts)) * 8
+		case Bool:
+			total += int64(len(c.bools))
+		case String:
+			for _, s := range c.strs {
+				total += int64(len(s)) + 8
+			}
+		}
+	}
+	return total
+}
+
+// Equal reports whether two batches hold identical schemas and data.
+func (b *Batch) Equal(o *Batch) bool {
+	if b.rows != o.rows || !b.schema.Equal(o.schema) {
+		return false
+	}
+	for i := range b.cols {
+		switch b.schema.Col(i).Type {
+		case Int64, Timestamp:
+			for j := 0; j < b.rows; j++ {
+				if b.cols[i].ints[j] != o.cols[i].ints[j] {
+					return false
+				}
+			}
+		case Float64:
+			for j := 0; j < b.rows; j++ {
+				if b.cols[i].flts[j] != o.cols[i].flts[j] {
+					return false
+				}
+			}
+		case String:
+			for j := 0; j < b.rows; j++ {
+				if b.cols[i].strs[j] != o.cols[i].strs[j] {
+					return false
+				}
+			}
+		case Bool:
+			for j := 0; j < b.rows; j++ {
+				if b.cols[i].bools[j] != o.cols[i].bools[j] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,323 @@
+package cast
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The wire formats in this file are what the data migrator moves between
+// engines. Two formats exist deliberately (§III-A3 of the paper):
+//
+//   - CSV: the naive portable path every engine supports. Expensive because
+//     every value round-trips through text.
+//   - Binary columnar ("pipe format"): the PipeGen-style optimized binary
+//     layout streamed over network pipes.
+
+// Binary format constants.
+const (
+	binaryMagic   = uint32(0x504c5342) // "PLSB"
+	binaryVersion = uint16(1)
+)
+
+// ErrCodec wraps malformed-input failures from the decoders.
+var ErrCodec = errors.New("cast: codec")
+
+// WriteCSV writes the batch in CSV form with a header row of column names.
+func WriteCSV(w io.Writer, b *Batch) error {
+	cw := csv.NewWriter(w)
+	s := b.Schema()
+	head := make([]string, s.Len())
+	for i := range head {
+		head[i] = s.Col(i).Name
+	}
+	if err := cw.Write(head); err != nil {
+		return fmt.Errorf("csv header: %w", err)
+	}
+	rec := make([]string, s.Len())
+	for r := 0; r < b.Rows(); r++ {
+		for c := 0; c < s.Len(); c++ {
+			v, err := b.Value(r, c)
+			if err != nil {
+				return err
+			}
+			rec[c] = FormatValue(v)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("csv row %d: %w", r, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses CSV (with a header row) into a batch with the given schema.
+// The header must match the schema's column names in order.
+func ReadCSV(r io.Reader, s Schema) (*Batch, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = s.Len()
+	head, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading csv header: %v", ErrCodec, err)
+	}
+	for i, name := range head {
+		if name != s.Col(i).Name {
+			return nil, fmt.Errorf("%w: csv header %q != schema column %q", ErrCodec, name, s.Col(i).Name)
+		}
+	}
+	b := NewBatch(s, 0)
+	vals := make([]any, s.Len())
+	for {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			return b, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: reading csv: %v", ErrCodec, err)
+		}
+		for i, f := range rec {
+			v, err := ParseValue(s.Col(i).Type, f)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		if err := b.AppendRow(vals...); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// WriteBinary writes the batch in the columnar binary pipe format:
+//
+//	magic u32 | version u16 | ncols u16 | nrows u64
+//	per column: nameLen u16 | name | type u8
+//	per column: payload (fixed-width values back to back; strings as
+//	            len u32 + bytes)
+func WriteBinary(w io.Writer, b *Batch) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	s := b.Schema()
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], binaryMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], binaryVersion)
+	binary.LittleEndian.PutUint16(hdr[6:8], uint16(s.Len()))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(b.Rows()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	for i := 0; i < s.Len(); i++ {
+		c := s.Col(i)
+		if len(c.Name) > math.MaxUint16 {
+			return fmt.Errorf("%w: column name too long", ErrCodec)
+		}
+		var nl [2]byte
+		binary.LittleEndian.PutUint16(nl[:], uint16(len(c.Name)))
+		if _, err := bw.Write(nl[:]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(c.Name); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(c.Type)); err != nil {
+			return err
+		}
+	}
+	var scratch [8]byte
+	for i := 0; i < s.Len(); i++ {
+		switch s.Col(i).Type {
+		case Int64, Timestamp:
+			ints, _ := b.Ints(i)
+			for _, v := range ints {
+				binary.LittleEndian.PutUint64(scratch[:], uint64(v))
+				if _, err := bw.Write(scratch[:]); err != nil {
+					return err
+				}
+			}
+		case Float64:
+			flts, _ := b.Floats(i)
+			for _, v := range flts {
+				binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+				if _, err := bw.Write(scratch[:]); err != nil {
+					return err
+				}
+			}
+		case Bool:
+			bools, _ := b.Bools(i)
+			for _, v := range bools {
+				bt := byte(0)
+				if v {
+					bt = 1
+				}
+				if err := bw.WriteByte(bt); err != nil {
+					return err
+				}
+			}
+		case String:
+			strs, _ := b.Strings(i)
+			for _, v := range strs {
+				binary.LittleEndian.PutUint32(scratch[:4], uint32(len(v)))
+				if _, err := bw.Write(scratch[:4]); err != nil {
+					return err
+				}
+				if _, err := bw.WriteString(v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes one batch from the columnar binary pipe format.
+func ReadBinary(r io.Reader) (*Batch, error) {
+	// Reuse an existing bufio.Reader: wrapping it again would read ahead and
+	// strand bytes, corrupting multi-batch streams.
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<16)
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrCodec, err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:4]); m != binaryMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCodec, m)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != binaryVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCodec, v)
+	}
+	ncols := int(binary.LittleEndian.Uint16(hdr[6:8]))
+	nrows := binary.LittleEndian.Uint64(hdr[8:16])
+	if nrows > math.MaxInt32*64 {
+		return nil, fmt.Errorf("%w: implausible row count %d", ErrCodec, nrows)
+	}
+	cols := make([]Column, ncols)
+	for i := range cols {
+		var nl [2]byte
+		if _, err := io.ReadFull(br, nl[:]); err != nil {
+			return nil, fmt.Errorf("%w: column header: %v", ErrCodec, err)
+		}
+		nameLen := int(binary.LittleEndian.Uint16(nl[:]))
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("%w: column name: %v", ErrCodec, err)
+		}
+		tb, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: column type: %v", ErrCodec, err)
+		}
+		t := Type(tb)
+		if !t.Valid() {
+			return nil, fmt.Errorf("%w: invalid column type %d", ErrCodec, tb)
+		}
+		cols[i] = Column{Name: string(name), Type: t}
+	}
+	s, err := NewSchema(cols...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+	n := int(nrows)
+	b := NewBatch(s, n)
+	var scratch [8]byte
+	for i := 0; i < ncols; i++ {
+		switch s.Col(i).Type {
+		case Int64, Timestamp:
+			dst := make([]int64, n)
+			for j := 0; j < n; j++ {
+				if _, err := io.ReadFull(br, scratch[:]); err != nil {
+					return nil, fmt.Errorf("%w: int column %d row %d: %v", ErrCodec, i, j, err)
+				}
+				dst[j] = int64(binary.LittleEndian.Uint64(scratch[:]))
+			}
+			b.cols[i].ints = dst
+		case Float64:
+			dst := make([]float64, n)
+			for j := 0; j < n; j++ {
+				if _, err := io.ReadFull(br, scratch[:]); err != nil {
+					return nil, fmt.Errorf("%w: float column %d row %d: %v", ErrCodec, i, j, err)
+				}
+				dst[j] = math.Float64frombits(binary.LittleEndian.Uint64(scratch[:]))
+			}
+			b.cols[i].flts = dst
+		case Bool:
+			dst := make([]bool, n)
+			for j := 0; j < n; j++ {
+				bt, err := br.ReadByte()
+				if err != nil {
+					return nil, fmt.Errorf("%w: bool column %d row %d: %v", ErrCodec, i, j, err)
+				}
+				dst[j] = bt != 0
+			}
+			b.cols[i].bools = dst
+		case String:
+			dst := make([]string, n)
+			for j := 0; j < n; j++ {
+				if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+					return nil, fmt.Errorf("%w: string column %d row %d: %v", ErrCodec, i, j, err)
+				}
+				slen := binary.LittleEndian.Uint32(scratch[:4])
+				sb := make([]byte, slen)
+				if _, err := io.ReadFull(br, sb); err != nil {
+					return nil, fmt.Errorf("%w: string column %d row %d: %v", ErrCodec, i, j, err)
+				}
+				dst[j] = string(sb)
+			}
+			b.cols[i].strs = dst
+		}
+	}
+	b.rows = n
+	return b, nil
+}
+
+// StreamWriter writes a sequence of batches (chunks) over one connection,
+// each length-delimited, so a receiver can process chunks as they arrive —
+// the "network pipe" of PipeGen.
+type StreamWriter struct {
+	w io.Writer
+}
+
+// NewStreamWriter returns a StreamWriter over w.
+func NewStreamWriter(w io.Writer) *StreamWriter { return &StreamWriter{w: w} }
+
+// WriteChunk writes one batch as a chunk. A zero-row batch is legal.
+func (sw *StreamWriter) WriteChunk(b *Batch) error {
+	return WriteBinary(sw.w, b)
+}
+
+// Close writes the end-of-stream marker (a frame with zero magic).
+func (sw *StreamWriter) Close() error {
+	var end [4]byte // 4 zero bytes cannot begin a valid frame (magic mismatch)
+	_, err := sw.w.Write(end[:])
+	return err
+}
+
+// StreamReader reads the chunk sequence produced by StreamWriter.
+type StreamReader struct {
+	br *bufio.Reader
+}
+
+// NewStreamReader returns a StreamReader over r.
+func NewStreamReader(r io.Reader) *StreamReader {
+	return &StreamReader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// ReadChunk returns the next batch, or io.EOF after the end-of-stream
+// marker.
+func (sr *StreamReader) ReadChunk() (*Batch, error) {
+	peek, err := sr.br.Peek(4)
+	if err != nil {
+		return nil, fmt.Errorf("%w: peeking frame: %v", ErrCodec, err)
+	}
+	if binary.LittleEndian.Uint32(peek) != binaryMagic {
+		// End-of-stream marker: consume and report EOF.
+		if _, err := sr.br.Discard(4); err != nil {
+			return nil, fmt.Errorf("%w: consuming eos: %v", ErrCodec, err)
+		}
+		return nil, io.EOF
+	}
+	return ReadBinary(sr.br)
+}

@@ -1,0 +1,257 @@
+package cast
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// CompareValues orders two boxed values of the same dynamic type. It returns
+// -1, 0, or +1. Comparing values of different dynamic types is a programming
+// error and reports via the returned error.
+func CompareValues(a, b any) (int, error) {
+	switch x := a.(type) {
+	case int64:
+		y, ok := b.(int64)
+		if !ok {
+			return 0, fmt.Errorf("%w: int64 vs %T", ErrTypeMismatch, b)
+		}
+		return cmpOrdered(x, y), nil
+	case float64:
+		y, ok := b.(float64)
+		if !ok {
+			return 0, fmt.Errorf("%w: float64 vs %T", ErrTypeMismatch, b)
+		}
+		return cmpOrdered(x, y), nil
+	case string:
+		y, ok := b.(string)
+		if !ok {
+			return 0, fmt.Errorf("%w: string vs %T", ErrTypeMismatch, b)
+		}
+		return cmpOrdered(x, y), nil
+	case bool:
+		y, ok := b.(bool)
+		if !ok {
+			return 0, fmt.Errorf("%w: bool vs %T", ErrTypeMismatch, b)
+		}
+		switch {
+		case x == y:
+			return 0, nil
+		case !x:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	default:
+		return 0, fmt.Errorf("%w: unsupported value type %T", ErrTypeMismatch, a)
+	}
+}
+
+func cmpOrdered[T int64 | float64 | string](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// HashValue hashes one boxed value with FNV-1a, for hash joins and group-by.
+func HashValue(v any) uint64 {
+	h := fnv.New64a()
+	switch x := v.(type) {
+	case int64:
+		var buf [8]byte
+		putUint64(buf[:], uint64(x))
+		_, _ = h.Write(buf[:])
+	case float64:
+		var buf [8]byte
+		putUint64(buf[:], math.Float64bits(x))
+		_, _ = h.Write(buf[:])
+	case string:
+		_, _ = h.Write([]byte(x))
+	case bool:
+		if x {
+			_, _ = h.Write([]byte{1})
+		} else {
+			_, _ = h.Write([]byte{0})
+		}
+	}
+	return h.Sum64()
+}
+
+// HashRowKey hashes the values of the given columns of row r, combining the
+// per-column hashes so distinct key tuples rarely collide.
+func (b *Batch) HashRowKey(r int, cols []int) (uint64, error) {
+	const prime = 1099511628211
+	var acc uint64 = 14695981039346656037
+	for _, c := range cols {
+		v, err := b.Value(r, c)
+		if err != nil {
+			return 0, err
+		}
+		acc ^= HashValue(v)
+		acc *= prime
+	}
+	return acc, nil
+}
+
+// KeyString renders the key columns of row r as a canonical string usable as
+// a map key (exact, unlike a hash). The encoding quotes strings so that
+// adjacent values cannot alias.
+func (b *Batch) KeyString(r int, cols []int) (string, error) {
+	out := make([]byte, 0, 16*len(cols))
+	for _, c := range cols {
+		v, err := b.Value(r, c)
+		if err != nil {
+			return "", err
+		}
+		switch x := v.(type) {
+		case int64:
+			out = strconv.AppendInt(out, x, 10)
+		case float64:
+			out = strconv.AppendFloat(out, x, 'g', -1, 64)
+		case string:
+			out = strconv.AppendQuote(out, x)
+		case bool:
+			out = strconv.AppendBool(out, x)
+		}
+		out = append(out, '|')
+	}
+	return string(out), nil
+}
+
+// SortKey describes one ordering column for SortBy.
+type SortKey struct {
+	Col  string
+	Desc bool
+}
+
+// SortBy returns a new batch with rows ordered by the given keys
+// (lexicographically across keys). The sort is stable.
+func (b *Batch) SortBy(keys ...SortKey) (*Batch, error) {
+	type kc struct {
+		idx  int
+		desc bool
+	}
+	kcs := make([]kc, 0, len(keys))
+	for _, k := range keys {
+		i, err := b.schema.Index(k.Col)
+		if err != nil {
+			return nil, err
+		}
+		kcs = append(kcs, kc{idx: i, desc: k.Desc})
+	}
+	order := make([]int, b.rows)
+	for i := range order {
+		order[i] = i
+	}
+	var sortErr error
+	sort.SliceStable(order, func(x, y int) bool {
+		if sortErr != nil {
+			return false
+		}
+		rx, ry := order[x], order[y]
+		for _, k := range kcs {
+			vx, err := b.Value(rx, k.idx)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			vy, err := b.Value(ry, k.idx)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			c, err := CompareValues(vx, vy)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c != 0 {
+				if k.desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	if sortErr != nil {
+		return nil, sortErr
+	}
+	return b.Gather(order)
+}
+
+// FilterRows returns a new batch containing only rows where keep returns
+// true. keep receives the row index.
+func (b *Batch) FilterRows(keep func(row int) bool) (*Batch, error) {
+	idx := make([]int, 0, b.rows)
+	for i := 0; i < b.rows; i++ {
+		if keep(i) {
+			idx = append(idx, i)
+		}
+	}
+	return b.Gather(idx)
+}
+
+// FormatValue renders a boxed value for CSV output and debugging.
+func FormatValue(v any) string {
+	switch x := v.(type) {
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case string:
+		return x
+	case bool:
+		return strconv.FormatBool(x)
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// ParseValue parses the textual form of a value for the given column type,
+// the inverse of FormatValue.
+func ParseValue(t Type, s string) (any, error) {
+	switch t {
+	case Int64, Timestamp:
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q as %s: %v", ErrBadValue, s, t, err)
+		}
+		return v, nil
+	case Float64:
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q as %s: %v", ErrBadValue, s, t, err)
+		}
+		return v, nil
+	case String:
+		return s, nil
+	case Bool:
+		v, err := strconv.ParseBool(s)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q as %s: %v", ErrBadValue, s, t, err)
+		}
+		return v, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown type %d", ErrBadValue, int(t))
+	}
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

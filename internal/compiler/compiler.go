@@ -1,0 +1,312 @@
+// Package compiler implements the Polystore++ compiler (§IV-B): a frontend
+// that checks the heterogeneous program graph assembled by the EIDE, a core
+// that runs the L1 cross-engine optimizations of Figure 6 (migration
+// insertion, predicate/projection pushdown across engine boundaries,
+// filter+project fusion, dead-node elimination, accelerator kernel
+// selection), and a backend that lowers the optimized IR to a staged
+// execution plan for the middleware. L2 (engine-local planning, e.g. index
+// selection inside the relational engine) and L3 (implementation-level
+// choices, e.g. binary pipes vs CSV for migration) are controlled here as
+// options so experiments can ablate the levels.
+package compiler
+
+import (
+	"errors"
+	"fmt"
+
+	"polystorepp/internal/ir"
+	"polystorepp/internal/migrate"
+	"polystorepp/internal/relational"
+)
+
+// Sentinel errors.
+var (
+	ErrCompile = errors.New("compiler: compile")
+)
+
+// Options selects optimization behaviour.
+type Options struct {
+	// Level is the cumulative optimization level (Figure 6):
+	//   0 — no cross-engine optimization: operators run where written,
+	//       full intermediate results migrate.
+	//   1 — +L1: predicate/projection pushdown across engine boundaries,
+	//       filter+project fusion, dead-node elimination.
+	//   2 — +L2: engine-local optimizations (adapters may use indexes and
+	//       native physical plans).
+	//   3 — +L3: implementation-level choices (binary pipe migration,
+	//       vectorized kernels).
+	Level int
+	// Accel enables accelerator kernel selection (§IV-A-d): offloadable
+	// nodes are marked for runtime device choice.
+	Accel bool
+	// Transport overrides the migration transport; zero lets the level
+	// decide (CSV below L3, Pipe at L3).
+	Transport migrate.Transport
+}
+
+// Plan is the backend output: an optimized graph plus its stage schedule.
+type Plan struct {
+	Graph  *ir.Graph
+	Stages [][]ir.NodeID
+	Opts   Options
+}
+
+// Compile runs frontend checks, core passes, and the backend lowering.
+// The input graph is not mutated.
+func Compile(g *ir.Graph, opts Options) (*Plan, error) {
+	// Frontend: structural validation of the multi-subprogram graph.
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCompile, err)
+	}
+	work := g.Clone()
+
+	// Core (L1) passes.
+	if opts.Level >= 1 {
+		pushdownAcrossEngines(work)
+		fuseFilterProject(work)
+		eliminateDeadNodes(work)
+	}
+
+	// L2: engine-local physical planning — convert scan+filter pairs into
+	// index range scans where the predicate permits (the adapter falls back
+	// to a sequential scan when the engine has no matching index).
+	if opts.Level >= 2 {
+		selectIndexScans(work)
+	}
+
+	// Migration insertion: every cross-engine edge gets an explicit
+	// OpMigrate node carrying the transport choice (an L3 decision).
+	tr := opts.Transport
+	if tr == 0 {
+		if opts.Level >= 3 {
+			tr = migrate.Pipe
+		} else {
+			tr = migrate.CSV
+		}
+	}
+	insertMigrations(work, tr)
+
+	// Kernel selection: mark offloadable nodes for runtime device choice.
+	if opts.Accel {
+		markOffloadable(work)
+	}
+
+	if err := work.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: post-pass validation: %v", ErrCompile, err)
+	}
+	stages, err := work.Stages()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCompile, err)
+	}
+	return &Plan{Graph: work, Stages: stages, Opts: opts}, nil
+}
+
+// pushdownAcrossEngines moves Filter and Project nodes that consume a
+// producer on a different engine onto the producer's engine, so the data
+// shrinks before it crosses the boundary (§III-A2: filter/project at the
+// source; the classic polystore L1 optimization).
+func pushdownAcrossEngines(g *ir.Graph) {
+	changed := true
+	for changed {
+		changed = false
+		for _, n := range g.Nodes() {
+			if n.Kind != ir.OpFilter && n.Kind != ir.OpProject {
+				continue
+			}
+			if len(n.Inputs) != 1 {
+				continue
+			}
+			prod, err := g.Node(n.Inputs[0])
+			if err != nil {
+				continue
+			}
+			// Only push down onto relational producers: the predicate and
+			// projection expressions are relational-engine constructs.
+			if prod.Engine == n.Engine || !relationalKind(prod.Kind) {
+				continue
+			}
+			// The producer must have no other consumers, otherwise the
+			// pushdown would change their inputs.
+			if len(g.Consumers(prod.ID)) != 1 {
+				continue
+			}
+			n.Engine = prod.Engine
+			changed = true
+		}
+	}
+}
+
+func relationalKind(k ir.OpKind) bool {
+	switch k {
+	case ir.OpScan, ir.OpIndexScan, ir.OpFilter, ir.OpProject, ir.OpHashJoin,
+		ir.OpMergeJoin, ir.OpSort, ir.OpGroupBy, ir.OpLimit, ir.OpSQL:
+		return true
+	default:
+		return false
+	}
+}
+
+// fuseFilterProject marks Project nodes directly over a Filter on the same
+// engine as fused: the adapter pipeline then performs both in one pass over
+// the data (operator fusion, the Weld-style L1 optimization of §II-A).
+func fuseFilterProject(g *ir.Graph) {
+	for _, n := range g.Nodes() {
+		if n.Kind != ir.OpProject || len(n.Inputs) != 1 {
+			continue
+		}
+		in, err := g.Node(n.Inputs[0])
+		if err != nil || in.Kind != ir.OpFilter || in.Engine != n.Engine {
+			continue
+		}
+		n.Attrs["fused_with_filter"] = true
+		in.Attrs["fused_into_project"] = true
+	}
+}
+
+// eliminateDeadNodes removes nodes that reach no sink consumer transitively
+// needed by a sink. (All sinks are live by definition.)
+func eliminateDeadNodes(g *ir.Graph) {
+	live := make(map[ir.NodeID]bool)
+	var mark func(id ir.NodeID)
+	mark = func(id ir.NodeID) {
+		if live[id] {
+			return
+		}
+		live[id] = true
+		n, err := g.Node(id)
+		if err != nil {
+			return
+		}
+		for _, in := range n.Inputs {
+			mark(in)
+		}
+	}
+	for _, s := range g.Sinks() {
+		mark(s)
+	}
+	for _, n := range g.Nodes() {
+		if !live[n.ID] {
+			g.Remove(n.ID)
+		}
+	}
+}
+
+// insertMigrations adds an explicit OpMigrate node on every edge whose
+// producer and consumer run on different engines. Model-producing edges
+// (Train -> Predict) do not migrate: the model is middleware state.
+func insertMigrations(g *ir.Graph, tr migrate.Transport) {
+	for _, n := range g.Nodes() {
+		if n.Kind == ir.OpMigrate {
+			continue
+		}
+		for i, inID := range n.Inputs {
+			prod, err := g.Node(inID)
+			if err != nil || prod.Kind == ir.OpMigrate {
+				continue
+			}
+			if prod.Engine == n.Engine {
+				continue
+			}
+			if prod.Kind == ir.OpTrain {
+				continue // models move by reference through the middleware
+			}
+			mig := g.Add(ir.OpMigrate, "", map[string]any{
+				"transport": int64(tr),
+				"from":      prod.Engine,
+				"to":        n.Engine,
+			}, inID)
+			n.Inputs[i] = mig
+		}
+	}
+}
+
+// offloadableKinds maps IR kinds whose dominant kernels have accelerator
+// implementations; the runtime picks the device by cost (LogCA-style
+// break-even) when a node carries Device="auto".
+var offloadableKinds = map[ir.OpKind]bool{
+	ir.OpFilter: true, ir.OpProject: true, ir.OpSort: true,
+	ir.OpHashJoin: true, ir.OpMergeJoin: true, ir.OpGroupBy: true,
+	ir.OpTrain: true, ir.OpPredict: true, ir.OpKMeans: true, ir.OpGEMM: true,
+	ir.OpTSWindow: true, ir.OpStreamWindow: true, ir.OpMigrate: true,
+}
+
+// markOffloadable pins Device="auto" on nodes the runtime may offload.
+func markOffloadable(g *ir.Graph) {
+	for _, n := range g.Nodes() {
+		if n.Device == "" && offloadableKinds[n.Kind] {
+			n.Device = "auto"
+		}
+	}
+}
+
+// selectIndexScans rewrites Scan feeding a Filter (same engine) into an
+// IndexScan when the filter contains a simple integer comparison — the L2
+// engine-local access-path choice of Figure 6. The filter is kept as a
+// residual predicate, so over-approximation is safe.
+func selectIndexScans(g *ir.Graph) {
+	for _, n := range g.Nodes() {
+		if n.Kind != ir.OpFilter || len(n.Inputs) != 1 {
+			continue
+		}
+		scan, err := g.Node(n.Inputs[0])
+		if err != nil || scan.Kind != ir.OpScan || scan.Engine != n.Engine {
+			continue
+		}
+		pred, ok := n.Attrs["pred"].(relational.Expr)
+		if !ok {
+			continue
+		}
+		col, lo, hi, ok := rangeOfPred(pred)
+		if !ok {
+			continue
+		}
+		scan.Kind = ir.OpIndexScan
+		scan.Attrs["col"] = col
+		scan.Attrs["lo"] = lo
+		scan.Attrs["hi"] = hi
+	}
+}
+
+// rangeOfPred extracts a (col, lo, hi) range from a simple comparison
+// conjunct, mirroring the relational engine's own planner.
+func rangeOfPred(e relational.Expr) (string, int64, int64, bool) {
+	const minI, maxI = int64(-1) << 62, int64(1) << 62
+	conj := e
+	for {
+		b, ok := conj.(relational.Bin)
+		if !ok {
+			return "", 0, 0, false
+		}
+		if b.Op == relational.OpAnd {
+			// Try the left conjunct first, then the right.
+			if c, lo, hi, ok := rangeOfPred(b.L); ok {
+				return c, lo, hi, ok
+			}
+			conj = b.R
+			continue
+		}
+		col, cok := b.L.(relational.ColRef)
+		lit, lok := b.R.(relational.Const)
+		if !cok || !lok {
+			return "", 0, 0, false
+		}
+		v, vok := lit.V.(int64)
+		if !vok {
+			return "", 0, 0, false
+		}
+		switch b.Op {
+		case relational.OpEq:
+			return col.Name, v, v, true
+		case relational.OpLt:
+			return col.Name, minI, v - 1, true
+		case relational.OpLe:
+			return col.Name, minI, v, true
+		case relational.OpGt:
+			return col.Name, v + 1, maxI, true
+		case relational.OpGe:
+			return col.Name, v, maxI, true
+		default:
+			return "", 0, 0, false
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package compiler
+
+import (
+	"errors"
+	"testing"
+
+	"polystorepp/internal/ir"
+	"polystorepp/internal/migrate"
+	"polystorepp/internal/relational"
+)
+
+// crossEngineGraph: scan(db) -> filter(ml) -> kmeans(ml).
+func crossEngineGraph() *ir.Graph {
+	g := ir.NewGraph()
+	scan := g.Add(ir.OpScan, "db", map[string]any{"table": "t"})
+	filt := g.Add(ir.OpFilter, "ml", map[string]any{
+		"pred": relational.Bin{Op: relational.OpGt, L: relational.ColRef{Name: "x"}, R: relational.Const{V: int64(5)}},
+	}, scan)
+	g.Add(ir.OpKMeans, "ml", map[string]any{"cols": []string{"x"}, "k": int64(2), "iters": int64(3)}, filt)
+	return g
+}
+
+func countKind(g *ir.Graph, k ir.OpKind) int {
+	n := 0
+	for _, nd := range g.Nodes() {
+		if nd.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCompileInsertsMigrations(t *testing.T) {
+	plan, err := Compile(crossEngineGraph(), Options{Level: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countKind(plan.Graph, ir.OpMigrate); got != 1 {
+		t.Fatalf("migrations = %d, want 1 (scan->filter edge)", got)
+	}
+	// L0 leaves the filter on ml: migration carries the unfiltered scan.
+	for _, n := range plan.Graph.Nodes() {
+		if n.Kind == ir.OpFilter && n.Engine != "ml" {
+			t.Fatal("L0 must not push the filter down")
+		}
+	}
+}
+
+func TestL1PushdownMovesFilter(t *testing.T) {
+	plan, err := Compile(crossEngineGraph(), Options{Level: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range plan.Graph.Nodes() {
+		if n.Kind == ir.OpFilter && n.Engine != "db" {
+			t.Fatalf("filter not pushed down: engine=%s", n.Engine)
+		}
+	}
+	// Migration now sits after the filter.
+	for _, n := range plan.Graph.Nodes() {
+		if n.Kind == ir.OpMigrate {
+			in := plan.Graph.MustNode(n.Inputs[0])
+			if in.Kind != ir.OpFilter {
+				t.Fatalf("migrate input is %s, want filter", in.Kind)
+			}
+		}
+	}
+}
+
+func TestL2SelectsIndexScan(t *testing.T) {
+	plan, err := Compile(crossEngineGraph(), Options{Level: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countKind(plan.Graph, ir.OpIndexScan); got != 1 {
+		t.Fatalf("index scans = %d, want 1:\n%s", got, plan.Graph)
+	}
+	for _, n := range plan.Graph.Nodes() {
+		if n.Kind == ir.OpIndexScan {
+			if n.StringAttr("col") != "x" || n.IntAttr("lo") != 6 {
+				t.Fatalf("index range wrong: col=%s lo=%d", n.StringAttr("col"), n.IntAttr("lo"))
+			}
+		}
+	}
+}
+
+func TestTransportByLevel(t *testing.T) {
+	p0, err := Compile(crossEngineGraph(), Options{Level: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := Compile(crossEngineGraph(), Options{Level: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trOf := func(p *Plan) migrate.Transport {
+		for _, n := range p.Graph.Nodes() {
+			if n.Kind == ir.OpMigrate {
+				return migrate.Transport(n.IntAttr("transport"))
+			}
+		}
+		return 0
+	}
+	if trOf(p0) != migrate.CSV || trOf(p3) != migrate.Pipe {
+		t.Fatalf("transports = %v / %v", trOf(p0), trOf(p3))
+	}
+	// Explicit override wins.
+	pr, err := Compile(crossEngineGraph(), Options{Level: 0, Transport: migrate.RDMA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trOf(pr) != migrate.RDMA {
+		t.Fatalf("override transport = %v", trOf(pr))
+	}
+}
+
+func TestAccelMarksDevices(t *testing.T) {
+	plan, err := Compile(crossEngineGraph(), Options{Level: 3, Accel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	marked := 0
+	for _, n := range plan.Graph.Nodes() {
+		if n.Device == "auto" {
+			marked++
+		}
+	}
+	if marked == 0 {
+		t.Fatal("no nodes marked for offload")
+	}
+	plain, err := Compile(crossEngineGraph(), Options{Level: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range plain.Graph.Nodes() {
+		if n.Device == "auto" {
+			t.Fatal("offload marked without Accel option")
+		}
+	}
+}
+
+func TestDeadNodeElimination(t *testing.T) {
+	g := crossEngineGraph()
+	// A disconnected orphan consumed by nothing... is itself a sink, so add
+	// a node whose only consumer is removed: simulate by removing the sink
+	// and leaving its input dangling is invalid; instead check fusion marks.
+	scan := g.Add(ir.OpScan, "db", map[string]any{"table": "t2"})
+	filt := g.Add(ir.OpFilter, "db", map[string]any{"pred": relational.Const{V: true}}, scan)
+	g.Add(ir.OpProject, "db", map[string]any{"items": []relational.ProjItem{}}, filt)
+	plan, err := Compile(g, Options{Level: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The filter+project pair on the same engine gets fusion marks.
+	fused := false
+	for _, n := range plan.Graph.Nodes() {
+		if n.Kind == ir.OpProject && n.Attr("fused_with_filter") == true {
+			fused = true
+		}
+	}
+	if !fused {
+		t.Fatal("filter+project not fused")
+	}
+}
+
+func TestCompileRejectsInvalidGraph(t *testing.T) {
+	g := ir.NewGraph()
+	g.Add(ir.OpFilter, "db", nil, ir.NodeID(99))
+	if _, err := Compile(g, Options{}); !errors.Is(err, ErrCompile) {
+		t.Fatalf("invalid graph: %v", err)
+	}
+}
+
+func TestCompileDoesNotMutateInput(t *testing.T) {
+	g := crossEngineGraph()
+	before := g.String()
+	if _, err := Compile(g, Options{Level: 3, Accel: true}); err != nil {
+		t.Fatal(err)
+	}
+	if g.String() != before {
+		t.Fatal("Compile mutated its input graph")
+	}
+}
+
+func TestRangeOfPred(t *testing.T) {
+	mk := func(op relational.BinOp, v int64) relational.Expr {
+		return relational.Bin{Op: op, L: relational.ColRef{Name: "c"}, R: relational.Const{V: v}}
+	}
+	for _, tc := range []struct {
+		e      relational.Expr
+		lo, hi int64
+		ok     bool
+	}{
+		{mk(relational.OpEq, 5), 5, 5, true},
+		{mk(relational.OpLt, 5), -1 << 62, 4, true},
+		{mk(relational.OpLe, 5), -1 << 62, 5, true},
+		{mk(relational.OpGt, 5), 6, 1 << 62, true},
+		{mk(relational.OpGe, 5), 5, 1 << 62, true},
+		{relational.Bin{Op: relational.OpAnd, L: mk(relational.OpGe, 3), R: relational.Const{V: true}}, 3, 1 << 62, true},
+		{relational.Const{V: true}, 0, 0, false},
+		{relational.Bin{Op: relational.OpEq, L: relational.ColRef{Name: "c"}, R: relational.Const{V: "s"}}, 0, 0, false},
+	} {
+		col, lo, hi, ok := rangeOfPred(tc.e)
+		if ok != tc.ok {
+			t.Fatalf("%v: ok=%v", tc.e, ok)
+		}
+		if ok && (col != "c" || lo != tc.lo || hi != tc.hi) {
+			t.Fatalf("%v: got (%s,%d,%d)", tc.e, col, lo, hi)
+		}
+	}
+}

@@ -1,0 +1,377 @@
+// Package core implements the Polystore++ middleware (Figure 4): the
+// runtime that executes compiled plans across data-processing engines and
+// hardware accelerators. It owns the executor (stage-ordered node
+// execution, §IV-D), the runtime optimizer's device selection (LogCA-style
+// cost comparison per kernel call), the data migrator invocation on
+// cross-engine edges, and the runtime-statistics registry the paper calls
+// out as a prerequisite for optimization (§IV-D-d).
+//
+// Simulated time is scheduled explicitly: each node starts when its inputs
+// have finished and its device is free, so the report's end-to-end latency
+// reflects DAG parallelism and device contention rather than host wall
+// time.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"polystorepp/internal/adapter"
+	"polystorepp/internal/cast"
+	"polystorepp/internal/compiler"
+	"polystorepp/internal/hw"
+	"polystorepp/internal/ir"
+	"polystorepp/internal/metrics"
+	"polystorepp/internal/migrate"
+)
+
+// Sentinel errors.
+var (
+	ErrNoAdapter = errors.New("core: no adapter for engine")
+	ErrExec      = errors.New("core: execution")
+)
+
+// Runtime executes compiled plans. Construct with NewRuntime; register one
+// adapter per engine instance.
+type Runtime struct {
+	adapters map[string]adapter.Adapter
+	host     *hw.Device
+	accels   []*hw.Device
+	mode     hw.Mode
+	migrator *migrate.Migrator
+	reg      *metrics.Registry
+}
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithAccelerators attaches accelerator devices in the given deployment
+// mode; the runtime offloads kernels to them when profitable.
+func WithAccelerators(mode hw.Mode, devices ...*hw.Device) Option {
+	return func(r *Runtime) {
+		r.mode = mode
+		r.accels = append(r.accels, devices...)
+	}
+}
+
+// WithMigrator overrides the default migrator.
+func WithMigrator(m *migrate.Migrator) Option {
+	return func(r *Runtime) { r.migrator = m }
+}
+
+// NewRuntime returns a runtime with the given host CPU model.
+func NewRuntime(host *hw.Device, opts ...Option) *Runtime {
+	r := &Runtime{
+		adapters: make(map[string]adapter.Adapter),
+		host:     host,
+		mode:     hw.Coprocessor,
+		reg:      metrics.NewRegistry(),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	if r.migrator == nil {
+		r.migrator = migrate.New(host, hw.NewRDMANIC())
+	}
+	r.preloadKernels()
+	return r
+}
+
+// preloadKernels loads the deployment's standing kernel library onto the
+// reconfigurable devices (the "configuration parameters" of Figure 4:
+// bitstreams are synthesized offline and loaded at deployment, so steady
+// state pays no reconfiguration). Kernels that do not fit the area budget
+// are simply not preloaded; a later Offload may still swap them in.
+func (r *Runtime) preloadKernels() {
+	fpgaSet := []hw.KernelClass{
+		hw.KSort, hw.KFilter, hw.KProject, hw.KSerialize, hw.KDeserialize, hw.KWindowAgg,
+	}
+	cgraSet := []hw.KernelClass{
+		hw.KSort, hw.KFilter, hw.KProject, hw.KGEMM, hw.KGEMV, hw.KWindowAgg, hw.KKMeansAssign,
+	}
+	for _, d := range r.accels {
+		var set []hw.KernelClass
+		switch d.Kind {
+		case hw.FPGA:
+			set = fpgaSet
+		case hw.CGRA:
+			set = cgraSet
+		default:
+			continue
+		}
+		for _, k := range set {
+			// Best effort: budget overruns just leave the kernel unloaded.
+			_, _ = d.ConfigureKernel(k.String(), hw.LUTCost(k))
+		}
+	}
+}
+
+// Register adds an adapter for its engine name.
+func (r *Runtime) Register(a adapter.Adapter) {
+	r.adapters[a.Engine()] = a
+}
+
+// Metrics returns the runtime-statistics registry.
+func (r *Runtime) Metrics() *metrics.Registry { return r.reg }
+
+// NodeReport records one node's execution.
+type NodeReport struct {
+	Node    ir.NodeID
+	Kind    ir.OpKind
+	Engine  string
+	Device  string
+	Native  string
+	RowsIn  int64
+	RowsOut int64
+	Wall    time.Duration
+	Sim     hw.Cost
+	// Start/Finish are simulated times on the global clock.
+	Start, Finish float64
+}
+
+// Report is the execution outcome of a plan.
+type Report struct {
+	Nodes []NodeReport
+	// Latency is the simulated end-to-end latency (max sink finish time).
+	Latency float64
+	// Energy is the total simulated energy across devices.
+	Energy float64
+	// Wall is the measured host execution time.
+	Wall time.Duration
+	// Migrations counts cross-engine transfers; MigratedBytes their volume.
+	Migrations    int
+	MigratedBytes int64
+}
+
+// String renders a compact per-node table.
+func (rep *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "latency=%.6fs energy=%.3fJ wall=%s migrations=%d (%d bytes)\n",
+		rep.Latency, rep.Energy, rep.Wall, rep.Migrations, rep.MigratedBytes)
+	for _, n := range rep.Nodes {
+		fmt.Fprintf(&sb, "  %3d %-14s %-10s dev=%-14s rows=%d->%d sim=%.6fs %s\n",
+			n.Node, n.Kind, n.Engine, n.Device, n.RowsIn, n.RowsOut, n.Sim.Seconds, n.Native)
+	}
+	return sb.String()
+}
+
+// Results holds the sink outputs of a plan keyed by node id.
+type Results struct {
+	Values map[ir.NodeID]adapter.Value
+	Sinks  []ir.NodeID
+}
+
+// First returns the first sink's value (plans with one output).
+func (res *Results) First() adapter.Value {
+	if len(res.Sinks) == 0 {
+		return adapter.Value{}
+	}
+	return res.Values[res.Sinks[0]]
+}
+
+// Execute runs the plan and returns its sink values and the report.
+func (r *Runtime) Execute(ctx context.Context, plan *compiler.Plan) (*Results, *Report, error) {
+	t0 := time.Now()
+	g := plan.Graph
+	values := make(map[ir.NodeID]adapter.Value, g.Len())
+	finish := make(map[ir.NodeID]float64, g.Len())
+	devFree := make(map[*hw.Device]float64)
+	rep := &Report{}
+
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrExec, err)
+	}
+	for _, id := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		n := g.MustNode(id)
+		inputs := make([]adapter.Value, len(n.Inputs))
+		start := 0.0
+		for i, in := range n.Inputs {
+			inputs[i] = values[in]
+			if finish[in] > start {
+				start = finish[in]
+			}
+		}
+		nr, out, err := r.executeNode(ctx, plan, n, inputs, start, devFree, rep)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: node %d (%s): %w", ErrExec, id, n.Kind, err)
+		}
+		values[id] = out
+		finish[id] = nr.Finish
+		rep.Nodes = append(rep.Nodes, nr)
+		rep.Energy += nr.Sim.Joules
+		r.reg.Counter("core.nodes").Inc()
+		r.reg.Timer("core.node." + n.Kind.String()).Observe(nr.Wall)
+	}
+	sinks := g.Sinks()
+	for _, s := range sinks {
+		if finish[s] > rep.Latency {
+			rep.Latency = finish[s]
+		}
+	}
+	rep.Wall = time.Since(t0)
+	sort.Slice(rep.Nodes, func(i, j int) bool { return rep.Nodes[i].Node < rep.Nodes[j].Node })
+	return &Results{Values: values, Sinks: sinks}, rep, nil
+}
+
+// executeNode runs one node, charges simulated cost, and schedules it on
+// the simulated clock.
+func (r *Runtime) executeNode(ctx context.Context, plan *compiler.Plan, n *ir.Node, inputs []adapter.Value, start float64, devFree map[*hw.Device]float64, rep *Report) (NodeReport, adapter.Value, error) {
+	nr := NodeReport{Node: n.ID, Kind: n.Kind, Engine: n.Engine, Start: start}
+	t0 := time.Now()
+
+	if n.Kind == ir.OpMigrate {
+		out, bd, err := r.executeMigrate(ctx, n, inputs)
+		if err != nil {
+			return nr, adapter.Value{}, err
+		}
+		rep.Migrations++
+		rep.MigratedBytes += bd.WireBytes
+		nr.Wall = time.Since(t0)
+		nr.Sim = bd.Sim
+		nr.Device = "dm/" + migrate.Transport(n.IntAttr("transport")).String()
+		nr.Native = fmt.Sprintf("Migrate(%s->%s, %s)", n.StringAttr("from"), n.StringAttr("to"), migrate.Transport(n.IntAttr("transport")))
+		nr.RowsIn = int64(out.Rows())
+		nr.RowsOut = int64(out.Rows())
+		nr.Finish = start + bd.Sim.Seconds
+		r.reg.Counter("core.migrations").Inc()
+		return nr, adapter.Value{Batch: out}, nil
+	}
+
+	a, ok := r.adapters[n.Engine]
+	if !ok {
+		return nr, adapter.Value{}, fmt.Errorf("%w: %q", ErrNoAdapter, n.Engine)
+	}
+	out, info, err := a.Execute(ctx, n, inputs)
+	if err != nil {
+		return nr, adapter.Value{}, err
+	}
+	nr.Wall = time.Since(t0)
+	nr.Native = info.Native
+	nr.RowsIn = info.RowsIn
+	nr.RowsOut = info.RowsOut
+	r.reg.Counter("core.rule_nodes").Add(info.RuleNodes)
+
+	// Cost the kernel calls, choosing devices at runtime (§IV-D-a: "IR
+	// mapping to local accelerators ... will ultimately depend on runtime
+	// environment and data-dependent analyses").
+	clock := start
+	devices := map[string]bool{}
+	for _, call := range info.Kernels {
+		dev, cost, err := r.chargeKernel(n, call)
+		if err != nil {
+			return nr, adapter.Value{}, err
+		}
+		devStart := clock
+		if devFree[dev] > devStart {
+			devStart = devFree[dev]
+		}
+		clock = devStart + cost.Seconds
+		devFree[dev] = clock
+		nr.Sim = nr.Sim.AddSeq(cost)
+		devices[dev.Name] = true
+	}
+	names := make([]string, 0, len(devices))
+	for d := range devices {
+		names = append(names, d)
+	}
+	sort.Strings(names)
+	nr.Device = strings.Join(names, "+")
+	if nr.Device == "" {
+		nr.Device = r.host.Name
+	}
+	nr.Finish = clock
+	return nr, out, nil
+}
+
+// chargeKernel selects the device for one kernel call (honoring the node's
+// Device annotation) and charges the cost to it.
+func (r *Runtime) chargeKernel(n *ir.Node, call adapter.KernelCall) (*hw.Device, hw.Cost, error) {
+	if n.Device != "auto" || len(r.accels) == 0 {
+		c, err := r.host.HostCost(call.Class, call.Work)
+		if err != nil {
+			// Host can't model this kernel: fall back to zero cost rather
+			// than failing the query.
+			return r.host, hw.Zero, nil
+		}
+		return r.host, c, nil
+	}
+	// Runtime device choice: estimate end-to-end cost on the host and on
+	// every accelerator supporting the kernel, pick the cheapest, charge it.
+	bestDev := r.host
+	bestCost, err := r.host.KernelCost(call.Class, call.Work)
+	if err != nil {
+		bestCost = hw.Zero
+	}
+	offload := false
+	for _, d := range r.accels {
+		est, err := estimateOffload(d, r.mode, call)
+		if err != nil {
+			continue
+		}
+		if est.Seconds < bestCost.Seconds {
+			bestDev, bestCost, offload = d, est, true
+		}
+	}
+	if !offload {
+		c, err := r.host.HostCost(call.Class, call.Work)
+		if err != nil {
+			return r.host, hw.Zero, nil
+		}
+		return r.host, c, nil
+	}
+	c, err := bestDev.Offload(r.mode, call.Class, call.Work, call.OutBytes)
+	if err != nil {
+		// Offload refused (e.g. area budget): run on the host instead.
+		hc, herr := r.host.HostCost(call.Class, call.Work)
+		if herr != nil {
+			return r.host, hw.Zero, nil
+		}
+		return r.host, hc, nil
+	}
+	r.reg.Counter("core.offloads." + bestDev.Name).Inc()
+	return bestDev, c, nil
+}
+
+// estimateOffload predicts offload cost without mutating device state
+// (reconfiguration is only counted if the kernel is not already loaded).
+func estimateOffload(d *hw.Device, mode hw.Mode, call adapter.KernelCall) (hw.Cost, error) {
+	kc, err := d.KernelCost(call.Class, call.Work)
+	if err != nil {
+		return hw.Zero, err
+	}
+	total := kc
+	if (d.Kind == hw.FPGA || d.Kind == hw.CGRA) && !d.HasKernel(call.Class.String()) {
+		total = total.AddSeq(hw.Cost{Seconds: d.ReconfigSeconds})
+	}
+	switch mode {
+	case hw.Coprocessor:
+		total = total.AddSeq(d.TransferCost(call.Work.Bytes)).AddSeq(d.TransferCost(call.OutBytes))
+	case hw.BumpInTheWire:
+		line := d.TransferCost(call.Work.Bytes)
+		if line.Seconds > kc.Seconds {
+			total = line
+		}
+	}
+	return total, nil
+}
+
+// executeMigrate moves the single tabular input across engines.
+func (r *Runtime) executeMigrate(ctx context.Context, n *ir.Node, inputs []adapter.Value) (*cast.Batch, migrate.Breakdown, error) {
+	if len(inputs) != 1 || inputs[0].Batch == nil {
+		return nil, migrate.Breakdown{}, fmt.Errorf("%w: migrate wants one tabular input", ErrExec)
+	}
+	tr := migrate.Transport(n.IntAttr("transport"))
+	out, bd, err := r.migrator.Migrate(ctx, inputs[0].Batch, tr)
+	if err != nil {
+		return nil, bd, err
+	}
+	return out, bd, nil
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"polystorepp/internal/adapter"
+	"polystorepp/internal/cast"
+	"polystorepp/internal/compiler"
+	"polystorepp/internal/hw"
+	"polystorepp/internal/ir"
+	"polystorepp/internal/relational"
+)
+
+func testStore(t testing.TB, rows int) *relational.Store {
+	t.Helper()
+	s := relational.NewStore("db")
+	schema := cast.MustSchema(
+		cast.Column{Name: "id", Type: cast.Int64},
+		cast.Column{Name: "v", Type: cast.Int64},
+	)
+	tb, err := s.CreateTable("t", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	b := cast.NewBatch(schema, rows)
+	for i := 0; i < rows; i++ {
+		if err := b.AppendRow(int64(i), rng.Int63n(1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tb.InsertBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testRuntime(t testing.TB, rows int, accel bool) *Runtime {
+	t.Helper()
+	var opts []Option
+	if accel {
+		opts = append(opts, WithAccelerators(hw.Coprocessor, hw.NewFPGA(), hw.NewGPU()))
+	}
+	rt := NewRuntime(hw.NewHostCPU(), opts...)
+	rt.Register(adapter.NewRelational("db", relational.NewEngine(testStore(t, rows))))
+	rt.Register(adapter.NewML("ml", 1))
+	return rt
+}
+
+func sortProgram() *ir.Graph {
+	g := ir.NewGraph()
+	scan := g.Add(ir.OpScan, "db", map[string]any{"table": "t"})
+	g.Add(ir.OpSort, "db", map[string]any{
+		"order_by": []relational.OrderItem{{Col: "v"}},
+	}, scan)
+	return g
+}
+
+func TestExecuteSimplePlan(t *testing.T) {
+	rt := testRuntime(t, 1000, false)
+	plan, err := compiler.Compile(sortProgram(), compiler.Options{Level: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rep, err := rt.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.First().Batch
+	if out == nil || out.Rows() != 1000 {
+		t.Fatalf("rows = %v", out)
+	}
+	vs, _ := out.Ints(1)
+	for i := 1; i < len(vs); i++ {
+		if vs[i-1] > vs[i] {
+			t.Fatal("not sorted")
+		}
+	}
+	if rep.Latency <= 0 || len(rep.Nodes) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "sort") {
+		t.Fatal("report render missing sort")
+	}
+}
+
+func TestMissingAdapter(t *testing.T) {
+	rt := testRuntime(t, 10, false)
+	g := ir.NewGraph()
+	g.Add(ir.OpScan, "ghost", map[string]any{"table": "t"})
+	plan, err := compiler.Compile(g, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rt.Execute(context.Background(), plan); !errors.Is(err, ErrNoAdapter) {
+		t.Fatalf("missing adapter: %v", err)
+	}
+}
+
+func TestOffloadCountsInMetrics(t *testing.T) {
+	// Attach only the FPGA so the winning device is deterministic.
+	rt := NewRuntime(hw.NewHostCPU(), WithAccelerators(hw.Coprocessor, hw.NewFPGA()))
+	rt.Register(adapter.NewRelational("db", relational.NewEngine(testStore(t, 400_000))))
+	plan, err := compiler.Compile(sortProgram(), compiler.Options{Level: 3, Accel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rt.Execute(context.Background(), plan); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Metrics().Counter("core.offloads.fpga-stratix").Value() == 0 {
+		t.Fatalf("expected FPGA offloads; metrics:\n%s", rt.Metrics().Dump())
+	}
+}
+
+func TestSmallWorkStaysOnHost(t *testing.T) {
+	rt := testRuntime(t, 64, true)
+	plan, err := compiler.Compile(sortProgram(), compiler.Options{Level: 3, Accel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := rt.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range rep.Nodes {
+		if n.Kind == ir.OpSort && n.Device != "cpu-server" {
+			t.Fatalf("64-row sort offloaded to %s", n.Device)
+		}
+	}
+}
+
+func TestMigrationNodeExecution(t *testing.T) {
+	rt := testRuntime(t, 2000, false)
+	g := ir.NewGraph()
+	scan := g.Add(ir.OpScan, "db", map[string]any{"table": "t"})
+	g.Add(ir.OpKMeans, "ml", map[string]any{
+		"cols": []string{"v"}, "k": int64(2), "iters": int64(3),
+	}, scan)
+	plan, err := compiler.Compile(g, compiler.Options{Level: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rep, err := rt.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Migrations != 1 || rep.MigratedBytes <= 0 {
+		t.Fatalf("migrations = %d (%d bytes)", rep.Migrations, rep.MigratedBytes)
+	}
+	if res.First().Batch == nil || res.First().Batch.Rows() != 2000 {
+		t.Fatal("kmeans output wrong")
+	}
+}
+
+func TestSimulatedSchedulingRespectsDependencies(t *testing.T) {
+	rt := testRuntime(t, 5000, false)
+	plan, err := compiler.Compile(sortProgram(), compiler.Options{Level: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := rt.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[ir.NodeID]NodeReport{}
+	for _, n := range rep.Nodes {
+		byID[n.Node] = n
+	}
+	for _, n := range plan.Graph.Nodes() {
+		for _, in := range n.Inputs {
+			if byID[n.ID].Start+1e-15 < byID[in].Finish {
+				t.Fatalf("node %d started (%v) before input %d finished (%v)",
+					n.ID, byID[n.ID].Start, in, byID[in].Finish)
+			}
+		}
+	}
+}
+
+func TestExecuteHonorsContext(t *testing.T) {
+	rt := testRuntime(t, 10, false)
+	plan, err := compiler.Compile(sortProgram(), compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := rt.Execute(ctx, plan); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled: %v", err)
+	}
+}
+
+func TestResultsFirstEmpty(t *testing.T) {
+	var res Results
+	if res.First().Batch != nil {
+		t.Fatal("empty Results.First should be zero")
+	}
+}

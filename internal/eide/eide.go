@@ -1,0 +1,333 @@
+// Package eide is the Expressive Integrated Development Environment of
+// Polystore++ (§III, §IV-A): the programming surface where users assemble
+// heterogeneous programs from sub-programs in different paradigms — SQL for
+// relational stores, a Cypher-ish pattern language for graph stores, method
+// calls for timeseries/stream/text/ML work — and get back one annotated
+// data-flow graph (the IR of Figure 5) for the compiler.
+package eide
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"strings"
+
+	"polystorepp/internal/ir"
+	"polystorepp/internal/relational"
+)
+
+// Sentinel errors.
+var (
+	ErrFrontend = errors.New("eide: frontend")
+)
+
+// Program is a heterogeneous program under construction. The zero value is
+// not usable; construct with NewProgram.
+type Program struct {
+	g *ir.Graph
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program { return &Program{g: ir.NewGraph()} }
+
+// Graph returns the program's IR graph.
+func (p *Program) Graph() *ir.Graph { return p.g }
+
+// SQL adds a relational sub-program on the named engine. The statement is
+// parsed here (inter-subprogram checks happen in the compiler frontend) and
+// expanded into fine-grained IR operators so the optimizer can move them
+// across engine boundaries (§IV-B2).
+func (p *Program) SQL(engine, sql string) (ir.NodeID, error) {
+	stmt, err := relational.Parse(sql)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrFrontend, err)
+	}
+	return p.expandSelect(engine, stmt)
+}
+
+func (p *Program) expandSelect(engine string, stmt *relational.SelectStmt) (ir.NodeID, error) {
+	cur := p.g.Add(ir.OpScan, engine, map[string]any{"table": stmt.From})
+	for _, jc := range stmt.Joins {
+		rightScan := p.g.Add(ir.OpScan, engine, map[string]any{"table": jc.Table})
+		cur = p.g.Add(ir.OpHashJoin, engine, map[string]any{
+			"left_col": jc.LeftCol, "right_col": jc.RightCol,
+		}, cur, rightScan)
+	}
+	if stmt.Where != nil {
+		cur = p.g.Add(ir.OpFilter, engine, map[string]any{"pred": stmt.Where}, cur)
+	}
+	hasAgg := false
+	for _, it := range stmt.Items {
+		if it.Agg != nil {
+			hasAgg = true
+		}
+	}
+	switch {
+	case hasAgg || len(stmt.GroupBy) > 0:
+		var aggs []relational.AggSpec
+		for _, it := range stmt.Items {
+			if it.Agg != nil {
+				aggs = append(aggs, *it.Agg)
+			}
+		}
+		cur = p.g.Add(ir.OpGroupBy, engine, map[string]any{
+			"group_cols": append([]string(nil), stmt.GroupBy...),
+			"aggs":       aggs,
+		}, cur)
+		// Re-project to the select list so aliases and ordering hold (the
+		// group-by operator emits group columns under their source names).
+		items := make([]relational.ProjItem, 0, len(stmt.Items))
+		rename := false
+		for _, it := range stmt.Items {
+			if it.Agg != nil {
+				items = append(items, relational.ProjItem{E: relational.ColRef{Name: it.Agg.As}, Name: it.Agg.As})
+				continue
+			}
+			items = append(items, relational.ProjItem{E: it.Expr, Name: it.As})
+			if cr, ok := it.Expr.(relational.ColRef); !ok || cr.Name != it.As {
+				rename = true
+			}
+		}
+		if rename {
+			cur = p.g.Add(ir.OpProject, engine, map[string]any{"items": items}, cur)
+		}
+	case !stmt.Star:
+		items := make([]relational.ProjItem, 0, len(stmt.Items))
+		for _, it := range stmt.Items {
+			items = append(items, relational.ProjItem{E: it.Expr, Name: it.As})
+		}
+		cur = p.g.Add(ir.OpProject, engine, map[string]any{"items": items}, cur)
+	}
+	if len(stmt.OrderBy) > 0 {
+		cur = p.g.Add(ir.OpSort, engine, map[string]any{
+			"order_by": append([]relational.OrderItem(nil), stmt.OrderBy...),
+		}, cur)
+	}
+	if stmt.Limit >= 0 {
+		cur = p.g.Add(ir.OpLimit, engine, map[string]any{"n": int64(stmt.Limit)}, cur)
+	}
+	return cur, nil
+}
+
+// cypherMatch recognizes: MATCH (a:LabelA)-[:TYPE]->(b:LabelB)
+var cypherMatch = regexp.MustCompile(
+	`(?i)^\s*MATCH\s*\(\s*\w*\s*:\s*(\w+)\s*\)\s*-\s*\[\s*:\s*(\w+)\s*\]\s*->\s*\(\s*\w*\s*:\s*(\w+)\s*\)\s*$`)
+
+// cypherPath recognizes: PATH <src> TO <dst>
+var cypherPath = regexp.MustCompile(`(?i)^\s*PATH\s+(\d+)\s+TO\s+(\d+)\s*$`)
+
+// Cypher adds a graph sub-program on the named engine from a Cypher-ish
+// string. Supported forms:
+//
+//	MATCH (a:LabelA)-[:TYPE]->(b:LabelB)   — pattern match
+//	PATH <srcID> TO <dstID>                — weighted shortest path
+func (p *Program) Cypher(engine, query string) (ir.NodeID, error) {
+	if m := cypherMatch.FindStringSubmatch(query); m != nil {
+		return p.g.Add(ir.OpGraphMatch, engine, map[string]any{
+			"label_a": m[1], "edge_type": m[2], "label_b": m[3],
+		}), nil
+	}
+	if m := cypherPath.FindStringSubmatch(query); m != nil {
+		return p.g.Add(ir.OpGraphPath, engine, map[string]any{
+			"src": m[1], "dst": m[2],
+		}), nil
+	}
+	return 0, fmt.Errorf("%w: unsupported cypher %q", ErrFrontend, query)
+}
+
+// TextSearch adds a ranked text retrieval node (AND semantics, top-k).
+func (p *Program) TextSearch(engine, query string, k int) ir.NodeID {
+	return p.g.Add(ir.OpTextSearch, engine, map[string]any{"query": query, "k": int64(k)})
+}
+
+// TSWindow adds a timeseries tumbling-window aggregation node.
+func (p *Program) TSWindow(engine, series string, from, to, width int64, agg string) ir.NodeID {
+	return p.g.Add(ir.OpTSWindow, engine, map[string]any{
+		"series": series, "from": from, "to": to, "width": width, "agg": agg,
+	})
+}
+
+// StreamWindow adds a stream window aggregation node.
+func (p *Program) StreamWindow(engine, stream string, from, to, width, slide int64) ir.NodeID {
+	return p.g.Add(ir.OpStreamWindow, engine, map[string]any{
+		"stream": stream, "from": from, "to": to, "width": width, "slide": slide,
+	})
+}
+
+// KVScan adds a key/value prefix-scan node.
+func (p *Program) KVScan(engine, prefix string) ir.NodeID {
+	return p.g.Add(ir.OpKVScan, engine, map[string]any{"prefix": prefix})
+}
+
+// Join adds a middleware-level equi-join executed on the named (relational)
+// engine, joining the outputs of two sub-programs — the cross-store join of
+// Figure 2 ("Join P, N and S to get Feature Vector").
+func (p *Program) Join(engine string, left, right ir.NodeID, leftCol, rightCol string) ir.NodeID {
+	return p.g.Add(ir.OpHashJoin, engine, map[string]any{
+		"left_col": leftCol, "right_col": rightCol,
+	}, left, right)
+}
+
+// Train adds an ML training node on the named engine: a feed-forward MLP
+// over the feature input. featureCols name the input columns; labelCol the
+// 0/1 label.
+func (p *Program) Train(engine string, input ir.NodeID, featureCols []string, labelCol string, hidden, epochs, batch int, lr float64) ir.NodeID {
+	return p.g.Add(ir.OpTrain, engine, map[string]any{
+		"feature_cols": append([]string(nil), featureCols...),
+		"label_col":    labelCol,
+		"hidden":       int64(hidden),
+		"epochs":       int64(epochs),
+		"batch":        int64(batch),
+		"lr":           lr,
+	}, input)
+}
+
+// Predict adds an inference node applying the model from the train node to
+// the feature input.
+func (p *Program) Predict(engine string, model, input ir.NodeID, featureCols []string) ir.NodeID {
+	return p.g.Add(ir.OpPredict, engine, map[string]any{
+		"feature_cols": append([]string(nil), featureCols...),
+	}, model, input)
+}
+
+// KMeans adds a clustering node over the numeric columns of the input.
+func (p *Program) KMeans(engine string, input ir.NodeID, cols []string, k, iters int) ir.NodeID {
+	return p.g.Add(ir.OpKMeans, engine, map[string]any{
+		"cols": append([]string(nil), cols...), "k": int64(k), "iters": int64(iters),
+	}, input)
+}
+
+// Sort adds an explicit sort node (used by the §III worked example, where
+// the final sort is the acceleration target).
+func (p *Program) Sort(engine string, input ir.NodeID, col string, desc bool) ir.NodeID {
+	return p.g.Add(ir.OpSort, engine, map[string]any{
+		"order_by": []relational.OrderItem{{Col: col, Desc: desc}},
+	}, input)
+}
+
+// --- Natural-language frontend (§IV-A-e) ---
+
+// NLRule is one template of the rule-based NL translator.
+type NLRule struct {
+	Name    string
+	Pattern *regexp.Regexp
+	// Build constructs the program fragment from the regexp captures.
+	Build func(p *Program, m []string) (ir.NodeID, error)
+}
+
+// NLTranslator converts restricted natural-language questions into
+// heterogeneous programs, the SQLizer/Almond role the paper sketches.
+type NLTranslator struct {
+	rules []NLRule
+	// Engines used by built programs.
+	Relational string
+	Timeseries string
+	Text       string
+	ML         string
+}
+
+// NewNLTranslator returns a translator bound to engine instance names.
+func NewNLTranslator(relationalEngine, timeseriesEngine, textEngine, mlEngine string) *NLTranslator {
+	t := &NLTranslator{
+		Relational: relationalEngine,
+		Timeseries: timeseriesEngine,
+		Text:       textEngine,
+		ML:         mlEngine,
+	}
+	t.rules = []NLRule{
+		{
+			Name:    "count-rows",
+			Pattern: regexp.MustCompile(`(?i)^how many (\w+)(?: are there)?\??$`),
+			Build: func(p *Program, m []string) (ir.NodeID, error) {
+				return p.SQL(t.Relational, fmt.Sprintf("SELECT count(*) AS n FROM %s", m[1]))
+			},
+		},
+		{
+			Name:    "average-by",
+			Pattern: regexp.MustCompile(`(?i)^(?:what is the )?average (\w+) of (\w+) by (\w+)\??$`),
+			Build: func(p *Program, m []string) (ir.NodeID, error) {
+				return p.SQL(t.Relational, fmt.Sprintf(
+					"SELECT avg(%s) AS avg_%s FROM %s GROUP BY %s", m[1], m[1], m[2], m[3]))
+			},
+		},
+		{
+			Name:    "notes-mentioning",
+			Pattern: regexp.MustCompile(`(?i)^(?:find|which) notes mention(?:ing)? (.+?)\??$`),
+			Build: func(p *Program, m []string) (ir.NodeID, error) {
+				return p.TextSearch(t.Text, m[1], 20), nil
+			},
+		},
+		{
+			// The headline Figure 2 query: "Will patients have a long stay at
+			// the hospital (> 5 days) or short (<= 5 days) when they exit the
+			// ICU." Any phrasing containing "long stay" triggers the clinical
+			// pipeline template; the caller supplies the actual table/series
+			// names through BuildClinicalPipeline.
+			Name:    "icu-long-stay",
+			Pattern: regexp.MustCompile(`(?i)long stay`),
+			Build: func(p *Program, m []string) (ir.NodeID, error) {
+				return BuildClinicalPipeline(p, ClinicalConfig{
+					Relational: t.Relational,
+					Timeseries: t.Timeseries,
+					Text:       t.Text,
+					ML:         t.ML,
+				})
+			},
+		},
+	}
+	return t
+}
+
+// Translate builds a program for the question, reporting the matched rule.
+func (t *NLTranslator) Translate(question string) (*Program, string, error) {
+	q := strings.TrimSpace(question)
+	for _, r := range t.rules {
+		if m := r.Pattern.FindStringSubmatch(q); m != nil {
+			p := NewProgram()
+			if _, err := r.Build(p, m); err != nil {
+				return nil, "", err
+			}
+			return p, r.Name, nil
+		}
+	}
+	return nil, "", fmt.Errorf("%w: no rule matches %q", ErrFrontend, question)
+}
+
+// ClinicalConfig names the engines of the MIMIC-like deployment.
+type ClinicalConfig struct {
+	Relational string
+	Timeseries string
+	Text       string
+	ML         string
+}
+
+// BuildClinicalPipeline assembles the Figure 2 heterogeneous program:
+//
+//	P = patient admission details          (relational)
+//	N = time in wards/ICU                  (relational aggregate)
+//	S = vital signs from ICU devices       (timeseries windows)
+//	join P, N, S -> feature vectors -> train MLP -> predict
+//
+// It returns the prediction node. The schemas follow internal/datagen.
+func BuildClinicalPipeline(p *Program, cfg ClinicalConfig) (ir.NodeID, error) {
+	pNode, err := p.SQL(cfg.Relational, "SELECT pid, age, gender_male, prior_visits FROM patients")
+	if err != nil {
+		return 0, err
+	}
+	nNode, err := p.SQL(cfg.Relational,
+		"SELECT pid AS npid, sum(icu_hours) AS icu_hours, count(*) AS n_stays, max(long_stay) AS long_stay FROM stays GROUP BY pid")
+	if err != nil {
+		return 0, err
+	}
+	sNode := p.g.Add(ir.OpTSWindow, cfg.Timeseries, map[string]any{
+		// Per-patient vitals summary (the adapter aggregates all series with
+		// the given prefix into one row per patient).
+		"series_prefix": "vitals/",
+		"agg":           "mean",
+	})
+	pn := p.Join(cfg.Relational, pNode, nNode, "pid", "npid")
+	pns := p.Join(cfg.Relational, pn, sNode, "pid", "vpid")
+	features := []string{"age", "gender_male", "prior_visits", "icu_hours", "n_stays", "hr_mean", "spo2_mean"}
+	model := p.Train(cfg.ML, pns, features, "long_stay", 32, 12, 64, 0.3)
+	return p.Predict(cfg.ML, model, pns, features), nil
+}

@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseSecs extracts the float from a "%fs" cell.
+func parseSecs(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "s"), 64)
+	if err != nil {
+		t.Fatalf("bad seconds cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestE01OrderingHolds(t *testing.T) {
+	tab, err := E01Recommendation(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	osfa := parseSecs(t, tab.Rows[0][1])
+	poly := parseSecs(t, tab.Rows[1][1])
+	pp := parseSecs(t, tab.Rows[2][1])
+	if !(osfa > poly && poly > pp) {
+		t.Fatalf("ordering violated: osfa=%v poly=%v pp=%v", osfa, poly, pp)
+	}
+}
+
+func TestE02AccelWins(t *testing.T) {
+	tab, err := E02Clinical(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := parseSecs(t, tab.Rows[0][1])
+	acc := parseSecs(t, tab.Rows[1][1])
+	if acc >= cpu {
+		t.Fatalf("accelerated clinical pipeline (%v) should beat CPU (%v)", acc, cpu)
+	}
+	if tab.Rows[0][4] != tab.Rows[1][4] {
+		t.Fatalf("prediction row counts differ: %v vs %v", tab.Rows[0][4], tab.Rows[1][4])
+	}
+}
+
+func TestE03LoadShareShrinks(t *testing.T) {
+	tab, err := E03Snorkel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := parseSecs(t, tab.Rows[0][3])
+	best := parseSecs(t, tab.Rows[2][3])
+	if best >= base {
+		t.Fatalf("offloaded epoch (%v) should beat CPU epoch (%v)", best, base)
+	}
+}
+
+func TestE04AcceleratedPathWins(t *testing.T) {
+	tab, err := E04CrossDBJoin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := parseSecs(t, tab.Rows[0][1])
+	accel := parseSecs(t, tab.Rows[1][1])
+	if accel >= baseline {
+		t.Fatalf("accelerated cross-DB join (%v) should beat baseline (%v)", accel, baseline)
+	}
+	if tab.Rows[0][4] != tab.Rows[1][4] {
+		t.Fatalf("row counts differ: %v vs %v", tab.Rows[0][4], tab.Rows[1][4])
+	}
+}
+
+func TestE05Crossover(t *testing.T) {
+	tab, err := E05ScanOffload(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FPGA bump-in-the-wire filtering beats the host at every selectivity
+	// for this item count (it processes at line rate).
+	for _, row := range tab.Rows {
+		cpu := parseSecs(t, row[1])
+		fpga := parseSecs(t, row[2])
+		if fpga >= cpu {
+			t.Fatalf("selectivity %s: fpga %v >= cpu %v", row[0], fpga, cpu)
+		}
+	}
+}
+
+func TestE06TransportOrdering(t *testing.T) {
+	tab, err := E06Migration(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each size: sim(csv) > sim(pipe) > sim(rdma).
+	bySize := map[string]map[string]float64{}
+	for _, row := range tab.Rows {
+		size := row[0]
+		if bySize[size] == nil {
+			bySize[size] = map[string]float64{}
+		}
+		bySize[size][row[1]] = parseSecs(t, row[5])
+	}
+	for size, m := range bySize {
+		if !(m["csv"] > m["pipe"] && m["pipe"] > m["rdma"]) {
+			t.Fatalf("size %s: transport ordering violated: %+v", size, m)
+		}
+		if m["pipe+fpga-serdes"] >= m["pipe"] {
+			t.Fatalf("size %s: fpga serdes did not help: %+v", size, m)
+		}
+	}
+}
+
+func TestE07AllNodesExecuted(t *testing.T) {
+	tab, err := E07HeteroDFG(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]bool{}
+	for _, row := range tab.Rows {
+		kinds[row[1]] = true
+	}
+	for _, want := range []string{"graph-match", "hash-join", "group-by", "sort", "kmeans", "migrate"} {
+		if !kinds[want] {
+			t.Fatalf("missing op %q in E7 schedule: %v", want, kinds)
+		}
+	}
+}
+
+func TestE08LadderMonotone(t *testing.T) {
+	tab, err := E08OptLevels(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := parseSecs(t, tab.Rows[0][1])
+	for _, row := range tab.Rows[1:] {
+		cur := parseSecs(t, row[1])
+		if cur > prev*1.02 { // small tolerance: L2 may equal L1 on this plan
+			t.Fatalf("ladder not monotone at %s: %v -> %v", row[0], prev, cur)
+		}
+		prev = cur
+	}
+	last := parseSecs(t, tab.Rows[len(tab.Rows)-1][1])
+	first := parseSecs(t, tab.Rows[0][1])
+	if first/last < 1.5 {
+		t.Fatalf("L0->L3+accel speedup only %.2fx", first/last)
+	}
+}
+
+func TestE09DevicesAgreeAndAccelerate(t *testing.T) {
+	tab, err := E09KMeans(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inertia := tab.Rows[0][5]
+	cpu := parseSecs(t, tab.Rows[0][1])
+	for _, row := range tab.Rows[1:] {
+		if row[5] != inertia {
+			t.Fatalf("device changed clustering: %v vs %v", row[5], inertia)
+		}
+		if parseSecs(t, row[1]) >= cpu {
+			t.Fatalf("%s did not beat cpu", row[0])
+		}
+	}
+}
+
+func TestE10ActiveLearningBeatsRandom(t *testing.T) {
+	tab, err := E10ActiveLearningDSE(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsePct := func(cell string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+		if err != nil {
+			t.Fatalf("bad pct %q", cell)
+		}
+		return v
+	}
+	random := parsePct(tab.Rows[0][3])
+	active := parsePct(tab.Rows[1][3])
+	if active < random {
+		t.Fatalf("active learning (%v%%) below random (%v%%)", active, random)
+	}
+	if active < 70 {
+		t.Fatalf("active learning found only %v%% of true front HV", active)
+	}
+}
+
+func TestE11AcceleratorsWin(t *testing.T) {
+	tab, err := E11Operators(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := 0
+	for _, row := range tab.Rows {
+		sp, err := strconv.ParseFloat(strings.TrimSuffix(row[4], "x"), 64)
+		if err != nil {
+			t.Fatalf("bad speedup %q", row[4])
+		}
+		if sp > 1 {
+			wins++
+		}
+	}
+	if wins < len(tab.Rows)/2 {
+		t.Fatalf("only %d/%d offloads profitable at 1M+ items", wins, len(tab.Rows))
+	}
+}
+
+func TestE12RuleOffload(t *testing.T) {
+	tab, err := E12AdapterOffload(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := parseSecs(t, tab.Rows[0][2])
+	fpga := parseSecs(t, tab.Rows[1][2])
+	if fpga >= cpu {
+		t.Fatalf("fpga rule matching (%v) should beat cpu (%v)", fpga, cpu)
+	}
+}
+
+func TestE13PipelineSpeedupGrows(t *testing.T) {
+	tab, err := E13Pipelining(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	for _, row := range tab.Rows {
+		sp, err := strconv.ParseFloat(strings.TrimSuffix(row[3], "x"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp < prev {
+			t.Fatalf("pipeline speedup shrank: %v after %v", sp, prev)
+		}
+		prev = sp
+	}
+	if prev < 1.5 {
+		t.Fatalf("max pipeline speedup only %vx", prev)
+	}
+}
+
+func TestE14ModelsSane(t *testing.T) {
+	tab, err := E14Models(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		ach, _ := strconv.ParseFloat(row[3], 64)
+		ceil, _ := strconv.ParseFloat(row[4], 64)
+		if ach > ceil*1.05 {
+			t.Fatalf("%s/%s achieved %v above ceiling %v", row[0], row[1], ach, ceil)
+		}
+	}
+	logcaNotes := 0
+	for _, n := range tab.Notes {
+		if strings.HasPrefix(n, "logca") {
+			logcaNotes++
+		}
+	}
+	if logcaNotes != 3 {
+		t.Fatalf("logca notes = %d", logcaNotes)
+	}
+}
+
+func TestE15TextualBlowup(t *testing.T) {
+	tab, err := E15WeightFormats(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		ratio, err := strconv.ParseFloat(strings.TrimSuffix(row[3], "x"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio <= 1.5 {
+			t.Fatalf("textual blow-up only %vx", ratio)
+		}
+	}
+}
+
+func TestByIDAndTableString(t *testing.T) {
+	fn, ok := ByID("E5")
+	if !ok {
+		t.Fatal("ByID(E5) missing")
+	}
+	tab, err := fn(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	if !strings.Contains(s, "E5") || !strings.Contains(s, "selectivity") {
+		t.Fatalf("table render:\n%s", s)
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("ByID(E99) should miss")
+	}
+}

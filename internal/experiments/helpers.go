@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"polystorepp/internal/adapter"
+	"polystorepp/internal/core"
+	"polystorepp/internal/datagen"
+	"polystorepp/internal/graphstore"
+	"polystorepp/internal/hw"
+	"polystorepp/internal/mlengine"
+	"polystorepp/internal/relational"
+	"polystorepp/internal/tensor"
+)
+
+// registerClinical wires the clinical dataset's engines into a runtime.
+func registerClinical(rt *core.Runtime, data *datagen.Clinical) {
+	rt.Register(adapter.NewRelational("db-clinical", relational.NewEngine(data.Relational)))
+	rt.Register(adapter.NewTimeseries("ts-vitals", data.Timeseries))
+	rt.Register(adapter.NewText("txt-notes", data.Text))
+	rt.Register(adapter.NewStream("st-devices", data.Stream))
+	rt.Register(adapter.NewML("ml", 7))
+}
+
+// clinicalRuntime builds a runtime over the clinical dataset, optionally
+// with the standard accelerator pool.
+func clinicalRuntime(data *datagen.Clinical, accel bool) *core.Runtime {
+	var opts []core.Option
+	if accel {
+		opts = append(opts, core.WithAccelerators(hw.Coprocessor, hw.NewFPGA(), hw.NewGPU(), hw.NewTPU()))
+	}
+	rt := core.NewRuntime(hw.NewHostCPU(), opts...)
+	registerClinical(rt, data)
+	return rt
+}
+
+// registerRetail wires the retail dataset plus a warehouse store.
+func registerRetail(rt *core.Runtime, data *datagen.Retail, warehouse *relational.Store) {
+	rt.Register(adapter.NewRelational("db-retail", relational.NewEngine(data.Relational)))
+	rt.Register(adapter.NewRelational("warehouse", relational.NewEngine(warehouse)))
+	rt.Register(adapter.NewTimeseries("ts-clicks", data.Timeseries))
+	rt.Register(adapter.NewKV("kv-events", data.KV))
+	rt.Register(adapter.NewML("ml", 3))
+}
+
+// registerExtraRelational registers one more relational engine.
+func registerExtraRelational(rt *core.Runtime, name string, s *relational.Store) {
+	rt.Register(adapter.NewRelational(name, relational.NewEngine(s)))
+}
+
+// newGraphAdapter wraps a graph store under the engine name "graph".
+func newGraphAdapter(s *graphstore.Store) adapter.Adapter {
+	return adapter.NewGraph("graph", s)
+}
+
+// newMLAdapter returns the standard ML adapter for experiments.
+func newMLAdapter() adapter.Adapter { return adapter.NewML("ml", 13) }
+
+// clusterPoints samples n points around k separated centers (the E9
+// workload).
+func clusterPoints(rng *rand.Rand, n, dims, k int) (*tensor.Tensor, error) {
+	centers, err := tensor.New(k, dims)
+	if err != nil {
+		return nil, err
+	}
+	cd := centers.Data()
+	for i := range cd {
+		cd[i] = float64(rng.Intn(40)) * 5
+	}
+	pts, err := tensor.New(n, dims)
+	if err != nil {
+		return nil, err
+	}
+	pd := pts.Data()
+	for i := 0; i < n; i++ {
+		c := i % k
+		for j := 0; j < dims; j++ {
+			pd[i*dims+j] = cd[c*dims+j] + rng.NormFloat64()
+		}
+	}
+	return pts, nil
+}
+
+// kmeansOnDevice runs k-means with the assignment phase charged to dev.
+func kmeansOnDevice(pts *tensor.Tensor, k int, dev *hw.Device, mode hw.Mode) (*mlengine.KMeansResult, error) {
+	return mlengine.KMeansOn(rand.New(rand.NewSource(99)), pts, k, 25, dev, mode)
+}

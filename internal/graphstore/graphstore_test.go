@@ -1,0 +1,219 @@
+package graphstore
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// diamond builds: 1 -> 2 -> 4, 1 -> 3 -> 4 with weights, plus labels.
+func diamond(t *testing.T) *Store {
+	t.Helper()
+	s := New("g")
+	s.AddNode(Node{ID: 1, Label: "patient"})
+	s.AddNode(Node{ID: 2, Label: "ward"})
+	s.AddNode(Node{ID: 3, Label: "ward"})
+	s.AddNode(Node{ID: 4, Label: "icu"})
+	edges := []Edge{
+		{From: 1, To: 2, Type: "admitted", Weight: 1},
+		{From: 1, To: 3, Type: "admitted", Weight: 5},
+		{From: 2, To: 4, Type: "moved", Weight: 1},
+		{From: 3, To: 4, Type: "moved", Weight: 1},
+	}
+	for _, e := range edges {
+		if err := s.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestAddAndCounts(t *testing.T) {
+	s := diamond(t)
+	if s.Nodes() != 4 || s.Edges() != 4 {
+		t.Fatalf("counts = %d nodes, %d edges", s.Nodes(), s.Edges())
+	}
+	n, err := s.Node(1)
+	if err != nil || n.Label != "patient" {
+		t.Fatalf("Node(1) = %+v, %v", n, err)
+	}
+	if _, err := s.Node(99); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("missing node: %v", err)
+	}
+	if err := s.AddEdge(Edge{From: 1, To: 99}); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("edge to missing: %v", err)
+	}
+	if err := s.AddEdge(Edge{From: 99, To: 1}); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("edge from missing: %v", err)
+	}
+}
+
+func TestByLabelAndReplace(t *testing.T) {
+	s := diamond(t)
+	wards := s.ByLabel("ward")
+	if len(wards) != 2 || wards[0] != 2 || wards[1] != 3 {
+		t.Fatalf("wards = %v", wards)
+	}
+	// Relabel node 3.
+	s.AddNode(Node{ID: 3, Label: "icu"})
+	if len(s.ByLabel("ward")) != 1 {
+		t.Fatalf("ward after relabel = %v", s.ByLabel("ward"))
+	}
+	if len(s.ByLabel("icu")) != 2 {
+		t.Fatalf("icu after relabel = %v", s.ByLabel("icu"))
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	s := diamond(t)
+	ns, err := s.Neighbors(1, "")
+	if err != nil || len(ns) != 2 {
+		t.Fatalf("Neighbors = %v, %v", ns, err)
+	}
+	ns, err = s.Neighbors(1, "admitted")
+	if err != nil || len(ns) != 2 {
+		t.Fatalf("typed Neighbors = %v, %v", ns, err)
+	}
+	ns, err = s.Neighbors(1, "moved")
+	if err != nil || len(ns) != 0 {
+		t.Fatalf("wrong-type Neighbors = %v, %v", ns, err)
+	}
+	if _, err := s.Neighbors(99, ""); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("missing: %v", err)
+	}
+}
+
+func TestMatchPattern(t *testing.T) {
+	s := diamond(t)
+	pairs := s.MatchPattern("patient", "admitted", "ward")
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	if pairs[0] != [2]NodeID{1, 2} || pairs[1] != [2]NodeID{1, 3} {
+		t.Fatalf("pair order = %v", pairs)
+	}
+	if got := s.MatchPattern("ward", "admitted", "icu"); len(got) != 0 {
+		t.Fatalf("wrong pattern matched: %v", got)
+	}
+	if got := s.MatchPattern("patient", "", "ward"); len(got) != 2 {
+		t.Fatalf("any-type pattern: %v", got)
+	}
+}
+
+func TestBFS(t *testing.T) {
+	s := diamond(t)
+	d, err := s.BFS(1, 4, "")
+	if err != nil || d != 2 {
+		t.Fatalf("BFS = %d, %v", d, err)
+	}
+	d, err = s.BFS(1, 1, "")
+	if err != nil || d != 0 {
+		t.Fatalf("self BFS = %d, %v", d, err)
+	}
+	if _, err := s.BFS(4, 1, ""); !errors.Is(err, ErrNoPath) {
+		t.Fatalf("reverse: %v", err)
+	}
+	if _, err := s.BFS(99, 1, ""); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("missing src: %v", err)
+	}
+	if _, err := s.BFS(1, 99, ""); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("missing dst: %v", err)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	s := diamond(t)
+	path, w, err := s.ShortestPath(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 2 { // 1->2 (1) + 2->4 (1)
+		t.Fatalf("weight = %v", w)
+	}
+	if len(path) != 3 || path[0] != 1 || path[1] != 2 || path[2] != 4 {
+		t.Fatalf("path = %v", path)
+	}
+	if _, _, err := s.ShortestPath(4, 1); !errors.Is(err, ErrNoPath) {
+		t.Fatalf("no path: %v", err)
+	}
+}
+
+func TestSubtree(t *testing.T) {
+	s := diamond(t)
+	got, err := s.Subtree(1, "", 1)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("depth 1 = %v, %v", got, err)
+	}
+	got, err = s.Subtree(1, "", 2)
+	if err != nil || len(got) != 4 {
+		t.Fatalf("depth 2 = %v, %v", got, err)
+	}
+	got, err = s.Subtree(1, "admitted", 5)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("typed subtree = %v, %v", got, err)
+	}
+	if _, err := s.Subtree(99, "", 1); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("missing root: %v", err)
+	}
+}
+
+func TestPageRankLite(t *testing.T) {
+	s := diamond(t)
+	rank := s.PageRankLite(20)
+	if len(rank) != 4 {
+		t.Fatalf("rank size = %d", len(rank))
+	}
+	// Node 4 receives from both wards: highest rank.
+	for id, r := range rank {
+		if id != 4 && r > rank[4] {
+			t.Fatalf("node %d rank %v > sink rank %v", id, r, rank[4])
+		}
+	}
+	var sum float64
+	for _, r := range rank {
+		sum += r
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("ranks sum to %v", sum)
+	}
+	if New("empty").PageRankLite(3) != nil {
+		t.Fatal("empty graph rank should be nil")
+	}
+}
+
+// Property: BFS hop count on a random DAG never exceeds Dijkstra path length
+// when all weights are 1 (they must be equal).
+func TestPropertyBFSMatchesUnitDijkstra(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New("p")
+		n := rng.Intn(20) + 5
+		for i := 0; i < n; i++ {
+			s.AddNode(Node{ID: NodeID(i), Label: "n"})
+		}
+		// Forward edges only (DAG) with unit weights.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.25 {
+					if err := s.AddEdge(Edge{From: NodeID(i), To: NodeID(j), Weight: 1}); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		src, dst := NodeID(0), NodeID(n-1)
+		hops, errB := s.BFS(src, dst, "")
+		_, w, errD := s.ShortestPath(src, dst)
+		if (errB == nil) != (errD == nil) {
+			return false
+		}
+		if errB != nil {
+			return true // both report no path
+		}
+		return float64(hops) == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

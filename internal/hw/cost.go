@@ -1,0 +1,97 @@
+// Package hw simulates the hardware accelerators a Polystore++ deployment
+// offloads work to (§II-B, §III-A of the paper): GPUs, FPGAs, CGRAs,
+// TPU-like ASICs and RDMA NICs, alongside the host CPUs.
+//
+// Real hardware is not available in this reproduction, so every device is a
+// calibrated analytic model: kernels execute the *real* computation on the
+// host (results are bit-correct and verified against CPU references) while
+// the package charges *simulated* time and energy derived from the device's
+// clock, parallelism, pipeline and interface parameters. The package also
+// implements the two analytic performance models the paper leans on: LogCA
+// (Altaf & Wood) for offload profitability and the Roofline model for
+// compute/bandwidth ceilings.
+//
+// Simulated cost is kept strictly separate from host wall-clock time: all
+// quantities flow through the Cost type.
+package hw
+
+import (
+	"fmt"
+	"time"
+)
+
+// Cost is the simulated expense of an operation on a device: busy cycles on
+// that device, wall-clock seconds of simulated time, energy in joules, and
+// bytes moved over the device interface.
+type Cost struct {
+	Cycles  int64
+	Seconds float64
+	Joules  float64
+	Bytes   int64
+}
+
+// Zero is the no-op cost.
+var Zero = Cost{}
+
+// AddSeq composes costs of operations executed one after another.
+func (c Cost) AddSeq(o Cost) Cost {
+	return Cost{
+		Cycles:  c.Cycles + o.Cycles,
+		Seconds: c.Seconds + o.Seconds,
+		Joules:  c.Joules + o.Joules,
+		Bytes:   c.Bytes + o.Bytes,
+	}
+}
+
+// Par composes costs of operations executed concurrently on different
+// resources: elapsed time is the max, energy and traffic add.
+func (c Cost) Par(o Cost) Cost {
+	out := Cost{
+		Cycles:  c.Cycles + o.Cycles,
+		Joules:  c.Joules + o.Joules,
+		Bytes:   c.Bytes + o.Bytes,
+		Seconds: c.Seconds,
+	}
+	if o.Seconds > out.Seconds {
+		out.Seconds = o.Seconds
+	}
+	return out
+}
+
+// Pipe composes two pipelined stages processing the same stream: steady-state
+// time is the max of the stages plus the smaller stage's fill time. It is the
+// cost model behind §III's "pipelining it to reduce latency".
+func (c Cost) Pipe(o Cost) Cost {
+	slow, fast := c.Seconds, o.Seconds
+	if fast > slow {
+		slow, fast = fast, slow
+	}
+	// The faster stage overlaps entirely with the slower one except for the
+	// initial fill, approximated as 5% of the faster stage.
+	return Cost{
+		Cycles:  c.Cycles + o.Cycles,
+		Joules:  c.Joules + o.Joules,
+		Bytes:   c.Bytes + o.Bytes,
+		Seconds: slow + 0.05*fast,
+	}
+}
+
+// Duration converts simulated seconds to a time.Duration for reporting.
+func (c Cost) Duration() time.Duration {
+	return time.Duration(c.Seconds * float64(time.Second))
+}
+
+// String implements fmt.Stringer.
+func (c Cost) String() string {
+	return fmt.Sprintf("{%.3gs %.3gJ %d cycles %dB}", c.Seconds, c.Joules, c.Cycles, c.Bytes)
+}
+
+// SpeedupOver returns how much faster this cost is than the baseline
+// (baseline.Seconds / c.Seconds). A zero-second cost yields +Inf-free 0 to
+// keep reports sane.
+func (c Cost) SpeedupOver(baseline Cost) float64 {
+	if c.Seconds == 0 {
+		return 0
+	}
+	return baseline.Seconds / c.Seconds
+}

@@ -1,0 +1,455 @@
+package hw
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"polystorepp/internal/tensor"
+)
+
+// KernelClass enumerates the operator kernels a Polystore++ deployment can
+// offload (§III-A1: sort, filter/project, join phases, GEMM/GEMV; §III-A3:
+// serialization; §III-A4: adapter rule matching).
+type KernelClass int
+
+// Kernel classes.
+const (
+	KSort KernelClass = iota + 1
+	KFilter
+	KProject
+	KHashBuild
+	KHashProbe
+	KGEMM
+	KGEMV
+	KSerialize
+	KDeserialize
+	KWindowAgg
+	KRuleMatch
+	KKMeansAssign
+)
+
+// String implements fmt.Stringer.
+func (k KernelClass) String() string {
+	names := map[KernelClass]string{
+		KSort: "sort", KFilter: "filter", KProject: "project",
+		KHashBuild: "hash-build", KHashProbe: "hash-probe",
+		KGEMM: "gemm", KGEMV: "gemv",
+		KSerialize: "serialize", KDeserialize: "deserialize",
+		KWindowAgg: "window-agg", KRuleMatch: "rule-match",
+		KKMeansAssign: "kmeans-assign",
+	}
+	if n, ok := names[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("KernelClass(%d)", int(k))
+}
+
+// Work describes the size of one kernel invocation. Fill the fields the
+// kernel class consumes: Items/Bytes for streaming kernels, M/K/N for GEMM,
+// M/K for GEMV.
+type Work struct {
+	Items int64
+	Bytes int64
+	M     int
+	K     int
+	N     int
+}
+
+// FLOPs returns the floating-point work implied by the shape fields.
+func (w Work) FLOPs() int64 {
+	switch {
+	case w.M > 0 && w.K > 0 && w.N > 0:
+		return tensor.FLOPsMatMul(w.M, w.K, w.N)
+	case w.M > 0 && w.K > 0:
+		return tensor.FLOPsMatVec(w.M, w.K)
+	default:
+		return 0
+	}
+}
+
+// lutCosts is the FPGA area demand per kernel class (§IV-A-d: a Polystore++
+// system must allocate area and bandwidth on reconfigurable devices).
+var lutCosts = map[KernelClass]int64{
+	KSort:         420_000,
+	KFilter:       60_000,
+	KProject:      45_000,
+	KHashBuild:    180_000,
+	KHashProbe:    150_000,
+	KSerialize:    90_000,
+	KDeserialize:  95_000,
+	KWindowAgg:    110_000,
+	KRuleMatch:    70_000,
+	KKMeansAssign: 200_000,
+	KGEMM:         550_000,
+	KGEMV:         300_000,
+}
+
+// LUTCost returns the FPGA area demand of a kernel class.
+func LUTCost(k KernelClass) int64 { return lutCosts[k] }
+
+func log2(n int64) float64 {
+	if n < 2 {
+		return 1
+	}
+	return math.Log2(float64(n))
+}
+
+// KernelCost returns the simulated busy cost of running one kernel
+// invocation on the device, excluding transfers and reconfiguration (see
+// Offload for the end-to-end cost). ErrUnsupported is returned when the
+// device class has no implementation of the kernel.
+func (d *Device) KernelCost(class KernelClass, w Work) (Cost, error) {
+	cycles, err := d.kernelCycles(class, w)
+	if err != nil {
+		return Zero, err
+	}
+	return d.cyclesToCost(cycles), nil
+}
+
+// bwFloorCycles converts the device-memory streaming time of `bytes` into
+// cycles — no kernel can beat the local memory system.
+func (d *Device) bwFloorCycles(bytes int64) int64 {
+	if d.MemBandwidth <= 0 {
+		return 0
+	}
+	return int64(float64(bytes) / d.MemBandwidth * d.ClockHz)
+}
+
+func maxCycles(model, floor int64) int64 {
+	if floor > model {
+		return floor
+	}
+	return model
+}
+
+// kernelCycles is the per-(class, device-kind) cycle model. Constants are
+// cycles-per-item/byte calibrations; see catalog.go for the philosophy.
+// Streaming kernels on wide devices take the max of the compute model and
+// the device-memory bandwidth floor.
+func (d *Device) kernelCycles(class KernelClass, w Work) (int64, error) {
+	lanes := float64(d.Lanes)
+	switch d.Kind {
+	case CPU:
+		switch class {
+		case KSort:
+			// Comparison sort: ~1.5 cycles per item per log2(n) level.
+			return int64(1.5 * float64(w.Items) * log2(w.Items)), nil
+		case KFilter:
+			// Row-at-a-time predicate evaluation with branches.
+			return 8 * w.Items, nil
+		case KProject:
+			return w.Bytes / 2, nil
+		case KHashBuild:
+			return 12 * w.Items, nil
+		case KHashProbe:
+			return 10 * w.Items, nil
+		case KGEMM, KGEMV:
+			// 8 FLOPs/cycle (fused SIMD) on one core.
+			return w.FLOPs() / 8, nil
+		case KSerialize:
+			return w.Bytes, nil // ~1 cycle/byte for binary encode
+		case KDeserialize:
+			return w.Bytes * 5 / 4, nil
+		case KWindowAgg:
+			return 4 * w.Items, nil
+		case KRuleMatch:
+			return 220 * w.Items, nil // tree-walk per IR node
+		case KKMeansAssign:
+			// Items distance evaluations of K dims × N centroids.
+			return int64(float64(w.Items) * float64(w.K) * float64(w.N) * 3 / 4), nil
+		}
+	case GPU:
+		switch class {
+		case KSort:
+			// Radix-partition sort across lanes; multiple passes over memory.
+			model := int64(4*float64(w.Items)*log2(w.Items)/lanes) + 2000
+			return maxCycles(model, 4*d.bwFloorCycles(w.Bytes)), nil
+		case KFilter:
+			model := int64(8*float64(w.Items)/lanes) + 1000
+			return maxCycles(model, d.bwFloorCycles(w.Bytes)), nil
+		case KHashBuild:
+			model := int64(24*float64(w.Items)/lanes) + 1500
+			return maxCycles(model, 2*d.bwFloorCycles(w.Bytes)), nil
+		case KHashProbe:
+			model := int64(20*float64(w.Items)/lanes) + 1500
+			return maxCycles(model, 2*d.bwFloorCycles(w.Bytes)), nil
+		case KGEMM:
+			// 2 FLOPs per lane per cycle at 25% sustained efficiency.
+			return int64(float64(w.FLOPs()) / (2 * lanes * 0.25)), nil
+		case KGEMV:
+			// Bandwidth-bound: ~12% efficiency.
+			return int64(float64(w.FLOPs()) / (2 * lanes * 0.12)), nil
+		case KKMeansAssign:
+			model := int64(float64(w.Items)*float64(w.K)*float64(w.N)/lanes) + 2000
+			return maxCycles(model, d.bwFloorCycles(w.Bytes)), nil
+		}
+	case FPGA:
+		switch class {
+		case KSort:
+			// Streaming merge-sort tree: Lanes elements/cycle per pass, a
+			// 16-way tree resolves 4 bits of order per pass.
+			passes := math.Ceil(log2(w.Items) / 4)
+			if passes < 1 {
+				passes = 1
+			}
+			return int64(passes*float64(w.Items)/lanes) + 64, nil
+		case KFilter, KProject:
+			// Fully pipelined II=1 stream: Lanes elements per cycle.
+			model := int64(float64(w.Items)/lanes) + 32
+			return maxCycles(model, d.bwFloorCycles(w.Bytes)), nil
+		case KSerialize, KDeserialize:
+			// Byte-oriented pipeline: Lanes bytes/cycle.
+			model := int64(float64(w.Bytes)/lanes) + 32
+			return maxCycles(model, d.bwFloorCycles(w.Bytes)), nil
+		case KWindowAgg:
+			model := int64(float64(w.Items)/lanes) + 64
+			return maxCycles(model, d.bwFloorCycles(w.Bytes)), nil
+		case KRuleMatch:
+			// Rule table encoded as a dataflow match network: 1 node/cycle.
+			return w.Items + 16, nil
+		case KHashBuild:
+			return int64(2*float64(w.Items)/lanes) + 64, nil
+		case KHashProbe:
+			return int64(2*float64(w.Items)/lanes) + 64, nil
+		case KKMeansAssign:
+			// K×N MACs per item on a dedicated distance array (~8 MACs per
+			// lane from DSP blocks), fully pipelined.
+			return int64(float64(w.Items)*float64(w.K)*float64(w.N)/(lanes*8)) + 128, nil
+		}
+	case CGRA:
+		switch class {
+		case KSort:
+			passes := math.Ceil(log2(w.Items) / 3)
+			if passes < 1 {
+				passes = 1
+			}
+			return int64(passes*float64(w.Items)/lanes) + 32, nil
+		case KFilter, KProject:
+			model := int64(float64(w.Items)/lanes) + 16
+			return maxCycles(model, d.bwFloorCycles(w.Bytes)), nil
+		case KGEMM:
+			return int64(float64(w.FLOPs()) / (2 * lanes * float64(d.Cores) * 0.5)), nil
+		case KGEMV:
+			return int64(float64(w.FLOPs()) / (2 * lanes * float64(d.Cores) * 0.25)), nil
+		case KWindowAgg:
+			model := int64(float64(w.Items)/lanes) + 16
+			return maxCycles(model, d.bwFloorCycles(w.Bytes)), nil
+		case KKMeansAssign:
+			return int64(float64(w.Items)*float64(w.K)*float64(w.N)/(lanes*float64(d.Cores))) + 64, nil
+		}
+	case ASIC:
+		switch class {
+		case KGEMM:
+			// Systolic array: tile the output into 128×128 blocks; each block
+			// streams K partial sums with a 2×128 pipeline fill.
+			tilesM := (w.M + 127) / 128
+			tilesN := (w.N + 127) / 128
+			perTile := int64(w.K) + 256
+			return int64(tilesM) * int64(tilesN) * perTile, nil
+		case KGEMV:
+			tilesM := (w.M + 127) / 128
+			return int64(tilesM) * (int64(w.K) + 256), nil
+		}
+	case NIC:
+		switch class {
+		case KSerialize, KDeserialize:
+			// Inline scatter/gather DMA: line-rate, 8 bytes/cycle.
+			return w.Bytes / 8, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %s on %s", ErrUnsupported, class, d.Kind)
+}
+
+// Offload returns the end-to-end cost of offloading one kernel call to the
+// device under the given deployment mode: reconfiguration (if the kernel is
+// not loaded), input transfer, kernel, and output transfer. outBytes is the
+// result size crossing back. The cost is accounted to the device totals.
+func (d *Device) Offload(mode Mode, class KernelClass, w Work, outBytes int64) (Cost, error) {
+	kc, err := d.KernelCost(class, w)
+	if err != nil {
+		return Zero, err
+	}
+	total := Zero
+	if d.Kind == FPGA || d.Kind == CGRA {
+		rc, err := d.ConfigureKernel(class.String(), lutCosts[class])
+		if err != nil {
+			return Zero, err
+		}
+		total = total.AddSeq(rc)
+	}
+	switch mode {
+	case Coprocessor:
+		total = total.AddSeq(d.TransferCost(w.Bytes))
+		total = total.AddSeq(kc)
+		total = total.AddSeq(d.TransferCost(outBytes))
+	case BumpInTheWire:
+		// Data flows through the device on its way to the host anyway; the
+		// device must keep line rate, so cost is max(kernel, line time).
+		line := d.TransferCost(w.Bytes)
+		if kc.Seconds > line.Seconds {
+			total = total.AddSeq(kc)
+		} else {
+			line.Cycles = kc.Cycles
+			line.Joules += kc.Joules
+			total = total.AddSeq(line)
+		}
+	case Standalone:
+		total = total.AddSeq(kc)
+	default:
+		return Zero, fmt.Errorf("hw: invalid mode %d", int(mode))
+	}
+	d.account(total)
+	return total, nil
+}
+
+// HostCost charges w's kernel to a CPU device and accounts it — the
+// baseline path. Provided so call sites read symmetrically with Offload.
+func (d *Device) HostCost(class KernelClass, w Work) (Cost, error) {
+	if d.Kind != CPU {
+		return Zero, fmt.Errorf("%w: HostCost on %s", ErrUnsupported, d.Kind)
+	}
+	c, err := d.KernelCost(class, w)
+	if err != nil {
+		return Zero, err
+	}
+	d.account(c)
+	return c, nil
+}
+
+// --- Real kernel implementations (results verified against references) ---
+
+// BitonicSortInt64 sorts data in place with a bitonic sorting network — the
+// FPGA sort kernel of §III-A1 ("bitonic sort algorithm has inherent pipeline
+// execution"). The input length is padded virtually to a power of two.
+// This is the network a hardware implementation would instantiate; it is
+// executed faithfully so tests can verify the kernel, while the *cost* comes
+// from the device model, not from host wall time.
+func BitonicSortInt64(data []int64) {
+	n := len(data)
+	if n < 2 {
+		return
+	}
+	// Pad to a power of two with +inf sentinels, run the canonical network,
+	// then copy back the first n elements. MaxInt64 inputs are unaffected:
+	// they sort to the tail alongside the sentinels, and only n elements are
+	// copied back in order.
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	buf := make([]int64, size)
+	copy(buf, data)
+	for i := n; i < size; i++ {
+		buf[i] = math.MaxInt64
+	}
+	for k := 2; k <= size; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			for i := 0; i < size; i++ {
+				l := i ^ j
+				if l <= i {
+					continue
+				}
+				up := i&k == 0
+				if (up && buf[i] > buf[l]) || (!up && buf[i] < buf[l]) {
+					buf[i], buf[l] = buf[l], buf[i]
+				}
+			}
+		}
+	}
+	copy(data, buf[:n])
+}
+
+// SortInt64sOn sorts xs on the device (mode-aware) and returns the sorted
+// copy and the simulated cost. The real result uses the bitonic network on
+// FPGA-class devices for small inputs (faithfully exercising the kernel) and
+// a comparison sort otherwise; the returned data is identical either way.
+func SortInt64sOn(d *Device, mode Mode, xs []int64) ([]int64, Cost, error) {
+	out := make([]int64, len(xs))
+	copy(out, xs)
+	w := Work{Items: int64(len(xs)), Bytes: int64(len(xs)) * 8}
+	var (
+		c   Cost
+		err error
+	)
+	if d.Kind == CPU {
+		c, err = d.HostCost(KSort, w)
+	} else {
+		c, err = d.Offload(mode, KSort, w, w.Bytes)
+	}
+	if err != nil {
+		return nil, Zero, err
+	}
+	if (d.Kind == FPGA || d.Kind == CGRA) && len(out) <= 1<<14 {
+		BitonicSortInt64(out)
+	} else {
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	}
+	return out, c, nil
+}
+
+// FilterInt64sOn filters xs by pred on the device and returns kept values
+// plus the simulated cost.
+func FilterInt64sOn(d *Device, mode Mode, xs []int64, pred func(int64) bool) ([]int64, Cost, error) {
+	w := Work{Items: int64(len(xs)), Bytes: int64(len(xs)) * 8}
+	out := make([]int64, 0, len(xs)/2)
+	for _, v := range xs {
+		if pred(v) {
+			out = append(out, v)
+		}
+	}
+	var (
+		c   Cost
+		err error
+	)
+	if d.Kind == CPU {
+		c, err = d.HostCost(KFilter, w)
+	} else {
+		c, err = d.Offload(mode, KFilter, w, int64(len(out))*8)
+	}
+	if err != nil {
+		return nil, Zero, err
+	}
+	return out, c, nil
+}
+
+// MatMulOn computes a×b on the device, returning the product and the
+// simulated cost. Results are computed with the verified host GEMM.
+func MatMulOn(d *Device, mode Mode, a, b *tensor.Tensor) (*tensor.Tensor, Cost, error) {
+	prod, err := tensor.MatMul(a, b)
+	if err != nil {
+		return nil, Zero, err
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	n := b.Dim(1)
+	w := Work{M: m, K: k, N: n, Bytes: int64(a.Size()+b.Size()) * 8}
+	var c Cost
+	if d.Kind == CPU {
+		c, err = d.HostCost(KGEMM, w)
+	} else {
+		c, err = d.Offload(mode, KGEMM, w, int64(prod.Size())*8)
+	}
+	if err != nil {
+		return nil, Zero, err
+	}
+	return prod, c, nil
+}
+
+// MatVecOn computes a×x on the device with simulated cost.
+func MatVecOn(d *Device, mode Mode, a, x *tensor.Tensor) (*tensor.Tensor, Cost, error) {
+	y, err := tensor.MatVec(a, x)
+	if err != nil {
+		return nil, Zero, err
+	}
+	w := Work{M: a.Dim(0), K: a.Dim(1), Bytes: int64(a.Size()+x.Size()) * 8}
+	var c Cost
+	if d.Kind == CPU {
+		c, err = d.HostCost(KGEMV, w)
+	} else {
+		c, err = d.Offload(mode, KGEMV, w, int64(y.Size())*8)
+	}
+	if err != nil {
+		return nil, Zero, err
+	}
+	return y, c, nil
+}

@@ -1,0 +1,147 @@
+package hw
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LogCA is the high-level accelerator performance model of Altaf & Wood
+// (ISCA'17), which the paper cites (§II-B) as the tool for reasoning about
+// when offload pays off. For an offloaded granularity of g bytes:
+//
+//	T_host(g)  = C · g^β          (host compute time)
+//	T_accel(g) = o + L·g + T_host(g)/A
+//
+// where o is the fixed offload overhead (driver/DMA setup), L the per-byte
+// link time, C the computational index (host seconds per byte^β), β the
+// complexity exponent of the kernel (1 for linear scans, ~1+log for sort),
+// and A the peak acceleration of the device on this kernel.
+type LogCA struct {
+	O    float64 // overhead, seconds
+	L    float64 // link time, seconds per byte
+	C    float64 // computational index, host seconds per byte^beta
+	Beta float64 // complexity exponent
+	A    float64 // peak acceleration
+}
+
+// ErrModel reports invalid model parameters or an unreachable target.
+var ErrModel = errors.New("hw: logca model")
+
+// Validate checks parameter sanity.
+func (m LogCA) Validate() error {
+	if m.O < 0 || m.L < 0 || m.C <= 0 || m.Beta <= 0 || m.A <= 1 {
+		return fmt.Errorf("%w: parameters out of range %+v", ErrModel, m)
+	}
+	return nil
+}
+
+// HostTime returns T_host(g).
+func (m LogCA) HostTime(g float64) float64 { return m.C * math.Pow(g, m.Beta) }
+
+// AccelTime returns T_accel(g).
+func (m LogCA) AccelTime(g float64) float64 {
+	return m.O + m.L*g + m.HostTime(g)/m.A
+}
+
+// Speedup returns T_host(g)/T_accel(g).
+func (m LogCA) Speedup(g float64) float64 {
+	at := m.AccelTime(g)
+	if at == 0 {
+		return 0
+	}
+	return m.HostTime(g) / at
+}
+
+// SpeedupLimit returns the asymptotic speedup as g→∞: bounded by the link
+// when β=1 (C/(L + C/A)) and by A when β>1.
+func (m LogCA) SpeedupLimit() float64 {
+	if m.Beta > 1 {
+		return m.A
+	}
+	return m.C / (m.L + m.C/m.A)
+}
+
+// BreakEven returns g₁ — the smallest granularity at which offload matches
+// the host (speedup = 1). It returns an error when the model never reaches
+// break-even (e.g. the link alone is slower than host compute).
+func (m LogCA) BreakEven() (float64, error) { return m.solveSpeedup(1) }
+
+// GHalf returns g_{A/2} — the granularity achieving half the asymptotic
+// speedup limit, LogCA's "how much data before the accelerator is worth it"
+// headline metric.
+func (m LogCA) GHalf() (float64, error) { return m.solveSpeedup(m.SpeedupLimit() / 2) }
+
+// solveSpeedup finds the smallest g with Speedup(g) >= target by bisection
+// over an exponentially expanded bracket. Speedup is monotonically
+// increasing in g for all valid parameter sets (overhead amortizes), so
+// bisection is exact.
+func (m LogCA) solveSpeedup(target float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if target >= m.SpeedupLimit() {
+		return 0, fmt.Errorf("%w: target speedup %.3g unreachable (limit %.3g)", ErrModel, target, m.SpeedupLimit())
+	}
+	lo, hi := 1.0, 2.0
+	for m.Speedup(hi) < target {
+		hi *= 2
+		if hi > 1e18 {
+			return 0, fmt.Errorf("%w: no break-even below 1e18 bytes", ErrModel)
+		}
+	}
+	for i := 0; i < 200 && hi-lo > 1e-6*hi; i++ {
+		mid := (lo + hi) / 2
+		if m.Speedup(mid) >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// DeriveLogCA builds a LogCA model for offloading a kernel class from the
+// host to the accelerator, using the calibrated device models: C and β from
+// the host's cycle model, A from the device compute-time ratio at a probe
+// size, o and L from the device link. This is how the optimizer's cost
+// models and the E14 experiment connect the two layers.
+func DeriveLogCA(host, accel *Device, class KernelClass) (LogCA, error) {
+	if host.Kind != CPU {
+		return LogCA{}, fmt.Errorf("%w: host must be CPU", ErrModel)
+	}
+	const probeItems = 1 << 20
+	probe := Work{Items: probeItems, Bytes: probeItems * 8, M: 1024, K: 1024, N: 1024}
+	hc, err := host.KernelCost(class, probe)
+	if err != nil {
+		return LogCA{}, err
+	}
+	ac, err := accel.KernelCost(class, probe)
+	if err != nil {
+		return LogCA{}, err
+	}
+	if ac.Seconds <= 0 || hc.Seconds <= 0 {
+		return LogCA{}, fmt.Errorf("%w: degenerate probe costs", ErrModel)
+	}
+	beta := 1.0
+	if class == KSort {
+		// Sort is n·log n; over the decades of granularity the experiments
+		// sweep, an effective exponent just above one captures the shape.
+		beta = 1.05
+	}
+	bytes := float64(probe.Bytes)
+	m := LogCA{
+		O:    accel.LinkLatency,
+		L:    1 / accel.LinkBandwidth,
+		C:    hc.Seconds / math.Pow(bytes, beta),
+		Beta: beta,
+		A:    hc.Seconds / ac.Seconds,
+	}
+	if accel.LinkBandwidth <= 0 {
+		m.L = 0
+	}
+	if err := m.Validate(); err != nil {
+		return LogCA{}, err
+	}
+	return m, nil
+}

@@ -1,0 +1,109 @@
+package hw
+
+import (
+	"fmt"
+	"math"
+)
+
+// Roofline is the Williams/Waterman/Patterson visual performance model the
+// paper cites for fixed hardware (§IV-B4): attainable throughput is capped
+// by either peak compute or memory bandwidth times arithmetic intensity.
+type Roofline struct {
+	PeakFLOPS float64 // operations per second at full compute utilisation
+	MemBW     float64 // bytes per second from the relevant memory level
+}
+
+// Attainable returns the attainable FLOP/s at arithmetic intensity ai
+// (FLOPs per byte).
+func (r Roofline) Attainable(ai float64) float64 {
+	return math.Min(r.PeakFLOPS, r.MemBW*ai)
+}
+
+// Ridge returns the ridge-point intensity where the model transitions from
+// bandwidth-bound to compute-bound.
+func (r Roofline) Ridge() float64 {
+	if r.MemBW == 0 {
+		return math.Inf(1)
+	}
+	return r.PeakFLOPS / r.MemBW
+}
+
+// ComputeBound reports whether a kernel of intensity ai is compute-bound on
+// this roofline.
+func (r Roofline) ComputeBound(ai float64) bool { return ai >= r.Ridge() }
+
+// DeviceRoofline derives a roofline for the device: peak FLOP/s from its
+// lane/clock model and memory bandwidth from the link (coprocessors are
+// typically PCIe-fed in the polystore setting, which is exactly the paper's
+// point about data movement dominating).
+func DeviceRoofline(d *Device) Roofline {
+	var flopsPerCycle float64
+	switch d.Kind {
+	case CPU:
+		flopsPerCycle = 8 // one fused-SIMD core
+	case GPU:
+		flopsPerCycle = 2 * float64(d.Lanes) * 0.25
+	case CGRA:
+		flopsPerCycle = 2 * float64(d.Lanes) * float64(d.Cores) * 0.5
+	case ASIC:
+		flopsPerCycle = 2 * float64(d.Lanes)
+	case FPGA:
+		flopsPerCycle = 2 * float64(d.Lanes)
+	default:
+		flopsPerCycle = 1
+	}
+	bw := d.MemBandwidth
+	if bw == 0 {
+		bw = d.LinkBandwidth
+	}
+	if bw == 0 {
+		// Host DRAM bandwidth stand-in.
+		bw = 60e9
+	}
+	return Roofline{PeakFLOPS: flopsPerCycle * d.ClockHz, MemBW: bw}
+}
+
+// RooflinePoint is one (kernel, device) sample for the E14 report.
+type RooflinePoint struct {
+	Device    string
+	Kernel    KernelClass
+	Intensity float64 // FLOPs per byte
+	Achieved  float64 // modelled FLOP/s from the cycle model
+	Attain    float64 // roofline ceiling at this intensity
+}
+
+// String renders the point for reports.
+func (p RooflinePoint) String() string {
+	return fmt.Sprintf("%-16s %-12s ai=%8.3f achieved=%12.4g ceiling=%12.4g", p.Device, p.Kernel, p.Intensity, p.Achieved, p.Attain)
+}
+
+// MeasureRoofline computes the roofline point of one kernel invocation on a
+// device from the cycle model.
+func MeasureRoofline(d *Device, class KernelClass, w Work) (RooflinePoint, error) {
+	c, err := d.KernelCost(class, w)
+	if err != nil {
+		return RooflinePoint{}, err
+	}
+	flops := float64(w.FLOPs())
+	if flops == 0 {
+		// Streaming kernels: count one op per item.
+		flops = float64(w.Items)
+	}
+	bytes := float64(w.Bytes)
+	if bytes == 0 {
+		bytes = 1
+	}
+	ai := flops / bytes
+	r := DeviceRoofline(d)
+	achieved := 0.0
+	if c.Seconds > 0 {
+		achieved = flops / c.Seconds
+	}
+	return RooflinePoint{
+		Device:    d.Name,
+		Kernel:    class,
+		Intensity: ai,
+		Achieved:  achieved,
+		Attain:    r.Attainable(ai),
+	}, nil
+}

@@ -1,0 +1,404 @@
+// Package ir defines the hierarchical intermediate representation of
+// Polystore++ (§IV-B1 of the paper): a control-level DAG whose nodes are
+// operators annotated with the engine (and optionally the hardware device)
+// that executes them. Cross-engine edges imply data migration, exactly as in
+// the annotated data-flow graph of Figure 5. Control nodes (loops) carry a
+// nested body graph, giving the "hierarchical IR consisting of control nodes
+// [where] each control node may have a data-flow graph" design the paper
+// proposes.
+package ir
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OpKind enumerates the operator taxonomy across all engines (§III-A1).
+type OpKind int
+
+// Operator kinds. Grouped by the engine family that natively executes them.
+const (
+	// Relational.
+	OpScan OpKind = iota + 1
+	OpIndexScan
+	OpFilter
+	OpProject
+	OpHashJoin
+	OpMergeJoin
+	OpSort
+	OpGroupBy
+	OpLimit
+	OpSQL // opaque SQL pushed down to the relational engine
+
+	// Graph.
+	OpGraphMatch
+	OpGraphPath
+	OpGraphSubtree
+	OpGraphNeighbors
+	OpPageRank
+
+	// Text.
+	OpTextSearch
+	OpTextPhrase
+
+	// Timeseries / stream.
+	OpTSRange
+	OpTSWindow
+	OpStreamWindow
+
+	// Key/value.
+	OpKVGet
+	OpKVScan
+
+	// ML/DL.
+	OpTrain
+	OpPredict
+	OpKMeans
+	OpGEMM
+
+	// Movement and control.
+	OpMigrate
+	OpLoop
+	OpUnion
+	OpMap
+	OpReduce
+)
+
+var opNames = map[OpKind]string{
+	OpScan: "scan", OpIndexScan: "index-scan", OpFilter: "filter",
+	OpProject: "project", OpHashJoin: "hash-join", OpMergeJoin: "merge-join",
+	OpSort: "sort", OpGroupBy: "group-by", OpLimit: "limit", OpSQL: "sql",
+	OpGraphMatch: "graph-match", OpGraphPath: "graph-path",
+	OpGraphSubtree: "graph-subtree", OpGraphNeighbors: "graph-neighbors",
+	OpPageRank: "page-rank", OpTextSearch: "text-search", OpTextPhrase: "text-phrase",
+	OpTSRange: "ts-range", OpTSWindow: "ts-window", OpStreamWindow: "stream-window",
+	OpKVGet: "kv-get", OpKVScan: "kv-scan",
+	OpTrain: "train", OpPredict: "predict", OpKMeans: "kmeans", OpGEMM: "gemm",
+	OpMigrate: "migrate", OpLoop: "loop", OpUnion: "union",
+	OpMap: "map", OpReduce: "reduce",
+}
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	if s, ok := opNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Valid reports whether k is a declared operator kind.
+func (k OpKind) Valid() bool {
+	_, ok := opNames[k]
+	return ok
+}
+
+// NodeID identifies a node within one graph.
+type NodeID int
+
+// Node is one operator instance.
+type Node struct {
+	ID     NodeID
+	Kind   OpKind
+	Engine string // engine instance that executes the node ("" = middleware)
+	// Device optionally pins the node to a hardware device by name; the
+	// compiler's kernel-selection pass fills this (§IV-A-d).
+	Device string
+	// Attrs carries operator parameters (SQL text, predicate, table name,
+	// window widths...). Keys are operator-specific and documented at the
+	// adapter that consumes them.
+	Attrs map[string]any
+	// Inputs are the producing nodes, in argument order.
+	Inputs []NodeID
+	// Body is the nested data-flow graph of a control node (OpLoop).
+	Body *Graph
+}
+
+// Attr returns the named attribute (nil when absent).
+func (n *Node) Attr(key string) any {
+	if n.Attrs == nil {
+		return nil
+	}
+	return n.Attrs[key]
+}
+
+// StringAttr returns a string attribute ("" when absent or mistyped).
+func (n *Node) StringAttr(key string) string {
+	s, _ := n.Attr(key).(string)
+	return s
+}
+
+// IntAttr returns an int64 attribute (0 when absent; accepts int too).
+func (n *Node) IntAttr(key string) int64 {
+	switch v := n.Attr(key).(type) {
+	case int64:
+		return v
+	case int:
+		return int64(v)
+	default:
+		return 0
+	}
+}
+
+// Graph is a DAG of operator nodes.
+type Graph struct {
+	nodes  map[NodeID]*Node
+	nextID NodeID
+}
+
+// Sentinel errors.
+var (
+	ErrValidate = errors.New("ir: invalid graph")
+	ErrNoNode   = errors.New("ir: node not found")
+)
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{nodes: make(map[NodeID]*Node), nextID: 1}
+}
+
+// Add inserts a node with the given kind, engine, attributes and inputs,
+// returning its id.
+func (g *Graph) Add(kind OpKind, engine string, attrs map[string]any, inputs ...NodeID) NodeID {
+	id := g.nextID
+	g.nextID++
+	if attrs == nil {
+		attrs = map[string]any{}
+	}
+	g.nodes[id] = &Node{ID: id, Kind: kind, Engine: engine, Attrs: attrs, Inputs: append([]NodeID(nil), inputs...)}
+	return id
+}
+
+// Node returns the node by id.
+func (g *Graph) Node(id NodeID) (*Node, error) {
+	n, ok := g.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoNode, id)
+	}
+	return n, nil
+}
+
+// MustNode returns the node or panics — for compiler passes operating on
+// graphs they already validated.
+func (g *Graph) MustNode(id NodeID) *Node {
+	n, err := g.Node(id)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Nodes returns all nodes sorted by id.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Remove deletes a node. The caller must rewire consumers first; Validate
+// catches dangling references.
+func (g *Graph) Remove(id NodeID) {
+	delete(g.nodes, id)
+}
+
+// Consumers returns the ids of nodes reading from id, sorted.
+func (g *Graph) Consumers(id NodeID) []NodeID {
+	var out []NodeID
+	for _, n := range g.Nodes() {
+		for _, in := range n.Inputs {
+			if in == id {
+				out = append(out, n.ID)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Sinks returns nodes with no consumers, sorted by id.
+func (g *Graph) Sinks() []NodeID {
+	consumed := make(map[NodeID]bool)
+	for _, n := range g.nodes {
+		for _, in := range n.Inputs {
+			consumed[in] = true
+		}
+	}
+	var out []NodeID
+	for _, n := range g.Nodes() {
+		if !consumed[n.ID] {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: known kinds, existing inputs,
+// acyclicity, and recursively validates loop bodies.
+func (g *Graph) Validate() error {
+	for _, n := range g.nodes {
+		if !n.Kind.Valid() {
+			return fmt.Errorf("%w: node %d has invalid kind %d", ErrValidate, n.ID, int(n.Kind))
+		}
+		for _, in := range n.Inputs {
+			if _, ok := g.nodes[in]; !ok {
+				return fmt.Errorf("%w: node %d reads missing node %d", ErrValidate, n.ID, in)
+			}
+		}
+		if n.Kind == OpLoop {
+			if n.Body == nil {
+				return fmt.Errorf("%w: loop node %d has no body", ErrValidate, n.ID)
+			}
+			if err := n.Body.Validate(); err != nil {
+				return fmt.Errorf("loop node %d body: %w", n.ID, err)
+			}
+		}
+	}
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoSort returns the node ids in a topological order (inputs before
+// consumers), or an error if the graph has a cycle.
+func (g *Graph) TopoSort() ([]NodeID, error) {
+	indeg := make(map[NodeID]int, len(g.nodes))
+	for id := range g.nodes {
+		indeg[id] = 0
+	}
+	for _, n := range g.nodes {
+		for _, in := range n.Inputs {
+			if _, ok := g.nodes[in]; ok {
+				indeg[n.ID]++
+			}
+		}
+	}
+	// Deterministic order: repeatedly take the smallest ready id.
+	var ready []NodeID
+	for id, d := range indeg {
+		if d == 0 {
+			ready = append(ready, id)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	out := make([]NodeID, 0, len(g.nodes))
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		out = append(out, id)
+		for _, c := range g.Consumers(id) {
+			indeg[c]--
+			if indeg[c] == 0 {
+				ready = append(ready, c)
+				sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+			}
+		}
+	}
+	if len(out) != len(g.nodes) {
+		return nil, fmt.Errorf("%w: cycle detected", ErrValidate)
+	}
+	return out, nil
+}
+
+// Stages groups the topological order into layers where every node's inputs
+// live in strictly earlier layers — the stage pipeline of §IV-D.
+func (g *Graph) Stages() ([][]NodeID, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	level := make(map[NodeID]int, len(order))
+	maxLevel := 0
+	for _, id := range order {
+		n := g.nodes[id]
+		l := 0
+		for _, in := range n.Inputs {
+			if level[in]+1 > l {
+				l = level[in] + 1
+			}
+		}
+		level[id] = l
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	out := make([][]NodeID, maxLevel+1)
+	for _, id := range order {
+		out[level[id]] = append(out[level[id]], id)
+	}
+	return out, nil
+}
+
+// CrossEngineEdges returns (producer, consumer) pairs whose engines differ —
+// the places the data migrator must act (dotted lines of Figure 5).
+func (g *Graph) CrossEngineEdges() [][2]NodeID {
+	var out [][2]NodeID
+	for _, n := range g.Nodes() {
+		for _, in := range n.Inputs {
+			p, ok := g.nodes[in]
+			if !ok {
+				continue
+			}
+			if p.Engine != n.Engine {
+				out = append(out, [2]NodeID{p.ID, n.ID})
+			}
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the graph (attribute values are shallow-copied; they are
+// treated as immutable by convention).
+func (g *Graph) Clone() *Graph {
+	out := NewGraph()
+	out.nextID = g.nextID
+	for id, n := range g.nodes {
+		cp := &Node{
+			ID:     n.ID,
+			Kind:   n.Kind,
+			Engine: n.Engine,
+			Device: n.Device,
+			Attrs:  make(map[string]any, len(n.Attrs)),
+			Inputs: append([]NodeID(nil), n.Inputs...),
+		}
+		for k, v := range n.Attrs {
+			cp.Attrs[k] = v
+		}
+		if n.Body != nil {
+			cp.Body = n.Body.Clone()
+		}
+		out.nodes[id] = cp
+	}
+	return out
+}
+
+// String renders the graph, one node per line in topological order.
+func (g *Graph) String() string {
+	order, err := g.TopoSort()
+	if err != nil {
+		order = nil
+		for _, n := range g.Nodes() {
+			order = append(order, n.ID)
+		}
+	}
+	var sb strings.Builder
+	for _, id := range order {
+		n := g.nodes[id]
+		fmt.Fprintf(&sb, "%3d: %-14s engine=%-10s", n.ID, n.Kind, n.Engine)
+		if n.Device != "" {
+			fmt.Fprintf(&sb, " device=%-14s", n.Device)
+		}
+		if len(n.Inputs) > 0 {
+			fmt.Fprintf(&sb, " inputs=%v", n.Inputs)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,224 @@
+package ir
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func linearGraph(t *testing.T) (*Graph, []NodeID) {
+	t.Helper()
+	g := NewGraph()
+	a := g.Add(OpScan, "db", map[string]any{"table": "t"})
+	b := g.Add(OpFilter, "db", nil, a)
+	c := g.Add(OpSort, "db", nil, b)
+	d := g.Add(OpKMeans, "ml", nil, c)
+	return g, []NodeID{a, b, c, d}
+}
+
+func TestAddAndNode(t *testing.T) {
+	g, ids := linearGraph(t)
+	if g.Len() != 4 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	n, err := g.Node(ids[0])
+	if err != nil || n.Kind != OpScan || n.StringAttr("table") != "t" {
+		t.Fatalf("Node = %+v, %v", n, err)
+	}
+	if _, err := g.Node(999); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("missing node: %v", err)
+	}
+	if n.IntAttr("nope") != 0 || n.StringAttr("nope") != "" {
+		t.Fatal("absent attrs should zero")
+	}
+}
+
+func TestAttrAccessors(t *testing.T) {
+	g := NewGraph()
+	id := g.Add(OpLimit, "db", map[string]any{"n": 5, "m": int64(7), "s": "x"})
+	n := g.MustNode(id)
+	if n.IntAttr("n") != 5 || n.IntAttr("m") != 7 {
+		t.Fatal("IntAttr accepts int and int64")
+	}
+	if n.StringAttr("s") != "x" {
+		t.Fatal("StringAttr")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g, _ := linearGraph(t)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Dangling input.
+	bad := NewGraph()
+	bad.Add(OpFilter, "db", nil, NodeID(42))
+	if err := bad.Validate(); !errors.Is(err, ErrValidate) {
+		t.Fatalf("dangling: %v", err)
+	}
+	// Invalid kind.
+	bad2 := NewGraph()
+	bad2.Add(OpKind(999), "db", nil)
+	if err := bad2.Validate(); !errors.Is(err, ErrValidate) {
+		t.Fatalf("invalid kind: %v", err)
+	}
+	// Loop without body.
+	bad3 := NewGraph()
+	bad3.Add(OpLoop, "", nil)
+	if err := bad3.Validate(); !errors.Is(err, ErrValidate) {
+		t.Fatalf("loop without body: %v", err)
+	}
+	// Loop with valid body validates recursively.
+	ok := NewGraph()
+	body := NewGraph()
+	body.Add(OpScan, "db", nil)
+	loop := ok.Add(OpLoop, "", nil)
+	ok.MustNode(loop).Body = body
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopoSortAndCycle(t *testing.T) {
+	g, ids := linearGraph(t)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[NodeID]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	for i := 1; i < len(ids); i++ {
+		if pos[ids[i-1]] > pos[ids[i]] {
+			t.Fatalf("topo order violated: %v", order)
+		}
+	}
+	// Introduce a cycle.
+	g.MustNode(ids[0]).Inputs = []NodeID{ids[3]}
+	if _, err := g.TopoSort(); !errors.Is(err, ErrValidate) {
+		t.Fatalf("cycle: %v", err)
+	}
+}
+
+func TestStages(t *testing.T) {
+	g := NewGraph()
+	a := g.Add(OpScan, "db", nil)
+	b := g.Add(OpScan, "db", nil)
+	j := g.Add(OpHashJoin, "db", nil, a, b)
+	s := g.Add(OpSort, "db", nil, j)
+	stages, err := g.Stages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 3 {
+		t.Fatalf("stages = %v", stages)
+	}
+	if len(stages[0]) != 2 {
+		t.Fatalf("stage 0 = %v", stages[0])
+	}
+	if stages[1][0] != j || stages[2][0] != s {
+		t.Fatalf("stage assignment wrong: %v", stages)
+	}
+}
+
+func TestSinksAndConsumers(t *testing.T) {
+	g, ids := linearGraph(t)
+	sinks := g.Sinks()
+	if len(sinks) != 1 || sinks[0] != ids[3] {
+		t.Fatalf("sinks = %v", sinks)
+	}
+	cons := g.Consumers(ids[0])
+	if len(cons) != 1 || cons[0] != ids[1] {
+		t.Fatalf("consumers = %v", cons)
+	}
+}
+
+func TestCrossEngineEdges(t *testing.T) {
+	g, _ := linearGraph(t)
+	edges := g.CrossEngineEdges()
+	if len(edges) != 1 {
+		t.Fatalf("cross edges = %v", edges)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g, ids := linearGraph(t)
+	c := g.Clone()
+	g.MustNode(ids[0]).Attrs["table"] = "changed"
+	g.MustNode(ids[0]).Engine = "other"
+	cn := c.MustNode(ids[0])
+	if cn.StringAttr("table") != "t" || cn.Engine != "db" {
+		t.Fatal("clone shares state")
+	}
+	// New nodes in the clone do not collide with the source ids.
+	nid := c.Add(OpLimit, "db", nil)
+	if _, err := g.Node(nid); err == nil {
+		t.Fatal("clone id collides with source")
+	}
+}
+
+func TestString(t *testing.T) {
+	g, _ := linearGraph(t)
+	g.MustNode(4).Device = "fpga"
+	s := g.String()
+	for _, want := range []string{"scan", "filter", "sort", "kmeans", "device=fpga"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	if OpScan.String() != "scan" || OpMigrate.String() != "migrate" {
+		t.Fatal("names wrong")
+	}
+	if OpKind(999).Valid() || !OpTrain.Valid() {
+		t.Fatal("Valid wrong")
+	}
+}
+
+// Property: random DAGs (edges only from lower to higher ids) always
+// validate and topo-sort to a consistent order.
+func TestPropertyRandomDAG(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewGraph()
+		n := int(seed%20) + 3
+		if n < 3 {
+			n = 3
+		}
+		var ids []NodeID
+		for i := 0; i < n; i++ {
+			var inputs []NodeID
+			for j := 0; j < len(ids); j++ {
+				if (seed>>uint(j%60))&1 == 1 && len(inputs) < 3 {
+					inputs = append(inputs, ids[j])
+				}
+			}
+			ids = append(ids, g.Add(OpMap, "e", nil, inputs...))
+		}
+		if g.Validate() != nil {
+			return false
+		}
+		order, err := g.TopoSort()
+		if err != nil || len(order) != n {
+			return false
+		}
+		pos := map[NodeID]int{}
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, nd := range g.Nodes() {
+			for _, in := range nd.Inputs {
+				if pos[in] > pos[nd.ID] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

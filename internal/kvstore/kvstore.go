@@ -1,0 +1,185 @@
+// Package kvstore implements the key/value engine of the polystore (the
+// Accumulo/Redis role in Figure 1: external events and session state).
+// It provides versioned values, TTL expiry on a caller-supplied clock, and
+// prefix scans. All operations are safe for concurrent use.
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sentinel errors.
+var (
+	ErrNotFound = errors.New("kvstore: key not found")
+	ErrExpired  = errors.New("kvstore: key expired")
+)
+
+// Entry is one stored version of a value.
+type Entry struct {
+	Value     []byte
+	Version   int64
+	WrittenAt time.Time
+	ExpiresAt time.Time // zero means never
+}
+
+// Store is an in-memory versioned KV store. The zero value is not usable;
+// construct with New.
+type Store struct {
+	mu   sync.RWMutex
+	name string
+	data map[string][]Entry // versions, ascending
+	now  func() time.Time
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithClock substitutes the time source (tests, simulation).
+func WithClock(now func() time.Time) Option {
+	return func(s *Store) { s.now = now }
+}
+
+// New returns an empty store.
+func New(name string, opts ...Option) *Store {
+	s := &Store{name: name, data: make(map[string][]Entry), now: time.Now}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Name returns the store instance name.
+func (s *Store) Name() string { return s.name }
+
+// Put stores value under key with no expiry, returning the new version.
+func (s *Store) Put(key string, value []byte) int64 {
+	return s.PutTTL(key, value, 0)
+}
+
+// PutTTL stores value under key, expiring after ttl (0 = never).
+func (s *Store) PutTTL(key string, value []byte, ttl time.Duration) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	versions := s.data[key]
+	ver := int64(1)
+	if len(versions) > 0 {
+		ver = versions[len(versions)-1].Version + 1
+	}
+	own := make([]byte, len(value))
+	copy(own, value)
+	e := Entry{Value: own, Version: ver, WrittenAt: s.now()}
+	if ttl > 0 {
+		e.ExpiresAt = e.WrittenAt.Add(ttl)
+	}
+	s.data[key] = append(versions, e)
+	return ver
+}
+
+// Get returns the latest live value for key.
+func (s *Store) Get(key string) ([]byte, error) {
+	e, err := s.GetEntry(key)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(e.Value))
+	copy(out, e.Value)
+	return out, nil
+}
+
+// GetEntry returns the latest live entry for key.
+func (s *Store) GetEntry(key string) (Entry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	versions, ok := s.data[key]
+	if !ok || len(versions) == 0 {
+		return Entry{}, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	e := versions[len(versions)-1]
+	if !e.ExpiresAt.IsZero() && !s.now().Before(e.ExpiresAt) {
+		return Entry{}, fmt.Errorf("%w: %q", ErrExpired, key)
+	}
+	return e, nil
+}
+
+// GetVersion returns a specific version of key (even if a newer one exists).
+func (s *Store) GetVersion(key string, version int64) (Entry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, e := range s.data[key] {
+		if e.Version == version {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("%w: %q@%d", ErrNotFound, key, version)
+}
+
+// Delete removes all versions of key. Deleting a missing key is a no-op.
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.data, key)
+}
+
+// Len returns the number of live keys (expired keys are excluded).
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	now := s.now()
+	for _, versions := range s.data {
+		e := versions[len(versions)-1]
+		if e.ExpiresAt.IsZero() || now.Before(e.ExpiresAt) {
+			n++
+		}
+	}
+	return n
+}
+
+// ScanPrefix returns the live keys with the given prefix, sorted.
+func (s *Store) ScanPrefix(prefix string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	now := s.now()
+	out := make([]string, 0, 16)
+	for k, versions := range s.data {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		e := versions[len(versions)-1]
+		if !e.ExpiresAt.IsZero() && !now.Before(e.ExpiresAt) {
+			continue
+		}
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Compact drops expired versions and returns how many entries were removed.
+func (s *Store) Compact() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	removed := 0
+	for k, versions := range s.data {
+		kept := versions[:0]
+		for _, e := range versions {
+			if e.ExpiresAt.IsZero() || now.Before(e.ExpiresAt) {
+				kept = append(kept, e)
+			} else {
+				removed++
+			}
+		}
+		if len(kept) == 0 {
+			delete(s.data, k)
+		} else {
+			s.data[k] = kept
+		}
+	}
+	return removed
+}

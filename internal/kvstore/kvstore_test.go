@@ -1,0 +1,151 @@
+package kvstore
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPutGet(t *testing.T) {
+	s := New("kv1")
+	if s.Name() != "kv1" {
+		t.Fatal("name")
+	}
+	v1 := s.Put("a", []byte("hello"))
+	if v1 != 1 {
+		t.Fatalf("version = %d", v1)
+	}
+	got, err := s.Get("a")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if _, err := s.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing: %v", err)
+	}
+}
+
+func TestVersioning(t *testing.T) {
+	s := New("kv")
+	s.Put("k", []byte("v1"))
+	v2 := s.Put("k", []byte("v2"))
+	if v2 != 2 {
+		t.Fatalf("second version = %d", v2)
+	}
+	latest, err := s.Get("k")
+	if err != nil || string(latest) != "v2" {
+		t.Fatalf("latest = %q %v", latest, err)
+	}
+	old, err := s.GetVersion("k", 1)
+	if err != nil || string(old.Value) != "v1" {
+		t.Fatalf("v1 = %q %v", old.Value, err)
+	}
+	if _, err := s.GetVersion("k", 99); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing version: %v", err)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := New("kv")
+	s.Put("k", []byte("abc"))
+	got, _ := s.Get("k")
+	got[0] = 'X'
+	again, _ := s.Get("k")
+	if string(again) != "abc" {
+		t.Fatal("Get aliases internal storage")
+	}
+}
+
+func TestPutCopiesInput(t *testing.T) {
+	s := New("kv")
+	buf := []byte("abc")
+	s.Put("k", buf)
+	buf[0] = 'X'
+	got, _ := s.Get("k")
+	if string(got) != "abc" {
+		t.Fatal("Put aliases caller buffer")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	s := New("kv", WithClock(clock))
+	s.PutTTL("k", []byte("v"), 10*time.Second)
+	if _, err := s.Get("k"); err != nil {
+		t.Fatalf("before expiry: %v", err)
+	}
+	now = now.Add(11 * time.Second)
+	if _, err := s.Get("k"); !errors.Is(err, ErrExpired) {
+		t.Fatalf("after expiry: %v", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len counts expired key: %d", s.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New("kv")
+	s.Put("k", []byte("v"))
+	s.Delete("k")
+	if _, err := s.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after delete: %v", err)
+	}
+	s.Delete("never-existed") // no-op
+}
+
+func TestScanPrefix(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := New("kv", WithClock(func() time.Time { return now }))
+	s.Put("user:1", []byte("a"))
+	s.Put("user:2", []byte("b"))
+	s.Put("order:1", []byte("c"))
+	s.PutTTL("user:3", []byte("d"), time.Second)
+	now = now.Add(2 * time.Second)
+	got := s.ScanPrefix("user:")
+	if len(got) != 2 || got[0] != "user:1" || got[1] != "user:2" {
+		t.Fatalf("ScanPrefix = %v", got)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := New("kv", WithClock(func() time.Time { return now }))
+	s.PutTTL("a", []byte("1"), time.Second)
+	s.Put("b", []byte("2"))
+	now = now.Add(5 * time.Second)
+	removed := s.Compact()
+	if removed != 1 {
+		t.Fatalf("removed = %d", removed)
+	}
+	if _, err := s.Get("b"); err != nil {
+		t.Fatalf("live key removed: %v", err)
+	}
+	if _, err := s.Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expired key should be gone: %v", err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New("kv")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			key := string(rune('a' + id))
+			for j := 0; j < 200; j++ {
+				s.Put(key, []byte{byte(j)})
+				if _, err := s.Get(key); err != nil {
+					t.Errorf("Get(%s): %v", key, err)
+					return
+				}
+				s.ScanPrefix("a")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}

@@ -1,0 +1,246 @@
+// Package metrics provides the runtime statistics fabric of the Polystore++
+// middleware (§IV-D-d of the paper): counters, gauges, timers and
+// fixed-boundary histograms collected by adapters, the executor and the
+// hardware simulators, and consumed by the runtime optimizer's cost models.
+//
+// All types are safe for concurrent use.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Add increments the counter by d (d must be >= 0; negative deltas are
+// ignored to preserve monotonicity).
+func (c *Counter) Add(d int64) {
+	if d < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.v += d
+	c.mu.Unlock()
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	g.mu.Lock()
+	g.v += d
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Timer accumulates durations and exposes count/total/mean/max.
+type Timer struct {
+	mu    sync.Mutex
+	n     int64
+	total time.Duration
+	max   time.Duration
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	t.mu.Lock()
+	t.n++
+	t.total += d
+	if d > t.max {
+		t.max = d
+	}
+	t.mu.Unlock()
+}
+
+// Time runs fn and records its duration.
+func (t *Timer) Time(fn func()) {
+	start := time.Now()
+	fn()
+	t.Observe(time.Since(start))
+}
+
+// Snapshot returns (count, total, mean, max).
+func (t *Timer) Snapshot() (n int64, total, mean, max time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, total, max = t.n, t.total, t.max
+	if n > 0 {
+		mean = time.Duration(int64(total) / n)
+	}
+	return n, total, mean, max
+}
+
+// Histogram counts observations into fixed boundaries. Boundaries are upper
+// bounds; an observation lands in the first bucket whose bound is >= value.
+// Values beyond the last bound land in the overflow bucket.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64 // len(bounds)+1, last is overflow
+	sum    float64
+	n      int64
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds.
+func NewHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("metrics: histogram needs at least one bound")
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		return nil, fmt.Errorf("metrics: histogram bounds must be ascending")
+	}
+	own := make([]float64, len(bounds))
+	copy(own, bounds)
+	return &Histogram{bounds: own, counts: make([]int64, len(bounds)+1)}, nil
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.n++
+	h.sum += v
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+}
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) from the
+// bucket counts, using the bucket upper bound as the estimate.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.n))
+	if target >= h.n {
+		target = h.n - 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen > target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Snapshot returns (count, sum).
+func (h *Histogram) Snapshot() (n int64, sum float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n, h.sum
+}
+
+// Registry is a namespace of named metrics. The zero value is not usable;
+// construct with NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		timers:   make(map[string]*Timer),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the named timer, creating it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Dump renders all metrics sorted by name, one per line — the executor's
+// debugging report.
+func (r *Registry) Dump() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lines := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.timers))
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("counter %s = %d", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("gauge %s = %g", name, g.Value()))
+	}
+	for name, t := range r.timers {
+		n, total, mean, max := t.Snapshot()
+		lines = append(lines, fmt.Sprintf("timer %s: n=%d total=%s mean=%s max=%s", name, n, total, mean, max))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

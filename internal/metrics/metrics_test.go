@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 16000 {
+		t.Fatalf("counter = %d, want 16000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(3.5)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %g, want 2", got)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	var tm Timer
+	tm.Observe(10 * time.Millisecond)
+	tm.Observe(30 * time.Millisecond)
+	n, total, mean, max := tm.Snapshot()
+	if n != 2 || total != 40*time.Millisecond || mean != 20*time.Millisecond || max != 30*time.Millisecond {
+		t.Fatalf("snapshot = %d %s %s %s", n, total, mean, max)
+	}
+	tm.Time(func() {})
+	if n, _, _, _ := tm.Snapshot(); n != 3 {
+		t.Fatalf("Time did not record: n=%d", n)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.5, 0.7, 5, 50, 5000} {
+		h.Observe(v)
+	}
+	n, sum := h.Snapshot()
+	if n != 5 || sum != 5056.2 {
+		t.Fatalf("snapshot = %d, %g", n, sum)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Fatalf("q0 = %g, want 1", q)
+	}
+	if q := h.Quantile(0.5); q != 10 {
+		t.Fatalf("q50 = %g, want 10", q)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Fatalf("q100 (clamped) = %g, want 100", q)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(nil); err == nil {
+		t.Fatal("empty bounds should fail")
+	}
+	if _, err := NewHistogram([]float64{5, 1}); err == nil {
+		t.Fatal("descending bounds should fail")
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h, err := NewHistogram([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %g, want 0", q)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops").Add(3)
+	if r.Counter("ops").Value() != 3 {
+		t.Fatal("counter not shared by name")
+	}
+	r.Gauge("load").Set(0.5)
+	r.Timer("exec").Observe(time.Millisecond)
+	dump := r.Dump()
+	for _, want := range []string{"counter ops = 3", "gauge load = 0.5", "timer exec"} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("shared").Inc()
+				r.Timer("t").Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 800 {
+		t.Fatalf("shared counter = %d, want 800", got)
+	}
+}

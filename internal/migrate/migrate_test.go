@@ -1,0 +1,184 @@
+package migrate
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"polystorepp/internal/cast"
+	"polystorepp/internal/hw"
+)
+
+func testBatch(t testing.TB, n int) *cast.Batch {
+	t.Helper()
+	s := cast.MustSchema(
+		cast.Column{Name: "a", Type: cast.Int64},
+		cast.Column{Name: "b", Type: cast.Float64},
+		cast.Column{Name: "c", Type: cast.String},
+	)
+	rng := rand.New(rand.NewSource(1))
+	b := cast.NewBatch(s, n)
+	for i := 0; i < n; i++ {
+		if err := b.AppendRow(rng.Int63(), rng.Float64(), "row"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+func TestAllTransportsRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	m := New(hw.NewHostCPU(), hw.NewRDMANIC())
+	b := testBatch(t, 5000)
+	for _, tr := range []Transport{CSV, Pipe, RDMA} {
+		out, bd, err := m.Migrate(ctx, b, tr)
+		if err != nil {
+			t.Fatalf("%s: %v", tr, err)
+		}
+		if !out.Equal(b) {
+			t.Fatalf("%s: corrupted data", tr)
+		}
+		if bd.WireBytes <= 0 || bd.Rows != 5000 {
+			t.Fatalf("%s: breakdown %+v", tr, bd)
+		}
+	}
+}
+
+func TestRDMAReturnsIndependentCopy(t *testing.T) {
+	ctx := context.Background()
+	m := New(hw.NewHostCPU(), hw.NewRDMANIC())
+	b := testBatch(t, 10)
+	out, _, err := m.Migrate(ctx, b, RDMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ints, _ := b.Ints(0)
+	ints[0] = -999
+	outInts, _ := out.Ints(0)
+	if outInts[0] == -999 {
+		t.Fatal("RDMA output aliases input")
+	}
+}
+
+func TestSimCostOrdering(t *testing.T) {
+	ctx := context.Background()
+	m := New(hw.NewHostCPU(), hw.NewRDMANIC())
+	b := testBatch(t, 20000)
+	sims := map[Transport]float64{}
+	for _, tr := range []Transport{CSV, Pipe, RDMA} {
+		_, bd, err := m.Migrate(ctx, b, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sims[tr] = bd.Sim.Seconds
+	}
+	if !(sims[CSV] > sims[Pipe] && sims[Pipe] > sims[RDMA]) {
+		t.Fatalf("sim ordering violated: %+v", sims)
+	}
+}
+
+func TestAcceleratedSerializationCheaper(t *testing.T) {
+	ctx := context.Background()
+	b := testBatch(t, 50000)
+	plain := New(hw.NewHostCPU(), hw.NewRDMANIC())
+	_, bdPlain, err := plain.Migrate(ctx, b, Pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpga := hw.NewFPGA()
+	for _, k := range []hw.KernelClass{hw.KSerialize, hw.KDeserialize} {
+		if _, err := fpga.ConfigureKernel(k.String(), hw.LUTCost(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	accel := New(hw.NewHostCPU(), hw.NewRDMANIC(), WithAccelerator(fpga, hw.BumpInTheWire))
+	_, bdAccel, err := accel.Migrate(ctx, b, Pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bdAccel.Sim.Seconds >= bdPlain.Sim.Seconds {
+		t.Fatalf("accelerated serdes (%v) should beat host (%v)", bdAccel.Sim.Seconds, bdPlain.Sim.Seconds)
+	}
+}
+
+func TestUnknownTransport(t *testing.T) {
+	m := New(hw.NewHostCPU(), hw.NewRDMANIC())
+	if _, _, err := m.Migrate(context.Background(), testBatch(t, 1), Transport(99)); !errors.Is(err, ErrTransport) {
+		t.Fatalf("unknown transport: %v", err)
+	}
+	if Transport(99).String() == "" || CSV.String() != "csv" {
+		t.Fatal("Transport.String broken")
+	}
+}
+
+func TestContextCancelled(t *testing.T) {
+	m := New(hw.NewHostCPU(), hw.NewRDMANIC())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := m.Migrate(ctx, testBatch(t, 1), CSV); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled csv: %v", err)
+	}
+	if _, _, err := m.Migrate(ctx, testBatch(t, 1), RDMA); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled rdma: %v", err)
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	ctx := context.Background()
+	m := New(hw.NewHostCPU(), hw.NewRDMANIC())
+	b := testBatch(t, 0)
+	for _, tr := range []Transport{CSV, Pipe, RDMA} {
+		out, _, err := m.Migrate(ctx, b, tr)
+		if err != nil {
+			t.Fatalf("%s empty: %v", tr, err)
+		}
+		if out.Rows() != 0 {
+			t.Fatalf("%s empty rows = %d", tr, out.Rows())
+		}
+	}
+}
+
+func TestChunkedPipe(t *testing.T) {
+	ctx := context.Background()
+	m := New(hw.NewHostCPU(), hw.NewRDMANIC(), WithChunkRows(100))
+	b := testBatch(t, 1234) // forces many chunks including a partial tail
+	out, _, err := m.Migrate(ctx, b, Pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(b) {
+		t.Fatal("chunked pipe corrupted data")
+	}
+}
+
+// Property: pipe migration round-trips arbitrary batch sizes and chunk
+// configurations.
+func TestPropertyPipeRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw, chunkRaw uint16) bool {
+		ctx := context.Background()
+		n := int(nRaw) % 3000
+		chunk := int(chunkRaw)%500 + 1
+		rng := rand.New(rand.NewSource(seed))
+		s := cast.MustSchema(
+			cast.Column{Name: "x", Type: cast.Int64},
+			cast.Column{Name: "y", Type: cast.String},
+		)
+		b := cast.NewBatch(s, n)
+		for i := 0; i < n; i++ {
+			if err := b.AppendRow(rng.Int63(), "v"); err != nil {
+				return false
+			}
+		}
+		m := New(hw.NewHostCPU(), hw.NewRDMANIC(), WithChunkRows(chunk))
+		out, _, err := m.Migrate(ctx, b, Pipe)
+		if err != nil {
+			return false
+		}
+		return out.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,449 @@
+// Package mlengine implements the ML/DL engine of the polystore (the
+// "Deep Neural Network Engine" of Figure 2 and the Snorkel training loop of
+// Figure 3): a feed-forward MLP trained by mini-batch SGD, logistic
+// regression, and k-means clustering. All dense math runs on the tensor
+// substrate; device-aware entry points charge simulated hardware cost so
+// the middleware can offload GEMM/GEMV to TPU/GPU models (§III-A1).
+package mlengine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"polystorepp/internal/hw"
+	"polystorepp/internal/tensor"
+)
+
+// Sentinel errors.
+var (
+	ErrConfig = errors.New("mlengine: bad configuration")
+	ErrData   = errors.New("mlengine: bad data")
+)
+
+// --- MLP ---
+
+// MLP is a feed-forward network with ReLU hidden layers and a sigmoid
+// output, trained with mini-batch SGD for binary classification — the
+// "will the patient stay > 5 days" model of Figure 2.
+type MLP struct {
+	weights []*tensor.Tensor // layer i: [in, out]
+	biases  []*tensor.Tensor // layer i: [out]
+	sizes   []int
+}
+
+// NewMLP builds an MLP with the given layer sizes (input, hidden..., 1).
+// Weights are Xavier-initialized from rng.
+func NewMLP(rng *rand.Rand, sizes ...int) (*MLP, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("%w: need at least input and output sizes", ErrConfig)
+	}
+	if sizes[len(sizes)-1] != 1 {
+		return nil, fmt.Errorf("%w: binary MLP needs output size 1, got %d", ErrConfig, sizes[len(sizes)-1])
+	}
+	m := &MLP{sizes: append([]int(nil), sizes...)}
+	for i := 0; i+1 < len(sizes); i++ {
+		scale := math.Sqrt(6.0 / float64(sizes[i]+sizes[i+1]))
+		w, err := tensor.Rand(rng, scale, sizes[i], sizes[i+1])
+		if err != nil {
+			return nil, err
+		}
+		b, err := tensor.New(sizes[i+1])
+		if err != nil {
+			return nil, err
+		}
+		m.weights = append(m.weights, w)
+		m.biases = append(m.biases, b)
+	}
+	return m, nil
+}
+
+// Sizes returns the layer sizes.
+func (m *MLP) Sizes() []int { return append([]int(nil), m.sizes...) }
+
+// ParamCount returns the number of trainable parameters.
+func (m *MLP) ParamCount() int {
+	n := 0
+	for i, w := range m.weights {
+		n += w.Size() + m.biases[i].Size()
+	}
+	return n
+}
+
+// Weights exposes the weight tensors (aliased) for serialization.
+func (m *MLP) Weights() []*tensor.Tensor { return m.weights }
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// forward computes activations per layer; returns pre-activation (z) and
+// post-activation (a) lists, with a[0] = x.
+func (m *MLP) forward(x *tensor.Tensor) (zs, as []*tensor.Tensor, err error) {
+	as = append(as, x)
+	cur := x
+	for i, w := range m.weights {
+		z, err := tensor.MatMul(cur, w)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Add bias row-wise.
+		zd := z.Data()
+		bd := m.biases[i].Data()
+		cols := z.Dim(1)
+		for r := 0; r < z.Dim(0); r++ {
+			for c := 0; c < cols; c++ {
+				zd[r*cols+c] += bd[c]
+			}
+		}
+		zs = append(zs, z)
+		var a *tensor.Tensor
+		if i == len(m.weights)-1 {
+			a = z.Apply(sigmoid)
+		} else {
+			a = z.Apply(func(v float64) float64 { return math.Max(0, v) })
+		}
+		as = append(as, a)
+		cur = a
+	}
+	return zs, as, nil
+}
+
+// Predict returns P(label=1) per row of x (shape [n, inputDim]).
+func (m *MLP) Predict(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Rank() != 2 || x.Dim(1) != m.sizes[0] {
+		return nil, fmt.Errorf("%w: input shape %v, want [_, %d]", ErrData, x.Shape(), m.sizes[0])
+	}
+	_, as, err := m.forward(x)
+	if err != nil {
+		return nil, err
+	}
+	return as[len(as)-1], nil
+}
+
+// TrainStats reports one epoch of training.
+type TrainStats struct {
+	Epoch int
+	Loss  float64
+	// GEMMCost is the simulated hardware cost of the epoch's dense math when
+	// a device is attached (see TrainOn).
+	GEMMCost hw.Cost
+}
+
+// TrainBatch performs one SGD step on (x, y) with learning rate lr and
+// returns the mean binary cross-entropy loss before the step.
+func (m *MLP) TrainBatch(x, y *tensor.Tensor, lr float64) (float64, error) {
+	n := x.Dim(0)
+	if y.Rank() != 2 || y.Dim(0) != n || y.Dim(1) != 1 {
+		return 0, fmt.Errorf("%w: labels shape %v, want [%d,1]", ErrData, y.Shape(), n)
+	}
+	zs, as, err := m.forward(x)
+	if err != nil {
+		return 0, err
+	}
+	pred := as[len(as)-1]
+	// BCE loss and output delta (sigmoid + BCE gives delta = pred - y).
+	var loss float64
+	pd, yd := pred.Data(), y.Data()
+	for i := range pd {
+		p := math.Min(math.Max(pd[i], 1e-12), 1-1e-12)
+		loss += -(yd[i]*math.Log(p) + (1-yd[i])*math.Log(1-p))
+	}
+	loss /= float64(n)
+
+	delta, err := tensor.Sub(pred, y)
+	if err != nil {
+		return 0, err
+	}
+	// Backprop.
+	for layer := len(m.weights) - 1; layer >= 0; layer-- {
+		aPrev := as[layer]
+		aT, err := tensor.Transpose(aPrev)
+		if err != nil {
+			return 0, err
+		}
+		gradW, err := tensor.MatMul(aT, delta)
+		if err != nil {
+			return 0, err
+		}
+		gradW.Scale(1 / float64(n))
+		// Bias gradient: column means of delta.
+		cols := delta.Dim(1)
+		gradB, err := tensor.New(cols)
+		if err != nil {
+			return 0, err
+		}
+		dd := delta.Data()
+		gb := gradB.Data()
+		for r := 0; r < delta.Dim(0); r++ {
+			for c := 0; c < cols; c++ {
+				gb[c] += dd[r*cols+c]
+			}
+		}
+		for c := range gb {
+			gb[c] /= float64(n)
+		}
+		if layer > 0 {
+			wT, err := tensor.Transpose(m.weights[layer])
+			if err != nil {
+				return 0, err
+			}
+			next, err := tensor.MatMul(delta, wT)
+			if err != nil {
+				return 0, err
+			}
+			// ReLU derivative gate.
+			zd := zs[layer-1].Data()
+			nd := next.Data()
+			for i := range nd {
+				if zd[i] <= 0 {
+					nd[i] = 0
+				}
+			}
+			delta = next
+		}
+		if err := m.weights[layer].AddInPlace(gradW.Scale(-lr)); err != nil {
+			return 0, err
+		}
+		if err := m.biases[layer].AddInPlace(gradB.Scale(-lr)); err != nil {
+			return 0, err
+		}
+	}
+	return loss, nil
+}
+
+// EpochGEMMWork returns the hw.Work items of one epoch of training on n
+// examples with batch size b — used to charge TPU/GPU cost for an epoch.
+func (m *MLP) EpochGEMMWork(n, b int) []hw.Work {
+	if b <= 0 || n <= 0 {
+		return nil
+	}
+	batches := (n + b - 1) / b
+	var works []hw.Work
+	for i := 0; i+1 < len(m.sizes); i++ {
+		in, out := m.sizes[i], m.sizes[i+1]
+		// Forward + two backward GEMMs per layer per batch.
+		for k := 0; k < 3; k++ {
+			works = append(works, hw.Work{
+				M: b, K: in, N: out,
+				Bytes: int64(b*in+in*out) * 8,
+			})
+		}
+	}
+	// Scale by batch count via repetition marker: callers multiply.
+	for i := range works {
+		works[i].Items = int64(batches)
+	}
+	return works
+}
+
+// Accuracy computes classification accuracy at threshold 0.5.
+func (m *MLP) Accuracy(x, y *tensor.Tensor) (float64, error) {
+	pred, err := m.Predict(x)
+	if err != nil {
+		return 0, err
+	}
+	pd, yd := pred.Data(), y.Data()
+	if len(pd) != len(yd) {
+		return 0, fmt.Errorf("%w: prediction/label size mismatch", ErrData)
+	}
+	correct := 0
+	for i := range pd {
+		label := 0.0
+		if pd[i] >= 0.5 {
+			label = 1
+		}
+		if label == yd[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pd)), nil
+}
+
+// --- Logistic regression ---
+
+// Logistic is a binary logistic-regression model.
+type Logistic struct {
+	w *tensor.Tensor // [dim]
+	b float64
+}
+
+// NewLogistic returns a zero-initialized model of the given dimension.
+func NewLogistic(dim int) (*Logistic, error) {
+	w, err := tensor.New(dim)
+	if err != nil {
+		return nil, err
+	}
+	return &Logistic{w: w}, nil
+}
+
+// Train runs epochs of full-batch gradient descent.
+func (l *Logistic) Train(x, y *tensor.Tensor, lr float64, epochs int) (float64, error) {
+	n, d := x.Dim(0), x.Dim(1)
+	if d != l.w.Size() {
+		return 0, fmt.Errorf("%w: feature dim %d, model dim %d", ErrData, d, l.w.Size())
+	}
+	var loss float64
+	xd, yd, wd := x.Data(), y.Data(), l.w.Data()
+	for e := 0; e < epochs; e++ {
+		gw := make([]float64, d)
+		var gb float64
+		loss = 0
+		for i := 0; i < n; i++ {
+			row := xd[i*d : (i+1)*d]
+			z := l.b
+			for j, v := range row {
+				z += wd[j] * v
+			}
+			p := sigmoid(z)
+			pc := math.Min(math.Max(p, 1e-12), 1-1e-12)
+			loss += -(yd[i]*math.Log(pc) + (1-yd[i])*math.Log(1-pc))
+			diff := p - yd[i]
+			for j, v := range row {
+				gw[j] += diff * v
+			}
+			gb += diff
+		}
+		loss /= float64(n)
+		for j := range wd {
+			wd[j] -= lr * gw[j] / float64(n)
+		}
+		l.b -= lr * gb / float64(n)
+	}
+	return loss, nil
+}
+
+// Predict returns P(label=1) for each row.
+func (l *Logistic) Predict(x *tensor.Tensor) ([]float64, error) {
+	n, d := x.Dim(0), x.Dim(1)
+	if d != l.w.Size() {
+		return nil, fmt.Errorf("%w: feature dim %d, model dim %d", ErrData, d, l.w.Size())
+	}
+	xd, wd := x.Data(), l.w.Data()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		z := l.b
+		for j := 0; j < d; j++ {
+			z += wd[j] * xd[i*d+j]
+		}
+		out[i] = sigmoid(z)
+	}
+	return out, nil
+}
+
+// --- k-means ---
+
+// KMeansResult is the outcome of Lloyd's algorithm.
+type KMeansResult struct {
+	Centroids  *tensor.Tensor // [k, dim]
+	Assign     []int          // len n
+	Iterations int
+	Inertia    float64 // sum of squared distances to assigned centroid
+	// AssignCost is the simulated cost of the assignment phases when run on
+	// a device (zero for plain KMeans).
+	AssignCost hw.Cost
+}
+
+// KMeans clusters points (shape [n, dim]) into k clusters, initializing
+// centroids from rng, until assignments stabilize or maxIter.
+func KMeans(rng *rand.Rand, points *tensor.Tensor, k, maxIter int) (*KMeansResult, error) {
+	return kmeansOn(rng, points, k, maxIter, nil, 0)
+}
+
+// KMeansOn is KMeans with the assignment phase charged to the device in the
+// given mode — the Figure 7 OptiML scenario lowered to CPU/GPU/FPGA/CGRA.
+func KMeansOn(rng *rand.Rand, points *tensor.Tensor, k, maxIter int, dev *hw.Device, mode hw.Mode) (*KMeansResult, error) {
+	return kmeansOn(rng, points, k, maxIter, dev, mode)
+}
+
+func kmeansOn(rng *rand.Rand, points *tensor.Tensor, k, maxIter int, dev *hw.Device, mode hw.Mode) (*KMeansResult, error) {
+	if points.Rank() != 2 {
+		return nil, fmt.Errorf("%w: points must be [n, dim]", ErrData)
+	}
+	n, dim := points.Dim(0), points.Dim(1)
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("%w: k=%d for n=%d", ErrConfig, k, n)
+	}
+	// Initialize centroids by sampling distinct points.
+	perm := rng.Perm(n)[:k]
+	cents, err := tensor.New(k, dim)
+	if err != nil {
+		return nil, err
+	}
+	pd, cd := points.Data(), cents.Data()
+	for i, p := range perm {
+		copy(cd[i*dim:(i+1)*dim], pd[p*dim:(p+1)*dim])
+	}
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	var total hw.Cost
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		changed := false
+		// Assignment phase (the offloadable kernel).
+		if dev != nil {
+			w := hw.Work{Items: int64(n), K: dim, N: k, Bytes: int64(n*dim) * 8}
+			var c hw.Cost
+			var err error
+			if dev.Kind == hw.CPU {
+				c, err = dev.HostCost(hw.KKMeansAssign, w)
+			} else {
+				c, err = dev.Offload(mode, hw.KKMeansAssign, w, int64(n)*8)
+			}
+			if err != nil {
+				return nil, err
+			}
+			total = total.AddSeq(c)
+		}
+		for i := 0; i < n; i++ {
+			best, bestD := -1, math.Inf(1)
+			row := pd[i*dim : (i+1)*dim]
+			for c := 0; c < k; c++ {
+				cRow := cd[c*dim : (c+1)*dim]
+				var d2 float64
+				for j := range row {
+					diff := row[j] - cRow[j]
+					d2 += diff * diff
+				}
+				if d2 < bestD {
+					best, bestD = c, d2
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		// Update phase.
+		counts := make([]int, k)
+		sums := make([]float64, k*dim)
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			for j := 0; j < dim; j++ {
+				sums[c*dim+j] += pd[i*dim+j]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				continue // keep empty centroid where it was
+			}
+			for j := 0; j < dim; j++ {
+				cd[c*dim+j] = sums[c*dim+j] / float64(counts[c])
+			}
+		}
+	}
+	var inertia float64
+	for i := 0; i < n; i++ {
+		c := assign[i]
+		for j := 0; j < dim; j++ {
+			diff := pd[i*dim+j] - cd[c*dim+j]
+			inertia += diff * diff
+		}
+	}
+	return &KMeansResult{Centroids: cents, Assign: assign, Iterations: iters + 1, Inertia: inertia, AssignCost: total}, nil
+}

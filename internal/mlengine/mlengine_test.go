@@ -1,0 +1,261 @@
+package mlengine
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"polystorepp/internal/hw"
+	"polystorepp/internal/tensor"
+)
+
+// synthBinary builds a linearly-separable-ish binary dataset: label = 1 when
+// the sum of the first two features exceeds 0.
+func synthBinary(rng *rand.Rand, n, dim int) (x, y *tensor.Tensor) {
+	x, _ = tensor.Rand(rng, 1, n, dim)
+	y, _ = tensor.New(n, 1)
+	xd, yd := x.Data(), y.Data()
+	for i := 0; i < n; i++ {
+		if xd[i*dim]+xd[i*dim+1] > 0 {
+			yd[i] = 1
+		}
+	}
+	return x, y
+}
+
+func TestNewMLPValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewMLP(rng, 4); !errors.Is(err, ErrConfig) {
+		t.Fatalf("single layer: %v", err)
+	}
+	if _, err := NewMLP(rng, 4, 3); !errors.Is(err, ErrConfig) {
+		t.Fatalf("non-unit output: %v", err)
+	}
+	m, err := NewMLP(rng, 4, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ParamCount() != 4*8+8+8*1+1 {
+		t.Fatalf("ParamCount = %d", m.ParamCount())
+	}
+	if len(m.Weights()) != 2 || len(m.Sizes()) != 3 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestMLPTrainingReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := synthBinary(rng, 256, 6)
+	m, err := NewMLP(rng, 6, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := m.TrainBatch(x, y, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for e := 0; e < 60; e++ {
+		last, err = m.TrainBatch(x, y, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last >= first {
+		t.Fatalf("loss did not decrease: first %v, last %v", first, last)
+	}
+	acc, err := m.Accuracy(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.8 {
+		t.Fatalf("train accuracy = %v, want >= 0.8", acc)
+	}
+}
+
+func TestMLPPredictValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, _ := NewMLP(rng, 4, 1)
+	bad, _ := tensor.New(3, 5)
+	if _, err := m.Predict(bad); !errors.Is(err, ErrData) {
+		t.Fatalf("wrong dim: %v", err)
+	}
+	x, _ := tensor.New(3, 4)
+	p, err := m.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range p.Data() {
+		if v < 0 || v > 1 {
+			t.Fatalf("probability %v out of [0,1]", v)
+		}
+	}
+}
+
+func TestMLPTrainBatchLabelShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m, _ := NewMLP(rng, 4, 1)
+	x, _ := tensor.New(8, 4)
+	badY, _ := tensor.New(8, 2)
+	if _, err := m.TrainBatch(x, badY, 0.1); !errors.Is(err, ErrData) {
+		t.Fatalf("bad labels: %v", err)
+	}
+}
+
+func TestEpochGEMMWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, _ := NewMLP(rng, 10, 20, 1)
+	works := m.EpochGEMMWork(1000, 100)
+	if len(works) != 6 { // 2 layers x 3 GEMMs
+		t.Fatalf("works = %d", len(works))
+	}
+	for _, w := range works {
+		if w.Items != 10 { // 10 batches
+			t.Fatalf("batches = %d", w.Items)
+		}
+		if w.FLOPs() == 0 {
+			t.Fatal("no FLOPs in work")
+		}
+	}
+	if got := m.EpochGEMMWork(0, 10); got != nil {
+		t.Fatal("zero examples should yield nil")
+	}
+}
+
+func TestLogisticLearnsAND(t *testing.T) {
+	// Logistic regression can learn a linearly separable function.
+	x, _ := tensor.FromSlice([]float64{
+		0, 0,
+		0, 1,
+		1, 0,
+		1, 1,
+	}, 4, 2)
+	y, _ := tensor.FromSlice([]float64{0, 0, 0, 1}, 4, 1)
+	l, err := NewLogistic(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, err := l.Train(x, y, 2.0, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 0.3 {
+		t.Fatalf("final loss = %v", loss)
+	}
+	preds, err := l.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0, 0, 1}
+	for i, p := range preds {
+		got := 0.0
+		if p >= 0.5 {
+			got = 1
+		}
+		if got != want[i] {
+			t.Fatalf("AND(%d) = %v (p=%v)", i, got, p)
+		}
+	}
+}
+
+func TestLogisticDimMismatch(t *testing.T) {
+	l, _ := NewLogistic(3)
+	x, _ := tensor.New(2, 2)
+	y, _ := tensor.New(2, 1)
+	if _, err := l.Train(x, y, 0.1, 1); !errors.Is(err, ErrData) {
+		t.Fatalf("train dim: %v", err)
+	}
+	if _, err := l.Predict(x); !errors.Is(err, ErrData) {
+		t.Fatalf("predict dim: %v", err)
+	}
+}
+
+// clusteredPoints samples n points around k well-separated centers.
+func clusteredPoints(rng *rand.Rand, n, k, dim int) *tensor.Tensor {
+	centers, _ := tensor.New(k, dim)
+	cd := centers.Data()
+	for i := range cd {
+		cd[i] = float64(rng.Intn(20)) * 10
+	}
+	pts, _ := tensor.New(n, dim)
+	pd := pts.Data()
+	for i := 0; i < n; i++ {
+		c := i % k
+		for j := 0; j < dim; j++ {
+			pd[i*dim+j] = cd[c*dim+j] + rng.NormFloat64()*0.5
+		}
+	}
+	return pts
+}
+
+func TestKMeansConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := clusteredPoints(rng, 300, 3, 4)
+	res, err := KMeans(rng, pts, 3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations >= 50 {
+		t.Fatalf("did not converge: %d iterations", res.Iterations)
+	}
+	if len(res.Assign) != 300 {
+		t.Fatalf("assignments = %d", len(res.Assign))
+	}
+	// Tight clusters: inertia per point should be small relative to the
+	// inter-center distances (~100+).
+	if res.Inertia/300 > 10 {
+		t.Fatalf("inertia per point = %v", res.Inertia/300)
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts, _ := tensor.New(10, 2)
+	if _, err := KMeans(rng, pts, 0, 5); !errors.Is(err, ErrConfig) {
+		t.Fatalf("k=0: %v", err)
+	}
+	if _, err := KMeans(rng, pts, 11, 5); !errors.Is(err, ErrConfig) {
+		t.Fatalf("k>n: %v", err)
+	}
+	vec, _ := tensor.New(10)
+	if _, err := KMeans(rng, vec, 2, 5); !errors.Is(err, ErrData) {
+		t.Fatalf("rank-1: %v", err)
+	}
+}
+
+func TestKMeansOnDeviceChargesCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := clusteredPoints(rng, 200, 2, 3)
+	cpuRes, err := KMeansOn(rand.New(rand.NewSource(1)), pts, 2, 30, hw.NewHostCPU(), hw.Standalone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpgaRes, err := KMeansOn(rand.New(rand.NewSource(1)), pts, 2, 30, hw.NewFPGA(), hw.Coprocessor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpuRes.AssignCost.Seconds <= 0 || fpgaRes.AssignCost.Seconds <= 0 {
+		t.Fatal("costs not charged")
+	}
+	// Same seed, same data: identical clustering regardless of device.
+	if cpuRes.Inertia != fpgaRes.Inertia {
+		t.Fatalf("device changed results: %v vs %v", cpuRes.Inertia, fpgaRes.Inertia)
+	}
+}
+
+func TestKMeansInertiaNonincreasingWithIterations(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	pts := clusteredPoints(rng, 150, 3, 3)
+	var prev float64 = math.Inf(1)
+	for _, iters := range []int{1, 3, 10, 30} {
+		res, err := KMeans(rand.New(rand.NewSource(42)), pts, 3, iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Inertia > prev*1.0001 {
+			t.Fatalf("inertia rose with more iterations: %v -> %v", prev, res.Inertia)
+		}
+		prev = res.Inertia
+	}
+}

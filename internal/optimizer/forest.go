@@ -1,0 +1,235 @@
+package optimizer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// This file implements randomized decision forests for regression from
+// scratch (Breiman 2001) — the surrogate predictor of the active-learning
+// loop (§IV-C1: "one can use randomized decision forests as the base
+// predictors").
+
+// ErrForest reports invalid training input.
+var ErrForest = errors.New("optimizer: forest")
+
+// treeNode is one CART node.
+type treeNode struct {
+	feature int
+	thresh  float64
+	left    *treeNode
+	right   *treeNode
+	value   float64 // leaf prediction
+	leaf    bool
+}
+
+// regTree is one regression tree.
+type regTree struct {
+	root *treeNode
+}
+
+type treeParams struct {
+	maxDepth    int
+	minLeaf     int
+	featureFrac float64
+	rng         *rand.Rand
+}
+
+func buildTree(xs [][]float64, ys []float64, idx []int, depth int, p treeParams) *treeNode {
+	if len(idx) <= p.minLeaf || depth >= p.maxDepth || allSame(ys, idx) {
+		return &treeNode{leaf: true, value: meanAt(ys, idx)}
+	}
+	nf := len(xs[0])
+	nTry := int(math.Ceil(p.featureFrac * float64(nf)))
+	if nTry < 1 {
+		nTry = 1
+	}
+	features := p.rng.Perm(nf)[:nTry]
+
+	bestVar := math.Inf(1)
+	bestFeature, bestThresh := -1, 0.0
+	for _, f := range features {
+		vals := make([]float64, 0, len(idx))
+		for _, i := range idx {
+			vals = append(vals, xs[i][f])
+		}
+		sort.Float64s(vals)
+		for k := 1; k < len(vals); k++ {
+			if vals[k] == vals[k-1] {
+				continue
+			}
+			th := (vals[k] + vals[k-1]) / 2
+			v := splitVariance(xs, ys, idx, f, th)
+			if v < bestVar {
+				bestVar, bestFeature, bestThresh = v, f, th
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return &treeNode{leaf: true, value: meanAt(ys, idx)}
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if xs[i][bestFeature] <= bestThresh {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) == 0 || len(ri) == 0 {
+		return &treeNode{leaf: true, value: meanAt(ys, idx)}
+	}
+	return &treeNode{
+		feature: bestFeature,
+		thresh:  bestThresh,
+		left:    buildTree(xs, ys, li, depth+1, p),
+		right:   buildTree(xs, ys, ri, depth+1, p),
+	}
+}
+
+func splitVariance(xs [][]float64, ys []float64, idx []int, f int, th float64) float64 {
+	var ln, rn int
+	var lSum, rSum, lSq, rSq float64
+	for _, i := range idx {
+		y := ys[i]
+		if xs[i][f] <= th {
+			ln++
+			lSum += y
+			lSq += y * y
+		} else {
+			rn++
+			rSum += y
+			rSq += y * y
+		}
+	}
+	variance := func(n int, sum, sq float64) float64 {
+		if n == 0 {
+			return 0
+		}
+		m := sum / float64(n)
+		return sq/float64(n) - m*m
+	}
+	total := float64(ln + rn)
+	return float64(ln)/total*variance(ln, lSum, lSq) + float64(rn)/total*variance(rn, rSum, rSq)
+}
+
+func allSame(ys []float64, idx []int) bool {
+	for i := 1; i < len(idx); i++ {
+		if ys[idx[i]] != ys[idx[0]] {
+			return false
+		}
+	}
+	return true
+}
+
+func meanAt(ys []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	var s float64
+	for _, i := range idx {
+		s += ys[i]
+	}
+	return s / float64(len(idx))
+}
+
+func (t *regTree) predict(x []float64) float64 {
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Forest is a bagged ensemble of regression trees.
+type Forest struct {
+	trees []*regTree
+}
+
+// ForestConfig tunes training. The zero value selects sensible defaults.
+type ForestConfig struct {
+	Trees       int     // default 24
+	MaxDepth    int     // default 10
+	MinLeaf     int     // default 2
+	FeatureFrac float64 // default 0.7
+}
+
+func (c ForestConfig) withDefaults() ForestConfig {
+	if c.Trees <= 0 {
+		c.Trees = 24
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 10
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 2
+	}
+	if c.FeatureFrac <= 0 || c.FeatureFrac > 1 {
+		c.FeatureFrac = 0.7
+	}
+	return c
+}
+
+// TrainForest fits a random forest to (xs, ys) with bootstrap sampling.
+func TrainForest(rng *rand.Rand, xs [][]float64, ys []float64, cfg ForestConfig) (*Forest, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, fmt.Errorf("%w: %d samples, %d labels", ErrForest, len(xs), len(ys))
+	}
+	for _, x := range xs {
+		if len(x) != len(xs[0]) {
+			return nil, fmt.Errorf("%w: ragged features", ErrForest)
+		}
+	}
+	cfg = cfg.withDefaults()
+	f := &Forest{trees: make([]*regTree, 0, cfg.Trees)}
+	n := len(xs)
+	for t := 0; t < cfg.Trees; t++ {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		p := treeParams{maxDepth: cfg.MaxDepth, minLeaf: cfg.MinLeaf, featureFrac: cfg.FeatureFrac, rng: rng}
+		f.trees = append(f.trees, &regTree{root: buildTree(xs, ys, idx, 0, p)})
+	}
+	return f, nil
+}
+
+// Predict returns the forest's mean prediction for x.
+func (f *Forest) Predict(x []float64) float64 {
+	var s float64
+	for _, t := range f.trees {
+		s += t.predict(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+// R2 computes the coefficient of determination on a held-out set — the
+// "accuracy of the prediction model" tracked by the active-learning loop.
+func (f *Forest) R2(xs [][]float64, ys []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	var ssRes, ssTot float64
+	for i, x := range xs {
+		d := ys[i] - f.Predict(x)
+		ssRes += d * d
+		t := ys[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		return 1
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,118 @@
+// Package optimizer implements the optimization machinery of Polystore++
+// (§IV-C): multi-objective cost-based decisions for the middleware (which
+// device runs which kernel) and black-box design-space exploration with an
+// active-learning loop over a random-forest surrogate — the HyperMapper
+// role in the paper, evaluated against random sampling in Figure 8.
+//
+// All objectives are minimized.
+package optimizer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Point is one evaluated configuration with its objective values.
+type Point struct {
+	Config []int     // one value index per parameter
+	Objs   []float64 // minimized objectives, e.g. (latency, energy)
+}
+
+// ErrSpace reports invalid spaces or configurations.
+var ErrSpace = errors.New("optimizer: design space")
+
+// Dominates reports whether a dominates b: a is no worse in every objective
+// and strictly better in at least one.
+func Dominates(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	strictly := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strictly = true
+		}
+	}
+	return strictly
+}
+
+// ParetoFront returns the non-dominated subset of pts, sorted by the first
+// objective.
+func ParetoFront(pts []Point) []Point {
+	var front []Point
+	for i, p := range pts {
+		dominated := false
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if Dominates(q.Objs, p.Objs) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		for k := range front[i].Objs {
+			if front[i].Objs[k] != front[j].Objs[k] {
+				return front[i].Objs[k] < front[j].Objs[k]
+			}
+		}
+		return false
+	})
+	// Deduplicate identical objective vectors to keep hypervolume stable.
+	out := front[:0]
+	for i, p := range front {
+		if i > 0 && equalObjs(p.Objs, front[i-1].Objs) {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func equalObjs(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Hypervolume2D computes the dominated hypervolume of a two-objective front
+// with respect to the reference point (refX, refY). Larger is better.
+// Points beyond the reference contribute nothing.
+func Hypervolume2D(front []Point, refX, refY float64) (float64, error) {
+	for _, p := range front {
+		if len(p.Objs) != 2 {
+			return 0, fmt.Errorf("%w: Hypervolume2D wants 2 objectives, got %d", ErrSpace, len(p.Objs))
+		}
+	}
+	pts := ParetoFront(front)
+	var hv float64
+	prevX := refX
+	// Sweep from the right (largest obj0) to the left; each point adds a
+	// rectangle between its x and the previous x at its y depth.
+	for i := len(pts) - 1; i >= 0; i-- {
+		x, y := pts[i].Objs[0], pts[i].Objs[1]
+		if x >= refX || y >= refY {
+			continue
+		}
+		if x < prevX {
+			hv += (prevX - x) * (refY - y)
+			prevX = x
+		}
+	}
+	return hv, nil
+}

@@ -1,0 +1,162 @@
+package relational
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBTreeInsertGet(t *testing.T) {
+	bt := newBTree()
+	if _, ok := bt.Min(); ok {
+		t.Fatal("empty tree has Min")
+	}
+	for i := int64(0); i < 1000; i++ {
+		bt.Insert(i*3, int32(i))
+	}
+	if bt.Len() != 1000 {
+		t.Fatalf("Len = %d", bt.Len())
+	}
+	for i := int64(0); i < 1000; i++ {
+		rows := bt.Get(i * 3)
+		if len(rows) != 1 || rows[0] != int32(i) {
+			t.Fatalf("Get(%d) = %v", i*3, rows)
+		}
+	}
+	if rows := bt.Get(1); rows != nil {
+		t.Fatalf("Get(missing) = %v", rows)
+	}
+}
+
+func TestBTreeDuplicates(t *testing.T) {
+	bt := newBTree()
+	for i := int32(0); i < 100; i++ {
+		bt.Insert(7, i)
+	}
+	rows := bt.Get(7)
+	if len(rows) != 100 {
+		t.Fatalf("duplicate key rows = %d", len(rows))
+	}
+}
+
+func TestBTreeRandomOrderInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	keys := rng.Perm(5000)
+	bt := newBTree()
+	for _, k := range keys {
+		bt.Insert(int64(k), int32(k))
+	}
+	for _, k := range keys {
+		rows := bt.Get(int64(k))
+		if len(rows) != 1 || rows[0] != int32(k) {
+			t.Fatalf("Get(%d) = %v", k, rows)
+		}
+	}
+	mn, ok := bt.Min()
+	if !ok || mn != 0 {
+		t.Fatalf("Min = %d, %v", mn, ok)
+	}
+	mx, ok := bt.Max()
+	if !ok || mx != 4999 {
+		t.Fatalf("Max = %d, %v", mx, ok)
+	}
+}
+
+func TestBTreeRange(t *testing.T) {
+	bt := newBTree()
+	for i := int64(0); i < 200; i++ {
+		bt.Insert(i, int32(i))
+	}
+	var got []int64
+	bt.Range(50, 59, func(k int64, rows []int32) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 10 || got[0] != 50 || got[9] != 59 {
+		t.Fatalf("Range(50,59) keys = %v", got)
+	}
+	// Early stop.
+	count := 0
+	bt.Range(0, 199, func(int64, []int32) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+	// Empty range.
+	visited := false
+	bt.Range(500, 600, func(int64, []int32) bool { visited = true; return true })
+	if visited {
+		t.Fatal("out-of-range visit")
+	}
+}
+
+// Property: B-tree range scan equals a linear filter over the inserted keys,
+// in sorted order, for arbitrary insertion orders with duplicates.
+func TestPropertyBTreeRangeMatchesLinear(t *testing.T) {
+	f := func(seed int64, n uint8, loRaw, spanRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n)%300 + 1
+		keys := make([]int64, count)
+		bt := newBTree()
+		for i := range keys {
+			keys[i] = int64(rng.Intn(100)) // force duplicates
+			bt.Insert(keys[i], int32(i))
+		}
+		lo := int64(loRaw) % 100
+		hi := lo + int64(spanRaw)%40
+		var got []int64
+		bt.Range(lo, hi, func(k int64, rows []int32) bool {
+			for range rows {
+				got = append(got, k)
+			}
+			return true
+		})
+		var want []int64
+		for _, k := range keys {
+			if k >= lo && k <= hi {
+				want = append(want, k)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every inserted (key,row) pair is retrievable.
+func TestPropertyBTreeGetAll(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n)%2000 + 1
+		bt := newBTree()
+		inserted := make(map[int64][]int32)
+		for i := 0; i < count; i++ {
+			k := int64(rng.Intn(500))
+			bt.Insert(k, int32(i))
+			inserted[k] = append(inserted[k], int32(i))
+		}
+		for k, want := range inserted {
+			got := bt.Get(k)
+			if len(got) != len(want) {
+				return false
+			}
+		}
+		return bt.Len() == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,1037 @@
+package relational
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"polystorepp/internal/cast"
+)
+
+// batchSize is the vector width of the Volcano operators.
+const batchSize = 1024
+
+// OpStats is the per-operator execution record the middleware's runtime
+// optimizer consumes (§IV-D-d): adapters convert these to hardware kernel
+// costs.
+type OpStats struct {
+	Kind    string
+	RowsIn  int64
+	RowsOut int64
+	Bytes   int64
+}
+
+// Operator is a vectorized Volcano iterator. Next returns (nil, nil) when
+// the stream is exhausted.
+type Operator interface {
+	Schema() cast.Schema
+	Open(ctx context.Context) error
+	Next(ctx context.Context) (*cast.Batch, error)
+	Close() error
+	Stats() OpStats
+	Children() []Operator
+}
+
+// Run opens op, drains it into one batch, and closes it.
+func Run(ctx context.Context, op Operator) (*cast.Batch, error) {
+	if err := op.Open(ctx); err != nil {
+		return nil, err
+	}
+	defer func() { _ = op.Close() }()
+	out := cast.NewBatch(op.Schema(), 0)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		b, err := op.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		if err := out.AppendBatch(b); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// WalkStats collects stats of the whole operator tree, parents first.
+func WalkStats(op Operator) []OpStats {
+	out := []OpStats{op.Stats()}
+	for _, c := range op.Children() {
+		out = append(out, WalkStats(c)...)
+	}
+	return out
+}
+
+// Explain renders the operator tree.
+func Explain(op Operator) string {
+	var sb strings.Builder
+	var walk func(Operator, int)
+	walk = func(o Operator, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(o.Stats().Kind)
+		sb.WriteByte('\n')
+		for _, c := range o.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(op, 0)
+	return sb.String()
+}
+
+// --- SeqScan ---
+
+// SeqScan emits every row of a table in heap order (§III-A2's sequential
+// scan access path).
+type SeqScan struct {
+	Table *Table
+
+	snap *cast.Batch
+	pos  int
+	out  int64
+}
+
+// NewSeqScan returns a sequential scan over t.
+func NewSeqScan(t *Table) *SeqScan { return &SeqScan{Table: t} }
+
+// Schema implements Operator.
+func (s *SeqScan) Schema() cast.Schema { return s.Table.Schema() }
+
+// Open implements Operator.
+func (s *SeqScan) Open(context.Context) error {
+	s.snap = s.Table.Snapshot()
+	s.pos = 0
+	s.out = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *SeqScan) Next(context.Context) (*cast.Batch, error) {
+	if s.pos >= s.snap.Rows() {
+		return nil, nil
+	}
+	hi := s.pos + batchSize
+	if hi > s.snap.Rows() {
+		hi = s.snap.Rows()
+	}
+	b, err := s.snap.Slice(s.pos, hi)
+	if err != nil {
+		return nil, err
+	}
+	s.pos = hi
+	s.out += int64(b.Rows())
+	return b, nil
+}
+
+// Close implements Operator.
+func (s *SeqScan) Close() error { return nil }
+
+// Stats implements Operator.
+func (s *SeqScan) Stats() OpStats {
+	return OpStats{Kind: "SeqScan(" + s.Table.Name() + ")", RowsIn: s.out, RowsOut: s.out}
+}
+
+// Children implements Operator.
+func (s *SeqScan) Children() []Operator { return nil }
+
+// --- IndexScan ---
+
+// IndexScan emits the rows whose indexed column falls within [Lo, Hi]
+// (inclusive), using the table's B-tree (§III-A2's index-seek path).
+type IndexScan struct {
+	Table  *Table
+	Col    string
+	Lo, Hi int64
+
+	rows []int32
+	pos  int
+	out  int64
+}
+
+// NewIndexScan returns an index range scan.
+func NewIndexScan(t *Table, col string, lo, hi int64) *IndexScan {
+	return &IndexScan{Table: t, Col: col, Lo: lo, Hi: hi}
+}
+
+// Schema implements Operator.
+func (s *IndexScan) Schema() cast.Schema { return s.Table.Schema() }
+
+// Open implements Operator.
+func (s *IndexScan) Open(context.Context) error {
+	rows, err := s.Table.LookupRange(s.Col, s.Lo, s.Hi)
+	if err != nil {
+		return err
+	}
+	s.rows = rows
+	s.pos = 0
+	s.out = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *IndexScan) Next(context.Context) (*cast.Batch, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	hi := s.pos + batchSize
+	if hi > len(s.rows) {
+		hi = len(s.rows)
+	}
+	idx := make([]int, 0, hi-s.pos)
+	for _, r := range s.rows[s.pos:hi] {
+		idx = append(idx, int(r))
+	}
+	s.pos = hi
+	b, err := s.Table.Snapshot().Gather(idx)
+	if err != nil {
+		return nil, err
+	}
+	s.out += int64(b.Rows())
+	return b, nil
+}
+
+// Close implements Operator.
+func (s *IndexScan) Close() error { return nil }
+
+// Stats implements Operator.
+func (s *IndexScan) Stats() OpStats {
+	return OpStats{Kind: fmt.Sprintf("IndexScan(%s.%s)", s.Table.Name(), s.Col), RowsIn: s.out, RowsOut: s.out}
+}
+
+// Children implements Operator.
+func (s *IndexScan) Children() []Operator { return nil }
+
+// --- Filter ---
+
+// FilterOp keeps rows satisfying the predicate.
+type FilterOp struct {
+	Child Operator
+	Pred  Expr
+
+	in, out int64
+}
+
+// NewFilter returns a filter over child.
+func NewFilter(child Operator, pred Expr) *FilterOp { return &FilterOp{Child: child, Pred: pred} }
+
+// Schema implements Operator.
+func (f *FilterOp) Schema() cast.Schema { return f.Child.Schema() }
+
+// Open implements Operator.
+func (f *FilterOp) Open(ctx context.Context) error { return f.Child.Open(ctx) }
+
+// Next implements Operator.
+func (f *FilterOp) Next(ctx context.Context) (*cast.Batch, error) {
+	for {
+		b, err := f.Child.Next(ctx)
+		if err != nil || b == nil {
+			return nil, err
+		}
+		f.in += int64(b.Rows())
+		var evalErr error
+		kept, err := b.FilterRows(func(r int) bool {
+			ok, err := EvalBool(f.Pred, b, r)
+			if err != nil && evalErr == nil {
+				evalErr = err
+			}
+			return ok
+		})
+		if err != nil {
+			return nil, err
+		}
+		if evalErr != nil {
+			return nil, evalErr
+		}
+		if kept.Rows() == 0 {
+			continue
+		}
+		f.out += int64(kept.Rows())
+		return kept, nil
+	}
+}
+
+// Close implements Operator.
+func (f *FilterOp) Close() error { return f.Child.Close() }
+
+// Stats implements Operator.
+func (f *FilterOp) Stats() OpStats {
+	return OpStats{Kind: "Filter" + f.Pred.String(), RowsIn: f.in, RowsOut: f.out}
+}
+
+// Children implements Operator.
+func (f *FilterOp) Children() []Operator { return []Operator{f.Child} }
+
+// --- Project ---
+
+// ProjItem is one output column of a projection: an expression plus its
+// output name.
+type ProjItem struct {
+	E    Expr
+	Name string
+}
+
+// ProjectOp evaluates a list of expressions per row.
+type ProjectOp struct {
+	Child Operator
+	Items []ProjItem
+
+	schema cast.Schema
+	in     int64
+}
+
+// NewProject returns a projection. The output schema is resolved from the
+// child schema at construction.
+func NewProject(child Operator, items []ProjItem) (*ProjectOp, error) {
+	cols := make([]cast.Column, 0, len(items))
+	for _, it := range items {
+		t, err := it.E.ResultType(child.Schema())
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, cast.Column{Name: it.Name, Type: t})
+	}
+	s, err := cast.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	return &ProjectOp{Child: child, Items: items, schema: s}, nil
+}
+
+// Schema implements Operator.
+func (p *ProjectOp) Schema() cast.Schema { return p.schema }
+
+// Open implements Operator.
+func (p *ProjectOp) Open(ctx context.Context) error { return p.Child.Open(ctx) }
+
+// Next implements Operator.
+func (p *ProjectOp) Next(ctx context.Context) (*cast.Batch, error) {
+	b, err := p.Child.Next(ctx)
+	if err != nil || b == nil {
+		return nil, err
+	}
+	p.in += int64(b.Rows())
+	out := cast.NewBatch(p.schema, b.Rows())
+	vals := make([]any, len(p.Items))
+	for r := 0; r < b.Rows(); r++ {
+		for i, it := range p.Items {
+			v, err := it.E.Eval(b, r)
+			if err != nil {
+				return nil, err
+			}
+			// Timestamp columns surface as int64; widen int64 to float64
+			// when the projected type demands it.
+			if p.schema.Col(i).Type == cast.Float64 {
+				if iv, ok := v.(int64); ok {
+					v = float64(iv)
+				}
+			}
+			vals[i] = v
+		}
+		if err := out.AppendRow(vals...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Close implements Operator.
+func (p *ProjectOp) Close() error { return p.Child.Close() }
+
+// Stats implements Operator.
+func (p *ProjectOp) Stats() OpStats {
+	return OpStats{Kind: "Project", RowsIn: p.in, RowsOut: p.in}
+}
+
+// Children implements Operator.
+func (p *ProjectOp) Children() []Operator { return []Operator{p.Child} }
+
+// --- HashJoin ---
+
+// HashJoinOp equi-joins two inputs: builds a hash table on the right input,
+// probes with the left. Output schema is left ++ right.
+type HashJoinOp struct {
+	Left, Right       Operator
+	LeftCol, RightCol string
+
+	schema   cast.Schema
+	built    bool
+	table    map[string][]int32
+	rightMat *cast.Batch
+	in, out  int64
+}
+
+// NewHashJoin returns an equi-join on left.LeftCol = right.RightCol.
+func NewHashJoin(left, right Operator, leftCol, rightCol string) (*HashJoinOp, error) {
+	s, err := left.Schema().Concat(right.Schema())
+	if err != nil {
+		return nil, err
+	}
+	return &HashJoinOp{Left: left, Right: right, LeftCol: leftCol, RightCol: rightCol, schema: s}, nil
+}
+
+// Schema implements Operator.
+func (j *HashJoinOp) Schema() cast.Schema { return j.schema }
+
+// Open implements Operator.
+func (j *HashJoinOp) Open(ctx context.Context) error {
+	if err := j.Left.Open(ctx); err != nil {
+		return err
+	}
+	return j.Right.Open(ctx)
+}
+
+func (j *HashJoinOp) build(ctx context.Context) error {
+	j.rightMat = cast.NewBatch(j.Right.Schema(), 0)
+	for {
+		b, err := j.Right.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		if err := j.rightMat.AppendBatch(b); err != nil {
+			return err
+		}
+	}
+	ci, err := j.Right.Schema().Index(baseName(j.RightCol))
+	if err != nil {
+		return err
+	}
+	j.table = make(map[string][]int32, j.rightMat.Rows())
+	for r := 0; r < j.rightMat.Rows(); r++ {
+		key, err := j.rightMat.KeyString(r, []int{ci})
+		if err != nil {
+			return err
+		}
+		j.table[key] = append(j.table[key], int32(r))
+	}
+	j.built = true
+	return nil
+}
+
+// Next implements Operator.
+func (j *HashJoinOp) Next(ctx context.Context) (*cast.Batch, error) {
+	if !j.built {
+		if err := j.build(ctx); err != nil {
+			return nil, err
+		}
+	}
+	li, err := j.Left.Schema().Index(baseName(j.LeftCol))
+	if err != nil {
+		return nil, err
+	}
+	for {
+		lb, err := j.Left.Next(ctx)
+		if err != nil || lb == nil {
+			return nil, err
+		}
+		j.in += int64(lb.Rows())
+		var leftIdx, rightIdx []int
+		for r := 0; r < lb.Rows(); r++ {
+			key, err := lb.KeyString(r, []int{li})
+			if err != nil {
+				return nil, err
+			}
+			for _, rr := range j.table[key] {
+				leftIdx = append(leftIdx, r)
+				rightIdx = append(rightIdx, int(rr))
+			}
+		}
+		if len(leftIdx) == 0 {
+			continue
+		}
+		lg, err := lb.Gather(leftIdx)
+		if err != nil {
+			return nil, err
+		}
+		rg, err := j.rightMat.Gather(rightIdx)
+		if err != nil {
+			return nil, err
+		}
+		out, err := concatBatches(j.schema, lg, rg)
+		if err != nil {
+			return nil, err
+		}
+		j.out += int64(out.Rows())
+		return out, nil
+	}
+}
+
+// concatBatches zips two equal-length batches column-wise under the combined
+// schema.
+func concatBatches(s cast.Schema, l, r *cast.Batch) (*cast.Batch, error) {
+	out := cast.NewBatch(s, l.Rows())
+	nl := l.Schema().Len()
+	vals := make([]any, s.Len())
+	for row := 0; row < l.Rows(); row++ {
+		for c := 0; c < nl; c++ {
+			v, err := l.Value(row, c)
+			if err != nil {
+				return nil, err
+			}
+			vals[c] = v
+		}
+		for c := 0; c < r.Schema().Len(); c++ {
+			v, err := r.Value(row, c)
+			if err != nil {
+				return nil, err
+			}
+			vals[nl+c] = v
+		}
+		if err := out.AppendRow(vals...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Close implements Operator.
+func (j *HashJoinOp) Close() error {
+	lerr := j.Left.Close()
+	rerr := j.Right.Close()
+	if lerr != nil {
+		return lerr
+	}
+	return rerr
+}
+
+// Stats implements Operator.
+func (j *HashJoinOp) Stats() OpStats {
+	var buildRows int64
+	if j.rightMat != nil {
+		buildRows = int64(j.rightMat.Rows())
+	}
+	return OpStats{Kind: fmt.Sprintf("HashJoin(%s=%s)", j.LeftCol, j.RightCol), RowsIn: j.in + buildRows, RowsOut: j.out}
+}
+
+// Children implements Operator.
+func (j *HashJoinOp) Children() []Operator { return []Operator{j.Left, j.Right} }
+
+// --- MergeJoin ---
+
+// MergeJoinOp sort-merge equi-joins two inputs on int64 key columns — the
+// paper's §III worked example ("DB1 performs a sort-merge on Date"). Inputs
+// are materialized and sorted; the merge then streams.
+type MergeJoinOp struct {
+	Left, Right       Operator
+	LeftCol, RightCol string
+
+	schema  cast.Schema
+	result  *cast.Batch
+	emitted bool
+	in, out int64
+	// SortRows records the row counts the two sort phases processed so the
+	// middleware can offload them (FPGA bitonic sort in E4).
+	SortRows [2]int64
+}
+
+// NewMergeJoin returns a sort-merge join on int64 columns.
+func NewMergeJoin(left, right Operator, leftCol, rightCol string) (*MergeJoinOp, error) {
+	s, err := left.Schema().Concat(right.Schema())
+	if err != nil {
+		return nil, err
+	}
+	return &MergeJoinOp{Left: left, Right: right, LeftCol: leftCol, RightCol: rightCol, schema: s}, nil
+}
+
+// Schema implements Operator.
+func (j *MergeJoinOp) Schema() cast.Schema { return j.schema }
+
+// Open implements Operator.
+func (j *MergeJoinOp) Open(ctx context.Context) error {
+	if err := j.Left.Open(ctx); err != nil {
+		return err
+	}
+	return j.Right.Open(ctx)
+}
+
+// Next implements Operator.
+func (j *MergeJoinOp) Next(ctx context.Context) (*cast.Batch, error) {
+	if j.emitted {
+		return nil, nil
+	}
+	lm, err := drain(ctx, j.Left)
+	if err != nil {
+		return nil, err
+	}
+	rm, err := drain(ctx, j.Right)
+	if err != nil {
+		return nil, err
+	}
+	j.in = int64(lm.Rows() + rm.Rows())
+	j.SortRows = [2]int64{int64(lm.Rows()), int64(rm.Rows())}
+	ls, err := lm.SortBy(cast.SortKey{Col: baseName(j.LeftCol)})
+	if err != nil {
+		return nil, err
+	}
+	rs, err := rm.SortBy(cast.SortKey{Col: baseName(j.RightCol)})
+	if err != nil {
+		return nil, err
+	}
+	li, err := ls.Schema().Index(baseName(j.LeftCol))
+	if err != nil {
+		return nil, err
+	}
+	ri, err := rs.Schema().Index(baseName(j.RightCol))
+	if err != nil {
+		return nil, err
+	}
+	lk, err := ls.Ints(li)
+	if err != nil {
+		return nil, fmt.Errorf("merge join needs int64 keys: %w", err)
+	}
+	rk, err := rs.Ints(ri)
+	if err != nil {
+		return nil, fmt.Errorf("merge join needs int64 keys: %w", err)
+	}
+	var leftIdx, rightIdx []int
+	a, b := 0, 0
+	for a < len(lk) && b < len(rk) {
+		switch {
+		case lk[a] < rk[b]:
+			a++
+		case lk[a] > rk[b]:
+			b++
+		default:
+			// Emit the cross product of the equal-key runs.
+			a2 := a
+			for a2 < len(lk) && lk[a2] == lk[a] {
+				a2++
+			}
+			b2 := b
+			for b2 < len(rk) && rk[b2] == rk[b] {
+				b2++
+			}
+			for x := a; x < a2; x++ {
+				for y := b; y < b2; y++ {
+					leftIdx = append(leftIdx, x)
+					rightIdx = append(rightIdx, y)
+				}
+			}
+			a, b = a2, b2
+		}
+	}
+	lg, err := ls.Gather(leftIdx)
+	if err != nil {
+		return nil, err
+	}
+	rg, err := rs.Gather(rightIdx)
+	if err != nil {
+		return nil, err
+	}
+	j.result, err = concatBatches(j.schema, lg, rg)
+	if err != nil {
+		return nil, err
+	}
+	j.out = int64(j.result.Rows())
+	j.emitted = true
+	return j.result, nil
+}
+
+func drain(ctx context.Context, op Operator) (*cast.Batch, error) {
+	out := cast.NewBatch(op.Schema(), 0)
+	for {
+		b, err := op.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		if err := out.AppendBatch(b); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Close implements Operator.
+func (j *MergeJoinOp) Close() error {
+	lerr := j.Left.Close()
+	rerr := j.Right.Close()
+	if lerr != nil {
+		return lerr
+	}
+	return rerr
+}
+
+// Stats implements Operator.
+func (j *MergeJoinOp) Stats() OpStats {
+	return OpStats{Kind: fmt.Sprintf("MergeJoin(%s=%s)", j.LeftCol, j.RightCol), RowsIn: j.in, RowsOut: j.out}
+}
+
+// Children implements Operator.
+func (j *MergeJoinOp) Children() []Operator { return []Operator{j.Left, j.Right} }
+
+// --- Sort ---
+
+// SortOp materializes its input and emits it ordered by the keys.
+type SortOp struct {
+	Child Operator
+	Keys  []cast.SortKey
+
+	done bool
+	in   int64
+}
+
+// NewSort returns a sort operator.
+func NewSort(child Operator, keys ...cast.SortKey) *SortOp { return &SortOp{Child: child, Keys: keys} }
+
+// Schema implements Operator.
+func (s *SortOp) Schema() cast.Schema { return s.Child.Schema() }
+
+// Open implements Operator.
+func (s *SortOp) Open(ctx context.Context) error { return s.Child.Open(ctx) }
+
+// Next implements Operator.
+func (s *SortOp) Next(ctx context.Context) (*cast.Batch, error) {
+	if s.done {
+		return nil, nil
+	}
+	m, err := drain(ctx, s.Child)
+	if err != nil {
+		return nil, err
+	}
+	s.in = int64(m.Rows())
+	out, err := m.SortBy(s.Keys...)
+	if err != nil {
+		return nil, err
+	}
+	s.done = true
+	return out, nil
+}
+
+// Close implements Operator.
+func (s *SortOp) Close() error { return s.Child.Close() }
+
+// Stats implements Operator.
+func (s *SortOp) Stats() OpStats {
+	return OpStats{Kind: "Sort", RowsIn: s.in, RowsOut: s.in}
+}
+
+// Children implements Operator.
+func (s *SortOp) Children() []Operator { return []Operator{s.Child} }
+
+// --- GroupBy ---
+
+// AggFn identifies an aggregate function.
+type AggFn int
+
+// Aggregate functions.
+const (
+	AggCount AggFn = iota + 1
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String implements fmt.Stringer.
+func (f AggFn) String() string {
+	switch f {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return fmt.Sprintf("AggFn(%d)", int(f))
+	}
+}
+
+// AggSpec is one aggregate output: Fn over Col, named As. For AggCount, Col
+// may be empty ("COUNT(*)").
+type AggSpec struct {
+	Fn  AggFn
+	Col string
+	As  string
+}
+
+// GroupByOp hash-aggregates its input.
+type GroupByOp struct {
+	Child     Operator
+	GroupCols []string
+	Aggs      []AggSpec
+
+	schema cast.Schema
+	done   bool
+	in     int64
+	out    int64
+}
+
+// NewGroupBy returns a hash aggregation operator. With no group columns it
+// produces a single global-aggregate row.
+func NewGroupBy(child Operator, groupCols []string, aggs []AggSpec) (*GroupByOp, error) {
+	cs := child.Schema()
+	cols := make([]cast.Column, 0, len(groupCols)+len(aggs))
+	for _, g := range groupCols {
+		i, err := cs.Index(baseName(g))
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, cs.Col(i))
+	}
+	for _, a := range aggs {
+		var t cast.Type
+		switch a.Fn {
+		case AggCount:
+			t = cast.Int64
+		case AggAvg:
+			t = cast.Float64
+		case AggSum, AggMin, AggMax:
+			i, err := cs.Index(baseName(a.Col))
+			if err != nil {
+				return nil, err
+			}
+			t = cs.Col(i).Type
+			if t == cast.Timestamp {
+				t = cast.Int64
+			}
+			if a.Fn == AggSum && t == cast.Int64 {
+				t = cast.Int64
+			}
+		default:
+			return nil, fmt.Errorf("%w: unknown aggregate %d", ErrExpr, int(a.Fn))
+		}
+		cols = append(cols, cast.Column{Name: a.As, Type: t})
+	}
+	s, err := cast.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	return &GroupByOp{Child: child, GroupCols: groupCols, Aggs: aggs, schema: s}, nil
+}
+
+// Schema implements Operator.
+func (g *GroupByOp) Schema() cast.Schema { return g.schema }
+
+// Open implements Operator.
+func (g *GroupByOp) Open(ctx context.Context) error { return g.Child.Open(ctx) }
+
+type aggState struct {
+	count int64
+	sum   float64
+	min   any
+	max   any
+	rep   []any // group key values
+}
+
+// Next implements Operator.
+func (g *GroupByOp) Next(ctx context.Context) (*cast.Batch, error) {
+	if g.done {
+		return nil, nil
+	}
+	m, err := drain(ctx, g.Child)
+	if err != nil {
+		return nil, err
+	}
+	g.in = int64(m.Rows())
+	cs := m.Schema()
+	groupIdx := make([]int, len(g.GroupCols))
+	for i, c := range g.GroupCols {
+		gi, err := cs.Index(baseName(c))
+		if err != nil {
+			return nil, err
+		}
+		groupIdx[i] = gi
+	}
+	aggIdx := make([]int, len(g.Aggs))
+	for i, a := range g.Aggs {
+		if a.Fn == AggCount && a.Col == "" {
+			aggIdx[i] = -1
+			continue
+		}
+		ai, err := cs.Index(baseName(a.Col))
+		if err != nil {
+			return nil, err
+		}
+		aggIdx[i] = ai
+	}
+	// One aggState per aggregate per group.
+	states := make(map[string][]*aggState)
+	var order []string
+	for r := 0; r < m.Rows(); r++ {
+		key, err := m.KeyString(r, groupIdx)
+		if err != nil {
+			return nil, err
+		}
+		sts, ok := states[key]
+		if !ok {
+			sts = make([]*aggState, len(g.Aggs))
+			rep := make([]any, len(groupIdx))
+			for i, gi := range groupIdx {
+				v, err := m.Value(r, gi)
+				if err != nil {
+					return nil, err
+				}
+				rep[i] = v
+			}
+			for i := range sts {
+				sts[i] = &aggState{rep: rep}
+			}
+			states[key] = sts
+			order = append(order, key)
+		}
+		for i, a := range g.Aggs {
+			st := sts[i]
+			st.count++
+			if aggIdx[i] < 0 {
+				continue
+			}
+			v, err := m.Value(r, aggIdx[i])
+			if err != nil {
+				return nil, err
+			}
+			switch x := v.(type) {
+			case int64:
+				st.sum += float64(x)
+			case float64:
+				st.sum += x
+			}
+			if a.Fn == AggMin {
+				if st.min == nil {
+					st.min = v
+				} else if c, err := cast.CompareValues(v, st.min); err == nil && c < 0 {
+					st.min = v
+				}
+			}
+			if a.Fn == AggMax {
+				if st.max == nil {
+					st.max = v
+				} else if c, err := cast.CompareValues(v, st.max); err == nil && c > 0 {
+					st.max = v
+				}
+			}
+		}
+	}
+	if len(g.GroupCols) == 0 && len(order) == 0 {
+		// Global aggregate over empty input still yields one row.
+		sts := make([]*aggState, len(g.Aggs))
+		for i := range sts {
+			sts[i] = &aggState{}
+		}
+		states[""] = sts
+		order = append(order, "")
+	}
+	sort.Strings(order)
+	out := cast.NewBatch(g.schema, len(order))
+	for _, key := range order {
+		sts := states[key]
+		vals := make([]any, 0, g.schema.Len())
+		vals = append(vals, sts[0].rep...)
+		for i, a := range g.Aggs {
+			st := sts[i]
+			switch a.Fn {
+			case AggCount:
+				vals = append(vals, st.count)
+			case AggSum:
+				if g.schema.Col(len(groupIdx)+i).Type == cast.Int64 {
+					vals = append(vals, int64(st.sum))
+				} else {
+					vals = append(vals, st.sum)
+				}
+			case AggAvg:
+				if st.count == 0 {
+					vals = append(vals, 0.0)
+				} else {
+					vals = append(vals, st.sum/float64(st.count))
+				}
+			case AggMin:
+				vals = append(vals, zeroIfNil(st.min, g.schema.Col(len(groupIdx)+i).Type))
+			case AggMax:
+				vals = append(vals, zeroIfNil(st.max, g.schema.Col(len(groupIdx)+i).Type))
+			}
+		}
+		if err := out.AppendRow(vals...); err != nil {
+			return nil, err
+		}
+	}
+	g.out = int64(out.Rows())
+	g.done = true
+	return out, nil
+}
+
+func zeroIfNil(v any, t cast.Type) any {
+	if v != nil {
+		return v
+	}
+	switch t {
+	case cast.Int64, cast.Timestamp:
+		return int64(0)
+	case cast.Float64:
+		return 0.0
+	case cast.String:
+		return ""
+	case cast.Bool:
+		return false
+	}
+	return nil
+}
+
+// Close implements Operator.
+func (g *GroupByOp) Close() error { return g.Child.Close() }
+
+// Stats implements Operator.
+func (g *GroupByOp) Stats() OpStats {
+	return OpStats{Kind: "GroupBy", RowsIn: g.in, RowsOut: g.out}
+}
+
+// Children implements Operator.
+func (g *GroupByOp) Children() []Operator { return []Operator{g.Child} }
+
+// --- Limit ---
+
+// LimitOp truncates its input after N rows.
+type LimitOp struct {
+	Child Operator
+	N     int
+
+	seen int
+}
+
+// NewLimit returns a limit operator.
+func NewLimit(child Operator, n int) *LimitOp { return &LimitOp{Child: child, N: n} }
+
+// Schema implements Operator.
+func (l *LimitOp) Schema() cast.Schema { return l.Child.Schema() }
+
+// Open implements Operator.
+func (l *LimitOp) Open(ctx context.Context) error { return l.Child.Open(ctx) }
+
+// Next implements Operator.
+func (l *LimitOp) Next(ctx context.Context) (*cast.Batch, error) {
+	if l.seen >= l.N {
+		return nil, nil
+	}
+	b, err := l.Child.Next(ctx)
+	if err != nil || b == nil {
+		return nil, err
+	}
+	if l.seen+b.Rows() > l.N {
+		b, err = b.Slice(0, l.N-l.seen)
+		if err != nil {
+			return nil, err
+		}
+	}
+	l.seen += b.Rows()
+	return b, nil
+}
+
+// Close implements Operator.
+func (l *LimitOp) Close() error { return l.Child.Close() }
+
+// Stats implements Operator.
+func (l *LimitOp) Stats() OpStats {
+	return OpStats{Kind: fmt.Sprintf("Limit(%d)", l.N), RowsIn: int64(l.seen), RowsOut: int64(l.seen)}
+}
+
+// Children implements Operator.
+func (l *LimitOp) Children() []Operator { return []Operator{l.Child} }

@@ -1,0 +1,346 @@
+package relational
+
+import (
+	"errors"
+	"fmt"
+
+	"polystorepp/internal/cast"
+)
+
+// Expr is a typed scalar expression evaluated against one row of a batch.
+// Expressions are the WHERE/SELECT language of the relational engine and
+// are also the IR payload adapters receive for filter nodes.
+type Expr interface {
+	// Eval returns the boxed value of the expression for the given row.
+	Eval(b *cast.Batch, row int) (any, error)
+	// ResultType returns the expression's type under the given input schema.
+	ResultType(s cast.Schema) (cast.Type, error)
+	// String renders the expression in SQL-ish syntax.
+	String() string
+}
+
+// Sentinel errors.
+var (
+	ErrExpr = errors.New("relational: expression")
+)
+
+// ColRef references a column by name. Qualified names ("t.col") match the
+// unqualified column of the combined schema.
+type ColRef struct {
+	Name string
+}
+
+// baseName strips an optional table qualifier.
+func baseName(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '.' {
+			return name[i+1:]
+		}
+	}
+	return name
+}
+
+// Eval implements Expr.
+func (c ColRef) Eval(b *cast.Batch, row int) (any, error) {
+	idx, err := b.Schema().Index(baseName(c.Name))
+	if err != nil {
+		return nil, err
+	}
+	return b.Value(row, idx)
+}
+
+// ResultType implements Expr.
+func (c ColRef) ResultType(s cast.Schema) (cast.Type, error) {
+	idx, err := s.Index(baseName(c.Name))
+	if err != nil {
+		return 0, err
+	}
+	return s.Col(idx).Type, nil
+}
+
+// String implements Expr.
+func (c ColRef) String() string { return c.Name }
+
+// Const is a literal value (int64, float64, string, or bool).
+type Const struct {
+	V any
+}
+
+// Eval implements Expr.
+func (c Const) Eval(*cast.Batch, int) (any, error) { return c.V, nil }
+
+// ResultType implements Expr.
+func (c Const) ResultType(cast.Schema) (cast.Type, error) {
+	switch c.V.(type) {
+	case int64:
+		return cast.Int64, nil
+	case float64:
+		return cast.Float64, nil
+	case string:
+		return cast.String, nil
+	case bool:
+		return cast.Bool, nil
+	default:
+		return 0, fmt.Errorf("%w: unsupported literal %T", ErrExpr, c.V)
+	}
+}
+
+// String implements Expr.
+func (c Const) String() string {
+	if s, ok := c.V.(string); ok {
+		return fmt.Sprintf("%q", s)
+	}
+	return fmt.Sprintf("%v", c.V)
+}
+
+// BinOp identifies a binary operator.
+type BinOp int
+
+// Binary operators.
+const (
+	OpEq BinOp = iota + 1
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+)
+
+var opNames = map[BinOp]string{
+	OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "AND", OpOr: "OR", OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+}
+
+// String implements fmt.Stringer.
+func (o BinOp) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("BinOp(%d)", int(o))
+}
+
+// IsComparison reports whether the operator yields a boolean from two
+// comparable operands.
+func (o BinOp) IsComparison() bool { return o >= OpEq && o <= OpGe }
+
+// IsLogical reports whether the operator combines two booleans.
+func (o BinOp) IsLogical() bool { return o == OpAnd || o == OpOr }
+
+// Bin is a binary expression.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (b Bin) Eval(batch *cast.Batch, row int) (any, error) {
+	lv, err := b.L.Eval(batch, row)
+	if err != nil {
+		return nil, err
+	}
+	// Short-circuit logical operators.
+	if b.Op.IsLogical() {
+		lb, ok := lv.(bool)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s wants bool lhs, got %T", ErrExpr, b.Op, lv)
+		}
+		if b.Op == OpAnd && !lb {
+			return false, nil
+		}
+		if b.Op == OpOr && lb {
+			return true, nil
+		}
+		rv, err := b.R.Eval(batch, row)
+		if err != nil {
+			return nil, err
+		}
+		rb, ok := rv.(bool)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s wants bool rhs, got %T", ErrExpr, b.Op, rv)
+		}
+		return rb, nil
+	}
+	rv, err := b.R.Eval(batch, row)
+	if err != nil {
+		return nil, err
+	}
+	lv, rv = numericWiden(lv, rv)
+	if b.Op.IsComparison() {
+		c, err := cast.CompareValues(lv, rv)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrExpr, err)
+		}
+		switch b.Op {
+		case OpEq:
+			return c == 0, nil
+		case OpNe:
+			return c != 0, nil
+		case OpLt:
+			return c < 0, nil
+		case OpLe:
+			return c <= 0, nil
+		case OpGt:
+			return c > 0, nil
+		case OpGe:
+			return c >= 0, nil
+		}
+	}
+	return evalArith(b.Op, lv, rv)
+}
+
+// numericWiden promotes int64 to float64 when the other operand is float64,
+// so mixed numeric comparisons and arithmetic behave like SQL.
+func numericWiden(a, b any) (any, any) {
+	ai, aInt := a.(int64)
+	bf, bFlt := b.(float64)
+	if aInt && bFlt {
+		return float64(ai), bf
+	}
+	af, aFlt := a.(float64)
+	bi, bInt := b.(int64)
+	if aFlt && bInt {
+		return af, float64(bi)
+	}
+	return a, b
+}
+
+func evalArith(op BinOp, lv, rv any) (any, error) {
+	switch l := lv.(type) {
+	case int64:
+		r, ok := rv.(int64)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s int64 vs %T", ErrExpr, op, rv)
+		}
+		switch op {
+		case OpAdd:
+			return l + r, nil
+		case OpSub:
+			return l - r, nil
+		case OpMul:
+			return l * r, nil
+		case OpDiv:
+			if r == 0 {
+				return nil, fmt.Errorf("%w: integer division by zero", ErrExpr)
+			}
+			return l / r, nil
+		}
+	case float64:
+		r, ok := rv.(float64)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s float64 vs %T", ErrExpr, op, rv)
+		}
+		switch op {
+		case OpAdd:
+			return l + r, nil
+		case OpSub:
+			return l - r, nil
+		case OpMul:
+			return l * r, nil
+		case OpDiv:
+			return l / r, nil
+		}
+	case string:
+		if op == OpAdd {
+			r, ok := rv.(string)
+			if !ok {
+				return nil, fmt.Errorf("%w: + string vs %T", ErrExpr, rv)
+			}
+			return l + r, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s unsupported on %T", ErrExpr, op, lv)
+}
+
+// ResultType implements Expr.
+func (b Bin) ResultType(s cast.Schema) (cast.Type, error) {
+	if b.Op.IsComparison() || b.Op.IsLogical() {
+		return cast.Bool, nil
+	}
+	lt, err := b.L.ResultType(s)
+	if err != nil {
+		return 0, err
+	}
+	rt, err := b.R.ResultType(s)
+	if err != nil {
+		return 0, err
+	}
+	if lt == cast.Float64 || rt == cast.Float64 {
+		return cast.Float64, nil
+	}
+	if lt == cast.Timestamp {
+		return cast.Int64, nil
+	}
+	return lt, nil
+}
+
+// String implements Expr.
+func (b Bin) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// Not negates a boolean expression.
+type Not struct {
+	E Expr
+}
+
+// Eval implements Expr.
+func (n Not) Eval(b *cast.Batch, row int) (any, error) {
+	v, err := n.E.Eval(b, row)
+	if err != nil {
+		return nil, err
+	}
+	bv, ok := v.(bool)
+	if !ok {
+		return nil, fmt.Errorf("%w: NOT wants bool, got %T", ErrExpr, v)
+	}
+	return !bv, nil
+}
+
+// ResultType implements Expr.
+func (n Not) ResultType(cast.Schema) (cast.Type, error) { return cast.Bool, nil }
+
+// String implements Expr.
+func (n Not) String() string { return fmt.Sprintf("(NOT %s)", n.E) }
+
+// EvalBool evaluates e as a boolean predicate for row r.
+func EvalBool(e Expr, b *cast.Batch, row int) (bool, error) {
+	v, err := e.Eval(b, row)
+	if err != nil {
+		return false, err
+	}
+	bv, ok := v.(bool)
+	if !ok {
+		return false, fmt.Errorf("%w: predicate returned %T", ErrExpr, v)
+	}
+	return bv, nil
+}
+
+// ColumnsOf returns the distinct base column names referenced by e, used by
+// the optimizer for projection pruning and pushdown legality.
+func ColumnsOf(e Expr) []string {
+	seen := map[string]bool{}
+	var walk func(Expr)
+	walk = func(x Expr) {
+		switch v := x.(type) {
+		case ColRef:
+			seen[baseName(v.Name)] = true
+		case Bin:
+			walk(v.L)
+			walk(v.R)
+		case Not:
+			walk(v.E)
+		}
+	}
+	walk(e)
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	return out
+}

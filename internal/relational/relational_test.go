@@ -1,0 +1,528 @@
+package relational
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"polystorepp/internal/cast"
+)
+
+func usersSchema() cast.Schema {
+	return cast.MustSchema(
+		cast.Column{Name: "uid", Type: cast.Int64},
+		cast.Column{Name: "age", Type: cast.Int64},
+		cast.Column{Name: "name", Type: cast.String},
+		cast.Column{Name: "score", Type: cast.Float64},
+	)
+}
+
+func ordersSchema() cast.Schema {
+	return cast.MustSchema(
+		cast.Column{Name: "oid", Type: cast.Int64},
+		cast.Column{Name: "user_id", Type: cast.Int64},
+		cast.Column{Name: "amount", Type: cast.Float64},
+	)
+}
+
+// newTestStore builds a store with users (n rows) and orders (3 per user).
+func newTestStore(t testing.TB, n int) *Store {
+	t.Helper()
+	s := NewStore("db-test")
+	users, err := s.CreateTable("users", usersSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orders, err := s.CreateTable("orders", ordersSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	oid := int64(0)
+	for i := 0; i < n; i++ {
+		name := "user-" + string(rune('a'+i%26))
+		if err := users.Insert(int64(i), int64(18+rng.Intn(60)), name, rng.Float64()*100); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 3; j++ {
+			if err := orders.Insert(oid, int64(i), float64(rng.Intn(500))); err != nil {
+				t.Fatal(err)
+			}
+			oid++
+		}
+	}
+	return s
+}
+
+func TestStoreCreateAndLookup(t *testing.T) {
+	s := NewStore("db1")
+	if s.Name() != "db1" {
+		t.Fatal("store name")
+	}
+	if _, err := s.CreateTable("t", usersSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateTable("t", usersSchema()); !errors.Is(err, ErrTableExist) {
+		t.Fatalf("dup table: %v", err)
+	}
+	if _, err := s.Table("missing"); !errors.Is(err, ErrNoTable) {
+		t.Fatalf("missing table: %v", err)
+	}
+	if got := s.Tables(); len(got) != 1 || got[0] != "t" {
+		t.Fatalf("Tables = %v", got)
+	}
+}
+
+func TestTableInsertTypeCheck(t *testing.T) {
+	s := newTestStore(t, 5)
+	users, _ := s.Table("users")
+	if err := users.Insert("not-an-int", int64(1), "x", 1.0); err == nil {
+		t.Fatal("bad insert accepted")
+	}
+	if users.Rows() != 5 {
+		t.Fatalf("rows = %d after failed insert", users.Rows())
+	}
+}
+
+func TestIndexesMaintainedOnInsert(t *testing.T) {
+	s := newTestStore(t, 10)
+	users, _ := s.Table("users")
+	if err := users.CreateBTreeIndex("uid"); err != nil {
+		t.Fatal(err)
+	}
+	if err := users.CreateHashIndex("name"); err != nil {
+		t.Fatal(err)
+	}
+	// Rows inserted after index creation must be indexed too.
+	if err := users.Insert(int64(100), int64(30), "late", 5.0); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := users.LookupEq("uid", int64(100))
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("btree after insert: %v %v", rows, err)
+	}
+	rows, err = users.LookupEq("name", "late")
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("hash after insert: %v %v", rows, err)
+	}
+	if !users.HasBTree("uid") || users.HasBTree("name") {
+		t.Fatal("HasBTree wrong")
+	}
+	if !users.HasHash("name") {
+		t.Fatal("HasHash wrong")
+	}
+}
+
+func TestBTreeIndexTypeRestriction(t *testing.T) {
+	s := newTestStore(t, 2)
+	users, _ := s.Table("users")
+	if err := users.CreateBTreeIndex("name"); !errors.Is(err, ErrIndexType) {
+		t.Fatalf("btree on string: %v", err)
+	}
+	if err := users.CreateBTreeIndex("ghost"); !errors.Is(err, cast.ErrColumnNotFound) {
+		t.Fatalf("btree on missing: %v", err)
+	}
+}
+
+func TestLookupRange(t *testing.T) {
+	s := newTestStore(t, 50)
+	users, _ := s.Table("users")
+	if _, err := users.LookupRange("uid", 0, 10); !errors.Is(err, ErrNoIndex) {
+		t.Fatalf("range without index: %v", err)
+	}
+	if err := users.CreateBTreeIndex("uid"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := users.LookupRange("uid", 10, 19)
+	if err != nil || len(rows) != 10 {
+		t.Fatalf("LookupRange = %d rows, %v", len(rows), err)
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	b := cast.NewBatch(usersSchema(), 1)
+	if err := b.AppendRow(int64(7), int64(30), "bob", 62.5); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		e    Expr
+		want any
+	}{
+		{ColRef{Name: "age"}, int64(30)},
+		{ColRef{Name: "u.age"}, int64(30)}, // qualified
+		{Const{V: int64(5)}, int64(5)},
+		{Bin{OpAdd, ColRef{Name: "age"}, Const{V: int64(5)}}, int64(35)},
+		{Bin{OpSub, ColRef{Name: "age"}, Const{V: int64(5)}}, int64(25)},
+		{Bin{OpMul, Const{V: int64(4)}, Const{V: int64(3)}}, int64(12)},
+		{Bin{OpDiv, Const{V: int64(9)}, Const{V: int64(2)}}, int64(4)},
+		{Bin{OpEq, ColRef{Name: "name"}, Const{V: "bob"}}, true},
+		{Bin{OpNe, ColRef{Name: "name"}, Const{V: "bob"}}, false},
+		{Bin{OpGt, ColRef{Name: "score"}, Const{V: 60.0}}, true},
+		{Bin{OpGe, ColRef{Name: "age"}, Const{V: int64(30)}}, true},
+		{Bin{OpLt, ColRef{Name: "age"}, Const{V: int64(30)}}, false},
+		{Bin{OpLe, ColRef{Name: "age"}, Const{V: int64(30)}}, true},
+		// Mixed int/float comparison widens.
+		{Bin{OpGt, ColRef{Name: "age"}, Const{V: 29.5}}, true},
+		{Bin{OpAnd, Const{V: true}, Const{V: false}}, false},
+		{Bin{OpOr, Const{V: false}, Const{V: true}}, true},
+		{Not{Bin{OpEq, ColRef{Name: "uid"}, Const{V: int64(7)}}}, false},
+		{Bin{OpAdd, Const{V: "a"}, Const{V: "b"}}, "ab"},
+	}
+	for _, tc := range tests {
+		got, err := tc.e.Eval(b, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.e, err)
+		}
+		if got != tc.want {
+			t.Fatalf("%s = %v, want %v", tc.e, got, tc.want)
+		}
+	}
+}
+
+func TestExprEvalErrors(t *testing.T) {
+	b := cast.NewBatch(usersSchema(), 1)
+	if err := b.AppendRow(int64(7), int64(30), "bob", 62.5); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Expr{
+		ColRef{Name: "ghost"},
+		Bin{OpDiv, Const{V: int64(1)}, Const{V: int64(0)}},
+		Bin{OpAnd, Const{V: int64(1)}, Const{V: true}},
+		Bin{OpAdd, Const{V: true}, Const{V: true}},
+		Not{Const{V: int64(3)}},
+		Bin{OpEq, ColRef{Name: "age"}, Const{V: "x"}},
+	}
+	for _, e := range bad {
+		if _, err := e.Eval(b, 0); err == nil {
+			t.Fatalf("%s should fail", e)
+		}
+	}
+	// Short-circuit avoids RHS errors.
+	sc := Bin{OpAnd, Const{V: false}, ColRef{Name: "ghost"}}
+	v, err := sc.Eval(b, 0)
+	if err != nil || v != false {
+		t.Fatalf("short-circuit AND = %v, %v", v, err)
+	}
+	sc2 := Bin{OpOr, Const{V: true}, ColRef{Name: "ghost"}}
+	v, err = sc2.Eval(b, 0)
+	if err != nil || v != true {
+		t.Fatalf("short-circuit OR = %v, %v", v, err)
+	}
+}
+
+func TestColumnsOf(t *testing.T) {
+	e := Bin{OpAnd,
+		Bin{OpGt, ColRef{Name: "t.age"}, Const{V: int64(10)}},
+		Not{Bin{OpEq, ColRef{Name: "name"}, ColRef{Name: "age"}}}}
+	cols := ColumnsOf(e)
+	if len(cols) != 2 {
+		t.Fatalf("ColumnsOf = %v", cols)
+	}
+}
+
+func TestSeqScanAndFilter(t *testing.T) {
+	ctx := context.Background()
+	s := newTestStore(t, 2500) // multiple batches
+	users, _ := s.Table("users")
+	scan := NewSeqScan(users)
+	out, err := Run(ctx, scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 2500 {
+		t.Fatalf("scan rows = %d", out.Rows())
+	}
+	f := NewFilter(NewSeqScan(users), Bin{OpLt, ColRef{Name: "uid"}, Const{V: int64(100)}})
+	out, err = Run(ctx, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 100 {
+		t.Fatalf("filter rows = %d", out.Rows())
+	}
+	st := f.Stats()
+	if st.RowsIn != 2500 || st.RowsOut != 100 {
+		t.Fatalf("filter stats = %+v", st)
+	}
+}
+
+func TestIndexScanMatchesFilteredSeqScan(t *testing.T) {
+	ctx := context.Background()
+	s := newTestStore(t, 1200)
+	users, _ := s.Table("users")
+	if err := users.CreateBTreeIndex("uid"); err != nil {
+		t.Fatal(err)
+	}
+	is := NewIndexScan(users, "uid", 100, 299)
+	viaIndex, err := Run(ctx, is)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := Bin{OpAnd,
+		Bin{OpGe, ColRef{Name: "uid"}, Const{V: int64(100)}},
+		Bin{OpLe, ColRef{Name: "uid"}, Const{V: int64(299)}}}
+	viaScan, err := Run(ctx, NewFilter(NewSeqScan(users), pred))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortedIdx, err := viaIndex.SortBy(cast.SortKey{Col: "uid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortedScan, err := viaScan.SortBy(cast.SortKey{Col: "uid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sortedIdx.Equal(sortedScan) {
+		t.Fatal("index scan and filtered seq scan disagree")
+	}
+}
+
+func TestProject(t *testing.T) {
+	ctx := context.Background()
+	s := newTestStore(t, 10)
+	users, _ := s.Table("users")
+	p, err := NewProject(NewSeqScan(users), []ProjItem{
+		{E: ColRef{Name: "name"}, Name: "n"},
+		{E: Bin{OpAdd, ColRef{Name: "age"}, Const{V: int64(1)}}, Name: "age_next"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema().Len() != 2 || !out.Schema().Has("age_next") {
+		t.Fatalf("projected schema %s", out.Schema())
+	}
+	if out.Rows() != 10 {
+		t.Fatalf("rows = %d", out.Rows())
+	}
+}
+
+func TestHashJoinMatchesNestedLoop(t *testing.T) {
+	ctx := context.Background()
+	s := newTestStore(t, 300)
+	users, _ := s.Table("users")
+	orders, _ := s.Table("orders")
+
+	j, err := NewHashJoin(NewSeqScan(orders), NewSeqScan(users), "user_id", "uid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(ctx, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != 900 { // every order matches exactly one user
+		t.Fatalf("join rows = %d, want 900", got.Rows())
+	}
+	// Verify against a nested-loop reference on a sample.
+	ob := orders.Snapshot()
+	ub := users.Snapshot()
+	count := 0
+	for i := 0; i < ob.Rows(); i++ {
+		oid, _ := ob.Value(i, 1)
+		for k := 0; k < ub.Rows(); k++ {
+			uid, _ := ub.Value(k, 0)
+			if oid == uid {
+				count++
+			}
+		}
+	}
+	if count != got.Rows() {
+		t.Fatalf("nested loop count %d != hash join %d", count, got.Rows())
+	}
+}
+
+func TestMergeJoinMatchesHashJoin(t *testing.T) {
+	ctx := context.Background()
+	s := newTestStore(t, 200)
+	users, _ := s.Table("users")
+	orders, _ := s.Table("orders")
+	hj, err := NewHashJoin(NewSeqScan(orders), NewSeqScan(users), "user_id", "uid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaHash, err := Run(ctx, hj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mj, err := NewMergeJoin(NewSeqScan(orders), NewSeqScan(users), "user_id", "uid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaMerge, err := Run(ctx, mj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaHash.Rows() != viaMerge.Rows() {
+		t.Fatalf("hash join %d rows, merge join %d", viaHash.Rows(), viaMerge.Rows())
+	}
+	hs, err := viaHash.SortBy(cast.SortKey{Col: "oid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := viaMerge.SortBy(cast.SortKey{Col: "oid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hs.Equal(ms) {
+		t.Fatal("join outputs differ")
+	}
+	if mj.SortRows[0] == 0 || mj.SortRows[1] == 0 {
+		t.Fatal("merge join sort stats not recorded")
+	}
+}
+
+func TestSortAndLimit(t *testing.T) {
+	ctx := context.Background()
+	s := newTestStore(t, 500)
+	users, _ := s.Table("users")
+	op := NewLimit(NewSort(NewSeqScan(users), cast.SortKey{Col: "age", Desc: true}), 10)
+	out, err := Run(ctx, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 10 {
+		t.Fatalf("limit rows = %d", out.Rows())
+	}
+	ages, _ := out.Ints(1)
+	for i := 1; i < len(ages); i++ {
+		if ages[i-1] < ages[i] {
+			t.Fatalf("not descending: %v", ages)
+		}
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	ctx := context.Background()
+	s := newTestStore(t, 260) // 10 users per name letter
+	users, _ := s.Table("users")
+	g, err := NewGroupBy(NewSeqScan(users), []string{"name"}, []AggSpec{
+		{Fn: AggCount, As: "n"},
+		{Fn: AggSum, Col: "age", As: "sum_age"},
+		{Fn: AggAvg, Col: "age", As: "avg_age"},
+		{Fn: AggMin, Col: "age", As: "min_age"},
+		{Fn: AggMax, Col: "age", As: "max_age"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 26 {
+		t.Fatalf("groups = %d, want 26", out.Rows())
+	}
+	ns, _ := out.Ints(1)
+	var total int64
+	for _, n := range ns {
+		total += n
+	}
+	if total != 260 {
+		t.Fatalf("count sum = %d", total)
+	}
+	// avg between min and max for each group.
+	mins, _ := out.Ints(4)
+	maxs, _ := out.Ints(5)
+	avgs, _ := out.Floats(3)
+	for i := range avgs {
+		if avgs[i] < float64(mins[i]) || avgs[i] > float64(maxs[i]) {
+			t.Fatalf("group %d: avg %v outside [%d,%d]", i, avgs[i], mins[i], maxs[i])
+		}
+	}
+}
+
+func TestGroupByGlobalEmptyInput(t *testing.T) {
+	ctx := context.Background()
+	s := NewStore("empty")
+	tb, _ := s.CreateTable("t", usersSchema())
+	g, err := NewGroupBy(NewSeqScan(tb), nil, []AggSpec{{Fn: AggCount, As: "n"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 1 {
+		t.Fatalf("global agg rows = %d", out.Rows())
+	}
+	n, _ := out.Ints(0)
+	if n[0] != 0 {
+		t.Fatalf("count = %d", n[0])
+	}
+}
+
+func TestRunHonorsContext(t *testing.T) {
+	s := newTestStore(t, 100)
+	users, _ := s.Table("users")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, NewSeqScan(users)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	s := newTestStore(t, 10)
+	users, _ := s.Table("users")
+	op := NewLimit(NewFilter(NewSeqScan(users), Const{V: true}), 5)
+	out := Explain(op)
+	for _, want := range []string{"Limit(5)", "Filter", "SeqScan(users)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Property: hash join row count equals sum over keys of |L_k| x |R_k|.
+func TestPropertyHashJoinCardinality(t *testing.T) {
+	f := func(seed int64, nL, nR uint8) bool {
+		ctx := context.Background()
+		rng := rand.New(rand.NewSource(seed))
+		s := NewStore("p")
+		ls := cast.MustSchema(cast.Column{Name: "k", Type: cast.Int64}, cast.Column{Name: "lv", Type: cast.Int64})
+		rs := cast.MustSchema(cast.Column{Name: "rk", Type: cast.Int64}, cast.Column{Name: "rv", Type: cast.Int64})
+		lt, _ := s.CreateTable("l", ls)
+		rt, _ := s.CreateTable("r", rs)
+		lCount := make(map[int64]int64)
+		rCount := make(map[int64]int64)
+		for i := 0; i < int(nL)%60+1; i++ {
+			k := int64(rng.Intn(10))
+			if err := lt.Insert(k, int64(i)); err != nil {
+				return false
+			}
+			lCount[k]++
+		}
+		for i := 0; i < int(nR)%60+1; i++ {
+			k := int64(rng.Intn(10))
+			if err := rt.Insert(k, int64(i)); err != nil {
+				return false
+			}
+			rCount[k]++
+		}
+		j, err := NewHashJoin(NewSeqScan(lt), NewSeqScan(rt), "k", "rk")
+		if err != nil {
+			return false
+		}
+		out, err := Run(ctx, j)
+		if err != nil {
+			return false
+		}
+		var want int64
+		for k, lc := range lCount {
+			want += lc * rCount[k]
+		}
+		return int64(out.Rows()) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

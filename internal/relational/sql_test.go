@@ -1,0 +1,279 @@
+package relational
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestParseBasic(t *testing.T) {
+	stmt, err := Parse("SELECT name, age FROM users WHERE age > 30 ORDER BY age DESC LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.From != "users" || len(stmt.Items) != 2 || stmt.Limit != 5 {
+		t.Fatalf("stmt = %+v", stmt)
+	}
+	if len(stmt.OrderBy) != 1 || !stmt.OrderBy[0].Desc {
+		t.Fatalf("order by = %+v", stmt.OrderBy)
+	}
+	if stmt.Where == nil {
+		t.Fatal("no where")
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stmt.Star || stmt.Limit != -1 {
+		t.Fatalf("stmt = %+v", stmt)
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	stmt, err := Parse("SELECT name FROM orders JOIN users ON user_id = uid WHERE amount > 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.Joins) != 1 || stmt.Joins[0].Table != "users" {
+		t.Fatalf("joins = %+v", stmt.Joins)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	stmt, err := Parse("SELECT count(*), sum(amount) AS total, avg(amount) FROM orders GROUP BY user_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.Items) != 3 {
+		t.Fatalf("items = %+v", stmt.Items)
+	}
+	if stmt.Items[0].Agg == nil || stmt.Items[0].Agg.Fn != AggCount {
+		t.Fatal("count(*) not parsed")
+	}
+	if stmt.Items[1].Agg.As != "total" {
+		t.Fatalf("alias = %q", stmt.Items[1].Agg.As)
+	}
+	if len(stmt.GroupBy) != 1 {
+		t.Fatalf("group by = %v", stmt.GroupBy)
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	stmt, err := Parse("SELECT a FROM t WHERE a + 1 * 2 = 3 AND b = 'x' OR NOT c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect OR at the top: ((a+(1*2))=3 AND b='x') OR (NOT c)
+	top, ok := stmt.Where.(Bin)
+	if !ok || top.Op != OpOr {
+		t.Fatalf("top = %v", stmt.Where)
+	}
+	left, ok := top.L.(Bin)
+	if !ok || left.Op != OpAnd {
+		t.Fatalf("left = %v", top.L)
+	}
+	if _, ok := top.R.(Not); !ok {
+		t.Fatalf("right = %v", top.R)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"UPDATE users SET x = 1",
+		"SELECT FROM users",
+		"SELECT * users",
+		"SELECT * FROM users WHERE",
+		"SELECT * FROM users LIMIT abc",
+		"SELECT * FROM users trailing",
+		"SELECT * FROM users WHERE name = 'unterminated",
+		"SELECT sum(*) FROM t",
+		"SELECT * FROM orders JOIN users ON user_id uid",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); !errors.Is(err, ErrSQL) {
+			t.Fatalf("Parse(%q): want ErrSQL, got %v", sql, err)
+		}
+	}
+}
+
+func TestQueryEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	s := newTestStore(t, 520)
+	e := NewEngine(s)
+
+	out, stats, err := e.Query(ctx, "SELECT name, age FROM users WHERE age >= 30 ORDER BY age LIMIT 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 20 || out.Schema().Len() != 2 {
+		t.Fatalf("result %d rows, schema %s", out.Rows(), out.Schema())
+	}
+	ages, _ := out.Ints(1)
+	for i := 1; i < len(ages); i++ {
+		if ages[i-1] > ages[i] {
+			t.Fatal("not sorted")
+		}
+	}
+	if len(stats) == 0 {
+		t.Fatal("no stats")
+	}
+}
+
+func TestQueryJoinEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	s := newTestStore(t, 100)
+	e := NewEngine(s)
+	out, _, err := e.Query(ctx, "SELECT oid, name FROM orders JOIN users ON user_id = uid WHERE uid < 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 30 { // 10 users x 3 orders
+		t.Fatalf("rows = %d, want 30", out.Rows())
+	}
+}
+
+func TestQueryReversedJoinColumns(t *testing.T) {
+	ctx := context.Background()
+	s := newTestStore(t, 50)
+	e := NewEngine(s)
+	// ON written with sides swapped relative to FROM/JOIN order.
+	out, _, err := e.Query(ctx, "SELECT oid FROM orders JOIN users ON uid = user_id LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 5 {
+		t.Fatalf("rows = %d", out.Rows())
+	}
+}
+
+func TestQueryAggregates(t *testing.T) {
+	ctx := context.Background()
+	s := newTestStore(t, 100)
+	e := NewEngine(s)
+	out, _, err := e.Query(ctx, "SELECT count(*) AS n, sum(amount) AS total FROM orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 1 {
+		t.Fatalf("rows = %d", out.Rows())
+	}
+	n, err := out.Ints(0)
+	if err != nil || n[0] != 300 {
+		t.Fatalf("count = %v, %v", n, err)
+	}
+	out, _, err = e.Query(ctx, "SELECT count(*) AS n FROM orders GROUP BY user_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 100 {
+		t.Fatalf("groups = %d", out.Rows())
+	}
+}
+
+func TestQueryUsesIndexScan(t *testing.T) {
+	s := newTestStore(t, 2000)
+	users, _ := s.Table("users")
+	if err := users.CreateBTreeIndex("uid"); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(s)
+	plan, err := e.Plan("SELECT name FROM users WHERE uid = 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	var walk func(Operator)
+	walk = func(op Operator) {
+		if _, ok := op.(*IndexScan); ok {
+			found = true
+		}
+		for _, c := range op.Children() {
+			walk(c)
+		}
+	}
+	walk(plan)
+	if !found {
+		t.Fatalf("plan does not use index:\n%s", Explain(plan))
+	}
+	// Results agree with an unindexed engine.
+	ctx := context.Background()
+	got, _, err := e.Query(ctx, "SELECT name FROM users WHERE uid = 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := newTestStore(t, 2000)
+	e2 := NewEngine(s2)
+	want, _, err := e2.Query(ctx, "SELECT name FROM users WHERE uid = 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("index plan and scan plan disagree")
+	}
+}
+
+func TestQueryIndexRangeOperators(t *testing.T) {
+	ctx := context.Background()
+	s := newTestStore(t, 500)
+	users, _ := s.Table("users")
+	if err := users.CreateBTreeIndex("uid"); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(s)
+	for sql, want := range map[string]int{
+		"SELECT uid FROM users WHERE uid < 10":    10,
+		"SELECT uid FROM users WHERE uid <= 10":   11,
+		"SELECT uid FROM users WHERE uid > 489":   10,
+		"SELECT uid FROM users WHERE uid >= 489":  11,
+		"SELECT uid FROM users WHERE 10 > uid":    10, // flipped literal
+		"SELECT uid FROM users WHERE uid = 77":    1,
+		"SELECT uid FROM users WHERE uid = 99999": 0,
+	} {
+		out, _, err := e.Query(ctx, sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		if out.Rows() != want {
+			t.Fatalf("%s: rows = %d, want %d", sql, out.Rows(), want)
+		}
+	}
+}
+
+func TestQueryMissingTable(t *testing.T) {
+	e := NewEngine(NewStore("x"))
+	if _, _, err := e.Query(context.Background(), "SELECT a FROM nope"); !errors.Is(err, ErrNoTable) {
+		t.Fatalf("missing table: %v", err)
+	}
+}
+
+func TestQueryComputedColumns(t *testing.T) {
+	ctx := context.Background()
+	s := newTestStore(t, 10)
+	e := NewEngine(s)
+	out, _, err := e.Query(ctx, "SELECT uid, age * 2 AS double_age FROM users WHERE uid = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, err := out.Ints(1)
+	if err != nil || len(da) != 1 {
+		t.Fatalf("double_age: %v %v", da, err)
+	}
+	ages, _ := s.MustTable(t, "users").Snapshot().Ints(1)
+	if da[0] != ages[3]*2 {
+		t.Fatalf("double_age = %d, want %d", da[0], ages[3]*2)
+	}
+}
+
+// MustTable is a test helper on Store.
+func (s *Store) MustTable(t *testing.T, name string) *Table {
+	t.Helper()
+	tb, err := s.Table(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}

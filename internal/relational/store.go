@@ -1,0 +1,276 @@
+// Package relational implements the relational data-processing engine of the
+// polystore (the Postgres/Oracle role in the paper): heap tables with B-tree
+// and hash indexes, a vectorized Volcano operator tree (scan, filter,
+// project, hash/merge join, group-by, sort, limit), and a SQL-subset
+// frontend. The engine reports per-operator statistics so the Polystore++
+// middleware can cost and offload its operators (§III-A1).
+package relational
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"polystorepp/internal/cast"
+)
+
+// Sentinel errors.
+var (
+	ErrNoTable    = errors.New("relational: table not found")
+	ErrTableExist = errors.New("relational: table already exists")
+	ErrNoIndex    = errors.New("relational: no usable index")
+	ErrIndexType  = errors.New("relational: column type not indexable this way")
+)
+
+// Store is a named collection of tables — one relational database instance
+// in the polystore's server pool.
+type Store struct {
+	mu     sync.RWMutex
+	name   string
+	tables map[string]*Table
+}
+
+// NewStore returns an empty store with the given instance name.
+func NewStore(name string) *Store {
+	return &Store{name: name, tables: make(map[string]*Table)}
+}
+
+// Name returns the store instance name.
+func (s *Store) Name() string { return s.name }
+
+// CreateTable registers an empty table with the schema.
+func (s *Store) CreateTable(name string, schema cast.Schema) (*Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrTableExist, name)
+	}
+	t := &Table{name: name, schema: schema, heap: cast.NewBatch(schema, 0),
+		btrees: make(map[string]*btree), hashes: make(map[string]map[string][]int32)}
+	s.tables[name] = t
+	return t, nil
+}
+
+// Table returns the named table.
+func (s *Store) Table(name string) (*Table, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// Tables returns the table names in the store.
+func (s *Store) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Table is a heap of rows plus secondary indexes. Concurrent readers are
+// safe; writers take the table lock.
+type Table struct {
+	mu     sync.RWMutex
+	name   string
+	schema cast.Schema
+	heap   *cast.Batch
+	// btrees maps column name -> ordered index (Int64/Timestamp columns).
+	btrees map[string]*btree
+	// hashes maps column name -> value-key -> row ids (any indexable type).
+	hashes map[string]map[string][]int32
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() cast.Schema { return t.schema }
+
+// Rows returns the current row count.
+func (t *Table) Rows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.heap.Rows()
+}
+
+// Insert appends one row.
+func (t *Table) Insert(vals ...any) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	row := t.heap.Rows()
+	if err := t.heap.AppendRow(vals...); err != nil {
+		return err
+	}
+	return t.indexRow(row)
+}
+
+// InsertBatch appends all rows of b (schema-checked).
+func (t *Table) InsertBatch(b *cast.Batch) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	start := t.heap.Rows()
+	if err := t.heap.AppendBatch(b); err != nil {
+		return err
+	}
+	for r := start; r < t.heap.Rows(); r++ {
+		if err := t.indexRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// indexRow maintains all indexes for newly appended row r. Caller holds the
+// write lock.
+func (t *Table) indexRow(r int) error {
+	for col, bt := range t.btrees {
+		i, err := t.schema.Index(col)
+		if err != nil {
+			return err
+		}
+		ints, err := t.heap.Ints(i)
+		if err != nil {
+			return err
+		}
+		bt.Insert(ints[r], int32(r))
+	}
+	for col, h := range t.hashes {
+		i, err := t.schema.Index(col)
+		if err != nil {
+			return err
+		}
+		key, err := t.heap.KeyString(r, []int{i})
+		if err != nil {
+			return err
+		}
+		h[key] = append(h[key], int32(r))
+	}
+	return nil
+}
+
+// CreateBTreeIndex builds an ordered index on an Int64/Timestamp column,
+// indexing existing rows.
+func (t *Table) CreateBTreeIndex(col string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i, err := t.schema.Index(col)
+	if err != nil {
+		return err
+	}
+	ct := t.schema.Col(i).Type
+	if ct != cast.Int64 && ct != cast.Timestamp {
+		return fmt.Errorf("%w: btree on %s column %q", ErrIndexType, ct, col)
+	}
+	bt := newBTree()
+	ints, err := t.heap.Ints(i)
+	if err != nil {
+		return err
+	}
+	for r, v := range ints {
+		bt.Insert(v, int32(r))
+	}
+	t.btrees[col] = bt
+	return nil
+}
+
+// CreateHashIndex builds an equality index on any column type.
+func (t *Table) CreateHashIndex(col string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i, err := t.schema.Index(col)
+	if err != nil {
+		return err
+	}
+	h := make(map[string][]int32)
+	for r := 0; r < t.heap.Rows(); r++ {
+		key, err := t.heap.KeyString(r, []int{i})
+		if err != nil {
+			return err
+		}
+		h[key] = append(h[key], int32(r))
+	}
+	t.hashes[col] = h
+	return nil
+}
+
+// HasBTree reports whether col has an ordered index.
+func (t *Table) HasBTree(col string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.btrees[col]
+	return ok
+}
+
+// HasHash reports whether col has a hash index.
+func (t *Table) HasHash(col string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.hashes[col]
+	return ok
+}
+
+// Snapshot returns a read-only alias of the heap batch. Callers must not
+// mutate it; appends by writers do not disturb previously read rows.
+func (t *Table) Snapshot() *cast.Batch {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.heap
+}
+
+// LookupEq returns the row ids matching value v on an indexed column
+// (hash index preferred, then B-tree). ErrNoIndex if neither exists.
+func (t *Table) LookupEq(col string, v any) ([]int32, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if h, ok := t.hashes[col]; ok {
+		i, err := t.schema.Index(col)
+		if err != nil {
+			return nil, err
+		}
+		// Build the canonical key via a one-row scratch batch.
+		scratch := cast.NewBatch(cast.MustSchema(t.schema.Col(i)), 1)
+		if err := scratch.AppendRow(v); err != nil {
+			return nil, err
+		}
+		key, err := scratch.KeyString(0, []int{0})
+		if err != nil {
+			return nil, err
+		}
+		return h[key], nil
+	}
+	if bt, ok := t.btrees[col]; ok {
+		iv, ok := v.(int64)
+		if !ok {
+			if i, isInt := v.(int); isInt {
+				iv = int64(i)
+			} else {
+				return nil, fmt.Errorf("%w: btree lookup with %T", ErrIndexType, v)
+			}
+		}
+		return bt.Get(iv), nil
+	}
+	return nil, fmt.Errorf("%w: column %q", ErrNoIndex, col)
+}
+
+// LookupRange returns row ids with lo <= col <= hi from the B-tree index,
+// in ascending key order.
+func (t *Table) LookupRange(col string, lo, hi int64) ([]int32, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	bt, ok := t.btrees[col]
+	if !ok {
+		return nil, fmt.Errorf("%w: column %q", ErrNoIndex, col)
+	}
+	var out []int32
+	bt.Range(lo, hi, func(_ int64, rows []int32) bool {
+		out = append(out, rows...)
+		return true
+	})
+	return out, nil
+}

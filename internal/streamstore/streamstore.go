@@ -1,0 +1,184 @@
+// Package streamstore implements the stream engine of the polystore (the
+// Saber role of §II-B and the "Stream Store" of Figure 2): an append-only
+// event log with consumer offsets plus sliding/tumbling window operators
+// over live streams. The window operators are the KWindowAgg kernels the
+// FPGA model accelerates.
+package streamstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Sentinel errors.
+var (
+	ErrNoStream  = errors.New("streamstore: stream not found")
+	ErrBadOffset = errors.New("streamstore: offset out of range")
+	ErrBadWindow = errors.New("streamstore: invalid window spec")
+)
+
+// Event is one element of a stream.
+type Event struct {
+	TS    int64 // event time, nanoseconds
+	Key   string
+	Value float64
+}
+
+// Store is a set of named append-only streams. Safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	name    string
+	streams map[string][]Event
+}
+
+// New returns an empty stream store.
+func New(name string) *Store {
+	return &Store{name: name, streams: make(map[string][]Event)}
+}
+
+// Name returns the store instance name.
+func (s *Store) Name() string { return s.name }
+
+// Append adds events to the named stream (created on first use) and returns
+// the new log length.
+func (s *Store) Append(stream string, events ...Event) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.streams[stream] = append(s.streams[stream], events...)
+	return len(s.streams[stream])
+}
+
+// Len returns the length of the named stream (0 when absent).
+func (s *Store) Len(stream string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.streams[stream])
+}
+
+// Read returns up to max events starting at offset.
+func (s *Store) Read(stream string, offset, max int) ([]Event, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	log, ok := s.streams[stream]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoStream, stream)
+	}
+	if offset < 0 || offset > len(log) {
+		return nil, fmt.Errorf("%w: %d of %d", ErrBadOffset, offset, len(log))
+	}
+	end := offset + max
+	if end > len(log) {
+		end = len(log)
+	}
+	out := make([]Event, end-offset)
+	copy(out, log[offset:end])
+	return out, nil
+}
+
+// WindowSpec configures a window computation. Width is the window size in
+// event-time nanoseconds; Slide is the hop (Slide == Width gives tumbling
+// windows). Sliding windows emit one result per hop.
+type WindowSpec struct {
+	Width int64
+	Slide int64
+}
+
+// Validate checks the spec.
+func (w WindowSpec) Validate() error {
+	if w.Width <= 0 || w.Slide <= 0 || w.Slide > w.Width {
+		return fmt.Errorf("%w: width=%d slide=%d", ErrBadWindow, w.Width, w.Slide)
+	}
+	return nil
+}
+
+// WindowOut is one window result per key.
+type WindowOut struct {
+	Start int64
+	Key   string
+	Sum   float64
+	Count int
+	Min   float64
+	Max   float64
+}
+
+// Mean returns the window mean.
+func (w WindowOut) Mean() float64 {
+	if w.Count == 0 {
+		return 0
+	}
+	return w.Sum / float64(w.Count)
+}
+
+// WindowAggregate computes per-key aggregates over the windows covering
+// [from, to). Results are ordered by (window start, key insertion order
+// within window discovery) — deterministic for a fixed log.
+func (s *Store) WindowAggregate(stream string, from, to int64, spec WindowSpec) ([]WindowOut, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	log, ok := s.streams[stream]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %q", ErrNoStream, stream)
+	}
+	events := make([]Event, len(log))
+	copy(events, log)
+	s.mu.RUnlock()
+
+	type wk struct {
+		start int64
+		key   string
+	}
+	acc := make(map[wk]*WindowOut)
+	var order []wk
+	for _, e := range events {
+		if e.TS < from || e.TS >= to {
+			continue
+		}
+		// An event belongs to every window whose [start, start+Width)
+		// contains it; starts are multiples of Slide.
+		firstStart := from + ((e.TS-from)/spec.Slide)*spec.Slide
+		for start := firstStart; start > e.TS-spec.Width && start >= from; start -= spec.Slide {
+			if e.TS >= start && e.TS < start+spec.Width {
+				k := wk{start: start, key: e.Key}
+				w, ok := acc[k]
+				if !ok {
+					w = &WindowOut{Start: start, Key: e.Key, Min: e.Value, Max: e.Value}
+					acc[k] = w
+					order = append(order, k)
+				}
+				w.Sum += e.Value
+				w.Count++
+				if e.Value < w.Min {
+					w.Min = e.Value
+				}
+				if e.Value > w.Max {
+					w.Max = e.Value
+				}
+			}
+		}
+	}
+	out := make([]WindowOut, 0, len(order))
+	for _, k := range order {
+		out = append(out, *acc[k])
+	}
+	return out, nil
+}
+
+// Subscribe returns a channel that yields events appended to the stream
+// starting at offset, polled via the returned pump function. The caller
+// drives the pump (typically from the executor's stage loop); this keeps
+// goroutine ownership with the caller per the no-fire-and-forget rule.
+func (s *Store) Subscribe(stream string, offset int) (next func(max int) ([]Event, error)) {
+	pos := offset
+	return func(max int) ([]Event, error) {
+		evs, err := s.Read(stream, pos, max)
+		if err != nil {
+			return nil, err
+		}
+		pos += len(evs)
+		return evs, nil
+	}
+}

@@ -1,0 +1,348 @@
+// Package tensor implements the dense numeric substrate shared by the ML/DL
+// engine, the array store, and the TPU/GPU kernel simulators: row-major
+// float64 tensors with GEMM/GEMV, elementwise kernels and reductions.
+//
+// The paper (§III-A1) maps deep-learning workloads onto GEMM and GEMV, so
+// these two kernels are the contract the accelerator simulators implement
+// and are verified against.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Sentinel errors.
+var (
+	ErrShape = errors.New("tensor: shape mismatch")
+	ErrBound = errors.New("tensor: index out of bounds")
+)
+
+// Tensor is a dense row-major float64 tensor. The zero value is an empty
+// scalar-less tensor; construct with New or FromSlice.
+type Tensor struct {
+	shape []int
+	data  []float64
+}
+
+// New returns a zero-filled tensor of the given shape. A nil/empty shape is
+// rejected, as are non-positive dimensions.
+func New(shape ...int) (*Tensor, error) {
+	if len(shape) == 0 {
+		return nil, fmt.Errorf("%w: empty shape", ErrShape)
+	}
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("%w: dimension %d", ErrShape, d)
+		}
+		n *= d
+	}
+	own := make([]int, len(shape))
+	copy(own, shape)
+	return &Tensor{shape: own, data: make([]float64, n)}, nil
+}
+
+// FromSlice wraps data (copied) in a tensor of the given shape.
+func FromSlice(data []float64, shape ...int) (*Tensor, error) {
+	t, err := New(shape...)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) != len(t.data) {
+		return nil, fmt.Errorf("%w: %d values for shape %v", ErrShape, len(data), shape)
+	}
+	copy(t.data, data)
+	return t, nil
+}
+
+// Rand returns a tensor with uniform values in [-scale, scale), generated
+// from rng for reproducibility.
+func Rand(rng *rand.Rand, scale float64, shape ...int) (*Tensor, error) {
+	t, err := New(shape...)
+	if err != nil {
+		return nil, err
+	}
+	for i := range t.data {
+		t.data[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return t, nil
+}
+
+// Shape returns a copy of the tensor shape.
+func (t *Tensor) Shape() []int {
+	out := make([]int, len(t.shape))
+	copy(out, t.shape)
+	return out
+}
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.data) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Data exposes the backing slice (aliased, not copied) for kernels.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// At returns the element at the given indices.
+func (t *Tensor) At(idx ...int) (float64, error) {
+	off, err := t.offset(idx)
+	if err != nil {
+		return 0, err
+	}
+	return t.data[off], nil
+}
+
+// Set stores v at the given indices.
+func (t *Tensor) Set(v float64, idx ...int) error {
+	off, err := t.offset(idx)
+	if err != nil {
+		return err
+	}
+	t.data[off] = v
+	return nil
+}
+
+func (t *Tensor) offset(idx []int) (int, error) {
+	if len(idx) != len(t.shape) {
+		return 0, fmt.Errorf("%w: %d indices for rank %d", ErrBound, len(idx), len(t.shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			return 0, fmt.Errorf("%w: index %d out of [0,%d)", ErrBound, x, t.shape[i])
+		}
+		off = off*t.shape[i] + x
+	}
+	return off, nil
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := &Tensor{shape: t.Shape(), data: make([]float64, len(t.data))}
+	copy(out.data, t.data)
+	return out
+}
+
+// Reshape returns a view-copy with a new shape of equal size.
+func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
+	out, err := FromSlice(t.data, shape...)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Equal reports exact element equality of two tensors.
+func (t *Tensor) Equal(o *Tensor) bool {
+	if len(t.data) != len(o.data) || len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != o.shape[i] {
+			return false
+		}
+	}
+	for i := range t.data {
+		if t.data[i] != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AlmostEqual reports element equality within absolute tolerance eps.
+func (t *Tensor) AlmostEqual(o *Tensor, eps float64) bool {
+	if len(t.data) != len(o.data) {
+		return false
+	}
+	for i := range t.data {
+		if math.Abs(t.data[i]-o.data[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// MatMul computes C = A × B for 2-D tensors (GEMM). A is m×k, B is k×n.
+// The inner loops are ordered i-k-j for cache-friendly row-major access.
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("%w: MatMul wants rank-2, got %v × %v", ErrShape, a.shape, b.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("%w: inner dims %d vs %d", ErrShape, k, k2)
+	}
+	c, err := New(m, n)
+	if err != nil {
+		return nil, err
+	}
+	ad, bd, cd := a.data, b.data, c.data
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		crow := cd[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := bd[kk*n : (kk+1)*n]
+			for j := range brow {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+	return c, nil
+}
+
+// MatVec computes y = A × x for a 2-D tensor A (m×k) and 1-D x (k) — GEMV.
+func MatVec(a, x *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || x.Rank() != 1 {
+		return nil, fmt.Errorf("%w: MatVec wants (2,1) ranks, got (%d,%d)", ErrShape, a.Rank(), x.Rank())
+	}
+	m, k := a.shape[0], a.shape[1]
+	if k != x.shape[0] {
+		return nil, fmt.Errorf("%w: inner dims %d vs %d", ErrShape, k, x.shape[0])
+	}
+	y, err := New(m)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < m; i++ {
+		row := a.data[i*k : (i+1)*k]
+		var acc float64
+		for j, v := range row {
+			acc += v * x.data[j]
+		}
+		y.data[i] = acc
+	}
+	return y, nil
+}
+
+// Transpose returns the transpose of a 2-D tensor.
+func Transpose(a *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 {
+		return nil, fmt.Errorf("%w: Transpose wants rank-2, got %v", ErrShape, a.shape)
+	}
+	m, n := a.shape[0], a.shape[1]
+	out, err := New(n, m)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out, nil
+}
+
+// Add computes elementwise a + b into a new tensor.
+func Add(a, b *Tensor) (*Tensor, error) {
+	return zip(a, b, func(x, y float64) float64 { return x + y })
+}
+
+// Sub computes elementwise a - b into a new tensor.
+func Sub(a, b *Tensor) (*Tensor, error) {
+	return zip(a, b, func(x, y float64) float64 { return x - y })
+}
+
+// Mul computes elementwise a * b (Hadamard) into a new tensor.
+func Mul(a, b *Tensor) (*Tensor, error) {
+	return zip(a, b, func(x, y float64) float64 { return x * y })
+}
+
+func zip(a, b *Tensor, f func(x, y float64) float64) (*Tensor, error) {
+	if len(a.data) != len(b.data) {
+		return nil, fmt.Errorf("%w: %v vs %v", ErrShape, a.shape, b.shape)
+	}
+	out := a.Clone()
+	for i := range out.data {
+		out.data[i] = f(a.data[i], b.data[i])
+	}
+	return out, nil
+}
+
+// Scale multiplies every element by s in place and returns the receiver.
+func (t *Tensor) Scale(s float64) *Tensor {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+	return t
+}
+
+// AddInPlace accumulates o into the receiver.
+func (t *Tensor) AddInPlace(o *Tensor) error {
+	if len(t.data) != len(o.data) {
+		return fmt.Errorf("%w: %v vs %v", ErrShape, t.shape, o.shape)
+	}
+	for i := range t.data {
+		t.data[i] += o.data[i]
+	}
+	return nil
+}
+
+// Apply maps f over every element into a new tensor.
+func (t *Tensor) Apply(f func(float64) float64) *Tensor {
+	out := t.Clone()
+	for i := range out.data {
+		out.data[i] = f(out.data[i])
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// ArgMaxRow returns the index of the maximum element in row i of a 2-D
+// tensor — the usual classification readout.
+func (t *Tensor) ArgMaxRow(i int) (int, error) {
+	if t.Rank() != 2 {
+		return 0, fmt.Errorf("%w: ArgMaxRow wants rank-2", ErrShape)
+	}
+	m, n := t.shape[0], t.shape[1]
+	if i < 0 || i >= m {
+		return 0, fmt.Errorf("%w: row %d of %d", ErrBound, i, m)
+	}
+	row := t.data[i*n : (i+1)*n]
+	best, bestV := 0, row[0]
+	for j, v := range row {
+		if v > bestV {
+			best, bestV = j, v
+		}
+	}
+	return best, nil
+}
+
+// Row returns a copy of row i of a 2-D tensor as a rank-1 tensor.
+func (t *Tensor) Row(i int) (*Tensor, error) {
+	if t.Rank() != 2 {
+		return nil, fmt.Errorf("%w: Row wants rank-2", ErrShape)
+	}
+	m, n := t.shape[0], t.shape[1]
+	if i < 0 || i >= m {
+		return nil, fmt.Errorf("%w: row %d of %d", ErrBound, i, m)
+	}
+	return FromSlice(t.data[i*n:(i+1)*n], n)
+}
+
+// FLOPsMatMul returns the floating-point operation count of an m×k by k×n
+// GEMM (2·m·k·n), used by the Roofline and LogCA models.
+func FLOPsMatMul(m, k, n int) int64 { return 2 * int64(m) * int64(k) * int64(n) }
+
+// FLOPsMatVec returns the op count of an m×k GEMV (2·m·k).
+func FLOPsMatVec(m, k int) int64 { return 2 * int64(m) * int64(k) }

@@ -1,0 +1,317 @@
+package tensor
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); !errors.Is(err, ErrShape) {
+		t.Fatalf("empty shape: %v", err)
+	}
+	if _, err := New(2, 0); !errors.Is(err, ErrShape) {
+		t.Fatalf("zero dim: %v", err)
+	}
+	if _, err := New(-1); !errors.Is(err, ErrShape) {
+		t.Fatalf("negative dim: %v", err)
+	}
+	tt, err := New(2, 3)
+	if err != nil || tt.Size() != 6 || tt.Rank() != 2 {
+		t.Fatalf("New(2,3): %v size=%d rank=%d", err, tt.Size(), tt.Rank())
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	if _, err := FromSlice([]float64{1, 2, 3}, 2, 2); !errors.Is(err, ErrShape) {
+		t.Fatalf("size mismatch: %v", err)
+	}
+	a, err := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := a.At(1, 0)
+	if err != nil || v != 3 {
+		t.Fatalf("At(1,0) = %v, %v", v, err)
+	}
+}
+
+func TestAtSetBounds(t *testing.T) {
+	a, _ := New(2, 2)
+	if _, err := a.At(2, 0); !errors.Is(err, ErrBound) {
+		t.Fatalf("row oob: %v", err)
+	}
+	if _, err := a.At(0); !errors.Is(err, ErrBound) {
+		t.Fatalf("rank mismatch: %v", err)
+	}
+	if err := a.Set(5, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := a.At(1, 1)
+	if v != 5 {
+		t.Fatalf("Set/At = %v", v)
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a, _ := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b, _ := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromSlice([]float64{58, 64, 139, 154}, 2, 2)
+	if !c.Equal(want) {
+		t.Fatalf("MatMul = %v, want %v", c.data, want.data)
+	}
+}
+
+func TestMatMulShapeErrors(t *testing.T) {
+	a, _ := New(2, 3)
+	b, _ := New(4, 2)
+	if _, err := MatMul(a, b); !errors.Is(err, ErrShape) {
+		t.Fatalf("inner dim mismatch: %v", err)
+	}
+	v, _ := New(3)
+	if _, err := MatMul(a, v); !errors.Is(err, ErrShape) {
+		t.Fatalf("rank mismatch: %v", err)
+	}
+}
+
+func TestMatVecKnown(t *testing.T) {
+	a, _ := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	x, _ := FromSlice([]float64{1, 0, -1}, 3)
+	y, err := MatVec(a, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromSlice([]float64{-2, -2}, 2)
+	if !y.Equal(want) {
+		t.Fatalf("MatVec = %v", y.data)
+	}
+	if _, err := MatVec(a, a); !errors.Is(err, ErrShape) {
+		t.Fatalf("rank check: %v", err)
+	}
+	bad, _ := New(2)
+	if _, err := MatVec(a, bad); !errors.Is(err, ErrShape) {
+		t.Fatalf("dim check: %v", err)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a, _ := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	at, err := Transpose(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at.Dim(0) != 3 || at.Dim(1) != 2 {
+		t.Fatalf("transpose shape %v", at.Shape())
+	}
+	v, _ := at.At(2, 1)
+	if v != 6 {
+		t.Fatalf("At(2,1) = %v, want 6", v)
+	}
+	v1, _ := New(3)
+	if _, err := Transpose(v1); !errors.Is(err, ErrShape) {
+		t.Fatalf("transpose rank-1: %v", err)
+	}
+}
+
+func TestElementwise(t *testing.T) {
+	a, _ := FromSlice([]float64{1, 2}, 2)
+	b, _ := FromSlice([]float64{3, 5}, 2)
+	sum, err := Add(a, b)
+	if err != nil || sum.data[0] != 4 || sum.data[1] != 7 {
+		t.Fatalf("Add = %v, %v", sum, err)
+	}
+	diff, _ := Sub(a, b)
+	if diff.data[0] != -2 {
+		t.Fatalf("Sub = %v", diff.data)
+	}
+	prod, _ := Mul(a, b)
+	if prod.data[1] != 10 {
+		t.Fatalf("Mul = %v", prod.data)
+	}
+	c, _ := New(3)
+	if _, err := Add(a, c); !errors.Is(err, ErrShape) {
+		t.Fatalf("shape check: %v", err)
+	}
+}
+
+func TestScaleApplySum(t *testing.T) {
+	a, _ := FromSlice([]float64{1, -2, 3}, 3)
+	if s := a.Clone().Scale(2).Sum(); s != 4 {
+		t.Fatalf("Scale/Sum = %v", s)
+	}
+	abs := a.Apply(math.Abs)
+	if abs.Sum() != 6 {
+		t.Fatalf("Apply = %v", abs.data)
+	}
+	if a.data[1] != -2 {
+		t.Fatal("Apply mutated source")
+	}
+}
+
+func TestAddInPlace(t *testing.T) {
+	a, _ := FromSlice([]float64{1, 2}, 2)
+	b, _ := FromSlice([]float64{10, 20}, 2)
+	if err := a.AddInPlace(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.data[1] != 22 {
+		t.Fatalf("AddInPlace = %v", a.data)
+	}
+	c, _ := New(3)
+	if err := a.AddInPlace(c); !errors.Is(err, ErrShape) {
+		t.Fatalf("shape check: %v", err)
+	}
+}
+
+func TestArgMaxRowAndRow(t *testing.T) {
+	a, _ := FromSlice([]float64{0.1, 0.9, 0.5, 0.2, 0.3, 0.1}, 2, 3)
+	i, err := a.ArgMaxRow(0)
+	if err != nil || i != 1 {
+		t.Fatalf("ArgMaxRow(0) = %d, %v", i, err)
+	}
+	i, _ = a.ArgMaxRow(1)
+	if i != 1 {
+		t.Fatalf("ArgMaxRow(1) = %d", i)
+	}
+	if _, err := a.ArgMaxRow(9); !errors.Is(err, ErrBound) {
+		t.Fatalf("row bound: %v", err)
+	}
+	r, err := a.Row(1)
+	if err != nil || r.Size() != 3 || r.data[0] != 0.2 {
+		t.Fatalf("Row(1) = %v, %v", r, err)
+	}
+	if _, err := a.Row(5); !errors.Is(err, ErrBound) {
+		t.Fatalf("Row bound: %v", err)
+	}
+}
+
+func TestReshape(t *testing.T) {
+	a, _ := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	r, err := a.Reshape(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := r.At(2, 1)
+	if v != 6 {
+		t.Fatalf("reshaped At(2,1) = %v", v)
+	}
+	if _, err := a.Reshape(4, 2); !errors.Is(err, ErrShape) {
+		t.Fatalf("bad reshape: %v", err)
+	}
+}
+
+func TestRandReproducible(t *testing.T) {
+	a, err := Rand(rand.New(rand.NewSource(7)), 1, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Rand(rand.New(rand.NewSource(7)), 1, 4, 4)
+	if !a.Equal(b) {
+		t.Fatal("Rand not reproducible with same seed")
+	}
+	for _, v := range a.data {
+		if v < -1 || v >= 1 {
+			t.Fatalf("value %v out of [-1,1)", v)
+		}
+	}
+}
+
+func TestFLOPCounts(t *testing.T) {
+	if got := FLOPsMatMul(2, 3, 4); got != 48 {
+		t.Fatalf("FLOPsMatMul = %d", got)
+	}
+	if got := FLOPsMatVec(5, 6); got != 60 {
+		t.Fatalf("FLOPsMatVec = %d", got)
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ.
+func TestPropertyMatMulTranspose(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := rng.Intn(6)+1, rng.Intn(6)+1, rng.Intn(6)+1
+		a, _ := Rand(rng, 2, m, k)
+		b, _ := Rand(rng, 2, k, n)
+		ab, err := MatMul(a, b)
+		if err != nil {
+			return false
+		}
+		abT, _ := Transpose(ab)
+		bT, _ := Transpose(b)
+		aT, _ := Transpose(a)
+		ba, err := MatMul(bT, aT)
+		if err != nil {
+			return false
+		}
+		return abT.AlmostEqual(ba, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MatMul with a one-column matrix equals MatVec.
+func TestPropertyMatVecAgreesWithMatMul(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k := rng.Intn(8)+1, rng.Intn(8)+1
+		a, _ := Rand(rng, 2, m, k)
+		x, _ := Rand(rng, 2, k)
+		xm, _ := x.Reshape(k, 1)
+		viaMM, err := MatMul(a, xm)
+		if err != nil {
+			return false
+		}
+		viaMV, err := MatVec(a, x)
+		if err != nil {
+			return false
+		}
+		flat, _ := viaMM.Reshape(m)
+		return flat.AlmostEqual(viaMV, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matmul distributes over addition: A·(B+C) == A·B + A·C.
+func TestPropertyMatMulDistributive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := rng.Intn(5)+1, rng.Intn(5)+1, rng.Intn(5)+1
+		a, _ := Rand(rng, 1, m, k)
+		b, _ := Rand(rng, 1, k, n)
+		c, _ := Rand(rng, 1, k, n)
+		bc, _ := Add(b, c)
+		left, err := MatMul(a, bc)
+		if err != nil {
+			return false
+		}
+		ab, _ := MatMul(a, b)
+		ac, _ := MatMul(a, c)
+		right, _ := Add(ab, ac)
+		return left.AlmostEqual(right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, _ := Rand(rng, 1, 128, 128)
+	y, _ := Rand(rng, 1, 128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatMul(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package textstore implements the text engine of the polystore (the
+// "Text Store" of Figure 2 holding doctors' and nurses' notes): an inverted
+// index with TF-IDF ranking, boolean AND/OR retrieval, and phrase search.
+package textstore
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"unicode"
+)
+
+// Sentinel errors.
+var (
+	ErrNoDoc = errors.New("textstore: document not found")
+	ErrQuery = errors.New("textstore: bad query")
+)
+
+// Doc is one stored document.
+type Doc struct {
+	ID     int64
+	Fields map[string]string // metadata, e.g. patient id
+	Text   string
+}
+
+// posting records one document containing a term.
+type posting struct {
+	doc       int64
+	positions []int32
+}
+
+// Store is an inverted-index text store. Safe for concurrent use.
+type Store struct {
+	mu    sync.RWMutex
+	name  string
+	docs  map[int64]*Doc
+	index map[string][]posting // term -> postings sorted by doc id
+}
+
+// New returns an empty text store.
+func New(name string) *Store {
+	return &Store{name: name, docs: make(map[int64]*Doc), index: make(map[string][]posting)}
+}
+
+// Name returns the store instance name.
+func (s *Store) Name() string { return s.name }
+
+// Tokenize lowercases and splits text into terms (letters and digits only).
+// Exported because adapters and the NL query translator reuse it.
+func Tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// Add indexes one document. Re-adding an existing ID replaces it.
+func (s *Store) Add(doc Doc) error {
+	if doc.ID < 0 {
+		return fmt.Errorf("%w: negative doc id", ErrQuery)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.docs[doc.ID]; exists {
+		s.removeLocked(doc.ID)
+	}
+	d := doc
+	if d.Fields == nil {
+		d.Fields = map[string]string{}
+	}
+	s.docs[doc.ID] = &d
+	for pos, term := range Tokenize(doc.Text) {
+		ps := s.index[term]
+		if len(ps) > 0 && ps[len(ps)-1].doc == doc.ID {
+			ps[len(ps)-1].positions = append(ps[len(ps)-1].positions, int32(pos))
+		} else {
+			// Postings stay sorted because removal rebuilds and IDs of new
+			// docs may arrive in any order: insert in place.
+			i := sort.Search(len(ps), func(j int) bool { return ps[j].doc >= doc.ID })
+			ps = append(ps, posting{})
+			copy(ps[i+1:], ps[i:])
+			ps[i] = posting{doc: doc.ID, positions: []int32{int32(pos)}}
+		}
+		s.index[term] = ps
+	}
+	return nil
+}
+
+// removeLocked deletes a document from the index. Caller holds the lock.
+func (s *Store) removeLocked(id int64) {
+	doc, ok := s.docs[id]
+	if !ok {
+		return
+	}
+	for _, term := range Tokenize(doc.Text) {
+		ps := s.index[term]
+		i := sort.Search(len(ps), func(j int) bool { return ps[j].doc >= id })
+		if i < len(ps) && ps[i].doc == id {
+			s.index[term] = append(ps[:i], ps[i+1:]...)
+			if len(s.index[term]) == 0 {
+				delete(s.index, term)
+			}
+		}
+	}
+	delete(s.docs, id)
+}
+
+// Delete removes a document.
+func (s *Store) Delete(id int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.removeLocked(id)
+}
+
+// Get returns the stored document.
+func (s *Store) Get(id int64) (Doc, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[id]
+	if !ok {
+		return Doc{}, fmt.Errorf("%w: %d", ErrNoDoc, id)
+	}
+	return *d, nil
+}
+
+// Len returns the number of documents.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.docs)
+}
+
+// Hit is one ranked search result.
+type Hit struct {
+	DocID int64
+	Score float64
+}
+
+// Search ranks documents containing ALL query terms by TF-IDF and returns
+// up to k hits (k <= 0 means all).
+func (s *Store) Search(query string, k int) ([]Hit, error) {
+	terms := Tokenize(query)
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("%w: empty query", ErrQuery)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := float64(len(s.docs))
+	scores := make(map[int64]float64)
+	candidate := make(map[int64]int)
+	for _, term := range terms {
+		ps, ok := s.index[term]
+		if !ok {
+			return nil, nil // AND semantics: a missing term empties the result
+		}
+		idf := math.Log(1 + n/float64(len(ps)))
+		for _, p := range ps {
+			tf := 1 + math.Log(float64(len(p.positions)))
+			scores[p.doc] += tf * idf
+			candidate[p.doc]++
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for doc, sc := range scores {
+		if candidate[doc] == len(terms) { // all terms present
+			hits = append(hits, Hit{DocID: doc, Score: sc})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].DocID < hits[j].DocID
+	})
+	if k > 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits, nil
+}
+
+// SearchAny ranks documents containing ANY query term (OR semantics).
+func (s *Store) SearchAny(query string, k int) ([]Hit, error) {
+	terms := Tokenize(query)
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("%w: empty query", ErrQuery)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := float64(len(s.docs))
+	scores := make(map[int64]float64)
+	for _, term := range terms {
+		ps := s.index[term]
+		if len(ps) == 0 {
+			continue
+		}
+		idf := math.Log(1 + n/float64(len(ps)))
+		for _, p := range ps {
+			tf := 1 + math.Log(float64(len(p.positions)))
+			scores[p.doc] += tf * idf
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for doc, sc := range scores {
+		hits = append(hits, Hit{DocID: doc, Score: sc})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].DocID < hits[j].DocID
+	})
+	if k > 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits, nil
+}
+
+// Phrase returns the IDs of documents containing the exact token sequence.
+func (s *Store) Phrase(phrase string) ([]int64, error) {
+	terms := Tokenize(phrase)
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("%w: empty phrase", ErrQuery)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	first, ok := s.index[terms[0]]
+	if !ok {
+		return nil, nil
+	}
+	var out []int64
+	for _, p := range first {
+		if s.phraseAtLocked(p, terms) {
+			out = append(out, p.doc)
+		}
+	}
+	return out, nil
+}
+
+func (s *Store) phraseAtLocked(p posting, terms []string) bool {
+	for _, startPos := range p.positions {
+		match := true
+		for i := 1; i < len(terms); i++ {
+			ps, ok := s.index[terms[i]]
+			if !ok {
+				return false
+			}
+			j := sort.Search(len(ps), func(k int) bool { return ps[k].doc >= p.doc })
+			if j >= len(ps) || ps[j].doc != p.doc {
+				return false
+			}
+			want := startPos + int32(i)
+			found := false
+			for _, pos := range ps[j].positions {
+				if pos == want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// Terms returns the number of distinct indexed terms.
+func (s *Store) Terms() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}

@@ -1,0 +1,228 @@
+package timeseries
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func fill(t *testing.T, s *Store, name string, n int, step int64) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := s.Append(name, int64(i)*step, float64(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+}
+
+func TestAppendAndRange(t *testing.T) {
+	s := New("ts")
+	fill(t, s, "hr", 2000, 10) // spans multiple chunks
+	if s.Len("hr") != 2000 {
+		t.Fatalf("Len = %d", s.Len("hr"))
+	}
+	pts, err := s.Range("hr", 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 11 {
+		t.Fatalf("range pts = %d, want 11", len(pts))
+	}
+	if pts[0].TS != 100 || pts[10].TS != 200 {
+		t.Fatalf("range bounds: %v ... %v", pts[0], pts[10])
+	}
+	if _, err := s.Range("missing", 0, 1); !errors.Is(err, ErrNoSeries) {
+		t.Fatalf("missing series: %v", err)
+	}
+}
+
+func TestOutOfOrderRejected(t *testing.T) {
+	s := New("ts")
+	if err := s.Append("a", 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("a", 100, 2); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("same ts: %v", err)
+	}
+	if err := s.Append("a", 50, 2); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("earlier ts: %v", err)
+	}
+}
+
+func TestDeltaOfDeltaRoundTrip(t *testing.T) {
+	s := New("ts")
+	rng := rand.New(rand.NewSource(9))
+	ts := int64(0)
+	var want []Point
+	for i := 0; i < 1500; i++ {
+		ts += int64(rng.Intn(1000) + 1) // irregular intervals
+		p := Point{TS: ts, Value: rng.Float64() * 100}
+		want = append(want, p)
+		if err := s.Append("x", p.TS, p.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Range("x", 0, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d of %d points", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("point %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWindowAggregations(t *testing.T) {
+	s := New("ts")
+	fill(t, s, "v", 100, 1) // ts 0..99, value = ts
+	wrs, err := s.Window("v", 0, 99, 10, AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wrs) != 10 {
+		t.Fatalf("windows = %d", len(wrs))
+	}
+	if wrs[0].Value != 4.5 || wrs[0].N != 10 {
+		t.Fatalf("window 0 = %+v", wrs[0])
+	}
+	for agg, want := range map[AggKind]float64{
+		AggSum:   45,
+		AggMin:   0,
+		AggMax:   9,
+		AggCount: 10,
+		AggLast:  9,
+	} {
+		wrs, err := s.Window("v", 0, 99, 10, agg)
+		if err != nil {
+			t.Fatalf("%s: %v", agg, err)
+		}
+		if wrs[0].Value != want {
+			t.Fatalf("%s window 0 = %v, want %v", agg, wrs[0].Value, want)
+		}
+	}
+	if _, err := s.Window("v", 0, 99, 0, AggMean); !errors.Is(err, ErrBadWindow) {
+		t.Fatalf("zero width: %v", err)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	s := New("ts")
+	fill(t, s, "v", 100, 1)
+	pts, err := s.Downsample("v", 25, AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("downsampled to %d points", len(pts))
+	}
+	if _, err := s.Downsample("none", 10, AggMean); !errors.Is(err, ErrNoSeries) {
+		t.Fatalf("missing: %v", err)
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	s := New("ts")
+	// Perfectly regular intervals compress best: second-order deltas all 0.
+	fill(t, s, "regular", 5000, 1000)
+	r, err := s.CompressionRatio("regular")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 1.5 {
+		t.Fatalf("regular series ratio = %v, want > 1.5", r)
+	}
+	if _, err := s.CompressionRatio("nope"); !errors.Is(err, ErrNoSeries) {
+		t.Fatalf("missing: %v", err)
+	}
+}
+
+func TestSeriesNames(t *testing.T) {
+	s := New("ts")
+	fill(t, s, "b", 1, 1)
+	fill(t, s, "a", 1, 1)
+	names := s.SeriesNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+// Property: Range(from, to) returns exactly the appended points within the
+// closed interval, in order.
+func TestPropertyRangeMatchesLinear(t *testing.T) {
+	f := func(seed int64, n uint8, fromRaw, spanRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New("p")
+		count := int(n)%500 + 1
+		ts := int64(0)
+		var all []Point
+		for i := 0; i < count; i++ {
+			ts += int64(rng.Intn(50) + 1)
+			p := Point{TS: ts, Value: float64(i)}
+			all = append(all, p)
+			if err := s.Append("x", p.TS, p.Value); err != nil {
+				return false
+			}
+		}
+		from := int64(fromRaw) % (ts + 1)
+		to := from + int64(spanRaw)
+		got, err := s.Range("x", from, to)
+		if err != nil {
+			return false
+		}
+		var want []Point
+		for _, p := range all {
+			if p.TS >= from && p.TS <= to {
+				want = append(want, p)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: window sums over disjoint (tumbling) windows partition the range
+// sum.
+func TestPropertyWindowSumPartition(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New("p")
+		count := int(n)%300 + 10
+		ts := int64(0)
+		var total float64
+		for i := 0; i < count; i++ {
+			ts += int64(rng.Intn(9) + 1)
+			v := rng.Float64()
+			total += v
+			if err := s.Append("x", ts, v); err != nil {
+				return false
+			}
+		}
+		wrs, err := s.Window("x", 0, ts, 37, AggSum)
+		if err != nil {
+			return false
+		}
+		var winTotal float64
+		for _, w := range wrs {
+			winTotal += w.Value
+		}
+		return winTotal > total-1e-9 && winTotal < total+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+// Package polystore is the public API of Polystore++: an accelerated
+// polystore system for heterogeneous workloads (Singhal et al., ICDCS
+// 2019). A System federates heterogeneous data-processing engines —
+// relational, graph, text, timeseries, stream, key/value, array, and ML —
+// behind one programming environment (the EIDE), compiles heterogeneous
+// programs into a hierarchical IR, optimizes them across engine and
+// hardware boundaries, and executes them on a middleware that offloads
+// profitable operators to simulated hardware accelerators (GPU, FPGA,
+// CGRA, TPU) and migrates data between engines over CSV, binary network
+// pipes, or RDMA-style zero-copy transports.
+//
+// Quick start:
+//
+//	sys := polystore.New(
+//	    polystore.WithRelational("db1", relStore),
+//	    polystore.WithAccelerators(hw.Coprocessor, hw.NewFPGA(), hw.NewTPU()),
+//	)
+//	p := sys.NewProgram()
+//	q, _ := p.SQL("db1", "SELECT pid, age FROM patients WHERE age > 60")
+//	_ = q
+//	res, report, _ := sys.Run(context.Background(), p)
+package polystore
+
+import (
+	"context"
+	"fmt"
+
+	"polystorepp/internal/adapter"
+	"polystorepp/internal/compiler"
+	"polystorepp/internal/core"
+	"polystorepp/internal/eide"
+	"polystorepp/internal/graphstore"
+	"polystorepp/internal/hw"
+	"polystorepp/internal/kvstore"
+	"polystorepp/internal/metrics"
+	"polystorepp/internal/migrate"
+	"polystorepp/internal/relational"
+	"polystorepp/internal/streamstore"
+	"polystorepp/internal/textstore"
+	"polystorepp/internal/timeseries"
+)
+
+// Re-exported types so callers can use the facade without importing
+// internal packages.
+type (
+	// Program is a heterogeneous program under construction.
+	Program = eide.Program
+	// Report is an execution report with simulated latency/energy.
+	Report = core.Report
+	// Results holds plan outputs.
+	Results = core.Results
+	// Options are compiler options (optimization level, acceleration).
+	Options = compiler.Options
+	// Value is a dataflow payload (batch or model).
+	Value = adapter.Value
+)
+
+// System is one Polystore++ deployment: engines + adapters + devices +
+// middleware. Construct with New.
+type System struct {
+	runtime   *core.Runtime
+	relations map[string]*relational.Engine
+	opts      Options
+	seed      int64
+
+	pendingAdapters []adapter.Adapter
+	host            *hw.Device
+	accels          []*hw.Device
+	mode            hw.Mode
+	migrator        *migrate.Migrator
+}
+
+// Option configures a System.
+type Option func(*System)
+
+// WithRelational registers a relational store under an engine name.
+func WithRelational(name string, s *relational.Store) Option {
+	return func(sys *System) {
+		e := relational.NewEngine(s)
+		sys.relations[name] = e
+		sys.pendingAdapters = append(sys.pendingAdapters, adapter.NewRelational(name, e))
+	}
+}
+
+// WithGraph registers a graph store.
+func WithGraph(name string, s *graphstore.Store) Option {
+	return func(sys *System) {
+		sys.pendingAdapters = append(sys.pendingAdapters, adapter.NewGraph(name, s))
+	}
+}
+
+// WithText registers a text store.
+func WithText(name string, s *textstore.Store) Option {
+	return func(sys *System) {
+		sys.pendingAdapters = append(sys.pendingAdapters, adapter.NewText(name, s))
+	}
+}
+
+// WithTimeseries registers a timeseries store.
+func WithTimeseries(name string, s *timeseries.Store) Option {
+	return func(sys *System) {
+		sys.pendingAdapters = append(sys.pendingAdapters, adapter.NewTimeseries(name, s))
+	}
+}
+
+// WithStream registers a stream store.
+func WithStream(name string, s *streamstore.Store) Option {
+	return func(sys *System) {
+		sys.pendingAdapters = append(sys.pendingAdapters, adapter.NewStream(name, s))
+	}
+}
+
+// WithKV registers a key/value store.
+func WithKV(name string, s *kvstore.Store) Option {
+	return func(sys *System) {
+		sys.pendingAdapters = append(sys.pendingAdapters, adapter.NewKV(name, s))
+	}
+}
+
+// WithML registers an ML/DL engine instance.
+func WithML(name string) Option {
+	return func(sys *System) {
+		sys.pendingAdapters = append(sys.pendingAdapters, adapter.NewML(name, sys.seed))
+	}
+}
+
+// WithAccelerators attaches hardware accelerator models in the given
+// deployment mode.
+func WithAccelerators(mode hw.Mode, devices ...*hw.Device) Option {
+	return func(sys *System) {
+		sys.mode = mode
+		sys.accels = append(sys.accels, devices...)
+	}
+}
+
+// WithCompilerOptions sets the default compiler options for Run.
+func WithCompilerOptions(o Options) Option {
+	return func(sys *System) { sys.opts = o }
+}
+
+// WithSeed fixes the RNG seed used by ML adapters (default 1).
+func WithSeed(seed int64) Option {
+	return func(sys *System) { sys.seed = seed }
+}
+
+// WithMigrator overrides the data migrator (e.g. to add serialization
+// offload).
+func WithMigrator(m *migrate.Migrator) Option {
+	return func(sys *System) { sys.migrator = m }
+}
+
+// New builds a System. The default compiler options enable all
+// optimization levels and acceleration when accelerators are attached.
+func New(opts ...Option) *System {
+	sys := &System{
+		relations: make(map[string]*relational.Engine),
+		host:      hw.NewHostCPU(),
+		mode:      hw.Coprocessor,
+		seed:      1,
+		opts:      Options{Level: 3},
+	}
+	for _, o := range opts {
+		o(sys)
+	}
+	if len(sys.accels) > 0 {
+		sys.opts.Accel = true
+	}
+	var rtOpts []core.Option
+	if len(sys.accels) > 0 {
+		rtOpts = append(rtOpts, core.WithAccelerators(sys.mode, sys.accels...))
+	}
+	if sys.migrator != nil {
+		rtOpts = append(rtOpts, core.WithMigrator(sys.migrator))
+	}
+	sys.runtime = core.NewRuntime(sys.host, rtOpts...)
+	for _, a := range sys.pendingAdapters {
+		sys.runtime.Register(a)
+	}
+	return sys
+}
+
+// NewProgram starts an empty heterogeneous program.
+func (sys *System) NewProgram() *Program { return eide.NewProgram() }
+
+// Run compiles and executes the program with the system's default options.
+func (sys *System) Run(ctx context.Context, p *Program) (*Results, *Report, error) {
+	return sys.RunWith(ctx, p, sys.opts)
+}
+
+// RunWith compiles and executes the program with explicit options.
+func (sys *System) RunWith(ctx context.Context, p *Program, opts Options) (*Results, *Report, error) {
+	plan, err := compiler.Compile(p.Graph(), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys.runtime.Execute(ctx, plan)
+}
+
+// Query is a convenience: run one SQL statement on a registered relational
+// engine directly (no middleware involvement).
+func (sys *System) Query(ctx context.Context, engine, sql string) (Value, error) {
+	e, ok := sys.relations[engine]
+	if !ok {
+		return Value{}, fmt.Errorf("polystore: unknown relational engine %q", engine)
+	}
+	b, _, err := e.Query(ctx, sql)
+	if err != nil {
+		return Value{}, err
+	}
+	return Value{Batch: b}, nil
+}
+
+// Metrics exposes the middleware's runtime-statistics registry.
+func (sys *System) Metrics() *metrics.Registry { return sys.runtime.Metrics() }
+
+// Host returns the host CPU device model.
+func (sys *System) Host() *hw.Device { return sys.host }
+
+// Accelerators returns the attached accelerator devices.
+func (sys *System) Accelerators() []*hw.Device { return sys.accels }
+
+// NLTranslator builds a natural-language query translator bound to the
+// given engine names (§IV-A-e).
+func (sys *System) NLTranslator(relationalEngine, timeseriesEngine, textEngine, mlEngine string) *eide.NLTranslator {
+	return eide.NewNLTranslator(relationalEngine, timeseriesEngine, textEngine, mlEngine)
+}
