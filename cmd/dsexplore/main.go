@@ -15,11 +15,31 @@ import (
 	"polystorepp/internal/optimizer"
 )
 
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), `dsexplore — Figure 8 design-space exploration
+
+Compares random sampling against the active-learning loop over the
+Polystore++ configuration space and prints both Pareto fronts.
+
+Usage:
+  dsexplore [flags]
+
+Flags:
+`)
+	flag.PrintDefaults()
+}
+
 func main() {
 	budget := flag.Int("budget", 35, "evaluation budget per method")
 	seed := flag.Int64("seed", 1, "rng seed")
 	scale := flag.Int("scale", 1, "workload scale inside the evaluator")
+	flag.Usage = usage
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "dsexplore: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if err := run(*budget, *seed, *scale); err != nil {
 		fmt.Fprintf(os.Stderr, "dsexplore: %v\n", err)

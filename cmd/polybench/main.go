@@ -1,25 +1,79 @@
 // Command polybench regenerates the reproduction experiments E1–E15 of
-// DESIGN.md and prints their tables.
+// DESIGN.md and prints their tables. With -loadgen it instead drives a
+// running polyserve instance with N concurrent clients and reports serving
+// throughput and latency percentiles — the serving-path benchmark.
 //
 // Usage:
 //
-//	polybench                  # run everything at scale 1
+//	polybench                  # run every experiment at scale 1
 //	polybench -experiment E6   # one experiment
 //	polybench -scale 4         # larger workloads
+//
+//	polybench -loadgen -url http://localhost:8080 -clients 16 -requests 800 \
+//	  -body '{"frontend":"sql","engine":"db-clinical","statement":"SELECT count(*) AS n FROM patients"}'
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"sort"
+	"sync"
+	"time"
 
 	"polystorepp/internal/experiments"
 )
 
+type bodyList []string
+
+func (b *bodyList) String() string { return fmt.Sprintf("%d bodies", len(*b)) }
+func (b *bodyList) Set(v string) error {
+	*b = append(*b, v)
+	return nil
+}
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), `polybench — Polystore++ reproduction experiments and serving load generator
+
+Default mode runs the DESIGN.md experiment suite (E1..E15). With -loadgen it
+drives a running polyserve over HTTP with concurrent clients and reports
+throughput plus latency percentiles.
+
+Usage:
+  polybench [flags]
+
+Flags:
+`)
+	flag.PrintDefaults()
+}
+
 func main() {
 	experiment := flag.String("experiment", "", "experiment id (E1..E15); empty runs all")
 	scale := flag.Int("scale", 1, "workload scale factor")
+	loadgen := flag.Bool("loadgen", false, "drive a running polyserve instead of running experiments")
+	url := flag.String("url", "http://localhost:8080", "polyserve base URL (loadgen)")
+	clients := flag.Int("clients", 8, "concurrent clients (loadgen)")
+	requests := flag.Int("requests", 400, "total requests across all clients (loadgen)")
+	var bodies bodyList
+	flag.Var(&bodies, "body", "POST /query JSON body (repeatable; clients cycle through them)")
+	flag.Usage = usage
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "polybench: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *loadgen {
+		if err := runLoadgen(*url, *clients, *requests, bodies); err != nil {
+			fmt.Fprintf(os.Stderr, "polybench: loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *scale < 1 {
 		fmt.Fprintln(os.Stderr, "polybench: -scale must be >= 1")
@@ -47,4 +101,102 @@ func main() {
 		fmt.Fprintf(os.Stderr, "polybench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runLoadgen fires `requests` POST /query calls from `clients` goroutines
+// and prints throughput plus latency percentiles — the first serving-path
+// benchmark trajectory (wall-clock this time, not simulated).
+func runLoadgen(baseURL string, clients, requests int, bodies []string) error {
+	if clients < 1 || requests < 1 {
+		return fmt.Errorf("-clients and -requests must be >= 1")
+	}
+	if len(bodies) == 0 {
+		bodies = []string{`{"frontend":"sql","statement":"SELECT count(*) AS n FROM patients"}`}
+	}
+	// Fail fast if the server is not up (or the URL points at something
+	// that is not a polyserve).
+	hc := &http.Client{Timeout: 30 * time.Second}
+	resp, err := hc.Get(baseURL + "/healthz")
+	if err != nil {
+		return fmt.Errorf("server not reachable: %w", err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s/healthz returned %d, want 200", baseURL, resp.StatusCode)
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		status    = map[int]int{}
+		netErrs   int
+	)
+	work := make(chan string, requests)
+	for i := 0; i < requests; i++ {
+		work <- bodies[i%len(bodies)]
+	}
+	close(work)
+
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for body := range work {
+				rt0 := time.Now()
+				resp, err := hc.Post(baseURL+"/query", "application/json", bytes.NewReader([]byte(body)))
+				lat := time.Since(rt0)
+				mu.Lock()
+				if err != nil {
+					netErrs++
+				} else {
+					status[resp.StatusCode]++
+					// Only served responses feed the latency/throughput
+					// stats: a near-instant 429 or 504 measures rejection
+					// speed, not serving latency, and would flatter the
+					// headline numbers exactly when the server is drowning.
+					if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+						latencies = append(latencies, lat)
+					}
+				}
+				mu.Unlock()
+				if resp != nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					_ = resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(q float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	fmt.Printf("loadgen: %d requests, %d clients, %d distinct bodies\n", requests, clients, len(bodies))
+	fmt.Printf("  elapsed     %s\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("  served      %d of %d (throughput %.1f req/s)\n",
+		len(latencies), requests, float64(len(latencies))/elapsed.Seconds())
+	fmt.Printf("  latency     p50=%s p95=%s p99=%s max=%s (served only)\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+	keys := make([]int, 0, len(status))
+	for k := range status {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		fmt.Printf("  status %d  %d\n", k, status[k])
+	}
+	if netErrs > 0 {
+		fmt.Printf("  network errors %d\n", netErrs)
+	}
+	return nil
 }

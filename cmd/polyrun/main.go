@@ -31,6 +31,22 @@ func (s *stmtList) Set(v string) error {
 	return nil
 }
 
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), `polyrun — execute heterogeneous programs on the demo clinical deployment
+
+Statements take a 'frontend:' prefix:
+  polyrun -stmt "sql: SELECT pid, age FROM patients WHERE age > 60 LIMIT 5"
+  polyrun -stmt "nl: how many patients are there?"
+  polyrun -stmt "text: ventilator sedation"
+
+Usage:
+  polyrun [flags] -stmt "..." [-stmt "..."]
+
+Flags:
+`)
+	flag.PrintDefaults()
+}
+
 func main() {
 	var stmts stmtList
 	patients := flag.Int("patients", 200, "synthetic patients to generate")
@@ -38,8 +54,14 @@ func main() {
 	level := flag.Int("level", 3, "optimization level 0..3")
 	seed := flag.Int64("seed", 42, "data generator seed")
 	flag.Var(&stmts, "stmt", "statement to run (repeatable): 'sql: ...', 'nl: ...', or 'text: ...'")
+	flag.Usage = usage
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "polyrun: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
 	if len(stmts) == 0 {
 		fmt.Fprintln(os.Stderr, "polyrun: at least one -stmt is required")
 		flag.Usage()

@@ -1,0 +1,152 @@
+// Command polyserve runs the Polystore++ query-serving subsystem: an
+// HTTP/JSON front end over a configured deployment of engines, accelerator
+// models and seeded demo data.
+//
+// Usage:
+//
+//	polyserve                              # clinical scenario on :8080
+//	polyserve -addr :9090 -scenario retail
+//	polyserve -scenario both -patients 500 -workers 16 -queue 64
+//
+// Endpoints: POST /query, GET /healthz, GET /metrics, GET /stats.
+//
+//	curl -s localhost:8080/query -d '{"frontend":"sql","engine":"db-clinical",
+//	  "statement":"SELECT pid, age FROM patients WHERE age > 60 LIMIT 5"}'
+//	curl -s localhost:8080/query -d '{"frontend":"nl","statement":"how many patients are there?"}'
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"polystorepp"
+	"polystorepp/internal/datagen"
+	"polystorepp/internal/hw"
+)
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), `polyserve — Polystore++ HTTP query server
+
+Serves SQL, natural-language, text and multi-engine program queries over a
+seeded demo deployment (see -scenario). Admission control bounds concurrent
+executions; a plan cache skips recompilation of hot queries.
+
+Usage:
+  polyserve [flags]
+
+Flags:
+`)
+	flag.PrintDefaults()
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	scenario := flag.String("scenario", "clinical", "demo deployment: clinical, retail, or both")
+	patients := flag.Int("patients", 200, "synthetic patients (clinical scenario)")
+	customers := flag.Int("customers", 200, "synthetic customers (retail scenario)")
+	txPerCustomer := flag.Int("tx", 20, "transactions per customer (retail scenario)")
+	accel := flag.Bool("accel", true, "attach hardware accelerator models (FPGA, GPU, TPU)")
+	level := flag.Int("level", 3, "default optimization level 0..3")
+	seed := flag.Int64("seed", 42, "data generator seed")
+	workers := flag.Int("workers", 8, "concurrent query executions")
+	queue := flag.Int("queue", 32, "admission queue depth beyond workers (overflow -> 429; 0 disables queuing)")
+	timeout := flag.Duration("timeout", 10*time.Second, "default per-request deadline")
+	planCache := flag.Int("plancache", 128, "compiled-plan LRU entries")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "polyserve: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if err := run(*addr, *scenario, *patients, *customers, *txPerCustomer,
+		*accel, *level, *seed, *workers, *queue, *timeout, *planCache); err != nil {
+		fmt.Fprintf(os.Stderr, "polyserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, scenario string, patients, customers, txPerCustomer int,
+	accel bool, level int, seed int64, workers, queue int,
+	timeout time.Duration, planCache int) error {
+	rng := rand.New(rand.NewSource(seed))
+	var opts []polystore.Option
+	if queue == 0 {
+		queue = -1 // flag 0 means "no queue"; Config zero means "default"
+	}
+	cfg := polystore.ServeConfig{
+		Workers:        workers,
+		QueueDepth:     queue,
+		DefaultTimeout: timeout,
+		PlanCacheSize:  planCache,
+	}
+
+	wantClinical := scenario == "clinical" || scenario == "both"
+	wantRetail := scenario == "retail" || scenario == "both"
+	if !wantClinical && !wantRetail {
+		return fmt.Errorf("unknown scenario %q (want clinical, retail, or both)", scenario)
+	}
+
+	if wantClinical {
+		data, err := datagen.GenerateClinical(rng, patients)
+		if err != nil {
+			return fmt.Errorf("generate clinical data: %w", err)
+		}
+		opts = append(opts,
+			polystore.WithRelational("db-clinical", data.Relational),
+			polystore.WithTimeseries("ts-vitals", data.Timeseries),
+			polystore.WithText("txt-notes", data.Text),
+			polystore.WithStream("st-devices", data.Stream),
+			polystore.WithML("ml"),
+		)
+		cfg.DefaultSQLEngine = "db-clinical"
+		cfg.DefaultTextEngine = "txt-notes"
+		cfg.NL = polystore.NLBinding{
+			Relational: "db-clinical", Timeseries: "ts-vitals",
+			Text: "txt-notes", ML: "ml",
+		}
+	}
+	if wantRetail {
+		data, err := datagen.GenerateRetail(rng, customers, txPerCustomer)
+		if err != nil {
+			return fmt.Errorf("generate retail data: %w", err)
+		}
+		opts = append(opts,
+			polystore.WithRelational("db-retail", data.Relational),
+			polystore.WithTimeseries("ts-clicks", data.Timeseries),
+			polystore.WithKV("kv-events", data.KV),
+		)
+		if !wantClinical {
+			opts = append(opts, polystore.WithML("ml"))
+			cfg.DefaultSQLEngine = "db-retail"
+		}
+	}
+	if accel {
+		opts = append(opts, polystore.WithAccelerators(hw.Coprocessor,
+			hw.NewFPGA(), hw.NewGPU(), hw.NewTPU()))
+	}
+	opts = append(opts, polystore.WithSeed(seed),
+		polystore.WithCompilerOptions(polystore.Options{Level: level, Accel: accel}))
+
+	sys := polystore.New(opts...)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("polyserve: scenario=%s listening on %s (workers=%d queue=%d timeout=%s plancache=%d accel=%t)\n",
+		scenario, addr, workers, queue, timeout, planCache, accel)
+	err := sys.Serve(ctx, addr, cfg)
+	if err != nil && ctx.Err() == nil {
+		return err
+	}
+	fmt.Println("polyserve: shut down")
+	return nil
+}

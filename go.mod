@@ -1,0 +1,3 @@
+module polystorepp
+
+go 1.22

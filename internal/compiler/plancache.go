@@ -1,0 +1,107 @@
+package compiler
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"polystorepp/internal/ir"
+)
+
+// Plan re-execution safety contract
+//
+// A *Plan returned by Compile is immutable: the compiler deep-clones the
+// input graph, runs every mutating pass on the clone before the Plan is
+// published, and the runtime never writes to plan state during Execute (node
+// attributes are read-only by convention, device choice is recorded in the
+// per-execution report, and all scheduling state lives in Execute-local
+// maps). One Plan may therefore be executed by any number of goroutines
+// concurrently — which is what makes caching compiled plans across requests
+// sound. Anything that would mutate a Plan after Compile (a new compiler
+// pass, an adapter writing node attributes) breaks this contract and must
+// clone first.
+
+// PlanCache is a bounded LRU of compiled plans keyed by the program graph's
+// canonical fingerprint plus the compiler options. Hot queries on the
+// serving path skip recompilation entirely; hit/miss counters feed the
+// /metrics endpoint. All methods are safe for concurrent use.
+type PlanCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	key  string
+	plan *Plan
+}
+
+// NewPlanCache returns a cache bounded to capacity entries. capacity < 1 is
+// treated as 1.
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PlanCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Key computes the cache key of (graph, options). Exposed so callers can
+// pre-compute keys when they already hold the fingerprint.
+func Key(g *ir.Graph, opts Options) string {
+	return fmt.Sprintf("%s|L%d|A%t|T%d", g.Fingerprint(), opts.Level, opts.Accel, int(opts.Transport))
+}
+
+// GetOrCompile returns the cached plan for (g, opts), compiling and caching
+// on a miss. The second result reports whether the plan came from the cache.
+func (c *PlanCache) GetOrCompile(g *ir.Graph, opts Options) (*Plan, bool, error) {
+	key := Key(g, opts)
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		plan := el.Value.(*cacheEntry).plan
+		c.mu.Unlock()
+		return plan, true, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Compile outside the lock: compilation is the expensive part, and two
+	// racing misses for the same key just produce equivalent immutable plans
+	// (the second insert wins, the first plan is still valid to execute).
+	plan, err := Compile(g, opts)
+	if err != nil {
+		return nil, false, err
+	}
+
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		// Lost the race: keep the incumbent so repeated hits share one plan.
+		c.order.MoveToFront(el)
+		plan = el.Value.(*cacheEntry).plan
+	} else {
+		c.entries[key] = c.order.PushFront(&cacheEntry{key: key, plan: plan})
+		for c.order.Len() > c.cap {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	c.mu.Unlock()
+	return plan, false, nil
+}
+
+// Stats returns (hits, misses, current length).
+func (c *PlanCache) Stats() (hits, misses int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.order.Len()
+}

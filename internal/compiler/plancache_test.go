@@ -1,0 +1,87 @@
+package compiler
+
+import (
+	"sync"
+	"testing"
+
+	"polystorepp/internal/ir"
+)
+
+func cacheTestGraph(table string) *ir.Graph {
+	g := ir.NewGraph()
+	scan := g.Add(ir.OpScan, "db", map[string]any{"table": table})
+	g.Add(ir.OpLimit, "db", map[string]any{"n": int64(10)}, scan)
+	return g
+}
+
+func TestPlanCacheHitMissLRU(t *testing.T) {
+	c := NewPlanCache(2)
+	opts := Options{Level: 3}
+
+	p1, hit, err := c.GetOrCompile(cacheTestGraph("a"), opts)
+	if err != nil || hit {
+		t.Fatalf("first lookup: hit=%t err=%v", hit, err)
+	}
+	p2, hit, err := c.GetOrCompile(cacheTestGraph("a"), opts)
+	if err != nil || !hit {
+		t.Fatalf("second lookup: hit=%t err=%v", hit, err)
+	}
+	if p1 != p2 {
+		t.Fatal("cache hit returned a different plan instance")
+	}
+
+	// Different options miss even for the same graph.
+	if _, hit, _ := c.GetOrCompile(cacheTestGraph("a"), Options{Level: 0}); hit {
+		t.Fatal("different options should miss")
+	}
+
+	// Capacity 2: inserting a third key evicts the LRU ("a"/L3 was touched
+	// most recently via the options-miss insert... evict order check below).
+	if _, hit, _ := c.GetOrCompile(cacheTestGraph("b"), opts); hit {
+		t.Fatal("new graph should miss")
+	}
+	hits, misses, size := c.Stats()
+	if size != 2 {
+		t.Fatalf("size = %d, want 2", size)
+	}
+	if hits != 1 || misses != 3 {
+		t.Fatalf("hits=%d misses=%d, want 1/3", hits, misses)
+	}
+}
+
+func TestPlanCacheConcurrent(t *testing.T) {
+	c := NewPlanCache(8)
+	opts := Options{Level: 3, Accel: true}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if _, _, err := c.GetOrCompile(cacheTestGraph("t"), opts); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	hits, misses, _ := c.Stats()
+	if hits+misses != 16*50 {
+		t.Fatalf("hits+misses = %d, want %d", hits+misses, 16*50)
+	}
+	if hits == 0 {
+		t.Fatal("expected cache hits under repeated identical queries")
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	f1 := cacheTestGraph("a").Fingerprint()
+	f2 := cacheTestGraph("a").Fingerprint()
+	if f1 != f2 {
+		t.Fatal("identical graphs fingerprint differently")
+	}
+	if f1 == cacheTestGraph("b").Fingerprint() {
+		t.Fatal("different graphs share a fingerprint")
+	}
+}

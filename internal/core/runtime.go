@@ -118,6 +118,22 @@ func (r *Runtime) Register(a adapter.Adapter) {
 // Metrics returns the runtime-statistics registry.
 func (r *Runtime) Metrics() *metrics.Registry { return r.reg }
 
+// HasEngine reports whether an adapter is registered under name.
+func (r *Runtime) HasEngine(name string) bool {
+	_, ok := r.adapters[name]
+	return ok
+}
+
+// Engines returns the registered engine instance names, sorted.
+func (r *Runtime) Engines() []string {
+	out := make([]string, 0, len(r.adapters))
+	for name := range r.adapters {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // NodeReport records one node's execution.
 type NodeReport struct {
 	Node    ir.NodeID

@@ -3,6 +3,7 @@ package hw
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Kind identifies a device class from the paper's accelerator taxonomy
@@ -108,10 +109,16 @@ type Spec struct {
 var ErrUnsupported = errors.New("hw: kernel not supported on device")
 
 // Device is a simulated device instance. It accumulates total busy time and
-// energy across calls, which experiments read for reporting. Device is not
-// safe for concurrent use; the executor serializes access per device.
+// energy across calls, which experiments read for reporting. The Spec is
+// immutable after construction; the mutable accounting and kernel-
+// configuration state is guarded by a mutex, so one Device may be shared by
+// concurrent executors (the serving path runs many plans at once).
 type Device struct {
 	Spec
+
+	// mu guards every field below: totals and the kernel-configuration
+	// table both mutate under concurrent Offload/ConfigureKernel calls.
+	mu sync.Mutex
 
 	busySeconds float64
 	joules      float64
@@ -158,6 +165,8 @@ func (d *Device) TransferCost(bytes int64) Cost {
 // lutCost is the area demand for FPGA-like devices; the cumulative demand is
 // validated against the budget (§IV-A-d: area allocation).
 func (d *Device) ConfigureKernel(name string, lutCost int64) (Cost, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.configured == nil {
 		d.configured = make(map[string]int64)
 	}
@@ -172,21 +181,34 @@ func (d *Device) ConfigureKernel(name string, lutCost int64) (Cost, error) {
 	d.usedLUTs += lutCost
 	secs := d.ReconfigSeconds
 	c := Cost{Seconds: secs, Joules: secs * d.IdleWatts}
-	d.account(c)
+	d.accountLocked(c)
 	return c, nil
 }
 
 // HasKernel reports whether the named kernel is loaded.
 func (d *Device) HasKernel(name string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	_, ok := d.configured[name]
 	return ok
 }
 
 // UsedLUTs returns the area consumed by loaded kernels.
-func (d *Device) UsedLUTs() int64 { return d.usedLUTs }
+func (d *Device) UsedLUTs() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.usedLUTs
+}
 
 // account accumulates device totals.
 func (d *Device) account(c Cost) {
+	d.mu.Lock()
+	d.accountLocked(c)
+	d.mu.Unlock()
+}
+
+// accountLocked accumulates device totals; the caller holds d.mu.
+func (d *Device) accountLocked(c Cost) {
 	d.busySeconds += c.Seconds
 	d.joules += c.Joules
 	d.calls++
@@ -194,10 +216,14 @@ func (d *Device) account(c Cost) {
 
 // Totals returns accumulated busy seconds, joules, and call count.
 func (d *Device) Totals() (busySeconds, joules float64, calls int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return d.busySeconds, d.joules, d.calls
 }
 
 // ResetTotals clears accumulated totals (between benchmark runs).
 func (d *Device) ResetTotals() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.busySeconds, d.joules, d.calls = 0, 0, 0
 }

@@ -1,0 +1,88 @@
+package ir
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+)
+
+// Fingerprint returns a stable content hash of the graph: two graphs built
+// from the same program text hash identically, independent of node-map
+// iteration order. The serving layer keys its plan cache on this value (plus
+// the compiler options), so the hash must cover everything that changes the
+// compiled plan: node ids, kinds, engines, device pins, input wiring,
+// attributes, and loop bodies.
+func (g *Graph) Fingerprint() string {
+	h := sha256.New()
+	g.writeCanonical(h)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeCanonical emits a deterministic byte encoding of the graph.
+func (g *Graph) writeCanonical(w io.Writer) {
+	ids := make([]NodeID, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n := g.nodes[id]
+		fmt.Fprintf(w, "n%d|k%d|e%s|d%s|in%v|", int(n.ID), int(n.Kind), n.Engine, n.Device, n.Inputs)
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "a%s=", k)
+			writeCanonicalValue(w, n.Attrs[k])
+			io.WriteString(w, ";")
+		}
+		if n.Body != nil {
+			io.WriteString(w, "body{")
+			n.Body.writeCanonical(w)
+			io.WriteString(w, "}")
+		}
+		io.WriteString(w, "\n")
+	}
+}
+
+// writeCanonicalValue renders one attribute value deterministically. The
+// only nondeterministic Go values are maps (iteration order); they are
+// emitted with sorted keys. Everything else — struct values such as
+// relational expressions, slices, and scalars — formats deterministically
+// with %#v, which also embeds the concrete type name so values of different
+// types never collide.
+func writeCanonicalValue(w io.Writer, v any) {
+	rv := reflect.ValueOf(v)
+	switch rv.Kind() {
+	case reflect.Map:
+		fmt.Fprintf(w, "%s{", rv.Type())
+		keys := make([]string, 0, rv.Len())
+		byKey := make(map[string]reflect.Value, rv.Len())
+		for _, k := range rv.MapKeys() {
+			ks := fmt.Sprintf("%#v", k.Interface())
+			keys = append(keys, ks)
+			byKey[ks] = rv.MapIndex(k)
+		}
+		sort.Strings(keys)
+		for _, ks := range keys {
+			fmt.Fprintf(w, "%s:", ks)
+			writeCanonicalValue(w, byKey[ks].Interface())
+			io.WriteString(w, ",")
+		}
+		io.WriteString(w, "}")
+	case reflect.Slice, reflect.Array:
+		fmt.Fprintf(w, "%s[", rv.Type())
+		for i := 0; i < rv.Len(); i++ {
+			writeCanonicalValue(w, rv.Index(i).Interface())
+			io.WriteString(w, ",")
+		}
+		io.WriteString(w, "]")
+	default:
+		fmt.Fprintf(w, "%#v", v)
+	}
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteText renders the registry in the Prometheus text exposition format
+// (version 0.0.4): one `# TYPE` line per metric family followed by its
+// sample. Metric names are sanitized to the [a-zA-Z0-9_] alphabet with dots
+// and other separators mapped to underscores, so the registry's hierarchical
+// names ("core.node.sort") become flat families ("core_node_sort"). Timers
+// expand into _count, _seconds_total and _seconds_max samples. Output is
+// sorted by name so scrapes are diffable.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	type sample struct {
+		name string
+		typ  string
+		text string
+	}
+	samples := make([]sample, 0, len(r.counters)+len(r.gauges)+3*len(r.timers))
+	for name, c := range r.counters {
+		n := SanitizeMetricName(name)
+		samples = append(samples, sample{n, "counter", fmt.Sprintf("%s %d\n", n, c.Value())})
+	}
+	for name, g := range r.gauges {
+		n := SanitizeMetricName(name)
+		samples = append(samples, sample{n, "gauge", fmt.Sprintf("%s %g\n", n, g.Value())})
+	}
+	for name, t := range r.timers {
+		n := SanitizeMetricName(name)
+		cnt, total, _, max := t.Snapshot()
+		samples = append(samples,
+			sample{n + "_count", "counter", fmt.Sprintf("%s_count %d\n", n, cnt)},
+			sample{n + "_seconds_total", "counter", fmt.Sprintf("%s_seconds_total %g\n", n, total.Seconds())},
+			sample{n + "_seconds_max", "gauge", fmt.Sprintf("%s_seconds_max %g\n", n, max.Seconds())},
+		)
+	}
+	r.mu.Unlock()
+
+	sort.Slice(samples, func(i, j int) bool { return samples[i].name < samples[j].name })
+	for _, s := range samples {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.name, s.typ); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, s.text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SanitizeMetricName maps an arbitrary registry name onto the exposition
+// alphabet: runs of characters outside [a-zA-Z0-9_] become single
+// underscores, and a leading digit gets an underscore prefix.
+func SanitizeMetricName(name string) string {
+	var sb strings.Builder
+	sb.Grow(len(name) + 1)
+	prevUnderscore := false
+	for i, c := range name {
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if i == 0 && c >= '0' && c <= '9' {
+			sb.WriteByte('_')
+		}
+		if ok {
+			sb.WriteRune(c)
+			prevUnderscore = c == '_'
+			continue
+		}
+		if !prevUnderscore {
+			sb.WriteByte('_')
+			prevUnderscore = true
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("core.nodes").Add(7)
+	r.Gauge("server.queue-depth").Set(3.5)
+	r.Timer("core.node.sort").Observe(250 * time.Millisecond)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE core_nodes counter\ncore_nodes 7\n",
+		"# TYPE server_queue_depth gauge\nserver_queue_depth 3.5\n",
+		"core_node_sort_count 1\n",
+		"core_node_sort_seconds_total 0.25\n",
+		"core_node_sort_seconds_max 0.25\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Sorted output: counters for core_* precede server_*.
+	if strings.Index(out, "core_nodes") > strings.Index(out, "server_queue_depth") {
+		t.Error("exposition not sorted by name")
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"core.nodes":          "core_nodes",
+		"core.offloads.fpga0": "core_offloads_fpga0",
+		"a..b//c":             "a_b_c",
+		"9lives":              "_9lives",
+		"ok_name":             "ok_name",
+	}
+	for in, want := range cases {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrOverloaded is returned by the admission controller when a request
+// arrives while workers are busy and the wait queue is already full — the
+// handler maps it to HTTP 429 so load sheds at the front door instead of
+// piling up unbounded goroutines (the polystore equivalent of BigDAWG's
+// middleware refusing work it cannot schedule).
+var ErrOverloaded = errors.New("server: overloaded, queue full")
+
+// admission is a bounded worker pool with a bounded wait queue. At most
+// `workers` requests execute concurrently; at most `queue` more may wait for
+// a worker. Anything beyond that is rejected immediately.
+type admission struct {
+	sem   chan struct{} // worker slots
+	limit int64         // workers + queue
+	load  atomic.Int64  // executing + queued
+}
+
+// newAdmission builds a controller with the given worker and queue bounds
+// (minimums of 1 and 0 are enforced).
+func newAdmission(workers, queue int) *admission {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &admission{
+		sem:   make(chan struct{}, workers),
+		limit: int64(workers + queue),
+	}
+}
+
+// acquire claims a worker slot, waiting in the queue if needed. It fails
+// with ErrOverloaded when the queue is full, or the context error if the
+// caller's deadline expires while still queued.
+func (a *admission) acquire(ctx context.Context) error {
+	if a.load.Add(1) > a.limit {
+		a.load.Add(-1)
+		return ErrOverloaded
+	}
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		a.load.Add(-1)
+		return ctx.Err()
+	}
+}
+
+// release returns the worker slot claimed by a successful acquire.
+func (a *admission) release() {
+	<-a.sem
+	a.load.Add(-1)
+}
+
+// inflight returns the current number of executing plus queued requests.
+func (a *admission) inflight() int64 { return a.load.Load() }

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionRejectsBeyondLimit(t *testing.T) {
+	a := newAdmission(1, 1)
+	ctx := context.Background()
+
+	if err := a.acquire(ctx); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	// Second request queues; run it in a goroutine so we can fill the queue.
+	queued := make(chan error, 1)
+	go func() {
+		err := a.acquire(ctx)
+		queued <- err
+		if err == nil {
+			a.release()
+		}
+	}()
+	// Wait until the queued request is counted.
+	for i := 0; a.inflight() < 2 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	// Third request exceeds workers+queue and is rejected immediately.
+	if err := a.acquire(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third acquire = %v, want ErrOverloaded", err)
+	}
+	a.release() // frees the queued one
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	if got := a.inflight(); got != 0 {
+		t.Fatalf("inflight = %d after drain, want 0", got)
+	}
+}
+
+func TestAdmissionDeadlineWhileQueued(t *testing.T) {
+	a := newAdmission(1, 4)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer a.release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := a.acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued acquire = %v, want DeadlineExceeded", err)
+	}
+	if got := a.inflight(); got != 1 {
+		t.Fatalf("inflight = %d after queue timeout, want 1", got)
+	}
+}
+
+func TestAdmissionConcurrentChurn(t *testing.T) {
+	a := newAdmission(4, 8)
+	var wg sync.WaitGroup
+	var admitted, rejected int64
+	var mu sync.Mutex
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := a.acquire(context.Background())
+			mu.Lock()
+			if err != nil {
+				rejected++
+			} else {
+				admitted++
+			}
+			mu.Unlock()
+			if err == nil {
+				time.Sleep(time.Millisecond)
+				a.release()
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted == 0 {
+		t.Fatal("no request admitted")
+	}
+	if got := a.inflight(); got != 0 {
+		t.Fatalf("inflight = %d after churn, want 0", got)
+	}
+}

@@ -1,0 +1,494 @@
+// Package server is the query-serving subsystem of Polystore++: an HTTP/JSON
+// front end over the middleware runtime. BigDAWG-style polystores become
+// systems through exactly this layer — a middleware API that accepts client
+// queries, routes them across engines/islands, and manages cross-engine
+// execution — and Polystore++ §IV-D notes that runtime statistics are the
+// prerequisite for optimization, which a serving layer naturally produces.
+//
+// The server adds three things on top of core.Runtime:
+//
+//   - Admission control: a bounded worker pool plus bounded wait queue.
+//     Requests beyond the bound get HTTP 429 immediately; queued requests
+//     that outlive their deadline get 504. Load sheds at the front door.
+//   - A plan cache: programs are fingerprinted (ir.Graph.Fingerprint) and
+//     compiled plans are reused across requests, so hot queries skip the
+//     compiler entirely (hits/misses are exported on /metrics).
+//   - Observability: /metrics exposes the runtime-statistics registry in
+//     Prometheus text format; /healthz and /stats report liveness and
+//     serving counters.
+//
+// Endpoints:
+//
+//	POST /query    {"frontend":"sql","engine":"db","statement":"SELECT ..."}
+//	               {"frontend":"nl","statement":"how many patients are there?"}
+//	               {"frontend":"text","engine":"txt","statement":"sedation","k":5}
+//	               {"frontend":"program","program":[{...step...},...]}
+//	GET  /healthz  liveness + registered engines
+//	GET  /metrics  Prometheus text exposition
+//	GET  /stats    JSON serving statistics
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"polystorepp/internal/compiler"
+	"polystorepp/internal/core"
+	"polystorepp/internal/eide"
+	"polystorepp/internal/ir"
+	"polystorepp/internal/metrics"
+)
+
+// Config tunes the serving subsystem. Zero values select the documented
+// defaults.
+type Config struct {
+	// Workers bounds concurrent plan executions (default 8).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker beyond the executing
+	// ones; arrivals past Workers+QueueDepth are rejected with 429.
+	// Zero selects the default (32); negative means no queue at all —
+	// anything beyond Workers is rejected immediately.
+	QueueDepth int
+	// DefaultTimeout is the per-request deadline when the request does not
+	// set timeout_ms (default 10s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines (default 60s).
+	MaxTimeout time.Duration
+	// PlanCacheSize bounds the compiled-plan LRU (default 128 entries).
+	PlanCacheSize int
+	// MaxRows caps rows returned per response; clients may lower it per
+	// request but not exceed it (default 1000).
+	MaxRows int
+	// DefaultSQLEngine is used by the sql/text frontends when the request
+	// omits "engine".
+	DefaultSQLEngine string
+	// DefaultTextEngine is the text frontend's default engine.
+	DefaultTextEngine string
+	// NL binds the natural-language translator to engine instance names;
+	// leave zero to disable the nl frontend.
+	NL NLBinding
+}
+
+// NLBinding names the engines the NL translator builds programs against.
+type NLBinding struct {
+	Relational string
+	Timeseries string
+	Text       string
+	ML         string
+}
+
+func (b NLBinding) enabled() bool {
+	return b != NLBinding{}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 32
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = -1 // normalized "no queue"; admission clamps to 0
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.PlanCacheSize <= 0 {
+		c.PlanCacheSize = 128
+	}
+	if c.MaxRows <= 0 {
+		c.MaxRows = 1000
+	}
+	return c
+}
+
+// Server serves heterogeneous queries over one core.Runtime. Construct with
+// New; Server implements http.Handler.
+type Server struct {
+	rt    *core.Runtime
+	opts  compiler.Options
+	cfg   Config
+	cache *compiler.PlanCache
+	adm   *admission
+	nl    *eide.NLTranslator
+	reg   *metrics.Registry
+	mux   *http.ServeMux
+}
+
+// New builds a server over the runtime. opts are the default compiler
+// options; requests may override Level and Accel per call.
+func New(rt *core.Runtime, opts compiler.Options, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		rt:    rt,
+		opts:  opts,
+		cfg:   cfg,
+		cache: compiler.NewPlanCache(cfg.PlanCacheSize),
+		adm:   newAdmission(cfg.Workers, cfg.QueueDepth),
+		reg:   rt.Metrics(),
+		mux:   http.NewServeMux(),
+	}
+	if cfg.NL.enabled() {
+		s.nl = eide.NewNLTranslator(cfg.NL.Relational, cfg.NL.Timeseries, cfg.NL.Text, cfg.NL.ML)
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// PlanCacheStats returns (hits, misses, size) of the plan cache.
+func (s *Server) PlanCacheStats() (hits, misses int64, size int) { return s.cache.Stats() }
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	// Frontend selects the program builder: "sql", "nl", "text" or
+	// "program".
+	Frontend string `json:"frontend"`
+	// Engine is the target engine instance for sql/text (defaulted from
+	// config when omitted).
+	Engine string `json:"engine,omitempty"`
+	// Statement is the query text for sql/nl/text frontends.
+	Statement string `json:"statement,omitempty"`
+	// K is the text frontend's top-k (default 10).
+	K int `json:"k,omitempty"`
+	// Program is the multi-engine step list for the program frontend.
+	Program []ProgramStep `json:"program,omitempty"`
+	// TimeoutMS overrides the server's default per-request deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Level / Accel override the default compiler options when non-nil.
+	Level *int  `json:"level,omitempty"`
+	Accel *bool `json:"accel,omitempty"`
+	// MaxRows caps result rows (clamped to the server's MaxRows).
+	MaxRows int `json:"max_rows,omitempty"`
+}
+
+// QueryResponse is the POST /query success body.
+type QueryResponse struct {
+	Columns   []string `json:"columns,omitempty"`
+	Rows      [][]any  `json:"rows,omitempty"`
+	RowCount  int      `json:"row_count"`
+	Truncated bool     `json:"truncated,omitempty"`
+	// Model is set when the sink value is a trained model rather than a
+	// tabular batch.
+	Model bool `json:"model,omitempty"`
+	// NLRule names the translator rule matched by the nl frontend.
+	NLRule string `json:"nl_rule,omitempty"`
+	// PlanCache is "hit" or "miss".
+	PlanCache string `json:"plan_cache"`
+	// Simulated execution outcome (see core.Report).
+	SimLatencySeconds float64 `json:"sim_latency_seconds"`
+	SimEnergyJoules   float64 `json:"sim_energy_joules"`
+	WallMicros        int64   `json:"wall_us"`
+	Migrations        int     `json:"migrations"`
+	Nodes             int     `json:"nodes"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	s.reg.Counter("server.requests").Inc()
+	t0 := time.Now()
+
+	var req QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.reg.Counter("server.bad_request").Inc()
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+
+	prog, nlRule, err := s.buildProgram(&req)
+	if err != nil {
+		s.reg.Counter("server.bad_request").Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.checkEngines(prog.Graph()); err != nil {
+		s.reg.Counter("server.bad_request").Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Per-request deadline: admission waiting and execution both run under
+	// it, so a request stuck in the queue cannot outlive its budget.
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	if err := s.adm.acquire(ctx); err != nil {
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			s.reg.Counter("server.rejected").Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, context.Canceled):
+			// Client hung up while queued; the status is never seen.
+			writeError(w, 499, "canceled while queued")
+		default:
+			s.reg.Counter("server.deadline").Inc()
+			writeError(w, http.StatusGatewayTimeout, "timed out waiting for a worker: %v", err)
+		}
+		return
+	}
+	defer s.adm.release()
+
+	opts := s.opts
+	if req.Level != nil {
+		opts.Level = *req.Level
+	}
+	if req.Accel != nil {
+		opts.Accel = *req.Accel
+	}
+	plan, hit, err := s.cache.GetOrCompile(prog.Graph(), opts)
+	if err != nil {
+		s.reg.Counter("server.bad_request").Inc()
+		writeError(w, http.StatusBadRequest, "compile: %v", err)
+		return
+	}
+	if hit {
+		s.reg.Counter("server.plancache.hits").Inc()
+	} else {
+		s.reg.Counter("server.plancache.misses").Inc()
+	}
+
+	res, rep, err := s.rt.Execute(ctx, plan)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.reg.Counter("server.deadline").Inc()
+			writeError(w, http.StatusGatewayTimeout, "deadline exceeded after %s", timeout)
+			return
+		}
+		if errors.Is(err, context.Canceled) {
+			// Client went away; the status code is never seen.
+			writeError(w, 499, "canceled")
+			return
+		}
+		s.reg.Counter("server.exec_errors").Inc()
+		writeError(w, http.StatusInternalServerError, "execute: %v", err)
+		return
+	}
+
+	resp, err := s.encodeResults(&req, res, rep)
+	if err != nil {
+		s.reg.Counter("server.exec_errors").Inc()
+		writeError(w, http.StatusInternalServerError, "encode results: %v", err)
+		return
+	}
+	resp.NLRule = nlRule
+	if hit {
+		resp.PlanCache = "hit"
+	} else {
+		resp.PlanCache = "miss"
+	}
+	s.reg.Timer("server.request").Observe(time.Since(t0))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// buildProgram constructs the EIDE program selected by the request frontend.
+func (s *Server) buildProgram(req *QueryRequest) (*eide.Program, string, error) {
+	switch req.Frontend {
+	case "sql":
+		engine := req.Engine
+		if engine == "" {
+			engine = s.cfg.DefaultSQLEngine
+		}
+		if engine == "" {
+			return nil, "", fmt.Errorf("sql frontend needs an engine")
+		}
+		if req.Statement == "" {
+			return nil, "", fmt.Errorf("sql frontend needs a statement")
+		}
+		p := eide.NewProgram()
+		if _, err := p.SQL(engine, req.Statement); err != nil {
+			return nil, "", err
+		}
+		return p, "", nil
+	case "nl":
+		if s.nl == nil {
+			return nil, "", fmt.Errorf("nl frontend not configured on this deployment")
+		}
+		if req.Statement == "" {
+			return nil, "", fmt.Errorf("nl frontend needs a statement")
+		}
+		p, rule, err := s.nl.Translate(req.Statement)
+		if err != nil {
+			return nil, "", err
+		}
+		return p, rule, nil
+	case "text":
+		engine := req.Engine
+		if engine == "" {
+			engine = s.cfg.DefaultTextEngine
+		}
+		if engine == "" {
+			return nil, "", fmt.Errorf("text frontend needs an engine")
+		}
+		if req.Statement == "" {
+			return nil, "", fmt.Errorf("text frontend needs a statement")
+		}
+		k := req.K
+		if k <= 0 {
+			k = 10
+		}
+		p := eide.NewProgram()
+		p.TextSearch(engine, req.Statement, k)
+		return p, "", nil
+	case "program":
+		p, err := buildProgram(req.Program)
+		if err != nil {
+			return nil, "", err
+		}
+		return p, "", nil
+	default:
+		return nil, "", fmt.Errorf("unknown frontend %q (want sql, nl, text or program)", req.Frontend)
+	}
+}
+
+// checkEngines rejects programs naming engines this deployment does not run
+// before any work is admitted.
+func (s *Server) checkEngines(g *ir.Graph) error {
+	for _, n := range g.Nodes() {
+		if n.Engine == "" {
+			continue // middleware nodes (migrations)
+		}
+		if !s.rt.HasEngine(n.Engine) {
+			return fmt.Errorf("unknown engine %q (registered: %v)", n.Engine, s.rt.Engines())
+		}
+	}
+	return nil
+}
+
+// encodeResults renders the first sink value plus the execution report.
+func (s *Server) encodeResults(req *QueryRequest, res *core.Results, rep *core.Report) (*QueryResponse, error) {
+	resp := &QueryResponse{
+		SimLatencySeconds: rep.Latency,
+		SimEnergyJoules:   rep.Energy,
+		WallMicros:        rep.Wall.Microseconds(),
+		Migrations:        rep.Migrations,
+		Nodes:             len(rep.Nodes),
+	}
+	v := res.First()
+	if v.Model != nil {
+		resp.Model = true
+		return resp, nil
+	}
+	b := v.Batch
+	if b == nil {
+		return resp, nil
+	}
+	maxRows := s.cfg.MaxRows
+	if req.MaxRows > 0 && req.MaxRows < maxRows {
+		maxRows = req.MaxRows
+	}
+	schema := b.Schema()
+	resp.Columns = make([]string, schema.Len())
+	for i := 0; i < schema.Len(); i++ {
+		resp.Columns[i] = schema.Col(i).Name
+	}
+	resp.RowCount = b.Rows()
+	n := b.Rows()
+	if n > maxRows {
+		n = maxRows
+		resp.Truncated = true
+	}
+	resp.Rows = make([][]any, 0, n)
+	for i := 0; i < n; i++ {
+		row, err := b.Row(i)
+		if err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+		resp.Rows = append(resp.Rows, row)
+	}
+	return resp, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"engines":  s.rt.Engines(),
+		"inflight": s.adm.inflight(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Sync point-in-time values into the registry so one exposition carries
+	// everything: serving gauges plus the runtime's own statistics.
+	_, _, size := s.cache.Stats()
+	s.reg.Gauge("server.plancache.size").Set(float64(size))
+	s.reg.Gauge("server.inflight").Set(float64(s.adm.inflight()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.reg.WriteText(w)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	hits, misses, size := s.cache.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"requests":        s.reg.Counter("server.requests").Value(),
+		"rejected":        s.reg.Counter("server.rejected").Value(),
+		"bad_requests":    s.reg.Counter("server.bad_request").Value(),
+		"exec_errors":     s.reg.Counter("server.exec_errors").Value(),
+		"deadline_errors": s.reg.Counter("server.deadline").Value(),
+		"plan_cache_hits": hits,
+		"plan_cache_miss": misses,
+		"plan_cache_size": size,
+		"inflight":        s.adm.inflight(),
+		"workers":         s.cfg.Workers,
+		"queue_depth":     max(0, s.cfg.QueueDepth),
+		"engines":         s.rt.Engines(),
+		"default_level":   s.opts.Level,
+		"default_accel":   s.opts.Accel,
+		"default_timeout": s.cfg.DefaultTimeout.String(),
+	})
+}
+
+// ListenAndServe runs the server on addr until ctx is canceled, then shuts
+// down gracefully (in-flight requests get 5s to drain).
+func ListenAndServe(ctx context.Context, addr string, s *Server) error {
+	hs := &http.Server{Addr: addr, Handler: s}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(sctx)
+	}
+}

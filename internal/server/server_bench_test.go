@@ -1,0 +1,86 @@
+package server_test
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"polystorepp"
+	"polystorepp/internal/datagen"
+	"polystorepp/internal/hw"
+)
+
+// BenchmarkServeConcurrent is the serving-path benchmark: N concurrent
+// clients fire the same hot SQL query at one System and the benchmark
+// reports throughput (req/s) and tail latency (p50/p99 in microseconds).
+// Because the query repeats, steady state runs entirely out of the plan
+// cache — this is the trajectory later PRs should push (batching, sharded
+// engines, result caching).
+func BenchmarkServeConcurrent(b *testing.B) {
+	data, err := datagen.GenerateClinical(rand.New(rand.NewSource(7)), 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := polystore.New(
+		polystore.WithRelational("db-clinical", data.Relational),
+		polystore.WithTimeseries("ts-vitals", data.Timeseries),
+		polystore.WithText("txt-notes", data.Text),
+		polystore.WithML("ml"),
+		polystore.WithAccelerators(hw.Coprocessor, hw.NewFPGA(), hw.NewGPU(), hw.NewTPU()),
+	)
+	ts := httptest.NewServer(sys.Handler(polystore.ServeConfig{
+		Workers:          16,
+		QueueDepth:       256,
+		DefaultSQLEngine: "db-clinical",
+	}))
+	defer ts.Close()
+
+	body := `{"frontend":"sql","statement":"SELECT pid, age FROM patients WHERE age > 60 ORDER BY age DESC LIMIT 10"}`
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+	)
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+
+	b.ResetTimer()
+	t0 := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q0 := time.Now()
+			resp, err := client.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			lat := time.Since(q0)
+			mu.Lock()
+			latencies = append(latencies, lat)
+			mu.Unlock()
+		}
+	})
+	elapsed := time.Since(t0)
+	b.StopTimer()
+
+	if len(latencies) == 0 {
+		return
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(q float64) time.Duration {
+		return latencies[int(q*float64(len(latencies)-1))]
+	}
+	b.ReportMetric(float64(len(latencies))/elapsed.Seconds(), "req/s")
+	b.ReportMetric(float64(pct(0.50).Microseconds()), "p50-us")
+	b.ReportMetric(float64(pct(0.99).Microseconds()), "p99-us")
+}

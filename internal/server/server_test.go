@@ -1,0 +1,332 @@
+// End-to-end tests of the serving subsystem through the public facade: a
+// real System (clinical engines + accelerator models) behind httptest, so
+// requests exercise HTTP decode -> program build -> plan cache -> admission
+// -> concurrent Execute -> JSON encode, exactly as cmd/polyserve serves them.
+package server_test
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"polystorepp"
+	"polystorepp/internal/datagen"
+	"polystorepp/internal/hw"
+	"polystorepp/internal/server"
+)
+
+var clinicalNL = polystore.NLBinding{
+	Relational: "db-clinical", Timeseries: "ts-vitals", Text: "txt-notes", ML: "ml",
+}
+
+func newTestServer(t *testing.T, cfg polystore.ServeConfig) *httptest.Server {
+	t.Helper()
+	data, err := datagen.GenerateClinical(rand.New(rand.NewSource(7)), 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := polystore.New(
+		polystore.WithRelational("db-clinical", data.Relational),
+		polystore.WithTimeseries("ts-vitals", data.Timeseries),
+		polystore.WithText("txt-notes", data.Text),
+		polystore.WithStream("st-devices", data.Stream),
+		polystore.WithML("ml"),
+		polystore.WithAccelerators(hw.Coprocessor, hw.NewFPGA(), hw.NewGPU(), hw.NewTPU()),
+	)
+	if cfg.DefaultSQLEngine == "" {
+		cfg.DefaultSQLEngine = "db-clinical"
+	}
+	if cfg.DefaultTextEngine == "" {
+		cfg.DefaultTextEngine = "txt-notes"
+	}
+	if (cfg.NL == polystore.NLBinding{}) {
+		cfg.NL = clinicalNL
+	}
+	ts := httptest.NewServer(sys.Handler(cfg))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postQuery(t *testing.T, ts *httptest.Server, body string) (int, *server.QueryResponse, string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr server.QueryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &qr); err != nil {
+			t.Fatalf("bad response JSON: %v\n%s", err, raw)
+		}
+	}
+	return resp.StatusCode, &qr, string(raw)
+}
+
+func TestSQLQueryAndPlanCache(t *testing.T) {
+	ts := newTestServer(t, polystore.ServeConfig{})
+	body := `{"frontend":"sql","statement":"SELECT pid, age FROM patients WHERE age > 60 ORDER BY age DESC LIMIT 5"}`
+
+	code, qr, raw := postQuery(t, ts, body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	if qr.PlanCache != "miss" {
+		t.Fatalf("first query plan_cache = %q, want miss", qr.PlanCache)
+	}
+	if len(qr.Columns) != 2 || qr.Columns[0] != "pid" || qr.Columns[1] != "age" {
+		t.Fatalf("columns = %v", qr.Columns)
+	}
+	if qr.RowCount == 0 || len(qr.Rows) != qr.RowCount {
+		t.Fatalf("rows = %d / %d", len(qr.Rows), qr.RowCount)
+	}
+	if qr.SimLatencySeconds <= 0 {
+		t.Fatal("missing simulated latency")
+	}
+
+	code, qr, raw = postQuery(t, ts, body)
+	if code != http.StatusOK {
+		t.Fatalf("repeat status %d: %s", code, raw)
+	}
+	if qr.PlanCache != "hit" {
+		t.Fatalf("repeat query plan_cache = %q, want hit", qr.PlanCache)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	ts := newTestServer(t, polystore.ServeConfig{})
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"bad engine", `{"frontend":"sql","engine":"no-such-db","statement":"SELECT pid FROM patients"}`, http.StatusBadRequest},
+		{"malformed sql", `{"frontend":"sql","statement":"SELEKT pid FRUM patients"}`, http.StatusBadRequest},
+		{"unknown frontend", `{"frontend":"graphql","statement":"{}"}`, http.StatusBadRequest},
+		{"missing statement", `{"frontend":"sql"}`, http.StatusBadRequest},
+		{"bad json", `{"frontend": `, http.StatusBadRequest},
+		{"unknown field", `{"frontend":"sql","statement":"SELECT pid FROM patients","bogus":1}`, http.StatusBadRequest},
+		{"nl no rule", `{"frontend":"nl","statement":"please do something impossible"}`, http.StatusBadRequest},
+		{"program empty", `{"frontend":"program","program":[]}`, http.StatusBadRequest},
+		{"program bad op", `{"frontend":"program","program":[{"id":"a","op":"teleport","engine":"db-clinical"}]}`, http.StatusBadRequest},
+		{"program bad ref", `{"frontend":"program","program":[{"id":"a","op":"sql","engine":"db-clinical","sql":"SELECT pid FROM patients"},{"id":"j","op":"join","engine":"db-clinical","left":"a","right":"ghost","left_col":"pid","right_col":"pid"}]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, raw := postQuery(t, ts, tc.body)
+			if code != tc.want {
+				t.Fatalf("status = %d, want %d: %s", code, tc.want, raw)
+			}
+			if !strings.Contains(raw, "error") {
+				t.Fatalf("error body missing: %s", raw)
+			}
+		})
+	}
+
+	// GET on /query is a method error.
+	resp, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query status = %d", resp.StatusCode)
+	}
+}
+
+func TestDeadlineExceeded(t *testing.T) {
+	ts := newTestServer(t, polystore.ServeConfig{})
+	// The full clinical pipeline (joins + MLP training) cannot finish within
+	// 1ms; the runtime's per-node context checks must cut it off with 504.
+	code, _, raw := postQuery(t, ts,
+		`{"frontend":"nl","statement":"will patients have a long stay?","timeout_ms":1}`)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504: %s", code, raw)
+	}
+}
+
+func TestQueueOverflow429(t *testing.T) {
+	ts := newTestServer(t, polystore.ServeConfig{Workers: 1, QueueDepth: 1})
+	heavy := `{"frontend":"nl","statement":"predict long stay"}`
+
+	const n = 10
+	codes := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, _, _ := postQuery(t, ts, heavy)
+			codes <- code
+		}()
+	}
+	wg.Wait()
+	close(codes)
+	counts := map[int]int{}
+	for c := range codes {
+		counts[c]++
+	}
+	if counts[http.StatusTooManyRequests] == 0 {
+		t.Fatalf("no 429 under overload; status counts: %v", counts)
+	}
+	if counts[http.StatusOK] == 0 {
+		t.Fatalf("no request succeeded under overload; status counts: %v", counts)
+	}
+}
+
+func TestProgramFrontendCrossEngine(t *testing.T) {
+	ts := newTestServer(t, polystore.ServeConfig{})
+	// SQL sub-program joined with the timeseries feature summary: two engine
+	// kinds in one request, with a migration on the cross-engine edge.
+	body := `{"frontend":"program","program":[
+		{"id":"p","op":"sql","engine":"db-clinical","sql":"SELECT pid, age FROM patients"},
+		{"id":"v","op":"tswindow","engine":"ts-vitals","series_prefix":"vitals/","agg":"mean"},
+		{"id":"j","op":"join","engine":"db-clinical","left":"p","right":"v","left_col":"pid","right_col":"vpid"},
+		{"id":"s","op":"sort","engine":"db-clinical","input":"j","col":"hr_mean","desc":true}
+	]}`
+	code, qr, raw := postQuery(t, ts, body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	if qr.RowCount == 0 {
+		t.Fatal("cross-engine program returned no rows")
+	}
+	if qr.Migrations == 0 {
+		t.Fatal("cross-engine program reported no migrations")
+	}
+	found := false
+	for _, c := range qr.Columns {
+		if c == "hr_mean" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("hr_mean column missing: %v", qr.Columns)
+	}
+}
+
+func TestTextFrontend(t *testing.T) {
+	ts := newTestServer(t, polystore.ServeConfig{})
+	code, qr, raw := postQuery(t, ts, `{"frontend":"text","statement":"ventilator sedation","k":5}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	if len(qr.Columns) == 0 {
+		t.Fatalf("no columns: %s", raw)
+	}
+}
+
+// TestConcurrentMixedEngines drives >=8 parallel clients across multiple
+// engine kinds (relational SQL, text search, timeseries windows, NL counts)
+// through one System — the -race acceptance test for the serving path.
+func TestConcurrentMixedEngines(t *testing.T) {
+	ts := newTestServer(t, polystore.ServeConfig{Workers: 8, QueueDepth: 64})
+	bodies := []string{
+		`{"frontend":"sql","statement":"SELECT pid, age FROM patients WHERE age > 40 LIMIT 20"}`,
+		`{"frontend":"sql","statement":"SELECT count(*) AS n FROM stays"}`,
+		`{"frontend":"text","statement":"icu recovery","k":8}`,
+		`{"frontend":"nl","statement":"how many patients are there?"}`,
+		`{"frontend":"program","program":[
+			{"id":"p","op":"sql","engine":"db-clinical","sql":"SELECT pid, age FROM patients"},
+			{"id":"v","op":"tswindow","engine":"ts-vitals","series_prefix":"vitals/","agg":"mean"},
+			{"id":"j","op":"join","engine":"db-clinical","left":"p","right":"v","left_col":"pid","right_col":"vpid"}
+		]}`,
+	}
+	const clients = 12
+	const perClient = 4
+	errs := make(chan string, clients*perClient)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				body := bodies[(c+r)%len(bodies)]
+				code, _, raw := postQuery(t, ts, body)
+				if code != http.StatusOK {
+					errs <- raw
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Errorf("concurrent request failed: %s", e)
+	}
+
+	// Repeated identical queries must have hit the plan cache.
+	var stats struct {
+		PlanCacheHits int64 `json:"plan_cache_hits"`
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.PlanCacheHits == 0 {
+		t.Fatal("plan cache recorded no hits under repeated concurrent queries")
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	ts := newTestServer(t, polystore.ServeConfig{})
+	// Serve one query so the registry has serving samples.
+	if code, _, raw := postQuery(t, ts, `{"frontend":"sql","statement":"SELECT count(*) AS n FROM patients"}`); code != http.StatusOK {
+		t.Fatalf("query status %d: %s", code, raw)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %d", resp.StatusCode)
+	}
+	var health struct {
+		Status  string   `json:"status"`
+		Engines []string `json:"engines"`
+	}
+	if err := json.Unmarshal(raw, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || len(health.Engines) < 4 {
+		t.Fatalf("healthz = %s", raw)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	out := string(raw)
+	for _, want := range []string{
+		"# TYPE server_requests counter",
+		"server_requests 1",
+		"server_plancache_misses 1",
+		"core_nodes",
+		"server_request_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+}

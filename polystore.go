@@ -24,6 +24,7 @@ package polystore
 import (
 	"context"
 	"fmt"
+	"net/http"
 
 	"polystorepp/internal/adapter"
 	"polystorepp/internal/compiler"
@@ -35,6 +36,7 @@ import (
 	"polystorepp/internal/metrics"
 	"polystorepp/internal/migrate"
 	"polystorepp/internal/relational"
+	"polystorepp/internal/server"
 	"polystorepp/internal/streamstore"
 	"polystorepp/internal/textstore"
 	"polystorepp/internal/timeseries"
@@ -53,6 +55,11 @@ type (
 	Options = compiler.Options
 	// Value is a dataflow payload (batch or model).
 	Value = adapter.Value
+	// ServeConfig tunes the HTTP serving subsystem (workers, queue depth,
+	// deadlines, plan cache size, frontend defaults).
+	ServeConfig = server.Config
+	// NLBinding names the engines the served NL translator targets.
+	NLBinding = server.NLBinding
 )
 
 // System is one Polystore++ deployment: engines + adapters + devices +
@@ -218,6 +225,21 @@ func (sys *System) Host() *hw.Device { return sys.host }
 
 // Accelerators returns the attached accelerator devices.
 func (sys *System) Accelerators() []*hw.Device { return sys.accels }
+
+// Handler returns the HTTP serving subsystem over this system: POST /query
+// (sql, nl, text and multi-engine program frontends through the plan cache
+// and admission-controlled worker pool), GET /healthz, /metrics and /stats.
+// The handler shares the system's runtime, so concurrent requests execute
+// against the same engines and accelerator models.
+func (sys *System) Handler(cfg ServeConfig) http.Handler {
+	return server.New(sys.runtime, sys.opts, cfg)
+}
+
+// Serve runs the HTTP serving subsystem on addr until ctx is canceled, then
+// drains in-flight requests and shuts down.
+func (sys *System) Serve(ctx context.Context, addr string, cfg ServeConfig) error {
+	return server.ListenAndServe(ctx, addr, server.New(sys.runtime, sys.opts, cfg))
+}
 
 // NLTranslator builds a natural-language query translator bound to the
 // given engine names (§IV-A-e).

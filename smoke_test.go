@@ -1,0 +1,27 @@
+package polystore
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+)
+
+// TestCommandsAndExamplesBuild is the compile-only smoke test for the main
+// packages: `go test ./...` only type-checks packages with test files, so
+// without this a broken cmd/ or examples/ binary would slip through until
+// someone ran `go build ./...` by hand.
+func TestCommandsAndExamplesBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping go build subprocess")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	cmd := exec.Command(goBin, "build", "./cmd/...", "./examples/...")
+	cmd.Env = append(os.Environ(), "GOFLAGS=")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ./cmd/... ./examples/... failed: %v\n%s", err, out)
+	}
+}
