@@ -15,6 +15,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -198,5 +199,40 @@ func runLoadgen(baseURL string, clients, requests int, bodies []string) error {
 	if netErrs > 0 {
 		fmt.Printf("  network errors %d\n", netErrs)
 	}
+	printServerStats(hc, baseURL)
 	return nil
+}
+
+// printServerStats fetches /stats after the run and reports how the serving
+// accelerations (plan cache, result cache, single-flight) absorbed the load.
+// Best effort: an unreadable /stats only skips the section.
+func printServerStats(hc *http.Client, baseURL string) {
+	resp, err := hc.Get(baseURL + "/stats")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var stats struct {
+		PlanCacheHits      int64   `json:"plan_cache_hits"`
+		PlanCacheMiss      int64   `json:"plan_cache_miss"`
+		ResultCacheHits    int64   `json:"result_cache_hits"`
+		ResultCacheMiss    int64   `json:"result_cache_miss"`
+		SingleFlightShared int64   `json:"single_flight_shared"`
+		DataVersion        uint64  `json:"data_version"`
+		ExecConcurrent     int64   `json:"executor_concurrent_plans"`
+		ExecSequential     int64   `json:"executor_sequential_plans"`
+		ExecMaxParallel    float64 `json:"executor_max_parallel"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return
+	}
+	fmt.Printf("  server      plan cache %d/%d hit, result cache %d/%d hit, single-flight shared %d\n",
+		stats.PlanCacheHits, stats.PlanCacheHits+stats.PlanCacheMiss,
+		stats.ResultCacheHits, stats.ResultCacheHits+stats.ResultCacheMiss,
+		stats.SingleFlightShared)
+	fmt.Printf("  executor    %d concurrent / %d sequential plans, max node parallelism %.0f, data version %d\n",
+		stats.ExecConcurrent, stats.ExecSequential, stats.ExecMaxParallel, stats.DataVersion)
 }

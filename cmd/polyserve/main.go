@@ -59,6 +59,7 @@ func main() {
 	queue := flag.Int("queue", 32, "admission queue depth beyond workers (overflow -> 429; 0 disables queuing)")
 	timeout := flag.Duration("timeout", 10*time.Second, "default per-request deadline")
 	planCache := flag.Int("plancache", 128, "compiled-plan LRU entries")
+	resultCache := flag.Int("resultcache", 256, "result-cache LRU entries keyed on (plan fingerprint, data version); 0 disables")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -68,7 +69,7 @@ func main() {
 	}
 
 	if err := run(*addr, *scenario, *patients, *customers, *txPerCustomer,
-		*accel, *level, *seed, *workers, *queue, *timeout, *planCache); err != nil {
+		*accel, *level, *seed, *workers, *queue, *timeout, *planCache, *resultCache); err != nil {
 		fmt.Fprintf(os.Stderr, "polyserve: %v\n", err)
 		os.Exit(1)
 	}
@@ -76,17 +77,21 @@ func main() {
 
 func run(addr, scenario string, patients, customers, txPerCustomer int,
 	accel bool, level int, seed int64, workers, queue int,
-	timeout time.Duration, planCache int) error {
+	timeout time.Duration, planCache, resultCache int) error {
 	rng := rand.New(rand.NewSource(seed))
 	var opts []polystore.Option
 	if queue == 0 {
 		queue = -1 // flag 0 means "no queue"; Config zero means "default"
 	}
+	if resultCache == 0 {
+		resultCache = -1 // flag 0 means "off"; Config zero means "default"
+	}
 	cfg := polystore.ServeConfig{
-		Workers:        workers,
-		QueueDepth:     queue,
-		DefaultTimeout: timeout,
-		PlanCacheSize:  planCache,
+		Workers:         workers,
+		QueueDepth:      queue,
+		DefaultTimeout:  timeout,
+		PlanCacheSize:   planCache,
+		ResultCacheSize: resultCache,
 	}
 
 	wantClinical := scenario == "clinical" || scenario == "both"
@@ -141,8 +146,8 @@ func run(addr, scenario string, patients, customers, txPerCustomer int,
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Printf("polyserve: scenario=%s listening on %s (workers=%d queue=%d timeout=%s plancache=%d accel=%t)\n",
-		scenario, addr, workers, queue, timeout, planCache, accel)
+	fmt.Printf("polyserve: scenario=%s listening on %s (workers=%d queue=%d timeout=%s plancache=%d resultcache=%d accel=%t)\n",
+		scenario, addr, workers, queue, timeout, planCache, resultCache, accel)
 	err := sys.Serve(ctx, addr, cfg)
 	if err != nil && ctx.Err() == nil {
 		return err

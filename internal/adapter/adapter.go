@@ -69,6 +69,18 @@ type Adapter interface {
 	Execute(ctx context.Context, n *ir.Node, inputs []Value) (Value, ExecInfo, error)
 }
 
+// DataVersioner is implemented by adapters whose backing store exposes a
+// monotonic mutation counter. The serving layer keys result caches on the
+// sum across adapters, so any store mutation invalidates results computed
+// over the previous state. Pure adapters (the seeded ML engine) do not
+// implement it.
+type DataVersioner interface {
+	// DataVersion returns the store's current mutation count. It must be
+	// monotonically non-decreasing and change on every mutation that could
+	// alter query results.
+	DataVersion() uint64
+}
+
 // batchSource adapts an in-memory batch to a relational.Operator so native
 // Volcano operators can run over migrated intermediate results.
 type batchSource struct {

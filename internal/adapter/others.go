@@ -38,6 +38,9 @@ func NewGraph(name string, store *graphstore.Store) *Graph {
 // Engine implements Adapter.
 func (a *Graph) Engine() string { return a.name }
 
+// DataVersion implements DataVersioner.
+func (a *Graph) DataVersion() uint64 { return a.store.Version() }
+
 // Execute implements Adapter.
 func (a *Graph) Execute(_ context.Context, n *ir.Node, _ []Value) (Value, ExecInfo, error) {
 	info := ExecInfo{RuleNodes: 1}
@@ -123,6 +126,9 @@ func NewText(name string, store *textstore.Store) *Text {
 // Engine implements Adapter.
 func (a *Text) Engine() string { return a.name }
 
+// DataVersion implements DataVersioner.
+func (a *Text) DataVersion() uint64 { return a.store.Version() }
+
 // Execute implements Adapter.
 func (a *Text) Execute(_ context.Context, n *ir.Node, _ []Value) (Value, ExecInfo, error) {
 	info := ExecInfo{RuleNodes: 1}
@@ -181,6 +187,9 @@ func NewTimeseries(name string, store *timeseries.Store) *Timeseries {
 
 // Engine implements Adapter.
 func (a *Timeseries) Engine() string { return a.name }
+
+// DataVersion implements DataVersioner.
+func (a *Timeseries) DataVersion() uint64 { return a.store.Version() }
 
 // Execute implements Adapter.
 func (a *Timeseries) Execute(_ context.Context, n *ir.Node, _ []Value) (Value, ExecInfo, error) {
@@ -351,6 +360,9 @@ func NewStream(name string, store *streamstore.Store) *Stream {
 // Engine implements Adapter.
 func (a *Stream) Engine() string { return a.name }
 
+// DataVersion implements DataVersioner.
+func (a *Stream) DataVersion() uint64 { return a.store.Version() }
+
 // Execute implements Adapter.
 func (a *Stream) Execute(_ context.Context, n *ir.Node, _ []Value) (Value, ExecInfo, error) {
 	info := ExecInfo{RuleNodes: 1}
@@ -401,6 +413,9 @@ func NewKV(name string, store *kvstore.Store) *KV {
 
 // Engine implements Adapter.
 func (a *KV) Engine() string { return a.name }
+
+// DataVersion implements DataVersioner.
+func (a *KV) DataVersion() uint64 { return a.store.Version() }
 
 // Execute implements Adapter.
 func (a *KV) Execute(_ context.Context, n *ir.Node, _ []Value) (Value, ExecInfo, error) {

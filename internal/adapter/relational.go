@@ -26,6 +26,9 @@ func NewRelational(name string, engine *relational.Engine) *Relational {
 // Engine implements Adapter.
 func (a *Relational) Engine() string { return a.name }
 
+// DataVersion implements DataVersioner.
+func (a *Relational) DataVersion() uint64 { return a.engine.Store().Version() }
+
 // Execute implements Adapter.
 func (a *Relational) Execute(ctx context.Context, n *ir.Node, inputs []Value) (Value, ExecInfo, error) {
 	info := ExecInfo{RuleNodes: 1}

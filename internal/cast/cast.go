@@ -436,6 +436,19 @@ func (b *Batch) AppendBatch(src *Batch) error {
 	return nil
 }
 
+// View returns a read-only batch sharing b's column storage, frozen at b's
+// current length. Safe to read while b keeps growing append-only: appends
+// either write beyond the view's length (invisible to it) or reallocate the
+// backing array (the view keeps the old one); existing elements are never
+// written in place. The view must not be mutated, and callers appending to
+// b concurrently must synchronize the View call itself against appends (the
+// relational table takes its lock).
+func (b *Batch) View() *Batch {
+	cols := make([]column, len(b.cols))
+	copy(cols, b.cols)
+	return &Batch{schema: b.schema, cols: cols, rows: b.rows}
+}
+
 // Slice returns a new batch holding rows [lo, hi). Data is copied so the
 // result is independent of the receiver.
 func (b *Batch) Slice(lo, hi int) (*Batch, error) {

@@ -1,11 +1,11 @@
 package compiler
 
 import (
-	"container/list"
 	"fmt"
 	"sync"
 
 	"polystorepp/internal/ir"
+	"polystorepp/internal/lru"
 )
 
 // Plan re-execution safety contract
@@ -26,31 +26,17 @@ import (
 // serving path skip recompilation entirely; hit/miss counters feed the
 // /metrics endpoint. All methods are safe for concurrent use.
 type PlanCache struct {
-	mu      sync.Mutex
-	cap     int
-	order   *list.List // front = most recently used; values are *cacheEntry
-	entries map[string]*list.Element
+	mu    sync.Mutex
+	plans *lru.Cache[*Plan]
 
 	hits   int64
 	misses int64
 }
 
-type cacheEntry struct {
-	key  string
-	plan *Plan
-}
-
 // NewPlanCache returns a cache bounded to capacity entries. capacity < 1 is
 // treated as 1.
 func NewPlanCache(capacity int) *PlanCache {
-	if capacity < 1 {
-		capacity = 1
-	}
-	return &PlanCache{
-		cap:     capacity,
-		order:   list.New(),
-		entries: make(map[string]*list.Element),
-	}
+	return &PlanCache{plans: lru.New[*Plan](capacity)}
 }
 
 // Key computes the cache key of (graph, options). Exposed so callers can
@@ -62,12 +48,16 @@ func Key(g *ir.Graph, opts Options) string {
 // GetOrCompile returns the cached plan for (g, opts), compiling and caching
 // on a miss. The second result reports whether the plan came from the cache.
 func (c *PlanCache) GetOrCompile(g *ir.Graph, opts Options) (*Plan, bool, error) {
-	key := Key(g, opts)
+	return c.GetOrCompileKeyed(Key(g, opts), g, opts)
+}
+
+// GetOrCompileKeyed is GetOrCompile with a precomputed Key(g, opts) — the
+// serving layer already fingerprints the graph for its result cache and must
+// not hash it twice per request.
+func (c *PlanCache) GetOrCompileKeyed(key string, g *ir.Graph, opts Options) (*Plan, bool, error) {
 	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.order.MoveToFront(el)
+	if plan, ok := c.plans.Get(key); ok {
 		c.hits++
-		plan := el.Value.(*cacheEntry).plan
 		c.mu.Unlock()
 		return plan, true, nil
 	}
@@ -76,25 +66,14 @@ func (c *PlanCache) GetOrCompile(g *ir.Graph, opts Options) (*Plan, bool, error)
 
 	// Compile outside the lock: compilation is the expensive part, and two
 	// racing misses for the same key just produce equivalent immutable plans
-	// (the second insert wins, the first plan is still valid to execute).
+	// (Put keeps the incumbent, so repeated hits share one plan).
 	plan, err := Compile(g, opts)
 	if err != nil {
 		return nil, false, err
 	}
 
 	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		// Lost the race: keep the incumbent so repeated hits share one plan.
-		c.order.MoveToFront(el)
-		plan = el.Value.(*cacheEntry).plan
-	} else {
-		c.entries[key] = c.order.PushFront(&cacheEntry{key: key, plan: plan})
-		for c.order.Len() > c.cap {
-			oldest := c.order.Back()
-			c.order.Remove(oldest)
-			delete(c.entries, oldest.Value.(*cacheEntry).key)
-		}
-	}
+	plan = c.plans.Put(key, plan)
 	c.mu.Unlock()
 	return plan, false, nil
 }
@@ -103,5 +82,5 @@ func (c *PlanCache) GetOrCompile(g *ir.Graph, opts Options) (*Plan, bool, error)
 func (c *PlanCache) Stats() (hits, misses int64, size int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.order.Len()
+	return c.hits, c.misses, c.plans.Len()
 }

@@ -33,7 +33,14 @@ import (
 var (
 	ErrNoAdapter = errors.New("core: no adapter for engine")
 	ErrExec      = errors.New("core: execution")
+	ErrNoDevice  = errors.New("core: unknown device")
 )
+
+// defaultEngineWorkers is the per-engine-queue concurrency bound of the DAG
+// scheduler. Engines are independent systems in a polystore, so each gets
+// its own queue; within one engine a handful of workers captures branch
+// parallelism without oversubscribing the host.
+const defaultEngineWorkers = 4
 
 // Runtime executes compiled plans. Construct with NewRuntime; register one
 // adapter per engine instance.
@@ -44,6 +51,11 @@ type Runtime struct {
 	mode     hw.Mode
 	migrator *migrate.Migrator
 	reg      *metrics.Registry
+
+	// engineWorkers bounds concurrent node executions per engine queue in
+	// the DAG scheduler; sequential forces the one-node-at-a-time executor.
+	engineWorkers int
+	sequential    bool
 }
 
 // Option configures a Runtime.
@@ -63,13 +75,31 @@ func WithMigrator(m *migrate.Migrator) Option {
 	return func(r *Runtime) { r.migrator = m }
 }
 
+// WithEngineWorkers bounds concurrent node executions per engine queue in
+// the DAG scheduler (default 4). Values < 1 restore the default.
+func WithEngineWorkers(n int) Option {
+	return func(r *Runtime) {
+		if n >= 1 {
+			r.engineWorkers = n
+		}
+	}
+}
+
+// WithSequentialExecutor forces the one-node-at-a-time executor — the
+// baseline the concurrent scheduler is verified against, and an ablation
+// knob for experiments.
+func WithSequentialExecutor() Option {
+	return func(r *Runtime) { r.sequential = true }
+}
+
 // NewRuntime returns a runtime with the given host CPU model.
 func NewRuntime(host *hw.Device, opts ...Option) *Runtime {
 	r := &Runtime{
-		adapters: make(map[string]adapter.Adapter),
-		host:     host,
-		mode:     hw.Coprocessor,
-		reg:      metrics.NewRegistry(),
+		adapters:      make(map[string]adapter.Adapter),
+		host:          host,
+		mode:          hw.Coprocessor,
+		reg:           metrics.NewRegistry(),
+		engineWorkers: defaultEngineWorkers,
 	}
 	for _, o := range opts {
 		o(r)
@@ -134,6 +164,20 @@ func (r *Runtime) Engines() []string {
 	return out
 }
 
+// DataVersion sums the mutation counters of every registered adapter's
+// backing store (see adapter.DataVersioner). Any store mutation changes the
+// sum, so (plan fingerprint, DataVersion) keys stay valid exactly as long as
+// the data they were computed over.
+func (r *Runtime) DataVersion() uint64 {
+	var v uint64
+	for _, a := range r.adapters {
+		if dv, ok := a.(adapter.DataVersioner); ok {
+			v += dv.DataVersion()
+		}
+	}
+	return v
+}
+
 // NodeReport records one node's execution.
 type NodeReport struct {
 	Node    ir.NodeID
@@ -190,18 +234,45 @@ func (res *Results) First() adapter.Value {
 }
 
 // Execute runs the plan and returns its sink values and the report.
+//
+// Plans whose stage schedule exposes parallelism (any stage wider than one
+// node) go through the concurrent DAG scheduler (scheduler.go); chain-shaped
+// plans take the sequential path, which has no coordination overhead. Both
+// produce identical Results and Reports (modulo host wall times).
 func (r *Runtime) Execute(ctx context.Context, plan *compiler.Plan) (*Results, *Report, error) {
+	if !r.sequential && planWidth(plan) > 1 {
+		return r.executeConcurrent(ctx, plan)
+	}
+	return r.executeSequential(ctx, plan)
+}
+
+// planWidth returns the widest stage of the plan's schedule — the maximum
+// number of nodes that can run simultaneously.
+func planWidth(plan *compiler.Plan) int {
+	w := 0
+	for _, stage := range plan.Stages {
+		if len(stage) > w {
+			w = len(stage)
+		}
+	}
+	return w
+}
+
+// executeSequential is the baseline executor: one node at a time in
+// topological order, interleaving real execution and simulated costing.
+func (r *Runtime) executeSequential(ctx context.Context, plan *compiler.Plan) (*Results, *Report, error) {
 	t0 := time.Now()
 	g := plan.Graph
 	values := make(map[ir.NodeID]adapter.Value, g.Len())
 	finish := make(map[ir.NodeID]float64, g.Len())
-	devFree := make(map[*hw.Device]float64)
+	led := hw.NewReservations()
 	rep := &Report{}
 
 	order, err := g.TopoSort()
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: %v", ErrExec, err)
 	}
+	r.reg.Counter("core.exec.sequential").Inc()
 	for _, id := range order {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
@@ -215,82 +286,127 @@ func (r *Runtime) Execute(ctx context.Context, plan *compiler.Plan) (*Results, *
 				start = finish[in]
 			}
 		}
-		nr, out, err := r.executeNode(ctx, plan, n, inputs, start, devFree, rep)
+		run := r.runNode(ctx, n, inputs)
+		if run.err != nil {
+			return nil, nil, fmt.Errorf("%w: node %d (%s): %w", ErrExec, id, n.Kind, run.err)
+		}
+		nr, err := r.costNode(n, run, start, led)
 		if err != nil {
 			return nil, nil, fmt.Errorf("%w: node %d (%s): %w", ErrExec, id, n.Kind, err)
 		}
-		values[id] = out
+		values[id] = run.out
 		finish[id] = nr.Finish
-		rep.Nodes = append(rep.Nodes, nr)
-		rep.Energy += nr.Sim.Joules
-		r.reg.Counter("core.nodes").Inc()
-		r.reg.Timer("core.node." + n.Kind.String()).Observe(nr.Wall)
+		rep.absorb(nr, run)
 	}
-	sinks := g.Sinks()
-	for _, s := range sinks {
+	rep.finalize(t0, g, finish)
+	return &Results{Values: values, Sinks: g.Sinks()}, rep, nil
+}
+
+// absorb folds one finished node into the report.
+func (rep *Report) absorb(nr NodeReport, run *nodeRun) {
+	rep.Nodes = append(rep.Nodes, nr)
+	rep.Energy += nr.Sim.Joules
+	if run.isMigrate {
+		rep.Migrations++
+		rep.MigratedBytes += run.bd.WireBytes
+	}
+}
+
+// finalize computes plan latency from the sink finish times and orders the
+// node reports.
+func (rep *Report) finalize(t0 time.Time, g *ir.Graph, finish map[ir.NodeID]float64) {
+	for _, s := range g.Sinks() {
 		if finish[s] > rep.Latency {
 			rep.Latency = finish[s]
 		}
 	}
 	rep.Wall = time.Since(t0)
 	sort.Slice(rep.Nodes, func(i, j int) bool { return rep.Nodes[i].Node < rep.Nodes[j].Node })
-	return &Results{Values: values, Sinks: sinks}, rep, nil
 }
 
-// executeNode runs one node, charges simulated cost, and schedules it on
-// the simulated clock.
-func (r *Runtime) executeNode(ctx context.Context, plan *compiler.Plan, n *ir.Node, inputs []adapter.Value, start float64, devFree map[*hw.Device]float64, rep *Report) (NodeReport, adapter.Value, error) {
-	nr := NodeReport{Node: n.ID, Kind: n.Kind, Engine: n.Engine, Start: start}
-	t0 := time.Now()
+// nodeRun is the outcome of a node's real (host) execution, before simulated
+// costing. The split lets the concurrent scheduler run the expensive host
+// work in parallel while costing stays in deterministic topological order.
+type nodeRun struct {
+	out  adapter.Value
+	info adapter.ExecInfo
+	// bd is set for OpMigrate nodes (isMigrate true).
+	bd        migrate.Breakdown
+	isMigrate bool
+	wall      time.Duration
+	err       error
+}
 
+// runNode performs a node's real work — adapter translation and native
+// execution, or data migration — without touching the simulated clock.
+func (r *Runtime) runNode(ctx context.Context, n *ir.Node, inputs []adapter.Value) *nodeRun {
+	run := &nodeRun{}
+	t0 := time.Now()
 	if n.Kind == ir.OpMigrate {
+		run.isMigrate = true
 		out, bd, err := r.executeMigrate(ctx, n, inputs)
 		if err != nil {
-			return nr, adapter.Value{}, err
+			run.err = err
+			return run
 		}
-		rep.Migrations++
-		rep.MigratedBytes += bd.WireBytes
-		nr.Wall = time.Since(t0)
-		nr.Sim = bd.Sim
-		nr.Device = "dm/" + migrate.Transport(n.IntAttr("transport")).String()
-		nr.Native = fmt.Sprintf("Migrate(%s->%s, %s)", n.StringAttr("from"), n.StringAttr("to"), migrate.Transport(n.IntAttr("transport")))
-		nr.RowsIn = int64(out.Rows())
-		nr.RowsOut = int64(out.Rows())
-		nr.Finish = start + bd.Sim.Seconds
+		run.out = adapter.Value{Batch: out}
+		run.bd = bd
+		run.wall = time.Since(t0)
 		r.reg.Counter("core.migrations").Inc()
-		return nr, adapter.Value{Batch: out}, nil
+		r.reg.Counter("core.nodes").Inc()
+		r.reg.Timer("core.node." + n.Kind.String()).Observe(run.wall)
+		return run
 	}
-
 	a, ok := r.adapters[n.Engine]
 	if !ok {
-		return nr, adapter.Value{}, fmt.Errorf("%w: %q", ErrNoAdapter, n.Engine)
+		run.err = fmt.Errorf("%w: %q", ErrNoAdapter, n.Engine)
+		return run
 	}
 	out, info, err := a.Execute(ctx, n, inputs)
 	if err != nil {
-		return nr, adapter.Value{}, err
+		run.err = err
+		return run
 	}
-	nr.Wall = time.Since(t0)
-	nr.Native = info.Native
-	nr.RowsIn = info.RowsIn
-	nr.RowsOut = info.RowsOut
+	run.out = out
+	run.info = info
+	run.wall = time.Since(t0)
 	r.reg.Counter("core.rule_nodes").Add(info.RuleNodes)
+	r.reg.Counter("core.nodes").Inc()
+	r.reg.Timer("core.node." + n.Kind.String()).Observe(run.wall)
+	return run
+}
+
+// costNode charges a finished node's kernel calls to devices and schedules
+// it on the simulated clock: the node starts once its inputs have finished
+// (start) and each kernel waits for its device to free up in the ledger.
+// Callers must cost nodes in a deterministic topological order — reservation
+// order decides contention, and the reports are compared across executors.
+func (r *Runtime) costNode(n *ir.Node, run *nodeRun, start float64, led *hw.Reservations) (NodeReport, error) {
+	nr := NodeReport{Node: n.ID, Kind: n.Kind, Engine: n.Engine, Start: start, Wall: run.wall}
+	if run.isMigrate {
+		nr.Sim = run.bd.Sim
+		nr.Device = "dm/" + migrate.Transport(n.IntAttr("transport")).String()
+		nr.Native = fmt.Sprintf("Migrate(%s->%s, %s)", n.StringAttr("from"), n.StringAttr("to"), migrate.Transport(n.IntAttr("transport")))
+		nr.RowsIn = int64(run.out.Rows())
+		nr.RowsOut = int64(run.out.Rows())
+		nr.Finish = start + run.bd.Sim.Seconds
+		return nr, nil
+	}
+	nr.Native = run.info.Native
+	nr.RowsIn = run.info.RowsIn
+	nr.RowsOut = run.info.RowsOut
 
 	// Cost the kernel calls, choosing devices at runtime (§IV-D-a: "IR
 	// mapping to local accelerators ... will ultimately depend on runtime
 	// environment and data-dependent analyses").
 	clock := start
 	devices := map[string]bool{}
-	for _, call := range info.Kernels {
+	for _, call := range run.info.Kernels {
 		dev, cost, err := r.chargeKernel(n, call)
 		if err != nil {
-			return nr, adapter.Value{}, err
+			return nr, err
 		}
-		devStart := clock
-		if devFree[dev] > devStart {
-			devStart = devFree[dev]
-		}
-		clock = devStart + cost.Seconds
-		devFree[dev] = clock
+		_, clock = led.Reserve(dev, clock, cost.Seconds)
 		nr.Sim = nr.Sim.AddSeq(cost)
 		devices[dev.Name] = true
 	}
@@ -304,20 +420,36 @@ func (r *Runtime) executeNode(ctx context.Context, plan *compiler.Plan, n *ir.No
 		nr.Device = r.host.Name
 	}
 	nr.Finish = clock
-	return nr, out, nil
+	return nr, nil
 }
 
 // chargeKernel selects the device for one kernel call (honoring the node's
-// Device annotation) and charges the cost to it.
+// Device annotation) and charges the cost to it. An empty annotation runs on
+// the host; "auto" lets the runtime pick the cheapest device; any other name
+// pins the call to that device, and naming a device the deployment does not
+// have is an execution error rather than a silent host fallback.
 func (r *Runtime) chargeKernel(n *ir.Node, call adapter.KernelCall) (*hw.Device, hw.Cost, error) {
-	if n.Device != "auto" || len(r.accels) == 0 {
-		c, err := r.host.HostCost(call.Class, call.Work)
-		if err != nil {
-			// Host can't model this kernel: fall back to zero cost rather
-			// than failing the query.
-			return r.host, hw.Zero, nil
+	switch n.Device {
+	case "", "auto":
+		// Handled below.
+	case r.host.Name:
+		return r.hostCharge(call)
+	default:
+		for _, d := range r.accels {
+			if d.Name != n.Device {
+				continue
+			}
+			c, err := d.Offload(r.mode, call.Class, call.Work, call.OutBytes)
+			if err != nil {
+				return nil, hw.Zero, fmt.Errorf("pinned device %q: %w", n.Device, err)
+			}
+			r.reg.Counter("core.offloads." + d.Name).Inc()
+			return d, c, nil
 		}
-		return r.host, c, nil
+		return nil, hw.Zero, fmt.Errorf("%w: %q (attached: %s)", ErrNoDevice, n.Device, strings.Join(r.deviceNames(), ", "))
+	}
+	if n.Device == "" || len(r.accels) == 0 {
+		return r.hostCharge(call)
 	}
 	// Runtime device choice: estimate end-to-end cost on the host and on
 	// every accelerator supporting the kernel, pick the cheapest, charge it.
@@ -337,23 +469,34 @@ func (r *Runtime) chargeKernel(n *ir.Node, call adapter.KernelCall) (*hw.Device,
 		}
 	}
 	if !offload {
-		c, err := r.host.HostCost(call.Class, call.Work)
-		if err != nil {
-			return r.host, hw.Zero, nil
-		}
-		return r.host, c, nil
+		return r.hostCharge(call)
 	}
 	c, err := bestDev.Offload(r.mode, call.Class, call.Work, call.OutBytes)
 	if err != nil {
 		// Offload refused (e.g. area budget): run on the host instead.
-		hc, herr := r.host.HostCost(call.Class, call.Work)
-		if herr != nil {
-			return r.host, hw.Zero, nil
-		}
-		return r.host, hc, nil
+		return r.hostCharge(call)
 	}
 	r.reg.Counter("core.offloads." + bestDev.Name).Inc()
 	return bestDev, c, nil
+}
+
+// hostCharge costs a kernel call on the host CPU. Kernels the host cannot
+// model are charged zero rather than failing the query.
+func (r *Runtime) hostCharge(call adapter.KernelCall) (*hw.Device, hw.Cost, error) {
+	c, err := r.host.HostCost(call.Class, call.Work)
+	if err != nil {
+		return r.host, hw.Zero, nil
+	}
+	return r.host, c, nil
+}
+
+// deviceNames lists the host plus attached accelerator names.
+func (r *Runtime) deviceNames() []string {
+	out := []string{r.host.Name}
+	for _, d := range r.accels {
+		out = append(out, d.Name)
+	}
+	return out
 }
 
 // estimateOffload predicts offload cost without mutating device state

@@ -1,0 +1,395 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"polystorepp/internal/adapter"
+	"polystorepp/internal/compiler"
+	"polystorepp/internal/hw"
+	"polystorepp/internal/ir"
+	"polystorepp/internal/relational"
+)
+
+// fanoutProgram builds a wide DAG: one scan feeding `width` independent
+// filter->sort branches, half of them crossing to the ML engine so the plan
+// carries migrations too. Every stage past the scan has `width` nodes, so
+// the concurrent scheduler engages.
+func fanoutProgram(width int) *ir.Graph {
+	g := ir.NewGraph()
+	scan := g.Add(ir.OpScan, "db", map[string]any{"table": "t"})
+	for i := 0; i < width; i++ {
+		engine := "db"
+		if i%2 == 1 {
+			engine = "ml"
+		}
+		pred := relational.Bin{
+			Op: relational.OpGt,
+			L:  relational.ColRef{Name: "v"},
+			R:  relational.Const{V: int64(i * 50)},
+		}
+		f := g.Add(ir.OpFilter, engine, map[string]any{"pred": pred}, scan)
+		if engine == "db" {
+			g.Add(ir.OpSort, "db", map[string]any{
+				"order_by": []relational.OrderItem{{Col: "v"}},
+			}, f)
+		}
+	}
+	return g
+}
+
+// reportsEqual compares everything deterministic about two reports: the
+// node set with simulated schedule, latency, energy and migration volume.
+// Host wall times are excluded — they vary run to run by construction.
+func reportsEqual(t *testing.T, got, want *Report) {
+	t.Helper()
+	if len(got.Nodes) != len(want.Nodes) {
+		t.Fatalf("node count = %d, want %d", len(got.Nodes), len(want.Nodes))
+	}
+	for i := range want.Nodes {
+		g, w := got.Nodes[i], want.Nodes[i]
+		if g.Node != w.Node || g.Kind != w.Kind || g.Engine != w.Engine ||
+			g.Device != w.Device || g.Native != w.Native ||
+			g.RowsIn != w.RowsIn || g.RowsOut != w.RowsOut {
+			t.Fatalf("node %d mismatch:\n got %+v\nwant %+v", w.Node, g, w)
+		}
+		if math.Abs(g.Start-w.Start) > 1e-12 || math.Abs(g.Finish-w.Finish) > 1e-12 {
+			t.Fatalf("node %d schedule: got [%v,%v], want [%v,%v]", w.Node, g.Start, g.Finish, w.Start, w.Finish)
+		}
+		if math.Abs(g.Sim.Seconds-w.Sim.Seconds) > 1e-12 || math.Abs(g.Sim.Joules-w.Sim.Joules) > 1e-12 {
+			t.Fatalf("node %d sim cost: got %v, want %v", w.Node, g.Sim, w.Sim)
+		}
+	}
+	if math.Abs(got.Latency-want.Latency) > 1e-12 {
+		t.Fatalf("latency = %v, want %v", got.Latency, want.Latency)
+	}
+	if math.Abs(got.Energy-want.Energy) > 1e-12 {
+		t.Fatalf("energy = %v, want %v", got.Energy, want.Energy)
+	}
+	if got.Migrations != want.Migrations || got.MigratedBytes != want.MigratedBytes {
+		t.Fatalf("migrations = %d (%d bytes), want %d (%d bytes)",
+			got.Migrations, got.MigratedBytes, want.Migrations, want.MigratedBytes)
+	}
+}
+
+// resultsEqual compares sink row counts across executors.
+func resultsEqual(t *testing.T, got, want *Results) {
+	t.Helper()
+	if len(got.Sinks) != len(want.Sinks) {
+		t.Fatalf("sinks = %v, want %v", got.Sinks, want.Sinks)
+	}
+	for i, s := range want.Sinks {
+		if got.Sinks[i] != s {
+			t.Fatalf("sinks = %v, want %v", got.Sinks, want.Sinks)
+		}
+		if g, w := got.Values[s].Rows(), want.Values[s].Rows(); g != w {
+			t.Fatalf("sink %d rows = %d, want %d", s, g, w)
+		}
+	}
+}
+
+// TestConcurrentMatchesSequential runs a wide fan-out multi-engine plan
+// through both executors over identically seeded stores and requires the
+// same results and byte-identical simulated reports.
+func TestConcurrentMatchesSequential(t *testing.T) {
+	plan, err := compiler.Compile(fanoutProgram(8), compiler.Options{Level: 3, Accel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := planWidth(plan); w < 8 {
+		t.Fatalf("plan width = %d, want >= 8 (fan-out not wide enough to engage the scheduler)", w)
+	}
+
+	seqRT := testRuntime(t, 3000, true)
+	seqRT.sequential = true
+	wantRes, wantRep, err := seqRT.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conRT := testRuntime(t, 3000, true)
+	gotRes, gotRep, err := conRT.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conRT.Metrics().Counter("core.exec.concurrent").Value() != 1 {
+		t.Fatal("plan did not go through the concurrent scheduler")
+	}
+	resultsEqual(t, gotRes, wantRes)
+	reportsEqual(t, gotRep, wantRep)
+}
+
+// TestConcurrentSharedRuntimeRace hammers one shared Runtime with the same
+// wide plan from many goroutines (run under -race) and checks every
+// execution reproduces the sequential baseline's report exactly.
+func TestConcurrentSharedRuntimeRace(t *testing.T) {
+	plan, err := compiler.Compile(fanoutProgram(6), compiler.Options{Level: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRT := testRuntime(t, 1500, false)
+	baseRT.sequential = true
+	_, wantRep, err := baseRT.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt := testRuntime(t, 1500, false)
+	const goroutines = 16
+	reps := make([]*Report, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, rep, err := rt.Execute(context.Background(), plan)
+			reps[i], errs[i] = rep, err
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		reportsEqual(t, reps[i], wantRep)
+	}
+}
+
+// TestConcurrentWideFirstStage regression-tests the seed loop against
+// double dispatch: with a wide producer-less first stage, workers finish
+// early stage-0 nodes and enqueue their consumers while the seed loop is
+// still iterating. Seeding on the live waits counter used to dispatch such
+// a consumer twice (panic: close of closed channel).
+func TestConcurrentWideFirstStage(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+
+	g := ir.NewGraph()
+	for i := 0; i < 768; i++ {
+		scan := g.Add(ir.OpScan, "db", map[string]any{"table": "t"})
+		pred := relational.Bin{
+			Op: relational.OpGt,
+			L:  relational.ColRef{Name: "v"},
+			R:  relational.Const{V: int64(i)},
+		}
+		g.Add(ir.OpFilter, "db", map[string]any{"pred": pred}, scan)
+	}
+	plan, err := compiler.Compile(g, compiler.Options{Level: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := testRuntime(t, 200, false)
+	for round := 0; round < 5; round++ {
+		res, _, err := rt.Execute(context.Background(), plan)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if len(res.Sinks) != 768 {
+			t.Fatalf("round %d: sinks = %d", round, len(res.Sinks))
+		}
+	}
+}
+
+// TestConcurrentErrorMatchesSequential checks both executors surface the
+// same earliest-in-topo-order failure on a plan with a broken branch.
+func TestConcurrentErrorMatchesSequential(t *testing.T) {
+	g := fanoutProgram(4)
+	// A scan of a missing table fails during real execution.
+	bad := g.Add(ir.OpScan, "db", map[string]any{"table": "missing"})
+	g.Add(ir.OpSort, "db", map[string]any{
+		"order_by": []relational.OrderItem{{Col: "v"}},
+	}, bad)
+	plan, err := compiler.Compile(g, compiler.Options{Level: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqRT := testRuntime(t, 500, false)
+	seqRT.sequential = true
+	_, _, seqErr := seqRT.Execute(context.Background(), plan)
+	if seqErr == nil {
+		t.Fatal("sequential executor did not fail")
+	}
+	conRT := testRuntime(t, 500, false)
+	_, _, conErr := conRT.Execute(context.Background(), plan)
+	if conErr == nil {
+		t.Fatal("concurrent executor did not fail")
+	}
+	if !errors.Is(conErr, ErrExec) || conErr.Error() != seqErr.Error() {
+		t.Fatalf("error mismatch:\n concurrent: %v\n sequential: %v", conErr, seqErr)
+	}
+}
+
+// TestConcurrentHonorsContext mirrors TestExecuteHonorsContext for the
+// concurrent path.
+func TestConcurrentHonorsContext(t *testing.T) {
+	rt := testRuntime(t, 100, false)
+	plan, err := compiler.Compile(fanoutProgram(4), compiler.Options{Level: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := rt.Execute(ctx, plan); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled: %v", err)
+	}
+}
+
+// TestChargeKernelPinnedDevice checks an explicit device annotation is
+// honored: the work lands on the named accelerator even when the cost model
+// would have kept it on the host.
+func TestChargeKernelPinnedDevice(t *testing.T) {
+	rt := testRuntime(t, 64, true) // 64 rows: auto choice would stay on host
+	g := sortProgram()
+	plan, err := compiler.Compile(g, compiler.Options{Level: 3, Accel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range plan.Graph.Nodes() {
+		if n.Kind == ir.OpSort {
+			n.Device = hw.NewFPGA().Name
+		}
+	}
+	_, rep, err := rt.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpga := hw.NewFPGA().Name
+	found := false
+	for _, n := range rep.Nodes {
+		if n.Kind == ir.OpSort {
+			found = true
+			if n.Device != fpga {
+				t.Fatalf("pinned sort ran on %q, want %q", n.Device, fpga)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no sort node in report")
+	}
+	if rt.Metrics().Counter("core.offloads."+fpga).Value() == 0 {
+		t.Fatal("pinned offload not counted")
+	}
+}
+
+// TestChargeKernelUnknownDevice checks naming a device the deployment does
+// not have fails the query instead of silently costing on the host.
+func TestChargeKernelUnknownDevice(t *testing.T) {
+	rt := testRuntime(t, 64, true)
+	plan, err := compiler.Compile(sortProgram(), compiler.Options{Level: 3, Accel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range plan.Graph.Nodes() {
+		if n.Kind == ir.OpSort {
+			n.Device = "tpu-v9000"
+		}
+	}
+	_, _, err = rt.Execute(context.Background(), plan)
+	if !errors.Is(err, ErrNoDevice) {
+		t.Fatalf("unknown device error = %v, want ErrNoDevice", err)
+	}
+}
+
+// TestChargeKernelHostPin checks pinning to the host device by name stays
+// on the host without error.
+func TestChargeKernelHostPin(t *testing.T) {
+	rt := testRuntime(t, 400_000, true) // big enough that auto would offload
+	plan, err := compiler.Compile(sortProgram(), compiler.Options{Level: 3, Accel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := hw.NewHostCPU().Name
+	for _, n := range plan.Graph.Nodes() {
+		if n.Kind == ir.OpSort {
+			n.Device = host
+		}
+	}
+	_, rep, err := rt.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range rep.Nodes {
+		if n.Kind == ir.OpSort && n.Device != host {
+			t.Fatalf("host-pinned sort ran on %q", n.Device)
+		}
+	}
+}
+
+// TestPlanWidthFastPath checks chain-shaped plans skip the scheduler.
+func TestPlanWidthFastPath(t *testing.T) {
+	rt := testRuntime(t, 100, false)
+	plan, err := compiler.Compile(sortProgram(), compiler.Options{Level: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rt.Execute(context.Background(), plan); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Metrics().Counter("core.exec.concurrent").Value() != 0 {
+		t.Fatal("chain plan went through the concurrent scheduler")
+	}
+	if rt.Metrics().Counter("core.exec.sequential").Value() != 1 {
+		t.Fatal("chain plan not counted as sequential")
+	}
+}
+
+// TestConsumerIndex sanity-checks the ir adjacency helper the scheduler
+// relies on.
+func TestConsumerIndex(t *testing.T) {
+	g := fanoutProgram(3)
+	idx := g.ConsumerIndex()
+	for id, consumers := range idx {
+		for _, c := range consumers {
+			n := g.MustNode(c)
+			found := false
+			for _, in := range n.Inputs {
+				if in == id {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("index lists %d as consumer of %d but it has inputs %v", c, id, n.Inputs)
+			}
+		}
+	}
+	// Every edge must be covered.
+	for _, n := range g.Nodes() {
+		for _, in := range n.Inputs {
+			covered := false
+			for _, c := range idx[in] {
+				if c == n.ID {
+					covered = true
+				}
+			}
+			if !covered {
+				t.Fatalf("edge %d->%d missing from index", in, n.ID)
+			}
+		}
+	}
+}
+
+// TestRuntimeDataVersion checks the runtime's aggregate version moves on
+// store mutations.
+func TestRuntimeDataVersion(t *testing.T) {
+	store := testStore(t, 10)
+	rt := NewRuntime(hw.NewHostCPU())
+	rt.Register(adapter.NewRelational("db", relational.NewEngine(store)))
+	rt.Register(adapter.NewML("ml", 1)) // pure adapter: no version contribution
+
+	v0 := rt.DataVersion()
+	tb, err := store.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert(int64(10_000), int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if v1 := rt.DataVersion(); v1 <= v0 {
+		t.Fatalf("version did not advance on insert: %d -> %d", v0, v1)
+	}
+}

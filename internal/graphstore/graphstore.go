@@ -47,6 +47,16 @@ type Store struct {
 	in      map[NodeID][]Edge
 	byLabel map[string][]NodeID
 	edges   int
+	// version counts mutations (node/edge inserts); see Version.
+	version uint64
+}
+
+// Version returns the store's monotonic mutation count. The serving layer
+// keys result caches on it, so graph changes invalidate cached results.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
 }
 
 // New returns an empty graph store.
@@ -83,6 +93,7 @@ func (s *Store) AddNode(n Node) {
 	}
 	s.nodes[n.ID] = &cp
 	s.byLabel[n.Label] = append(s.byLabel[n.Label], n.ID)
+	s.version++
 }
 
 // AddEdge inserts a directed edge. Both endpoints must exist.
@@ -98,6 +109,7 @@ func (s *Store) AddEdge(e Edge) error {
 	s.out[e.From] = append(s.out[e.From], e)
 	s.in[e.To] = append(s.in[e.To], e)
 	s.edges++
+	s.version++
 	return nil
 }
 

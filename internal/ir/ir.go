@@ -222,6 +222,27 @@ func (g *Graph) Consumers(id NodeID) []NodeID {
 	return out
 }
 
+// ConsumerIndex returns the full producer -> consumers adjacency in one
+// pass, each consumer list sorted by id. Schedulers use this instead of
+// per-node Consumers calls, which are quadratic over the graph.
+func (g *Graph) ConsumerIndex() map[NodeID][]NodeID {
+	out := make(map[NodeID][]NodeID, len(g.nodes))
+	for _, n := range g.nodes {
+		seen := make(map[NodeID]bool, len(n.Inputs))
+		for _, in := range n.Inputs {
+			if seen[in] {
+				continue
+			}
+			seen[in] = true
+			out[in] = append(out[in], n.ID)
+		}
+	}
+	for _, cs := range out {
+		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	}
+	return out
+}
+
 // Sinks returns nodes with no consumers, sorted by id.
 func (g *Graph) Sinks() []NodeID {
 	consumed := make(map[NodeID]bool)

@@ -34,6 +34,13 @@ type Store struct {
 	name string
 	data map[string][]Entry // versions, ascending
 	now  func() time.Time
+	// version counts store-wide mutations (puts, deletes, compactions);
+	// distinct from per-key entry versions. See Version.
+	version uint64
+	// nextExpiry is the earliest ExpiresAt among stored TTL entries (zero
+	// when none expire). TTL expiry changes read results without a write, so
+	// Version bumps lazily when the clock passes this watermark.
+	nextExpiry time.Time
 }
 
 // Option configures a Store.
@@ -75,9 +82,56 @@ func (s *Store) PutTTL(key string, value []byte, ttl time.Duration) int64 {
 	e := Entry{Value: own, Version: ver, WrittenAt: s.now()}
 	if ttl > 0 {
 		e.ExpiresAt = e.WrittenAt.Add(ttl)
+		if s.nextExpiry.IsZero() || e.ExpiresAt.Before(s.nextExpiry) {
+			s.nextExpiry = e.ExpiresAt
+		}
 	}
 	s.data[key] = append(versions, e)
+	s.version++
 	return ver
+}
+
+// Version returns the store-wide monotonic mutation count. The serving
+// layer keys result caches on it, so writes invalidate cached results —
+// and so does TTL expiry: crossing an expiry watermark counts as one
+// mutation, since reads change visibility without any write.
+//
+// The common no-expiry case runs under the read lock: Version sits on the
+// serving hot path (at least twice per request), and taking the write lock
+// there would serialize all workers on this store.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	v, expired := s.version, !s.nextExpiry.IsZero() && !s.now().Before(s.nextExpiry)
+	s.mu.RUnlock()
+	if !expired {
+		return v
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Re-check under the write lock: another caller may have advanced past
+	// this watermark already.
+	if !s.nextExpiry.IsZero() && !s.now().Before(s.nextExpiry) {
+		s.version++
+		s.advanceExpiryLocked()
+	}
+	return s.version
+}
+
+// advanceExpiryLocked recomputes the earliest future ExpiresAt. All entries
+// already expired are covered by the version bump that triggered this scan.
+func (s *Store) advanceExpiryLocked() {
+	now := s.now()
+	s.nextExpiry = time.Time{}
+	for _, versions := range s.data {
+		for _, e := range versions {
+			if e.ExpiresAt.IsZero() || !now.Before(e.ExpiresAt) {
+				continue
+			}
+			if s.nextExpiry.IsZero() || e.ExpiresAt.Before(s.nextExpiry) {
+				s.nextExpiry = e.ExpiresAt
+			}
+		}
+	}
 }
 
 // Get returns the latest live value for key.
@@ -122,7 +176,10 @@ func (s *Store) GetVersion(key string, version int64) (Entry, error) {
 func (s *Store) Delete(key string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.data, key)
+	if _, ok := s.data[key]; ok {
+		delete(s.data, key)
+		s.version++
+	}
 }
 
 // Len returns the number of live keys (expired keys are excluded).
@@ -180,6 +237,9 @@ func (s *Store) Compact() int {
 		} else {
 			s.data[k] = kept
 		}
+	}
+	if removed > 0 {
+		s.version++
 	}
 	return removed
 }

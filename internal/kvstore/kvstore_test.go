@@ -84,6 +84,36 @@ func TestTTLExpiry(t *testing.T) {
 	}
 }
 
+func TestVersionAdvancesOnTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := New("kv", WithClock(func() time.Time { return now }))
+	s.Put("stable", []byte("v"))
+	s.PutTTL("short", []byte("v"), 5*time.Second)
+	s.PutTTL("long", []byte("v"), 60*time.Second)
+
+	v0 := s.Version()
+	if s.Version() != v0 {
+		t.Fatal("version moved without mutation or expiry")
+	}
+
+	// Crossing the first expiry watermark is a visibility change: result
+	// caches keyed on the version must be invalidated exactly once.
+	now = now.Add(6 * time.Second)
+	v1 := s.Version()
+	if v1 <= v0 {
+		t.Fatalf("version did not advance past TTL expiry: %d -> %d", v0, v1)
+	}
+	if s.Version() != v1 {
+		t.Fatal("version kept moving after one expiry")
+	}
+
+	// The second watermark ("long") still fires later.
+	now = now.Add(60 * time.Second)
+	if v2 := s.Version(); v2 <= v1 {
+		t.Fatalf("version did not advance past second expiry: %d -> %d", v1, v2)
+	}
+}
+
 func TestDelete(t *testing.T) {
 	s := New("kv")
 	s.Put("k", []byte("v"))

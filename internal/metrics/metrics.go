@@ -61,6 +61,16 @@ func (g *Gauge) Add(d float64) {
 	g.mu.Unlock()
 }
 
+// SetMax raises the gauge to v if larger — a high-watermark update that is
+// atomic under concurrent observers (the executor's max-parallelism gauge).
+func (g *Gauge) SetMax(v float64) {
+	g.mu.Lock()
+	if v > g.v {
+		g.v = v
+	}
+	g.mu.Unlock()
+}
+
 // Value returns the current value.
 func (g *Gauge) Value() float64 {
 	g.mu.Lock()

@@ -76,6 +76,54 @@ func TestStoreCreateAndLookup(t *testing.T) {
 	}
 }
 
+// TestSnapshotIsolatedFromInserts pins the snapshot contract the serving
+// layer's result cache relies on: a snapshot taken at one data version keeps
+// showing exactly that version's rows — and stays race-free to read — while
+// writers append concurrently.
+func TestSnapshotIsolatedFromInserts(t *testing.T) {
+	s := NewStore("db")
+	tb, err := s.CreateTable("users", usersSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := tb.Insert(int64(i), int64(20+i%50), "u", 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := tb.Snapshot()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 100; i < 1100; i++ {
+			if err := tb.Insert(int64(i), int64(99), "w", 2.0); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	// Read the snapshot while the writer runs (-race validates safety).
+	for round := 0; round < 50; round++ {
+		if snap.Rows() != 100 {
+			t.Fatalf("snapshot grew to %d rows", snap.Rows())
+		}
+		ids, err := snap.Ints(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, id := range ids {
+			if id != int64(i) {
+				t.Fatalf("row %d mutated to %d", i, id)
+			}
+		}
+	}
+	<-done
+	if snap.Rows() != 100 || tb.Rows() != 1100 {
+		t.Fatalf("snapshot=%d table=%d, want 100/1100", snap.Rows(), tb.Rows())
+	}
+}
+
 func TestTableInsertTypeCheck(t *testing.T) {
 	s := newTestStore(t, 5)
 	users, _ := s.Table("users")

@@ -28,6 +28,8 @@ type Store struct {
 	mu     sync.RWMutex
 	name   string
 	tables map[string]*Table
+	// version counts schema mutations (table creation); see Version.
+	version uint64
 }
 
 // NewStore returns an empty store with the given instance name.
@@ -48,7 +50,21 @@ func (s *Store) CreateTable(name string, schema cast.Schema) (*Table, error) {
 	t := &Table{name: name, schema: schema, heap: cast.NewBatch(schema, 0),
 		btrees: make(map[string]*btree), hashes: make(map[string]map[string][]int32)}
 	s.tables[name] = t
+	s.version++
 	return t, nil
+}
+
+// Version returns the store's monotonic data version: the sum of every
+// table's mutation count plus schema changes. The serving layer keys result
+// caches on it, so any write invalidates results computed over prior state.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v := s.version
+	for _, t := range s.tables {
+		v += t.Version()
+	}
+	return v
 }
 
 // Table returns the named table.
@@ -84,6 +100,15 @@ type Table struct {
 	btrees map[string]*btree
 	// hashes maps column name -> value-key -> row ids (any indexable type).
 	hashes map[string]map[string][]int32
+	// version counts mutations (inserts and index builds); see Version.
+	version uint64
+}
+
+// Version returns the table's monotonic mutation count.
+func (t *Table) Version() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
 }
 
 // Name returns the table name.
@@ -107,6 +132,7 @@ func (t *Table) Insert(vals ...any) error {
 	if err := t.heap.AppendRow(vals...); err != nil {
 		return err
 	}
+	t.version++
 	return t.indexRow(row)
 }
 
@@ -118,6 +144,7 @@ func (t *Table) InsertBatch(b *cast.Batch) error {
 	if err := t.heap.AppendBatch(b); err != nil {
 		return err
 	}
+	t.version++
 	for r := start; r < t.heap.Rows(); r++ {
 		if err := t.indexRow(r); err != nil {
 			return err
@@ -176,6 +203,7 @@ func (t *Table) CreateBTreeIndex(col string) error {
 		bt.Insert(v, int32(r))
 	}
 	t.btrees[col] = bt
+	t.version++
 	return nil
 }
 
@@ -196,6 +224,7 @@ func (t *Table) CreateHashIndex(col string) error {
 		h[key] = append(h[key], int32(r))
 	}
 	t.hashes[col] = h
+	t.version++
 	return nil
 }
 
@@ -215,12 +244,14 @@ func (t *Table) HasHash(col string) bool {
 	return ok
 }
 
-// Snapshot returns a read-only alias of the heap batch. Callers must not
-// mutate it; appends by writers do not disturb previously read rows.
+// Snapshot returns a read-only view of the heap frozen at the current row
+// count. Concurrent inserts never disturb it (append-only storage), so a
+// snapshot taken at one data version keeps showing exactly that version —
+// the serving layer's result cache depends on this.
 func (t *Table) Snapshot() *cast.Batch {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.heap
+	return t.heap.View()
 }
 
 // LookupEq returns the row ids matching value v on an indexed column

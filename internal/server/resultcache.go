@@ -1,0 +1,57 @@
+package server
+
+import (
+	"sync"
+
+	"polystorepp/internal/core"
+	"polystorepp/internal/lru"
+)
+
+// resultCache is a bounded LRU of executed query results keyed on
+// (plan-cache key, data version) — the ROADMAP's "result caching keyed on
+// plan fingerprint + data version". Entries are sound to share across
+// requests because Results and Reports are never mutated after Execute
+// returns (response encoding only reads them). Invalidation is by key
+// rotation: any store mutation bumps the runtime's data version, so stale
+// entries stop being addressable and age out of the LRU.
+type resultCache struct {
+	mu      sync.Mutex
+	entries *lru.Cache[resultEntry]
+}
+
+type resultEntry struct {
+	res *core.Results
+	rep *core.Report
+}
+
+// newResultCache returns a cache bounded to capacity entries (capacity < 1
+// is clamped to 1; callers disable caching by not constructing one).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{entries: lru.New[resultEntry](capacity)}
+}
+
+// get returns the cached outcome for key, marking it most recently used.
+func (c *resultCache) get(key string) (*core.Results, *core.Report, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries.Get(key)
+	if !ok {
+		return nil, nil, false
+	}
+	return e.res, e.rep, true
+}
+
+// put stores an executed outcome under key (racing executions of the same
+// key produce equivalent results; the incumbent wins).
+func (c *resultCache) put(key string, res *core.Results, rep *core.Report) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries.Put(key, resultEntry{res: res, rep: rep})
+}
+
+// size returns the current entry count.
+func (c *resultCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries.Len()
+}

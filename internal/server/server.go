@@ -5,7 +5,7 @@
 // execution — and Polystore++ §IV-D notes that runtime statistics are the
 // prerequisite for optimization, which a serving layer naturally produces.
 //
-// The server adds three things on top of core.Runtime:
+// The server adds five things on top of core.Runtime:
 //
 //   - Admission control: a bounded worker pool plus bounded wait queue.
 //     Requests beyond the bound get HTTP 429 immediately; queued requests
@@ -13,6 +13,12 @@
 //   - A plan cache: programs are fingerprinted (ir.Graph.Fingerprint) and
 //     compiled plans are reused across requests, so hot queries skip the
 //     compiler entirely (hits/misses are exported on /metrics).
+//   - A result cache keyed on (plan fingerprint + options, data version):
+//     repeated queries over unchanged data skip execution entirely, and any
+//     store mutation bumps the data version so stale results stop being
+//     addressable (resultcache.go).
+//   - Single-flight: identical queries in flight at the same time share one
+//     execution; only the leader holds a worker slot (singleflight.go).
 //   - Observability: /metrics exposes the runtime-statistics registry in
 //     Prometheus text format; /healthz and /stats report liveness and
 //     serving counters.
@@ -36,6 +42,7 @@ import (
 	"net/http"
 	"time"
 
+	"polystorepp/internal/adapter"
 	"polystorepp/internal/compiler"
 	"polystorepp/internal/core"
 	"polystorepp/internal/eide"
@@ -60,6 +67,13 @@ type Config struct {
 	MaxTimeout time.Duration
 	// PlanCacheSize bounds the compiled-plan LRU (default 128 entries).
 	PlanCacheSize int
+	// ResultCacheSize bounds the executed-result LRU keyed on
+	// (plan fingerprint + options, data version). Zero selects the default
+	// (256 entries); negative disables result caching.
+	ResultCacheSize int
+	// DisableSingleFlight turns off deduplication of identical in-flight
+	// queries (on by default).
+	DisableSingleFlight bool
 	// MaxRows caps rows returned per response; clients may lower it per
 	// request but not exceed it (default 1000).
 	MaxRows int
@@ -104,6 +118,9 @@ func (c Config) withDefaults() Config {
 	if c.PlanCacheSize <= 0 {
 		c.PlanCacheSize = 128
 	}
+	if c.ResultCacheSize == 0 {
+		c.ResultCacheSize = 256
+	}
 	if c.MaxRows <= 0 {
 		c.MaxRows = 1000
 	}
@@ -113,14 +130,16 @@ func (c Config) withDefaults() Config {
 // Server serves heterogeneous queries over one core.Runtime. Construct with
 // New; Server implements http.Handler.
 type Server struct {
-	rt    *core.Runtime
-	opts  compiler.Options
-	cfg   Config
-	cache *compiler.PlanCache
-	adm   *admission
-	nl    *eide.NLTranslator
-	reg   *metrics.Registry
-	mux   *http.ServeMux
+	rt      *core.Runtime
+	opts    compiler.Options
+	cfg     Config
+	cache   *compiler.PlanCache
+	results *resultCache // nil when disabled
+	flight  *flightGroup // nil when disabled
+	adm     *admission
+	nl      *eide.NLTranslator
+	reg     *metrics.Registry
+	mux     *http.ServeMux
 }
 
 // New builds a server over the runtime. opts are the default compiler
@@ -135,6 +154,12 @@ func New(rt *core.Runtime, opts compiler.Options, cfg Config) *Server {
 		adm:   newAdmission(cfg.Workers, cfg.QueueDepth),
 		reg:   rt.Metrics(),
 		mux:   http.NewServeMux(),
+	}
+	if cfg.ResultCacheSize > 0 {
+		s.results = newResultCache(cfg.ResultCacheSize)
+	}
+	if !cfg.DisableSingleFlight {
+		s.flight = newFlightGroup()
 	}
 	if cfg.NL.enabled() {
 		s.nl = eide.NewNLTranslator(cfg.NL.Relational, cfg.NL.Timeseries, cfg.NL.Text, cfg.NL.ML)
@@ -151,6 +176,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // PlanCacheStats returns (hits, misses, size) of the plan cache.
 func (s *Server) PlanCacheStats() (hits, misses int64, size int) { return s.cache.Stats() }
+
+// ResultCacheStats returns (hits, misses, size) of the result cache; all
+// zero when result caching is disabled.
+func (s *Server) ResultCacheStats() (hits, misses int64, size int) {
+	if s.results == nil {
+		return 0, 0, 0
+	}
+	return s.reg.Counter("server.resultcache.hits").Value(),
+		s.reg.Counter("server.resultcache.misses").Value(),
+		s.results.size()
+}
 
 // QueryRequest is the POST /query body.
 type QueryRequest struct {
@@ -188,6 +224,14 @@ type QueryResponse struct {
 	NLRule string `json:"nl_rule,omitempty"`
 	// PlanCache is "hit" or "miss".
 	PlanCache string `json:"plan_cache"`
+	// ResultCache is "hit" or "miss" ("" when result caching is disabled).
+	ResultCache string `json:"result_cache,omitempty"`
+	// SingleFlight is true when this response shared another identical
+	// request's in-flight execution instead of running its own.
+	SingleFlight bool `json:"single_flight,omitempty"`
+	// DataVersion is the store mutation counter the result was computed
+	// (or cached) under.
+	DataVersion uint64 `json:"data_version"`
 	// Simulated execution outcome (see core.Report).
 	SimLatencySeconds float64 `json:"sim_latency_seconds"`
 	SimEnergyJoules   float64 `json:"sim_energy_joules"`
@@ -251,23 +295,6 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	if err := s.adm.acquire(ctx); err != nil {
-		switch {
-		case errors.Is(err, ErrOverloaded):
-			s.reg.Counter("server.rejected").Inc()
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, "%v", err)
-		case errors.Is(err, context.Canceled):
-			// Client hung up while queued; the status is never seen.
-			writeError(w, 499, "canceled while queued")
-		default:
-			s.reg.Counter("server.deadline").Inc()
-			writeError(w, http.StatusGatewayTimeout, "timed out waiting for a worker: %v", err)
-		}
-		return
-	}
-	defer s.adm.release()
-
 	opts := s.opts
 	if req.Level != nil {
 		opts.Level = *req.Level
@@ -275,49 +302,179 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Accel != nil {
 		opts.Accel = *req.Accel
 	}
-	plan, hit, err := s.cache.GetOrCompile(prog.Graph(), opts)
-	if err != nil {
-		s.reg.Counter("server.bad_request").Inc()
-		writeError(w, http.StatusBadRequest, "compile: %v", err)
-		return
-	}
-	if hit {
-		s.reg.Counter("server.plancache.hits").Inc()
-	} else {
-		s.reg.Counter("server.plancache.misses").Inc()
-	}
+	// One fingerprint pass serves both caches: the plan cache keys on the
+	// program + compiler options, the result cache and single-flight add the
+	// data version so results never outlive the data they were computed on.
+	planKey := compiler.Key(prog.Graph(), opts)
+	version := s.rt.DataVersion()
+	resKey := fmt.Sprintf("%s|v%d", planKey, version)
 
-	res, rep, err := s.rt.Execute(ctx, plan)
+	out, err := s.runQuery(ctx, planKey, resKey, version, prog.Graph(), opts)
 	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			s.reg.Counter("server.deadline").Inc()
-			writeError(w, http.StatusGatewayTimeout, "deadline exceeded after %s", timeout)
-			return
-		}
-		if errors.Is(err, context.Canceled) {
-			// Client went away; the status code is never seen.
-			writeError(w, 499, "canceled")
-			return
-		}
-		s.reg.Counter("server.exec_errors").Inc()
-		writeError(w, http.StatusInternalServerError, "execute: %v", err)
+		s.writeQueryError(w, err, timeout)
 		return
 	}
 
-	resp, err := s.encodeResults(&req, res, rep)
+	resp, err := s.encodeResults(&req, out.res, out.rep)
 	if err != nil {
 		s.reg.Counter("server.exec_errors").Inc()
 		writeError(w, http.StatusInternalServerError, "encode results: %v", err)
 		return
 	}
 	resp.NLRule = nlRule
-	if hit {
-		resp.PlanCache = "hit"
-	} else {
-		resp.PlanCache = "miss"
+	resp.PlanCache = hitMiss(out.planHit)
+	if s.results != nil {
+		resp.ResultCache = hitMiss(out.resultHit)
 	}
+	resp.SingleFlight = out.shared
+	resp.DataVersion = version
 	s.reg.Timer("server.request").Observe(time.Since(t0))
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func hitMiss(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// queryOutcome is one served query's results plus which layer produced them.
+type queryOutcome struct {
+	res       *core.Results
+	rep       *core.Report
+	planHit   bool
+	resultHit bool
+	shared    bool
+}
+
+// runQuery serves one compiled-and-executed query through the acceleration
+// layers, cheapest first: result cache (no admission — a map lookup does not
+// need a worker), then single-flight (followers wait without a slot), then
+// admission-controlled compile + execute.
+func (s *Server) runQuery(ctx context.Context, planKey, resKey string, version uint64, g *ir.Graph, opts compiler.Options) (queryOutcome, error) {
+	if s.results != nil {
+		if res, rep, ok := s.results.get(resKey); ok {
+			s.reg.Counter("server.resultcache.hits").Inc()
+			return queryOutcome{res: res, rep: rep, planHit: true, resultHit: true}, nil
+		}
+		s.reg.Counter("server.resultcache.misses").Inc()
+	}
+	if s.flight == nil {
+		res, rep, planHit, err := s.executeOnce(ctx, planKey, resKey, version, g, opts)
+		return queryOutcome{res: res, rep: rep, planHit: planHit}, err
+	}
+	var (
+		res     *core.Results
+		rep     *core.Report
+		planHit bool
+		shared  bool
+		err     error
+	)
+	// A leader that dies of its own context (canceled client, tighter
+	// deadline) fans its error out to every follower. Followers whose own
+	// context is still alive re-enter the flight group, so the retry wave
+	// elects exactly one new leader instead of stampeding admission.
+	for attempt := 0; ; attempt++ {
+		res, rep, planHit, shared, err = s.flight.do(ctx, resKey, func() (*core.Results, *core.Report, bool, error) {
+			return s.executeOnce(ctx, planKey, resKey, version, g, opts)
+		})
+		if shared && err != nil && ctx.Err() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			if attempt < 4 {
+				continue
+			}
+			// Retries exhausted on a run of dying leaders. The inherited
+			// context error is the leaders' condition, not this client's —
+			// reporting it raw would 499/504 a perfectly healthy request.
+			err = fmt.Errorf("%w (last leader: %v)", errLeadersGone, err)
+		}
+		break
+	}
+	if shared {
+		s.reg.Counter("server.singleflight.shared").Inc()
+	}
+	return queryOutcome{res: res, rep: rep, planHit: planHit, shared: shared}, err
+}
+
+// errLeadersGone reports that every single-flight leader a follower piggy-
+// backed on was canceled before finishing. Transient by construction, so it
+// maps to 503 + Retry-After rather than to the leaders' own 499/504.
+var errLeadersGone = errors.New("server: shared execution repeatedly canceled by its leaders; retry")
+
+// executeOnce acquires a worker, compiles (through the plan cache) and
+// executes, then publishes the outcome to the result cache.
+func (s *Server) executeOnce(ctx context.Context, planKey, resKey string, version uint64, g *ir.Graph, opts compiler.Options) (*core.Results, *core.Report, bool, error) {
+	if err := s.adm.acquire(ctx); err != nil {
+		return nil, nil, false, err
+	}
+	defer s.adm.release()
+
+	plan, hit, err := s.cache.GetOrCompileKeyed(planKey, g, opts)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if hit {
+		s.reg.Counter("server.plancache.hits").Inc()
+	} else {
+		s.reg.Counter("server.plancache.misses").Inc()
+	}
+	res, rep, err := s.rt.Execute(ctx, plan)
+	if err != nil {
+		return nil, nil, hit, err
+	}
+	// Publish only when the data version is still the one the key was built
+	// from: a store mutated mid-execution may have leaked into this result,
+	// which must not be addressable as a clean version-`version` snapshot.
+	// The requester still gets it — one response computed over moving data
+	// is the same contract a non-caching server gives.
+	if s.results != nil && s.rt.DataVersion() == version {
+		s.results.put(resKey, pruneToSinks(res), rep)
+	}
+	return res, rep, hit, nil
+}
+
+// pruneToSinks drops intermediate node values before caching: responses
+// only ever read sink values, and a cached entry pinning every migrated
+// intermediate batch for its LRU lifetime multiplies resident memory by the
+// plan's node count for no serving benefit.
+func pruneToSinks(res *core.Results) *core.Results {
+	if len(res.Values) == len(res.Sinks) {
+		return res
+	}
+	vals := make(map[ir.NodeID]adapter.Value, len(res.Sinks))
+	for _, s := range res.Sinks {
+		vals[s] = res.Values[s]
+	}
+	return &core.Results{Values: vals, Sinks: res.Sinks}
+}
+
+// writeQueryError maps a runQuery failure onto the wire: admission overload
+// (429), compile rejection (400), deadline (504), client cancellation (499),
+// execution failure (500).
+func (s *Server) writeQueryError(w http.ResponseWriter, err error, timeout time.Duration) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		s.reg.Counter("server.rejected").Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, compiler.ErrCompile):
+		s.reg.Counter("server.bad_request").Inc()
+		writeError(w, http.StatusBadRequest, "compile: %v", err)
+	case errors.Is(err, errLeadersGone):
+		s.reg.Counter("server.exec_errors").Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.reg.Counter("server.deadline").Inc()
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded after %s", timeout)
+	case errors.Is(err, context.Canceled):
+		// Client went away; the status code is never seen.
+		writeError(w, 499, "canceled")
+	default:
+		s.reg.Counter("server.exec_errors").Inc()
+		writeError(w, http.StatusInternalServerError, "execute: %v", err)
+	}
 }
 
 // buildProgram constructs the EIDE program selected by the request frontend.
@@ -451,13 +608,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// everything: serving gauges plus the runtime's own statistics.
 	_, _, size := s.cache.Stats()
 	s.reg.Gauge("server.plancache.size").Set(float64(size))
+	if s.results != nil {
+		s.reg.Gauge("server.resultcache.size").Set(float64(s.results.size()))
+	}
 	s.reg.Gauge("server.inflight").Set(float64(s.adm.inflight()))
+	s.reg.Gauge("server.data_version").Set(float64(s.rt.DataVersion()))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_ = s.reg.WriteText(w)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.cache.Stats()
+	resultSize := 0
+	if s.results != nil {
+		resultSize = s.results.size()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"requests":        s.reg.Counter("server.requests").Value(),
 		"rejected":        s.reg.Counter("server.rejected").Value(),
@@ -467,13 +632,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"plan_cache_hits": hits,
 		"plan_cache_miss": misses,
 		"plan_cache_size": size,
-		"inflight":        s.adm.inflight(),
-		"workers":         s.cfg.Workers,
-		"queue_depth":     max(0, s.cfg.QueueDepth),
-		"engines":         s.rt.Engines(),
-		"default_level":   s.opts.Level,
-		"default_accel":   s.opts.Accel,
-		"default_timeout": s.cfg.DefaultTimeout.String(),
+		// Result cache + single-flight (the serving accelerations of PR 2).
+		"result_cache_enabled": s.results != nil,
+		"result_cache_hits":    s.reg.Counter("server.resultcache.hits").Value(),
+		"result_cache_miss":    s.reg.Counter("server.resultcache.misses").Value(),
+		"result_cache_size":    resultSize,
+		"single_flight":        s.flight != nil,
+		"single_flight_shared": s.reg.Counter("server.singleflight.shared").Value(),
+		"data_version":         s.rt.DataVersion(),
+		// Executor concurrency: how plans were scheduled and the widest
+		// observed node parallelism inside one plan.
+		"executor_concurrent_plans": s.reg.Counter("core.exec.concurrent").Value(),
+		"executor_sequential_plans": s.reg.Counter("core.exec.sequential").Value(),
+		"executor_max_parallel":     s.reg.Gauge("core.exec.max_parallel").Value(),
+		"inflight":                  s.adm.inflight(),
+		"workers":                   s.cfg.Workers,
+		"queue_depth":               max(0, s.cfg.QueueDepth),
+		"engines":                   s.rt.Engines(),
+		"default_level":             s.opts.Level,
+		"default_accel":             s.opts.Accel,
+		"default_timeout":           s.cfg.DefaultTimeout.String(),
 	})
 }
 

@@ -19,10 +19,31 @@ import (
 // BenchmarkServeConcurrent is the serving-path benchmark: N concurrent
 // clients fire the same hot SQL query at one System and the benchmark
 // reports throughput (req/s) and tail latency (p50/p99 in microseconds).
-// Because the query repeats, steady state runs entirely out of the plan
-// cache — this is the trajectory later PRs should push (batching, sharded
-// engines, result caching).
+// Because the query repeats over unchanging data, steady state is served
+// from the result cache (single-flight merges the warmup); the NoDedup
+// variant below measures the raw execute path.
 func BenchmarkServeConcurrent(b *testing.B) {
+	benchServe(b, polystore.ServeConfig{
+		Workers:          16,
+		QueueDepth:       256,
+		DefaultSQLEngine: "db-clinical",
+	})
+}
+
+// BenchmarkServeConcurrentNoDedup disables the result cache and
+// single-flight, so every request compiles (through the plan cache) and
+// executes — the pre-dedup serving trajectory, kept for comparison.
+func BenchmarkServeConcurrentNoDedup(b *testing.B) {
+	benchServe(b, polystore.ServeConfig{
+		Workers:             16,
+		QueueDepth:          256,
+		DefaultSQLEngine:    "db-clinical",
+		ResultCacheSize:     -1,
+		DisableSingleFlight: true,
+	})
+}
+
+func benchServe(b *testing.B, cfg polystore.ServeConfig) {
 	data, err := datagen.GenerateClinical(rand.New(rand.NewSource(7)), 200)
 	if err != nil {
 		b.Fatal(err)
@@ -34,11 +55,7 @@ func BenchmarkServeConcurrent(b *testing.B) {
 		polystore.WithML("ml"),
 		polystore.WithAccelerators(hw.Coprocessor, hw.NewFPGA(), hw.NewGPU(), hw.NewTPU()),
 	)
-	ts := httptest.NewServer(sys.Handler(polystore.ServeConfig{
-		Workers:          16,
-		QueueDepth:       256,
-		DefaultSQLEngine: "db-clinical",
-	}))
+	ts := httptest.NewServer(sys.Handler(cfg))
 	defer ts.Close()
 
 	body := `{"frontend":"sql","statement":"SELECT pid, age FROM patients WHERE age > 60 ORDER BY age DESC LIMIT 10"}`

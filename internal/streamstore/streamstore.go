@@ -30,6 +30,8 @@ type Store struct {
 	mu      sync.RWMutex
 	name    string
 	streams map[string][]Event
+	// version counts appends; see Version.
+	version uint64
 }
 
 // New returns an empty stream store.
@@ -46,7 +48,18 @@ func (s *Store) Append(stream string, events ...Event) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.streams[stream] = append(s.streams[stream], events...)
+	if len(events) > 0 {
+		s.version++
+	}
 	return len(s.streams[stream])
+}
+
+// Version returns the store's monotonic mutation count. The serving layer
+// keys result caches on it, so appends invalidate cached window results.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
 }
 
 // Len returns the length of the named stream (0 when absent).

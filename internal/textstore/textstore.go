@@ -38,6 +38,16 @@ type Store struct {
 	name  string
 	docs  map[int64]*Doc
 	index map[string][]posting // term -> postings sorted by doc id
+	// version counts mutations (adds, deletes); see Version.
+	version uint64
+}
+
+// Version returns the store's monotonic mutation count. The serving layer
+// keys result caches on it, so index changes invalidate cached results.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
 }
 
 // New returns an empty text store.
@@ -85,6 +95,7 @@ func (s *Store) Add(doc Doc) error {
 		}
 		s.index[term] = ps
 	}
+	s.version++
 	return nil
 }
 
@@ -111,7 +122,10 @@ func (s *Store) removeLocked(id int64) {
 func (s *Store) Delete(id int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.removeLocked(id)
+	if _, ok := s.docs[id]; ok {
+		s.removeLocked(id)
+		s.version++
+	}
 }
 
 // Get returns the stored document.

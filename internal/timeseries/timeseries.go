@@ -106,6 +106,8 @@ type Store struct {
 	mu     sync.RWMutex
 	name   string
 	series map[string]*series
+	// version counts appends; result caches key on it (see Version).
+	version uint64
 }
 
 // New returns an empty store.
@@ -126,7 +128,19 @@ func (s *Store) Append(name string, ts int64, v float64) error {
 		sr = &series{}
 		s.series[name] = sr
 	}
-	return sr.append(ts, v)
+	if err := sr.append(ts, v); err != nil {
+		return err
+	}
+	s.version++
+	return nil
+}
+
+// Version returns the store's monotonic mutation count. The serving layer
+// keys result caches on it, so appends invalidate cached query results.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
 }
 
 // AppendBatch adds many points to the named series.

@@ -75,6 +75,7 @@ type System struct {
 	accels          []*hw.Device
 	mode            hw.Mode
 	migrator        *migrate.Migrator
+	rtOpts          []core.Option
 }
 
 // Option configures a System.
@@ -150,6 +151,18 @@ func WithSeed(seed int64) Option {
 	return func(sys *System) { sys.seed = seed }
 }
 
+// WithExecutorWorkers bounds concurrent node executions per engine queue in
+// the middleware's DAG scheduler (default 4).
+func WithExecutorWorkers(n int) Option {
+	return func(sys *System) { sys.rtOpts = append(sys.rtOpts, core.WithEngineWorkers(n)) }
+}
+
+// WithSequentialExecutor forces one-node-at-a-time plan execution — the
+// baseline for scheduler ablations.
+func WithSequentialExecutor() Option {
+	return func(sys *System) { sys.rtOpts = append(sys.rtOpts, core.WithSequentialExecutor()) }
+}
+
 // WithMigrator overrides the data migrator (e.g. to add serialization
 // offload).
 func WithMigrator(m *migrate.Migrator) Option {
@@ -172,7 +185,7 @@ func New(opts ...Option) *System {
 	if len(sys.accels) > 0 {
 		sys.opts.Accel = true
 	}
-	var rtOpts []core.Option
+	rtOpts := sys.rtOpts
 	if len(sys.accels) > 0 {
 		rtOpts = append(rtOpts, core.WithAccelerators(sys.mode, sys.accels...))
 	}
@@ -219,6 +232,11 @@ func (sys *System) Query(ctx context.Context, engine, sql string) (Value, error)
 
 // Metrics exposes the middleware's runtime-statistics registry.
 func (sys *System) Metrics() *metrics.Registry { return sys.runtime.Metrics() }
+
+// DataVersion returns the sum of the registered stores' mutation counters —
+// the value the serving layer keys result caches on. Any store write
+// changes it.
+func (sys *System) DataVersion() uint64 { return sys.runtime.DataVersion() }
 
 // Host returns the host CPU device model.
 func (sys *System) Host() *hw.Device { return sys.host }
