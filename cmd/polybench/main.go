@@ -11,6 +11,15 @@
 //
 //	polybench -loadgen -url http://localhost:8080 -clients 16 -requests 800 \
 //	  -body '{"frontend":"sql","engine":"db-clinical","statement":"SELECT count(*) AS n FROM patients"}'
+//
+//	# 95/5 mixed read/write: every 20th request writes a timeseries point.
+//	# %d becomes a monotonic counter; with concurrent clients put it in the
+//	# series name (one series per write) rather than the timestamp, since
+//	# arrival order is not send order and timestamps must strictly increase
+//	# within a series.
+//	polybench -loadgen -write-every 20 \
+//	  -body '{"frontend":"sql","engine":"db-clinical","statement":"SELECT count(*) AS n FROM patients"}' \
+//	  -write-body '{"engine":"ts-vitals","series":"loadgen/s%d","ts":1,"value":70}'
 package main
 
 import (
@@ -22,6 +31,8 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -58,8 +69,10 @@ func main() {
 	url := flag.String("url", "http://localhost:8080", "polyserve base URL (loadgen)")
 	clients := flag.Int("clients", 8, "concurrent clients (loadgen)")
 	requests := flag.Int("requests", 400, "total requests across all clients (loadgen)")
-	var bodies bodyList
+	writeEvery := flag.Int("write-every", 0, "loadgen: make every Nth request a POST /ingest write (0 disables; 20 = a 95/5 read/write mix)")
+	var bodies, writeBodies bodyList
 	flag.Var(&bodies, "body", "POST /query JSON body (repeatable; clients cycle through them)")
+	flag.Var(&writeBodies, "write-body", "POST /ingest JSON body for -write-every (repeatable; %d in the body is replaced by a monotonic counter — with concurrent clients put it in the series/key name, not a timestamp, since arrival order is not send order)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -69,7 +82,7 @@ func main() {
 	}
 
 	if *loadgen {
-		if err := runLoadgen(*url, *clients, *requests, bodies); err != nil {
+		if err := runLoadgen(*url, *clients, *requests, bodies, *writeEvery, writeBodies); err != nil {
 			fmt.Fprintf(os.Stderr, "polybench: loadgen: %v\n", err)
 			os.Exit(1)
 		}
@@ -104,15 +117,21 @@ func main() {
 	}
 }
 
-// runLoadgen fires `requests` POST /query calls from `clients` goroutines
-// and prints throughput plus latency percentiles — the first serving-path
-// benchmark trajectory (wall-clock this time, not simulated).
-func runLoadgen(baseURL string, clients, requests int, bodies []string) error {
+// runLoadgen fires `requests` calls from `clients` goroutines and prints
+// throughput plus latency percentiles — the serving-path benchmark
+// trajectory (wall-clock this time, not simulated). With writeEvery > 0,
+// every Nth request becomes a POST /ingest write cycling through
+// writeBodies: the mixed read/write mode that exercises the result cache's
+// surgical (version-vector) invalidation.
+func runLoadgen(baseURL string, clients, requests int, bodies []string, writeEvery int, writeBodies []string) error {
 	if clients < 1 || requests < 1 {
 		return fmt.Errorf("-clients and -requests must be >= 1")
 	}
 	if len(bodies) == 0 {
 		bodies = []string{`{"frontend":"sql","statement":"SELECT count(*) AS n FROM patients"}`}
+	}
+	if writeEvery > 0 && len(writeBodies) == 0 {
+		return fmt.Errorf("-write-every needs at least one -write-body")
 	}
 	// Fail fast if the server is not up (or the URL points at something
 	// that is not a polyserve).
@@ -128,14 +147,34 @@ func runLoadgen(baseURL string, clients, requests int, bodies []string) error {
 	}
 
 	var (
-		mu        sync.Mutex
-		latencies []time.Duration
-		status    = map[int]int{}
-		netErrs   int
+		mu         sync.Mutex
+		latencies  []time.Duration
+		status     = map[int]int{}
+		netErrs    int
+		reads      int
+		writes     int
+		writeSeq   int64
+		writeCount int
 	)
-	work := make(chan string, requests)
+	type call struct {
+		path string
+		body string
+	}
+	work := make(chan call, requests)
 	for i := 0; i < requests; i++ {
-		work <- bodies[i%len(bodies)]
+		if writeEvery > 0 && (i+1)%writeEvery == 0 {
+			body := writeBodies[writeCount%len(writeBodies)]
+			writeCount++
+			// Replace only the literal %d token: the body is user JSON, not
+			// a format string (a stray "%" must survive untouched).
+			if strings.Contains(body, "%d") {
+				writeSeq++
+				body = strings.Replace(body, "%d", strconv.FormatInt(writeSeq, 10), 1)
+			}
+			work <- call{path: "/ingest", body: body}
+			continue
+		}
+		work <- call{path: "/query", body: bodies[i%len(bodies)]}
 	}
 	close(work)
 
@@ -145,20 +184,24 @@ func runLoadgen(baseURL string, clients, requests int, bodies []string) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for body := range work {
+			for w := range work {
 				rt0 := time.Now()
-				resp, err := hc.Post(baseURL+"/query", "application/json", bytes.NewReader([]byte(body)))
+				resp, err := hc.Post(baseURL+w.path, "application/json", bytes.NewReader([]byte(w.body)))
 				lat := time.Since(rt0)
 				mu.Lock()
+				if w.path == "/ingest" {
+					writes++
+				} else {
+					reads++
+				}
 				if err != nil {
 					netErrs++
 				} else {
 					status[resp.StatusCode]++
-					// Only served responses feed the latency/throughput
-					// stats: a near-instant 429 or 504 measures rejection
-					// speed, not serving latency, and would flatter the
-					// headline numbers exactly when the server is drowning.
-					if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+					// Only served reads feed the latency/throughput stats: a
+					// near-instant 429 or 504 measures rejection speed, not
+					// serving latency, and writes measure a different path.
+					if w.path == "/query" && resp.StatusCode >= 200 && resp.StatusCode < 300 {
 						latencies = append(latencies, lat)
 					}
 				}
@@ -182,9 +225,15 @@ func runLoadgen(baseURL string, clients, requests int, bodies []string) error {
 		return latencies[i]
 	}
 	fmt.Printf("loadgen: %d requests, %d clients, %d distinct bodies\n", requests, clients, len(bodies))
+	if writes > 0 {
+		fmt.Printf("  mix         %d reads / %d writes (every %d)\n", reads, writes, writeEvery)
+	}
 	fmt.Printf("  elapsed     %s\n", elapsed.Round(time.Millisecond))
-	fmt.Printf("  served      %d of %d (throughput %.1f req/s)\n",
-		len(latencies), requests, float64(len(latencies))/elapsed.Seconds())
+	// Throughput counts served reads only: near-instant 429/504 rejections
+	// (and writes, which measure a different path) would flatter the
+	// headline number exactly when the server is drowning.
+	fmt.Printf("  served      %d of %d reads (throughput %.1f req/s)\n",
+		len(latencies), reads, float64(len(latencies))/elapsed.Seconds())
 	fmt.Printf("  latency     p50=%s p95=%s p99=%s max=%s (served only)\n",
 		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))

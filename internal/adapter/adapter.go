@@ -81,6 +81,39 @@ type DataVersioner interface {
 	DataVersion() uint64
 }
 
+// Ingest is one serving-path write routed to an engine. Exactly one field
+// group applies per engine family; adapters reject writes they cannot
+// express.
+type Ingest struct {
+	// Relational: append one row to Table.
+	Table string
+	Row   []any
+	// Timeseries: append one point to Series.
+	Series string
+	TS     int64
+	Value  float64
+	// Key/value: put Data under Key.
+	Key  string
+	Data []byte
+}
+
+// Ingestor is implemented by adapters whose engine accepts serving-path
+// writes — the mixed read/write workload's write half. Writes bump the
+// store's data version, so cached results over the written data stop being
+// addressable.
+type Ingestor interface {
+	Ingest(ctx context.Context, w Ingest) error
+}
+
+// ScopedVersioner narrows DataVersioner to named resources: the relational
+// adapter reports the summed mutation counts of exactly the given tables, so
+// the serving layer can key cached results on the tables a plan actually
+// reads instead of the whole store. Implementations must be monotonic over
+// any fixed resource set and change whenever a named resource mutates.
+type ScopedVersioner interface {
+	ScopedVersion(resources []string) uint64
+}
+
 // batchSource adapts an in-memory batch to a relational.Operator so native
 // Volcano operators can run over migrated intermediate results.
 type batchSource struct {
@@ -100,3 +133,9 @@ func (s *batchSource) Next(context.Context) (*cast.Batch, error) {
 	s.pos = 1
 	return s.b, nil
 }
+
+// Bulk implements relational.BulkSource so the native operators above a
+// migrated intermediate result can partition it and fan out.
+func (s *batchSource) Bulk(ctx context.Context) (*cast.Batch, error) { return s.Next(ctx) }
+
+var _ relational.BulkSource = (*batchSource)(nil)

@@ -191,6 +191,14 @@ func (a *Timeseries) Engine() string { return a.name }
 // DataVersion implements DataVersioner.
 func (a *Timeseries) DataVersion() uint64 { return a.store.Version() }
 
+// Ingest implements Ingestor: append one point to a series.
+func (a *Timeseries) Ingest(_ context.Context, w Ingest) error {
+	if w.Series == "" {
+		return fmt.Errorf("%w: timeseries ingest needs a series", ErrBadInput)
+	}
+	return a.store.Append(w.Series, w.TS, w.Value)
+}
+
 // Execute implements Adapter.
 func (a *Timeseries) Execute(_ context.Context, n *ir.Node, _ []Value) (Value, ExecInfo, error) {
 	info := ExecInfo{RuleNodes: 1}
@@ -416,6 +424,15 @@ func (a *KV) Engine() string { return a.name }
 
 // DataVersion implements DataVersioner.
 func (a *KV) DataVersion() uint64 { return a.store.Version() }
+
+// Ingest implements Ingestor: put a value under a key.
+func (a *KV) Ingest(_ context.Context, w Ingest) error {
+	if w.Key == "" {
+		return fmt.Errorf("%w: kv ingest needs a key", ErrBadInput)
+	}
+	a.store.Put(w.Key, w.Data)
+	return nil
+}
 
 // Execute implements Adapter.
 func (a *KV) Execute(_ context.Context, n *ir.Node, _ []Value) (Value, ExecInfo, error) {

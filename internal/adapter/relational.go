@@ -29,6 +29,40 @@ func (a *Relational) Engine() string { return a.name }
 // DataVersion implements DataVersioner.
 func (a *Relational) DataVersion() uint64 { return a.engine.Store().Version() }
 
+// ScopedVersion implements ScopedVersioner: the summed mutation counts of
+// exactly the named tables (missing tables read as 0 until created).
+func (a *Relational) ScopedVersion(tables []string) uint64 {
+	return a.engine.Store().VersionOf(tables)
+}
+
+// Ingest implements Ingestor: append one row to a table. Row values arrive
+// from JSON, so numbers are coerced to the column types (float64 -> int64
+// for integer and timestamp columns when the value is integral).
+func (a *Relational) Ingest(_ context.Context, w Ingest) error {
+	if w.Table == "" {
+		return fmt.Errorf("%w: relational ingest needs a table", ErrBadInput)
+	}
+	t, err := a.engine.Store().Table(w.Table)
+	if err != nil {
+		return err
+	}
+	schema := t.Schema()
+	if len(w.Row) != schema.Len() {
+		return fmt.Errorf("%w: %d values for %d columns of %q", ErrBadInput, len(w.Row), schema.Len(), w.Table)
+	}
+	vals := make([]any, len(w.Row))
+	for i, v := range w.Row {
+		switch schema.Col(i).Type {
+		case cast.Int64, cast.Timestamp:
+			if f, ok := v.(float64); ok && f == float64(int64(f)) {
+				v = int64(f)
+			}
+		}
+		vals[i] = v
+	}
+	return t.Insert(vals...)
+}
+
 // Execute implements Adapter.
 func (a *Relational) Execute(ctx context.Context, n *ir.Node, inputs []Value) (Value, ExecInfo, error) {
 	info := ExecInfo{RuleNodes: 1}

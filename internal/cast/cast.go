@@ -449,6 +449,32 @@ func (b *Batch) View() *Batch {
 	return &Batch{schema: b.schema, cols: cols, rows: b.rows}
 }
 
+// ViewRange returns a read-only view of rows [lo, hi) sharing b's column
+// storage — no data is copied. It carries the same aliasing contract as
+// View (safe against append-only growth of b, must not be mutated); the
+// backing slices are capacity-clamped so even an erroneous append to the
+// view cannot clobber b's rows. Partition-parallel scans use it to hand each
+// worker a zero-copy row range.
+func (b *Batch) ViewRange(lo, hi int) (*Batch, error) {
+	if lo < 0 || hi > b.rows || lo > hi {
+		return nil, fmt.Errorf("%w: [%d,%d) of %d", ErrRowOutOfRange, lo, hi, b.rows)
+	}
+	out := &Batch{schema: b.schema, cols: make([]column, len(b.cols)), rows: hi - lo}
+	for i := range b.cols {
+		switch b.schema.Col(i).Type {
+		case Int64, Timestamp:
+			out.cols[i].ints = b.cols[i].ints[lo:hi:hi]
+		case Float64:
+			out.cols[i].flts = b.cols[i].flts[lo:hi:hi]
+		case String:
+			out.cols[i].strs = b.cols[i].strs[lo:hi:hi]
+		case Bool:
+			out.cols[i].bools = b.cols[i].bools[lo:hi:hi]
+		}
+	}
+	return out, nil
+}
+
 // Slice returns a new batch holding rows [lo, hi). Data is copied so the
 // result is independent of the receiver.
 func (b *Batch) Slice(lo, hi int) (*Batch, error) {

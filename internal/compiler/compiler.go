@@ -49,6 +49,9 @@ type Plan struct {
 	Graph  *ir.Graph
 	Stages [][]ir.NodeID
 	Opts   Options
+	// Touches records which engines (and relational tables) the plan reads;
+	// the serving layer versions result-cache keys against exactly this set.
+	Touches Touches
 }
 
 // Compile runs frontend checks, core passes, and the backend lowering.
@@ -98,7 +101,7 @@ func Compile(g *ir.Graph, opts Options) (*Plan, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCompile, err)
 	}
-	return &Plan{Graph: work, Stages: stages, Opts: opts}, nil
+	return &Plan{Graph: work, Stages: stages, Opts: opts, Touches: TouchesOf(work)}, nil
 }
 
 // pushdownAcrossEngines moves Filter and Project nodes that consume a

@@ -1,0 +1,108 @@
+package compiler
+
+import (
+	"sort"
+
+	"polystorepp/internal/ir"
+	"polystorepp/internal/relational"
+)
+
+// Touches records the stored data a program reads: which engine instances,
+// and — for relational engines, where scans name their tables — which
+// tables. The serving layer keys result caches on the data versions of
+// exactly this set (core.Runtime.VersionVector), so a write to an engine or
+// table a plan never reads leaves its cached results valid: the surgical
+// invalidation the ROADMAP's "per-table data versions" item asks for.
+type Touches struct {
+	// ByEngine maps each touched engine instance to the sorted table names
+	// its reads are confined to. A nil value means the whole engine must be
+	// versioned (non-relational reads, or relational reads whose tables
+	// cannot be determined statically); an empty non-nil slice means the
+	// engine executes only pure dataflow operators over migrated inputs and
+	// reads no stored data at all.
+	ByEngine map[string][]string
+}
+
+// Engines returns the touched engine names, sorted.
+func (t Touches) Engines() []string {
+	out := make([]string, 0, len(t.ByEngine))
+	for e := range t.ByEngine {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// pureKinds are operators that consume only their dataflow inputs and never
+// read engine storage, so they contribute no version dependency no matter
+// which engine hosts them.
+var pureKinds = map[ir.OpKind]bool{
+	ir.OpFilter: true, ir.OpProject: true, ir.OpHashJoin: true,
+	ir.OpMergeJoin: true, ir.OpSort: true, ir.OpGroupBy: true,
+	ir.OpLimit: true, ir.OpTrain: true, ir.OpPredict: true,
+	ir.OpKMeans: true, ir.OpGEMM: true, ir.OpUnion: true,
+	ir.OpMap: true, ir.OpReduce: true,
+}
+
+// TouchesOf computes the data a program graph reads. It is deliberately
+// conservative: any storage-reading operator whose tables cannot be named
+// statically widens its engine to whole-engine versioning, and unknown
+// operator kinds count as storage reads. The result depends only on the
+// graph, so callers may cache it under the graph's fingerprint.
+func TouchesOf(g *ir.Graph) Touches {
+	tables := make(map[string]map[string]bool)
+	whole := make(map[string]bool)
+	var walk func(g *ir.Graph)
+	walk = func(g *ir.Graph) {
+		for _, n := range g.Nodes() {
+			if n.Body != nil {
+				walk(n.Body)
+			}
+			if n.Engine == "" {
+				continue // middleware nodes (migrations)
+			}
+			if _, ok := tables[n.Engine]; !ok {
+				tables[n.Engine] = make(map[string]bool)
+			}
+			switch {
+			case pureKinds[n.Kind]:
+				// No storage read.
+			case n.Kind == ir.OpScan || n.Kind == ir.OpIndexScan:
+				if t := n.StringAttr("table"); t != "" {
+					tables[n.Engine][t] = true
+				} else {
+					whole[n.Engine] = true
+				}
+			case n.Kind == ir.OpSQL:
+				stmt, err := relational.Parse(n.StringAttr("sql"))
+				if err != nil {
+					whole[n.Engine] = true
+					break
+				}
+				tables[n.Engine][stmt.From] = true
+				for _, jc := range stmt.Joins {
+					tables[n.Engine][jc.Table] = true
+				}
+			default:
+				// Every other kind (graph/text/ts/stream/kv reads, future
+				// operators) reads engine storage without table scoping.
+				whole[n.Engine] = true
+			}
+		}
+	}
+	walk(g)
+	out := Touches{ByEngine: make(map[string][]string, len(tables))}
+	for e, ts := range tables {
+		if whole[e] {
+			out.ByEngine[e] = nil
+			continue
+		}
+		names := make([]string, 0, len(ts))
+		for t := range ts {
+			names = append(names, t)
+		}
+		sort.Strings(names)
+		out.ByEngine[e] = names
+	}
+	return out
+}

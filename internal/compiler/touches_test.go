@@ -1,0 +1,86 @@
+package compiler
+
+import (
+	"reflect"
+	"testing"
+
+	"polystorepp/internal/eide"
+	"polystorepp/internal/ir"
+)
+
+func TestTouchesOfSQLProgram(t *testing.T) {
+	p := eide.NewProgram()
+	if _, err := p.SQL("db", "SELECT pid FROM patients JOIN visits ON pid = pid WHERE age > 3"); err != nil {
+		t.Fatal(err)
+	}
+	got := TouchesOf(p.Graph())
+	want := map[string][]string{"db": {"patients", "visits"}}
+	if !reflect.DeepEqual(got.ByEngine, want) {
+		t.Fatalf("ByEngine = %v, want %v", got.ByEngine, want)
+	}
+}
+
+func TestTouchesOfOpaqueSQLNode(t *testing.T) {
+	g := ir.NewGraph()
+	g.Add(ir.OpSQL, "db", map[string]any{"sql": "SELECT count(*) AS n FROM visits"})
+	got := TouchesOf(g)
+	want := map[string][]string{"db": {"visits"}}
+	if !reflect.DeepEqual(got.ByEngine, want) {
+		t.Fatalf("ByEngine = %v, want %v", got.ByEngine, want)
+	}
+	// Unparseable SQL must widen to whole-engine (nil).
+	g2 := ir.NewGraph()
+	g2.Add(ir.OpSQL, "db", map[string]any{"sql": "NOT SQL AT ALL"})
+	got2 := TouchesOf(g2)
+	if v, ok := got2.ByEngine["db"]; !ok || v != nil {
+		t.Fatalf("unparseable SQL: ByEngine[db] = %v (present %v), want nil (whole engine)", v, ok)
+	}
+}
+
+func TestTouchesOfMultiEngine(t *testing.T) {
+	p := eide.NewProgram()
+	if _, err := p.SQL("db", "SELECT pid FROM patients"); err != nil {
+		t.Fatal(err)
+	}
+	p.TSWindow("ts", "vitals/1/hr", 0, 100, 10, "mean")
+	p.KVScan("kv", "session/")
+	got := TouchesOf(p.Graph())
+	if tables := got.ByEngine["db"]; !reflect.DeepEqual(tables, []string{"patients"}) {
+		t.Fatalf("db tables = %v", tables)
+	}
+	for _, e := range []string{"ts", "kv"} {
+		if v, ok := got.ByEngine[e]; !ok || v != nil {
+			t.Fatalf("engine %s: = %v (present %v), want whole-engine nil", e, v, ok)
+		}
+	}
+	if engines := got.Engines(); !reflect.DeepEqual(engines, []string{"db", "kv", "ts"}) {
+		t.Fatalf("Engines() = %v", engines)
+	}
+}
+
+// TestTouchesPureEngineContributesNothing checks an engine hosting only pure
+// dataflow operators (e.g. a filter pushed onto the ML runtime) records an
+// empty — not nil — table set, so it adds no version dependency.
+func TestTouchesPureEngineContributesNothing(t *testing.T) {
+	g := ir.NewGraph()
+	scan := g.Add(ir.OpScan, "db", map[string]any{"table": "patients"})
+	g.Add(ir.OpFilter, "ml", map[string]any{}, scan)
+	got := TouchesOf(g)
+	if v, ok := got.ByEngine["ml"]; !ok || v == nil || len(v) != 0 {
+		t.Fatalf("ml = %v (present %v), want empty non-nil set", v, ok)
+	}
+}
+
+func TestCompileRecordsTouches(t *testing.T) {
+	p := eide.NewProgram()
+	if _, err := p.SQL("db", "SELECT pid FROM patients WHERE age > 60"); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(p.Graph(), Options{Level: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables := plan.Touches.ByEngine["db"]; !reflect.DeepEqual(tables, []string{"patients"}) {
+		t.Fatalf("plan touches db tables = %v, want [patients]", tables)
+	}
+}

@@ -178,6 +178,60 @@ func (r *Runtime) DataVersion() uint64 {
 	return v
 }
 
+// Ingest routes one serving-path write to the named engine's adapter.
+func (r *Runtime) Ingest(ctx context.Context, engine string, w adapter.Ingest) error {
+	a, ok := r.adapters[engine]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoAdapter, engine)
+	}
+	ing, ok := a.(adapter.Ingestor)
+	if !ok {
+		return fmt.Errorf("%w: engine %q does not accept writes", ErrExec, engine)
+	}
+	return ing.Ingest(ctx, w)
+}
+
+// VersionVector renders the data versions of exactly the engines (and, for
+// relational engines, tables) in t as a canonical "engine=version,..."
+// string — the per-engine version vector the serving layer appends to result
+// cache keys. Engines whose reads are table-scoped use the adapter's
+// ScopedVersion; whole-engine reads use DataVersion; engines that read no
+// stored data (pure operators over migrated inputs) and engines without a
+// versioner (the ML engine) contribute nothing. Every component is
+// monotonic, so two equal vectors bracket an interval in which none of the
+// touched data changed — writes to untouched engines change nothing here,
+// which is what keeps their cached results addressable.
+func (r *Runtime) VersionVector(t compiler.Touches) string {
+	var sb strings.Builder
+	for _, e := range t.Engines() {
+		a, ok := r.adapters[e]
+		if !ok {
+			continue
+		}
+		tables := t.ByEngine[e]
+		var v uint64
+		switch {
+		case tables != nil && len(tables) == 0:
+			continue // pure dataflow on this engine: no version dependency
+		case tables != nil:
+			sv, ok := a.(adapter.ScopedVersioner)
+			if ok {
+				v = sv.ScopedVersion(tables)
+				break
+			}
+			fallthrough
+		default:
+			dv, ok := a.(adapter.DataVersioner)
+			if !ok {
+				continue
+			}
+			v = dv.DataVersion()
+		}
+		fmt.Fprintf(&sb, "%s=%d,", e, v)
+	}
+	return sb.String()
+}
+
 // NodeReport records one node's execution.
 type NodeReport struct {
 	Node    ir.NodeID

@@ -2,15 +2,23 @@
 // Accumulo/Redis role in Figure 1: external events and session state).
 // It provides versioned values, TTL expiry on a caller-supplied clock, and
 // prefix scans. All operations are safe for concurrent use.
+//
+// Storage is hash-sharded: keys map onto fixed buckets, each with its own
+// lock, mutation counter, and expiry watermark, so point reads and writes on
+// different keys never contend on a store-wide mutex and prefix scans fan
+// out one task per shard over the shared scan pool (internal/partition).
 package kvstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"polystorepp/internal/partition"
 )
 
 // Sentinel errors.
@@ -27,20 +35,30 @@ type Entry struct {
 	ExpiresAt time.Time // zero means never
 }
 
+// numShards is the fixed hash-shard count. A power of two so the bucket
+// index is a mask; 16 buckets keeps per-shard maps dense while letting point
+// operations on a many-core host proceed essentially uncontended.
+const numShards = 16
+
+// shard is one hash bucket: an independently locked slice of the keyspace.
+type shard struct {
+	mu   sync.RWMutex
+	data map[string][]Entry // versions, ascending
+	// version counts this shard's mutations (puts, deletes, compactions);
+	// distinct from per-key entry versions. See Store.Version.
+	version uint64
+	// nextExpiry is the earliest ExpiresAt among this shard's TTL entries
+	// (zero when none expire). TTL expiry changes read results without a
+	// write, so the shard version bumps lazily when the clock passes it.
+	nextExpiry time.Time
+}
+
 // Store is an in-memory versioned KV store. The zero value is not usable;
 // construct with New.
 type Store struct {
-	mu   sync.RWMutex
-	name string
-	data map[string][]Entry // versions, ascending
-	now  func() time.Time
-	// version counts store-wide mutations (puts, deletes, compactions);
-	// distinct from per-key entry versions. See Version.
-	version uint64
-	// nextExpiry is the earliest ExpiresAt among stored TTL entries (zero
-	// when none expire). TTL expiry changes read results without a write, so
-	// Version bumps lazily when the clock passes this watermark.
-	nextExpiry time.Time
+	name   string
+	now    func() time.Time
+	shards [numShards]shard
 }
 
 // Option configures a Store.
@@ -53,7 +71,10 @@ func WithClock(now func() time.Time) Option {
 
 // New returns an empty store.
 func New(name string, opts ...Option) *Store {
-	s := &Store{name: name, data: make(map[string][]Entry), now: time.Now}
+	s := &Store{name: name, now: time.Now}
+	for i := range s.shards {
+		s.shards[i].data = make(map[string][]Entry)
+	}
 	for _, o := range opts {
 		o(s)
 	}
@@ -63,6 +84,16 @@ func New(name string, opts ...Option) *Store {
 // Name returns the store instance name.
 func (s *Store) Name() string { return s.name }
 
+// shardFor hashes key onto its bucket (FNV-1a).
+func (s *Store) shardFor(key string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &s.shards[h&(numShards-1)]
+}
+
 // Put stores value under key with no expiry, returning the new version.
 func (s *Store) Put(key string, value []byte) int64 {
 	return s.PutTTL(key, value, 0)
@@ -70,9 +101,10 @@ func (s *Store) Put(key string, value []byte) int64 {
 
 // PutTTL stores value under key, expiring after ttl (0 = never).
 func (s *Store) PutTTL(key string, value []byte, ttl time.Duration) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	versions := s.data[key]
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	versions := sh.data[key]
 	ver := int64(1)
 	if len(versions) > 0 {
 		ver = versions[len(versions)-1].Version + 1
@@ -82,53 +114,65 @@ func (s *Store) PutTTL(key string, value []byte, ttl time.Duration) int64 {
 	e := Entry{Value: own, Version: ver, WrittenAt: s.now()}
 	if ttl > 0 {
 		e.ExpiresAt = e.WrittenAt.Add(ttl)
-		if s.nextExpiry.IsZero() || e.ExpiresAt.Before(s.nextExpiry) {
-			s.nextExpiry = e.ExpiresAt
+		if sh.nextExpiry.IsZero() || e.ExpiresAt.Before(sh.nextExpiry) {
+			sh.nextExpiry = e.ExpiresAt
 		}
 	}
-	s.data[key] = append(versions, e)
-	s.version++
+	sh.data[key] = append(versions, e)
+	sh.version++
 	return ver
 }
 
-// Version returns the store-wide monotonic mutation count. The serving
-// layer keys result caches on it, so writes invalidate cached results —
-// and so does TTL expiry: crossing an expiry watermark counts as one
-// mutation, since reads change visibility without any write.
+// Version returns the store-wide monotonic mutation count: the sum of the
+// per-shard counters. The serving layer keys result caches on it, so writes
+// invalidate cached results — and so does TTL expiry: a shard crossing an
+// expiry watermark counts as one mutation, since reads change visibility
+// without any write. Each per-shard counter is monotonic, so the sum is too.
 //
-// The common no-expiry case runs under the read lock: Version sits on the
-// serving hot path (at least twice per request), and taking the write lock
-// there would serialize all workers on this store.
+// The common no-expiry case runs under shard read locks only: Version sits
+// on the serving hot path (at least twice per request), and a store-wide
+// write lock there would serialize all workers on this store.
 func (s *Store) Version() uint64 {
-	s.mu.RLock()
-	v, expired := s.version, !s.nextExpiry.IsZero() && !s.now().Before(s.nextExpiry)
-	s.mu.RUnlock()
+	var v uint64
+	for i := range s.shards {
+		v += s.shards[i].versionNow(s.now)
+	}
+	return v
+}
+
+// versionNow returns the shard's mutation count, lazily charging one bump
+// when the clock has passed the shard's expiry watermark.
+func (sh *shard) versionNow(now func() time.Time) uint64 {
+	sh.mu.RLock()
+	v, expired := sh.version, !sh.nextExpiry.IsZero() && !now().Before(sh.nextExpiry)
+	sh.mu.RUnlock()
 	if !expired {
 		return v
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	// Re-check under the write lock: another caller may have advanced past
 	// this watermark already.
-	if !s.nextExpiry.IsZero() && !s.now().Before(s.nextExpiry) {
-		s.version++
-		s.advanceExpiryLocked()
+	if !sh.nextExpiry.IsZero() && !now().Before(sh.nextExpiry) {
+		sh.version++
+		sh.advanceExpiryLocked(now)
 	}
-	return s.version
+	return sh.version
 }
 
-// advanceExpiryLocked recomputes the earliest future ExpiresAt. All entries
-// already expired are covered by the version bump that triggered this scan.
-func (s *Store) advanceExpiryLocked() {
-	now := s.now()
-	s.nextExpiry = time.Time{}
-	for _, versions := range s.data {
+// advanceExpiryLocked recomputes the shard's earliest future ExpiresAt. All
+// entries already expired are covered by the version bump that triggered
+// this scan.
+func (sh *shard) advanceExpiryLocked(nowFn func() time.Time) {
+	now := nowFn()
+	sh.nextExpiry = time.Time{}
+	for _, versions := range sh.data {
 		for _, e := range versions {
 			if e.ExpiresAt.IsZero() || !now.Before(e.ExpiresAt) {
 				continue
 			}
-			if s.nextExpiry.IsZero() || e.ExpiresAt.Before(s.nextExpiry) {
-				s.nextExpiry = e.ExpiresAt
+			if sh.nextExpiry.IsZero() || e.ExpiresAt.Before(sh.nextExpiry) {
+				sh.nextExpiry = e.ExpiresAt
 			}
 		}
 	}
@@ -147,9 +191,10 @@ func (s *Store) Get(key string) ([]byte, error) {
 
 // GetEntry returns the latest live entry for key.
 func (s *Store) GetEntry(key string) (Entry, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	versions, ok := s.data[key]
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	versions, ok := sh.data[key]
 	if !ok || len(versions) == 0 {
 		return Entry{}, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
@@ -162,9 +207,10 @@ func (s *Store) GetEntry(key string) (Entry, error) {
 
 // GetVersion returns a specific version of key (even if a newer one exists).
 func (s *Store) GetVersion(key string, version int64) (Entry, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, e := range s.data[key] {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, e := range sh.data[key] {
 		if e.Version == version {
 			return e, nil
 		}
@@ -174,44 +220,78 @@ func (s *Store) GetVersion(key string, version int64) (Entry, error) {
 
 // Delete removes all versions of key. Deleting a missing key is a no-op.
 func (s *Store) Delete(key string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.data[key]; ok {
-		delete(s.data, key)
-		s.version++
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.data[key]; ok {
+		delete(sh.data, key)
+		sh.version++
 	}
 }
 
 // Len returns the number of live keys (expired keys are excluded).
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	n := 0
 	now := s.now()
-	for _, versions := range s.data {
-		e := versions[len(versions)-1]
-		if e.ExpiresAt.IsZero() || now.Before(e.ExpiresAt) {
-			n++
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, versions := range sh.data {
+			e := versions[len(versions)-1]
+			if e.ExpiresAt.IsZero() || now.Before(e.ExpiresAt) {
+				n++
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
 
-// ScanPrefix returns the live keys with the given prefix, sorted.
+// ScanPrefix returns the live keys with the given prefix, sorted. Large
+// stores fan out one task per shard over the shared scan pool and merge, so
+// the sweep runs at memory bandwidth across cores while the result stays
+// identical to a sequential one; small stores (the common session-state
+// case) are swept inline, matching the other engines' "small inputs stay
+// sequential" gate.
 func (s *Store) ScanPrefix(prefix string) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	now := s.now()
-	out := make([]string, 0, 16)
-	for k, versions := range s.data {
-		if !strings.HasPrefix(k, prefix) {
-			continue
+	keys := 0
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		keys += len(s.shards[i].data)
+		s.shards[i].mu.RUnlock()
+	}
+	var perShard [numShards][]string
+	scan := func(i int) error {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		for k, versions := range sh.data {
+			if !strings.HasPrefix(k, prefix) {
+				continue
+			}
+			e := versions[len(versions)-1]
+			if !e.ExpiresAt.IsZero() && !now.Before(e.ExpiresAt) {
+				continue
+			}
+			perShard[i] = append(perShard[i], k)
 		}
-		e := versions[len(versions)-1]
-		if !e.ExpiresAt.IsZero() && !now.Before(e.ExpiresAt) {
-			continue
+		return nil
+	}
+	if partition.Auto(keys, partition.Shared()) > 1 {
+		_ = partition.Shared().Do(context.Background(), numShards, scan)
+	} else {
+		for i := 0; i < numShards; i++ {
+			_ = scan(i)
 		}
-		out = append(out, k)
+	}
+	total := 0
+	for _, ks := range perShard {
+		total += len(ks)
+	}
+	out := make([]string, 0, total)
+	for _, ks := range perShard {
+		out = append(out, ks...)
 	}
 	sort.Strings(out)
 	return out
@@ -219,27 +299,32 @@ func (s *Store) ScanPrefix(prefix string) []string {
 
 // Compact drops expired versions and returns how many entries were removed.
 func (s *Store) Compact() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	now := s.now()
 	removed := 0
-	for k, versions := range s.data {
-		kept := versions[:0]
-		for _, e := range versions {
-			if e.ExpiresAt.IsZero() || now.Before(e.ExpiresAt) {
-				kept = append(kept, e)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		shardRemoved := 0
+		for k, versions := range sh.data {
+			kept := versions[:0]
+			for _, e := range versions {
+				if e.ExpiresAt.IsZero() || now.Before(e.ExpiresAt) {
+					kept = append(kept, e)
+				} else {
+					shardRemoved++
+				}
+			}
+			if len(kept) == 0 {
+				delete(sh.data, k)
 			} else {
-				removed++
+				sh.data[k] = kept
 			}
 		}
-		if len(kept) == 0 {
-			delete(s.data, k)
-		} else {
-			s.data[k] = kept
+		if shardRemoved > 0 {
+			sh.version++
 		}
-	}
-	if removed > 0 {
-		s.version++
+		removed += shardRemoved
+		sh.mu.Unlock()
 	}
 	return removed
 }

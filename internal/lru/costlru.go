@@ -1,0 +1,79 @@
+package lru
+
+import "container/list"
+
+// CostCache is Cache with a per-entry cost dimension: eviction is driven by
+// total cost (e.g. result bytes) as well as entry count, so one cache bound
+// can mean "at most 64 MiB of cached results" instead of only "at most 256
+// results". Entries whose cost alone exceeds the cost bound are bypassed
+// rather than admitted (admitting one would evict the whole cache for an
+// entry unlikely to be re-served before aging out). Like Cache, it is NOT
+// safe for concurrent use: callers guard it with their own lock.
+type CostCache[V any] struct {
+	maxEntries int
+	maxCost    int64 // <= 0 means no cost bound
+	cost       int64
+	order      *list.List // front = most recently used; values are *costEntry[V]
+	entries    map[string]*list.Element
+}
+
+type costEntry[V any] struct {
+	key  string
+	val  V
+	cost int64
+}
+
+// NewCost returns a cache bounded to maxEntries entries (< 1 treated as 1)
+// and maxCost total cost (<= 0 disables the cost bound).
+func NewCost[V any](maxEntries int, maxCost int64) *CostCache[V] {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &CostCache[V]{
+		maxEntries: maxEntries,
+		maxCost:    maxCost,
+		order:      list.New(),
+		entries:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the value under key, marking it most recently used.
+func (c *CostCache[V]) Get(key string) (V, bool) {
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*costEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put stores v under key with the given cost. It returns the value now
+// cached plus whether the key is cached at all: the incumbent when the key
+// is already present (racing fills produce equivalent values; the
+// incumbent's cost is kept), and (v, false) when the entry is oversized —
+// its cost alone exceeds the cost bound — and was bypassed.
+func (c *CostCache[V]) Put(key string, v V, cost int64) (V, bool) {
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*costEntry[V]).val, true
+	}
+	if c.maxCost > 0 && cost > c.maxCost {
+		return v, false
+	}
+	c.entries[key] = c.order.PushFront(&costEntry[V]{key: key, val: v, cost: cost})
+	c.cost += cost
+	for c.order.Len() > c.maxEntries || (c.maxCost > 0 && c.cost > c.maxCost) {
+		oldest := c.order.Back()
+		e := oldest.Value.(*costEntry[V])
+		c.order.Remove(oldest)
+		delete(c.entries, e.key)
+		c.cost -= e.cost
+	}
+	return v, true
+}
+
+// Len returns the number of cached entries.
+func (c *CostCache[V]) Len() int { return c.order.Len() }
+
+// Cost returns the summed cost of the cached entries.
+func (c *CostCache[V]) Cost() int64 { return c.cost }

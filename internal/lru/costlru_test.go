@@ -1,0 +1,65 @@
+package lru
+
+import "testing"
+
+func TestCostEviction(t *testing.T) {
+	c := NewCost[string](100, 10)
+	c.Put("a", "a", 4)
+	c.Put("b", "b", 4)
+	if _, ok := c.Get("a"); !ok { // a is now MRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", "c", 4) // cost 12 > 10: evicts b (LRU)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b not evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted despite being MRU")
+	}
+	if c.Cost() != 8 || c.Len() != 2 {
+		t.Fatalf("cost=%d len=%d, want 8, 2", c.Cost(), c.Len())
+	}
+}
+
+func TestCostOversizedBypass(t *testing.T) {
+	c := NewCost[string](100, 10)
+	c.Put("small", "s", 2)
+	if _, admitted := c.Put("huge", "h", 11); admitted {
+		t.Fatal("oversized entry admitted")
+	}
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("oversized entry cached")
+	}
+	if _, ok := c.Get("small"); !ok {
+		t.Fatal("bypass evicted an unrelated entry")
+	}
+	if c.Cost() != 2 || c.Len() != 1 {
+		t.Fatalf("cost=%d len=%d after bypass, want 2, 1", c.Cost(), c.Len())
+	}
+}
+
+func TestCostEntryCapStillHolds(t *testing.T) {
+	c := NewCost[int](2, 0) // no cost bound
+	c.Put("a", 1, 100)
+	c.Put("b", 2, 100)
+	c.Put("c", 3, 100)
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want entry cap 2", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should have been evicted")
+	}
+}
+
+func TestCostPutKeepsIncumbent(t *testing.T) {
+	c := NewCost[int](4, 100)
+	if got, ok := c.Put("k", 1, 10); !ok || got != 1 {
+		t.Fatalf("first put = (%d, %v)", got, ok)
+	}
+	if got, ok := c.Put("k", 2, 50); !ok || got != 1 {
+		t.Fatalf("second put = (%d, %v), want incumbent (1, true)", got, ok)
+	}
+	if c.Cost() != 10 {
+		t.Fatalf("cost = %d, want incumbent's 10", c.Cost())
+	}
+}

@@ -118,9 +118,30 @@ func (e *Engine) PlanStmt(stmt *SelectStmt) (Operator, error) {
 		op = NewSort(op, keys...)
 	}
 	if stmt.Limit >= 0 {
+		// A limit with no materializing ancestor (no sort/group-by) can stop
+		// pulling early; keep the subtree streaming so the bulk fast path
+		// does not turn LIMIT-N into a whole-table scan.
+		markStreaming(op)
 		op = NewLimit(op, stmt.Limit)
 	}
 	return op, nil
+}
+
+// markStreaming disables the bulk fast path on the filter/project chain
+// under a limit. It stops at materializing operators (sort, group-by,
+// joins): they drain their input entirely regardless, so bulk partitioned
+// execution below them is pure win.
+func markStreaming(op Operator) {
+	switch o := op.(type) {
+	case *FilterOp:
+		o.Stream = true
+		markStreaming(o.Child)
+	case *ProjectOp:
+		o.Stream = true
+		markStreaming(o.Child)
+	case *LimitOp:
+		markStreaming(o.Child)
+	}
 }
 
 // tryIndexScan inspects the WHERE clause for a single comparison against a

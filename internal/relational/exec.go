@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"polystorepp/internal/cast"
+	"polystorepp/internal/partition"
 )
 
 // batchSize is the vector width of the Volcano operators.
@@ -126,6 +127,21 @@ func (s *SeqScan) Next(context.Context) (*cast.Batch, error) {
 	return b, nil
 }
 
+// Bulk implements BulkSource: the whole remaining snapshot in one zero-copy
+// view, leaving the stream exhausted and stats as if streamed.
+func (s *SeqScan) Bulk(context.Context) (*cast.Batch, error) {
+	if s.pos >= s.snap.Rows() {
+		return nil, nil
+	}
+	b, err := s.snap.ViewRange(s.pos, s.snap.Rows())
+	if err != nil {
+		return nil, err
+	}
+	s.pos = s.snap.Rows()
+	s.out += int64(b.Rows())
+	return b, nil
+}
+
 // Close implements Operator.
 func (s *SeqScan) Close() error { return nil }
 
@@ -206,11 +222,22 @@ func (s *IndexScan) Children() []Operator { return nil }
 
 // --- Filter ---
 
-// FilterOp keeps rows satisfying the predicate.
+// FilterOp keeps rows satisfying the predicate. When its child is a
+// BulkSource the predicate fans out over fixed row-range partitions on the
+// shared scan pool (parallel.go); results are identical to the streaming
+// path.
 type FilterOp struct {
 	Child Operator
 	Pred  Expr
+	// Parts overrides the partition fan-out: 0 picks automatically from the
+	// input size and pool width, 1 forces single-partition evaluation.
+	Parts int
+	// Stream disables the bulk fast path so a downstream LimitOp can stop
+	// pulling early instead of paying a whole-input scan (the SQL planner
+	// sets it under LIMIT-without-materializing-ancestor plans).
+	Stream bool
 
+	bulked  bool
 	in, out int64
 }
 
@@ -225,25 +252,35 @@ func (f *FilterOp) Open(ctx context.Context) error { return f.Child.Open(ctx) }
 
 // Next implements Operator.
 func (f *FilterOp) Next(ctx context.Context) (*cast.Batch, error) {
+	if bs, ok := f.Child.(BulkSource); ok && !f.Stream && !f.bulked {
+		f.bulked = true
+		in, err := bs.Bulk(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if in != nil && in.Rows() > 0 {
+			f.in += int64(in.Rows())
+			kept, err := parFilter(ctx, in, f.Pred, f.Parts)
+			if err != nil {
+				return nil, err
+			}
+			if kept.Rows() > 0 {
+				f.out += int64(kept.Rows())
+				return kept, nil
+			}
+		}
+		// Nothing kept (or empty input): fall through to the exhausted
+		// stream, which reports end-of-stream.
+	}
 	for {
 		b, err := f.Child.Next(ctx)
 		if err != nil || b == nil {
 			return nil, err
 		}
 		f.in += int64(b.Rows())
-		var evalErr error
-		kept, err := b.FilterRows(func(r int) bool {
-			ok, err := EvalBool(f.Pred, b, r)
-			if err != nil && evalErr == nil {
-				evalErr = err
-			}
-			return ok
-		})
+		kept, err := filterRange(b, f.Pred)
 		if err != nil {
 			return nil, err
-		}
-		if evalErr != nil {
-			return nil, evalErr
 		}
 		if kept.Rows() == 0 {
 			continue
@@ -273,12 +310,20 @@ type ProjItem struct {
 	Name string
 }
 
-// ProjectOp evaluates a list of expressions per row.
+// ProjectOp evaluates a list of expressions per row. When its child is a
+// BulkSource the evaluation fans out over fixed row-range partitions on the
+// shared scan pool (parallel.go); results are identical to the streaming
+// path.
 type ProjectOp struct {
 	Child Operator
 	Items []ProjItem
+	// Parts overrides the partition fan-out (0 = auto, 1 = sequential).
+	Parts int
+	// Stream disables the bulk fast path; see FilterOp.Stream.
+	Stream bool
 
 	schema cast.Schema
+	bulked bool
 	in     int64
 }
 
@@ -308,33 +353,24 @@ func (p *ProjectOp) Open(ctx context.Context) error { return p.Child.Open(ctx) }
 
 // Next implements Operator.
 func (p *ProjectOp) Next(ctx context.Context) (*cast.Batch, error) {
+	if bs, ok := p.Child.(BulkSource); ok && !p.Stream && !p.bulked {
+		p.bulked = true
+		in, err := bs.Bulk(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if in != nil && in.Rows() > 0 {
+			p.in += int64(in.Rows())
+			return parProject(ctx, in, p.Items, p.schema, p.Parts)
+		}
+		// Empty input: the exhausted stream below reports end-of-stream.
+	}
 	b, err := p.Child.Next(ctx)
 	if err != nil || b == nil {
 		return nil, err
 	}
 	p.in += int64(b.Rows())
-	out := cast.NewBatch(p.schema, b.Rows())
-	vals := make([]any, len(p.Items))
-	for r := 0; r < b.Rows(); r++ {
-		for i, it := range p.Items {
-			v, err := it.E.Eval(b, r)
-			if err != nil {
-				return nil, err
-			}
-			// Timestamp columns surface as int64; widen int64 to float64
-			// when the projected type demands it.
-			if p.schema.Col(i).Type == cast.Float64 {
-				if iv, ok := v.(int64); ok {
-					v = float64(iv)
-				}
-			}
-			vals[i] = v
-		}
-		if err := out.AppendRow(vals...); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return projectRange(b, p.Items, p.schema)
 }
 
 // Close implements Operator.
@@ -384,18 +420,10 @@ func (j *HashJoinOp) Open(ctx context.Context) error {
 }
 
 func (j *HashJoinOp) build(ctx context.Context) error {
-	j.rightMat = cast.NewBatch(j.Right.Schema(), 0)
-	for {
-		b, err := j.Right.Next(ctx)
-		if err != nil {
-			return err
-		}
-		if b == nil {
-			break
-		}
-		if err := j.rightMat.AppendBatch(b); err != nil {
-			return err
-		}
+	var err error
+	j.rightMat, err = bulkOrDrain(ctx, j.Right)
+	if err != nil {
+		return err
 	}
 	ci, err := j.Right.Schema().Index(baseName(j.RightCol))
 	if err != nil {
@@ -554,11 +582,11 @@ func (j *MergeJoinOp) Next(ctx context.Context) (*cast.Batch, error) {
 	if j.emitted {
 		return nil, nil
 	}
-	lm, err := drain(ctx, j.Left)
+	lm, err := bulkOrDrain(ctx, j.Left)
 	if err != nil {
 		return nil, err
 	}
-	rm, err := drain(ctx, j.Right)
+	rm, err := bulkOrDrain(ctx, j.Right)
 	if err != nil {
 		return nil, err
 	}
@@ -691,7 +719,7 @@ func (s *SortOp) Next(ctx context.Context) (*cast.Batch, error) {
 	if s.done {
 		return nil, nil
 	}
-	m, err := drain(ctx, s.Child)
+	m, err := bulkOrDrain(ctx, s.Child)
 	if err != nil {
 		return nil, err
 	}
@@ -755,11 +783,16 @@ type AggSpec struct {
 	As  string
 }
 
-// GroupByOp hash-aggregates its input.
+// GroupByOp hash-aggregates its input. The accumulation fans out over fixed
+// row-range partitions on the shared scan pool and the partial aggregates
+// combine in ascending partition order (parallel.go's equivalence
+// argument), so results match single-partition execution.
 type GroupByOp struct {
 	Child     Operator
 	GroupCols []string
 	Aggs      []AggSpec
+	// Parts overrides the partition fan-out (0 = auto, 1 = sequential).
+	Parts int
 
 	schema cast.Schema
 	done   bool
@@ -824,46 +857,23 @@ type aggState struct {
 	rep   []any // group key values
 }
 
-// Next implements Operator.
-func (g *GroupByOp) Next(ctx context.Context) (*cast.Batch, error) {
-	if g.done {
-		return nil, nil
-	}
-	m, err := drain(ctx, g.Child)
-	if err != nil {
-		return nil, err
-	}
-	g.in = int64(m.Rows())
-	cs := m.Schema()
-	groupIdx := make([]int, len(g.GroupCols))
-	for i, c := range g.GroupCols {
-		gi, err := cs.Index(baseName(c))
-		if err != nil {
-			return nil, err
-		}
-		groupIdx[i] = gi
-	}
-	aggIdx := make([]int, len(g.Aggs))
-	for i, a := range g.Aggs {
-		if a.Fn == AggCount && a.Col == "" {
-			aggIdx[i] = -1
-			continue
-		}
-		ai, err := cs.Index(baseName(a.Col))
-		if err != nil {
-			return nil, err
-		}
-		aggIdx[i] = ai
-	}
-	// One aggState per aggregate per group.
-	states := make(map[string][]*aggState)
-	var order []string
+// groupAccum is the aggregation state of one contiguous row range: one
+// aggState per aggregate per group, plus the keys in first-appearance (row)
+// order.
+type groupAccum struct {
+	states map[string][]*aggState
+	order  []string
+}
+
+// accumulate folds every row of m into a fresh accumulator.
+func (g *GroupByOp) accumulate(m *cast.Batch, groupIdx, aggIdx []int) (*groupAccum, error) {
+	acc := &groupAccum{states: make(map[string][]*aggState)}
 	for r := 0; r < m.Rows(); r++ {
 		key, err := m.KeyString(r, groupIdx)
 		if err != nil {
 			return nil, err
 		}
-		sts, ok := states[key]
+		sts, ok := acc.states[key]
 		if !ok {
 			sts = make([]*aggState, len(g.Aggs))
 			rep := make([]any, len(groupIdx))
@@ -877,8 +887,8 @@ func (g *GroupByOp) Next(ctx context.Context) (*cast.Batch, error) {
 			for i := range sts {
 				sts[i] = &aggState{rep: rep}
 			}
-			states[key] = sts
-			order = append(order, key)
+			acc.states[key] = sts
+			acc.order = append(acc.order, key)
 		}
 		for i, a := range g.Aggs {
 			st := sts[i]
@@ -912,6 +922,101 @@ func (g *GroupByOp) Next(ctx context.Context) (*cast.Batch, error) {
 			}
 		}
 	}
+	return acc, nil
+}
+
+// combine folds a later partition's accumulator into acc, preserving
+// row-order semantics: reps come from the earliest partition containing the
+// group, mins/maxes keep the earlier value on ties (as row-order iteration
+// does), and sums add in ascending partition order.
+func (acc *groupAccum) combine(next *groupAccum, aggs []AggSpec) {
+	for _, key := range next.order {
+		nsts := next.states[key]
+		sts, ok := acc.states[key]
+		if !ok {
+			acc.states[key] = nsts
+			acc.order = append(acc.order, key)
+			continue
+		}
+		for i, a := range aggs {
+			st, nx := sts[i], nsts[i]
+			st.count += nx.count
+			st.sum += nx.sum
+			if a.Fn == AggMin && nx.min != nil {
+				if st.min == nil {
+					st.min = nx.min
+				} else if c, err := cast.CompareValues(nx.min, st.min); err == nil && c < 0 {
+					st.min = nx.min
+				}
+			}
+			if a.Fn == AggMax && nx.max != nil {
+				if st.max == nil {
+					st.max = nx.max
+				} else if c, err := cast.CompareValues(nx.max, st.max); err == nil && c > 0 {
+					st.max = nx.max
+				}
+			}
+		}
+	}
+}
+
+// Next implements Operator.
+func (g *GroupByOp) Next(ctx context.Context) (*cast.Batch, error) {
+	if g.done {
+		return nil, nil
+	}
+	m, err := bulkOrDrain(ctx, g.Child)
+	if err != nil {
+		return nil, err
+	}
+	g.in = int64(m.Rows())
+	cs := m.Schema()
+	groupIdx := make([]int, len(g.GroupCols))
+	for i, c := range g.GroupCols {
+		gi, err := cs.Index(baseName(c))
+		if err != nil {
+			return nil, err
+		}
+		groupIdx[i] = gi
+	}
+	aggIdx := make([]int, len(g.Aggs))
+	for i, a := range g.Aggs {
+		if a.Fn == AggCount && a.Col == "" {
+			aggIdx[i] = -1
+			continue
+		}
+		ai, err := cs.Index(baseName(a.Col))
+		if err != nil {
+			return nil, err
+		}
+		aggIdx[i] = ai
+	}
+	pool := partition.Shared()
+	parts := g.Parts
+	if parts <= 0 {
+		parts = partition.Auto(m.Rows(), pool)
+	}
+	ranges := partition.Split(m.Rows(), parts)
+	accums := make([]*groupAccum, len(ranges))
+	if err := pool.Do(ctx, len(ranges), func(i int) error {
+		view, err := m.ViewRange(ranges[i].Lo, ranges[i].Hi)
+		if err != nil {
+			return err
+		}
+		acc, err := g.accumulate(view, groupIdx, aggIdx)
+		if err != nil {
+			return err
+		}
+		accums[i] = acc
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	acc := accums[0]
+	for _, nx := range accums[1:] {
+		acc.combine(nx, g.Aggs)
+	}
+	states, order := acc.states, acc.order
 	if len(g.GroupCols) == 0 && len(order) == 0 {
 		// Global aggregate over empty input still yields one row.
 		sts := make([]*aggState, len(g.Aggs))

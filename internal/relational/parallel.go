@@ -1,0 +1,169 @@
+package relational
+
+import (
+	"context"
+
+	"polystorepp/internal/cast"
+	"polystorepp/internal/partition"
+)
+
+// This file implements partition-parallel execution of the scan-shaped
+// operators (filter, project, group-by): the input is split into fixed
+// contiguous row ranges, one task per partition fans out over the shared
+// bounded scan-worker pool (internal/partition), and the per-partition
+// results are merged in partition order. Because partitions are contiguous
+// row ranges and every merge preserves partition order, the parallel path
+// produces results identical to the sequential one: filters and projections
+// are row-order-preserving by construction, and group-by partial aggregates
+// combine in ascending partition order, so the combine is deterministic
+// regardless of goroutine schedule and exact (hence partition-invariant)
+// whenever the underlying additions are exact — always for counts and
+// integer sums, and for float sums whose accumulations round nowhere.
+
+// BulkSource is implemented by operators able to surrender their entire
+// remaining output as one batch instead of iterating per-batch. Partitioned
+// operators use it to grab a scan's snapshot (or an adapter's materialized
+// input) up front, split it into row ranges, and fan out. Implementations
+// must leave their stream exhausted and their Stats accounting as if the
+// output had been streamed.
+type BulkSource interface {
+	Bulk(ctx context.Context) (*cast.Batch, error)
+}
+
+// bulkOrDrain materializes op's full output, via Bulk when available (zero
+// copies for snapshot-backed scans) and by draining otherwise.
+func bulkOrDrain(ctx context.Context, op Operator) (*cast.Batch, error) {
+	if bs, ok := op.(BulkSource); ok {
+		b, err := bs.Bulk(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			b = cast.NewBatch(op.Schema(), 0)
+		}
+		return b, nil
+	}
+	return drain(ctx, op)
+}
+
+// filterRange evaluates pred over every row of b and returns the kept rows
+// in order. Shared by the sequential and parallel filter paths.
+func filterRange(b *cast.Batch, pred Expr) (*cast.Batch, error) {
+	var evalErr error
+	kept, err := b.FilterRows(func(r int) bool {
+		ok, err := EvalBool(pred, b, r)
+		if err != nil && evalErr == nil {
+			evalErr = err
+		}
+		return ok
+	})
+	if err != nil {
+		return nil, err
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return kept, nil
+}
+
+// parFilter filters in across partitions and merges the kept rows in
+// partition order. parts <= 0 selects automatically from the input size.
+func parFilter(ctx context.Context, in *cast.Batch, pred Expr, parts int) (*cast.Batch, error) {
+	pool := partition.Shared()
+	if parts <= 0 {
+		parts = partition.Auto(in.Rows(), pool)
+	}
+	if parts == 1 {
+		return filterRange(in, pred)
+	}
+	ranges := partition.Split(in.Rows(), parts)
+	outs := make([]*cast.Batch, len(ranges))
+	if err := pool.Do(ctx, len(ranges), func(i int) error {
+		view, err := in.ViewRange(ranges[i].Lo, ranges[i].Hi)
+		if err != nil {
+			return err
+		}
+		kept, err := filterRange(view, pred)
+		if err != nil {
+			return err
+		}
+		outs[i] = kept
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return mergeOrdered(in.Schema(), outs)
+}
+
+// projectRange evaluates items over every row of b into a fresh batch under
+// schema. Shared by the sequential and parallel project paths.
+func projectRange(b *cast.Batch, items []ProjItem, schema cast.Schema) (*cast.Batch, error) {
+	out := cast.NewBatch(schema, b.Rows())
+	vals := make([]any, len(items))
+	for r := 0; r < b.Rows(); r++ {
+		for i, it := range items {
+			v, err := it.E.Eval(b, r)
+			if err != nil {
+				return nil, err
+			}
+			// Timestamp columns surface as int64; widen int64 to float64
+			// when the projected type demands it.
+			if schema.Col(i).Type == cast.Float64 {
+				if iv, ok := v.(int64); ok {
+					v = float64(iv)
+				}
+			}
+			vals[i] = v
+		}
+		if err := out.AppendRow(vals...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// parProject projects in across partitions, merging in partition order.
+func parProject(ctx context.Context, in *cast.Batch, items []ProjItem, schema cast.Schema, parts int) (*cast.Batch, error) {
+	pool := partition.Shared()
+	if parts <= 0 {
+		parts = partition.Auto(in.Rows(), pool)
+	}
+	if parts == 1 {
+		return projectRange(in, items, schema)
+	}
+	ranges := partition.Split(in.Rows(), parts)
+	outs := make([]*cast.Batch, len(ranges))
+	if err := pool.Do(ctx, len(ranges), func(i int) error {
+		view, err := in.ViewRange(ranges[i].Lo, ranges[i].Hi)
+		if err != nil {
+			return err
+		}
+		out, err := projectRange(view, items, schema)
+		if err != nil {
+			return err
+		}
+		outs[i] = out
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return mergeOrdered(schema, outs)
+}
+
+// mergeOrdered concatenates the per-partition outputs in partition order.
+func mergeOrdered(schema cast.Schema, outs []*cast.Batch) (*cast.Batch, error) {
+	total := 0
+	for _, o := range outs {
+		total += o.Rows()
+	}
+	merged := cast.NewBatch(schema, total)
+	for _, o := range outs {
+		if o.Rows() == 0 {
+			continue
+		}
+		if err := merged.AppendBatch(o); err != nil {
+			return nil, err
+		}
+	}
+	return merged, nil
+}

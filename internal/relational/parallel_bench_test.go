@@ -1,0 +1,79 @@
+package relational
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"polystorepp/internal/cast"
+)
+
+// benchTable builds a wide scan target (200k rows) so partition-parallel
+// scans have real work per partition.
+func benchTable(b *testing.B) *Table {
+	b.Helper()
+	s := cast.MustSchema(
+		cast.Column{Name: "id", Type: cast.Int64},
+		cast.Column{Name: "grp", Type: cast.String},
+		cast.Column{Name: "val", Type: cast.Float64},
+	)
+	store := NewStore("bench")
+	tab, err := store.CreateTable("rows", s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := cast.NewBatch(s, 200_000)
+	for i := 0; i < 200_000; i++ {
+		if err := batch.AppendRow(int64(i), fmt.Sprintf("g%d", i%19), float64(i%101)*0.25); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tab.InsertBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+	return tab
+}
+
+func benchFilter(b *testing.B, parts int) {
+	tab := benchTable(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := NewFilter(NewSeqScan(tab), pred())
+		f.Parts = parts
+		if _, err := Run(context.Background(), f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFilterSequential pins one partition — the pre-partitioning path.
+func BenchmarkFilterSequential(b *testing.B) { benchFilter(b, 1) }
+
+// BenchmarkFilterParallel lets the operator fan out over the scan pool.
+func BenchmarkFilterParallel(b *testing.B) { benchFilter(b, 0) }
+
+func benchGroupBy(b *testing.B, parts int) {
+	tab := benchTable(b)
+	aggs := []AggSpec{
+		{Fn: AggCount, Col: "", As: "n"},
+		{Fn: AggSum, Col: "val", As: "total"},
+		{Fn: AggMax, Col: "id", As: "hi"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := NewGroupBy(NewSeqScan(tab), []string{"grp"}, aggs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.Parts = parts
+		if _, err := Run(context.Background(), g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGroupBySequential pins one partition.
+func BenchmarkGroupBySequential(b *testing.B) { benchGroupBy(b, 1) }
+
+// BenchmarkGroupByParallel lets the aggregation fan out.
+func BenchmarkGroupByParallel(b *testing.B) { benchGroupBy(b, 0) }

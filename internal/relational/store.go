@@ -47,8 +47,11 @@ func (s *Store) CreateTable(name string, schema cast.Schema) (*Table, error) {
 	if _, ok := s.tables[name]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrTableExist, name)
 	}
+	// A fresh table starts at version 1 so its creation is itself a visible
+	// mutation to table-scoped version queries (a missing table reads as 0).
 	t := &Table{name: name, schema: schema, heap: cast.NewBatch(schema, 0),
-		btrees: make(map[string]*btree), hashes: make(map[string]map[string][]int32)}
+		btrees: make(map[string]*btree), hashes: make(map[string]map[string][]int32),
+		version: 1}
 	s.tables[name] = t
 	s.version++
 	return t, nil
@@ -63,6 +66,31 @@ func (s *Store) Version() uint64 {
 	v := s.version
 	for _, t := range s.tables {
 		v += t.Version()
+	}
+	return v
+}
+
+// TableVersion returns the named table's mutation count, or 0 when the
+// table does not exist (so creating it later changes the value).
+func (s *Store) TableVersion(name string) uint64 {
+	s.mu.RLock()
+	t, ok := s.tables[name]
+	s.mu.RUnlock()
+	if !ok {
+		return 0
+	}
+	return t.Version()
+}
+
+// VersionOf sums the mutation counts of exactly the named tables. Because
+// each count is monotonic, the sum is a valid version for that table set:
+// it changes on every mutation of a named table and never on mutations of
+// other tables — the per-table data version the serving layer keys
+// surgically-invalidated result caches on.
+func (s *Store) VersionOf(tables []string) uint64 {
+	var v uint64
+	for _, t := range tables {
+		v += s.TableVersion(t)
 	}
 	return v
 }

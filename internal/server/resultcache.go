@@ -8,15 +8,21 @@ import (
 )
 
 // resultCache is a bounded LRU of executed query results keyed on
-// (plan-cache key, data version) — the ROADMAP's "result caching keyed on
-// plan fingerprint + data version". Entries are sound to share across
-// requests because Results and Reports are never mutated after Execute
-// returns (response encoding only reads them). Invalidation is by key
-// rotation: any store mutation bumps the runtime's data version, so stale
-// entries stop being addressable and age out of the LRU.
+// (plan-cache key, version vector of the engines/tables the plan touches).
+// Entries are sound to share across requests because Results and Reports are
+// never mutated after Execute returns (response encoding only reads them).
+// Invalidation is by key rotation: a mutation of any *touched* engine or
+// table rotates the vector, so stale entries stop being addressable and age
+// out of the LRU — while writes to untouched stores leave keys (and so
+// cached results) intact.
+//
+// Admission is cost-aware: the cache is bounded by total result bytes as
+// well as entry count, and a single result larger than the whole byte budget
+// bypasses the cache instead of flushing it (lru.CostCache).
 type resultCache struct {
-	mu      sync.Mutex
-	entries *lru.Cache[resultEntry]
+	mu       sync.Mutex
+	entries  *lru.CostCache[resultEntry]
+	bypassed int64
 }
 
 type resultEntry struct {
@@ -24,10 +30,15 @@ type resultEntry struct {
 	rep *core.Report
 }
 
+// entryOverheadBytes is charged per cached entry on top of the result
+// payload, covering the Results/Report structs, map headers, and key.
+const entryOverheadBytes = 512
+
 // newResultCache returns a cache bounded to capacity entries (capacity < 1
-// is clamped to 1; callers disable caching by not constructing one).
-func newResultCache(capacity int) *resultCache {
-	return &resultCache{entries: lru.New[resultEntry](capacity)}
+// is clamped to 1; callers disable caching by not constructing one) and
+// maxBytes total result bytes (<= 0 disables the byte bound).
+func newResultCache(capacity int, maxBytes int64) *resultCache {
+	return &resultCache{entries: lru.NewCost[resultEntry](capacity, maxBytes)}
 }
 
 // get returns the cached outcome for key, marking it most recently used.
@@ -41,12 +52,27 @@ func (c *resultCache) get(key string) (*core.Results, *core.Report, bool) {
 	return e.res, e.rep, true
 }
 
-// put stores an executed outcome under key (racing executions of the same
-// key produce equivalent results; the incumbent wins).
+// put stores an executed outcome under key, charged at its payload size
+// (racing executions of the same key produce equivalent results; the
+// incumbent wins). Oversized results are bypassed, not admitted.
 func (c *resultCache) put(key string, res *core.Results, rep *core.Report) {
+	cost := resultBytes(res) + entryOverheadBytes
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.entries.Put(key, resultEntry{res: res, rep: rep})
+	if _, admitted := c.entries.Put(key, resultEntry{res: res, rep: rep}, cost); !admitted {
+		c.bypassed++
+	}
+}
+
+// resultBytes sizes a result's sink payloads.
+func resultBytes(res *core.Results) int64 {
+	var n int64
+	for _, s := range res.Sinks {
+		if b := res.Values[s].Batch; b != nil {
+			n += b.ByteSize()
+		}
+	}
+	return n
 }
 
 // size returns the current entry count.
@@ -54,4 +80,12 @@ func (c *resultCache) size() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.entries.Len()
+}
+
+// bytes returns the summed payload cost of the cached entries, and how many
+// oversized results have bypassed admission.
+func (c *resultCache) bytes() (total, bypassed int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries.Cost(), c.bypassed
 }

@@ -13,10 +13,13 @@
 //   - A plan cache: programs are fingerprinted (ir.Graph.Fingerprint) and
 //     compiled plans are reused across requests, so hot queries skip the
 //     compiler entirely (hits/misses are exported on /metrics).
-//   - A result cache keyed on (plan fingerprint + options, data version):
-//     repeated queries over unchanged data skip execution entirely, and any
-//     store mutation bumps the data version so stale results stop being
-//     addressable (resultcache.go).
+//   - A result cache keyed on (plan fingerprint + options, version vector
+//     of the engines/tables the plan touches): repeated queries over
+//     unchanged data skip execution entirely, a mutation of touched data
+//     rotates the vector so stale results stop being addressable, and
+//     writes to untouched stores leave cached results valid (surgical
+//     invalidation; resultcache.go). Admission is byte-bounded with an
+//     oversized-entry bypass.
 //   - Single-flight: identical queries in flight at the same time share one
 //     execution; only the leader holds a worker slot (singleflight.go).
 //   - Observability: /metrics exposes the runtime-statistics registry in
@@ -29,6 +32,9 @@
 //	               {"frontend":"nl","statement":"how many patients are there?"}
 //	               {"frontend":"text","engine":"txt","statement":"sedation","k":5}
 //	               {"frontend":"program","program":[{...step...},...]}
+//	POST /ingest   {"engine":"db","table":"patients","row":[1,2,3]}
+//	               {"engine":"ts","series":"vitals/1/hr","ts":123,"value":70}
+//	               {"engine":"kv","key":"session/9","data":"..."}
 //	GET  /healthz  liveness + registered engines
 //	GET  /metrics  Prometheus text exposition
 //	GET  /stats    JSON serving statistics
@@ -40,6 +46,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"polystorepp/internal/adapter"
@@ -47,6 +54,7 @@ import (
 	"polystorepp/internal/core"
 	"polystorepp/internal/eide"
 	"polystorepp/internal/ir"
+	"polystorepp/internal/lru"
 	"polystorepp/internal/metrics"
 )
 
@@ -68,9 +76,14 @@ type Config struct {
 	// PlanCacheSize bounds the compiled-plan LRU (default 128 entries).
 	PlanCacheSize int
 	// ResultCacheSize bounds the executed-result LRU keyed on
-	// (plan fingerprint + options, data version). Zero selects the default
-	// (256 entries); negative disables result caching.
+	// (plan fingerprint + options, touched-engine version vector). Zero
+	// selects the default (256 entries); negative disables result caching.
 	ResultCacheSize int
+	// ResultCacheBytes bounds the result cache by total cached result bytes
+	// (cost-aware admission; results larger than the whole budget bypass the
+	// cache). Zero selects the default (64 MiB); negative removes the byte
+	// bound, leaving only the entry-count bound.
+	ResultCacheBytes int64
 	// DisableSingleFlight turns off deduplication of identical in-flight
 	// queries (on by default).
 	DisableSingleFlight bool
@@ -121,6 +134,9 @@ func (c Config) withDefaults() Config {
 	if c.ResultCacheSize == 0 {
 		c.ResultCacheSize = 256
 	}
+	if c.ResultCacheBytes == 0 {
+		c.ResultCacheBytes = 64 << 20
+	}
 	if c.MaxRows <= 0 {
 		c.MaxRows = 1000
 	}
@@ -140,6 +156,11 @@ type Server struct {
 	nl      *eide.NLTranslator
 	reg     *metrics.Registry
 	mux     *http.ServeMux
+
+	// touches memoizes compiler.TouchesOf per plan-cache key so the hot path
+	// builds version vectors without re-walking (or re-parsing) the program.
+	touchesMu sync.Mutex
+	touches   *lru.Cache[compiler.Touches]
 }
 
 // New builds a server over the runtime. opts are the default compiler
@@ -147,16 +168,17 @@ type Server struct {
 func New(rt *core.Runtime, opts compiler.Options, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		rt:    rt,
-		opts:  opts,
-		cfg:   cfg,
-		cache: compiler.NewPlanCache(cfg.PlanCacheSize),
-		adm:   newAdmission(cfg.Workers, cfg.QueueDepth),
-		reg:   rt.Metrics(),
-		mux:   http.NewServeMux(),
+		rt:      rt,
+		opts:    opts,
+		cfg:     cfg,
+		cache:   compiler.NewPlanCache(cfg.PlanCacheSize),
+		adm:     newAdmission(cfg.Workers, cfg.QueueDepth),
+		reg:     rt.Metrics(),
+		mux:     http.NewServeMux(),
+		touches: lru.New[compiler.Touches](cfg.PlanCacheSize),
 	}
 	if cfg.ResultCacheSize > 0 {
-		s.results = newResultCache(cfg.ResultCacheSize)
+		s.results = newResultCache(cfg.ResultCacheSize, cfg.ResultCacheBytes)
 	}
 	if !cfg.DisableSingleFlight {
 		s.flight = newFlightGroup()
@@ -165,6 +187,7 @@ func New(rt *core.Runtime, opts compiler.Options, cfg Config) *Server {
 		s.nl = eide.NewNLTranslator(cfg.NL.Relational, cfg.NL.Timeseries, cfg.NL.Text, cfg.NL.ML)
 	}
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/ingest", s.handleIngest)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/stats", s.handleStats)
@@ -229,9 +252,12 @@ type QueryResponse struct {
 	// SingleFlight is true when this response shared another identical
 	// request's in-flight execution instead of running its own.
 	SingleFlight bool `json:"single_flight,omitempty"`
-	// DataVersion is the store mutation counter the result was computed
-	// (or cached) under.
+	// DataVersion is the global store mutation counter at response time
+	// (kept for observability; the cache keys on VersionVector instead).
 	DataVersion uint64 `json:"data_version"`
+	// VersionVector is the per-engine data-version vector of the engines
+	// and tables this query touches — the result cache's invalidation key.
+	VersionVector string `json:"version_vector,omitempty"`
 	// Simulated execution outcome (see core.Report).
 	SimLatencySeconds float64 `json:"sim_latency_seconds"`
 	SimEnergyJoules   float64 `json:"sim_energy_joules"`
@@ -303,13 +329,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		opts.Accel = *req.Accel
 	}
 	// One fingerprint pass serves both caches: the plan cache keys on the
-	// program + compiler options, the result cache and single-flight add the
-	// data version so results never outlive the data they were computed on.
+	// program + compiler options; the result cache and single-flight add the
+	// version vector of exactly the engines/tables the program touches, so
+	// results never outlive the data they were computed on — and writes to
+	// untouched stores don't rotate the key (surgical invalidation).
 	planKey := compiler.Key(prog.Graph(), opts)
-	version := s.rt.DataVersion()
-	resKey := fmt.Sprintf("%s|v%d", planKey, version)
+	touches := s.touchesFor(planKey, prog.Graph())
+	vv := s.rt.VersionVector(touches)
+	resKey := planKey + "|" + vv
 
-	out, err := s.runQuery(ctx, planKey, resKey, version, prog.Graph(), opts)
+	out, err := s.runQuery(ctx, planKey, resKey, touches, vv, prog.Graph(), opts)
 	if err != nil {
 		s.writeQueryError(w, err, timeout)
 		return
@@ -327,7 +356,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.ResultCache = hitMiss(out.resultHit)
 	}
 	resp.SingleFlight = out.shared
-	resp.DataVersion = version
+	resp.DataVersion = s.rt.DataVersion()
+	resp.VersionVector = vv
 	s.reg.Timer("server.request").Observe(time.Since(t0))
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -348,11 +378,32 @@ type queryOutcome struct {
 	shared    bool
 }
 
+// touchesFor returns the engines/tables g reads, memoized under the plan
+// key (TouchesOf depends only on the graph, which the key fingerprints).
+// Deliberately NOT served from the plan cache's Plan.Touches: that is
+// computed on the post-optimization graph, and the result-cache key must be
+// derived identically on cold and warm paths — mixing pre- and post-pass
+// touches would split one query across two cache keys whenever a compiler
+// pass removes a scan.
+func (s *Server) touchesFor(planKey string, g *ir.Graph) compiler.Touches {
+	s.touchesMu.Lock()
+	if t, ok := s.touches.Get(planKey); ok {
+		s.touchesMu.Unlock()
+		return t
+	}
+	s.touchesMu.Unlock()
+	t := compiler.TouchesOf(g)
+	s.touchesMu.Lock()
+	t = s.touches.Put(planKey, t)
+	s.touchesMu.Unlock()
+	return t
+}
+
 // runQuery serves one compiled-and-executed query through the acceleration
 // layers, cheapest first: result cache (no admission — a map lookup does not
 // need a worker), then single-flight (followers wait without a slot), then
 // admission-controlled compile + execute.
-func (s *Server) runQuery(ctx context.Context, planKey, resKey string, version uint64, g *ir.Graph, opts compiler.Options) (queryOutcome, error) {
+func (s *Server) runQuery(ctx context.Context, planKey, resKey string, touches compiler.Touches, vv string, g *ir.Graph, opts compiler.Options) (queryOutcome, error) {
 	if s.results != nil {
 		if res, rep, ok := s.results.get(resKey); ok {
 			s.reg.Counter("server.resultcache.hits").Inc()
@@ -361,7 +412,7 @@ func (s *Server) runQuery(ctx context.Context, planKey, resKey string, version u
 		s.reg.Counter("server.resultcache.misses").Inc()
 	}
 	if s.flight == nil {
-		res, rep, planHit, err := s.executeOnce(ctx, planKey, resKey, version, g, opts)
+		res, rep, planHit, err := s.executeOnce(ctx, planKey, resKey, touches, vv, g, opts)
 		return queryOutcome{res: res, rep: rep, planHit: planHit}, err
 	}
 	var (
@@ -377,7 +428,7 @@ func (s *Server) runQuery(ctx context.Context, planKey, resKey string, version u
 	// elects exactly one new leader instead of stampeding admission.
 	for attempt := 0; ; attempt++ {
 		res, rep, planHit, shared, err = s.flight.do(ctx, resKey, func() (*core.Results, *core.Report, bool, error) {
-			return s.executeOnce(ctx, planKey, resKey, version, g, opts)
+			return s.executeOnce(ctx, planKey, resKey, touches, vv, g, opts)
 		})
 		if shared && err != nil && ctx.Err() == nil &&
 			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
@@ -404,7 +455,7 @@ var errLeadersGone = errors.New("server: shared execution repeatedly canceled by
 
 // executeOnce acquires a worker, compiles (through the plan cache) and
 // executes, then publishes the outcome to the result cache.
-func (s *Server) executeOnce(ctx context.Context, planKey, resKey string, version uint64, g *ir.Graph, opts compiler.Options) (*core.Results, *core.Report, bool, error) {
+func (s *Server) executeOnce(ctx context.Context, planKey, resKey string, touches compiler.Touches, vv string, g *ir.Graph, opts compiler.Options) (*core.Results, *core.Report, bool, error) {
 	if err := s.adm.acquire(ctx); err != nil {
 		return nil, nil, false, err
 	}
@@ -423,12 +474,15 @@ func (s *Server) executeOnce(ctx context.Context, planKey, resKey string, versio
 	if err != nil {
 		return nil, nil, hit, err
 	}
-	// Publish only when the data version is still the one the key was built
-	// from: a store mutated mid-execution may have leaked into this result,
-	// which must not be addressable as a clean version-`version` snapshot.
-	// The requester still gets it — one response computed over moving data
-	// is the same contract a non-caching server gives.
-	if s.results != nil && s.rt.DataVersion() == version {
+	// Publish only when the version vector of the *touched* engines is still
+	// the one the key was built from: a touched store mutated mid-execution
+	// may have leaked into this result, which must not be addressable as a
+	// clean snapshot of the keyed vector. Mutations of untouched stores
+	// cannot leak in and no longer discard the result (they used to, when
+	// this guard re-checked the global version sum). The requester still
+	// gets it — one response computed over moving data is the same contract
+	// a non-caching server gives.
+	if s.results != nil && s.rt.VersionVector(touches) == vv {
 		s.results.put(resKey, pruneToSinks(res), rep)
 	}
 	return res, rep, hit, nil
@@ -595,6 +649,74 @@ func (s *Server) encodeResults(req *QueryRequest, res *core.Results, rep *core.R
 	return resp, nil
 }
 
+// IngestRequest is the POST /ingest body: one write to one engine. Exactly
+// one field group applies, matching the engine family.
+type IngestRequest struct {
+	Engine string `json:"engine"`
+	// Relational: append one row (JSON values; numbers are coerced to the
+	// column types).
+	Table string `json:"table,omitempty"`
+	Row   []any  `json:"row,omitempty"`
+	// Timeseries: append one point.
+	Series string  `json:"series,omitempty"`
+	TS     int64   `json:"ts,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+	// Key/value: put Data under Key.
+	Key  string `json:"key,omitempty"`
+	Data string `json:"data,omitempty"`
+}
+
+// IngestResponse is the POST /ingest success body.
+type IngestResponse struct {
+	OK bool `json:"ok"`
+	// DataVersion is the global store mutation counter after the write.
+	DataVersion uint64 `json:"data_version"`
+}
+
+// handleIngest serves the write half of mixed read/write workloads: it
+// routes one write to an engine adapter. Writes deliberately skip admission
+// control — they are single-store appends, far cheaper than plan execution —
+// and their only interaction with the serving accelerations is bumping the
+// target store's version so cached results over the written data stop being
+// addressable (results over other stores stay cached; that is the point of
+// the version vector).
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req IngestRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.reg.Counter("server.bad_request").Inc()
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Engine == "" {
+		s.reg.Counter("server.bad_request").Inc()
+		writeError(w, http.StatusBadRequest, "ingest needs an engine")
+		return
+	}
+	if !s.rt.HasEngine(req.Engine) {
+		s.reg.Counter("server.bad_request").Inc()
+		writeError(w, http.StatusBadRequest, "unknown engine %q (registered: %v)", req.Engine, s.rt.Engines())
+		return
+	}
+	err := s.rt.Ingest(r.Context(), req.Engine, adapter.Ingest{
+		Table: req.Table, Row: req.Row,
+		Series: req.Series, TS: req.TS, Value: req.Value,
+		Key: req.Key, Data: []byte(req.Data),
+	})
+	if err != nil {
+		s.reg.Counter("server.bad_request").Inc()
+		writeError(w, http.StatusBadRequest, "ingest: %v", err)
+		return
+	}
+	s.reg.Counter("server.ingests").Inc()
+	writeJSON(w, http.StatusOK, IngestResponse{OK: true, DataVersion: s.rt.DataVersion()})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
@@ -610,6 +732,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.Gauge("server.plancache.size").Set(float64(size))
 	if s.results != nil {
 		s.reg.Gauge("server.resultcache.size").Set(float64(s.results.size()))
+		bytes, bypassed := s.results.bytes()
+		s.reg.Gauge("server.resultcache.bytes").Set(float64(bytes))
+		s.reg.Gauge("server.resultcache.bypassed").Set(float64(bypassed))
 	}
 	s.reg.Gauge("server.inflight").Set(float64(s.adm.inflight()))
 	s.reg.Gauge("server.data_version").Set(float64(s.rt.DataVersion()))
@@ -620,8 +745,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.cache.Stats()
 	resultSize := 0
+	var resultBytes, resultBypassed int64
 	if s.results != nil {
 		resultSize = s.results.size()
+		resultBytes, resultBypassed = s.results.bytes()
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"requests":        s.reg.Counter("server.requests").Value(),
@@ -633,10 +760,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"plan_cache_miss": misses,
 		"plan_cache_size": size,
 		// Result cache + single-flight (the serving accelerations of PR 2).
-		"result_cache_enabled": s.results != nil,
-		"result_cache_hits":    s.reg.Counter("server.resultcache.hits").Value(),
-		"result_cache_miss":    s.reg.Counter("server.resultcache.misses").Value(),
-		"result_cache_size":    resultSize,
+		"result_cache_enabled":  s.results != nil,
+		"result_cache_hits":     s.reg.Counter("server.resultcache.hits").Value(),
+		"result_cache_miss":     s.reg.Counter("server.resultcache.misses").Value(),
+		"result_cache_size":     resultSize,
+		"result_cache_bytes":    resultBytes,
+		"result_cache_bypassed": resultBypassed,
+		"result_cache_max_bytes": func() int64 {
+			if s.results == nil {
+				return 0
+			}
+			return s.cfg.ResultCacheBytes
+		}(),
+		"ingests":              s.reg.Counter("server.ingests").Value(),
 		"single_flight":        s.flight != nil,
 		"single_flight_shared": s.reg.Counter("server.singleflight.shared").Value(),
 		"data_version":         s.rt.DataVersion(),

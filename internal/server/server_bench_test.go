@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
@@ -8,12 +9,14 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"polystorepp"
 	"polystorepp/internal/datagen"
 	"polystorepp/internal/hw"
+	"polystorepp/internal/server"
 )
 
 // BenchmarkServeConcurrent is the serving-path benchmark: N concurrent
@@ -41,6 +44,75 @@ func BenchmarkServeConcurrentNoDedup(b *testing.B) {
 		ResultCacheSize:     -1,
 		DisableSingleFlight: true,
 	})
+}
+
+// BenchmarkMixedReadWrite is the mixed-workload benchmark: 95% hot reads of
+// a relational query, 5% writes appended to a timeseries store the read plan
+// never touches. With version-vector cache keys the writes leave the cached
+// result addressable, so steady state serves reads from the result cache;
+// the reported hit-rate metric is the regression canary for surgical
+// invalidation (a fallback to global data-version keys drags it to ~0).
+func BenchmarkMixedReadWrite(b *testing.B) {
+	data, err := datagen.GenerateClinical(rand.New(rand.NewSource(7)), 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := polystore.New(
+		polystore.WithRelational("db-clinical", data.Relational),
+		polystore.WithTimeseries("ts-vitals", data.Timeseries),
+		polystore.WithText("txt-notes", data.Text),
+		polystore.WithML("ml"),
+		polystore.WithAccelerators(hw.Coprocessor, hw.NewFPGA(), hw.NewGPU(), hw.NewTPU()),
+	)
+	srv := sys.Handler(polystore.ServeConfig{
+		Workers:          16,
+		QueueDepth:       256,
+		DefaultSQLEngine: "db-clinical",
+	}).(*server.Server)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	readBody := `{"frontend":"sql","statement":"SELECT pid, age FROM patients WHERE age > 60 ORDER BY age DESC LIMIT 10"}`
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	var ops, writeTS atomic.Int64
+
+	b.ResetTimer()
+	t0 := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n := ops.Add(1)
+			var body, path string
+			if n%20 == 0 { // 5% writes, to a store the read never touches
+				path = "/ingest"
+				// One series per write: concurrent writers would otherwise
+				// race the store's strictly-increasing-timestamp rule.
+				body = fmt.Sprintf(`{"engine":"ts-vitals","series":"bench/hr/%d","ts":1,"value":70}`,
+					writeTS.Add(1))
+			} else {
+				path = "/query"
+				body = readBody
+			}
+			resp, err := client.Post(ts.URL+path, "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("%s status %d", path, resp.StatusCode)
+				return
+			}
+		}
+	})
+	elapsed := time.Since(t0)
+	b.StopTimer()
+
+	b.ReportMetric(float64(ops.Load())/elapsed.Seconds(), "req/s")
+	hits, misses, _ := srv.ResultCacheStats()
+	if hits+misses > 0 {
+		b.ReportMetric(float64(hits)/float64(hits+misses), "hit-rate")
+	}
 }
 
 func benchServe(b *testing.B, cfg polystore.ServeConfig) {

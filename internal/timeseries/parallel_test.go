@@ -1,0 +1,98 @@
+package timeseries
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRangeChunkPartitionEquivalence pins the chunk fan-out at 1/2/7/64 and
+// checks every partitioning returns exactly the sequential decode — order,
+// boundaries, and values.
+func TestRangeChunkPartitionEquivalence(t *testing.T) {
+	s := New("ts")
+	const n = 20 * chunkSize // 20 chunks
+	for i := 0; i < n; i++ {
+		if err := s.Append("m", int64(i)*10, float64(i%1000)*0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.mu.RLock()
+	sr := s.series["m"]
+	chunks := append([]*chunk(nil), sr.chunks...)
+	s.mu.RUnlock()
+
+	for _, span := range []struct{ from, to int64 }{
+		{0, int64(n) * 10},        // everything
+		{12345, 98765},            // interior, unaligned to chunks
+		{-100, -1},                // before all data
+		{int64(n) * 100, 1 << 60}, // after all data
+		{5120, 5120},              // a single point
+	} {
+		want := rangeChunks(chunks, span.from, span.to, 1)
+		for _, parts := range []int{2, 7, 64} {
+			got := rangeChunks(chunks, span.from, span.to, parts)
+			if len(got) != len(want) {
+				t.Fatalf("span %+v parts=%d: %d points, want %d", span, parts, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("span %+v parts=%d: point %d = %+v, want %+v", span, parts, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRangeMatchesWindowAfterParallelDecode guards the Window path, which
+// consumes Range output, against any reordering from the parallel decode.
+func TestRangeMatchesWindowAfterParallelDecode(t *testing.T) {
+	s := New("ts")
+	const n = 8 * chunkSize
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := float64(i%17) * 0.25
+		sum += v
+		if err := s.Append("m", int64(i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wrs, err := s.Window("m", 0, n, int64(n), AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wrs) != 1 || wrs[0].Value != sum || wrs[0].N != n {
+		t.Fatalf("window = %+v, want one window sum=%v n=%d", wrs, sum, n)
+	}
+}
+
+// TestRangeConcurrentWithAppends exercises parallel decode racing appends
+// (the -race build is the assertion).
+func TestRangeConcurrentWithAppends(t *testing.T) {
+	s := New("ts")
+	for i := 0; i < 4*chunkSize; i++ {
+		if err := s.Append("m", int64(i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 4 * chunkSize; i < 8*chunkSize; i++ {
+			if err := s.Append("m", int64(i), float64(i)); err != nil {
+				panic(fmt.Sprintf("append: %v", err))
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		pts, err := s.Range("m", 0, 1<<62)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 1; j < len(pts); j++ {
+			if pts[j].TS <= pts[j-1].TS {
+				t.Fatalf("out-of-order points at %d: %v then %v", j, pts[j-1], pts[j])
+			}
+		}
+	}
+	<-done
+}

@@ -6,11 +6,14 @@
 package timeseries
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
+
+	"polystorepp/internal/partition"
 )
 
 // Sentinel errors.
@@ -175,7 +178,12 @@ func (s *Store) Len(name string) int {
 	return 0
 }
 
-// Range returns the points of the series with from <= TS <= to.
+// Range returns the points of the series with from <= TS <= to. Candidate
+// chunks (already time-ordered) are decoded in parallel over the shared scan
+// pool — one task per time-range slab of chunks — and stitched back in chunk
+// order, so the result is identical to a sequential decode. The read lock is
+// held throughout: chunks are only mutated by appends, which take the write
+// lock.
 func (s *Store) Range(name string, from, to int64) ([]Point, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -183,18 +191,64 @@ func (s *Store) Range(name string, from, to int64) ([]Point, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSeries, name)
 	}
-	out := make([]Point, 0, 64)
+	var cands []*chunk
 	for _, c := range sr.chunks {
 		if c.lastTS < from || c.first > to {
 			continue
 		}
-		for _, p := range c.decode() {
-			if p.TS >= from && p.TS <= to {
-				out = append(out, p)
-			}
+		cands = append(cands, c)
+	}
+	return rangeChunks(cands, from, to, 0), nil
+}
+
+// rangeChunks decodes the candidate chunks and keeps points in [from, to].
+// parts <= 0 selects the fan-out automatically from the decoded volume.
+func rangeChunks(cands []*chunk, from, to int64, parts int) []Point {
+	pool := partition.Shared()
+	if parts <= 0 {
+		parts = partition.Auto(len(cands)*chunkSize, pool)
+	}
+	if parts > len(cands) {
+		parts = len(cands)
+	}
+	if parts <= 1 {
+		out := make([]Point, 0, 64)
+		for _, c := range cands {
+			out = appendRange(out, c, from, to)
+		}
+		return out
+	}
+	ranges := partition.Split(len(cands), parts)
+	slabs := make([][]Point, len(ranges))
+	// Decoding cannot fail; Do's only error source is a canceled context,
+	// and Background never cancels.
+	_ = pool.Do(context.Background(), len(ranges), func(i int) error {
+		var out []Point
+		for _, c := range cands[ranges[i].Lo:ranges[i].Hi] {
+			out = appendRange(out, c, from, to)
+		}
+		slabs[i] = out
+		return nil
+	})
+	total := 0
+	for _, sl := range slabs {
+		total += len(sl)
+	}
+	out := make([]Point, 0, total)
+	for _, sl := range slabs {
+		out = append(out, sl...)
+	}
+	return out
+}
+
+// appendRange decodes one chunk and appends its in-range points to dst.
+func appendRange(dst []Point, c *chunk, from, to int64) []Point {
+	for _, p := range c.decode() {
+		if p.TS >= from && p.TS <= to {
+			dst = append(dst, p)
 		}
 	}
-	return out, nil
+	return dst
 }
 
 // AggKind selects the aggregation for windows and downsampling.

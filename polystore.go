@@ -55,6 +55,9 @@ type (
 	Options = compiler.Options
 	// Value is a dataflow payload (batch or model).
 	Value = adapter.Value
+	// Ingest is one write routed to an engine (row append, timeseries
+	// point, or KV put).
+	Ingest = adapter.Ingest
 	// ServeConfig tunes the HTTP serving subsystem (workers, queue depth,
 	// deadlines, plan cache size, frontend defaults).
 	ServeConfig = server.Config
@@ -230,12 +233,21 @@ func (sys *System) Query(ctx context.Context, engine, sql string) (Value, error)
 	return Value{Batch: b}, nil
 }
 
+// Ingest routes one write to a registered engine — the same path the
+// serving layer's POST /ingest uses. The write bumps the target store's
+// data version, so cached results over the written data stop being served
+// while results over other stores stay cached.
+func (sys *System) Ingest(ctx context.Context, engine string, w Ingest) error {
+	return sys.runtime.Ingest(ctx, engine, w)
+}
+
 // Metrics exposes the middleware's runtime-statistics registry.
 func (sys *System) Metrics() *metrics.Registry { return sys.runtime.Metrics() }
 
-// DataVersion returns the sum of the registered stores' mutation counters —
-// the value the serving layer keys result caches on. Any store write
-// changes it.
+// DataVersion returns the sum of the registered stores' mutation counters.
+// Any store write changes it. (The serving layer's result cache keys on
+// finer-grained per-engine version vectors — see core.Runtime.VersionVector
+// — so this global sum is observability, not the invalidation key.)
 func (sys *System) DataVersion() uint64 { return sys.runtime.DataVersion() }
 
 // Host returns the host CPU device model.
