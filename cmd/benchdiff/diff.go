@@ -1,0 +1,119 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is the recorded performance of one benchmark: the best run across
+// repetitions. ReqPerSec is 0 when the benchmark reports no req/s metric.
+type Result struct {
+	NsPerOp   float64 `json:"ns_per_op"`
+	ReqPerSec float64 `json:"req_per_sec,omitempty"`
+}
+
+// Baseline is the committed BENCH_BASELINE.json schema.
+type Baseline struct {
+	Note       string            `json:"note,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// ParseBench extracts benchmark results from `go test -bench` output,
+// keeping the best run per benchmark across -count repetitions: minimum
+// ns/op and maximum req/s. The GOMAXPROCS suffix (-8) is stripped so
+// baselines recorded on different machines still key the same benchmarks.
+func ParseBench(out string) map[string]Result {
+	results := make(map[string]Result)
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		// BenchmarkName-8  1234  56.7 ns/op  890 req/s  12 p99-us ...
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var r Result
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+				ok = true
+			case "req/s":
+				r.ReqPerSec = v
+			}
+		}
+		if !ok {
+			continue
+		}
+		if prev, seen := results[name]; seen {
+			if r.NsPerOp > prev.NsPerOp {
+				r.NsPerOp = prev.NsPerOp
+			}
+			if r.ReqPerSec < prev.ReqPerSec {
+				r.ReqPerSec = prev.ReqPerSec
+			}
+		}
+		results[name] = r
+	}
+	return results
+}
+
+// Compare checks every baseline benchmark against the new results and
+// returns a human-readable report plus whether the gate failed. Throughput
+// (req/s, higher is better) is compared when both sides report it; ns/op
+// (lower is better) otherwise. New benchmarks absent from the baseline are
+// reported but never fail; baseline benchmarks absent from the results fail.
+func Compare(base, got map[string]Result, maxDropPct float64) (string, bool) {
+	var sb strings.Builder
+	failed := false
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base[name]
+		g, ok := got[name]
+		if !ok {
+			fmt.Fprintf(&sb, "FAIL %s: missing from bench output (bad -bench regexp?)\n", name)
+			failed = true
+			continue
+		}
+		var drop float64
+		var detail string
+		switch {
+		case b.ReqPerSec > 0 && g.ReqPerSec > 0:
+			drop = (b.ReqPerSec - g.ReqPerSec) / b.ReqPerSec * 100
+			detail = fmt.Sprintf("%.0f -> %.0f req/s", b.ReqPerSec, g.ReqPerSec)
+		case b.NsPerOp > 0:
+			drop = (g.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+			detail = fmt.Sprintf("%.0f -> %.0f ns/op", b.NsPerOp, g.NsPerOp)
+		default:
+			fmt.Fprintf(&sb, "SKIP %s: baseline has no comparable metric\n", name)
+			continue
+		}
+		status := "ok  "
+		if drop > maxDropPct {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Fprintf(&sb, "%s %s: %s (%+.1f%% vs baseline, limit %.0f%%)\n", status, name, detail, -drop, maxDropPct)
+	}
+	for name := range got {
+		if _, ok := base[name]; !ok {
+			fmt.Fprintf(&sb, "new  %s: not in baseline (run -update to record)\n", name)
+		}
+	}
+	return sb.String(), failed
+}

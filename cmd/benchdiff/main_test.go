@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOut = `goos: linux
+goarch: amd64
+pkg: polystorepp/internal/server
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkServeConcurrent-8   	   50000	     52000 ns/op	         231.0 p99-us	         43.00 p50-us	     19000 req/s
+BenchmarkServeConcurrent-8   	   48000	     55000 ns/op	         250.0 p99-us	         45.00 p50-us	     18000 req/s
+BenchmarkMixedReadWrite-8    	   60000	     54000 ns/op	         1.000 hit-rate	     18400 req/s
+BenchmarkWindowSequential    	     500	   2355777 ns/op
+PASS
+ok  	polystorepp/internal/server	12.3s
+`
+
+func TestParseBenchBestOfCount(t *testing.T) {
+	got := ParseBench(sampleOut)
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(got), got)
+	}
+	sc, ok := got["BenchmarkServeConcurrent"]
+	if !ok {
+		t.Fatal("BenchmarkServeConcurrent missing (suffix not stripped?)")
+	}
+	// Best of the two runs: min ns/op, max req/s.
+	if sc.NsPerOp != 52000 || sc.ReqPerSec != 19000 {
+		t.Fatalf("ServeConcurrent best-of = %+v, want ns=52000 req/s=19000", sc)
+	}
+	ws := got["BenchmarkWindowSequential"]
+	if ws.NsPerOp != 2355777 || ws.ReqPerSec != 0 {
+		t.Fatalf("WindowSequential = %+v", ws)
+	}
+}
+
+func TestParseBenchEmptyOutput(t *testing.T) {
+	// A -bench regexp matching nothing produces no Benchmark lines; the
+	// caller must treat the empty map as a failure, never a pass.
+	if got := ParseBench("PASS\nok  \tpkg\t0.01s\n"); len(got) != 0 {
+		t.Fatalf("parsed %d benchmarks from benchless output", len(got))
+	}
+}
+
+func TestCompareThroughputGate(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkServeConcurrent": {NsPerOp: 52000, ReqPerSec: 19000},
+		"BenchmarkMixedReadWrite":  {NsPerOp: 54000, ReqPerSec: 18400},
+	}
+	// Within the 25% budget: passes.
+	got := map[string]Result{
+		"BenchmarkServeConcurrent": {NsPerOp: 60000, ReqPerSec: 15000},
+		"BenchmarkMixedReadWrite":  {NsPerOp: 54000, ReqPerSec: 18400},
+	}
+	report, failed := Compare(base, got, 25)
+	if failed {
+		t.Fatalf("21%% drop failed a 25%% gate:\n%s", report)
+	}
+	// Beyond the budget: fails and names the benchmark.
+	got["BenchmarkServeConcurrent"] = Result{NsPerOp: 120000, ReqPerSec: 9000}
+	report, failed = Compare(base, got, 25)
+	if !failed || !strings.Contains(report, "FAIL BenchmarkServeConcurrent") {
+		t.Fatalf("53%% drop passed a 25%% gate:\n%s", report)
+	}
+}
+
+func TestCompareNsPerOpFallback(t *testing.T) {
+	base := map[string]Result{"BenchmarkWindowSequential": {NsPerOp: 1000}}
+	if report, failed := Compare(base, map[string]Result{"BenchmarkWindowSequential": {NsPerOp: 1200}}, 25); failed {
+		t.Fatalf("20%% ns/op growth failed a 25%% gate:\n%s", report)
+	}
+	if report, failed := Compare(base, map[string]Result{"BenchmarkWindowSequential": {NsPerOp: 1500}}, 25); !failed {
+		t.Fatalf("50%% ns/op growth passed a 25%% gate:\n%s", report)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := map[string]Result{"BenchmarkServeConcurrent": {NsPerOp: 52000, ReqPerSec: 19000}}
+	report, failed := Compare(base, map[string]Result{}, 25)
+	if !failed || !strings.Contains(report, "missing from bench output") {
+		t.Fatalf("missing benchmark did not fail the gate:\n%s", report)
+	}
+}

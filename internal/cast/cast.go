@@ -563,6 +563,45 @@ func (b *Batch) Project(names ...string) (*Batch, error) {
 	return out, nil
 }
 
+// HConcat zips two equal-length batches column-wise under the combined
+// schema s (the columns of l followed by the columns of r). Column data is
+// copied column-at-a-time, so joins can materialize wide outputs without
+// boxing every value the way row-wise appends do.
+func HConcat(s Schema, l, r *Batch) (*Batch, error) {
+	if l.rows != r.rows {
+		return nil, fmt.Errorf("%w: HConcat of %d vs %d rows", ErrSchemaMismatch, l.rows, r.rows)
+	}
+	nl := l.schema.Len()
+	if s.Len() != nl+r.schema.Len() {
+		return nil, fmt.Errorf("%w: HConcat schema has %d columns for %d+%d inputs",
+			ErrSchemaMismatch, s.Len(), nl, r.schema.Len())
+	}
+	out := NewBatch(s, l.rows)
+	for i := 0; i < s.Len(); i++ {
+		src, sc := l, i
+		if i >= nl {
+			src, sc = r, i-nl
+		}
+		if got, want := src.schema.Col(sc).Type, s.Col(i).Type; got != want {
+			return nil, fmt.Errorf("%w: HConcat column %q is %s, schema wants %s",
+				ErrSchemaMismatch, s.Col(i).Name, got, want)
+		}
+		c := &src.cols[sc]
+		switch s.Col(i).Type {
+		case Int64, Timestamp:
+			out.cols[i].ints = append(out.cols[i].ints, c.ints[:src.rows]...)
+		case Float64:
+			out.cols[i].flts = append(out.cols[i].flts, c.flts[:src.rows]...)
+		case String:
+			out.cols[i].strs = append(out.cols[i].strs, c.strs[:src.rows]...)
+		case Bool:
+			out.cols[i].bools = append(out.cols[i].bools, c.bools[:src.rows]...)
+		}
+	}
+	out.rows = l.rows
+	return out, nil
+}
+
 // Clone returns a deep copy of the batch.
 func (b *Batch) Clone() *Batch {
 	out, err := b.Slice(0, b.rows)

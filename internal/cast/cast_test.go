@@ -2,6 +2,7 @@ package cast
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 )
 
@@ -407,5 +408,66 @@ func TestTypeStringAndWidth(t *testing.T) {
 	}
 	if _, ok := String.FixedWidth(); ok {
 		t.Fatal("String should be variable width")
+	}
+}
+
+func TestHConcat(t *testing.T) {
+	ls := MustSchema(Column{Name: "id", Type: Int64}, Column{Name: "val", Type: Float64})
+	rs := MustSchema(Column{Name: "tag", Type: String}, Column{Name: "ok", Type: Bool})
+	l := NewBatch(ls, 3)
+	r := NewBatch(rs, 3)
+	for i := 0; i < 3; i++ {
+		if err := l.AppendRow(int64(i), float64(i)*0.5); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.AppendRow(fmt.Sprintf("t%d", i), i%2 == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := ls.Concat(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := HConcat(s, l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 3 || out.Schema().Len() != 4 {
+		t.Fatalf("out = %d rows x %d cols, want 3x4", out.Rows(), out.Schema().Len())
+	}
+	row, err := out.Row(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != int64(1) || row[1] != 0.5 || row[2] != "t1" || row[3] != false {
+		t.Fatalf("row 1 = %v", row)
+	}
+	// A view input must zip without touching the parent's storage.
+	lv, err := l.ViewRange(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, err := r.ViewRange(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vo, err := HConcat(s, lv, rv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vo.Rows() != 2 {
+		t.Fatalf("view zip rows = %d, want 2", vo.Rows())
+	}
+	// Mismatched row counts are rejected.
+	short := NewBatch(rs, 1)
+	if err := short.AppendRow("x", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := HConcat(s, l, short); !errors.Is(err, ErrSchemaMismatch) {
+		t.Fatalf("row mismatch: %v", err)
+	}
+	// A schema not matching l++r is rejected.
+	if _, err := HConcat(ls, l, r); !errors.Is(err, ErrSchemaMismatch) {
+		t.Fatalf("schema arity mismatch: %v", err)
 	}
 }

@@ -127,10 +127,12 @@ func (e *Engine) PlanStmt(stmt *SelectStmt) (Operator, error) {
 	return op, nil
 }
 
-// markStreaming disables the bulk fast path on the filter/project chain
-// under a limit. It stops at materializing operators (sort, group-by,
-// joins): they drain their input entirely regardless, so bulk partitioned
-// execution below them is pure win.
+// markStreaming disables the bulk fast path on the filter/project/hash-join
+// chain under a limit. It stops at fully materializing operators (sort,
+// group-by, merge join): they drain their input entirely regardless, so bulk
+// partitioned execution below them is pure win. A hash join streams its
+// probe side, so it is marked too and the marking continues down its left
+// (probe) child; the build side always drains in full either way.
 func markStreaming(op Operator) {
 	switch o := op.(type) {
 	case *FilterOp:
@@ -139,6 +141,9 @@ func markStreaming(op Operator) {
 	case *ProjectOp:
 		o.Stream = true
 		markStreaming(o.Child)
+	case *HashJoinOp:
+		o.Stream = true
+		markStreaming(o.Left)
 	case *LimitOp:
 		markStreaming(o.Child)
 	}

@@ -387,14 +387,28 @@ func (p *ProjectOp) Children() []Operator { return []Operator{p.Child} }
 // --- HashJoin ---
 
 // HashJoinOp equi-joins two inputs: builds a hash table on the right input,
-// probes with the left. Output schema is left ++ right.
+// probes with the left. Output schema is left ++ right. Build and probe are
+// partition-parallel on large inputs (join_parallel.go): the build fans out
+// over contiguous row ranges into key-hash-sharded tables merged in
+// partition order, and when the left child is a BulkSource the probe fans
+// out one task per probe partition with an order-preserving merge — results
+// are identical to the sequential streaming path.
 type HashJoinOp struct {
 	Left, Right       Operator
 	LeftCol, RightCol string
+	// Parts overrides the partition fan-out for both build and probe
+	// (0 = auto from input size and pool width, 1 = sequential).
+	Parts int
+	// Stream disables the bulk probe fast path so a downstream LimitOp can
+	// stop pulling early instead of paying a whole-input probe (the SQL
+	// planner sets it under LIMIT-without-materializing-ancestor plans).
+	// The build side is always drained in full regardless.
+	Stream bool
 
 	schema   cast.Schema
 	built    bool
-	table    map[string][]int32
+	bulked   bool
+	table    *joinTable
 	rightMat *cast.Batch
 	in, out  int64
 }
@@ -429,13 +443,9 @@ func (j *HashJoinOp) build(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	j.table = make(map[string][]int32, j.rightMat.Rows())
-	for r := 0; r < j.rightMat.Rows(); r++ {
-		key, err := j.rightMat.KeyString(r, []int{ci})
-		if err != nil {
-			return err
-		}
-		j.table[key] = append(j.table[key], int32(r))
+	j.table, err = buildJoinTable(ctx, j.rightMat, ci, j.Parts)
+	if err != nil {
+		return err
 	}
 	j.built = true
 	return nil
@@ -452,69 +462,53 @@ func (j *HashJoinOp) Next(ctx context.Context) (*cast.Batch, error) {
 	if err != nil {
 		return nil, err
 	}
+	if bs, ok := j.Left.(BulkSource); ok && !j.Stream && !j.bulked {
+		j.bulked = true
+		in, err := bs.Bulk(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if in != nil && in.Rows() > 0 {
+			j.in += int64(in.Rows())
+			out, err := parProbe(ctx, in, li, j.table, j.rightMat, j.schema, j.Parts)
+			if err != nil {
+				return nil, err
+			}
+			if out.Rows() > 0 {
+				j.out += int64(out.Rows())
+				return out, nil
+			}
+		}
+		// No matches (or empty probe input): fall through to the exhausted
+		// stream, which reports end-of-stream.
+	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		lb, err := j.Left.Next(ctx)
 		if err != nil || lb == nil {
 			return nil, err
 		}
 		j.in += int64(lb.Rows())
-		var leftIdx, rightIdx []int
-		for r := 0; r < lb.Rows(); r++ {
-			key, err := lb.KeyString(r, []int{li})
-			if err != nil {
-				return nil, err
-			}
-			for _, rr := range j.table[key] {
-				leftIdx = append(leftIdx, r)
-				rightIdx = append(rightIdx, int(rr))
-			}
+		out, err := probeRange(lb, li, j.table, j.rightMat, j.schema)
+		if err != nil {
+			return nil, err
 		}
-		if len(leftIdx) == 0 {
+		if out.Rows() == 0 {
 			continue
-		}
-		lg, err := lb.Gather(leftIdx)
-		if err != nil {
-			return nil, err
-		}
-		rg, err := j.rightMat.Gather(rightIdx)
-		if err != nil {
-			return nil, err
-		}
-		out, err := concatBatches(j.schema, lg, rg)
-		if err != nil {
-			return nil, err
 		}
 		j.out += int64(out.Rows())
 		return out, nil
 	}
 }
 
-// concatBatches zips two equal-length batches column-wise under the combined
-// schema.
-func concatBatches(s cast.Schema, l, r *cast.Batch) (*cast.Batch, error) {
-	out := cast.NewBatch(s, l.Rows())
-	nl := l.Schema().Len()
-	vals := make([]any, s.Len())
-	for row := 0; row < l.Rows(); row++ {
-		for c := 0; c < nl; c++ {
-			v, err := l.Value(row, c)
-			if err != nil {
-				return nil, err
-			}
-			vals[c] = v
-		}
-		for c := 0; c < r.Schema().Len(); c++ {
-			v, err := r.Value(row, c)
-			if err != nil {
-				return nil, err
-			}
-			vals[nl+c] = v
-		}
-		if err := out.AppendRow(vals...); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+// Bulk implements BulkSource by draining the join's own output, so a parent
+// partitioned operator — or the probe of a stacked join — can grab the full
+// result and fan out over it. The stream is left exhausted and stats account
+// as if the output had been streamed.
+func (j *HashJoinOp) Bulk(ctx context.Context) (*cast.Batch, error) {
+	return drain(ctx, j)
 }
 
 // Close implements Operator.
@@ -651,7 +645,7 @@ func (j *MergeJoinOp) Next(ctx context.Context) (*cast.Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	j.result, err = concatBatches(j.schema, lg, rg)
+	j.result, err = cast.HConcat(j.schema, lg, rg)
 	if err != nil {
 		return nil, err
 	}
@@ -661,14 +655,39 @@ func (j *MergeJoinOp) Next(ctx context.Context) (*cast.Batch, error) {
 }
 
 func drain(ctx context.Context, op Operator) (*cast.Batch, error) {
-	out := cast.NewBatch(op.Schema(), 0)
+	var out *cast.Batch
+	owned := false
 	for {
+		// Checked per batch so a materializing consumer (join build, sort)
+		// aborts promptly when the request deadline hits mid-drain.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		b, err := op.Next(ctx)
 		if err != nil {
 			return nil, err
 		}
 		if b == nil {
+			if out == nil {
+				out = cast.NewBatch(op.Schema(), 0)
+			}
 			return out, nil
+		}
+		if out == nil {
+			// Single-batch fast path: bulk producers (a partitioned join's
+			// merged probe output, an adapter's materialized input) emit
+			// exactly one batch — hand it back without re-copying, and only
+			// start copying if a second batch shows up.
+			out = b
+			continue
+		}
+		if !owned {
+			fresh := cast.NewBatch(op.Schema(), 0)
+			if err := fresh.AppendBatch(out); err != nil {
+				return nil, err
+			}
+			out = fresh
+			owned = true
 		}
 		if err := out.AppendBatch(b); err != nil {
 			return nil, err

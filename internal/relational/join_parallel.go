@@ -1,0 +1,184 @@
+package relational
+
+import (
+	"context"
+
+	"polystorepp/internal/cast"
+	"polystorepp/internal/partition"
+)
+
+// This file implements the partition-parallel hash-join build and probe.
+//
+// Build: the materialized build side is split into fixed contiguous row
+// ranges; one task per range hashes its rows into per-(partition, shard)
+// buckets, where the shard is chosen by the key hash (radix-style). A second
+// fan-out — one task per shard — merges the per-partition buckets of that
+// shard in ascending partition order. No two tasks ever write the same map,
+// so there is no locking, and because partitions are contiguous ascending
+// row ranges merged in order, every key's row list comes out in ascending
+// row order — exactly what the sequential single-map build produces.
+//
+// Probe: the probe side (when its child can surrender a bulk batch) is split
+// into contiguous row ranges; one task per range probes, gathers, and
+// materializes its own output batch, and the batches are concatenated in
+// partition order — the same order-preserving merge discipline parallel.go
+// uses — so the output equals the sequential streaming probe's concatenated
+// batches row for row.
+
+// joinTable is a hash table from key string to build-side row indices,
+// sharded by key hash so parallel builds never contend. One shard means a
+// plain map (the sequential/small-input layout).
+type joinTable struct {
+	shards []map[string][]int32
+	mask   uint64
+}
+
+// lookup returns the build rows matching key, in ascending row order.
+func (t *joinTable) lookup(key string) []int32 {
+	if len(t.shards) == 1 {
+		return t.shards[0][key]
+	}
+	return t.shards[hashKey(key)&t.mask][key]
+}
+
+// hashKey hashes a canonical key string with FNV-1a for shard selection,
+// inlined so the per-row build/probe hot loops pay no hash-state or []byte
+// conversion allocations.
+func hashKey(key string) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	return h
+}
+
+// buildJoinTable indexes build rows by the key column ci. parts <= 0 picks
+// the fan-out automatically from the input size; 1 forces the sequential
+// single-shard build.
+func buildJoinTable(ctx context.Context, build *cast.Batch, ci int, parts int) (*joinTable, error) {
+	pool := partition.Shared()
+	if parts <= 0 {
+		parts = partition.Auto(build.Rows(), pool)
+	}
+	if parts == 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		shard := make(map[string][]int32, build.Rows())
+		for r := 0; r < build.Rows(); r++ {
+			key, err := build.KeyString(r, []int{ci})
+			if err != nil {
+				return nil, err
+			}
+			shard[key] = append(shard[key], int32(r))
+		}
+		return &joinTable{shards: []map[string][]int32{shard}}, nil
+	}
+
+	shardN := partition.Shards(parts)
+	mask := uint64(shardN - 1)
+	ranges := partition.Split(build.Rows(), parts)
+	// locals[p][s] holds partition p's rows that hash into shard s.
+	locals := make([][]map[string][]int32, len(ranges))
+	if err := pool.Do(ctx, len(ranges), func(p int) error {
+		buckets := make([]map[string][]int32, shardN)
+		for s := range buckets {
+			buckets[s] = make(map[string][]int32)
+		}
+		view, err := build.ViewRange(ranges[p].Lo, ranges[p].Hi)
+		if err != nil {
+			return err
+		}
+		for r := 0; r < view.Rows(); r++ {
+			key, err := view.KeyString(r, []int{ci})
+			if err != nil {
+				return err
+			}
+			s := hashKey(key) & mask
+			// Store the row index in build's frame, not the view's.
+			buckets[s][key] = append(buckets[s][key], int32(ranges[p].Lo+r))
+		}
+		locals[p] = buckets
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	t := &joinTable{shards: make([]map[string][]int32, shardN), mask: mask}
+	if err := pool.Do(ctx, shardN, func(s int) error {
+		merged := make(map[string][]int32)
+		// Ascending partition order keeps each key's row list ascending.
+		for p := range locals {
+			for key, rows := range locals[p][s] {
+				merged[key] = append(merged[key], rows...)
+			}
+		}
+		t.shards[s] = merged
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// probeRange probes every row of lb against table and materializes the
+// matched (left ++ right) rows under schema, in left-row order with each
+// left row's matches in build-row order — the sequential emission order.
+// Shared by the streaming per-batch probe and the parallel bulk probe.
+func probeRange(lb *cast.Batch, li int, table *joinTable, rightMat *cast.Batch, schema cast.Schema) (*cast.Batch, error) {
+	var leftIdx, rightIdx []int
+	for r := 0; r < lb.Rows(); r++ {
+		key, err := lb.KeyString(r, []int{li})
+		if err != nil {
+			return nil, err
+		}
+		for _, rr := range table.lookup(key) {
+			leftIdx = append(leftIdx, r)
+			rightIdx = append(rightIdx, int(rr))
+		}
+	}
+	if len(leftIdx) == 0 {
+		return cast.NewBatch(schema, 0), nil
+	}
+	lg, err := lb.Gather(leftIdx)
+	if err != nil {
+		return nil, err
+	}
+	rg, err := rightMat.Gather(rightIdx)
+	if err != nil {
+		return nil, err
+	}
+	return cast.HConcat(schema, lg, rg)
+}
+
+// parProbe probes in across partitions and merges the per-partition output
+// batches in partition order. Each task gathers and materializes its own
+// output, so the expensive wide-row materialization parallelizes too.
+func parProbe(ctx context.Context, in *cast.Batch, li int, table *joinTable, rightMat *cast.Batch, schema cast.Schema, parts int) (*cast.Batch, error) {
+	pool := partition.Shared()
+	if parts <= 0 {
+		parts = partition.Auto(in.Rows(), pool)
+	}
+	if parts == 1 {
+		return probeRange(in, li, table, rightMat, schema)
+	}
+	ranges := partition.Split(in.Rows(), parts)
+	outs := make([]*cast.Batch, len(ranges))
+	if err := pool.Do(ctx, len(ranges), func(i int) error {
+		view, err := in.ViewRange(ranges[i].Lo, ranges[i].Hi)
+		if err != nil {
+			return err
+		}
+		out, err := probeRange(view, li, table, rightMat, schema)
+		if err != nil {
+			return err
+		}
+		outs[i] = out
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return mergeOrdered(schema, outs)
+}

@@ -1,0 +1,261 @@
+package relational
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"polystorepp/internal/cast"
+)
+
+// joinCase describes one probe/build shape the ISSUE pins: empty inputs,
+// single rows, every key colliding into one bucket, and heavy key skew.
+type joinCase struct {
+	name          string
+	leftN, rightN int
+	leftKey       func(i int) int64
+	rightKey      func(i int) int64
+}
+
+func joinCases() []joinCase {
+	uniform := func(i int) int64 { return int64(i % 37) }
+	return []joinCase{
+		{name: "empty-both", leftN: 0, rightN: 0, leftKey: uniform, rightKey: uniform},
+		{name: "empty-build", leftN: 500, rightN: 0, leftKey: uniform, rightKey: uniform},
+		{name: "empty-probe", leftN: 0, rightN: 500, leftKey: uniform, rightKey: uniform},
+		{name: "single-row", leftN: 1, rightN: 1, leftKey: uniform, rightKey: uniform},
+		{name: "uniform", leftN: 4000, rightN: 900, leftKey: uniform, rightKey: uniform},
+		{name: "all-keys-collide", leftN: 300, rightN: 200,
+			leftKey:  func(int) int64 { return 7 },
+			rightKey: func(int) int64 { return 7 }},
+		{name: "skewed", leftN: 3000, rightN: 600,
+			// 90% of probe rows and half the build rows share key 0.
+			leftKey: func(i int) int64 {
+				if i%10 != 0 {
+					return 0
+				}
+				return int64(i % 23)
+			},
+			rightKey: func(i int) int64 {
+				if i%2 == 0 {
+					return 0
+				}
+				return int64(i % 23)
+			}},
+	}
+}
+
+// newJoinTables builds a probe table (id, k, val) and a build table
+// (rid, k2, tag) with disjoint column names so the join schema concatenates.
+func newJoinTables(t testing.TB, c joinCase) (*Table, *Table) {
+	t.Helper()
+	store := NewStore("join-par")
+	left, err := store.CreateTable("probe", cast.MustSchema(
+		cast.Column{Name: "id", Type: cast.Int64},
+		cast.Column{Name: "k", Type: cast.Int64},
+		cast.Column{Name: "val", Type: cast.Float64},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.leftN; i++ {
+		if err := left.Insert(int64(i), c.leftKey(i), float64(i%89)*0.25); err != nil {
+			t.Fatal(err)
+		}
+	}
+	right, err := store.CreateTable("build", cast.MustSchema(
+		cast.Column{Name: "rid", Type: cast.Int64},
+		cast.Column{Name: "k2", Type: cast.Int64},
+		cast.Column{Name: "tag", Type: cast.String},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.rightN; i++ {
+		if err := right.Insert(int64(i), c.rightKey(i), fmt.Sprintf("t%d", i%11)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return left, right
+}
+
+// TestParallelHashJoinEquivalence pins build/probe fan-out at 1/2/7/64 and
+// checks every partitioning produces exactly the sequential streaming join's
+// output and stats, across empty, single-row, all-collide, and skewed keys.
+func TestParallelHashJoinEquivalence(t *testing.T) {
+	for _, c := range joinCases() {
+		t.Run(c.name, func(t *testing.T) {
+			left, right := newJoinTables(t, c)
+			base, err := NewHashJoin(streamOnly{NewSeqScan(left)}, streamOnly{NewSeqScan(right)}, "k", "k2")
+			if err != nil {
+				t.Fatal(err)
+			}
+			base.Parts = 1
+			want := mustRun(t, base)
+			wantStats := base.Stats()
+			for _, parts := range partCounts {
+				par, err := NewHashJoin(NewSeqScan(left), NewSeqScan(right), "k", "k2")
+				if err != nil {
+					t.Fatal(err)
+				}
+				par.Parts = parts
+				got := mustRun(t, par)
+				if !got.Equal(want) {
+					t.Fatalf("parts=%d: join output differs from sequential (%d vs %d rows)",
+						parts, got.Rows(), want.Rows())
+				}
+				if gs := par.Stats(); gs != wantStats {
+					t.Fatalf("parts=%d: stats %+v != sequential %+v", parts, gs, wantStats)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelHashJoinStreamingProbe checks Stream mode keeps per-batch
+// probing (bulk path off) and still matches the baseline.
+func TestParallelHashJoinStreamingProbe(t *testing.T) {
+	c := joinCases()[4] // uniform
+	left, right := newJoinTables(t, c)
+	base, err := NewHashJoin(streamOnly{NewSeqScan(left)}, streamOnly{NewSeqScan(right)}, "k", "k2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Parts = 1
+	want := mustRun(t, base)
+	for _, parts := range partCounts {
+		par, err := NewHashJoin(NewSeqScan(left), NewSeqScan(right), "k", "k2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		par.Parts = parts
+		par.Stream = true // parallel build, streaming probe
+		got := mustRun(t, par)
+		if !got.Equal(want) {
+			t.Fatalf("parts=%d: streaming-probe output differs from sequential", parts)
+		}
+	}
+}
+
+// TestHashJoinCanceledContext guards the build-side drain: with an
+// already-cancelled context the join must abort promptly instead of draining
+// the whole build input.
+func TestHashJoinCanceledContext(t *testing.T) {
+	c := joinCases()[4]
+	left, right := newJoinTables(t, c)
+	// streamOnly hides Bulk, so the build goes through the per-batch drain
+	// loop — the path the cancellation check protects.
+	j, err := NewHashJoin(NewSeqScan(left), streamOnly{NewSeqScan(right)}, "k", "k2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := j.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Next(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Next with cancelled ctx = %v, want context.Canceled", err)
+	}
+	_ = j.Close()
+}
+
+// TestParallelJoinSQLEquivalence checks the planner path: a two-table join
+// large enough for automatic partitioning, compared against the all-stream
+// baseline of the same plan.
+func TestParallelJoinSQLEquivalence(t *testing.T) {
+	store := NewStore("sql-join")
+	orders, err := store.CreateTable("orders", cast.MustSchema(
+		cast.Column{Name: "oid", Type: cast.Int64},
+		cast.Column{Name: "uid_fk", Type: cast.Int64},
+		cast.Column{Name: "amount", Type: cast.Float64},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12000; i++ {
+		if err := orders.Insert(int64(i), int64(i%400), float64(i%97)*0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	users, err := store.CreateTable("users", cast.MustSchema(
+		cast.Column{Name: "uid", Type: cast.Int64},
+		cast.Column{Name: "name", Type: cast.String},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		if err := users.Insert(int64(i), fmt.Sprintf("u%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := NewEngine(store)
+	sql := "SELECT oid, name FROM orders JOIN users ON uid_fk = uid WHERE amount > 10.0 ORDER BY oid"
+	par, _, err := e.Query(context.Background(), sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := e.Plan(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forceStream(plan)
+	seq, err := Run(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Equal(seq) {
+		t.Fatalf("sql %q: auto-partitioned join result differs from streaming baseline", sql)
+	}
+}
+
+// TestJoinLimitKeepsStreamingProbe guards LIMIT early-exit through a join:
+// the probe-side scan must stop after a few batches instead of bulk-probing
+// the whole table (the build side necessarily reads everything).
+func TestJoinLimitKeepsStreamingProbe(t *testing.T) {
+	store := NewStore("join-limit")
+	orders, err := store.CreateTable("orders", cast.MustSchema(
+		cast.Column{Name: "oid", Type: cast.Int64},
+		cast.Column{Name: "uid_fk", Type: cast.Int64},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		if err := orders.Insert(int64(i), int64(i%50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	users, err := store.CreateTable("users", cast.MustSchema(
+		cast.Column{Name: "uid", Type: cast.Int64},
+		cast.Column{Name: "name", Type: cast.String},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := users.Insert(int64(i), fmt.Sprintf("u%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := NewEngine(store)
+	plan, err := e.Plan("SELECT oid, name FROM orders JOIN users ON uid_fk = uid LIMIT 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 10 {
+		t.Fatalf("rows = %d, want 10", out.Rows())
+	}
+	for _, st := range WalkStats(plan) {
+		if strings.HasPrefix(st.Kind, "SeqScan(orders)") && st.RowsIn >= 20000 {
+			t.Fatalf("probe scan read %d rows under LIMIT 10 — bulk probe defeated early exit", st.RowsIn)
+		}
+	}
+}

@@ -291,6 +291,15 @@ func forceStream(op Operator) {
 		if _, ok := o.Child.(BulkSource); ok {
 			o.Child = streamOnly{o.Child}
 		}
+	case *HashJoinOp:
+		o.Parts = 1
+		o.Stream = true
+		if _, ok := o.Left.(BulkSource); ok {
+			o.Left = streamOnly{o.Left}
+		}
+		if _, ok := o.Right.(BulkSource); ok {
+			o.Right = streamOnly{o.Right}
+		}
 	}
 	for _, c := range op.Children() {
 		forceStream(c)

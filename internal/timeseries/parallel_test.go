@@ -2,6 +2,8 @@ package timeseries
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"testing"
 )
 
@@ -63,6 +65,168 @@ func TestRangeMatchesWindowAfterParallelDecode(t *testing.T) {
 	if len(wrs) != 1 || wrs[0].Value != sum || wrs[0].N != n {
 		t.Fatalf("window = %+v, want one window sum=%v n=%d", wrs, sum, n)
 	}
+}
+
+// flatWindow is the pre-partials reference implementation: bucket every
+// in-range point into a map, then aggregate each bucket's value list in
+// point order — the sequential baseline the partial-based path must match.
+func flatWindow(pts []Point, from, width int64, agg AggKind) []WindowResult {
+	byWindow := make(map[int64][]float64)
+	for _, p := range pts {
+		start := from + (p.TS-from)/width*width
+		byWindow[start] = append(byWindow[start], p.Value)
+	}
+	starts := make([]int64, 0, len(byWindow))
+	for st := range byWindow {
+		starts = append(starts, st)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	out := make([]WindowResult, 0, len(starts))
+	for _, st := range starts {
+		vals := byWindow[st]
+		var v float64
+		switch agg {
+		case AggMean, AggSum:
+			for _, x := range vals {
+				v += x
+			}
+			if agg == AggMean {
+				v /= float64(len(vals))
+			}
+		case AggMin:
+			v = math.Inf(1)
+			for _, x := range vals {
+				if x < v {
+					v = x
+				}
+			}
+		case AggMax:
+			v = math.Inf(-1)
+			for _, x := range vals {
+				if x > v {
+					v = x
+				}
+			}
+		case AggCount:
+			v = float64(len(vals))
+		case AggLast:
+			v = vals[len(vals)-1]
+		}
+		out = append(out, WindowResult{Start: st, Value: v, N: len(vals)})
+	}
+	return out
+}
+
+var windowAggKinds = []AggKind{AggMean, AggSum, AggMin, AggMax, AggCount, AggLast}
+
+// TestWindowChunkPartitionEquivalence pins the window fan-out at 1/2/7/64
+// and checks every partitioning produces byte-identical partials to the
+// sequential (parts=1) chunk fold — including float SUM/AVG, since partials
+// are per chunk and the fold is always in chunk order.
+func TestWindowChunkPartitionEquivalence(t *testing.T) {
+	s := New("ts")
+	const n = 20 * chunkSize
+	for i := 0; i < n; i++ {
+		// 0.25 steps: sums are exactly representable, so even a reordered
+		// fold would be caught by exact comparison elsewhere; here identity
+		// must hold bit-for-bit regardless.
+		if err := s.Append("m", int64(i)*10, float64(i%997)*0.25); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.mu.RLock()
+	chunks := append([]*chunk(nil), s.series["m"].chunks...)
+	s.mu.RUnlock()
+
+	for _, span := range []struct {
+		from, to, width int64
+	}{
+		{0, int64(n) * 10, 999},       // everything, unaligned width
+		{12345, 98765, 1 << 40},       // one window far wider than the span
+		{-100, 50000, 7},              // negative from, tiny windows
+		{5120, 5120, 10},              // single point
+		{int64(n) * 100, 1 << 60, 10}, // after all data: no windows
+	} {
+		want := windowChunks(chunks, span.from, span.to, span.width, 1)
+		for _, parts := range []int{2, 7, 64} {
+			got := windowChunks(chunks, span.from, span.to, span.width, parts)
+			if len(got) != len(want) {
+				t.Fatalf("span %+v parts=%d: %d windows, want %d", span, parts, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("span %+v parts=%d: window %d = %+v, want %+v", span, parts, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestWindowMatchesFlatReference compares Store.Window for every AggKind
+// against the pre-partials map-and-sort implementation over the same points.
+// Values move in 0.25 steps so all sums are exact and the comparison can be
+// bitwise even for SUM/MEAN.
+func TestWindowMatchesFlatReference(t *testing.T) {
+	s := New("ts")
+	const n = 9*chunkSize + 17 // partial tail chunk
+	for i := 0; i < n; i++ {
+		if err := s.Append("m", int64(i)*3, float64(i%41)*0.25); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, span := range []struct {
+		from, to, width int64
+	}{
+		{0, int64(n) * 3, 100},
+		{500, 9000, 64},
+		{-1000, 4000, 333},
+	} {
+		pts, err := s.Range("m", span.from, span.to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, agg := range windowAggKinds {
+			want := flatWindow(pts, span.from, span.width, agg)
+			got, err := s.Window("m", span.from, span.to, span.width, agg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("span %+v agg=%s: %d windows, want %d", span, agg, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("span %+v agg=%s: window %d = %+v, want %+v", span, agg, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDownsampleConcurrentWithAppends exercises the series-bound reads in
+// Downsample racing appends (the -race build is the assertion).
+func TestDownsampleConcurrentWithAppends(t *testing.T) {
+	s := New("ts")
+	for i := 0; i < 2*chunkSize; i++ {
+		if err := s.Append("m", int64(i)*10, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 2 * chunkSize; i < 6*chunkSize; i++ {
+			if err := s.Append("m", int64(i)*10, float64(i)); err != nil {
+				panic(fmt.Sprintf("append: %v", err))
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if _, err := s.Downsample("m", 1000, AggMean); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
 }
 
 // TestRangeConcurrentWithAppends exercises parallel decode racing appends

@@ -95,6 +95,14 @@ type series struct {
 
 func (s *series) append(ts int64, v float64) error {
 	if len(s.chunks) == 0 || s.chunks[len(s.chunks)-1].full() {
+		// A fresh chunk has no lastTS of its own, so the strictly-increasing
+		// check must compare against the previous chunk here — otherwise a
+		// stale timestamp arriving exactly at a chunk boundary would slip in
+		// and break the chunks-are-time-ordered invariant the window fold
+		// and range stitch rely on.
+		if n := len(s.chunks); n > 0 && ts <= s.chunks[n-1].lastTS {
+			return fmt.Errorf("%w: %d after %d", ErrOutOfOrder, ts, s.chunks[n-1].lastTS)
+		}
 		s.chunks = append(s.chunks, &chunk{})
 	}
 	if err := s.chunks[len(s.chunks)-1].append(ts, v); err != nil {
@@ -291,90 +299,183 @@ type WindowResult struct {
 	N     int
 }
 
-// Window aggregates the series into tumbling windows of the given width
-// (nanoseconds) across [from, to].
-func (s *Store) Window(name string, from, to, width int64, agg AggKind) ([]WindowResult, error) {
-	if width <= 0 {
-		return nil, fmt.Errorf("%w: width %d", ErrBadWindow, width)
-	}
-	pts, err := s.Range(name, from, to)
-	if err != nil {
-		return nil, err
-	}
-	byWindow := make(map[int64][]float64)
-	for _, p := range pts {
-		start := from + (p.TS-from)/width*width
-		byWindow[start] = append(byWindow[start], p.Value)
-	}
-	starts := make([]int64, 0, len(byWindow))
-	for st := range byWindow {
-		starts = append(starts, st)
-	}
-	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
-	out := make([]WindowResult, 0, len(starts))
-	for _, st := range starts {
-		vals := byWindow[st]
-		out = append(out, WindowResult{Start: st, Value: aggregate(vals, agg), N: len(vals)})
-	}
-	return out, nil
+// windowPartial is the combinable aggregation state of one window bucket as
+// seen by one chunk: enough to finish any AggKind after chunk-order folding.
+type windowPartial struct {
+	start    int64
+	sum      float64
+	count    int
+	min, max float64
+	last     float64
 }
 
-func aggregate(vals []float64, agg AggKind) float64 {
-	if len(vals) == 0 {
-		return 0
+// fold merges a later chunk's partial for the same bucket into w. Sums add
+// in chunk order (deterministic for a fixed chunking regardless of task
+// fan-out), min/max keep the earlier value on ties, last takes the later
+// chunk's value — exactly what a sequential point-order fold does.
+func (w *windowPartial) fold(nx windowPartial) {
+	w.sum += nx.sum
+	w.count += nx.count
+	if nx.min < w.min {
+		w.min = nx.min
 	}
+	if nx.max > w.max {
+		w.max = nx.max
+	}
+	w.last = nx.last
+}
+
+// finish resolves the partial to the aggregate's value.
+func (w windowPartial) finish(agg AggKind) float64 {
 	switch agg {
 	case AggMean:
-		var sum float64
-		for _, v := range vals {
-			sum += v
+		if w.count == 0 {
+			return 0
 		}
-		return sum / float64(len(vals))
+		return w.sum / float64(w.count)
 	case AggSum:
-		var sum float64
-		for _, v := range vals {
-			sum += v
-		}
-		return sum
+		return w.sum
 	case AggMin:
-		m := math.Inf(1)
-		for _, v := range vals {
-			if v < m {
-				m = v
-			}
-		}
-		return m
+		return w.min
 	case AggMax:
-		m := math.Inf(-1)
-		for _, v := range vals {
-			if v > m {
-				m = v
-			}
-		}
-		return m
+		return w.max
 	case AggCount:
-		return float64(len(vals))
+		return float64(w.count)
 	case AggLast:
-		return vals[len(vals)-1]
+		return w.last
 	default:
 		return 0
 	}
 }
 
-// Downsample rewrites the series as one point per window (the window mean),
-// returning the downsampled points without mutating the store.
-func (s *Store) Downsample(name string, width int64, agg AggKind) ([]Point, error) {
+// chunkWindowPartials decodes one chunk and accumulates its in-range points
+// into per-window partials. Points in a chunk are strictly time-ordered, so
+// the buckets come out in ascending start order.
+func chunkWindowPartials(c *chunk, from, to, width int64) []windowPartial {
+	var out []windowPartial
+	for _, p := range c.decode() {
+		if p.TS < from || p.TS > to {
+			continue
+		}
+		start := from + (p.TS-from)/width*width
+		if n := len(out); n == 0 || out[n-1].start != start {
+			out = append(out, windowPartial{start: start, min: math.Inf(1), max: math.Inf(-1)})
+		}
+		w := &out[len(out)-1]
+		w.sum += p.Value
+		w.count++
+		if p.Value < w.min {
+			w.min = p.Value
+		}
+		if p.Value > w.max {
+			w.max = p.Value
+		}
+		w.last = p.Value
+	}
+	return out
+}
+
+// windowChunks computes the window partials of the candidate chunks: the
+// per-chunk partials are computed in parallel over the shared scan pool —
+// one task per chunk slab, during the decode that Range already
+// parallelizes — and folded strictly in chunk order. parts <= 0 selects the
+// fan-out automatically from the decoded volume.
+//
+// Because partials are per *chunk* and the fold always walks chunks
+// left-to-right, the task fan-out only changes which worker decodes which
+// chunk — never the shape of any floating-point reduction — so results are
+// byte-identical at any partition count, including for SUM/AVG.
+func windowChunks(cands []*chunk, from, to, width int64, parts int) []windowPartial {
+	perChunk := make([][]windowPartial, len(cands))
+	pool := partition.Shared()
+	if parts <= 0 {
+		parts = partition.Auto(len(cands)*chunkSize, pool)
+	}
+	if parts > len(cands) {
+		parts = len(cands)
+	}
+	if parts <= 1 {
+		for i, c := range cands {
+			perChunk[i] = chunkWindowPartials(c, from, to, width)
+		}
+	} else {
+		ranges := partition.Split(len(cands), parts)
+		// Decoding cannot fail; Do's only error source is a canceled
+		// context, and Background never cancels.
+		_ = pool.Do(context.Background(), len(ranges), func(i int) error {
+			for ci := ranges[i].Lo; ci < ranges[i].Hi; ci++ {
+				perChunk[ci] = chunkWindowPartials(cands[ci], from, to, width)
+			}
+			return nil
+		})
+	}
+	// Chunks of a series are time-ordered and disjoint, so each chunk's
+	// bucket list ascends and only the boundary bucket can repeat across
+	// adjacent chunks: the merged list stays sorted with a single pass and
+	// no sort.
+	var out []windowPartial
+	for _, ps := range perChunk {
+		for _, p := range ps {
+			if n := len(out); n > 0 && out[n-1].start == p.start {
+				out[n-1].fold(p)
+			} else {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// Window aggregates the series into tumbling windows of the given width
+// (nanoseconds) across [from, to]. The aggregation runs over per-chunk
+// partial aggregates computed during the parallel chunk decode and combined
+// in chunk order (windowChunks), so results are deterministic — identical at
+// any partition count — and windows come out already sorted by start.
+func (s *Store) Window(name string, from, to, width int64, agg AggKind) ([]WindowResult, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("%w: width %d", ErrBadWindow, width)
+	}
 	s.mu.RLock()
+	defer s.mu.RUnlock()
 	sr, ok := s.series[name]
-	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSeries, name)
 	}
+	var cands []*chunk
+	for _, c := range sr.chunks {
+		if c.lastTS < from || c.first > to {
+			continue
+		}
+		cands = append(cands, c)
+	}
+	partials := windowChunks(cands, from, to, width, 0)
+	out := make([]WindowResult, 0, len(partials))
+	for _, w := range partials {
+		out = append(out, WindowResult{Start: w.start, Value: w.finish(agg), N: w.count})
+	}
+	return out, nil
+}
+
+// Downsample rewrites the series as one point per window (the window mean),
+// returning the downsampled points without mutating the store. It consumes
+// the same per-chunk window partials as Window.
+func (s *Store) Downsample(name string, width int64, agg AggKind) ([]Point, error) {
+	// Read the series bounds under the lock, then release before Window
+	// re-acquires it (RWMutex read locks must not nest: a waiting writer
+	// between the two acquisitions would deadlock).
+	s.mu.RLock()
+	sr, ok := s.series[name]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %q", ErrNoSeries, name)
+	}
 	if sr.n == 0 {
+		s.mu.RUnlock()
 		return nil, nil
 	}
 	first := sr.chunks[0].first
 	last := sr.chunks[len(sr.chunks)-1].lastTS
+	s.mu.RUnlock()
 	wrs, err := s.Window(name, first, last, width, agg)
 	if err != nil {
 		return nil, err

@@ -50,6 +50,31 @@ func TestOutOfOrderRejected(t *testing.T) {
 	}
 }
 
+// TestOutOfOrderRejectedAtChunkBoundary: a stale timestamp arriving exactly
+// when the previous chunk is full opens a fresh chunk with no lastTS of its
+// own — the cross-chunk ordering check must still reject it, or the
+// time-ordered-chunks invariant behind the window fold and range stitch
+// breaks silently.
+func TestOutOfOrderRejectedAtChunkBoundary(t *testing.T) {
+	s := New("ts")
+	fill(t, s, "a", chunkSize, 10) // exactly one full chunk, ts 0..5110
+	if err := s.Append("a", 5, 1); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("stale ts at chunk boundary: %v, want ErrOutOfOrder", err)
+	}
+	if err := s.Append("a", int64(chunkSize)*10, 1); err != nil {
+		t.Fatalf("in-order ts at chunk boundary: %v", err)
+	}
+	wrs, err := s.Window("a", 0, int64(chunkSize)*10, 1000, AggCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(wrs); i++ {
+		if wrs[i].Start <= wrs[i-1].Start {
+			t.Fatalf("windows out of order at %d: %d then %d", i, wrs[i-1].Start, wrs[i].Start)
+		}
+	}
+}
+
 func TestDeltaOfDeltaRoundTrip(t *testing.T) {
 	s := New("ts")
 	rng := rand.New(rand.NewSource(9))
@@ -107,6 +132,97 @@ func TestWindowAggregations(t *testing.T) {
 	}
 	if _, err := s.Window("v", 0, 99, 0, AggMean); !errors.Is(err, ErrBadWindow) {
 		t.Fatalf("zero width: %v", err)
+	}
+}
+
+// TestWindowWiderThanRange: a width larger than the whole queried range
+// collapses everything into one window anchored at from.
+func TestWindowWiderThanRange(t *testing.T) {
+	s := New("ts")
+	fill(t, s, "v", 100, 1) // ts 0..99, value = ts
+	wrs, err := s.Window("v", 0, 99, 1_000_000, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wrs) != 1 {
+		t.Fatalf("windows = %d, want 1", len(wrs))
+	}
+	if wrs[0].Start != 0 || wrs[0].Value != 4950 || wrs[0].N != 100 {
+		t.Fatalf("window = %+v, want start=0 sum=4950 n=100", wrs[0])
+	}
+}
+
+// TestWindowBoundaryPoints: a point whose timestamp lands exactly on a
+// window boundary belongs to the window it starts, never the previous one.
+func TestWindowBoundaryPoints(t *testing.T) {
+	s := New("ts")
+	// Points exactly at 0, 10, 20, ..., 90 — every one on a boundary.
+	for i := 0; i < 10; i++ {
+		if err := s.Append("v", int64(i)*10, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wrs, err := s.Window("v", 0, 90, 10, AggCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wrs) != 10 {
+		t.Fatalf("windows = %d, want 10 (one per boundary point)", len(wrs))
+	}
+	for i, w := range wrs {
+		if w.Start != int64(i)*10 || w.N != 1 {
+			t.Fatalf("window %d = %+v, want start=%d n=1", i, w, i*10)
+		}
+	}
+}
+
+// TestWindowNegativeFrom: window starts are anchored at from even when it is
+// negative, and points before from stay excluded.
+func TestWindowNegativeFrom(t *testing.T) {
+	s := New("ts")
+	fill(t, s, "v", 20, 1) // ts 0..19
+	wrs, err := s.Window("v", -7, 19, 10, AggCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windows anchored at -7: [-7,3) holds ts 0..2, [3,13) holds 3..12,
+	// [13,23) holds 13..19.
+	want := []WindowResult{
+		{Start: -7, Value: 3, N: 3},
+		{Start: 3, Value: 10, N: 10},
+		{Start: 13, Value: 7, N: 7},
+	}
+	if len(wrs) != len(want) {
+		t.Fatalf("windows = %+v, want %+v", wrs, want)
+	}
+	for i := range want {
+		if wrs[i] != want[i] {
+			t.Fatalf("window %d = %+v, want %+v", i, wrs[i], want[i])
+		}
+	}
+}
+
+// TestWindowEmptyRange: every AggKind over a span containing no points
+// yields no windows (empty windows are never emitted).
+func TestWindowEmptyRange(t *testing.T) {
+	s := New("ts")
+	fill(t, s, "v", 100, 10) // ts 0..990
+	for _, agg := range windowAggKinds {
+		wrs, err := s.Window("v", 1001, 2000, 50, agg)
+		if err != nil {
+			t.Fatalf("%s: %v", agg, err)
+		}
+		if len(wrs) != 0 {
+			t.Fatalf("%s: windows over empty span = %+v, want none", agg, wrs)
+		}
+	}
+	// Between two points: ts 10 and 20 exist, 11..19 holds none.
+	wrs, err := s.Window("v", 11, 19, 3, AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wrs) != 0 {
+		t.Fatalf("windows between points = %+v, want none", wrs)
 	}
 }
 
