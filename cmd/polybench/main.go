@@ -12,6 +12,11 @@
 //	polybench -loadgen -url http://localhost:8080 -clients 16 -requests 800 \
 //	  -body '{"frontend":"sql","engine":"db-clinical","statement":"SELECT count(*) AS n FROM patients"}'
 //
+//	# Streamed partial results: reads go to /query/stream and the report
+//	# adds time-to-first-row next to full-result latency.
+//	polybench -loadgen -stream \
+//	  -body '{"frontend":"sql","statement":"SELECT * FROM patients"}'
+//
 //	# 95/5 mixed read/write: every 20th request writes a timeseries point.
 //	# %d becomes a monotonic counter; with concurrent clients put it in the
 //	# series name (one series per write) rather than the timestamp, since
@@ -23,6 +28,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -66,6 +72,7 @@ func main() {
 	experiment := flag.String("experiment", "", "experiment id (E1..E15); empty runs all")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	loadgen := flag.Bool("loadgen", false, "drive a running polyserve instead of running experiments")
+	stream := flag.Bool("stream", false, "loadgen: POST /query/stream (NDJSON partial results) and report time-to-first-row alongside full-result latency")
 	url := flag.String("url", "http://localhost:8080", "polyserve base URL (loadgen)")
 	clients := flag.Int("clients", 8, "concurrent clients (loadgen)")
 	requests := flag.Int("requests", 400, "total requests across all clients (loadgen)")
@@ -82,7 +89,7 @@ func main() {
 	}
 
 	if *loadgen {
-		if err := runLoadgen(*url, *clients, *requests, bodies, *writeEvery, writeBodies); err != nil {
+		if err := runLoadgen(*url, *clients, *requests, bodies, *writeEvery, writeBodies, *stream); err != nil {
 			fmt.Fprintf(os.Stderr, "polybench: loadgen: %v\n", err)
 			os.Exit(1)
 		}
@@ -123,7 +130,12 @@ func main() {
 // every Nth request becomes a POST /ingest write cycling through
 // writeBodies: the mixed read/write mode that exercises the result cache's
 // surgical (version-vector) invalidation.
-func runLoadgen(baseURL string, clients, requests int, bodies []string, writeEvery int, writeBodies []string) error {
+// With stream set, reads go to /query/stream and the report adds
+// time-to-first-row — the latency win partial-result delivery exists for:
+// the first NDJSON line lands while the server is still producing the rest,
+// so TTFR sits strictly below the full-result latency whenever the result
+// spans more than one batch.
+func runLoadgen(baseURL string, clients, requests int, bodies []string, writeEvery int, writeBodies []string, stream bool) error {
 	if clients < 1 || requests < 1 {
 		return fmt.Errorf("-clients and -requests must be >= 1")
 	}
@@ -149,6 +161,9 @@ func runLoadgen(baseURL string, clients, requests int, bodies []string, writeEve
 	var (
 		mu         sync.Mutex
 		latencies  []time.Duration
+		ttfrs      []time.Duration // -stream: time to first NDJSON line
+		incomplete int             // -stream: streams missing the terminal record
+		inbandErrs int             // -stream: streams ending in the in-band error record
 		status     = map[int]int{}
 		netErrs    int
 		reads      int
@@ -185,6 +200,35 @@ func runLoadgen(baseURL string, clients, requests int, bodies []string, writeEve
 		go func() {
 			defer wg.Done()
 			for w := range work {
+				if stream && w.path == "/query" {
+					ttfr, total, code, ok, failed, err := streamOnce(hc, baseURL, w.body)
+					mu.Lock()
+					reads++
+					switch {
+					case err != nil:
+						netErrs++
+					case failed:
+						// In-band terminal error: the query failed after the
+						// 200 status line. Count it like a non-2xx — not a
+						// served read, not a latency sample.
+						inbandErrs++
+						status[code]++
+					case code >= 200 && code < 300 && !ok:
+						// Cut off mid-flight (no terminal record): not a
+						// served read, and its partial-prefix timing would
+						// flatter the stats exactly when the server fails.
+						incomplete++
+						status[code]++
+					default:
+						status[code]++
+						if code >= 200 && code < 300 {
+							latencies = append(latencies, total)
+							ttfrs = append(ttfrs, ttfr)
+						}
+					}
+					mu.Unlock()
+					continue
+				}
 				rt0 := time.Now()
 				resp, err := hc.Post(baseURL+w.path, "application/json", bytes.NewReader([]byte(w.body)))
 				lat := time.Since(rt0)
@@ -217,13 +261,7 @@ func runLoadgen(baseURL string, clients, requests int, bodies []string, writeEve
 	elapsed := time.Since(t0)
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	pct := func(q float64) time.Duration {
-		if len(latencies) == 0 {
-			return 0
-		}
-		i := int(q * float64(len(latencies)-1))
-		return latencies[i]
-	}
+	pct := func(q float64) time.Duration { return pctOf(latencies, q) }
 	fmt.Printf("loadgen: %d requests, %d clients, %d distinct bodies\n", requests, clients, len(bodies))
 	if writes > 0 {
 		fmt.Printf("  mix         %d reads / %d writes (every %d)\n", reads, writes, writeEvery)
@@ -234,9 +272,27 @@ func runLoadgen(baseURL string, clients, requests int, bodies []string, writeEve
 	// headline number exactly when the server is drowning.
 	fmt.Printf("  served      %d of %d reads (throughput %.1f req/s)\n",
 		len(latencies), reads, float64(len(latencies))/elapsed.Seconds())
-	fmt.Printf("  latency     p50=%s p95=%s p99=%s max=%s (served only)\n",
+	fmt.Printf("  latency     p50=%s p95=%s p99=%s max=%s (served only%s)\n",
 		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
-		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond),
+		map[bool]string{true: "; full streamed result", false: ""}[stream])
+	if stream {
+		sort.Slice(ttfrs, func(i, j int) bool { return ttfrs[i] < ttfrs[j] })
+		tpct := func(q float64) time.Duration { return pctOf(ttfrs, q) }
+		fmt.Printf("  first-row   p50=%s p95=%s p99=%s max=%s (time to first NDJSON line)\n",
+			tpct(0.50).Round(time.Microsecond), tpct(0.95).Round(time.Microsecond),
+			tpct(0.99).Round(time.Microsecond), tpct(1.0).Round(time.Microsecond))
+		if p50, f50 := tpct(0.50), pct(0.50); p50 > 0 && f50 > 0 {
+			fmt.Printf("  ttfr/full   p50 %.2fx (first row arrives at %.0f%% of full-result latency)\n",
+				float64(f50)/float64(p50), 100*float64(p50)/float64(f50))
+		}
+		if inbandErrs > 0 {
+			fmt.Printf("  failed      %d streams ended in the in-band error record (excluded from served/latency)\n", inbandErrs)
+		}
+		if incomplete > 0 {
+			fmt.Printf("  incomplete  %d streams ended without a summary/error record\n", incomplete)
+		}
+	}
 	keys := make([]int, 0, len(status))
 	for k := range status {
 		keys = append(keys, k)
@@ -250,6 +306,48 @@ func runLoadgen(baseURL string, clients, requests int, bodies []string, writeEve
 	}
 	printServerStats(hc, baseURL)
 	return nil
+}
+
+// pctOf reads the q-quantile of an ascending-sorted duration slice (0 when
+// empty).
+func pctOf(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+// streamOnce fires one POST /query/stream and drains the NDJSON response,
+// returning time-to-first-row (first response line), total latency, the
+// HTTP status, whether the stream carried a terminal record (a stream
+// without one was cut off mid-flight), and whether that terminal record
+// was the in-band error — a query that FAILED after the 200 status line,
+// which must not count as a served read.
+func streamOnce(hc *http.Client, baseURL, body string) (ttfr, total time.Duration, code int, complete, failed bool, err error) {
+	t0 := time.Now()
+	resp, err := hc.Post(baseURL+"/query/stream", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return 0, 0, 0, false, false, err
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if len(line) > 0 && ttfr == 0 {
+			ttfr = time.Since(t0)
+		}
+		switch {
+		case bytes.Contains(line, []byte(`"type":"summary"`)):
+			complete = true
+		case bytes.Contains(line, []byte(`"type":"error"`)):
+			complete = true
+			failed = true
+		}
+		if rerr != nil {
+			break
+		}
+	}
+	return ttfr, time.Since(t0), resp.StatusCode, complete, failed, nil
 }
 
 // printServerStats fetches /stats after the run and reports how the serving

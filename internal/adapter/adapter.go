@@ -69,6 +69,48 @@ type Adapter interface {
 	Execute(ctx context.Context, n *ir.Node, inputs []Value) (Value, ExecInfo, error)
 }
 
+// BatchSink receives one output batch of a streaming node execution. Batches
+// arrive in result order; the sink must not retain or mutate them (they may
+// be zero-copy views of engine storage).
+type BatchSink func(*cast.Batch) error
+
+// StreamChunkRows is the row granularity streaming executions chunk
+// materialized results at — aligned with the Volcano operators' vector width
+// so a streamed scan and a streamed operator pipeline produce equally sized
+// wire batches.
+const StreamChunkRows = 1024
+
+// StreamExecutor is implemented by adapters whose terminal operators can
+// emit result batches incrementally instead of only returning one
+// materialized table. The contract mirrors Execute exactly — same Value,
+// same ExecInfo, same errors — with one addition: the concatenation of the
+// batches passed to emit equals the returned Value's batch (the
+// streamed-equals-buffered invariant the serving layer's equivalence suite
+// pins). A sink error aborts the execution and surfaces as the node error.
+// Kinds an adapter cannot stream natively fall back to Execute followed by
+// chunked emission of the result (EmitChunked), which satisfies the same
+// contract trivially.
+type StreamExecutor interface {
+	ExecuteStream(ctx context.Context, n *ir.Node, inputs []Value, emit BatchSink) (Value, ExecInfo, error)
+}
+
+// EmitChunked streams a materialized batch through emit in StreamChunkRows
+// row views — the fallback path for operators that only produce full
+// results. ctx is checked between chunks so a canceled stream stops pushing
+// promptly. A nil emit (buffered execution sharing a streaming code path)
+// is a no-op.
+func EmitChunked(ctx context.Context, emit BatchSink, b *cast.Batch) error {
+	if emit == nil || b == nil {
+		return nil
+	}
+	return b.ForEachChunk(StreamChunkRows, func(chunk *cast.Batch) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return emit(chunk)
+	})
+}
+
 // DataVersioner is implemented by adapters whose backing store exposes a
 // monotonic mutation counter. The serving layer keys result caches on the
 // sum across adapters, so any store mutation invalidates results computed
@@ -139,3 +181,36 @@ func (s *batchSource) Next(context.Context) (*cast.Batch, error) {
 func (s *batchSource) Bulk(ctx context.Context) (*cast.Batch, error) { return s.Next(ctx) }
 
 var _ relational.BulkSource = (*batchSource)(nil)
+
+// chunkedSource adapts an in-memory batch to a relational.Operator that
+// yields StreamChunkRows row views per Next instead of the whole batch at
+// once. It deliberately does NOT implement BulkSource: operators above it
+// stay on their streaming path, so a terminal Filter/Project/HashJoin probe
+// emits per-chunk results as they are produced — the streaming execution
+// source. Results are identical to the bulk path (the partition-equivalence
+// guarantee), only the delivery granularity changes.
+type chunkedSource struct {
+	b   *cast.Batch
+	pos int
+}
+
+func (s *chunkedSource) Schema() cast.Schema             { return s.b.Schema() }
+func (s *chunkedSource) Open(context.Context) error      { s.pos = 0; return nil }
+func (s *chunkedSource) Close() error                    { return nil }
+func (s *chunkedSource) Stats() relational.OpStats       { return relational.OpStats{Kind: "Mem"} }
+func (s *chunkedSource) Children() []relational.Operator { return nil }
+func (s *chunkedSource) Next(context.Context) (*cast.Batch, error) {
+	if s.pos >= s.b.Rows() {
+		return nil, nil
+	}
+	hi := s.pos + StreamChunkRows
+	if hi > s.b.Rows() {
+		hi = s.b.Rows()
+	}
+	view, err := s.b.ViewRange(s.pos, hi)
+	if err != nil {
+		return nil, err
+	}
+	s.pos = hi
+	return view, nil
+}

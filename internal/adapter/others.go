@@ -199,8 +199,24 @@ func (a *Timeseries) Ingest(_ context.Context, w Ingest) error {
 	return a.store.Append(w.Series, w.TS, w.Value)
 }
 
-// Execute implements Adapter.
-func (a *Timeseries) Execute(_ context.Context, n *ir.Node, _ []Value) (Value, ExecInfo, error) {
+// Execute implements Adapter (the buffered path: exec with no sink).
+func (a *Timeseries) Execute(ctx context.Context, n *ir.Node, inputs []Value) (Value, ExecInfo, error) {
+	return a.exec(ctx, n, inputs, nil)
+}
+
+// ExecuteStream implements StreamExecutor: range scans and window
+// aggregations emit StreamChunkRows row views while the result batch is
+// being built from the store's (already computed, already parallel-decoded)
+// points, so wire encoding overlaps row materialization. Everything else
+// emits its buffered result chunked.
+func (a *Timeseries) ExecuteStream(ctx context.Context, n *ir.Node, inputs []Value, emit BatchSink) (Value, ExecInfo, error) {
+	return a.exec(ctx, n, inputs, emit)
+}
+
+// exec is the single implementation behind Execute and ExecuteStream — a
+// nil emit buffers, a non-nil emit receives row chunks mid-build
+// (growEmitter no-ops on nil) — so the two paths cannot drift apart.
+func (a *Timeseries) exec(ctx context.Context, n *ir.Node, _ []Value, emit BatchSink) (Value, ExecInfo, error) {
 	info := ExecInfo{RuleNodes: 1}
 	switch n.Kind {
 	case ir.OpTSRange:
@@ -210,10 +226,17 @@ func (a *Timeseries) Execute(_ context.Context, n *ir.Node, _ []Value) (Value, E
 		}
 		s := cast.MustSchema(cast.Column{Name: "ts", Type: cast.Timestamp}, cast.Column{Name: "value", Type: cast.Float64})
 		out := cast.NewBatch(s, len(pts))
+		ge := growEmitter{emit: emit}
 		for _, p := range pts {
 			if err := out.AppendRow(p.TS, p.Value); err != nil {
 				return Value{}, info, err
 			}
+			if err := ge.flush(ctx, out, false); err != nil {
+				return Value{}, info, err
+			}
+		}
+		if err := ge.flush(ctx, out, true); err != nil {
+			return Value{}, info, err
 		}
 		info.RowsOut = int64(out.Rows())
 		info.Native = fmt.Sprintf("Range(%s)", n.StringAttr("series"))
@@ -222,13 +245,20 @@ func (a *Timeseries) Execute(_ context.Context, n *ir.Node, _ []Value) (Value, E
 
 	case ir.OpTSWindow:
 		if prefix := n.StringAttr("series_prefix"); prefix != "" {
-			return a.entitySummary(prefix, info)
+			out, info, err := a.entitySummary(prefix, info)
+			if err != nil {
+				return out, info, err
+			}
+			if err := EmitChunked(ctx, emit, out.Batch); err != nil {
+				return Value{}, info, err
+			}
+			return out, info, nil
 		}
 		agg, err := parseAgg(n.StringAttr("agg"))
 		if err != nil {
 			return Value{}, info, err
 		}
-		wrs, err := a.store.Window(n.StringAttr("series"), n.IntAttr("from"), n.IntAttr("to"), n.IntAttr("width"), agg)
+		wrs, err := a.store.WindowN(n.StringAttr("series"), n.IntAttr("from"), n.IntAttr("to"), n.IntAttr("width"), agg, int(n.IntAttr("parts")))
 		if err != nil {
 			return Value{}, info, err
 		}
@@ -238,12 +268,19 @@ func (a *Timeseries) Execute(_ context.Context, n *ir.Node, _ []Value) (Value, E
 			cast.Column{Name: "n", Type: cast.Int64},
 		)
 		out := cast.NewBatch(s, len(wrs))
+		ge := growEmitter{emit: emit}
 		var items int64
 		for _, w := range wrs {
 			items += int64(w.N)
 			if err := out.AppendRow(w.Start, w.Value, int64(w.N)); err != nil {
 				return Value{}, info, err
 			}
+			if err := ge.flush(ctx, out, false); err != nil {
+				return Value{}, info, err
+			}
+		}
+		if err := ge.flush(ctx, out, true); err != nil {
+			return Value{}, info, err
 		}
 		info.RowsIn = items
 		info.RowsOut = int64(out.Rows())
@@ -254,6 +291,40 @@ func (a *Timeseries) Execute(_ context.Context, n *ir.Node, _ []Value) (Value, E
 	default:
 		return Value{}, info, fmt.Errorf("%w: %s on timeseries engine", ErrUnsupported, n.Kind)
 	}
+}
+
+// growEmitter streams chunk views of a batch under construction: flush
+// emits every completed StreamChunkRows span (and, with final set, the
+// remainder). Emitted views alias the batch's current backing arrays, which
+// append-only growth never rewrites in place — the same contract ViewRange
+// documents.
+type growEmitter struct {
+	emit BatchSink
+	sent int
+}
+
+func (g *growEmitter) flush(ctx context.Context, b *cast.Batch, final bool) error {
+	if g.emit == nil {
+		return nil // buffered execution sharing a streaming code path
+	}
+	for b.Rows()-g.sent >= StreamChunkRows || (final && b.Rows() > g.sent) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		hi := g.sent + StreamChunkRows
+		if hi > b.Rows() {
+			hi = b.Rows()
+		}
+		view, err := b.ViewRange(g.sent, hi)
+		if err != nil {
+			return err
+		}
+		if err := g.emit(view); err != nil {
+			return err
+		}
+		g.sent = hi
+	}
+	return nil
 }
 
 // entitySummary aggregates all series under prefix into one row per entity:
@@ -434,14 +505,29 @@ func (a *KV) Ingest(_ context.Context, w Ingest) error {
 	return nil
 }
 
-// Execute implements Adapter.
-func (a *KV) Execute(_ context.Context, n *ir.Node, _ []Value) (Value, ExecInfo, error) {
+// Execute implements Adapter (the buffered path: exec with no sink).
+func (a *KV) Execute(ctx context.Context, n *ir.Node, inputs []Value) (Value, ExecInfo, error) {
+	return a.exec(ctx, n, inputs, nil)
+}
+
+// ExecuteStream implements StreamExecutor: prefix scans emit
+// StreamChunkRows row views while keys are being gathered, so large
+// keyspaces hit the wire before the scan finishes. Point gets are one row
+// and stream trivially.
+func (a *KV) ExecuteStream(ctx context.Context, n *ir.Node, inputs []Value, emit BatchSink) (Value, ExecInfo, error) {
+	return a.exec(ctx, n, inputs, emit)
+}
+
+// exec is the single implementation behind Execute and ExecuteStream (nil
+// emit buffers; growEmitter no-ops on nil), so the paths cannot drift.
+func (a *KV) exec(ctx context.Context, n *ir.Node, _ []Value, emit BatchSink) (Value, ExecInfo, error) {
 	info := ExecInfo{RuleNodes: 1}
 	switch n.Kind {
 	case ir.OpKVScan:
 		keys := a.store.ScanPrefix(n.StringAttr("prefix"))
 		s := cast.MustSchema(cast.Column{Name: "key", Type: cast.String}, cast.Column{Name: "value", Type: cast.String})
 		out := cast.NewBatch(s, len(keys))
+		ge := growEmitter{emit: emit}
 		for _, k := range keys {
 			v, err := a.store.Get(k)
 			if err != nil {
@@ -450,6 +536,12 @@ func (a *KV) Execute(_ context.Context, n *ir.Node, _ []Value) (Value, ExecInfo,
 			if err := out.AppendRow(k, string(v)); err != nil {
 				return Value{}, info, err
 			}
+			if err := ge.flush(ctx, out, false); err != nil {
+				return Value{}, info, err
+			}
+		}
+		if err := ge.flush(ctx, out, true); err != nil {
+			return Value{}, info, err
 		}
 		info.RowsOut = int64(out.Rows())
 		info.Native = fmt.Sprintf("ScanPrefix(%q)", n.StringAttr("prefix"))
@@ -457,22 +549,35 @@ func (a *KV) Execute(_ context.Context, n *ir.Node, _ []Value) (Value, ExecInfo,
 		return Value{Batch: out}, info, nil
 
 	case ir.OpKVGet:
-		v, err := a.store.Get(n.StringAttr("key"))
+		out, info, err := a.kvGet(n)
 		if err != nil {
+			return out, info, err
+		}
+		if err := EmitChunked(ctx, emit, out.Batch); err != nil {
 			return Value{}, info, err
 		}
-		s := cast.MustSchema(cast.Column{Name: "key", Type: cast.String}, cast.Column{Name: "value", Type: cast.String})
-		out := cast.NewBatch(s, 1)
-		if err := out.AppendRow(n.StringAttr("key"), string(v)); err != nil {
-			return Value{}, info, err
-		}
-		info.RowsOut = 1
-		info.Native = fmt.Sprintf("Get(%q)", n.StringAttr("key"))
-		return Value{Batch: out}, info, nil
+		return out, info, nil
 
 	default:
 		return Value{}, info, fmt.Errorf("%w: %s on kv engine", ErrUnsupported, n.Kind)
 	}
+}
+
+// kvGet serves one point lookup.
+func (a *KV) kvGet(n *ir.Node) (Value, ExecInfo, error) {
+	info := ExecInfo{RuleNodes: 1}
+	v, err := a.store.Get(n.StringAttr("key"))
+	if err != nil {
+		return Value{}, info, err
+	}
+	s := cast.MustSchema(cast.Column{Name: "key", Type: cast.String}, cast.Column{Name: "value", Type: cast.String})
+	out := cast.NewBatch(s, 1)
+	if err := out.AppendRow(n.StringAttr("key"), string(v)); err != nil {
+		return Value{}, info, err
+	}
+	info.RowsOut = 1
+	info.Native = fmt.Sprintf("Get(%q)", n.StringAttr("key"))
+	return Value{Batch: out}, info, nil
 }
 
 // --- ML adapter ---
@@ -528,6 +633,11 @@ func (a *ML) Execute(ctx context.Context, n *ir.Node, inputs []Value) (Value, Ex
 		}
 		nRows := x.Dim(0)
 		for e := 0; e < epochs; e++ {
+			// Checked per epoch so a canceled request (deadline, disconnect)
+			// stops burning CPU instead of finishing a doomed training run.
+			if err := ctx.Err(); err != nil {
+				return Value{}, info, err
+			}
 			for lo := 0; lo < nRows; lo += batch {
 				hi := lo + batch
 				if hi > nRows {

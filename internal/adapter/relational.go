@@ -111,6 +111,7 @@ func (a *Relational) Execute(ctx context.Context, n *ir.Node, inputs []Value) (V
 			return Value{}, info, fmt.Errorf("%w: filter without pred", ErrBadNode)
 		}
 		op := relational.NewFilter(&batchSource{b: in}, pred)
+		op.Parts = int(n.IntAttr("parts"))
 		out, err := relational.Run(ctx, op)
 		if err != nil {
 			return Value{}, info, err
@@ -134,6 +135,7 @@ func (a *Relational) Execute(ctx context.Context, n *ir.Node, inputs []Value) (V
 		if err != nil {
 			return Value{}, info, err
 		}
+		op.Parts = int(n.IntAttr("parts"))
 		out, err := relational.Run(ctx, op)
 		if err != nil {
 			return Value{}, info, err
@@ -166,6 +168,7 @@ func (a *Relational) Execute(ctx context.Context, n *ir.Node, inputs []Value) (V
 			if err != nil {
 				return Value{}, info, err
 			}
+			op.Parts = int(n.IntAttr("parts"))
 			out, err = relational.Run(ctx, op)
 			if err != nil {
 				return Value{}, info, err
@@ -232,6 +235,7 @@ func (a *Relational) Execute(ctx context.Context, n *ir.Node, inputs []Value) (V
 		if err != nil {
 			return Value{}, info, err
 		}
+		op.Parts = int(n.IntAttr("parts"))
 		out, err := relational.Run(ctx, op)
 		if err != nil {
 			return Value{}, info, err
@@ -279,6 +283,140 @@ func (a *Relational) Execute(ctx context.Context, n *ir.Node, inputs []Value) (V
 
 	default:
 		return Value{}, info, fmt.Errorf("%w: %s on relational engine", ErrUnsupported, n.Kind)
+	}
+}
+
+// ExecuteStream implements StreamExecutor: terminal relational operators
+// emit result batches as they are produced. Scans emit StreamChunkRows
+// views of the snapshot, filter/project/hash-join run their Volcano
+// operators over a chunked source so every per-chunk output batch goes out
+// the moment it exists, and SQL streams the root operator's batches. Kinds
+// that materialize regardless (sort, group-by, merge join, limit, index
+// scan) execute buffered and emit the result chunked — same wire shape,
+// same Value/ExecInfo as Execute in every case.
+func (a *Relational) ExecuteStream(ctx context.Context, n *ir.Node, inputs []Value, emit BatchSink) (Value, ExecInfo, error) {
+	info := ExecInfo{RuleNodes: 1}
+	switch n.Kind {
+	case ir.OpScan:
+		table := n.StringAttr("table")
+		t, err := a.engine.Store().Table(table)
+		if err != nil {
+			return Value{}, info, err
+		}
+		out := t.Snapshot()
+		if err := EmitChunked(ctx, emit, out); err != nil {
+			return Value{}, info, err
+		}
+		info.RowsOut = int64(out.Rows())
+		info.Native = "SeqScan(" + table + ")"
+		info.Kernels = []KernelCall{{Class: hw.KProject, Work: hw.Work{Items: int64(out.Rows()), Bytes: out.ByteSize()}, OutBytes: out.ByteSize()}}
+		return Value{Batch: out}, info, nil
+
+	case ir.OpFilter:
+		in, err := tabular(inputs, 0)
+		if err != nil {
+			return Value{}, info, err
+		}
+		pred, ok := n.Attr("pred").(relational.Expr)
+		if !ok {
+			return Value{}, info, fmt.Errorf("%w: filter without pred", ErrBadNode)
+		}
+		op := relational.NewFilter(&chunkedSource{b: in}, pred)
+		out, err := relational.RunEmit(ctx, op, emit)
+		if err != nil {
+			return Value{}, info, err
+		}
+		info.RowsIn = int64(in.Rows())
+		info.RowsOut = int64(out.Rows())
+		info.Native = "Filter" + pred.String()
+		info.Kernels = []KernelCall{{Class: hw.KFilter, Work: hw.Work{Items: int64(in.Rows()), Bytes: in.ByteSize()}, OutBytes: out.ByteSize()}}
+		return Value{Batch: out}, info, nil
+
+	case ir.OpProject:
+		in, err := tabular(inputs, 0)
+		if err != nil {
+			return Value{}, info, err
+		}
+		items, ok := n.Attr("items").([]relational.ProjItem)
+		if !ok {
+			return Value{}, info, fmt.Errorf("%w: project without items", ErrBadNode)
+		}
+		op, err := relational.NewProject(&chunkedSource{b: in}, items)
+		if err != nil {
+			return Value{}, info, err
+		}
+		out, err := relational.RunEmit(ctx, op, emit)
+		if err != nil {
+			return Value{}, info, err
+		}
+		info.RowsIn = int64(in.Rows())
+		info.RowsOut = int64(out.Rows())
+		info.Native = "Project"
+		info.Kernels = []KernelCall{{Class: hw.KProject, Work: hw.Work{Items: int64(in.Rows()), Bytes: in.ByteSize()}, OutBytes: out.ByteSize()}}
+		return Value{Batch: out}, info, nil
+
+	case ir.OpHashJoin:
+		left, err := tabular(inputs, 0)
+		if err != nil {
+			return Value{}, info, err
+		}
+		right, err := tabular(inputs, 1)
+		if err != nil {
+			return Value{}, info, err
+		}
+		lc, rc := n.StringAttr("left_col"), n.StringAttr("right_col")
+		if !right.Schema().Has(base(rc)) && right.Schema().Has(base(lc)) {
+			lc, rc = rc, lc
+		}
+		// The build side drains in full (and still fans out under the parts
+		// knob); only probe delivery streams per chunk.
+		op, err := relational.NewHashJoin(&chunkedSource{b: left}, &batchSource{b: right}, lc, rc)
+		if err != nil {
+			return Value{}, info, err
+		}
+		op.Parts = int(n.IntAttr("parts"))
+		out, err := relational.RunEmit(ctx, op, emit)
+		if err != nil {
+			return Value{}, info, err
+		}
+		info.Kernels = []KernelCall{
+			{Class: hw.KHashBuild, Work: hw.Work{Items: int64(right.Rows()), Bytes: right.ByteSize()}},
+			{Class: hw.KHashProbe, Work: hw.Work{Items: int64(left.Rows()), Bytes: left.ByteSize()}, OutBytes: out.ByteSize()},
+		}
+		info.Native = fmt.Sprintf("HashJoin(%s=%s)", lc, rc)
+		info.RowsIn = int64(left.Rows() + right.Rows())
+		info.RowsOut = int64(out.Rows())
+		return Value{Batch: out}, info, nil
+
+	case ir.OpSQL:
+		sql := n.StringAttr("sql")
+		// BatchSink's underlying type matches QueryStream's parameter, and
+		// passing emit directly preserves nilness (a nil sink means
+		// buffered execution sharing this code path).
+		out, stats, err := a.engine.QueryStream(ctx, sql, emit)
+		if err != nil {
+			return Value{}, info, err
+		}
+		var rowsIn int64
+		for _, st := range stats {
+			rowsIn += st.RowsIn
+		}
+		info.RowsIn = rowsIn
+		info.RowsOut = int64(out.Rows())
+		info.Native = sql
+		info.RuleNodes = int64(len(stats))
+		info.Kernels = []KernelCall{{Class: hw.KFilter, Work: hw.Work{Items: rowsIn, Bytes: out.ByteSize()}, OutBytes: out.ByteSize()}}
+		return Value{Batch: out}, info, nil
+
+	default:
+		out, info, err := a.Execute(ctx, n, inputs)
+		if err != nil {
+			return out, info, err
+		}
+		if err := EmitChunked(ctx, emit, out.Batch); err != nil {
+			return Value{}, info, err
+		}
+		return out, info, nil
 	}
 }
 

@@ -475,6 +475,36 @@ func (b *Batch) ViewRange(lo, hi int) (*Batch, error) {
 	return out, nil
 }
 
+// ForEachChunk calls fn with consecutive zero-copy row-range views of at
+// most size rows each, in row order, stopping at the first error. The views
+// carry ViewRange's aliasing contract (read-only, safe against append-only
+// growth). Streaming result paths use it to turn a materialized batch into
+// an ordered sequence of wire-sized chunks whose concatenation is exactly
+// the batch. An empty batch yields no calls; size < 1 yields one view of the
+// whole batch.
+func (b *Batch) ForEachChunk(size int, fn func(chunk *Batch) error) error {
+	if b.rows == 0 {
+		return nil
+	}
+	if size < 1 {
+		size = b.rows
+	}
+	for lo := 0; lo < b.rows; lo += size {
+		hi := lo + size
+		if hi > b.rows {
+			hi = b.rows
+		}
+		view, err := b.ViewRange(lo, hi)
+		if err != nil {
+			return err
+		}
+		if err := fn(view); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Slice returns a new batch holding rows [lo, hi). Data is copied so the
 // result is independent of the receiver.
 func (b *Batch) Slice(lo, hi int) (*Batch, error) {

@@ -471,3 +471,54 @@ func TestHConcat(t *testing.T) {
 		t.Fatalf("schema arity mismatch: %v", err)
 	}
 }
+
+func TestForEachChunk(t *testing.T) {
+	s := MustSchema(Column{Name: "a", Type: Int64}, Column{Name: "b", Type: String})
+	b := NewBatch(s, 10)
+	for i := 0; i < 10; i++ {
+		if err := b.AppendRow(int64(i), "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Chunks of 3 over 10 rows: 3+3+3+1, concatenating back to the batch.
+	var sizes []int
+	concat := NewBatch(s, 10)
+	if err := b.ForEachChunk(3, func(chunk *Batch) error {
+		sizes = append(sizes, chunk.Rows())
+		return concat.AppendBatch(chunk)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 4 || sizes[0] != 3 || sizes[3] != 1 {
+		t.Fatalf("chunk sizes = %v", sizes)
+	}
+	if !concat.Equal(b) {
+		t.Fatal("chunk concatenation differs from source batch")
+	}
+	// size < 1 yields one whole-batch view; empty batches yield no calls.
+	calls := 0
+	if err := b.ForEachChunk(0, func(chunk *Batch) error {
+		calls++
+		if chunk.Rows() != 10 {
+			t.Fatalf("whole-batch view rows = %d", chunk.Rows())
+		}
+		return nil
+	}); err != nil || calls != 1 {
+		t.Fatalf("size<1: calls=%d err=%v", calls, err)
+	}
+	if err := NewBatch(s, 0).ForEachChunk(4, func(*Batch) error {
+		t.Fatal("empty batch produced a chunk")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Errors stop the iteration and propagate.
+	boom := errors.New("stop")
+	calls = 0
+	if err := b.ForEachChunk(4, func(*Batch) error {
+		calls++
+		return boom
+	}); !errors.Is(err, boom) || calls != 1 {
+		t.Fatalf("error propagation: calls=%d err=%v", calls, err)
+	}
+}

@@ -295,9 +295,9 @@ func (res *Results) First() adapter.Value {
 // produce identical Results and Reports (modulo host wall times).
 func (r *Runtime) Execute(ctx context.Context, plan *compiler.Plan) (*Results, *Report, error) {
 	if !r.sequential && planWidth(plan) > 1 {
-		return r.executeConcurrent(ctx, plan)
+		return r.executeConcurrent(ctx, plan, nil)
 	}
-	return r.executeSequential(ctx, plan)
+	return r.executeSequential(ctx, plan, nil)
 }
 
 // planWidth returns the widest stage of the plan's schedule — the maximum
@@ -314,7 +314,8 @@ func planWidth(plan *compiler.Plan) int {
 
 // executeSequential is the baseline executor: one node at a time in
 // topological order, interleaving real execution and simulated costing.
-func (r *Runtime) executeSequential(ctx context.Context, plan *compiler.Plan) (*Results, *Report, error) {
+// st, when non-nil, streams the designated sink node's batches (stream.go).
+func (r *Runtime) executeSequential(ctx context.Context, plan *compiler.Plan, st *nodeStream) (*Results, *Report, error) {
 	t0 := time.Now()
 	g := plan.Graph
 	values := make(map[ir.NodeID]adapter.Value, g.Len())
@@ -340,7 +341,7 @@ func (r *Runtime) executeSequential(ctx context.Context, plan *compiler.Plan) (*
 				start = finish[in]
 			}
 		}
-		run := r.runNode(ctx, n, inputs)
+		run := r.runNode(ctx, n, inputs, st)
 		if run.err != nil {
 			return nil, nil, fmt.Errorf("%w: node %d (%s): %w", ErrExec, id, n.Kind, run.err)
 		}
@@ -392,8 +393,10 @@ type nodeRun struct {
 }
 
 // runNode performs a node's real work — adapter translation and native
-// execution, or data migration — without touching the simulated clock.
-func (r *Runtime) runNode(ctx context.Context, n *ir.Node, inputs []adapter.Value) *nodeRun {
+// execution, or data migration — without touching the simulated clock. When
+// st designates this node for streaming, output batches flow through the
+// sink as the adapter produces them (stream.go).
+func (r *Runtime) runNode(ctx context.Context, n *ir.Node, inputs []adapter.Value, st *nodeStream) *nodeRun {
 	run := &nodeRun{}
 	t0 := time.Now()
 	if n.Kind == ir.OpMigrate {
@@ -416,7 +419,16 @@ func (r *Runtime) runNode(ctx context.Context, n *ir.Node, inputs []adapter.Valu
 		run.err = fmt.Errorf("%w: %q", ErrNoAdapter, n.Engine)
 		return run
 	}
-	out, info, err := a.Execute(ctx, n, inputs)
+	var (
+		out  adapter.Value
+		info adapter.ExecInfo
+		err  error
+	)
+	if st != nil && st.node == n.ID {
+		out, info, err = r.runStreamedNode(ctx, a, n, inputs, st)
+	} else {
+		out, info, err = a.Execute(ctx, n, inputs)
+	}
 	if err != nil {
 		run.err = err
 		return run

@@ -54,7 +54,11 @@ type schedNode struct {
 }
 
 // executeConcurrent runs the plan through the concurrent DAG scheduler.
-func (r *Runtime) executeConcurrent(ctx context.Context, plan *compiler.Plan) (*Results, *Report, error) {
+// st, when non-nil, streams the designated sink node's batches (stream.go);
+// only the single worker executing that node touches the sink, and the
+// coordinator's cancel+wait teardown guarantees no emission outlives this
+// call.
+func (r *Runtime) executeConcurrent(ctx context.Context, plan *compiler.Plan, st *nodeStream) (*Results, *Report, error) {
 	t0 := time.Now()
 	g := plan.Graph
 	order, err := g.TopoSort()
@@ -86,6 +90,7 @@ func (r *Runtime) executeConcurrent(ctx context.Context, plan *compiler.Plan) (*
 		nodes:     nodes,
 		consumers: consumers,
 		queues:    make(map[string]chan *schedNode),
+		st:        st,
 	}
 	// Create every queue before any dispatch (workers never mutate the map),
 	// each sized to the nodes it will ever receive so dispatching never
@@ -202,6 +207,8 @@ type scheduler struct {
 	nodes     map[ir.NodeID]*schedNode
 	consumers map[ir.NodeID][]ir.NodeID
 	queues    map[string]chan *schedNode
+	// st streams the designated sink node's output; nil for buffered runs.
+	st *nodeStream
 
 	inflight    atomic.Int32
 	maxInflight atomic.Int32
@@ -230,7 +237,7 @@ func (s *scheduler) runScheduled(ctx context.Context, sn *schedNode) {
 		// writes.
 		inputs[i] = s.nodes[in].run.out
 	}
-	sn.run = s.rt.runNode(ctx, sn.n, inputs)
+	sn.run = s.rt.runNode(ctx, sn.n, inputs, s.st)
 	close(sn.done)
 	if sn.run.err != nil {
 		return // consumers stay undispatched; the coordinator stops first

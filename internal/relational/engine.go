@@ -33,6 +33,23 @@ func (e *Engine) Query(ctx context.Context, sql string) (*cast.Batch, []OpStats,
 	return out, WalkStats(plan), nil
 }
 
+// QueryStream is Query with incremental result delivery: every batch the
+// root operator yields is handed to emit in order before the next one is
+// pulled (RunEmit), and the returned batch is the concatenation of exactly
+// the emitted batches — the invariant streaming responses are pinned
+// against. Stats are collected after the drain, as Query does.
+func (e *Engine) QueryStream(ctx context.Context, sql string, emit func(*cast.Batch) error) (*cast.Batch, []OpStats, error) {
+	plan, err := e.Plan(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := RunEmit(ctx, plan, emit)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, WalkStats(plan), nil
+}
+
 // Plan parses sql and lowers it to a physical operator tree.
 func (e *Engine) Plan(sql string) (Operator, error) {
 	stmt, err := Parse(sql)

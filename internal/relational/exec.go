@@ -36,6 +36,17 @@ type Operator interface {
 
 // Run opens op, drains it into one batch, and closes it.
 func Run(ctx context.Context, op Operator) (*cast.Batch, error) {
+	return RunEmit(ctx, op, nil)
+}
+
+// RunEmit is Run with incremental delivery: every non-empty batch the
+// operator yields is handed to emit, in order, before the next one is
+// pulled, and the returned batch is the concatenation of exactly the
+// emitted batches — the invariant streaming result paths are pinned
+// against. A nil emit degrades to the plain drain. ctx is checked per
+// batch so canceled streams stop pulling promptly; a sink error aborts the
+// drain and surfaces as the operator error.
+func RunEmit(ctx context.Context, op Operator, emit func(*cast.Batch) error) (*cast.Batch, error) {
 	if err := op.Open(ctx); err != nil {
 		return nil, err
 	}
@@ -51,6 +62,14 @@ func Run(ctx context.Context, op Operator) (*cast.Batch, error) {
 		}
 		if b == nil {
 			return out, nil
+		}
+		if b.Rows() == 0 {
+			continue
+		}
+		if emit != nil {
+			if err := emit(b); err != nil {
+				return nil, err
+			}
 		}
 		if err := out.AppendBatch(b); err != nil {
 			return nil, err

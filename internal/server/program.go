@@ -160,6 +160,18 @@ func buildProgram(steps []ProgramStep) (*eide.Program, error) {
 			if epochs <= 0 {
 				epochs = 5
 			}
+			// Bound the client-controlled training shape: a hostile body
+			// must not be able to demand multi-gigabyte weight matrices or
+			// effectively unbounded CPU from one request.
+			if hidden > 1024 {
+				return nil, fmt.Errorf("step %q: hidden %d exceeds limit 1024", st.ID, hidden)
+			}
+			if epochs > 100000 {
+				return nil, fmt.Errorf("step %q: epochs %d exceeds limit 100000", st.ID, epochs)
+			}
+			if batch < 0 {
+				batch = 0
+			}
 			node = p.Train(st.Engine, in, st.FeatureCols, st.LabelCol, hidden, epochs, batch, st.LR)
 		case "predict":
 			var model, in ir.NodeID

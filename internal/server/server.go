@@ -28,16 +28,17 @@
 //
 // Endpoints:
 //
-//	POST /query    {"frontend":"sql","engine":"db","statement":"SELECT ..."}
-//	               {"frontend":"nl","statement":"how many patients are there?"}
-//	               {"frontend":"text","engine":"txt","statement":"sedation","k":5}
-//	               {"frontend":"program","program":[{...step...},...]}
-//	POST /ingest   {"engine":"db","table":"patients","row":[1,2,3]}
-//	               {"engine":"ts","series":"vitals/1/hr","ts":123,"value":70}
-//	               {"engine":"kv","key":"session/9","data":"..."}
-//	GET  /healthz  liveness + registered engines
-//	GET  /metrics  Prometheus text exposition
-//	GET  /stats    JSON serving statistics
+//	POST /query         {"frontend":"sql","engine":"db","statement":"SELECT ..."}
+//	                    {"frontend":"nl","statement":"how many patients are there?"}
+//	                    {"frontend":"text","engine":"txt","statement":"sedation","k":5}
+//	                    {"frontend":"program","program":[{...step...},...]}
+//	POST /query/stream  same body; NDJSON partial-result response (stream.go)
+//	POST /ingest        {"engine":"db","table":"patients","row":[1,2,3]}
+//	                    {"engine":"ts","series":"vitals/1/hr","ts":123,"value":70}
+//	                    {"engine":"kv","key":"session/9","data":"..."}
+//	GET  /healthz       liveness + registered engines
+//	GET  /metrics       Prometheus text exposition
+//	GET  /stats         JSON serving statistics
 package server
 
 import (
@@ -187,6 +188,7 @@ func New(rt *core.Runtime, opts compiler.Options, cfg Config) *Server {
 		s.nl = eide.NewNLTranslator(cfg.NL.Relational, cfg.NL.Timeseries, cfg.NL.Text, cfg.NL.ML)
 	}
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/query/stream", s.handleQueryStream)
 	s.mux.HandleFunc("/ingest", s.handleIngest)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -232,6 +234,12 @@ type QueryRequest struct {
 	Accel *bool `json:"accel,omitempty"`
 	// MaxRows caps result rows (clamped to the server's MaxRows).
 	MaxRows int `json:"max_rows,omitempty"`
+	// Parts pins the partition fan-out of every partitionable operator in
+	// the program (filter/project/group-by/hash-join scans, timeseries
+	// windows). 0 keeps automatic sizing. Results are identical at any value
+	// — the partition-equivalence guarantee — so this is a tuning and
+	// testing knob, and it participates in the plan/result cache keys.
+	Parts int `json:"parts,omitempty"`
 }
 
 // QueryResponse is the POST /query success body.
@@ -280,6 +288,113 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// preparedQuery is the decoded-and-keyed preamble shared by /query and
+// /query/stream: the built program, the per-request deadline, the effective
+// compiler options, and the cache keys.
+type preparedQuery struct {
+	req     QueryRequest
+	prog    *eide.Program
+	nlRule  string
+	timeout time.Duration
+	opts    compiler.Options
+	planKey string
+	touches compiler.Touches
+	vv      string
+	resKey  string
+}
+
+// prepareQuery decodes the request body, builds and checks the program, and
+// derives the deadline, options and cache keys. On failure it writes the
+// error response and returns nil (nothing has been executed yet, so plain
+// HTTP status codes still apply on both the buffered and streaming paths).
+func (s *Server) prepareQuery(w http.ResponseWriter, r *http.Request) *preparedQuery {
+	p := &preparedQuery{}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p.req); err != nil {
+		s.reg.Counter("server.bad_request").Inc()
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return nil
+	}
+
+	var err error
+	p.prog, p.nlRule, err = s.buildProgram(&p.req)
+	if err != nil {
+		s.reg.Counter("server.bad_request").Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil
+	}
+	if err := s.checkEngines(p.prog.Graph()); err != nil {
+		s.reg.Counter("server.bad_request").Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil
+	}
+	// The partition override mutates the graph before fingerprinting, so
+	// plans compiled at different fan-outs never share a cache entry.
+	stampParts(p.prog.Graph(), p.req.Parts)
+
+	// Per-request deadline: admission waiting and execution both run under
+	// it, so a request stuck in the queue cannot outlive its budget.
+	p.timeout = s.cfg.DefaultTimeout
+	if p.req.TimeoutMS > 0 {
+		p.timeout = time.Duration(p.req.TimeoutMS) * time.Millisecond
+	}
+	if p.timeout > s.cfg.MaxTimeout {
+		p.timeout = s.cfg.MaxTimeout
+	}
+
+	p.opts = s.opts
+	if p.req.Level != nil {
+		p.opts.Level = *p.req.Level
+	}
+	if p.req.Accel != nil {
+		p.opts.Accel = *p.req.Accel
+	}
+	// One fingerprint pass serves both caches: the plan cache keys on the
+	// program + compiler options; the result cache and single-flight add the
+	// version vector of exactly the engines/tables the program touches, so
+	// results never outlive the data they were computed on — and writes to
+	// untouched stores don't rotate the key (surgical invalidation).
+	p.planKey = compiler.Key(p.prog.Graph(), p.opts)
+	p.touches = s.touchesFor(p.planKey, p.prog.Graph())
+	p.vv = s.rt.VersionVector(p.touches)
+	p.resKey = p.planKey + "|" + p.vv
+	return p
+}
+
+// partitionedKinds are the operator kinds whose execution honors a "parts"
+// partition-count attribute.
+var partitionedKinds = map[ir.OpKind]bool{
+	ir.OpFilter: true, ir.OpProject: true, ir.OpGroupBy: true,
+	ir.OpHashJoin: true, ir.OpTSWindow: true,
+}
+
+// maxParts caps the client-requested partition fan-out: far beyond any real
+// core count, small enough that per-partition bookkeeping (range slices,
+// partial accumulators) cannot be driven into absurd allocations by a
+// hostile request body.
+const maxParts = 4096
+
+// stampParts pins the partition fan-out of every partitionable operator in
+// the program. parts <= 0 leaves automatic sizing untouched.
+func stampParts(g *ir.Graph, parts int) {
+	if parts <= 0 {
+		return
+	}
+	if parts > maxParts {
+		parts = maxParts
+	}
+	for _, n := range g.Nodes() {
+		if !partitionedKinds[n.Kind] {
+			continue
+		}
+		if n.Attrs == nil {
+			n.Attrs = make(map[string]any, 1)
+		}
+		n.Attrs["parts"] = int64(parts)
+	}
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
@@ -288,78 +403,41 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter("server.requests").Inc()
 	t0 := time.Now()
 
-	var req QueryRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		s.reg.Counter("server.bad_request").Inc()
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	p := s.prepareQuery(w, r)
+	if p == nil {
 		return
 	}
-
-	prog, nlRule, err := s.buildProgram(&req)
-	if err != nil {
-		s.reg.Counter("server.bad_request").Inc()
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	if err := s.checkEngines(prog.Graph()); err != nil {
-		s.reg.Counter("server.bad_request").Inc()
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-
-	// Per-request deadline: admission waiting and execution both run under
-	// it, so a request stuck in the queue cannot outlive its budget.
-	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMS > 0 {
-		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
-	}
-	if timeout > s.cfg.MaxTimeout {
-		timeout = s.cfg.MaxTimeout
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := context.WithTimeout(r.Context(), p.timeout)
 	defer cancel()
 
-	opts := s.opts
-	if req.Level != nil {
-		opts.Level = *req.Level
-	}
-	if req.Accel != nil {
-		opts.Accel = *req.Accel
-	}
-	// One fingerprint pass serves both caches: the plan cache keys on the
-	// program + compiler options; the result cache and single-flight add the
-	// version vector of exactly the engines/tables the program touches, so
-	// results never outlive the data they were computed on — and writes to
-	// untouched stores don't rotate the key (surgical invalidation).
-	planKey := compiler.Key(prog.Graph(), opts)
-	touches := s.touchesFor(planKey, prog.Graph())
-	vv := s.rt.VersionVector(touches)
-	resKey := planKey + "|" + vv
-
-	out, err := s.runQuery(ctx, planKey, resKey, touches, vv, prog.Graph(), opts)
+	out, err := s.runQuery(ctx, p, nil)
 	if err != nil {
-		s.writeQueryError(w, err, timeout)
+		s.writeQueryError(w, err, p.timeout)
 		return
 	}
 
-	resp, err := s.encodeResults(&req, out.res, out.rep)
+	resp, err := s.encodeResults(&p.req, out.res, out.rep)
 	if err != nil {
 		s.reg.Counter("server.exec_errors").Inc()
 		writeError(w, http.StatusInternalServerError, "encode results: %v", err)
 		return
 	}
-	resp.NLRule = nlRule
+	s.decorateResponse(resp, p, out)
+	s.reg.Timer("server.request").Observe(time.Since(t0))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// decorateResponse fills the serving-metadata fields shared by buffered
+// responses and streamed summaries.
+func (s *Server) decorateResponse(resp *QueryResponse, p *preparedQuery, out queryOutcome) {
+	resp.NLRule = p.nlRule
 	resp.PlanCache = hitMiss(out.planHit)
 	if s.results != nil {
 		resp.ResultCache = hitMiss(out.resultHit)
 	}
 	resp.SingleFlight = out.shared
 	resp.DataVersion = s.rt.DataVersion()
-	resp.VersionVector = vv
-	s.reg.Timer("server.request").Observe(time.Since(t0))
-	writeJSON(w, http.StatusOK, resp)
+	resp.VersionVector = p.vv
 }
 
 func hitMiss(hit bool) string {
@@ -402,17 +480,21 @@ func (s *Server) touchesFor(planKey string, g *ir.Graph) compiler.Touches {
 // runQuery serves one compiled-and-executed query through the acceleration
 // layers, cheapest first: result cache (no admission — a map lookup does not
 // need a worker), then single-flight (followers wait without a slot), then
-// admission-controlled compile + execute.
-func (s *Server) runQuery(ctx context.Context, planKey, resKey string, touches compiler.Touches, vv string, g *ir.Graph, opts compiler.Options) (queryOutcome, error) {
+// admission-controlled compile + execute. A non-nil sink streams the sink
+// node's batches during execution — but only when this request actually
+// executes (single-flight leader or lone runner): cache hits and follower
+// piggybacks return the buffered outcome, and the caller replays it through
+// the sink so streaming clients always receive a complete result.
+func (s *Server) runQuery(ctx context.Context, p *preparedQuery, sink core.ResultSink) (queryOutcome, error) {
 	if s.results != nil {
-		if res, rep, ok := s.results.get(resKey); ok {
+		if res, rep, ok := s.results.get(p.resKey); ok {
 			s.reg.Counter("server.resultcache.hits").Inc()
 			return queryOutcome{res: res, rep: rep, planHit: true, resultHit: true}, nil
 		}
 		s.reg.Counter("server.resultcache.misses").Inc()
 	}
 	if s.flight == nil {
-		res, rep, planHit, err := s.executeOnce(ctx, planKey, resKey, touches, vv, g, opts)
+		res, rep, planHit, err := s.executeOnce(ctx, p, sink)
 		return queryOutcome{res: res, rep: rep, planHit: planHit}, err
 	}
 	var (
@@ -423,15 +505,18 @@ func (s *Server) runQuery(ctx context.Context, planKey, resKey string, touches c
 		err     error
 	)
 	// A leader that dies of its own context (canceled client, tighter
-	// deadline) fans its error out to every follower. Followers whose own
-	// context is still alive re-enter the flight group, so the retry wave
-	// elects exactly one new leader instead of stampeding admission.
+	// deadline) — or a streaming leader whose client stopped reading
+	// (errStreamWrite) — fans its error out to every follower. Followers
+	// whose own context is still alive re-enter the flight group, so the
+	// retry wave elects exactly one new leader instead of stampeding
+	// admission (or inheriting a 500 for a query that would succeed).
 	for attempt := 0; ; attempt++ {
-		res, rep, planHit, shared, err = s.flight.do(ctx, resKey, func() (*core.Results, *core.Report, bool, error) {
-			return s.executeOnce(ctx, planKey, resKey, touches, vv, g, opts)
+		res, rep, planHit, shared, err = s.flight.do(ctx, p.resKey, func() (*core.Results, *core.Report, bool, error) {
+			return s.executeOnce(ctx, p, sink)
 		})
 		if shared && err != nil && ctx.Err() == nil &&
-			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+				errors.Is(err, errStreamWrite)) {
 			if attempt < 4 {
 				continue
 			}
@@ -454,14 +539,15 @@ func (s *Server) runQuery(ctx context.Context, planKey, resKey string, touches c
 var errLeadersGone = errors.New("server: shared execution repeatedly canceled by its leaders; retry")
 
 // executeOnce acquires a worker, compiles (through the plan cache) and
-// executes, then publishes the outcome to the result cache.
-func (s *Server) executeOnce(ctx context.Context, planKey, resKey string, touches compiler.Touches, vv string, g *ir.Graph, opts compiler.Options) (*core.Results, *core.Report, bool, error) {
+// executes — streaming sink-node batches through sink when one is attached —
+// then publishes the outcome to the result cache.
+func (s *Server) executeOnce(ctx context.Context, p *preparedQuery, sink core.ResultSink) (*core.Results, *core.Report, bool, error) {
 	if err := s.adm.acquire(ctx); err != nil {
 		return nil, nil, false, err
 	}
 	defer s.adm.release()
 
-	plan, hit, err := s.cache.GetOrCompileKeyed(planKey, g, opts)
+	plan, hit, err := s.cache.GetOrCompileKeyed(p.planKey, p.prog.Graph(), p.opts)
 	if err != nil {
 		return nil, nil, false, err
 	}
@@ -470,7 +556,7 @@ func (s *Server) executeOnce(ctx context.Context, planKey, resKey string, touche
 	} else {
 		s.reg.Counter("server.plancache.misses").Inc()
 	}
-	res, rep, err := s.rt.Execute(ctx, plan)
+	res, rep, err := s.rt.ExecuteStream(ctx, plan, sink)
 	if err != nil {
 		return nil, nil, hit, err
 	}
@@ -482,8 +568,8 @@ func (s *Server) executeOnce(ctx context.Context, planKey, resKey string, touche
 	// this guard re-checked the global version sum). The requester still
 	// gets it — one response computed over moving data is the same contract
 	// a non-caching server gives.
-	if s.results != nil && s.rt.VersionVector(touches) == vv {
-		s.results.put(resKey, pruneToSinks(res), rep)
+	if s.results != nil && s.rt.VersionVector(p.touches) == p.vv {
+		s.results.put(p.resKey, pruneToSinks(res), rep)
 	}
 	return res, rep, hit, nil
 }
@@ -503,32 +589,48 @@ func pruneToSinks(res *core.Results) *core.Results {
 	return &core.Results{Values: vals, Sinks: res.Sinks}
 }
 
-// writeQueryError maps a runQuery failure onto the wire: admission overload
-// (429), compile rejection (400), deadline (504), client cancellation (499),
-// execution failure (500).
-func (s *Server) writeQueryError(w http.ResponseWriter, err error, timeout time.Duration) {
+// classifyQueryError maps a runQuery failure to its wire status, message
+// and whether a Retry-After hint applies, bumping the matching counter.
+// Shared by the buffered path (real HTTP status) and the streaming path
+// (in-band NDJSON error record — the status line is long gone once partial
+// results have been flushed).
+func (s *Server) classifyQueryError(err error, timeout time.Duration) (status int, msg string, retryAfter bool) {
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		s.reg.Counter("server.rejected").Inc()
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return http.StatusTooManyRequests, err.Error(), true
 	case errors.Is(err, compiler.ErrCompile):
 		s.reg.Counter("server.bad_request").Inc()
-		writeError(w, http.StatusBadRequest, "compile: %v", err)
+		return http.StatusBadRequest, fmt.Sprintf("compile: %v", err), false
 	case errors.Is(err, errLeadersGone):
 		s.reg.Counter("server.exec_errors").Inc()
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return http.StatusServiceUnavailable, err.Error(), true
 	case errors.Is(err, context.DeadlineExceeded):
 		s.reg.Counter("server.deadline").Inc()
-		writeError(w, http.StatusGatewayTimeout, "deadline exceeded after %s", timeout)
+		return http.StatusGatewayTimeout, fmt.Sprintf("deadline exceeded after %s", timeout), false
 	case errors.Is(err, context.Canceled):
 		// Client went away; the status code is never seen.
-		writeError(w, 499, "canceled")
+		return 499, "canceled", false
+	case errors.Is(err, errStreamWrite):
+		// The streaming client stopped reading; nobody sees this either
+		// (writeStreamError counts the abort).
+		return 499, err.Error(), false
 	default:
 		s.reg.Counter("server.exec_errors").Inc()
-		writeError(w, http.StatusInternalServerError, "execute: %v", err)
+		return http.StatusInternalServerError, fmt.Sprintf("execute: %v", err), false
 	}
+}
+
+// writeQueryError maps a runQuery failure onto the wire: admission overload
+// (429), compile rejection (400), deadline (504), client cancellation (499),
+// execution failure (500). Only valid before the first response byte — the
+// streaming handler switches to in-band error records once flushed.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error, timeout time.Duration) {
+	status, msg, retryAfter := s.classifyQueryError(err, timeout)
+	if retryAfter {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeError(w, status, "%s", msg)
 }
 
 // buildProgram constructs the EIDE program selected by the request frontend.
@@ -605,8 +707,22 @@ func (s *Server) checkEngines(g *ir.Graph) error {
 	return nil
 }
 
-// encodeResults renders the first sink value plus the execution report.
-func (s *Server) encodeResults(req *QueryRequest, res *core.Results, rep *core.Report) (*QueryResponse, error) {
+// effectiveMaxRows resolves the per-request row cap (clients may lower the
+// server bound but not exceed it).
+func (s *Server) effectiveMaxRows(req *QueryRequest) int {
+	maxRows := s.cfg.MaxRows
+	if req.MaxRows > 0 && req.MaxRows < maxRows {
+		maxRows = req.MaxRows
+	}
+	return maxRows
+}
+
+// summarize renders everything of a response except the row payload: the
+// execution report, column names, total row count and the truncation flag.
+// It returns the number of rows the wire carries (<= RowCount under the row
+// cap). Both the buffered response and the streaming summary record derive
+// from it, which is what keeps the two paths field-identical.
+func (s *Server) summarize(req *QueryRequest, res *core.Results, rep *core.Report) (*QueryResponse, int) {
 	resp := &QueryResponse{
 		SimLatencySeconds: rep.Latency,
 		SimEnergyJoules:   rep.Energy,
@@ -617,15 +733,11 @@ func (s *Server) encodeResults(req *QueryRequest, res *core.Results, rep *core.R
 	v := res.First()
 	if v.Model != nil {
 		resp.Model = true
-		return resp, nil
+		return resp, 0
 	}
 	b := v.Batch
 	if b == nil {
-		return resp, nil
-	}
-	maxRows := s.cfg.MaxRows
-	if req.MaxRows > 0 && req.MaxRows < maxRows {
-		maxRows = req.MaxRows
+		return resp, 0
 	}
 	schema := b.Schema()
 	resp.Columns = make([]string, schema.Len())
@@ -634,9 +746,19 @@ func (s *Server) encodeResults(req *QueryRequest, res *core.Results, rep *core.R
 	}
 	resp.RowCount = b.Rows()
 	n := b.Rows()
-	if n > maxRows {
+	if maxRows := s.effectiveMaxRows(req); n > maxRows {
 		n = maxRows
 		resp.Truncated = true
+	}
+	return resp, n
+}
+
+// encodeResults renders the first sink value plus the execution report.
+func (s *Server) encodeResults(req *QueryRequest, res *core.Results, rep *core.Report) (*QueryResponse, error) {
+	resp, n := s.summarize(req, res, rep)
+	b := res.First().Batch
+	if b == nil || resp.Model {
+		return resp, nil
 	}
 	resp.Rows = make([][]any, 0, n)
 	for i := 0; i < n; i++ {
@@ -772,7 +894,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			}
 			return s.cfg.ResultCacheBytes
 		}(),
-		"ingests":              s.reg.Counter("server.ingests").Value(),
+		"ingests": s.reg.Counter("server.ingests").Value(),
+		// Streaming path (POST /query/stream).
+		"stream_requests":      s.reg.Counter("server.stream.requests").Value(),
+		"stream_rows":          s.reg.Counter("server.stream.rows").Value(),
+		"stream_batches":       s.reg.Counter("server.stream.batches").Value(),
+		"stream_errors_inband": s.reg.Counter("server.stream.errors_inband").Value(),
 		"single_flight":        s.flight != nil,
 		"single_flight_shared": s.reg.Counter("server.singleflight.shared").Value(),
 		"data_version":         s.rt.DataVersion(),

@@ -1,6 +1,8 @@
 package server_test
 
 import (
+	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"math/rand"
@@ -14,8 +16,10 @@ import (
 	"time"
 
 	"polystorepp"
+	"polystorepp/internal/cast"
 	"polystorepp/internal/datagen"
 	"polystorepp/internal/hw"
+	"polystorepp/internal/relational"
 	"polystorepp/internal/server"
 )
 
@@ -113,6 +117,102 @@ func BenchmarkMixedReadWrite(b *testing.B) {
 	if hits+misses > 0 {
 		b.ReportMetric(float64(hits)/float64(hits+misses), "hit-rate")
 	}
+}
+
+// BenchmarkServeStream measures the partial-result path: concurrent clients
+// stream a 10k-row scan over POST /query/stream and the benchmark reports
+// throughput (req/s), time-to-first-row, full-result latency and row
+// throughput. The result cache and single-flight are disabled so every
+// request exercises the live streaming executor rather than a cached
+// replay — this is the benchmark BENCH_BASELINE.json gates for streaming
+// regressions.
+func BenchmarkServeStream(b *testing.B) {
+	store := relational.NewStore("db-bench")
+	events, err := store.CreateTable("events", cast.MustSchema(
+		cast.Column{Name: "id", Type: cast.Int64},
+		cast.Column{Name: "kind", Type: cast.Int64},
+		cast.Column{Name: "value", Type: cast.Float64},
+	))
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := cast.NewBatch(events.Schema(), 10000)
+	for i := 0; i < 10000; i++ {
+		if err := batch.AppendRow(int64(i), int64(i%7), float64(i)*0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := events.InsertBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+	sys := polystore.New(polystore.WithRelational("db-bench", store))
+	ts := httptest.NewServer(sys.Handler(polystore.ServeConfig{
+		Workers: 16, QueueDepth: 256,
+		DefaultSQLEngine:    "db-bench",
+		MaxRows:             20000,
+		ResultCacheSize:     -1,
+		DisableSingleFlight: true,
+	}))
+	defer ts.Close()
+
+	body := `{"frontend":"sql","statement":"SELECT * FROM events"}`
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	var (
+		mu     sync.Mutex
+		ttfrs  []time.Duration
+		totals []time.Duration
+		rows   atomic.Int64
+	)
+
+	b.ResetTimer()
+	t0 := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q0 := time.Now()
+			resp, err := client.Post(ts.URL+"/query/stream", "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			br := bufio.NewReader(resp.Body)
+			var ttfr time.Duration
+			for {
+				line, rerr := br.ReadBytes('\n')
+				if len(line) > 0 && ttfr == 0 {
+					ttfr = time.Since(q0)
+				}
+				if bytes.Contains(line, []byte(`"type":"batch"`)) {
+					rows.Add(int64(bytes.Count(line, []byte("],["))) + 1)
+				}
+				if rerr != nil {
+					break
+				}
+			}
+			total := time.Since(q0)
+			_ = resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			mu.Lock()
+			ttfrs = append(ttfrs, ttfr)
+			totals = append(totals, total)
+			mu.Unlock()
+		}
+	})
+	elapsed := time.Since(t0)
+	b.StopTimer()
+
+	if len(totals) == 0 {
+		return
+	}
+	sort.Slice(ttfrs, func(i, j int) bool { return ttfrs[i] < ttfrs[j] })
+	sort.Slice(totals, func(i, j int) bool { return totals[i] < totals[j] })
+	mid := func(d []time.Duration) time.Duration { return d[len(d)/2] }
+	b.ReportMetric(float64(len(totals))/elapsed.Seconds(), "req/s")
+	b.ReportMetric(float64(rows.Load())/elapsed.Seconds(), "rows/s")
+	b.ReportMetric(float64(mid(ttfrs).Microseconds()), "ttfr-p50-us")
+	b.ReportMetric(float64(mid(totals).Microseconds()), "full-p50-us")
 }
 
 func benchServe(b *testing.B, cfg polystore.ServeConfig) {

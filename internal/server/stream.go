@@ -1,0 +1,272 @@
+// POST /query/stream: the partial-result serving path. The polystore starts
+// delivering rows while heterogeneous engines are still working instead of
+// materializing the full result before the first byte — the incremental
+// result delivery MISO-style federated execution and BigDAWG's island shims
+// lean on to hide cross-engine latency.
+//
+// The response is NDJSON (one JSON record per line), flushed per record:
+//
+//	{"type":"schema","columns":["pid","age"],"types":["int64","int64"]}
+//	{"type":"batch","rows":[[1,64],[2,71],...]}           (repeated)
+//	{"type":"summary","row_count":812,...}                (terminal; same
+//	    fields as the buffered QueryResponse minus "rows")
+//	{"type":"error","error":"...","status":504}           (terminal, instead
+//	    of summary, when the query fails after the stream started)
+//
+// Errors before the first flushed byte still use plain HTTP status codes —
+// exactly the ones /query would return. After the first byte the status
+// line is gone, so failures travel in-band as the trailing error record;
+// clients must treat a stream without a summary record as failed.
+//
+// The streaming path shares every serving acceleration with /query:
+// admission control (the stream holds a worker slot only while executing),
+// the result cache (hits replay cached batches; misses tee into the cache
+// through the same byte-bounded admission), and single-flight (a streaming
+// leader streams live; followers — streaming or buffered — get the complete
+// buffered outcome, which a streaming follower then replays).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"polystorepp/internal/adapter"
+	"polystorepp/internal/cast"
+	"polystorepp/internal/core"
+	"polystorepp/internal/ir"
+	"polystorepp/internal/metrics"
+)
+
+// streamSchemaRecord is the first NDJSON line of a tabular stream.
+type streamSchemaRecord struct {
+	Type    string   `json:"type"` // "schema"
+	Columns []string `json:"columns"`
+	Types   []string `json:"types"`
+}
+
+// streamBatchRecord carries one batch of rows.
+type streamBatchRecord struct {
+	Type string  `json:"type"` // "batch"
+	Rows [][]any `json:"rows"`
+}
+
+// streamSummaryRecord terminates a successful stream with the same
+// serving metadata the buffered QueryResponse carries (minus "rows").
+type streamSummaryRecord struct {
+	Type string `json:"type"` // "summary"
+	*QueryResponse
+}
+
+// streamErrorRecord terminates a failed stream in-band, carrying the HTTP
+// status the failure would have mapped to before the first byte.
+type streamErrorRecord struct {
+	Type   string `json:"type"` // "error"
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// ndjsonStream adapts an HTTP response to core.ResultSink: schema, batch
+// and terminal records go out as NDJSON lines, each followed by a flush so
+// partial results reach the client while execution continues. It enforces
+// the per-request row cap (summary row_count still reports the full count,
+// matching the buffered response) and records first-byte latency plus
+// streamed-row counters.
+type ndjsonStream struct {
+	w       http.ResponseWriter
+	fl      http.Flusher // nil when the transport cannot flush
+	reg     *metrics.Registry
+	t0      time.Time
+	maxRows int
+
+	started bool // first byte flushed; HTTP status is committed
+	sent    int  // rows emitted so far
+}
+
+func newNDJSONStream(w http.ResponseWriter, maxRows int, reg *metrics.Registry, t0 time.Time) *ndjsonStream {
+	fl, _ := w.(http.Flusher)
+	return &ndjsonStream{w: w, fl: fl, reg: reg, t0: t0, maxRows: maxRows}
+}
+
+// streamWriteGrace is how long past the execution deadline a streaming
+// response may spend on the wire before a blocked write gives up. Generous
+// for slow-but-alive readers; finite so a stalled reader cannot hold a
+// worker slot indefinitely.
+const streamWriteGrace = 30 * time.Second
+
+// errStreamWrite marks a failure to write to the streaming client — the
+// client went away, not the query. Single-flight treats a leader dying of
+// it like a canceled leader (followers re-elect instead of inheriting a
+// 500), and the leader's own response maps to the never-seen 499.
+var errStreamWrite = errors.New("server: stream client write failed")
+
+// writeRecord marshals one NDJSON line and flushes it.
+func (st *ndjsonStream) writeRecord(v any) error {
+	if !st.started {
+		st.started = true
+		st.w.Header().Set("Content-Type", "application/x-ndjson")
+		st.reg.Timer("server.stream.first_byte").Observe(time.Since(st.t0))
+	}
+	enc := json.NewEncoder(st.w)
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("%w: %v", errStreamWrite, err)
+	}
+	if st.fl != nil {
+		st.fl.Flush()
+	}
+	return nil
+}
+
+// StartStream implements core.ResultSink: announce the schema.
+func (st *ndjsonStream) StartStream(_ ir.NodeID, schema cast.Schema) error {
+	rec := streamSchemaRecord{Type: "schema", Columns: make([]string, schema.Len()), Types: make([]string, schema.Len())}
+	for i := 0; i < schema.Len(); i++ {
+		rec.Columns[i] = schema.Col(i).Name
+		rec.Types[i] = schema.Col(i).Type.String()
+	}
+	return st.writeRecord(rec)
+}
+
+// EmitBatch implements core.ResultSink: deliver one batch, clamped to the
+// row cap. Once the cap is reached further batches are swallowed (the
+// execution still runs to completion so the result cache gets the full
+// result and the summary the true row count, exactly like /query).
+func (st *ndjsonStream) EmitBatch(_ ir.NodeID, b *cast.Batch) error {
+	remaining := st.maxRows - st.sent
+	if remaining <= 0 {
+		return nil
+	}
+	n := b.Rows()
+	if n > remaining {
+		n = remaining
+	}
+	rec := streamBatchRecord{Type: "batch", Rows: make([][]any, 0, n)}
+	for i := 0; i < n; i++ {
+		row, err := b.Row(i)
+		if err != nil {
+			return err
+		}
+		rec.Rows = append(rec.Rows, row)
+	}
+	if err := st.writeRecord(rec); err != nil {
+		return err
+	}
+	st.sent += n
+	st.reg.Counter("server.stream.rows").Add(int64(n))
+	st.reg.Counter("server.stream.batches").Inc()
+	return nil
+}
+
+// replay streams a buffered outcome — a result-cache hit or a single-flight
+// follower's shared result — as if it had executed live: schema record,
+// then the cached sink batch in StreamChunkRows slices. The concatenation
+// equals the cached batch, so replayed streams are indistinguishable from
+// live ones on the wire.
+func (st *ndjsonStream) replay(res *core.Results) error {
+	v := res.First()
+	if v.Batch == nil {
+		return nil // model or empty result: summary-only stream
+	}
+	var node ir.NodeID
+	if len(res.Sinks) > 0 {
+		node = res.Sinks[0]
+	}
+	if err := st.StartStream(node, v.Batch.Schema()); err != nil {
+		return err
+	}
+	return v.Batch.ForEachChunk(adapter.StreamChunkRows, func(chunk *cast.Batch) error {
+		if st.sent >= st.maxRows {
+			return errReplayDone
+		}
+		return st.EmitBatch(node, chunk)
+	})
+}
+
+// errReplayDone short-circuits a replay once the row cap is reached; it
+// never escapes replay's caller path as a failure.
+var errReplayDone = errSentinel("replay row cap reached")
+
+type errSentinel string
+
+func (e errSentinel) Error() string { return string(e) }
+
+// handleQueryStream serves POST /query/stream.
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	s.reg.Counter("server.requests").Inc()
+	s.reg.Counter("server.stream.requests").Inc()
+	t0 := time.Now()
+
+	p := s.prepareQuery(w, r)
+	if p == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), p.timeout)
+	defer cancel()
+
+	// Streaming writes happen while this request holds its worker slot, and
+	// a ctx deadline cannot interrupt a socket write blocked on a client
+	// that stopped reading. Bound the whole response with a write deadline
+	// (execution budget + a transfer grace period) so stalled readers fail
+	// the write — freeing the slot — instead of pinning a worker forever.
+	// Transports without deadline support (test recorders) just skip it.
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Now().Add(p.timeout + streamWriteGrace))
+
+	stream := newNDJSONStream(w, s.effectiveMaxRows(&p.req), s.reg, t0)
+	out, err := s.runQuery(ctx, p, stream)
+	if err != nil {
+		s.writeStreamError(w, stream, err, p.timeout)
+		return
+	}
+	if !stream.started {
+		// Cache hit, single-flight follower, or a buffered execution path:
+		// the outcome arrived materialized; replay it through the stream.
+		if err := stream.replay(out.res); err != nil && err != errReplayDone {
+			// Client write failure mid-replay: nothing sane left to send.
+			s.reg.Counter("server.stream.aborted").Inc()
+			return
+		}
+	}
+	resp, _ := s.summarize(&p.req, out.res, out.rep)
+	s.decorateResponse(resp, p, out)
+	if err := stream.writeRecord(streamSummaryRecord{Type: "summary", QueryResponse: resp}); err != nil {
+		s.reg.Counter("server.stream.aborted").Inc()
+		return
+	}
+	s.reg.Timer("server.request").Observe(time.Since(t0))
+	s.reg.Timer("server.stream.request").Observe(time.Since(t0))
+}
+
+// writeStreamError reports a streaming failure: with nothing flushed yet the
+// plain HTTP error path still applies (same statuses as /query); after the
+// first byte the failure travels as the terminal in-band error record —
+// writeQueryError is structurally unreachable there, since the 200 status
+// line left with the first flush.
+func (s *Server) writeStreamError(w http.ResponseWriter, stream *ndjsonStream, err error, timeout time.Duration) {
+	if !stream.started {
+		s.writeQueryError(w, err, timeout)
+		return
+	}
+	status, msg, _ := s.classifyQueryError(err, timeout)
+	if errors.Is(err, errStreamWrite) || errors.Is(err, context.Canceled) {
+		// The client is gone — whether a write failed (errStreamWrite) or a
+		// per-batch ctx check saw the request context die first (Canceled).
+		// There is nobody to deliver an error record to, and counting one
+		// as "in-band" would report query failures that never happened. The
+		// server-imposed deadline (DeadlineExceeded) is different: that
+		// client is alive and owed the trailing 504 record.
+		s.reg.Counter("server.stream.aborted").Inc()
+		return
+	}
+	if werr := stream.writeRecord(streamErrorRecord{Type: "error", Error: msg, Status: status}); werr != nil {
+		s.reg.Counter("server.stream.aborted").Inc()
+		return
+	}
+	s.reg.Counter("server.stream.errors_inband").Inc()
+}

@@ -1,0 +1,532 @@
+// Tests of the POST /query/stream partial-result path: NDJSON wire shape,
+// streamed-vs-buffered equivalence (property-style, across partition
+// fan-outs), in-band error records after the first flushed byte, deadline
+// expiry mid-stream, and prompt worker-slot release on client disconnect.
+package server_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"polystorepp"
+	"polystorepp/internal/cast"
+	"polystorepp/internal/datagen"
+	"polystorepp/internal/hw"
+	"polystorepp/internal/relational"
+)
+
+// ndLine is the union of every NDJSON record shape the stream emits.
+type ndLine struct {
+	Type    string   `json:"type"`
+	Columns []string `json:"columns"`
+	Types   []string `json:"types"`
+	Rows    [][]any  `json:"rows"`
+	Error   string   `json:"error"`
+	Status  int      `json:"status"`
+	// Summary fields (subset of QueryResponse).
+	RowCount     int    `json:"row_count"`
+	Truncated    bool   `json:"truncated"`
+	Model        bool   `json:"model"`
+	PlanCache    string `json:"plan_cache"`
+	ResultCache  string `json:"result_cache"`
+	SingleFlight bool   `json:"single_flight"`
+}
+
+// newStreamTestServer builds the clinical system plus two synthetic tables:
+// "points" (10k rows; x = 1 everywhere except row 5000 where x = 0 — the
+// deterministic mid-stream division-by-zero trigger) and "dup" (100 rows,
+// dkey = 1, a join amplifier).
+func newStreamTestServer(t *testing.T, cfg polystore.ServeConfig) *httptest.Server {
+	t.Helper()
+	data, err := datagen.GenerateClinical(rand.New(rand.NewSource(7)), 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addStreamTables(t, data.Relational)
+	sys := polystore.New(
+		polystore.WithRelational("db-clinical", data.Relational),
+		polystore.WithTimeseries("ts-vitals", data.Timeseries),
+		polystore.WithText("txt-notes", data.Text),
+		polystore.WithML("ml"),
+		polystore.WithAccelerators(hw.Coprocessor, hw.NewFPGA(), hw.NewGPU(), hw.NewTPU()),
+	)
+	if cfg.DefaultSQLEngine == "" {
+		cfg.DefaultSQLEngine = "db-clinical"
+	}
+	if cfg.DefaultTextEngine == "" {
+		cfg.DefaultTextEngine = "txt-notes"
+	}
+	if cfg.MaxRows == 0 {
+		cfg.MaxRows = 1 << 21
+	}
+	ts := httptest.NewServer(sys.Handler(cfg))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func addStreamTables(t *testing.T, store *relational.Store) {
+	t.Helper()
+	points, err := store.CreateTable("points", cast.MustSchema(
+		cast.Column{Name: "k", Type: cast.Int64},
+		cast.Column{Name: "x", Type: cast.Int64},
+		cast.Column{Name: "val", Type: cast.Float64},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := cast.NewBatch(points.Schema(), 10000)
+	for i := 0; i < 10000; i++ {
+		x := int64(1)
+		if i == 5000 {
+			x = 0
+		}
+		if err := b.AppendRow(int64(i), x, float64(i%97)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := points.InsertBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	dup, err := store.CreateTable("dup", cast.MustSchema(cast.Column{Name: "dkey", Type: cast.Int64}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := dup.Insert(int64(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// postStream fires one streaming request and parses every NDJSON line.
+func postStream(t *testing.T, ts *httptest.Server, body string) (int, []ndLine, string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/query/stream", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []ndLine
+	if resp.StatusCode == http.StatusOK {
+		dec := json.NewDecoder(strings.NewReader(string(raw)))
+		for dec.More() {
+			var l ndLine
+			if err := dec.Decode(&l); err != nil {
+				t.Fatalf("bad NDJSON line: %v\n%s", err, raw)
+			}
+			lines = append(lines, l)
+		}
+	}
+	return resp.StatusCode, lines, string(raw)
+}
+
+// splitStream validates the record grammar — schema? batch* (summary|error)
+// — and returns the parts.
+func splitStream(t *testing.T, lines []ndLine) (schema *ndLine, batches []ndLine, terminal *ndLine) {
+	t.Helper()
+	if len(lines) == 0 {
+		t.Fatal("empty stream")
+	}
+	last := lines[len(lines)-1]
+	if last.Type != "summary" && last.Type != "error" {
+		t.Fatalf("stream does not end in summary/error: %+v", last)
+	}
+	terminal = &last
+	body := lines[:len(lines)-1]
+	if len(body) > 0 && body[0].Type == "schema" {
+		schema = &body[0]
+		body = body[1:]
+	}
+	for i := range body {
+		if body[i].Type != "batch" {
+			t.Fatalf("unexpected record %d: %+v", i, body[i])
+		}
+		batches = append(batches, body[i])
+	}
+	return schema, batches, terminal
+}
+
+// concatRows glues the batch records back together.
+func concatRows(batches []ndLine) [][]any {
+	var out [][]any
+	for _, b := range batches {
+		out = append(out, b.Rows...)
+	}
+	return out
+}
+
+// assertStreamEqualsBuffered runs the same body on both endpoints and pins
+// the tentpole invariant: the streamed batches concatenate to exactly the
+// buffered /query result.
+func assertStreamEqualsBuffered(t *testing.T, ts *httptest.Server, body string) {
+	t.Helper()
+	code, qr, raw := postQuery(t, ts, body)
+	if code != http.StatusOK {
+		t.Fatalf("/query status %d: %s", code, raw)
+	}
+	scode, lines, sraw := postStream(t, ts, body)
+	if scode != http.StatusOK {
+		t.Fatalf("/query/stream status %d: %s", scode, sraw)
+	}
+	schema, batches, terminal := splitStream(t, lines)
+	if terminal.Type != "summary" {
+		t.Fatalf("stream failed: %+v", terminal)
+	}
+	if len(qr.Columns) > 0 {
+		if schema == nil {
+			t.Fatalf("no schema record but buffered has columns %v", qr.Columns)
+		}
+		if !reflect.DeepEqual(schema.Columns, qr.Columns) {
+			t.Fatalf("schema columns %v != buffered %v", schema.Columns, qr.Columns)
+		}
+	}
+	got := concatRows(batches)
+	if len(got) != len(qr.Rows) {
+		t.Fatalf("streamed %d rows, buffered %d\nbody: %s", len(got), len(qr.Rows), body)
+	}
+	if len(got) > 0 && !reflect.DeepEqual(got, qr.Rows) {
+		t.Fatalf("streamed rows differ from buffered rows\nbody: %s", body)
+	}
+	if terminal.RowCount != qr.RowCount || terminal.Truncated != qr.Truncated || terminal.Model != qr.Model {
+		t.Fatalf("summary (count=%d trunc=%v model=%v) != buffered (count=%d trunc=%v model=%v)",
+			terminal.RowCount, terminal.Truncated, terminal.Model, qr.RowCount, qr.Truncated, qr.Model)
+	}
+}
+
+func TestStreamBasicShape(t *testing.T) {
+	ts := newStreamTestServer(t, polystore.ServeConfig{})
+	code, lines, raw := postStream(t, ts, `{"frontend":"sql","statement":"SELECT pid, age FROM patients WHERE age > 40"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	schema, batches, terminal := splitStream(t, lines)
+	if schema == nil || len(schema.Columns) != 2 || schema.Columns[0] != "pid" {
+		t.Fatalf("schema record = %+v", schema)
+	}
+	if !reflect.DeepEqual(schema.Types, []string{"int64", "int64"}) {
+		t.Fatalf("schema types = %v", schema.Types)
+	}
+	if len(batches) == 0 {
+		t.Fatal("no batch records")
+	}
+	if terminal.Type != "summary" || terminal.RowCount != len(concatRows(batches)) {
+		t.Fatalf("summary = %+v", terminal)
+	}
+	if terminal.PlanCache == "" {
+		t.Fatal("summary missing serving metadata")
+	}
+}
+
+// TestStreamLargeScanManyBatches: a 10k-row scan crosses the wire in
+// multiple flushed batches, not one blob.
+func TestStreamLargeScanManyBatches(t *testing.T) {
+	ts := newStreamTestServer(t, polystore.ServeConfig{})
+	code, lines, raw := postStream(t, ts, `{"frontend":"sql","statement":"SELECT * FROM points"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	_, batches, terminal := splitStream(t, lines)
+	if terminal.Type != "summary" || terminal.RowCount != 10000 {
+		t.Fatalf("terminal = %+v", terminal)
+	}
+	if len(batches) < 5 {
+		t.Fatalf("10k-row scan arrived in %d batches, want several", len(batches))
+	}
+	if rows := concatRows(batches); len(rows) != 10000 {
+		t.Fatalf("streamed %d rows", len(rows))
+	}
+}
+
+// TestStreamEquivalenceProperty is the property-style suite: generated
+// random plans (filter / project / group-by / join / window over the
+// datagen clinical data) must stream to exactly the buffered result at
+// partition fan-outs 1, 2, 7 and 64. Caching layers are disabled so both
+// requests execute independently.
+func TestStreamEquivalenceProperty(t *testing.T) {
+	ts := newStreamTestServer(t, polystore.ServeConfig{
+		ResultCacheSize: -1, DisableSingleFlight: true, Workers: 8, QueueDepth: 256,
+	})
+	rng := rand.New(rand.NewSource(11))
+	bodies := randomQueryBodies(rng, 12)
+	for i, tmpl := range bodies {
+		for _, parts := range []int{1, 2, 7, 64} {
+			body := fmt.Sprintf(tmpl, parts)
+			t.Run(fmt.Sprintf("q%d_parts%d", i, parts), func(t *testing.T) {
+				assertStreamEqualsBuffered(t, ts, body)
+			})
+		}
+	}
+}
+
+// randomQueryBodies generates request-body templates with a %d placeholder
+// for the parts knob. Statements are assembled from random tables, columns,
+// predicates and aggregates so the suite covers plan shapes, not one query.
+func randomQueryBodies(rng *rand.Rand, n int) []string {
+	intCols := map[string][]string{
+		"patients":   {"pid", "age", "gender_male", "prior_visits"},
+		"admissions": {"aid", "pid"},
+		"stays":      {"sid", "pid", "procedures", "long_stay"},
+	}
+	tables := []string{"patients", "admissions", "stays"}
+	sqlBody := func(stmt string) string {
+		return fmt.Sprintf(`{"frontend":"sql","statement":"%s","max_rows":100000,"parts":%%d}`, stmt)
+	}
+	out := make([]string, 0, n)
+	for len(out) < n {
+		switch rng.Intn(6) {
+		case 0: // filtered scan
+			tb := tables[rng.Intn(len(tables))]
+			col := intCols[tb][rng.Intn(len(intCols[tb]))]
+			out = append(out, sqlBody(fmt.Sprintf("SELECT * FROM %s WHERE %s > %d", tb, col, rng.Intn(60))))
+		case 1: // projection with expression
+			tb := tables[rng.Intn(len(tables))]
+			cols := intCols[tb]
+			a, b := cols[rng.Intn(len(cols))], cols[rng.Intn(len(cols))]
+			out = append(out, sqlBody(fmt.Sprintf("SELECT %s, %s + %d AS adj FROM %s", a, b, rng.Intn(10), tb)))
+		case 2: // group-by with aggregates
+			out = append(out, sqlBody(fmt.Sprintf(
+				"SELECT ward, count(*) AS n, min(pid) AS lo, max(pid) AS hi FROM admissions WHERE aid > %d GROUP BY ward", rng.Intn(50))))
+		case 3: // join + filter + order (points/dup have disjoint columns)
+			out = append(out, sqlBody(fmt.Sprintf(
+				"SELECT k, dkey FROM points JOIN dup ON x = dkey WHERE k > %d ORDER BY k", 9800+rng.Intn(150))))
+		case 4: // order + limit (streaming planner path)
+			tb := tables[rng.Intn(len(tables))]
+			col := intCols[tb][rng.Intn(len(intCols[tb]))]
+			out = append(out, sqlBody(fmt.Sprintf("SELECT * FROM %s ORDER BY %s DESC LIMIT %d", tb, col, 1+rng.Intn(200))))
+		case 5: // timeseries window through the program frontend
+			out = append(out, fmt.Sprintf(
+				`{"frontend":"program","max_rows":100000,"parts":%%d,"program":[{"id":"w","op":"tswindow","engine":"ts-vitals","series":"vitals/%d/hr","from":0,"to":9000000000000000000,"width":%d,"agg":"%s"}]}`,
+				rng.Intn(120), int64(time.Hour)*time.Duration(1+rng.Intn(5)).Nanoseconds()/int64(time.Nanosecond), []string{"mean", "sum", "max", "count"}[rng.Intn(4)]))
+		}
+	}
+	return out
+}
+
+// TestStreamReplayFromResultCache: a cache hit replays the cached batches —
+// the stream looks identical to a live one and the summary says "hit".
+func TestStreamReplayFromResultCache(t *testing.T) {
+	ts := newStreamTestServer(t, polystore.ServeConfig{})
+	body := `{"frontend":"sql","statement":"SELECT k, val FROM points WHERE k < 3000"}`
+	// Prime with a buffered request, then stream the same key.
+	if code, _, raw := postQuery(t, ts, body); code != http.StatusOK {
+		t.Fatalf("prime status %d: %s", code, raw)
+	}
+	code, lines, raw := postStream(t, ts, body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	_, batches, terminal := splitStream(t, lines)
+	if terminal.Type != "summary" || terminal.ResultCache != "hit" {
+		t.Fatalf("terminal = %+v, want result_cache hit", terminal)
+	}
+	if rows := concatRows(batches); len(rows) != 3000 {
+		t.Fatalf("replayed %d rows", len(rows))
+	}
+	// And the replay still equals a fresh buffered response.
+	assertStreamEqualsBuffered(t, ts, body)
+}
+
+// TestStreamModelResult: a model-valued sink streams no batches — just the
+// summary with model set, like the buffered response.
+func TestStreamModelResult(t *testing.T) {
+	ts := newStreamTestServer(t, polystore.ServeConfig{})
+	body := `{"frontend":"program","program":[
+		{"id":"src","op":"sql","engine":"db-clinical","sql":"SELECT age, prior_visits, gender_male FROM patients"},
+		{"id":"t","op":"train","engine":"ml","input":"src","feature_cols":["age","prior_visits"],"label_col":"gender_male","epochs":1}
+	]}`
+	code, lines, raw := postStream(t, ts, body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	schema, batches, terminal := splitStream(t, lines)
+	if schema != nil || len(batches) != 0 {
+		t.Fatalf("model stream carried tabular records: schema=%v batches=%d", schema, len(batches))
+	}
+	if terminal.Type != "summary" || !terminal.Model {
+		t.Fatalf("terminal = %+v", terminal)
+	}
+}
+
+// TestStreamMidStreamErrorInBand pins the ISSUE's writeQueryError fix: once
+// partial results have been flushed, a mid-stream execution failure arrives
+// as the trailing in-band error record on the 200 stream — not as an HTTP
+// 500. Row 5000 of points has x = 0, so the terminal projection emits
+// several batches and then hits an integer division by zero.
+func TestStreamMidStreamErrorInBand(t *testing.T) {
+	ts := newStreamTestServer(t, polystore.ServeConfig{})
+	code, lines, raw := postStream(t, ts, `{"frontend":"sql","statement":"SELECT k, 10 / x AS y FROM points"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d (in-band errors must ride the committed 200): %s", code, raw)
+	}
+	schema, batches, terminal := splitStream(t, lines)
+	if schema == nil || len(batches) == 0 {
+		t.Fatalf("error arrived before any partial results: schema=%v batches=%d\n%s", schema, len(batches), raw)
+	}
+	if terminal.Type != "error" {
+		t.Fatalf("terminal = %+v, want in-band error", terminal)
+	}
+	if terminal.Status != http.StatusInternalServerError || !strings.Contains(terminal.Error, "division by zero") {
+		t.Fatalf("error record = %+v", terminal)
+	}
+	// The buffered path, by contrast, still maps the same failure to a real
+	// HTTP 500 — nothing was flushed there.
+	bcode, _, braw := postQuery(t, ts, `{"frontend":"sql","statement":"SELECT k, 10 / x AS y FROM points"}`)
+	if bcode != http.StatusInternalServerError {
+		t.Fatalf("/query status = %d: %s", bcode, braw)
+	}
+}
+
+// TestStreamDeadlineMidStream: a deadline that expires after the stream
+// started (the fast sink already flushed; a slow ML sink is still training)
+// emits the trailing 504-classified error record.
+func TestStreamDeadlineMidStream(t *testing.T) {
+	ts := newStreamTestServer(t, polystore.ServeConfig{})
+	body := `{"frontend":"program","timeout_ms":600,"program":[
+		{"id":"big","op":"sql","engine":"db-clinical","sql":"SELECT * FROM points"},
+		{"id":"src","op":"sql","engine":"db-clinical","sql":"SELECT k, x, val FROM points"},
+		{"id":"t","op":"train","engine":"ml","input":"src","feature_cols":["k","x"],"label_col":"val","epochs":100000,"hidden":32}
+	]}`
+	code, lines, raw := postStream(t, ts, body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d (stream should start before the deadline): %s", code, raw)
+	}
+	_, batches, terminal := splitStream(t, lines)
+	if len(batches) == 0 {
+		t.Fatalf("no partial results before deadline\n%s", raw)
+	}
+	if terminal.Type != "error" || terminal.Status != http.StatusGatewayTimeout {
+		t.Fatalf("terminal = %+v, want in-band 504", terminal)
+	}
+}
+
+// TestStreamClientDisconnectFreesWorker: dropping the connection mid-stream
+// must release the admission slot promptly and leak no goroutines (the
+// goleak-style count check).
+func TestStreamClientDisconnectFreesWorker(t *testing.T) {
+	ts := newStreamTestServer(t, polystore.ServeConfig{
+		ResultCacheSize: -1, DisableSingleFlight: true, Workers: 4, QueueDepth: 16,
+	})
+	// Warm up (connection pools, lazily started runtime goroutines).
+	if code, _, raw := postQuery(t, ts, `{"frontend":"sql","statement":"SELECT count(*) AS n FROM points"}`); code != http.StatusOK {
+		t.Fatalf("warmup: %d %s", code, raw)
+	}
+	before := runtime.NumGoroutine()
+
+	// A join-amplified stream (~1M rows) cannot fit any socket buffer, so
+	// the handler is genuinely mid-write when the client walks away.
+	body := `{"frontend":"sql","statement":"SELECT k, dkey FROM points JOIN dup ON x = dkey","max_rows":2000000}`
+	for i := 0; i < 5; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/query/stream", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		// Read one line of partial results, then vanish.
+		if _, err := bufio.NewReader(resp.Body).ReadBytes('\n'); err != nil {
+			t.Fatalf("first line: %v", err)
+		}
+		cancel()
+		resp.Body.Close()
+	}
+
+	// The slots and goroutines must drain without waiting for the full
+	// result to be produced.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var stats struct {
+			Inflight     int64 `json:"inflight"`
+			ErrorsInband int64 `json:"stream_errors_inband"`
+		}
+		resp, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&stats)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		goroutines := runtime.NumGoroutine()
+		if stats.Inflight == 0 && goroutines <= before+8 {
+			// Disconnects are aborts, not query failures: the in-band error
+			// counter must not report failures that never happened.
+			if stats.ErrorsInband != 0 {
+				t.Fatalf("client disconnects counted as in-band errors: %d", stats.ErrorsInband)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workers/goroutines not released: inflight=%d goroutines=%d (baseline %d)",
+				stats.Inflight, goroutines, before)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestStreamRequestErrorsKeepStatusCodes: before the first byte, the stream
+// endpoint speaks plain HTTP exactly like /query.
+func TestStreamRequestErrorsKeepStatusCodes(t *testing.T) {
+	ts := newStreamTestServer(t, polystore.ServeConfig{})
+	for name, tc := range map[string]struct {
+		body string
+		want int
+	}{
+		"bad json":       {`{"frontend": `, http.StatusBadRequest},
+		"bad sql":        {`{"frontend":"sql","statement":"SELEKT"}`, http.StatusBadRequest},
+		"unknown engine": {`{"frontend":"sql","engine":"ghost","statement":"SELECT k FROM points"}`, http.StatusBadRequest},
+	} {
+		t.Run(name, func(t *testing.T) {
+			code, _, raw := postStream(t, ts, tc.body)
+			if code != tc.want {
+				t.Fatalf("status = %d, want %d: %s", code, tc.want, raw)
+			}
+		})
+	}
+	resp, err := http.Get(ts.URL + "/query/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d", resp.StatusCode)
+	}
+}
+
+// TestStreamMaxRowsTruncation: the row cap clamps the wire rows while the
+// summary keeps the true count — mirroring the buffered truncation contract.
+func TestStreamMaxRowsTruncation(t *testing.T) {
+	ts := newStreamTestServer(t, polystore.ServeConfig{})
+	body := `{"frontend":"sql","statement":"SELECT * FROM points","max_rows":1500}`
+	code, lines, raw := postStream(t, ts, body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	_, batches, terminal := splitStream(t, lines)
+	if rows := concatRows(batches); len(rows) != 1500 {
+		t.Fatalf("wire rows = %d, want 1500", len(rows))
+	}
+	if terminal.RowCount != 10000 || !terminal.Truncated {
+		t.Fatalf("summary = %+v", terminal)
+	}
+	assertStreamEqualsBuffered(t, ts, body)
+}

@@ -63,15 +63,16 @@ func TestPublishGuardIgnoresUnrelatedWrites(t *testing.T) {
 		prog := eide.NewProgram()
 		prog.KVScan("kv-a", "user/")
 		g := prog.Graph()
-		planKey := compiler.Key(g, s.opts)
-		touches := s.touchesFor(planKey, g)
-		vv := s.rt.VersionVector(touches)
-		resKey := planKey + "|" + vv
+		p := &preparedQuery{prog: prog, opts: s.opts}
+		p.planKey = compiler.Key(g, p.opts)
+		p.touches = s.touchesFor(p.planKey, g)
+		p.vv = s.rt.VersionVector(p.touches)
+		p.resKey = p.planKey + "|" + p.vv
 
-		if _, _, _, err := s.executeOnce(context.Background(), planKey, resKey, touches, vv, g, s.opts); err != nil {
+		if _, _, _, err := s.executeOnce(context.Background(), p, nil); err != nil {
 			t.Fatal(err)
 		}
-		_, _, published := s.results.get(resKey)
+		_, _, published := s.results.get(p.resKey)
 		return published
 	}
 

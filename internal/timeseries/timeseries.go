@@ -432,6 +432,16 @@ func windowChunks(cands []*chunk, from, to, width int64, parts int) []windowPart
 // in chunk order (windowChunks), so results are deterministic — identical at
 // any partition count — and windows come out already sorted by start.
 func (s *Store) Window(name string, from, to, width int64, agg AggKind) ([]WindowResult, error) {
+	return s.WindowN(name, from, to, width, agg, 0)
+}
+
+// WindowN is Window with an explicit partition fan-out for the per-chunk
+// partial computation: 0 selects automatically from the decoded volume, 1
+// forces a sequential fold, larger values pin the task count (clamped to the
+// candidate chunk count). Results are byte-identical at any value — the
+// equivalence the parallel window fold guarantees — so the knob exists for
+// tuning and for the equivalence tests that pin that guarantee.
+func (s *Store) WindowN(name string, from, to, width int64, agg AggKind, parts int) ([]WindowResult, error) {
 	if width <= 0 {
 		return nil, fmt.Errorf("%w: width %d", ErrBadWindow, width)
 	}
@@ -448,7 +458,7 @@ func (s *Store) Window(name string, from, to, width int64, agg AggKind) ([]Windo
 		}
 		cands = append(cands, c)
 	}
-	partials := windowChunks(cands, from, to, width, 0)
+	partials := windowChunks(cands, from, to, width, parts)
 	out := make([]WindowResult, 0, len(partials))
 	for _, w := range partials {
 		out = append(out, WindowResult{Start: w.start, Value: w.finish(agg), N: w.count})

@@ -58,6 +58,9 @@ type (
 	// Ingest is one write routed to an engine (row append, timeseries
 	// point, or KV put).
 	Ingest = adapter.Ingest
+	// ResultSink receives a plan's primary sink output incrementally while
+	// the plan executes (see RunStream).
+	ResultSink = core.ResultSink
 	// ServeConfig tunes the HTTP serving subsystem (workers, queue depth,
 	// deadlines, plan cache size, frontend defaults).
 	ServeConfig = server.Config
@@ -219,6 +222,19 @@ func (sys *System) RunWith(ctx context.Context, p *Program, opts Options) (*Resu
 	return sys.runtime.Execute(ctx, plan)
 }
 
+// RunStream compiles and executes the program while streaming the first
+// sink's result batches to sink as the terminal operator produces them —
+// the partial-result path POST /query/stream serves over HTTP. The returned
+// Results and Report are identical to Run's, and the concatenation of the
+// streamed batches equals the sink value in Results.
+func (sys *System) RunStream(ctx context.Context, p *Program, sink ResultSink) (*Results, *Report, error) {
+	plan, err := compiler.Compile(p.Graph(), sys.opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys.runtime.ExecuteStream(ctx, plan, sink)
+}
+
 // Query is a convenience: run one SQL statement on a registered relational
 // engine directly (no middleware involvement).
 func (sys *System) Query(ctx context.Context, engine, sql string) (Value, error) {
@@ -258,9 +274,11 @@ func (sys *System) Accelerators() []*hw.Device { return sys.accels }
 
 // Handler returns the HTTP serving subsystem over this system: POST /query
 // (sql, nl, text and multi-engine program frontends through the plan cache
-// and admission-controlled worker pool), GET /healthz, /metrics and /stats.
-// The handler shares the system's runtime, so concurrent requests execute
-// against the same engines and accelerator models.
+// and admission-controlled worker pool), POST /query/stream (the same
+// frontends with NDJSON partial-result delivery), POST /ingest, GET
+// /healthz, /metrics and /stats. The handler shares the system's runtime,
+// so concurrent requests execute against the same engines and accelerator
+// models.
 func (sys *System) Handler(cfg ServeConfig) http.Handler {
 	return server.New(sys.runtime, sys.opts, cfg)
 }
