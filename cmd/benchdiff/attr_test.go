@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const beforeStats = `{
+  "requests": 100,
+  "op_stats": {
+    "db/SQLScan":  {"engine":"db","op":"SQLScan","count":100,"rows_out":5000,"wall_seconds":0.10,"p95_us":900},
+    "db/HashJoin": {"engine":"db","op":"HashJoin","count":50,"rows_out":1000,"wall_seconds":0.20,"p95_us":4000}
+  }
+}`
+
+const afterStats = `{
+  "requests": 300,
+  "op_stats": {
+    "db/SQLScan":  {"engine":"db","op":"SQLScan","count":300,"rows_out":15000,"wall_seconds":0.30,"p95_us":950},
+    "db/HashJoin": {"engine":"db","op":"HashJoin","count":150,"rows_out":3000,"wall_seconds":1.80,"p95_us":12000},
+    "ts/TSWindow": {"engine":"ts","op":"TSWindow","count":10,"rows_out":100,"wall_seconds":0.01,"p95_us":500}
+  }
+}`
+
+func TestParseOpStatsFromStatsDocument(t *testing.T) {
+	m, err := ParseOpStats([]byte(beforeStats))
+	if err != nil {
+		t.Fatalf("ParseOpStats: %v", err)
+	}
+	if len(m) != 2 {
+		t.Fatalf("got %d entries, want 2", len(m))
+	}
+	if m["db/HashJoin"].WallSeconds != 0.20 {
+		t.Fatalf("HashJoin wall = %v, want 0.20", m["db/HashJoin"].WallSeconds)
+	}
+}
+
+func TestParseOpStatsBareMap(t *testing.T) {
+	bare := `{"db/SQLScan": {"engine":"db","op":"SQLScan","count":1,"wall_seconds":0.5}}`
+	m, err := ParseOpStats([]byte(bare))
+	if err != nil {
+		t.Fatalf("ParseOpStats bare: %v", err)
+	}
+	if m["db/SQLScan"].Count != 1 {
+		t.Fatalf("bad decode: %+v", m)
+	}
+}
+
+func TestParseOpStatsRejectsJunk(t *testing.T) {
+	for _, junk := range []string{`{"requests": 5}`, `[1,2,3]`, `"hi"`} {
+		if _, err := ParseOpStats([]byte(junk)); err == nil {
+			t.Fatalf("ParseOpStats(%s) succeeded, want error", junk)
+		}
+	}
+}
+
+func TestAttributeRanksByWallGrowth(t *testing.T) {
+	before, err := ParseOpStats([]byte(beforeStats))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := ParseOpStats([]byte(afterStats))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := Attribute(before, after)
+
+	// HashJoin gained 1.6s of wall vs SQLScan's 0.2s: it must rank first,
+	// and its per-call mean (4ms -> 12ms) is the regression signal.
+	joinAt := strings.Index(report, "db/HashJoin")
+	scanAt := strings.Index(report, "db/SQLScan")
+	windowAt := strings.Index(report, "ts/TSWindow")
+	if joinAt < 0 || scanAt < 0 || windowAt < 0 {
+		t.Fatalf("report missing operators:\n%s", report)
+	}
+	if !(joinAt < scanAt && scanAt < windowAt) {
+		t.Fatalf("rank order wrong (want HashJoin, SQLScan, TSWindow):\n%s", report)
+	}
+	if !strings.Contains(report, "(new)") {
+		t.Fatalf("TSWindow should be marked (new):\n%s", report)
+	}
+	// SQLScan's per-call mean held at ~1ms — volume, not regression.
+	if !strings.Contains(report, "1000.0") {
+		t.Fatalf("expected SQLScan mean 1000.0 us/call in report:\n%s", report)
+	}
+}

@@ -31,8 +31,17 @@ func main() {
 		baselinePath = flag.String("baseline", "BENCH_BASELINE.json", "baseline JSON path")
 		maxDrop      = flag.Float64("max-drop", 25, "max allowed throughput drop in percent")
 		update       = flag.Bool("update", false, "rewrite the baseline from the bench output instead of comparing")
+		attr         = flag.Bool("attr", false, "attribute wall-time growth to operators: diff two /stats (or op-stats) dumps instead of bench output")
 	)
 	flag.Parse()
+	if *attr {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchdiff -attr before.json after.json")
+			os.Exit(2)
+		}
+		runAttr(flag.Arg(0), flag.Arg(1))
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-baseline file] [-max-drop pct] [-update] bench.txt")
 		os.Exit(2)
@@ -75,6 +84,32 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runAttr diffs two per-operator dumps and prints the attribution report.
+// Diagnostic only — it never fails the build (see attr.go).
+func runAttr(beforePath, afterPath string) {
+	before, err := readOpStats(beforePath)
+	if err != nil {
+		fatal(err)
+	}
+	after, err := readOpStats(afterPath)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(Attribute(before, after))
+}
+
+func readOpStats(path string) (map[string]opSnap, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := ParseOpStats(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
 }
 
 func fatal(err error) {

@@ -363,15 +363,17 @@ func printServerStats(hc *http.Client, baseURL string) {
 		return
 	}
 	var stats struct {
-		PlanCacheHits      int64   `json:"plan_cache_hits"`
-		PlanCacheMiss      int64   `json:"plan_cache_miss"`
-		ResultCacheHits    int64   `json:"result_cache_hits"`
-		ResultCacheMiss    int64   `json:"result_cache_miss"`
-		SingleFlightShared int64   `json:"single_flight_shared"`
-		DataVersion        uint64  `json:"data_version"`
-		ExecConcurrent     int64   `json:"executor_concurrent_plans"`
-		ExecSequential     int64   `json:"executor_sequential_plans"`
-		ExecMaxParallel    float64 `json:"executor_max_parallel"`
+		PlanCacheHits      int64              `json:"plan_cache_hits"`
+		PlanCacheMiss      int64              `json:"plan_cache_miss"`
+		ResultCacheHits    int64              `json:"result_cache_hits"`
+		ResultCacheMiss    int64              `json:"result_cache_miss"`
+		SingleFlightShared int64              `json:"single_flight_shared"`
+		DataVersion        uint64             `json:"data_version"`
+		ExecConcurrent     int64              `json:"executor_concurrent_plans"`
+		ExecSequential     int64              `json:"executor_sequential_plans"`
+		ExecMaxParallel    float64            `json:"executor_max_parallel"`
+		RequestLatencyUS   map[string]float64 `json:"request_latency_us"`
+		StreamTTFRUS       map[string]float64 `json:"stream_ttfr_us"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		return
@@ -382,4 +384,20 @@ func printServerStats(hc *http.Client, baseURL string) {
 		stats.SingleFlightShared)
 	fmt.Printf("  executor    %d concurrent / %d sequential plans, max node parallelism %.0f, data version %d\n",
 		stats.ExecConcurrent, stats.ExecSequential, stats.ExecMaxParallel, stats.DataVersion)
+	printQuantiles("latency", stats.RequestLatencyUS)
+	printQuantiles("ttfr", stats.StreamTTFRUS)
+}
+
+// printQuantiles reports one server-side latency histogram (microsecond
+// bucket upper bounds) when it observed anything during the run.
+func printQuantiles(label string, q map[string]float64) {
+	if q == nil || q["count"] == 0 {
+		return
+	}
+	fmt.Printf("  server %-8s p50<=%s p95<=%s p99<=%s (n=%.0f, bucket bounds)\n",
+		label,
+		time.Duration(q["p50"]*1e3).Round(time.Microsecond),
+		time.Duration(q["p95"]*1e3).Round(time.Microsecond),
+		time.Duration(q["p99"]*1e3).Round(time.Microsecond),
+		q["count"])
 }

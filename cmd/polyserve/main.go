@@ -60,6 +60,8 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "default per-request deadline")
 	planCache := flag.Int("plancache", 128, "compiled-plan LRU entries")
 	resultCache := flag.Int("resultcache", 256, "result-cache LRU entries keyed on (plan fingerprint, data version); 0 disables")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profile handlers under /debug/pprof/")
+	traceAll := flag.Bool("traceall", false, "trace every request server-side so /debug/queries captures recent and slowest executions")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -69,7 +71,8 @@ func main() {
 	}
 
 	if err := run(*addr, *scenario, *patients, *customers, *txPerCustomer,
-		*accel, *level, *seed, *workers, *queue, *timeout, *planCache, *resultCache); err != nil {
+		*accel, *level, *seed, *workers, *queue, *timeout, *planCache, *resultCache,
+		*pprofOn, *traceAll); err != nil {
 		fmt.Fprintf(os.Stderr, "polyserve: %v\n", err)
 		os.Exit(1)
 	}
@@ -77,7 +80,8 @@ func main() {
 
 func run(addr, scenario string, patients, customers, txPerCustomer int,
 	accel bool, level int, seed int64, workers, queue int,
-	timeout time.Duration, planCache, resultCache int) error {
+	timeout time.Duration, planCache, resultCache int,
+	pprofOn, traceAll bool) error {
 	rng := rand.New(rand.NewSource(seed))
 	var opts []polystore.Option
 	if queue == 0 {
@@ -92,6 +96,8 @@ func run(addr, scenario string, patients, customers, txPerCustomer int,
 		DefaultTimeout:  timeout,
 		PlanCacheSize:   planCache,
 		ResultCacheSize: resultCache,
+		EnablePprof:     pprofOn,
+		TraceAll:        traceAll,
 	}
 
 	wantClinical := scenario == "clinical" || scenario == "both"
@@ -146,8 +152,8 @@ func run(addr, scenario string, patients, customers, txPerCustomer int,
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Printf("polyserve: scenario=%s listening on %s (workers=%d queue=%d timeout=%s plancache=%d resultcache=%d accel=%t)\n",
-		scenario, addr, workers, queue, timeout, planCache, resultCache, accel)
+	fmt.Printf("polyserve: scenario=%s listening on %s (workers=%d queue=%d timeout=%s plancache=%d resultcache=%d accel=%t pprof=%t traceall=%t)\n",
+		scenario, addr, workers, queue, timeout, planCache, resultCache, accel, pprofOn, traceAll)
 	err := sys.Serve(ctx, addr, cfg)
 	if err != nil && ctx.Err() == nil {
 		return err

@@ -58,6 +58,10 @@ type ExecInfo struct {
 	// RuleNodes counts IR-translation rule applications, the work §III-A4
 	// proposes offloading to an accelerator.
 	RuleNodes int64
+	// Parts is the partition fan-out the operator actually used (0 when the
+	// operator does not partition or ran a streaming path that never fans
+	// out) — surfaced in trace spans and the per-operator stats registry.
+	Parts int
 }
 
 // Adapter translates and executes IR nodes on one engine instance.

@@ -284,6 +284,9 @@ func (a *Timeseries) exec(ctx context.Context, n *ir.Node, _ []Value, emit Batch
 		}
 		info.RowsIn = items
 		info.RowsOut = int64(out.Rows())
+		// The window fold's automatic fan-out is chunk-count-driven inside the
+		// store; only an explicit pin is observable here (0 = automatic).
+		info.Parts = int(n.IntAttr("parts"))
 		info.Native = fmt.Sprintf("Window(%s, %d)", n.StringAttr("series"), n.IntAttr("width"))
 		info.Kernels = []KernelCall{{Class: hw.KWindowAgg, Work: hw.Work{Items: items, Bytes: items * 16}, OutBytes: out.ByteSize()}}
 		return Value{Batch: out}, info, nil

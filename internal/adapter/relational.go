@@ -8,6 +8,7 @@ import (
 	"polystorepp/internal/cast"
 	"polystorepp/internal/hw"
 	"polystorepp/internal/ir"
+	"polystorepp/internal/partition"
 	"polystorepp/internal/relational"
 )
 
@@ -118,6 +119,7 @@ func (a *Relational) Execute(ctx context.Context, n *ir.Node, inputs []Value) (V
 		}
 		info.RowsIn = int64(in.Rows())
 		info.RowsOut = int64(out.Rows())
+		info.Parts = partition.Effective(in.Rows(), op.Parts)
 		info.Native = "Filter" + pred.String()
 		info.Kernels = []KernelCall{{Class: hw.KFilter, Work: hw.Work{Items: int64(in.Rows()), Bytes: in.ByteSize()}, OutBytes: out.ByteSize()}}
 		return Value{Batch: out}, info, nil
@@ -142,6 +144,7 @@ func (a *Relational) Execute(ctx context.Context, n *ir.Node, inputs []Value) (V
 		}
 		info.RowsIn = int64(in.Rows())
 		info.RowsOut = int64(out.Rows())
+		info.Parts = partition.Effective(in.Rows(), op.Parts)
 		info.Native = "Project"
 		info.Kernels = []KernelCall{{Class: hw.KProject, Work: hw.Work{Items: int64(in.Rows()), Bytes: in.ByteSize()}, OutBytes: out.ByteSize()}}
 		return Value{Batch: out}, info, nil
@@ -173,6 +176,8 @@ func (a *Relational) Execute(ctx context.Context, n *ir.Node, inputs []Value) (V
 			if err != nil {
 				return Value{}, info, err
 			}
+			// The probe side drives the fan-out (build uses the same knob).
+			info.Parts = partition.Effective(left.Rows(), op.Parts)
 			info.Kernels = []KernelCall{
 				{Class: hw.KHashBuild, Work: hw.Work{Items: int64(right.Rows()), Bytes: right.ByteSize()}},
 				{Class: hw.KHashProbe, Work: hw.Work{Items: int64(left.Rows()), Bytes: left.ByteSize()}, OutBytes: out.ByteSize()},
@@ -242,6 +247,7 @@ func (a *Relational) Execute(ctx context.Context, n *ir.Node, inputs []Value) (V
 		}
 		info.RowsIn = int64(in.Rows())
 		info.RowsOut = int64(out.Rows())
+		info.Parts = partition.Effective(in.Rows(), op.Parts)
 		info.Native = "GroupBy"
 		info.Kernels = []KernelCall{{Class: hw.KHashBuild, Work: hw.Work{Items: int64(in.Rows()), Bytes: in.ByteSize()}, OutBytes: out.ByteSize()}}
 		return Value{Batch: out}, info, nil
@@ -379,6 +385,9 @@ func (a *Relational) ExecuteStream(ctx context.Context, n *ir.Node, inputs []Val
 		if err != nil {
 			return Value{}, info, err
 		}
+		// Probe delivery streams chunk-at-a-time; the fan-out reported here
+		// is the build side's.
+		info.Parts = partition.Effective(right.Rows(), op.Parts)
 		info.Kernels = []KernelCall{
 			{Class: hw.KHashBuild, Work: hw.Work{Items: int64(right.Rows()), Bytes: right.ByteSize()}},
 			{Class: hw.KHashProbe, Work: hw.Work{Items: int64(left.Rows()), Bytes: left.ByteSize()}, OutBytes: out.ByteSize()},

@@ -27,6 +27,7 @@ import (
 	"polystorepp/internal/ir"
 	"polystorepp/internal/metrics"
 	"polystorepp/internal/migrate"
+	"polystorepp/internal/obs"
 )
 
 // Sentinel errors.
@@ -51,6 +52,7 @@ type Runtime struct {
 	mode     hw.Mode
 	migrator *migrate.Migrator
 	reg      *metrics.Registry
+	ops      *obs.OpStats
 
 	// engineWorkers bounds concurrent node executions per engine queue in
 	// the DAG scheduler; sequential forces the one-node-at-a-time executor.
@@ -99,6 +101,7 @@ func NewRuntime(host *hw.Device, opts ...Option) *Runtime {
 		host:          host,
 		mode:          hw.Coprocessor,
 		reg:           metrics.NewRegistry(),
+		ops:           obs.NewOpStats(),
 		engineWorkers: defaultEngineWorkers,
 	}
 	for _, o := range opts {
@@ -147,6 +150,10 @@ func (r *Runtime) Register(a adapter.Adapter) {
 
 // Metrics returns the runtime-statistics registry.
 func (r *Runtime) Metrics() *metrics.Registry { return r.reg }
+
+// OpStats returns the per-(engine, op-kind) execution-statistics registry —
+// the input surface for adaptive optimization and benchdiff attribution.
+func (r *Runtime) OpStats() *obs.OpStats { return r.ops }
 
 // HasEngine reports whether an adapter is registered under name.
 func (r *Runtime) HasEngine(name string) bool {
@@ -328,6 +335,7 @@ func (r *Runtime) executeSequential(ctx context.Context, plan *compiler.Plan, st
 		return nil, nil, fmt.Errorf("%w: %v", ErrExec, err)
 	}
 	r.reg.Counter("core.exec.sequential").Inc()
+	tr := obs.From(ctx)
 	for _, id := range order {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
@@ -348,6 +356,9 @@ func (r *Runtime) executeSequential(ctx context.Context, plan *compiler.Plan, st
 		nr, err := r.costNode(n, run, start, led)
 		if err != nil {
 			return nil, nil, fmt.Errorf("%w: node %d (%s): %w", ErrExec, id, n.Kind, err)
+		}
+		if tr != nil {
+			tr.AddSpan(nodeSpan(tr, n, run, nr))
 		}
 		values[id] = run.out
 		finish[id] = nr.Finish
@@ -390,6 +401,14 @@ type nodeRun struct {
 	isMigrate bool
 	wall      time.Duration
 	err       error
+	// hostStart is when the real execution began on the host clock; queue is
+	// the dispatch-to-run wait stamped by the concurrent scheduler (zero on
+	// the sequential path, and only measured for traced executions).
+	hostStart time.Time
+	queue     time.Duration
+	// bytesIn/bytesOut approximate the tabular data volume through the node,
+	// for the per-operator stats registry and trace spans.
+	bytesIn, bytesOut int64
 }
 
 // runNode performs a node's real work — adapter translation and native
@@ -399,6 +418,10 @@ type nodeRun struct {
 func (r *Runtime) runNode(ctx context.Context, n *ir.Node, inputs []adapter.Value, st *nodeStream) *nodeRun {
 	run := &nodeRun{}
 	t0 := time.Now()
+	run.hostStart = t0
+	for _, in := range inputs {
+		run.bytesIn += valueBytes(in)
+	}
 	if n.Kind == ir.OpMigrate {
 		run.isMigrate = true
 		out, bd, err := r.executeMigrate(ctx, n, inputs)
@@ -409,9 +432,11 @@ func (r *Runtime) runNode(ctx context.Context, n *ir.Node, inputs []adapter.Valu
 		run.out = adapter.Value{Batch: out}
 		run.bd = bd
 		run.wall = time.Since(t0)
+		run.bytesOut = valueBytes(run.out)
 		r.reg.Counter("core.migrations").Inc()
 		r.reg.Counter("core.nodes").Inc()
 		r.reg.Timer("core.node." + n.Kind.String()).Observe(run.wall)
+		r.observeOp(n, run)
 		return run
 	}
 	a, ok := r.adapters[n.Engine]
@@ -436,9 +461,11 @@ func (r *Runtime) runNode(ctx context.Context, n *ir.Node, inputs []adapter.Valu
 	run.out = out
 	run.info = info
 	run.wall = time.Since(t0)
+	run.bytesOut = valueBytes(out)
 	r.reg.Counter("core.rule_nodes").Add(info.RuleNodes)
 	r.reg.Counter("core.nodes").Inc()
 	r.reg.Timer("core.node." + n.Kind.String()).Observe(run.wall)
+	r.observeOp(n, run)
 	return run
 }
 

@@ -11,6 +11,7 @@ import (
 	"polystorepp/internal/compiler"
 	"polystorepp/internal/hw"
 	"polystorepp/internal/ir"
+	"polystorepp/internal/obs"
 )
 
 // Concurrent stage-aware DAG executor (§IV-D).
@@ -51,6 +52,10 @@ type schedNode struct {
 	run *nodeRun
 	// done closes when the real execution finished (run is set).
 	done chan struct{}
+	// enqueued is when the node entered its dispatch queue — stamped only for
+	// traced executions (the happens-before of the queue send orders the
+	// write before the worker's read), so untraced runs skip the clock reads.
+	enqueued time.Time
 }
 
 // executeConcurrent runs the plan through the concurrent DAG scheduler.
@@ -66,6 +71,7 @@ func (r *Runtime) executeConcurrent(ctx context.Context, plan *compiler.Plan, st
 		return nil, nil, fmt.Errorf("%w: %v", ErrExec, err)
 	}
 	r.reg.Counter("core.exec.concurrent").Inc()
+	tr := obs.From(ctx)
 
 	// execCtx cancels every in-flight worker when the coordinator returns
 	// early (error or caller cancellation).
@@ -91,6 +97,7 @@ func (r *Runtime) executeConcurrent(ctx context.Context, plan *compiler.Plan, st
 		consumers: consumers,
 		queues:    make(map[string]chan *schedNode),
 		st:        st,
+		tr:        tr,
 	}
 	// Create every queue before any dispatch (workers never mutate the map),
 	// each sized to the nodes it will ever receive so dispatching never
@@ -135,6 +142,9 @@ func (r *Runtime) executeConcurrent(ctx context.Context, plan *compiler.Plan, st
 	for _, stage := range plan.Stages {
 		for _, id := range stage {
 			if sn := nodes[id]; len(sn.n.Inputs) == 0 {
+				if tr != nil {
+					sn.enqueued = time.Now()
+				}
 				sched.queues[queueKey(sn.n)] <- sn
 			}
 		}
@@ -170,6 +180,9 @@ func (r *Runtime) executeConcurrent(ctx context.Context, plan *compiler.Plan, st
 		if err != nil {
 			execErr = fmt.Errorf("%w: node %d (%s): %w", ErrExec, id, sn.n.Kind, err)
 			break
+		}
+		if tr != nil {
+			tr.AddSpan(nodeSpan(tr, sn.n, sn.run, nr))
 		}
 		values[id] = sn.run.out
 		finish[id] = nr.Finish
@@ -209,6 +222,9 @@ type scheduler struct {
 	queues    map[string]chan *schedNode
 	// st streams the designated sink node's output; nil for buffered runs.
 	st *nodeStream
+	// tr is the request's trace (nil when untraced); workers use it to decide
+	// whether queue-wait stamping is worth the clock reads.
+	tr *obs.Trace
 
 	inflight    atomic.Int32
 	maxInflight atomic.Int32
@@ -230,6 +246,10 @@ func (s *scheduler) runScheduled(ctx context.Context, sn *schedNode) {
 		close(sn.done)
 		return
 	}
+	var queued time.Duration
+	if s.tr != nil && !sn.enqueued.IsZero() {
+		queued = time.Since(sn.enqueued)
+	}
 	inputs := make([]adapter.Value, len(sn.n.Inputs))
 	for i, in := range sn.n.Inputs {
 		// Producers finished before this node was dispatched; the queue
@@ -238,6 +258,7 @@ func (s *scheduler) runScheduled(ctx context.Context, sn *schedNode) {
 		inputs[i] = s.nodes[in].run.out
 	}
 	sn.run = s.rt.runNode(ctx, sn.n, inputs, s.st)
+	sn.run.queue = queued
 	close(sn.done)
 	if sn.run.err != nil {
 		return // consumers stay undispatched; the coordinator stops first
@@ -245,6 +266,9 @@ func (s *scheduler) runScheduled(ctx context.Context, sn *schedNode) {
 	for _, c := range s.consumers[sn.n.ID] {
 		cn := s.nodes[c]
 		if cn.waits.Add(-1) == 0 {
+			if s.tr != nil {
+				cn.enqueued = time.Now()
+			}
 			// Buffered to the full plan; never blocks.
 			s.queues[queueKey(cn.n)] <- cn
 		}

@@ -21,7 +21,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 		typ  string
 		text string
 	}
-	samples := make([]sample, 0, len(r.counters)+len(r.gauges)+3*len(r.timers))
+	samples := make([]sample, 0, len(r.counters)+len(r.gauges)+3*len(r.timers)+5*len(r.histograms))
 	for name, c := range r.counters {
 		n := SanitizeMetricName(name)
 		samples = append(samples, sample{n, "counter", fmt.Sprintf("%s %d\n", n, c.Value())})
@@ -37,6 +37,17 @@ func (r *Registry) WriteText(w io.Writer) error {
 			sample{n + "_count", "counter", fmt.Sprintf("%s_count %d\n", n, cnt)},
 			sample{n + "_seconds_total", "counter", fmt.Sprintf("%s_seconds_total %g\n", n, total.Seconds())},
 			sample{n + "_seconds_max", "gauge", fmt.Sprintf("%s_seconds_max %g\n", n, max.Seconds())},
+		)
+	}
+	for name, h := range r.histograms {
+		n := SanitizeMetricName(name)
+		cnt, sum := h.Snapshot()
+		samples = append(samples,
+			sample{n + "_count", "counter", fmt.Sprintf("%s_count %d\n", n, cnt)},
+			sample{n + "_sum", "counter", fmt.Sprintf("%s_sum %g\n", n, sum)},
+			sample{n + "_p50", "gauge", fmt.Sprintf("%s_p50 %g\n", n, h.Quantile(0.50))},
+			sample{n + "_p95", "gauge", fmt.Sprintf("%s_p95 %g\n", n, h.Quantile(0.95))},
+			sample{n + "_p99", "gauge", fmt.Sprintf("%s_p99 %g\n", n, h.Quantile(0.99))},
 		)
 	}
 	r.mu.Unlock()

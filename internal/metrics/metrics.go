@@ -8,16 +8,19 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Counter is a monotonically increasing counter.
+// Counter is a monotonically increasing counter. Lock-free: executor workers
+// bump counters on every node execution, so an uncontended atomic add beats
+// a mutex acquire on the hot path.
 type Counter struct {
-	mu sync.Mutex
-	v  int64
+	v atomic.Int64
 }
 
 // Add increments the counter by d (d must be >= 0; negative deltas are
@@ -26,57 +29,52 @@ func (c *Counter) Add(d int64) {
 	if d < 0 {
 		return
 	}
-	c.mu.Lock()
-	c.v += d
-	c.mu.Unlock()
+	c.v.Add(d)
 }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() { c.v.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.v
-}
+func (c *Counter) Value() int64 { return c.v.Load() }
 
-// Gauge is a value that can go up and down.
+// Gauge is a value that can go up and down. The float64 value lives in an
+// atomic.Uint64 as its IEEE-754 bits; Add and SetMax are CAS loops, so
+// concurrent updates never lose increments and never take a lock.
 type Gauge struct {
-	mu sync.Mutex
-	v  float64
+	bits atomic.Uint64
 }
 
 // Set stores v.
-func (g *Gauge) Set(v float64) {
-	g.mu.Lock()
-	g.v = v
-	g.mu.Unlock()
-}
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adjusts the gauge by d.
 func (g *Gauge) Add(d float64) {
-	g.mu.Lock()
-	g.v += d
-	g.mu.Unlock()
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // SetMax raises the gauge to v if larger — a high-watermark update that is
 // atomic under concurrent observers (the executor's max-parallelism gauge).
 func (g *Gauge) SetMax(v float64) {
-	g.mu.Lock()
-	if v > g.v {
-		g.v = v
+	for {
+		old := g.bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
 	}
-	g.mu.Unlock()
 }
 
 // Value returns the current value.
-func (g *Gauge) Value() float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.v
-}
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Timer accumulates durations and exposes count/total/mean/max.
 type Timer struct {
@@ -184,18 +182,20 @@ func (h *Histogram) Snapshot() (n int64, sum float64) {
 // Registry is a namespace of named metrics. The zero value is not usable;
 // construct with NewRegistry.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	timers   map[string]*Timer
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		timers:   make(map[string]*Timer),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		timers:     make(map[string]*Timer),
+		histograms: make(map[string]*Histogram),
 	}
 }
 
@@ -235,12 +235,32 @@ func (r *Registry) Timer(name string) *Timer {
 	return t
 }
 
+// Histogram returns the named histogram, creating it with the given bounds
+// on first use. Later calls return the existing histogram regardless of
+// bounds, so callers must agree on boundaries per name. Invalid bounds
+// (empty or unsorted) panic — histogram names and bounds are compile-time
+// choices, not request data.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		var err error
+		h, err = NewHistogram(bounds)
+		if err != nil {
+			panic(err)
+		}
+		r.histograms[name] = h
+	}
+	return h
+}
+
 // Dump renders all metrics sorted by name, one per line — the executor's
 // debugging report.
 func (r *Registry) Dump() string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	lines := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.timers))
+	lines := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.timers)+len(r.histograms))
 	for name, c := range r.counters {
 		lines = append(lines, fmt.Sprintf("counter %s = %d", name, c.Value()))
 	}
@@ -250,6 +270,11 @@ func (r *Registry) Dump() string {
 	for name, t := range r.timers {
 		n, total, mean, max := t.Snapshot()
 		lines = append(lines, fmt.Sprintf("timer %s: n=%d total=%s mean=%s max=%s", name, n, total, mean, max))
+	}
+	for name, h := range r.histograms {
+		n, sum := h.Snapshot()
+		lines = append(lines, fmt.Sprintf("histogram %s: n=%d sum=%g p50=%g p95=%g p99=%g",
+			name, n, sum, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)))
 	}
 	sort.Strings(lines)
 	return strings.Join(lines, "\n")

@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+// mutexCounter and mutexGauge are the pre-atomic implementations, kept here
+// as benchmark baselines so the contention win of the sync/atomic versions
+// stays measurable: go test -bench 'Counter|Gauge' -cpu 8 ./internal/metrics/
+
+type mutexCounter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (c *mutexCounter) Inc() {
+	c.mu.Lock()
+	c.v++
+	c.mu.Unlock()
+}
+
+type mutexGauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+func (g *mutexGauge) SetMax(v float64) {
+	g.mu.Lock()
+	if v > g.v {
+		g.v = v
+	}
+	g.mu.Unlock()
+}
+
+func BenchmarkCounterParallel(b *testing.B) {
+	var c Counter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkMutexCounterParallel(b *testing.B) {
+	var c mutexCounter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkGaugeSetMaxParallel(b *testing.B) {
+	var g Gauge
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			g.SetMax(1) // steady state: watermark reached, loads only
+		}
+	})
+}
+
+func BenchmarkMutexGaugeSetMaxParallel(b *testing.B) {
+	var g mutexGauge
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			g.SetMax(1)
+		}
+	})
+}

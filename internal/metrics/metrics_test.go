@@ -116,6 +116,68 @@ func TestRegistry(t *testing.T) {
 	}
 }
 
+func TestGaugeConcurrentAdd(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 16000 {
+		t.Fatalf("gauge = %g, want 16000 (CAS Add lost updates)", got)
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	g.SetMax(3)
+	g.SetMax(1) // lower: ignored
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %g, want 3", got)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				g.SetMax(float64(i*500 + j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := g.Value(); got != 15*500+499 {
+		t.Fatalf("high watermark = %g, want %d", got, 15*500+499)
+	}
+}
+
+func TestRegistryHistogram(t *testing.T) {
+	r := NewRegistry()
+	bounds := []float64{1, 10, 100}
+	h := r.Histogram("lat", bounds)
+	if r.Histogram("lat", nil) != h {
+		t.Fatal("histogram not shared by name")
+	}
+	h.Observe(5)
+	h.Observe(50)
+	dump := r.Dump()
+	if !strings.Contains(dump, "histogram lat: n=2") {
+		t.Fatalf("dump missing histogram:\n%s", dump)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid bounds on first use should panic")
+		}
+	}()
+	r.Histogram("bad", nil)
+}
+
 func TestRegistryConcurrent(t *testing.T) {
 	r := NewRegistry()
 	var wg sync.WaitGroup

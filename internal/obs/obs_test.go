@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A nil trace must be invisible: context unchanged, every method a no-op.
+func TestNilTraceIsNoOp(t *testing.T) {
+	ctx := context.Background()
+	if got := With(ctx, nil); got != ctx {
+		t.Fatal("With(ctx, nil) must return ctx unchanged")
+	}
+	if tr := From(ctx); tr != nil {
+		t.Fatalf("From on untouched context = %v, want nil", tr)
+	}
+	var tr *Trace
+	if tr.Enabled() {
+		t.Fatal("nil trace reports Enabled")
+	}
+	// None of these may panic.
+	tr.AddSpan(Span{Node: 1})
+	tr.Event("x", "")
+	tr.Phase("y", "", time.Now())
+	tr.Annotate("k", "v")
+	if tree := tr.Finish(); tree != nil {
+		t.Fatalf("nil.Finish() = %v, want nil", tree)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := New("q-1")
+	ctx := With(context.Background(), tr)
+	if got := From(ctx); got != tr {
+		t.Fatal("From did not return the installed trace")
+	}
+	tr.Event("cache.result", "miss")
+	tr.Phase("admission.queue", "", time.Now().Add(-2*time.Millisecond))
+	tr.Annotate("single_flight", "leader")
+	tr.Annotate("single_flight", "leader-retry") // later value wins
+	// Spans added out of node order must come back sorted.
+	tr.AddSpan(Span{Node: 3, Kind: "project", RowsOut: 5})
+	tr.AddSpan(Span{Node: 1, Kind: "scan", RowsOut: 10})
+	tr.AddSpan(Span{Node: 2, Kind: "filter", RowsIn: 10, RowsOut: 5, Inputs: []int64{1}})
+
+	tree := tr.Finish()
+	if tree.ID != "q-1" {
+		t.Fatalf("tree id = %q", tree.ID)
+	}
+	if len(tree.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(tree.Spans))
+	}
+	for i, want := range []int64{1, 2, 3} {
+		if tree.Spans[i].Node != want {
+			t.Fatalf("span %d node = %d, want %d", i, tree.Spans[i].Node, want)
+		}
+	}
+	if len(tree.Events) != 2 {
+		t.Fatalf("got %d events, want 2", len(tree.Events))
+	}
+	if tree.Events[1].DurUS < 1000 {
+		t.Fatalf("phase duration %dus, want >= ~2ms", tree.Events[1].DurUS)
+	}
+	if tree.Annotations["single_flight"] != "leader-retry" {
+		t.Fatalf("annotation = %q", tree.Annotations["single_flight"])
+	}
+	if tree.WallUS < 0 {
+		t.Fatalf("wall = %d", tree.WallUS)
+	}
+	// Finish is repeatable and snapshots independently.
+	tree2 := tr.Finish()
+	tree2.Spans[0].Node = 99
+	if tr.Finish().Spans[0].Node != 1 {
+		t.Fatal("Finish snapshot aliases internal span slice")
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := New("conc")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(n int64) {
+			defer wg.Done()
+			tr.AddSpan(Span{Node: n})
+			tr.Event("e", "")
+		}(int64(i))
+	}
+	wg.Wait()
+	tree := tr.Finish()
+	if len(tree.Spans) != 32 || len(tree.Events) != 32 {
+		t.Fatalf("spans=%d events=%d, want 32/32", len(tree.Spans), len(tree.Events))
+	}
+	for i := 1; i < len(tree.Spans); i++ {
+		if tree.Spans[i-1].Node >= tree.Spans[i].Node {
+			t.Fatal("spans not sorted by node id")
+		}
+	}
+}
+
+func TestOpStatsObserveAndSnapshot(t *testing.T) {
+	s := NewOpStats()
+	for i := 0; i < 100; i++ {
+		s.Observe("db1", "filter", Obs{
+			Wall: 40 * time.Microsecond, RowsIn: 10, RowsOut: 5, BytesIn: 80, BytesOut: 40, Parts: 4,
+		})
+	}
+	s.Observe("db1", "filter", Obs{Wall: 300 * time.Microsecond, RowsIn: 1, RowsOut: 1, Parts: 2})
+	s.Observe("ts", "ts_window", Obs{Wall: 2 * time.Millisecond, RowsOut: 7})
+
+	snap := s.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("got %d entries, want 2", len(snap))
+	}
+	f := snap["db1/filter"]
+	if f.Count != 101 || f.RowsIn != 1001 || f.RowsOut != 501 || f.BytesIn != 8000 {
+		t.Fatalf("bad aggregate: %+v", f)
+	}
+	if f.MaxParts != 4 {
+		t.Fatalf("max_parts = %d, want 4", f.MaxParts)
+	}
+	if f.P50US != 50 { // 40µs falls in the (25, 50] bucket
+		t.Fatalf("p50 = %d, want 50", f.P50US)
+	}
+	if f.P99US != 50 { // 1 outlier in 101 samples sits above the p99 rank
+		t.Fatalf("p99 = %d, want 50", f.P99US)
+	}
+	wantWall := (100*40*time.Microsecond + 300*time.Microsecond + 0).Seconds()
+	if diff := f.WallSeconds - wantWall; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("wall = %g, want %g", f.WallSeconds, wantWall)
+	}
+	if m := f.MeanUS(); m < 42 || m > 43 {
+		t.Fatalf("mean = %g, want ~42.57", m)
+	}
+	w := snap["ts/ts_window"]
+	if w.Count != 1 || w.RowsOut != 7 || w.MaxParts != 0 {
+		t.Fatalf("bad ts aggregate: %+v", w)
+	}
+}
+
+func TestOpStatsConcurrent(t *testing.T) {
+	s := NewOpStats()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Observe("e", fmt.Sprintf("op%d", i%4), Obs{Wall: time.Microsecond, RowsOut: 1})
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	var total int64
+	for _, o := range snap {
+		total += o.Count
+	}
+	if total != 8000 {
+		t.Fatalf("total count = %d, want 8000", total)
+	}
+}
+
+func TestOpStatsWriteProm(t *testing.T) {
+	s := NewOpStats()
+	s.Observe("db1", "hash_join", Obs{Wall: time.Millisecond, RowsIn: 100, RowsOut: 30})
+	var sb strings.Builder
+	ident := func(n string) string { return strings.NewReplacer(".", "_", "-", "_").Replace(n) }
+	if err := s.WriteProm(&sb, ident); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"core_op_db1_hash_join_count 1",
+		"core_op_db1_hash_join_rows_out_total 30",
+		"# TYPE core_op_db1_hash_join_wall_seconds_total counter",
+		"core_op_db1_hash_join_p95_us 1000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOpStatsTailQuantile(t *testing.T) {
+	s := NewOpStats()
+	for i := 0; i < 9; i++ {
+		s.Observe("e", "scan", Obs{Wall: 40 * time.Microsecond})
+	}
+	s.Observe("e", "scan", Obs{Wall: 300 * time.Microsecond})
+	o := s.Snapshot()["e/scan"]
+	if o.P50US != 50 || o.P95US != 500 || o.P99US != 500 {
+		t.Fatalf("quantiles = %d/%d/%d, want 50/500/500", o.P50US, o.P95US, o.P99US)
+	}
+}
+
+func TestBucketQuantileEdges(t *testing.T) {
+	if q := bucketQuantile(latBoundsUS[:], make([]int64, len(latBoundsUS)+1), 0, 0.5); q != 0 {
+		t.Fatalf("empty quantile = %d, want 0", q)
+	}
+	// Everything in the overflow bucket clamps to the last bound.
+	counts := make([]int64, len(latBoundsUS)+1)
+	counts[len(counts)-1] = 10
+	if q := bucketQuantile(latBoundsUS[:], counts, 10, 0.99); q != latBoundsUS[len(latBoundsUS)-1] {
+		t.Fatalf("overflow quantile = %d", q)
+	}
+}
+
+func TestTraceLogRetention(t *testing.T) {
+	l := NewTraceLog(4, 3)
+	mk := func(id string, wall int64) *Tree { return &Tree{ID: id, WallUS: wall} }
+	// Record 10 traces with walls 1..10; one early outlier with wall 100.
+	l.Record(mk("outlier", 100))
+	for i := 1; i <= 10; i++ {
+		l.Record(mk(fmt.Sprintf("t%d", i), int64(i)))
+	}
+	l.Record(nil) // ignored
+
+	recent, slowest, total := l.Snapshot()
+	if total != 11 {
+		t.Fatalf("total = %d, want 11", total)
+	}
+	if len(recent) != 4 {
+		t.Fatalf("recent len = %d, want 4", len(recent))
+	}
+	for i, want := range []string{"t10", "t9", "t8", "t7"} {
+		if recent[i].ID != want {
+			t.Fatalf("recent[%d] = %s, want %s", i, recent[i].ID, want)
+		}
+	}
+	// The outlier survives in slowest even though the recent ring dropped it.
+	if len(slowest) != 3 {
+		t.Fatalf("slowest len = %d, want 3", len(slowest))
+	}
+	for i, want := range []string{"outlier", "t10", "t9"} {
+		if slowest[i].ID != want {
+			t.Fatalf("slowest[%d] = %s, want %s", i, slowest[i].ID, want)
+		}
+	}
+
+	var nilLog *TraceLog
+	nilLog.Record(mk("x", 1))
+	if r, s, n := nilLog.Snapshot(); r != nil || s != nil || n != 0 {
+		t.Fatal("nil TraceLog must be inert")
+	}
+}
+
+func TestTraceLogConcurrent(t *testing.T) {
+	l := NewTraceLog(8, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Record(&Tree{ID: "x", WallUS: int64(g*1000 + i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	recent, slowest, total := l.Snapshot()
+	if total != 1600 || len(recent) != 8 || len(slowest) != 4 {
+		t.Fatalf("total=%d recent=%d slowest=%d", total, len(recent), len(slowest))
+	}
+	for i := 1; i < len(slowest); i++ {
+		if slowest[i-1].WallUS < slowest[i].WallUS {
+			t.Fatal("slowest not sorted descending")
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// TraceLog is the bounded retention buffer behind /debug/queries: a ring of
+// the most recent finished traces plus a separate top-N-by-wall list of the
+// slowest traces ever recorded, so a pathological query stays inspectable
+// long after the recent ring has cycled past it.
+type TraceLog struct {
+	mu      sync.Mutex
+	recent  []*Tree // ring, next points at the slot to overwrite
+	next    int
+	n       int     // live entries in recent
+	slowest []*Tree // kept sorted descending by WallUS
+	maxSlow int
+	total   int64
+}
+
+// NewTraceLog builds a log retaining the last recent traces and the slowest
+// maxSlow by wall time. Non-positive sizes fall back to 64 and 32.
+func NewTraceLog(recent, maxSlow int) *TraceLog {
+	if recent <= 0 {
+		recent = 64
+	}
+	if maxSlow <= 0 {
+		maxSlow = 32
+	}
+	return &TraceLog{recent: make([]*Tree, recent), maxSlow: maxSlow}
+}
+
+// Record retains a finished trace. Nil trees are ignored, so callers can
+// pass Trace.Finish() output unconditionally.
+func (l *TraceLog) Record(t *Tree) {
+	if l == nil || t == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	l.recent[l.next] = t
+	l.next = (l.next + 1) % len(l.recent)
+	if l.n < len(l.recent) {
+		l.n++
+	}
+	// Insert into the slowest list if it beats the current tail (or the
+	// list has room). The list is tiny, so insertion sort is fine.
+	if len(l.slowest) < l.maxSlow || t.WallUS > l.slowest[len(l.slowest)-1].WallUS {
+		i := sort.Search(len(l.slowest), func(i int) bool {
+			return l.slowest[i].WallUS < t.WallUS
+		})
+		l.slowest = append(l.slowest, nil)
+		copy(l.slowest[i+1:], l.slowest[i:])
+		l.slowest[i] = t
+		if len(l.slowest) > l.maxSlow {
+			l.slowest = l.slowest[:l.maxSlow]
+		}
+	}
+}
+
+// Snapshot returns the retained traces: recent newest-first, slowest in
+// descending wall order, and the total number of traces ever recorded.
+func (l *TraceLog) Snapshot() (recent, slowest []*Tree, total int64) {
+	if l == nil {
+		return nil, nil, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	recent = make([]*Tree, 0, l.n)
+	for i := 0; i < l.n; i++ {
+		// Walk backwards from the slot most recently written.
+		idx := (l.next - 1 - i + len(l.recent)*2) % len(l.recent)
+		recent = append(recent, l.recent[idx])
+	}
+	slowest = append([]*Tree(nil), l.slowest...)
+	return recent, slowest, l.total
+}

@@ -87,6 +87,18 @@ func Auto(n int, p *Pool) int {
 	return parts
 }
 
+// Effective resolves the partition count an operator over n rows actually
+// uses: an explicit parts attribute (> 0) wins, anything else falls back to
+// Auto over the shared pool — the same resolution the partitioned relational
+// operators apply, factored out so adapters can report the realized fan-out
+// to the observability layer without re-deriving it.
+func Effective(n, parts int) int {
+	if parts > 0 {
+		return parts
+	}
+	return Auto(n, Shared())
+}
+
 // Pool is a bounded set of scan-worker slots. The zero value is not usable;
 // construct with NewPool or use the process-wide Shared pool.
 type Pool struct {

@@ -1,0 +1,43 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Sizing of the server's trace log: how many recent traces the ring keeps
+// and how many slowest-ever traces are retained beside it. Small on purpose —
+// /debug/queries is a flight recorder, not a trace store.
+const (
+	traceLogRecent  = 64
+	traceLogSlowest = 32
+)
+
+// handleDebugQueries serves the trace flight recorder: the most recent
+// traced requests (newest first) and the slowest ones observed since boot.
+// Only traced requests appear here — set "trace": true per request, or run
+// the server with TraceAll to capture everything.
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	recent, slowest, total := s.traces.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"traced_total": total,
+		"recent":       recent,
+		"slowest":      slowest,
+	})
+}
+
+// mountPprof exposes the standard runtime profiles under /debug/pprof/.
+// Mounted explicitly (not via the net/http/pprof DefaultServeMux side
+// effect) because the server owns its mux, and only when Config.EnablePprof
+// opts in.
+func (s *Server) mountPprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -57,6 +57,8 @@ import (
 	"polystorepp/internal/ir"
 	"polystorepp/internal/lru"
 	"polystorepp/internal/metrics"
+	"polystorepp/internal/obs"
+	"polystorepp/internal/partition"
 )
 
 // Config tunes the serving subsystem. Zero values select the documented
@@ -99,6 +101,14 @@ type Config struct {
 	// NL binds the natural-language translator to engine instance names;
 	// leave zero to disable the nl frontend.
 	NL NLBinding
+	// EnablePprof mounts net/http/pprof profile handlers under /debug/pprof/
+	// (off by default; profiling endpoints are operator surface, not client
+	// surface).
+	EnablePprof bool
+	// TraceAll traces every request server-side so /debug/queries retains
+	// recent and slowest executions even when clients never ask for traces.
+	// Off by default: tracing is per-request opt-in via "trace": true.
+	TraceAll bool
 }
 
 // NLBinding names the engines the NL translator builds programs against.
@@ -157,6 +167,7 @@ type Server struct {
 	nl      *eide.NLTranslator
 	reg     *metrics.Registry
 	mux     *http.ServeMux
+	traces  *obs.TraceLog
 
 	// touches memoizes compiler.TouchesOf per plan-cache key so the hot path
 	// builds version vectors without re-walking (or re-parsing) the program.
@@ -176,6 +187,7 @@ func New(rt *core.Runtime, opts compiler.Options, cfg Config) *Server {
 		adm:     newAdmission(cfg.Workers, cfg.QueueDepth),
 		reg:     rt.Metrics(),
 		mux:     http.NewServeMux(),
+		traces:  obs.NewTraceLog(traceLogRecent, traceLogSlowest),
 		touches: lru.New[compiler.Touches](cfg.PlanCacheSize),
 	}
 	if cfg.ResultCacheSize > 0 {
@@ -193,6 +205,10 @@ func New(rt *core.Runtime, opts compiler.Options, cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/debug/queries", s.handleDebugQueries)
+	if cfg.EnablePprof {
+		s.mountPprof()
+	}
 	return s
 }
 
@@ -240,6 +256,10 @@ type QueryRequest struct {
 	// — the partition-equivalence guarantee — so this is a tuning and
 	// testing knob, and it participates in the plan/result cache keys.
 	Parts int `json:"parts,omitempty"`
+	// Trace returns the request's span tree in the response ("trace" field,
+	// or a trailing NDJSON trace record on /query/stream). Tracing never
+	// changes results and does not participate in cache keys.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // QueryResponse is the POST /query success body.
@@ -272,6 +292,11 @@ type QueryResponse struct {
 	WallMicros        int64   `json:"wall_us"`
 	Migrations        int     `json:"migrations"`
 	Nodes             int     `json:"nodes"`
+	// Trace is the request's span tree, present only when the request set
+	// "trace": true. On a cache hit or single-flight share it carries the
+	// serving events (cache probe, single-flight role) without node spans —
+	// the spans belong to the execution that actually ran.
+	Trace *obs.Tree `json:"trace,omitempty"`
 }
 
 type errorResponse struct {
@@ -409,8 +434,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), p.timeout)
 	defer cancel()
+	tr := s.startTrace(p)
+	ctx = obs.With(ctx, tr)
 
 	out, err := s.runQuery(ctx, p, nil)
+	tree := tr.Finish()
+	s.traces.Record(tree)
 	if err != nil {
 		s.writeQueryError(w, err, p.timeout)
 		return
@@ -423,8 +452,37 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.decorateResponse(resp, p, out)
+	if p.req.Trace {
+		resp.Trace = tree
+	}
 	s.reg.Timer("server.request").Observe(time.Since(t0))
+	s.observeLatency(t0)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// startTrace creates the request's trace when the client asked for one (or
+// the deployment traces everything); nil otherwise — the zero-cost path.
+// The trace id is the plan-cache key, so /debug/queries groups repeats of
+// one query under one id.
+func (s *Server) startTrace(p *preparedQuery) *obs.Trace {
+	if !p.req.Trace && !s.cfg.TraceAll {
+		return nil
+	}
+	return obs.New(p.planKey)
+}
+
+// latencyBounds are the request-latency histogram buckets (seconds), 100µs
+// to 30s — the span between a cache-served hot query and a deadline-bounded
+// straggler.
+var latencyBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// observeLatency folds one served request into the latency histogram backing
+// the /stats and /metrics p50/p95/p99 families.
+func (s *Server) observeLatency(t0 time.Time) {
+	s.reg.Histogram("server.request.latency_seconds", latencyBounds).Observe(time.Since(t0).Seconds())
 }
 
 // decorateResponse fills the serving-metadata fields shared by buffered
@@ -486,12 +544,15 @@ func (s *Server) touchesFor(planKey string, g *ir.Graph) compiler.Touches {
 // piggybacks return the buffered outcome, and the caller replays it through
 // the sink so streaming clients always receive a complete result.
 func (s *Server) runQuery(ctx context.Context, p *preparedQuery, sink core.ResultSink) (queryOutcome, error) {
+	tr := obs.From(ctx)
 	if s.results != nil {
 		if res, rep, ok := s.results.get(p.resKey); ok {
 			s.reg.Counter("server.resultcache.hits").Inc()
+			tr.Event("cache.result", "hit")
 			return queryOutcome{res: res, rep: rep, planHit: true, resultHit: true}, nil
 		}
 		s.reg.Counter("server.resultcache.misses").Inc()
+		tr.Event("cache.result", "miss")
 	}
 	if s.flight == nil {
 		res, rep, planHit, err := s.executeOnce(ctx, p, sink)
@@ -529,6 +590,9 @@ func (s *Server) runQuery(ctx context.Context, p *preparedQuery, sink core.Resul
 	}
 	if shared {
 		s.reg.Counter("server.singleflight.shared").Inc()
+		tr.Annotate("single_flight", "follower")
+	} else {
+		tr.Annotate("single_flight", "leader")
 	}
 	return queryOutcome{res: res, rep: rep, planHit: planHit, shared: shared}, err
 }
@@ -542,10 +606,18 @@ var errLeadersGone = errors.New("server: shared execution repeatedly canceled by
 // executes — streaming sink-node batches through sink when one is attached —
 // then publishes the outcome to the result cache.
 func (s *Server) executeOnce(ctx context.Context, p *preparedQuery, sink core.ResultSink) (*core.Results, *core.Report, bool, error) {
+	tr := obs.From(ctx)
+	var admT0 time.Time
+	if tr != nil {
+		admT0 = time.Now()
+	}
 	if err := s.adm.acquire(ctx); err != nil {
 		return nil, nil, false, err
 	}
 	defer s.adm.release()
+	if tr != nil {
+		tr.Phase("admission.queue", "", admT0)
+	}
 
 	plan, hit, err := s.cache.GetOrCompileKeyed(p.planKey, p.prog.Graph(), p.opts)
 	if err != nil {
@@ -556,6 +628,7 @@ func (s *Server) executeOnce(ctx context.Context, p *preparedQuery, sink core.Re
 	} else {
 		s.reg.Counter("server.plancache.misses").Inc()
 	}
+	tr.Event("cache.plan", hitMiss(hit))
 	res, rep, err := s.rt.ExecuteStream(ctx, plan, sink)
 	if err != nil {
 		return nil, nil, hit, err
@@ -861,11 +934,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.Gauge("server.inflight").Set(float64(s.adm.inflight()))
 	s.reg.Gauge("server.data_version").Set(float64(s.rt.DataVersion()))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_ = s.reg.WriteText(w)
+	if err := s.reg.WriteText(w); err != nil {
+		return
+	}
+	_ = s.rt.OpStats().WriteProm(w, metrics.SanitizeMetricName)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.cache.Stats()
+	pSpawned, pInlined := partition.Shared().Stats()
+	_, _, traceTotal := s.traces.Snapshot()
 	resultSize := 0
 	var resultBytes, resultBypassed int64
 	if s.results != nil {
@@ -915,7 +993,28 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"default_level":             s.opts.Level,
 		"default_accel":             s.opts.Accel,
 		"default_timeout":           s.cfg.DefaultTimeout.String(),
+		// Per-operator runtime statistics (the obs.OpStats registry) and the
+		// serving-latency quantiles — the observability surfaces PR 6 added.
+		"op_stats":           s.rt.OpStats().Snapshot(),
+		"request_latency_us": s.latencyQuantilesUS("server.request.latency_seconds"),
+		"stream_ttfr_us":     s.latencyQuantilesUS("server.stream.ttfr_seconds"),
+		"partition_spawned":  pSpawned,
+		"partition_inlined":  pInlined,
+		"traces_recorded":    traceTotal,
 	})
+}
+
+// latencyQuantilesUS renders a latency histogram's p50/p95/p99 in
+// microseconds for /stats (and polybench -loadgen).
+func (s *Server) latencyQuantilesUS(name string) map[string]float64 {
+	h := s.reg.Histogram(name, latencyBounds)
+	n, _ := h.Snapshot()
+	return map[string]float64{
+		"count": float64(n),
+		"p50":   h.Quantile(0.50) * 1e6,
+		"p95":   h.Quantile(0.95) * 1e6,
+		"p99":   h.Quantile(0.99) * 1e6,
+	}
 }
 
 // ListenAndServe runs the server on addr until ctx is canceled, then shuts

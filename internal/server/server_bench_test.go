@@ -50,6 +50,24 @@ func BenchmarkServeConcurrentNoDedup(b *testing.B) {
 	})
 }
 
+// BenchmarkServeConcurrentTraced runs the no-dedup workload with TraceAll
+// on, so every request builds a full span tree and lands in the trace log —
+// the upper bound on tracing cost. Compare against
+// BenchmarkServeConcurrentNoDedup for the overhead; the nightly regression
+// gate pins the traced-OFF path (BenchmarkServeConcurrent vs
+// BENCH_BASELINE.json), which doubles as the zero-cost-when-disabled
+// assertion.
+func BenchmarkServeConcurrentTraced(b *testing.B) {
+	benchServe(b, polystore.ServeConfig{
+		Workers:             16,
+		QueueDepth:          256,
+		DefaultSQLEngine:    "db-clinical",
+		ResultCacheSize:     -1,
+		DisableSingleFlight: true,
+		TraceAll:            true,
+	})
+}
+
 // BenchmarkMixedReadWrite is the mixed-workload benchmark: 95% hot reads of
 // a relational query, 5% writes appended to a timeseries store the read plan
 // never touches. With version-vector cache keys the writes leave the cached

@@ -39,6 +39,7 @@ import (
 	"polystorepp/internal/core"
 	"polystorepp/internal/ir"
 	"polystorepp/internal/metrics"
+	"polystorepp/internal/obs"
 )
 
 // streamSchemaRecord is the first NDJSON line of a tabular stream.
@@ -59,6 +60,15 @@ type streamBatchRecord struct {
 type streamSummaryRecord struct {
 	Type string `json:"type"` // "summary"
 	*QueryResponse
+}
+
+// streamTraceRecord carries the request's span tree, emitted immediately
+// before the summary record when the request set "trace": true. Placed
+// before the summary so "summary is the terminal record of a successful
+// stream" stays true for every client.
+type streamTraceRecord struct {
+	Type  string    `json:"type"` // "trace"
+	Trace *obs.Tree `json:"trace"`
 }
 
 // streamErrorRecord terminates a failed stream in-band, carrying the HTTP
@@ -108,7 +118,9 @@ func (st *ndjsonStream) writeRecord(v any) error {
 	if !st.started {
 		st.started = true
 		st.w.Header().Set("Content-Type", "application/x-ndjson")
-		st.reg.Timer("server.stream.first_byte").Observe(time.Since(st.t0))
+		ttfr := time.Since(st.t0)
+		st.reg.Timer("server.stream.first_byte").Observe(ttfr)
+		st.reg.Histogram("server.stream.ttfr_seconds", latencyBounds).Observe(ttfr.Seconds())
 	}
 	enc := json.NewEncoder(st.w)
 	if err := enc.Encode(v); err != nil {
@@ -218,8 +230,13 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	// Transports without deadline support (test recorders) just skip it.
 	_ = http.NewResponseController(w).SetWriteDeadline(time.Now().Add(p.timeout + streamWriteGrace))
 
+	tr := s.startTrace(p)
+	ctx = obs.With(ctx, tr)
+
 	stream := newNDJSONStream(w, s.effectiveMaxRows(&p.req), s.reg, t0)
 	out, err := s.runQuery(ctx, p, stream)
+	tree := tr.Finish()
+	s.traces.Record(tree)
 	if err != nil {
 		s.writeStreamError(w, stream, err, p.timeout)
 		return
@@ -233,6 +250,12 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if p.req.Trace && tree != nil {
+		if err := stream.writeRecord(streamTraceRecord{Type: "trace", Trace: tree}); err != nil {
+			s.reg.Counter("server.stream.aborted").Inc()
+			return
+		}
+	}
 	resp, _ := s.summarize(&p.req, out.res, out.rep)
 	s.decorateResponse(resp, p, out)
 	if err := stream.writeRecord(streamSummaryRecord{Type: "summary", QueryResponse: resp}); err != nil {
@@ -241,6 +264,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	}
 	s.reg.Timer("server.request").Observe(time.Since(t0))
 	s.reg.Timer("server.stream.request").Observe(time.Since(t0))
+	s.observeLatency(t0)
 }
 
 // writeStreamError reports a streaming failure: with nothing flushed yet the
