@@ -15,6 +15,12 @@ package main
 // bare OpStats snapshot maps. The report is diagnostic only: it ranks and
 // never fails the build, because absolute wall deltas also grow with request
 // volume — the per-call mean column is the regression signal.
+//
+// When the dumps are full /stats documents from a server with the subplan
+// cache enabled, the report ends with a cache footer: how many plans and
+// subtrees the cache absorbed between the two snapshots. An operator whose
+// call count stalls while requests grow is usually being served from there,
+// not getting faster.
 
 import (
 	"encoding/json"
@@ -65,6 +71,41 @@ func looksLikeOpStats(m map[string]opSnap) bool {
 		}
 	}
 	return true
+}
+
+// subplanSnap is the subplan-cache slice of a /stats document: cumulative
+// counters of how much execution the cache absorbed since server boot.
+type subplanSnap struct {
+	Probed      int64 `json:"subplan_plans_probed"`
+	Reused      int64 `json:"subplan_plans_reused"`
+	Hits        int64 `json:"subplan_cache_hits"`
+	Miss        int64 `json:"subplan_cache_miss"`
+	NodesServed int64 `json:"subplan_nodes_served"`
+	BytesServed int64 `json:"subplan_bytes_served"`
+}
+
+// ParseSubplanStats extracts the subplan-cache counters from a /stats
+// document. ok is false when the dump shows no probe activity at all (bare
+// op-stats maps, a disabled cache) so the footer can be omitted instead of
+// printing zeros.
+func ParseSubplanStats(raw []byte) (subplanSnap, bool) {
+	var s subplanSnap
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return subplanSnap{}, false
+	}
+	return s, s.Probed > 0 || s.Hits+s.Miss > 0
+}
+
+// SubplanDelta renders the subplan-cache footer: between two dumps, how much
+// work the cache served instead of executing. Read alongside the operator
+// table — a flat Δcalls under growing request volume means reuse upstream.
+func SubplanDelta(before, after subplanSnap) string {
+	return fmt.Sprintf(
+		"\nsubplan cache (after - before): %d/%d plans reused, %d subtree hits / %d misses, %d node executions replayed, %.1f MiB served from cache\n",
+		after.Reused-before.Reused, after.Probed-before.Probed,
+		after.Hits-before.Hits, after.Miss-before.Miss,
+		after.NodesServed-before.NodesServed,
+		float64(after.BytesServed-before.BytesServed)/(1<<20))
 }
 
 // attrRow is one operator's before/after delta.

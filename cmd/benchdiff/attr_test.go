@@ -84,3 +84,31 @@ func TestAttributeRanksByWallGrowth(t *testing.T) {
 		t.Fatalf("expected SQLScan mean 1000.0 us/call in report:\n%s", report)
 	}
 }
+
+func TestSubplanDeltaFooter(t *testing.T) {
+	const withCache = `{
+	  "requests": 500,
+	  "subplan_plans_probed": 400, "subplan_plans_reused": 380,
+	  "subplan_cache_hits": 390, "subplan_cache_miss": 20,
+	  "subplan_nodes_served": 1200, "subplan_bytes_served": 2097152,
+	  "op_stats": {
+	    "db/SQLScan": {"engine":"db","op":"SQLScan","count":20,"rows_out":1000,"wall_seconds":0.02,"p95_us":900}
+	  }
+	}`
+	sp, ok := ParseSubplanStats([]byte(withCache))
+	if !ok {
+		t.Fatal("subplan counters not detected in /stats document")
+	}
+	footer := SubplanDelta(subplanSnap{}, sp)
+	for _, want := range []string{"380/400 plans reused", "390 subtree hits", "1200 node executions", "2.0 MiB"} {
+		if !strings.Contains(footer, want) {
+			t.Fatalf("footer missing %q:\n%s", want, footer)
+		}
+	}
+
+	// Dumps without cache activity (older servers, cache disabled) produce
+	// no footer signal.
+	if _, ok := ParseSubplanStats([]byte(beforeStats)); ok {
+		t.Fatal("plain /stats document reported subplan activity")
+	}
+}

@@ -86,30 +86,36 @@ func main() {
 	}
 }
 
-// runAttr diffs two per-operator dumps and prints the attribution report.
+// runAttr diffs two per-operator dumps and prints the attribution report,
+// with a subplan-cache footer when either /stats dump shows cache activity.
 // Diagnostic only — it never fails the build (see attr.go).
 func runAttr(beforePath, afterPath string) {
-	before, err := readOpStats(beforePath)
+	beforeRaw, before, err := readOpStats(beforePath)
 	if err != nil {
 		fatal(err)
 	}
-	after, err := readOpStats(afterPath)
+	afterRaw, after, err := readOpStats(afterPath)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Print(Attribute(before, after))
+	spBefore, okB := ParseSubplanStats(beforeRaw)
+	spAfter, okA := ParseSubplanStats(afterRaw)
+	if okB || okA {
+		fmt.Print(SubplanDelta(spBefore, spAfter))
+	}
 }
 
-func readOpStats(path string) (map[string]opSnap, error) {
+func readOpStats(path string) ([]byte, map[string]opSnap, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	m, err := ParseOpStats(raw)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return m, nil
+	return raw, m, nil
 }
 
 func fatal(err error) {

@@ -17,6 +17,11 @@
 //	polybench -loadgen -stream \
 //	  -body '{"frontend":"sql","statement":"SELECT * FROM patients"}'
 //
+//	# Near-identical query family: -similar N cycles N SQL variants that
+//	# share a scan/filter/sort prefix and differ only in LIMIT — the subplan
+//	# cache's target traffic. The report adds the subplan hit/reuse rates.
+//	polybench -loadgen -similar 64 -clients 16 -requests 2000
+//
 //	# 95/5 mixed read/write: every 20th request writes a timeseries point.
 //	# %d becomes a monotonic counter; with concurrent clients put it in the
 //	# series name (one series per write) rather than the timestamp, since
@@ -77,6 +82,7 @@ func main() {
 	clients := flag.Int("clients", 8, "concurrent clients (loadgen)")
 	requests := flag.Int("requests", 400, "total requests across all clients (loadgen)")
 	writeEvery := flag.Int("write-every", 0, "loadgen: make every Nth request a POST /ingest write (0 disables; 20 = a 95/5 read/write mix)")
+	similar := flag.Int("similar", 0, "loadgen: cycle N near-identical SQL variants (shared scan/filter/sort prefix, varying LIMIT) — the subplan cache's target traffic (0 disables)")
 	var bodies, writeBodies bodyList
 	flag.Var(&bodies, "body", "POST /query JSON body (repeatable; clients cycle through them)")
 	flag.Var(&writeBodies, "write-body", "POST /ingest JSON body for -write-every (repeatable; %d in the body is replaced by a monotonic counter — with concurrent clients put it in the series/key name, not a timestamp, since arrival order is not send order)")
@@ -89,6 +95,9 @@ func main() {
 	}
 
 	if *loadgen {
+		if *similar > 0 {
+			bodies = append(bodies, similarBodies(*similar)...)
+		}
 		if err := runLoadgen(*url, *clients, *requests, bodies, *writeEvery, writeBodies, *stream); err != nil {
 			fmt.Fprintf(os.Stderr, "polybench: loadgen: %v\n", err)
 			os.Exit(1)
@@ -308,6 +317,20 @@ func runLoadgen(baseURL string, clients, requests int, bodies []string, writeEve
 	return nil
 }
 
+// similarBodies builds the -similar query family: n SQL variants sharing
+// one scan/filter/sort prefix subtree and differing only in LIMIT. Each
+// variant compiles to a distinct plan (plan and result caches can't help
+// across them), but the shared prefix is one subplan-cache entry — this is
+// the traffic shape the subplan cache exists for.
+func similarBodies(n int) []string {
+	out := make([]string, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, fmt.Sprintf(
+			`{"frontend":"sql","statement":"SELECT pid, age FROM patients WHERE age > 30 ORDER BY age DESC LIMIT %d"}`, i))
+	}
+	return out
+}
+
 // pctOf reads the q-quantile of an ascending-sorted duration slice (0 when
 // empty).
 func pctOf(sorted []time.Duration, q float64) time.Duration {
@@ -368,6 +391,13 @@ func printServerStats(hc *http.Client, baseURL string) {
 		ResultCacheHits    int64              `json:"result_cache_hits"`
 		ResultCacheMiss    int64              `json:"result_cache_miss"`
 		SingleFlightShared int64              `json:"single_flight_shared"`
+		SubplanEnabled     bool               `json:"subplan_cache_enabled"`
+		SubplanHits        int64              `json:"subplan_cache_hits"`
+		SubplanMiss        int64              `json:"subplan_cache_miss"`
+		SubplanPublished   int64              `json:"subplan_cache_published"`
+		SubplanBytesServed int64              `json:"subplan_bytes_served"`
+		SubplanPlansProbed int64              `json:"subplan_plans_probed"`
+		SubplanPlansReused int64              `json:"subplan_plans_reused"`
 		DataVersion        uint64             `json:"data_version"`
 		ExecConcurrent     int64              `json:"executor_concurrent_plans"`
 		ExecSequential     int64              `json:"executor_sequential_plans"`
@@ -382,10 +412,33 @@ func printServerStats(hc *http.Client, baseURL string) {
 		stats.PlanCacheHits, stats.PlanCacheHits+stats.PlanCacheMiss,
 		stats.ResultCacheHits, stats.ResultCacheHits+stats.ResultCacheMiss,
 		stats.SingleFlightShared)
+	if stats.SubplanEnabled {
+		hitRate := 0.0
+		if probed := stats.SubplanPlansProbed; probed > 0 {
+			hitRate = float64(stats.SubplanPlansReused) / float64(probed)
+		}
+		fmt.Printf("  subplan     %d/%d subtree probes hit, plan reuse rate %.2f (%d/%d), %d entries published, %s served\n",
+			stats.SubplanHits, stats.SubplanHits+stats.SubplanMiss,
+			hitRate, stats.SubplanPlansReused, stats.SubplanPlansProbed,
+			stats.SubplanPublished, fmtBytes(stats.SubplanBytesServed))
+	}
 	fmt.Printf("  executor    %d concurrent / %d sequential plans, max node parallelism %.0f, data version %d\n",
 		stats.ExecConcurrent, stats.ExecSequential, stats.ExecMaxParallel, stats.DataVersion)
 	printQuantiles("latency", stats.RequestLatencyUS)
 	printQuantiles("ttfr", stats.StreamTTFRUS)
+}
+
+// fmtBytes renders a byte count in the largest whole unit.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
 }
 
 // printQuantiles reports one server-side latency histogram (microsecond

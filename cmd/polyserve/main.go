@@ -60,6 +60,7 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "default per-request deadline")
 	planCache := flag.Int("plancache", 128, "compiled-plan LRU entries")
 	resultCache := flag.Int("resultcache", 256, "result-cache LRU entries keyed on (plan fingerprint, data version); 0 disables")
+	subplanCache := flag.Int64("subplancache", 64<<20, "subplan-cache byte budget for memoized intermediates shared across near-identical queries; 0 disables")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profile handlers under /debug/pprof/")
 	traceAll := flag.Bool("traceall", false, "trace every request server-side so /debug/queries captures recent and slowest executions")
 	flag.Usage = usage
@@ -72,7 +73,7 @@ func main() {
 
 	if err := run(*addr, *scenario, *patients, *customers, *txPerCustomer,
 		*accel, *level, *seed, *workers, *queue, *timeout, *planCache, *resultCache,
-		*pprofOn, *traceAll); err != nil {
+		*subplanCache, *pprofOn, *traceAll); err != nil {
 		fmt.Fprintf(os.Stderr, "polyserve: %v\n", err)
 		os.Exit(1)
 	}
@@ -80,7 +81,7 @@ func main() {
 
 func run(addr, scenario string, patients, customers, txPerCustomer int,
 	accel bool, level int, seed int64, workers, queue int,
-	timeout time.Duration, planCache, resultCache int,
+	timeout time.Duration, planCache, resultCache int, subplanCache int64,
 	pprofOn, traceAll bool) error {
 	rng := rand.New(rand.NewSource(seed))
 	var opts []polystore.Option
@@ -90,14 +91,18 @@ func run(addr, scenario string, patients, customers, txPerCustomer int,
 	if resultCache == 0 {
 		resultCache = -1 // flag 0 means "off"; Config zero means "default"
 	}
+	if subplanCache == 0 {
+		subplanCache = -1 // flag 0 means "off"; Config zero means "default"
+	}
 	cfg := polystore.ServeConfig{
-		Workers:         workers,
-		QueueDepth:      queue,
-		DefaultTimeout:  timeout,
-		PlanCacheSize:   planCache,
-		ResultCacheSize: resultCache,
-		EnablePprof:     pprofOn,
-		TraceAll:        traceAll,
+		Workers:           workers,
+		QueueDepth:        queue,
+		DefaultTimeout:    timeout,
+		PlanCacheSize:     planCache,
+		ResultCacheSize:   resultCache,
+		SubplanCacheBytes: subplanCache,
+		EnablePprof:       pprofOn,
+		TraceAll:          traceAll,
 	}
 
 	wantClinical := scenario == "clinical" || scenario == "both"
@@ -152,8 +157,8 @@ func run(addr, scenario string, patients, customers, txPerCustomer int,
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Printf("polyserve: scenario=%s listening on %s (workers=%d queue=%d timeout=%s plancache=%d resultcache=%d accel=%t pprof=%t traceall=%t)\n",
-		scenario, addr, workers, queue, timeout, planCache, resultCache, accel, pprofOn, traceAll)
+	fmt.Printf("polyserve: scenario=%s listening on %s (workers=%d queue=%d timeout=%s plancache=%d resultcache=%d subplancache=%d accel=%t pprof=%t traceall=%t)\n",
+		scenario, addr, workers, queue, timeout, planCache, resultCache, subplanCache, accel, pprofOn, traceAll)
 	err := sys.Serve(ctx, addr, cfg)
 	if err != nil && ctx.Err() == nil {
 		return err

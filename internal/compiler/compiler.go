@@ -52,6 +52,11 @@ type Plan struct {
 	// Touches records which engines (and relational tables) the plan reads;
 	// the serving layer versions result-cache keys against exactly this set.
 	Touches Touches
+	// Subtrees are the plan's subplan-cache candidates, outermost first
+	// (see subtreesOf). Computed once per compile; Plans are cached and
+	// shared across goroutines, so this — like every Plan field — is
+	// read-only after Compile returns.
+	Subtrees []Subtree
 }
 
 // Compile runs frontend checks, core passes, and the backend lowering.
@@ -101,7 +106,13 @@ func Compile(g *ir.Graph, opts Options) (*Plan, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCompile, err)
 	}
-	return &Plan{Graph: work, Stages: stages, Opts: opts, Touches: TouchesOf(work)}, nil
+	return &Plan{
+		Graph:    work,
+		Stages:   stages,
+		Opts:     opts,
+		Touches:  TouchesOf(work),
+		Subtrees: subtreesOf(work),
+	}, nil
 }
 
 // pushdownAcrossEngines moves Filter and Project nodes that consume a

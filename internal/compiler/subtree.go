@@ -1,0 +1,112 @@
+package compiler
+
+import (
+	"sort"
+
+	"polystorepp/internal/ir"
+)
+
+// Subtree is one cacheable, closed subtree of a compiled plan — a candidate
+// unit for the runtime's content-addressed subplan cache. The cache key is
+// (Fingerprint, version vector of Touches), so a memoized intermediate is
+// served only while none of the stores the subtree reads have been written.
+type Subtree struct {
+	// Root is the node whose output the cache memoizes.
+	Root ir.NodeID
+	// Fingerprint is the root's position-independent subtree hash
+	// (ir.Graph.SubtreeFingerprints): equal across plans that share the
+	// subtree's shape regardless of absolute node ids.
+	Fingerprint string
+	// Closure lists the subtree's nodes (Root plus transitive inputs),
+	// sorted ascending. The subtree is closed: no node but Root feeds
+	// anything outside the closure, so a cache hit can skip every node in
+	// it without starving an outside consumer.
+	Closure []ir.NodeID
+	// Touches names the stores the closure reads — the version-vector
+	// scope whose value joins Fingerprint in the cache key.
+	Touches Touches
+}
+
+// subplanCacheableKinds are operators whose output is a pure, deterministic
+// function of their dataflow inputs and the stores they read at a fixed
+// version vector — safe to memoize and replay. ML training (seeded RNG
+// state), loops, graph/text/stream reads (not table-version-scoped today),
+// and anything with side effects stay out.
+var subplanCacheableKinds = map[ir.OpKind]bool{
+	ir.OpScan: true, ir.OpIndexScan: true, ir.OpFilter: true,
+	ir.OpProject: true, ir.OpHashJoin: true, ir.OpMergeJoin: true,
+	ir.OpSort: true, ir.OpGroupBy: true, ir.OpLimit: true, ir.OpSQL: true,
+	ir.OpTSRange: true, ir.OpTSWindow: true,
+	ir.OpKVGet: true, ir.OpKVScan: true,
+	ir.OpMigrate: true, ir.OpUnion: true,
+}
+
+// subtreesOf selects the plan's subplan-cache candidates: closed subtrees
+// of at least two cacheable, unpinned nodes. Candidates are returned
+// outermost first (closure size descending, root id ascending on ties);
+// because closed candidates are either nested or disjoint, probing in that
+// order lets one outer hit cover every inner candidate.
+func subtreesOf(g *ir.Graph) []Subtree {
+	fps, err := g.SubtreeFingerprints()
+	if err != nil {
+		return nil // Compile validated the graph; unreachable in practice
+	}
+	cacheable := make(map[ir.NodeID]bool, g.Len())
+	for _, n := range g.Nodes() {
+		// Device-pinned nodes (explicit device names) are excluded: their
+		// results depend on deployment hardware the fingerprint does not
+		// encode. "auto" is the compiler's own offload marker and encodes
+		// into the fingerprint, so it stays cacheable.
+		cacheable[n.ID] = subplanCacheableKinds[n.Kind] && (n.Device == "" || n.Device == "auto")
+	}
+	consumers := g.ConsumerIndex()
+	var out []Subtree
+	for _, n := range g.Nodes() {
+		fp, ok := fps[n.ID]
+		if !ok || len(fp.Closure) < 2 || !cacheable[n.ID] {
+			continue
+		}
+		inside := make(map[ir.NodeID]bool, len(fp.Closure))
+		for _, id := range fp.Closure {
+			inside[id] = true
+		}
+		ok = true
+		for _, id := range fp.Closure {
+			if !cacheable[id] {
+				ok = false
+				break
+			}
+			if id == n.ID {
+				continue
+			}
+			// Closed check: an interior node feeding a consumer outside the
+			// closure can't be skipped on a hit — the consumer would read
+			// nothing.
+			for _, c := range consumers[id] {
+				if !inside[c] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, Subtree{
+			Root:        n.ID,
+			Fingerprint: fp.Fingerprint,
+			Closure:     fp.Closure,
+			Touches:     touchesOfNodes(g, fp.Closure),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Closure) != len(out[j].Closure) {
+			return len(out[i].Closure) > len(out[j].Closure)
+		}
+		return out[i].Root < out[j].Root
+	})
+	return out
+}

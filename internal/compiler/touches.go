@@ -44,56 +44,65 @@ var pureKinds = map[ir.OpKind]bool{
 	ir.OpMap: true, ir.OpReduce: true,
 }
 
-// TouchesOf computes the data a program graph reads. It is deliberately
-// conservative: any storage-reading operator whose tables cannot be named
-// statically widens its engine to whole-engine versioning, and unknown
-// operator kinds count as storage reads. The result depends only on the
-// graph, so callers may cache it under the graph's fingerprint.
-func TouchesOf(g *ir.Graph) Touches {
-	tables := make(map[string]map[string]bool)
-	whole := make(map[string]bool)
-	var walk func(g *ir.Graph)
-	walk = func(g *ir.Graph) {
-		for _, n := range g.Nodes() {
-			if n.Body != nil {
-				walk(n.Body)
-			}
-			if n.Engine == "" {
-				continue // middleware nodes (migrations)
-			}
-			if _, ok := tables[n.Engine]; !ok {
-				tables[n.Engine] = make(map[string]bool)
-			}
-			switch {
-			case pureKinds[n.Kind]:
-				// No storage read.
-			case n.Kind == ir.OpScan || n.Kind == ir.OpIndexScan:
-				if t := n.StringAttr("table"); t != "" {
-					tables[n.Engine][t] = true
-				} else {
-					whole[n.Engine] = true
-				}
-			case n.Kind == ir.OpSQL:
-				stmt, err := relational.Parse(n.StringAttr("sql"))
-				if err != nil {
-					whole[n.Engine] = true
-					break
-				}
-				tables[n.Engine][stmt.From] = true
-				for _, jc := range stmt.Joins {
-					tables[n.Engine][jc.Table] = true
-				}
-			default:
-				// Every other kind (graph/text/ts/stream/kv reads, future
-				// operators) reads engine storage without table scoping.
-				whole[n.Engine] = true
-			}
+// touchAccum accumulates per-node storage reads into the per-engine
+// table/whole-engine sets Touches is rendered from.
+type touchAccum struct {
+	tables map[string]map[string]bool
+	whole  map[string]bool
+}
+
+func newTouchAccum() *touchAccum {
+	return &touchAccum{tables: make(map[string]map[string]bool), whole: make(map[string]bool)}
+}
+
+// observe folds one node's storage reads into the accumulator, recursing
+// into loop bodies. It is deliberately conservative: any storage-reading
+// operator whose tables cannot be named statically widens its engine to
+// whole-engine versioning, and unknown operator kinds count as storage
+// reads.
+func (ta *touchAccum) observe(n *ir.Node) {
+	if n.Body != nil {
+		for _, bn := range n.Body.Nodes() {
+			ta.observe(bn)
 		}
 	}
-	walk(g)
-	out := Touches{ByEngine: make(map[string][]string, len(tables))}
-	for e, ts := range tables {
-		if whole[e] {
+	if n.Engine == "" {
+		return // middleware nodes (migrations)
+	}
+	if _, ok := ta.tables[n.Engine]; !ok {
+		ta.tables[n.Engine] = make(map[string]bool)
+	}
+	switch {
+	case pureKinds[n.Kind]:
+		// No storage read.
+	case n.Kind == ir.OpScan || n.Kind == ir.OpIndexScan:
+		if t := n.StringAttr("table"); t != "" {
+			ta.tables[n.Engine][t] = true
+		} else {
+			ta.whole[n.Engine] = true
+		}
+	case n.Kind == ir.OpSQL:
+		stmt, err := relational.Parse(n.StringAttr("sql"))
+		if err != nil {
+			ta.whole[n.Engine] = true
+			break
+		}
+		ta.tables[n.Engine][stmt.From] = true
+		for _, jc := range stmt.Joins {
+			ta.tables[n.Engine][jc.Table] = true
+		}
+	default:
+		// Every other kind (graph/text/ts/stream/kv reads, future
+		// operators) reads engine storage without table scoping.
+		ta.whole[n.Engine] = true
+	}
+}
+
+// touches renders the accumulated reads as a Touches value.
+func (ta *touchAccum) touches() Touches {
+	out := Touches{ByEngine: make(map[string][]string, len(ta.tables))}
+	for e, ts := range ta.tables {
+		if ta.whole[e] {
 			out.ByEngine[e] = nil
 			continue
 		}
@@ -105,4 +114,24 @@ func TouchesOf(g *ir.Graph) Touches {
 		out.ByEngine[e] = names
 	}
 	return out
+}
+
+// TouchesOf computes the data a program graph reads. The result depends
+// only on the graph, so callers may cache it under the graph's fingerprint.
+func TouchesOf(g *ir.Graph) Touches {
+	ta := newTouchAccum()
+	for _, n := range g.Nodes() {
+		ta.observe(n)
+	}
+	return ta.touches()
+}
+
+// touchesOfNodes computes the data exactly the given nodes read — the
+// per-subtree variant the subplan cache keys its version vectors on.
+func touchesOfNodes(g *ir.Graph, ids []ir.NodeID) Touches {
+	ta := newTouchAccum()
+	for _, id := range ids {
+		ta.observe(g.MustNode(id))
+	}
+	return ta.touches()
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"polystorepp/internal/adapter"
@@ -58,6 +59,12 @@ type Runtime struct {
 	// the DAG scheduler; sequential forces the one-node-at-a-time executor.
 	engineWorkers int
 	sequential    bool
+
+	// subplan is the content-addressed subplan cache state (subplan.go);
+	// nil disables it. subplanBytes carries the construction-time size
+	// option (0 default, negative disabled).
+	subplan      atomic.Pointer[subplanState]
+	subplanBytes int64
 }
 
 // Option configures a Runtime.
@@ -110,6 +117,7 @@ func NewRuntime(host *hw.Device, opts ...Option) *Runtime {
 	if r.migrator == nil {
 		r.migrator = migrate.New(host, hw.NewRDMANIC())
 	}
+	r.ConfigureSubplanCache(r.subplanBytes)
 	r.preloadKernels()
 	return r
 }
@@ -336,6 +344,8 @@ func (r *Runtime) executeSequential(ctx context.Context, plan *compiler.Plan, st
 	}
 	r.reg.Counter("core.exec.sequential").Inc()
 	tr := obs.From(ctx)
+	pr := r.prepareSubplan(ctx, plan)
+	defer pr.close()
 	for _, id := range order {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
@@ -349,7 +359,7 @@ func (r *Runtime) executeSequential(ctx context.Context, plan *compiler.Plan, st
 				start = finish[in]
 			}
 		}
-		run := r.runNode(ctx, n, inputs, st)
+		run := r.runNode(ctx, n, inputs, st, pr)
 		if run.err != nil {
 			return nil, nil, fmt.Errorf("%w: node %d (%s): %w", ErrExec, id, n.Kind, run.err)
 		}
@@ -363,6 +373,7 @@ func (r *Runtime) executeSequential(ctx context.Context, plan *compiler.Plan, st
 		values[id] = run.out
 		finish[id] = nr.Finish
 		rep.absorb(nr, run)
+		pr.onNodeCosted(id, run)
 	}
 	rep.finalize(t0, g, finish)
 	return &Results{Values: values, Sinks: g.Sinks()}, rep, nil
@@ -409,13 +420,23 @@ type nodeRun struct {
 	// bytesIn/bytesOut approximate the tabular data volume through the node,
 	// for the per-operator stats registry and trace spans.
 	bytesIn, bytesOut int64
+	// rows is the output cardinality. Costing and stats read it instead of
+	// out.Rows() because a subplan-cache replay (cached true) synthesizes
+	// interior runs without materialized outputs.
+	rows   int
+	cached bool
 }
 
 // runNode performs a node's real work — adapter translation and native
 // execution, or data migration — without touching the simulated clock. When
 // st designates this node for streaming, output batches flow through the
-// sink as the adapter produces them (stream.go).
-func (r *Runtime) runNode(ctx context.Context, n *ir.Node, inputs []adapter.Value, st *nodeStream) *nodeRun {
+// sink as the adapter produces them (stream.go). Nodes covered by a
+// subplan-cache hit (pr) skip real work entirely and return a synthesized
+// run carrying the memoized batch and replay costing.
+func (r *Runtime) runNode(ctx context.Context, n *ir.Node, inputs []adapter.Value, st *nodeStream, pr *planProbe) *nodeRun {
+	if run := pr.serveNode(ctx, n, st); run != nil {
+		return run
+	}
 	run := &nodeRun{}
 	t0 := time.Now()
 	run.hostStart = t0
@@ -433,6 +454,7 @@ func (r *Runtime) runNode(ctx context.Context, n *ir.Node, inputs []adapter.Valu
 		run.bd = bd
 		run.wall = time.Since(t0)
 		run.bytesOut = valueBytes(run.out)
+		run.rows = run.out.Rows()
 		r.reg.Counter("core.migrations").Inc()
 		r.reg.Counter("core.nodes").Inc()
 		r.reg.Timer("core.node." + n.Kind.String()).Observe(run.wall)
@@ -462,6 +484,7 @@ func (r *Runtime) runNode(ctx context.Context, n *ir.Node, inputs []adapter.Valu
 	run.info = info
 	run.wall = time.Since(t0)
 	run.bytesOut = valueBytes(out)
+	run.rows = run.out.Rows()
 	r.reg.Counter("core.rule_nodes").Add(info.RuleNodes)
 	r.reg.Counter("core.nodes").Inc()
 	r.reg.Timer("core.node." + n.Kind.String()).Observe(run.wall)
@@ -480,8 +503,8 @@ func (r *Runtime) costNode(n *ir.Node, run *nodeRun, start float64, led *hw.Rese
 		nr.Sim = run.bd.Sim
 		nr.Device = "dm/" + migrate.Transport(n.IntAttr("transport")).String()
 		nr.Native = fmt.Sprintf("Migrate(%s->%s, %s)", n.StringAttr("from"), n.StringAttr("to"), migrate.Transport(n.IntAttr("transport")))
-		nr.RowsIn = int64(run.out.Rows())
-		nr.RowsOut = int64(run.out.Rows())
+		nr.RowsIn = int64(run.rows)
+		nr.RowsOut = int64(run.rows)
 		nr.Finish = start + run.bd.Sim.Seconds
 		return nr, nil
 	}

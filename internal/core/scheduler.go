@@ -72,6 +72,8 @@ func (r *Runtime) executeConcurrent(ctx context.Context, plan *compiler.Plan, st
 	}
 	r.reg.Counter("core.exec.concurrent").Inc()
 	tr := obs.From(ctx)
+	pr := r.prepareSubplan(ctx, plan)
+	defer pr.close()
 
 	// execCtx cancels every in-flight worker when the coordinator returns
 	// early (error or caller cancellation).
@@ -98,6 +100,7 @@ func (r *Runtime) executeConcurrent(ctx context.Context, plan *compiler.Plan, st
 		queues:    make(map[string]chan *schedNode),
 		st:        st,
 		tr:        tr,
+		pr:        pr,
 	}
 	// Create every queue before any dispatch (workers never mutate the map),
 	// each sized to the nodes it will ever receive so dispatching never
@@ -187,6 +190,7 @@ func (r *Runtime) executeConcurrent(ctx context.Context, plan *compiler.Plan, st
 		values[id] = sn.run.out
 		finish[id] = nr.Finish
 		rep.absorb(nr, sn.run)
+		pr.onNodeCosted(id, sn.run)
 	}
 
 	// Tear down the pools; in-flight adapter calls observe the cancellation.
@@ -225,6 +229,10 @@ type scheduler struct {
 	// tr is the request's trace (nil when untraced); workers use it to decide
 	// whether queue-wait stamping is worth the clock reads.
 	tr *obs.Trace
+	// pr is the execution's subplan-cache probe (nil when inactive); its
+	// decision maps are read-only during execution, so workers consult it
+	// without coordination.
+	pr *planProbe
 
 	inflight    atomic.Int32
 	maxInflight atomic.Int32
@@ -257,7 +265,7 @@ func (s *scheduler) runScheduled(ctx context.Context, sn *schedNode) {
 		// writes.
 		inputs[i] = s.nodes[in].run.out
 	}
-	sn.run = s.rt.runNode(ctx, sn.n, inputs, s.st)
+	sn.run = s.rt.runNode(ctx, sn.n, inputs, s.st, s.pr)
 	sn.run.queue = queued
 	close(sn.done)
 	if sn.run.err != nil {

@@ -1,0 +1,402 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"polystorepp/internal/adapter"
+	"polystorepp/internal/compiler"
+	"polystorepp/internal/ir"
+	"polystorepp/internal/obs"
+	"polystorepp/internal/subplan"
+)
+
+// Subplan cache integration: before a plan executes, the runtime probes the
+// content-addressed subplan cache for each of the plan's cacheable subtrees
+// (compiler.Plan.Subtrees). A hit marks the whole subtree served: every
+// node in its closure skips real execution inside runNode, the root yields
+// the memoized batch, and the coordinator still costs each node from the
+// entry's replay data in topological order over the shared reservation
+// ledger — so warm Reports are byte-identical to cold ones (modulo host
+// wall times, like everything else the executors exclude). Misses elect a
+// per-key single-flight leader so concurrent plans sharing a hot subtree
+// execute it once; everyone who executes a candidate publishes it when the
+// root's run is costed, guarded by a version-vector re-check so a write to
+// a touched store mid-flight suppresses the publication.
+
+// DefaultSubplanCacheBytes bounds the subplan cache when no explicit size
+// is configured.
+const DefaultSubplanCacheBytes int64 = 64 << 20
+
+// subplanState bundles the cache with its single-flight coordinator. It
+// hangs off the Runtime behind an atomic pointer so the serving layer can
+// install, resize, or disable it while requests are in flight; an
+// execution captures the state once at prepare time and uses that capture
+// throughout, so a swap mid-flight never strands a lease.
+type subplanState struct {
+	cache  *subplan.Cache
+	flight *subplan.Flight
+}
+
+// WithSubplanCacheBytes sizes the runtime's subplan cache: 0 keeps the
+// default (DefaultSubplanCacheBytes), negative disables the cache.
+func WithSubplanCacheBytes(n int64) Option {
+	return func(r *Runtime) { r.subplanBytes = n }
+}
+
+// ConfigureSubplanCache installs a fresh subplan cache bounded to n bytes
+// (0 means the default size), or disables subplan caching when n is
+// negative. Safe to call while plans execute: in-flight executions keep
+// the state they started with, and the old cache drains by garbage
+// collection.
+func (r *Runtime) ConfigureSubplanCache(n int64) {
+	if n < 0 {
+		r.subplan.Store(nil)
+		return
+	}
+	if n == 0 {
+		n = DefaultSubplanCacheBytes
+	}
+	r.subplan.Store(&subplanState{cache: subplan.NewCache(n), flight: subplan.NewFlight()})
+}
+
+// SubplanCacheStats is the structural snapshot /stats and /metrics expose.
+type SubplanCacheStats struct {
+	Enabled   bool
+	Entries   int
+	Bytes     int64
+	MaxBytes  int64
+	Evictions int64
+}
+
+// SubplanCacheStats snapshots the subplan cache (zero value when disabled).
+func (r *Runtime) SubplanCacheStats() SubplanCacheStats {
+	sp := r.subplan.Load()
+	if sp == nil {
+		return SubplanCacheStats{}
+	}
+	s := sp.cache.Stats()
+	return SubplanCacheStats{
+		Enabled:   true,
+		Entries:   s.Entries,
+		Bytes:     s.Bytes,
+		MaxBytes:  s.MaxBytes,
+		Evictions: s.Evictions,
+	}
+}
+
+// pendingPub is one subtree this execution will publish when its root's
+// run has been costed.
+type pendingPub struct {
+	sub compiler.Subtree
+	key string
+	vv  string
+}
+
+// planProbe is one execution's subplan-cache decision state. It is built
+// before any node runs (prepareSubplan), consulted from runNode in both
+// executors (read-only maps, safe under worker concurrency), and fed
+// finished runs by the coordinator (single goroutine) for publication.
+// All methods tolerate a nil receiver so the disabled path stays free.
+type planProbe struct {
+	rt *Runtime
+	sp *subplanState
+	// serve maps every node covered by a cache hit to its replay cost;
+	// hit roots additionally appear in out with the memoized batch.
+	// Interior served nodes yield an empty value — closedness guarantees
+	// nothing outside the closure reads them.
+	serve map[ir.NodeID]*subplan.NodeCost
+	out   map[ir.NodeID]adapter.Value
+	// capture marks nodes whose finished runs must be retained for a
+	// pending publication; runs collects them as the coordinator costs
+	// nodes in topological order.
+	capture map[ir.NodeID]bool
+	runs    map[ir.NodeID]*nodeRun
+	pubs    map[ir.NodeID]pendingPub
+	// leases are the single-flight keys this execution leads; released on
+	// every exit path (close), after any publications.
+	leases []string
+}
+
+// subplanKey joins a subtree fingerprint with the version vector of the
+// stores it touches — the full content address of a memoized intermediate.
+func subplanKey(fingerprint, vv string) string { return fingerprint + "|" + vv }
+
+// shortKey abbreviates a cache key for trace events.
+func shortKey(key string) string {
+	if len(key) > 16 {
+		return key[:16]
+	}
+	return key
+}
+
+// prepareSubplan probes the subplan cache for the plan's candidate
+// subtrees and decides, per candidate: serve from cache (hit), wait for a
+// concurrent leader producing the same key (single-flight), or execute and
+// publish. Returns nil when the cache is disabled or the plan has no
+// candidates — the executors then skip all per-node bookkeeping.
+func (r *Runtime) prepareSubplan(ctx context.Context, plan *compiler.Plan) *planProbe {
+	sp := r.subplan.Load()
+	if sp == nil || len(plan.Subtrees) == 0 {
+		return nil
+	}
+	tr := obs.From(ctx)
+	pr := &planProbe{
+		rt:      r,
+		sp:      sp,
+		serve:   make(map[ir.NodeID]*subplan.NodeCost),
+		out:     make(map[ir.NodeID]adapter.Value),
+		capture: make(map[ir.NodeID]bool),
+		runs:    make(map[ir.NodeID]*nodeRun),
+		pubs:    make(map[ir.NodeID]pendingPub),
+	}
+	covered := make(map[ir.NodeID]bool)
+
+	// Phase 1: probe outermost-first (Plan.Subtrees orders candidates by
+	// closure size). Closed candidates are nested or disjoint, so a hit
+	// covers every candidate inside it.
+	var misses []pendingPub
+	for _, st := range plan.Subtrees {
+		if covered[st.Root] {
+			continue
+		}
+		vv := r.VersionVector(st.Touches)
+		key := subplanKey(st.Fingerprint, vv)
+		if e := pr.lookup(key, len(st.Closure)); e != nil {
+			pr.admitHit(st, e, covered)
+			if tr != nil {
+				tr.Event("cache.subplan", fmt.Sprintf("hit root=%d nodes=%d bytes=%d key=%s",
+					st.Root, len(st.Closure), e.Bytes, shortKey(key)))
+			}
+			continue
+		}
+		r.reg.Counter("core.subplan.misses").Inc()
+		if tr != nil {
+			tr.Event("cache.subplan", fmt.Sprintf("miss root=%d nodes=%d key=%s",
+				st.Root, len(st.Closure), shortKey(key)))
+		}
+		misses = append(misses, pendingPub{sub: st, key: key, vv: vv})
+	}
+
+	// Phase 2: single-flight the maximal misses (the pairwise-disjoint
+	// outermost ones), in sorted-key order. Every concurrent execution
+	// acquires and waits in the same global key order, so hold-and-wait
+	// cycles between plans leading each other's subtrees cannot form.
+	maximal := maximalMisses(misses)
+	sort.Slice(maximal, func(i, j int) bool { return maximal[i].key < maximal[j].key })
+	leased := make(map[string]bool)
+	for _, m := range maximal {
+		if covered[m.sub.Root] || leased[m.key] {
+			continue
+		}
+		const attempts = 3
+		for i := 0; i < attempts; i++ {
+			leader, done := sp.flight.Acquire(m.key)
+			if leader {
+				pr.leases = append(pr.leases, m.key)
+				leased[m.key] = true
+				break
+			}
+			r.reg.Counter("core.subplan.flight_waits").Inc()
+			select {
+			case <-done:
+			case <-ctx.Done():
+				i = attempts // deadline: run the subtree ourselves
+				continue
+			}
+			if e := pr.lookup(m.key, len(m.sub.Closure)); e != nil {
+				pr.admitHit(m.sub, e, covered)
+				if tr != nil {
+					tr.Event("cache.subplan", fmt.Sprintf("flight-hit root=%d nodes=%d bytes=%d key=%s",
+						m.sub.Root, len(m.sub.Closure), e.Bytes, shortKey(m.key)))
+				}
+				break
+			}
+			// Leader released without publishing (error, oversized entry,
+			// eviction): contend for the lease again.
+		}
+	}
+
+	// Phase 3: every candidate that still executes publishes on completion
+	// — inner candidates too, for extra hit surface. Duplicate keys inside
+	// one plan (identical sibling subtrees) publish once; the second copy
+	// just executes.
+	pubKeys := make(map[string]bool, len(misses))
+	for _, m := range misses {
+		if covered[m.sub.Root] || pubKeys[m.key] {
+			continue
+		}
+		pubKeys[m.key] = true
+		pr.pubs[m.sub.Root] = m
+		for _, id := range m.sub.Closure {
+			pr.capture[id] = true
+		}
+	}
+
+	r.reg.Counter("core.subplan.plans_probed").Inc()
+	if len(pr.out) > 0 {
+		r.reg.Counter("core.subplan.plans_reused").Inc()
+	}
+	if len(pr.serve) == 0 && len(pr.pubs) == 0 && len(pr.leases) == 0 {
+		return nil
+	}
+	return pr
+}
+
+// maximalMisses filters the missed candidates down to those not contained
+// in another miss — the units single-flight coordinates on. Containment is
+// root membership: closed subtrees are nested or disjoint.
+func maximalMisses(misses []pendingPub) []pendingPub {
+	if len(misses) <= 1 {
+		return misses
+	}
+	inner := make(map[ir.NodeID]bool)
+	for _, m := range misses {
+		for _, id := range m.sub.Closure {
+			if id != m.sub.Root {
+				inner[id] = true
+			}
+		}
+	}
+	out := make([]pendingPub, 0, len(misses))
+	for _, m := range misses {
+		if !inner[m.sub.Root] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// lookup probes the cache, counting a hit only for well-formed entries
+// whose replay data matches the candidate's closure size.
+func (pr *planProbe) lookup(key string, closureLen int) *subplan.Entry {
+	e, ok := pr.sp.cache.Get(key)
+	if !ok || e.Output == nil || len(e.Costs) != closureLen {
+		return nil
+	}
+	pr.rt.reg.Counter("core.subplan.hits").Inc()
+	return e
+}
+
+// admitHit marks a subtree served: every closure node replays from the
+// entry, the root yields the memoized batch, and the covered set grows so
+// inner candidates are skipped.
+func (pr *planProbe) admitHit(st compiler.Subtree, e *subplan.Entry, covered map[ir.NodeID]bool) {
+	for i, id := range st.Closure {
+		covered[id] = true
+		pr.serve[id] = &e.Costs[i]
+	}
+	pr.out[st.Root] = adapter.Value{Batch: e.Output}
+	pr.rt.reg.Counter("core.subplan.nodes_served").Add(int64(len(st.Closure)))
+	pr.rt.reg.Counter("core.subplan.bytes_served").Add(e.Bytes)
+}
+
+// serveNode returns a synthesized run for a node covered by a cache hit
+// (nil otherwise). The run carries the entry's replay data, so costing and
+// operator stats see exactly what the cold execution recorded; hit roots
+// carry the memoized batch, and when the root is the streamed sink the
+// batch replays through the ResultSink in the same chunk cadence live
+// execution uses.
+func (pr *planProbe) serveNode(ctx context.Context, n *ir.Node, st *nodeStream) *nodeRun {
+	if pr == nil {
+		return nil
+	}
+	cost, ok := pr.serve[n.ID]
+	if !ok {
+		return nil
+	}
+	run := &nodeRun{
+		info:      cost.Info,
+		bd:        cost.BD,
+		isMigrate: cost.IsMigrate,
+		rows:      cost.Rows,
+		bytesIn:   cost.BytesIn,
+		bytesOut:  cost.BytesOut,
+		cached:    true,
+	}
+	if out, ok := pr.out[n.ID]; ok {
+		run.out = out
+		if st != nil && st.node == n.ID {
+			if err := adapter.EmitChunked(ctx, st.emit, out.Batch); err != nil {
+				run.err = err
+				return run
+			}
+			if err := st.finish(out); err != nil {
+				run.err = err
+			}
+		}
+	}
+	return run
+}
+
+// onNodeCosted feeds the coordinator's finished runs to the pending
+// publications. Called in topological order from a single goroutine, so
+// when a pub's root arrives every closure run has been captured.
+func (pr *planProbe) onNodeCosted(id ir.NodeID, run *nodeRun) {
+	if pr == nil || !pr.capture[id] {
+		return
+	}
+	pr.runs[id] = run
+	if pub, ok := pr.pubs[id]; ok {
+		pr.publish(pub)
+	}
+}
+
+// publish memoizes one executed subtree: per-node replay data plus a deep
+// copy of the root's output (engine batches can be zero-copy views of
+// storage; the cache must hold an immutable snapshot). The version vector
+// is re-checked against its prepare-time value so a write to a touched
+// store while the subtree executed suppresses the publication — the batch
+// belongs to neither the old version nor reliably the new one.
+func (pr *planProbe) publish(pub pendingPub) {
+	if pr.rt.VersionVector(pub.sub.Touches) != pub.vv {
+		pr.rt.reg.Counter("core.subplan.stale_skips").Inc()
+		return
+	}
+	costs := make([]subplan.NodeCost, len(pub.sub.Closure))
+	var root *nodeRun
+	for i, id := range pub.sub.Closure {
+		run := pr.runs[id]
+		if run == nil || run.err != nil {
+			return
+		}
+		costs[i] = subplan.NodeCost{
+			Info:      run.info,
+			IsMigrate: run.isMigrate,
+			BD:        run.bd,
+			Rows:      run.rows,
+			BytesIn:   run.bytesIn,
+			BytesOut:  run.bytesOut,
+		}
+		if id == pub.sub.Root {
+			root = run
+		}
+	}
+	if root == nil || root.out.Batch == nil {
+		return // non-tabular root: nothing to memoize
+	}
+	e := &subplan.Entry{
+		Output: root.out.Batch.Clone(),
+		Costs:  costs,
+		Bytes:  root.out.Batch.ByteSize(),
+	}
+	if pr.sp.cache.Put(pub.key, e) {
+		pr.rt.reg.Counter("core.subplan.published").Inc()
+	} else {
+		pr.rt.reg.Counter("core.subplan.bypassed").Inc()
+	}
+}
+
+// close releases every single-flight lease this execution holds. Runs on
+// every exit path; followers then re-probe — a hit if we published, a
+// fresh leader election if we failed.
+func (pr *planProbe) close() {
+	if pr == nil {
+		return
+	}
+	for _, k := range pr.leases {
+		pr.sp.flight.Release(k)
+	}
+	pr.leases = nil
+}

@@ -1,0 +1,411 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"polystorepp/internal/adapter"
+	"polystorepp/internal/cast"
+	"polystorepp/internal/compiler"
+	"polystorepp/internal/hw"
+	"polystorepp/internal/ir"
+	"polystorepp/internal/relational"
+)
+
+// branchProgram builds `width` independent scan -> filter -> sort chains
+// (each with a private scan, so every chain is a closed subtree) — wide
+// enough to engage the concurrent scheduler while keeping candidates.
+func branchProgram(width int) *ir.Graph {
+	g := ir.NewGraph()
+	for i := 0; i < width; i++ {
+		scan := g.Add(ir.OpScan, "db", map[string]any{"table": "t"})
+		f := g.Add(ir.OpFilter, "db", map[string]any{"pred": relational.Bin{
+			Op: relational.OpGt, L: relational.ColRef{Name: "v"}, R: relational.Const{V: int64(i * 50)},
+		}}, scan)
+		g.Add(ir.OpSort, "db", map[string]any{
+			"order_by": []relational.OrderItem{{Col: "v"}, {Col: "id"}},
+		}, f)
+	}
+	return g
+}
+
+// limitProgram is a scan -> filter -> sort -> limit chain; the limit attr
+// varies across the family while the prefix subtree stays shared.
+func limitProgram(limit int64) *ir.Graph {
+	g := ir.NewGraph()
+	scan := g.Add(ir.OpScan, "db", map[string]any{"table": "t"})
+	f := g.Add(ir.OpFilter, "db", map[string]any{"pred": relational.Bin{
+		Op: relational.OpGt, L: relational.ColRef{Name: "v"}, R: relational.Const{V: int64(100)},
+	}}, scan)
+	s := g.Add(ir.OpSort, "db", map[string]any{
+		"order_by": []relational.OrderItem{{Col: "v"}, {Col: "id"}},
+	}, f)
+	g.Add(ir.OpLimit, "db", map[string]any{"n": limit}, s)
+	return g
+}
+
+func mustCompile(t *testing.T, g *ir.Graph, level int) *compiler.Plan {
+	t.Helper()
+	plan, err := compiler.Compile(g, compiler.Options{Level: level})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// batchesEqual requires byte-identical sink payloads, not just row counts.
+func batchesEqual(t *testing.T, got, want *Results) {
+	t.Helper()
+	resultsEqual(t, got, want)
+	for _, s := range want.Sinks {
+		g, w := got.Values[s].Batch, want.Values[s].Batch
+		if (g == nil) != (w == nil) {
+			t.Fatalf("sink %d: batch presence mismatch", s)
+		}
+		if g != nil && !g.Equal(w) {
+			t.Fatalf("sink %d: batch content mismatch", s)
+		}
+	}
+}
+
+// TestSubplanWarmEqualsCold is the tentpole equivalence guarantee at the
+// core layer: with the subplan cache on, a warm execution returns the same
+// batches and the same Report (host wall excluded) as the cold one and as a
+// cache-disabled runtime, on both executors.
+func TestSubplanWarmEqualsCold(t *testing.T) {
+	cases := []struct {
+		name  string
+		graph func() *ir.Graph
+		level int
+	}{
+		{"chain", func() *ir.Graph { return limitProgram(50) }, 3},
+		{"fanout", func() *ir.Graph { return branchProgram(8) }, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plan := mustCompile(t, tc.graph(), tc.level)
+			if len(plan.Subtrees) == 0 {
+				t.Fatal("plan has no subplan candidates")
+			}
+
+			off := testRuntime(t, 2000, true)
+			off.ConfigureSubplanCache(-1)
+			wantRes, wantRep, err := off.Execute(context.Background(), plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			on := testRuntime(t, 2000, true)
+			coldRes, coldRep, err := on.Execute(context.Background(), plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batchesEqual(t, coldRes, wantRes)
+			reportsEqual(t, coldRep, wantRep)
+			if on.Metrics().Counter("core.subplan.published").Value() == 0 {
+				t.Fatal("cold run published nothing")
+			}
+
+			warmRes, warmRep, err := on.Execute(context.Background(), plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batchesEqual(t, warmRes, wantRes)
+			reportsEqual(t, warmRep, wantRep)
+			if on.Metrics().Counter("core.subplan.hits").Value() == 0 {
+				t.Fatal("warm run hit nothing")
+			}
+			if on.Metrics().Counter("core.subplan.plans_reused").Value() == 0 {
+				t.Fatal("warm run not counted as reused")
+			}
+		})
+	}
+}
+
+// TestSubplanSharedPrefixAcrossPlans: near-identical queries (same prefix,
+// different limit) reuse the prefix subtree — the second plan's sort subtree
+// is served from the first plan's publication.
+func TestSubplanSharedPrefixAcrossPlans(t *testing.T) {
+	rt := testRuntime(t, 2000, false)
+	if _, _, err := rt.Execute(context.Background(), mustCompile(t, limitProgram(10), 3)); err != nil {
+		t.Fatal(err)
+	}
+	hits0 := rt.Metrics().Counter("core.subplan.hits").Value()
+
+	// Different limit: whole-plan key differs, prefix key matches.
+	res, _, err := rt.Execute(context.Background(), mustCompile(t, limitProgram(25), 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Metrics().Counter("core.subplan.hits").Value() <= hits0 {
+		t.Fatal("limit variant did not hit the shared prefix subtree")
+	}
+	if got := res.First().Batch.Rows(); got != 25 {
+		t.Fatalf("variant rows = %d, want 25", got)
+	}
+
+	// Equivalence of the served variant against a cache-disabled runtime.
+	off := testRuntime(t, 2000, false)
+	off.ConfigureSubplanCache(-1)
+	wantRes, wantRep, err := off.Execute(context.Background(), mustCompile(t, limitProgram(25), 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchesEqual(t, res, wantRes)
+	_, rep2, err := rt.Execute(context.Background(), mustCompile(t, limitProgram(25), 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportsEqual(t, rep2, wantRep)
+}
+
+// TestSubplanStreamWarmReplay: a warm hit on the streamed sink replays the
+// memoized batch through the ResultSink; rows and report match a cold
+// stream on a cache-disabled runtime.
+func TestSubplanStreamWarmReplay(t *testing.T) {
+	plan := mustCompile(t, limitProgram(500), 3)
+
+	off := testRuntime(t, 2000, false)
+	off.ConfigureSubplanCache(-1)
+	wantSink := &collectSink{}
+	wantRes, wantRep, err := off.ExecuteStream(context.Background(), plan, wantSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	on := testRuntime(t, 2000, false)
+	coldSink := &collectSink{}
+	if _, _, err := on.ExecuteStream(context.Background(), plan, coldSink); err != nil {
+		t.Fatal(err)
+	}
+	warmSink := &collectSink{}
+	warmRes, warmRep, err := on.ExecuteStream(context.Background(), plan, warmSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Metrics().Counter("core.subplan.hits").Value() == 0 {
+		t.Fatal("warm stream hit nothing")
+	}
+	if !warmSink.started || warmSink.starts != 1 {
+		t.Fatalf("warm sink starts = %d", warmSink.starts)
+	}
+	if !warmSink.concat(t).Equal(wantSink.concat(t)) {
+		t.Fatal("warm streamed payload differs from cache-off stream")
+	}
+	if !coldSink.concat(t).Equal(wantSink.concat(t)) {
+		t.Fatal("cold streamed payload differs from cache-off stream")
+	}
+	batchesEqual(t, warmRes, wantRes)
+	reportsEqual(t, warmRep, wantRep)
+}
+
+// TestSubplanInvalidationOnWrite: a write to a touched table rotates the
+// version vector, so warm keys stop being addressable and the next run sees
+// the new data.
+func TestSubplanInvalidationOnWrite(t *testing.T) {
+	store := testStore(t, 1000)
+	rt := NewRuntime(hw.NewHostCPU())
+	rt.Register(adapter.NewRelational("db", relational.NewEngine(store)))
+	rt.Register(adapter.NewML("ml", 1))
+
+	plan := mustCompile(t, limitProgram(100000), 3)
+	res1, _, err := rt.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows1 := res1.First().Batch.Rows()
+
+	tb, err := store.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert(int64(10_000), int64(999)); err != nil { // passes v > 100
+		t.Fatal(err)
+	}
+
+	res2, _, err := rt.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res2.First().Batch.Rows(); got != rows1+1 {
+		t.Fatalf("post-write rows = %d, want %d (stale subplan served?)", got, rows1+1)
+	}
+}
+
+// TestSubplanUntouchedWriteKeepsHits: writes to a store the subtree never
+// reads leave its memoized entries addressable (surgical invalidation).
+func TestSubplanUntouchedWriteKeepsHits(t *testing.T) {
+	touched := testStore(t, 500)
+	other := relational.NewStore("db2")
+	rt := NewRuntime(hw.NewHostCPU())
+	rt.Register(adapter.NewRelational("db", relational.NewEngine(touched)))
+	rt.Register(adapter.NewRelational("db2", relational.NewEngine(other)))
+
+	plan := mustCompile(t, limitProgram(100000), 3)
+	if _, _, err := rt.Execute(context.Background(), plan); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate the untouched store (a new table counts as a write).
+	schema := cast.MustSchema(cast.Column{Name: "id", Type: cast.Int64})
+	if _, err := other.CreateTable("u", schema); err != nil {
+		t.Fatal(err)
+	}
+
+	hits0 := rt.Metrics().Counter("core.subplan.hits").Value()
+	if _, _, err := rt.Execute(context.Background(), plan); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Metrics().Counter("core.subplan.hits").Value() <= hits0 {
+		t.Fatal("write to an untouched store invalidated the subplan entry")
+	}
+}
+
+// TestSubplanMidFlightWriteSkipsPublish drives the probe/publish protocol
+// by hand: a write landing between prepare and publication must suppress
+// the publication (the batch belongs to neither version).
+func TestSubplanMidFlightWriteSkipsPublish(t *testing.T) {
+	store := testStore(t, 500)
+	rt := NewRuntime(hw.NewHostCPU())
+	rt.Register(adapter.NewRelational("db", relational.NewEngine(store)))
+
+	plan := mustCompile(t, limitProgram(100000), 3)
+	ctx := context.Background()
+	pr := rt.prepareSubplan(ctx, plan)
+	if pr == nil || len(pr.pubs) == 0 {
+		t.Fatalf("probe = %+v, want pending publications", pr)
+	}
+	defer pr.close()
+
+	// The plan is mid-flight; a concurrent ingest lands.
+	tb, err := store.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert(int64(10_000), int64(999)); err != nil {
+		t.Fatal(err)
+	}
+
+	order, err := plan.Graph.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make(map[ir.NodeID]adapter.Value)
+	for _, id := range order {
+		n := plan.Graph.MustNode(id)
+		inputs := make([]adapter.Value, len(n.Inputs))
+		for i, in := range n.Inputs {
+			inputs[i] = values[in]
+		}
+		run := rt.runNode(ctx, n, inputs, nil, pr)
+		if run.err != nil {
+			t.Fatal(run.err)
+		}
+		values[id] = run.out
+		pr.onNodeCosted(id, run)
+	}
+	if got := rt.Metrics().Counter("core.subplan.stale_skips").Value(); got == 0 {
+		t.Fatal("mid-flight write did not suppress publication")
+	}
+	if got := rt.Metrics().Counter("core.subplan.published").Value(); got != 0 {
+		t.Fatalf("published %d entries despite mid-flight write", got)
+	}
+	if s := rt.SubplanCacheStats(); s.Entries != 0 {
+		t.Fatalf("cache holds %d entries after suppressed publish", s.Entries)
+	}
+}
+
+// TestSubplanSingleFlightConcurrent hammers one cold runtime with the same
+// plan from many goroutines (run under -race): every execution must return
+// equal batches and the baseline report, and the flight protocol must not
+// deadlock or double-publish per key generation.
+func TestSubplanSingleFlightConcurrent(t *testing.T) {
+	plan := mustCompile(t, limitProgram(100000), 3)
+	base := testRuntime(t, 2000, false)
+	base.ConfigureSubplanCache(-1)
+	wantRes, wantRep, err := base.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt := testRuntime(t, 2000, false)
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	ress := make([]*Results, goroutines)
+	reps := make([]*Report, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ress[i], reps[i], errs[i] = rt.Execute(context.Background(), plan)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		batchesEqual(t, ress[i], wantRes)
+		reportsEqual(t, reps[i], wantRep)
+	}
+	reg := rt.Metrics()
+	probed := reg.Counter("core.subplan.plans_probed").Value()
+	if probed != goroutines {
+		t.Fatalf("plans probed = %d, want %d", probed, goroutines)
+	}
+}
+
+// TestSubplanPropertyRandomPlans: randomized chain/fan-out plan families
+// must satisfy warm == cold == disabled, buffered and streamed, across the
+// family's attr variations.
+func TestSubplanPropertyRandomPlans(t *testing.T) {
+	preds := []int64{0, 100, 500}
+	limits := []int64{3, 77, 100000}
+	for _, p := range preds {
+		for _, l := range limits {
+			p, l := p, l
+			t.Run(fmt.Sprintf("pred%d_limit%d", p, l), func(t *testing.T) {
+				g := func() *ir.Graph {
+					g := ir.NewGraph()
+					scan := g.Add(ir.OpScan, "db", map[string]any{"table": "t"})
+					f := g.Add(ir.OpFilter, "db", map[string]any{"pred": relational.Bin{
+						Op: relational.OpGt, L: relational.ColRef{Name: "v"}, R: relational.Const{V: p},
+					}}, scan)
+					s := g.Add(ir.OpSort, "db", map[string]any{
+						"order_by": []relational.OrderItem{{Col: "v"}, {Col: "id"}},
+					}, f)
+					g.Add(ir.OpLimit, "db", map[string]any{"n": l}, s)
+					return g
+				}
+				plan := mustCompile(t, g(), 3)
+				off := testRuntime(t, 1200, false)
+				off.ConfigureSubplanCache(-1)
+				wantRes, wantRep, err := off.Execute(context.Background(), plan)
+				if err != nil {
+					t.Fatal(err)
+				}
+				on := testRuntime(t, 1200, false)
+				for round := 0; round < 3; round++ {
+					res, rep, err := on.Execute(context.Background(), plan)
+					if err != nil {
+						t.Fatalf("round %d: %v", round, err)
+					}
+					batchesEqual(t, res, wantRes)
+					reportsEqual(t, rep, wantRep)
+				}
+				sink := &collectSink{}
+				sres, _, err := on.ExecuteStream(context.Background(), plan, sink)
+				if err != nil {
+					t.Fatal(err)
+				}
+				batchesEqual(t, sres, wantRes)
+				if sink.rows != wantRes.First().Batch.Rows() {
+					t.Fatalf("streamed %d rows, want %d", sink.rows, wantRes.First().Batch.Rows())
+				}
+			})
+		}
+	}
+}

@@ -47,7 +47,7 @@ func (r *Runtime) observeOp(n *ir.Node, run *nodeRun) {
 // through unchanged).
 func (run *nodeRun) rowsIn() int64 {
 	if run.isMigrate {
-		return int64(run.out.Rows())
+		return int64(run.rows)
 	}
 	return run.info.RowsIn
 }
@@ -55,7 +55,7 @@ func (run *nodeRun) rowsIn() int64 {
 // rowsOut returns the node's output cardinality.
 func (run *nodeRun) rowsOut() int64 {
 	if run.isMigrate {
-		return int64(run.out.Rows())
+		return int64(run.rows)
 	}
 	return run.info.RowsOut
 }
@@ -77,6 +77,7 @@ func nodeSpan(tr *obs.Trace, n *ir.Node, run *nodeRun, nr NodeReport) obs.Span {
 		BytesIn:  run.bytesIn,
 		BytesOut: run.bytesOut,
 		Parts:    run.info.Parts,
+		Cached:   run.cached,
 	}
 	if !run.hostStart.IsZero() {
 		s.StartUS = run.hostStart.Sub(tr.Start()).Microseconds()

@@ -29,25 +29,40 @@ func (g *Graph) writeCanonical(w io.Writer) {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		n := g.nodes[id]
-		fmt.Fprintf(w, "n%d|k%d|e%s|d%s|in%v|", int(n.ID), int(n.Kind), n.Engine, n.Device, n.Inputs)
-		keys := make([]string, 0, len(n.Attrs))
-		for k := range n.Attrs {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			fmt.Fprintf(w, "a%s=", k)
-			writeCanonicalValue(w, n.Attrs[k])
-			io.WriteString(w, ";")
-		}
-		if n.Body != nil {
-			io.WriteString(w, "body{")
-			n.Body.writeCanonical(w)
-			io.WriteString(w, "}")
-		}
-		io.WriteString(w, "\n")
+		writeCanonicalNode(w, g.nodes[id], nil)
 	}
+}
+
+// writeCanonicalNode emits one node's canonical form. When rank is non-nil
+// the node's own id and its input ids are translated through it — the
+// position-independent encoding subtree fingerprints hash; Graph.Fingerprint
+// hashes absolute ids (rank nil).
+func writeCanonicalNode(w io.Writer, n *Node, rank map[NodeID]int) {
+	if rank == nil {
+		fmt.Fprintf(w, "n%d|k%d|e%s|d%s|in%v|", int(n.ID), int(n.Kind), n.Engine, n.Device, n.Inputs)
+	} else {
+		ins := make([]int, len(n.Inputs))
+		for i, in := range n.Inputs {
+			ins[i] = rank[in]
+		}
+		fmt.Fprintf(w, "n%d|k%d|e%s|d%s|in%v|", rank[n.ID], int(n.Kind), n.Engine, n.Device, ins)
+	}
+	keys := make([]string, 0, len(n.Attrs))
+	for k := range n.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "a%s=", k)
+		writeCanonicalValue(w, n.Attrs[k])
+		io.WriteString(w, ";")
+	}
+	if n.Body != nil {
+		io.WriteString(w, "body{")
+		n.Body.writeCanonical(w)
+		io.WriteString(w, "}")
+	}
+	io.WriteString(w, "\n")
 }
 
 // writeCanonicalValue renders one attribute value deterministically. The

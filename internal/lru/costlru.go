@@ -13,6 +13,7 @@ type CostCache[V any] struct {
 	maxEntries int
 	maxCost    int64 // <= 0 means no cost bound
 	cost       int64
+	evictions  int64
 	order      *list.List // front = most recently used; values are *costEntry[V]
 	entries    map[string]*list.Element
 }
@@ -52,10 +53,19 @@ func (c *CostCache[V]) Get(key string) (V, bool) {
 // is already present (racing fills produce equivalent values; the
 // incumbent's cost is kept), and (v, false) when the entry is oversized —
 // its cost alone exceeds the cost bound — and was bypassed.
+//
+// Costs below 1 are clamped to 1: every entry occupies real memory beyond
+// its payload, and admitting "free" entries would let a flood of zero-cost
+// (or, worse, negative-cost) values grow the cache unboundedly under an
+// intact-looking cost bound — or drive the running total negative, wedging
+// eviction permanently.
 func (c *CostCache[V]) Put(key string, v V, cost int64) (V, bool) {
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
 		return el.Value.(*costEntry[V]).val, true
+	}
+	if cost < 1 {
+		cost = 1
 	}
 	if c.maxCost > 0 && cost > c.maxCost {
 		return v, false
@@ -68,6 +78,7 @@ func (c *CostCache[V]) Put(key string, v V, cost int64) (V, bool) {
 		c.order.Remove(oldest)
 		delete(c.entries, e.key)
 		c.cost -= e.cost
+		c.evictions++
 	}
 	return v, true
 }
@@ -77,3 +88,7 @@ func (c *CostCache[V]) Len() int { return c.order.Len() }
 
 // Cost returns the summed cost of the cached entries.
 func (c *CostCache[V]) Cost() int64 { return c.cost }
+
+// Evictions returns how many entries the cache has evicted over its
+// lifetime (bypassed oversized entries are not evictions).
+func (c *CostCache[V]) Evictions() int64 { return c.evictions }

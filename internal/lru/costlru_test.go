@@ -1,6 +1,9 @@
 package lru
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func TestCostEviction(t *testing.T) {
 	c := NewCost[string](100, 10)
@@ -48,6 +51,46 @@ func TestCostEntryCapStillHolds(t *testing.T) {
 	}
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("a should have been evicted")
+	}
+}
+
+// TestCostZeroCostCannotEvadeBound pins the clamp on free entries: a flood
+// of 0-cost values must not grow the cache past its cost bound (each entry
+// charges at least 1), and the evictions it forces are counted.
+func TestCostZeroCostCannotEvadeBound(t *testing.T) {
+	c := NewCost[int](1<<20, 8)
+	const n = 100
+	for i := 0; i < n; i++ {
+		if _, admitted := c.Put(fmt.Sprintf("k%d", i), i, 0); !admitted {
+			t.Fatalf("zero-cost entry %d bypassed", i)
+		}
+	}
+	if c.Len() != 8 {
+		t.Fatalf("len = %d after %d zero-cost puts, want cost bound 8", c.Len(), n)
+	}
+	if c.Cost() != 8 {
+		t.Fatalf("cost = %d, want 8 (1 per clamped entry)", c.Cost())
+	}
+	if c.Evictions() != n-8 {
+		t.Fatalf("evictions = %d, want %d", c.Evictions(), n-8)
+	}
+}
+
+// TestCostNegativeCostCannotWedgeEviction pins that a negative cost cannot
+// drive the running total negative — which would let later entries
+// accumulate past the bound before eviction ever fires.
+func TestCostNegativeCostCannotWedgeEviction(t *testing.T) {
+	c := NewCost[int](100, 10)
+	c.Put("neg", 1, -50)
+	if c.Cost() != 1 {
+		t.Fatalf("cost = %d after negative-cost put, want clamp to 1", c.Cost())
+	}
+	c.Put("a", 2, 10) // 1 + 10 > 10: must evict "neg", not absorb it as headroom
+	if _, ok := c.Get("neg"); ok {
+		t.Fatal("negative-cost entry survived past the cost bound")
+	}
+	if c.Cost() != 10 || c.Len() != 1 {
+		t.Fatalf("cost=%d len=%d, want 10, 1", c.Cost(), c.Len())
 	}
 }
 

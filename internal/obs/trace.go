@@ -56,6 +56,7 @@ type Span struct {
 	BytesIn  int64   `json:"bytes_in"`
 	BytesOut int64   `json:"bytes_out"`
 	Parts    int     `json:"parts,omitempty"`
+	Cached   bool    `json:"cached,omitempty"` // served from the subplan cache, not executed
 	Inputs   []int64 `json:"inputs,omitempty"` // producer node ids (span-tree edges)
 }
 

@@ -90,6 +90,11 @@ type Config struct {
 	// DisableSingleFlight turns off deduplication of identical in-flight
 	// queries (on by default).
 	DisableSingleFlight bool
+	// SubplanCacheBytes bounds the runtime's content-addressed subplan cache
+	// of materialized intermediates (keyed on subtree fingerprint + touched
+	// version vector). Zero keeps the runtime default (64 MiB); negative
+	// disables subplan caching.
+	SubplanCacheBytes int64
 	// MaxRows caps rows returned per response; clients may lower it per
 	// request but not exceed it (default 1000).
 	MaxRows int
@@ -192,6 +197,9 @@ func New(rt *core.Runtime, opts compiler.Options, cfg Config) *Server {
 	}
 	if cfg.ResultCacheSize > 0 {
 		s.results = newResultCache(cfg.ResultCacheSize, cfg.ResultCacheBytes)
+	}
+	if cfg.SubplanCacheBytes != 0 {
+		rt.ConfigureSubplanCache(cfg.SubplanCacheBytes)
 	}
 	if !cfg.DisableSingleFlight {
 		s.flight = newFlightGroup()
@@ -931,6 +939,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.reg.Gauge("server.resultcache.bytes").Set(float64(bytes))
 		s.reg.Gauge("server.resultcache.bypassed").Set(float64(bypassed))
 	}
+	if sp := s.rt.SubplanCacheStats(); sp.Enabled {
+		s.reg.Gauge("core.subplan.entries").Set(float64(sp.Entries))
+		s.reg.Gauge("core.subplan.bytes").Set(float64(sp.Bytes))
+		s.reg.Gauge("core.subplan.evictions").Set(float64(sp.Evictions))
+	}
 	s.reg.Gauge("server.inflight").Set(float64(s.adm.inflight()))
 	s.reg.Gauge("server.data_version").Set(float64(s.rt.DataVersion()))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -950,6 +963,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resultSize = s.results.size()
 		resultBytes, resultBypassed = s.results.bytes()
 	}
+	spStats := s.rt.SubplanCacheStats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"requests":        s.reg.Counter("server.requests").Value(),
 		"rejected":        s.reg.Counter("server.rejected").Value(),
@@ -973,6 +987,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			return s.cfg.ResultCacheBytes
 		}(),
 		"ingests": s.reg.Counter("server.ingests").Value(),
+		// Subplan cache: memoized intermediates shared across near-identical
+		// plans, plus subtree-level single-flight (this PR's tier between the
+		// plan cache and the result cache).
+		"subplan_cache_enabled":     spStats.Enabled,
+		"subplan_cache_entries":     spStats.Entries,
+		"subplan_cache_bytes":       spStats.Bytes,
+		"subplan_cache_max_bytes":   spStats.MaxBytes,
+		"subplan_cache_evictions":   spStats.Evictions,
+		"subplan_cache_hits":        s.reg.Counter("core.subplan.hits").Value(),
+		"subplan_cache_miss":        s.reg.Counter("core.subplan.misses").Value(),
+		"subplan_cache_published":   s.reg.Counter("core.subplan.published").Value(),
+		"subplan_cache_bypassed":    s.reg.Counter("core.subplan.bypassed").Value(),
+		"subplan_cache_stale_skips": s.reg.Counter("core.subplan.stale_skips").Value(),
+		"subplan_nodes_served":      s.reg.Counter("core.subplan.nodes_served").Value(),
+		"subplan_bytes_served":      s.reg.Counter("core.subplan.bytes_served").Value(),
+		"subplan_plans_probed":      s.reg.Counter("core.subplan.plans_probed").Value(),
+		"subplan_plans_reused":      s.reg.Counter("core.subplan.plans_reused").Value(),
+		"subplan_flight_waits":      s.reg.Counter("core.subplan.flight_waits").Value(),
 		// Streaming path (POST /query/stream).
 		"stream_requests":      s.reg.Counter("server.stream.requests").Value(),
 		"stream_rows":          s.reg.Counter("server.stream.rows").Value(),

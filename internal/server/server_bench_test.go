@@ -3,6 +3,7 @@ package server_test
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -37,9 +38,9 @@ func BenchmarkServeConcurrent(b *testing.B) {
 	})
 }
 
-// BenchmarkServeConcurrentNoDedup disables the result cache and
-// single-flight, so every request compiles (through the plan cache) and
-// executes — the pre-dedup serving trajectory, kept for comparison.
+// BenchmarkServeConcurrentNoDedup disables the result cache, single-flight
+// and the subplan cache, so every request compiles (through the plan cache)
+// and executes — the pre-dedup serving trajectory, kept for comparison.
 func BenchmarkServeConcurrentNoDedup(b *testing.B) {
 	benchServe(b, polystore.ServeConfig{
 		Workers:             16,
@@ -47,6 +48,7 @@ func BenchmarkServeConcurrentNoDedup(b *testing.B) {
 		DefaultSQLEngine:    "db-clinical",
 		ResultCacheSize:     -1,
 		DisableSingleFlight: true,
+		SubplanCacheBytes:   -1,
 	})
 }
 
@@ -64,6 +66,7 @@ func BenchmarkServeConcurrentTraced(b *testing.B) {
 		DefaultSQLEngine:    "db-clinical",
 		ResultCacheSize:     -1,
 		DisableSingleFlight: true,
+		SubplanCacheBytes:   -1,
 		TraceAll:            true,
 	})
 }
@@ -137,13 +140,88 @@ func BenchmarkMixedReadWrite(b *testing.B) {
 	}
 }
 
+// BenchmarkServeSimilar is the near-identical-query benchmark the subplan
+// cache targets: concurrent clients cycle through 64 LIMIT variants of one
+// SQL statement, so every request has a distinct plan-cache and result-cache
+// key but shares the scan→filter→sort prefix. The result cache and
+// single-flight are disabled, leaving the subplan cache (default-on) as the
+// only reuse layer; the benchmark reports throughput and the subtree reuse
+// rate read back from /stats. BENCH_BASELINE.json gates this for
+// regressions in intermediate reuse.
+func BenchmarkServeSimilar(b *testing.B) {
+	data, err := datagen.GenerateClinical(rand.New(rand.NewSource(7)), 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := polystore.New(
+		polystore.WithRelational("db-clinical", data.Relational),
+		polystore.WithTimeseries("ts-vitals", data.Timeseries),
+		polystore.WithText("txt-notes", data.Text),
+		polystore.WithML("ml"),
+		polystore.WithAccelerators(hw.Coprocessor, hw.NewFPGA(), hw.NewGPU(), hw.NewTPU()),
+	)
+	ts := httptest.NewServer(sys.Handler(polystore.ServeConfig{
+		Workers:             16,
+		QueueDepth:          256,
+		DefaultSQLEngine:    "db-clinical",
+		ResultCacheSize:     -1,
+		DisableSingleFlight: true,
+	}))
+	defer ts.Close()
+
+	bodies := make([]string, 64)
+	for i := range bodies {
+		bodies[i] = fmt.Sprintf(`{"frontend":"sql","statement":"SELECT pid, age FROM patients WHERE age > 30 ORDER BY age DESC LIMIT %d"}`, i+1)
+	}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	var ops atomic.Int64
+
+	b.ResetTimer()
+	t0 := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			body := bodies[ops.Add(1)%int64(len(bodies))]
+			resp, err := client.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d", resp.StatusCode)
+				return
+			}
+		}
+	})
+	elapsed := time.Since(t0)
+	b.StopTimer()
+
+	b.ReportMetric(float64(ops.Load())/elapsed.Seconds(), "req/s")
+	resp, err := client.Get(ts.URL + "/stats")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Probed float64 `json:"subplan_plans_probed"`
+		Reused float64 `json:"subplan_plans_reused"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		b.Fatal(err)
+	}
+	if stats.Probed > 0 {
+		b.ReportMetric(stats.Reused/stats.Probed, "reuse-rate")
+	}
+}
+
 // BenchmarkServeStream measures the partial-result path: concurrent clients
 // stream a 10k-row scan over POST /query/stream and the benchmark reports
 // throughput (req/s), time-to-first-row, full-result latency and row
-// throughput. The result cache and single-flight are disabled so every
-// request exercises the live streaming executor rather than a cached
-// replay — this is the benchmark BENCH_BASELINE.json gates for streaming
-// regressions.
+// throughput. The result cache, single-flight and the subplan cache are
+// disabled so every request exercises the live streaming executor rather
+// than a cached replay — this is the benchmark BENCH_BASELINE.json gates
+// for streaming regressions.
 func BenchmarkServeStream(b *testing.B) {
 	store := relational.NewStore("db-bench")
 	events, err := store.CreateTable("events", cast.MustSchema(
@@ -170,6 +248,7 @@ func BenchmarkServeStream(b *testing.B) {
 		MaxRows:             20000,
 		ResultCacheSize:     -1,
 		DisableSingleFlight: true,
+		SubplanCacheBytes:   -1,
 	}))
 	defer ts.Close()
 

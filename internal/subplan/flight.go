@@ -1,0 +1,50 @@
+package subplan
+
+import "sync"
+
+// Flight is the per-key single-flight coordinator for subplan production.
+// Unlike the serving layer's whole-request flightGroup, followers do not
+// receive the leader's value over the channel: they wait for the lease to
+// clear and then re-probe the cache — a hit if the leader published, a
+// fresh leader election if it failed or its entry was bypassed. That keeps
+// the protocol lock-step-free: a leader that dies mid-plan releases its
+// lease on the execution's exit path and followers simply run the subtree
+// themselves.
+type Flight struct {
+	mu     sync.Mutex
+	leases map[string]chan struct{}
+}
+
+// NewFlight returns an empty coordinator.
+func NewFlight() *Flight {
+	return &Flight{leases: make(map[string]chan struct{})}
+}
+
+// Acquire takes the production lease for key. The first caller becomes the
+// leader (leader true, done nil) and must Release when its execution
+// finishes — whether or not it published. Later callers get leader false
+// and the current leader's done channel, which closes on Release.
+func (f *Flight) Acquire(key string) (leader bool, done <-chan struct{}) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ch, ok := f.leases[key]; ok {
+		return false, ch
+	}
+	f.leases[key] = make(chan struct{})
+	return true, nil
+}
+
+// Release clears the lease for key and wakes its followers. Only the
+// leader that acquired the key calls this; releasing an unheld key is a
+// no-op.
+func (f *Flight) Release(key string) {
+	f.mu.Lock()
+	ch, ok := f.leases[key]
+	if ok {
+		delete(f.leases, key)
+	}
+	f.mu.Unlock()
+	if ok {
+		close(ch)
+	}
+}

@@ -1,0 +1,125 @@
+// Package subplan implements the middleware's content-addressed subplan
+// cache: memoized intermediate batches keyed on (subtree fingerprint,
+// version vector of the stores the subtree touches), plus the per-key
+// single-flight coordinator that lets concurrently in-flight plans sharing
+// a hot subtree execute it once.
+//
+// This is the middle tier of the serving stack's three caches. The plan
+// cache (compiler.PlanCache) memoizes compilation; the result cache
+// (server) memoizes whole responses for byte-identical requests; the
+// subplan cache sits between them and is what makes *near*-identical
+// traffic cheap — the same scan/filter/join prefix under a different
+// projection, limit, or window replays the memoized intermediate instead
+// of re-executing the subtree. Keys are position independent
+// (ir.Graph.SubtreeFingerprints), so the sharing works across distinct
+// plans, and version-vectored, so invalidation is as surgical as the
+// result cache's: a write to a store the subtree never reads changes
+// nothing.
+package subplan
+
+import (
+	"sync"
+
+	"polystorepp/internal/adapter"
+	"polystorepp/internal/cast"
+	"polystorepp/internal/lru"
+	"polystorepp/internal/migrate"
+)
+
+// NodeCost is the execution-report replay data for one node of a memoized
+// subtree, indexed by the node's rank in the subtree's sorted closure. A
+// cache hit skips the subtree's real execution but still costs every node
+// from this record on the simulated clock, so warm Reports are
+// byte-identical to cold ones (modulo host wall times, which Reports
+// already exclude from equivalence).
+type NodeCost struct {
+	Info      adapter.ExecInfo
+	IsMigrate bool
+	BD        migrate.Breakdown
+	// Rows is the node's output cardinality (migrations report it from the
+	// materialized batch, which a replayed interior node no longer has).
+	Rows     int
+	BytesIn  int64
+	BytesOut int64
+}
+
+// Entry is one memoized subtree execution: the root's materialized output
+// plus per-node costing replay data. Entries are immutable once published
+// and may be served to many executions concurrently; consumers must not
+// mutate Output.
+type Entry struct {
+	Output *cast.Batch
+	Costs  []NodeCost // closure rank -> replay data
+	Bytes  int64      // Output payload size (lru cost accounting)
+}
+
+// entryOverheadBytes approximates the per-entry bookkeeping cost (map and
+// list cells, cost slice) charged on top of the payload.
+const entryOverheadBytes = 512
+
+// maxEntriesFor scales the entry bound with the byte budget so tiny test
+// budgets still admit a few entries while production budgets aren't capped
+// by entry count before bytes.
+func maxEntriesFor(maxBytes int64) int {
+	n := int(maxBytes / (4 << 10))
+	if n < 16 {
+		n = 16
+	}
+	if n > 65536 {
+		n = 65536
+	}
+	return n
+}
+
+// Cache is a byte-bounded, mutex-guarded LRU of subplan entries.
+type Cache struct {
+	mu       sync.Mutex
+	entries  *lru.CostCache[*Entry]
+	maxBytes int64
+}
+
+// NewCache returns a cache bounded to maxBytes of memoized intermediates
+// (plus per-entry overhead).
+func NewCache(maxBytes int64) *Cache {
+	return &Cache{
+		entries:  lru.NewCost[*Entry](maxEntriesFor(maxBytes), maxBytes),
+		maxBytes: maxBytes,
+	}
+}
+
+// Get returns the entry under key, marking it most recently used.
+func (c *Cache) Get(key string) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries.Get(key)
+}
+
+// Put admits e under key, charging its payload plus overhead. It reports
+// whether the key is now cached: false means the entry was oversized and
+// bypassed. A racing fill keeps the incumbent (equivalent value).
+func (c *Cache) Put(key string, e *Entry) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries.Put(key, e, e.Bytes+entryOverheadBytes)
+	return ok
+}
+
+// Stats is a point-in-time structural snapshot of the cache.
+type Stats struct {
+	Entries   int
+	Bytes     int64
+	MaxBytes  int64
+	Evictions int64
+}
+
+// Stats snapshots entry count, charged bytes, and lifetime evictions.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Entries:   c.entries.Len(),
+		Bytes:     c.entries.Cost(),
+		MaxBytes:  c.maxBytes,
+		Evictions: c.entries.Evictions(),
+	}
+}
