@@ -30,6 +30,14 @@
 //	polybench -loadgen -write-every 20 \
 //	  -body '{"frontend":"sql","engine":"db-clinical","statement":"SELECT count(*) AS n FROM patients"}' \
 //	  -write-body '{"engine":"ts-vitals","series":"loadgen/s%d","ts":1,"value":70}'
+//
+//	# Multi-tenant fairness: -tenants N spreads the configured requests
+//	# across N tenant identities (X-Tenant: t0..tN-1); -abuser adds a
+//	# dedicated unpaced tenant hammering alongside them (kept out of the
+//	# headline stats). The report adds a per-tenant table, and -fair-bound
+//	# makes the run fail when the well-behaved tenants' p99 exceeds it —
+//	# the isolation assertion CI runs against a quota-limited abuser.
+//	polybench -loadgen -tenants 2 -abuser -fair-bound 2s
 package main
 
 import (
@@ -48,6 +56,7 @@ import (
 	"time"
 
 	"polystorepp/internal/experiments"
+	"polystorepp/internal/tenant"
 )
 
 type bodyList []string
@@ -83,6 +92,10 @@ func main() {
 	requests := flag.Int("requests", 400, "total requests across all clients (loadgen)")
 	writeEvery := flag.Int("write-every", 0, "loadgen: make every Nth request a POST /ingest write (0 disables; 20 = a 95/5 read/write mix)")
 	similar := flag.Int("similar", 0, "loadgen: cycle N near-identical SQL variants (shared scan/filter/sort prefix, varying LIMIT) — the subplan cache's target traffic (0 disables)")
+	tenants := flag.Int("tenants", 0, "loadgen: spread requests across N tenant identities via X-Tenant (0 = single anonymous tenant)")
+	abuser := flag.Bool("abuser", false, "loadgen: add a dedicated 'abuser' tenant firing unpaced requests for the whole run (excluded from headline stats; give it a low -tenant-quota on the server)")
+	fairBound := flag.Duration("fair-bound", 0, "loadgen: fail (exit 1) when the well-behaved tenants' served p99 exceeds this bound (0 disables)")
+	class := flag.String("class", "", "loadgen: X-Priority class for reads (interactive, batch, background; empty sends none)")
 	var bodies, writeBodies bodyList
 	flag.Var(&bodies, "body", "POST /query JSON body (repeatable; clients cycle through them)")
 	flag.Var(&writeBodies, "write-body", "POST /ingest JSON body for -write-every (repeatable; %d in the body is replaced by a monotonic counter — with concurrent clients put it in the series/key name, not a timestamp, since arrival order is not send order)")
@@ -98,7 +111,8 @@ func main() {
 		if *similar > 0 {
 			bodies = append(bodies, similarBodies(*similar)...)
 		}
-		if err := runLoadgen(*url, *clients, *requests, bodies, *writeEvery, writeBodies, *stream); err != nil {
+		opts := loadOpts{tenants: *tenants, abuser: *abuser, fairBound: *fairBound, class: *class}
+		if err := runLoadgen(*url, *clients, *requests, bodies, *writeEvery, writeBodies, *stream, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "polybench: loadgen: %v\n", err)
 			os.Exit(1)
 		}
@@ -133,6 +147,43 @@ func main() {
 	}
 }
 
+// loadOpts are the multi-tenant knobs of the load generator.
+type loadOpts struct {
+	tenants   int           // spread reads across t0..t(N-1); 0 = anonymous
+	abuser    bool          // add an unpaced "abuser" tenant for the whole run
+	fairBound time.Duration // fail when well-behaved p99 exceeds this (0 off)
+	class     string        // X-Priority header for reads ("" sends none)
+}
+
+// perTenant tracks (tenants > 0 or abuser) whether per-tenant accounting and
+// the fairness report are active.
+func (o loadOpts) perTenant() bool { return o.tenants > 0 || o.abuser }
+
+// tenantAgg is one tenant's client-side view of the run.
+type tenantAgg struct {
+	requests  int
+	latencies []time.Duration // served reads only
+	status    map[int]int
+	netErrs   int
+}
+
+// postJSON fires one POST with the tenant/class headers the resilience layer
+// routes on.
+func postJSON(hc *http.Client, url, body, ten, class string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader([]byte(body)))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if ten != "" {
+		req.Header.Set(tenant.Header, ten)
+	}
+	if class != "" {
+		req.Header.Set(tenant.ClassHeader, class)
+	}
+	return hc.Do(req)
+}
+
 // runLoadgen fires `requests` calls from `clients` goroutines and prints
 // throughput plus latency percentiles — the serving-path benchmark
 // trajectory (wall-clock this time, not simulated). With writeEvery > 0,
@@ -144,7 +195,12 @@ func main() {
 // the first NDJSON line lands while the server is still producing the rest,
 // so TTFR sits strictly below the full-result latency whenever the result
 // spans more than one batch.
-func runLoadgen(baseURL string, clients, requests int, bodies []string, writeEvery int, writeBodies []string, stream bool) error {
+// With opts.tenants > 0 reads rotate X-Tenant across N identities and the
+// report adds a per-tenant table; opts.abuser adds a tenant hammering
+// unpaced beside them (its traffic never feeds the headline stats), and
+// opts.fairBound turns the well-behaved tenants' p99 into a pass/fail
+// isolation assertion.
+func runLoadgen(baseURL string, clients, requests int, bodies []string, writeEvery int, writeBodies []string, stream bool, opts loadOpts) error {
 	if clients < 1 || requests < 1 {
 		return fmt.Errorf("-clients and -requests must be >= 1")
 	}
@@ -179,10 +235,28 @@ func runLoadgen(baseURL string, clients, requests int, bodies []string, writeEve
 		writes     int
 		writeSeq   int64
 		writeCount int
+		aggs       = map[string]*tenantAgg{}
 	)
+	// agg returns (building on first use) one tenant's accounting row; the
+	// caller must hold mu.
+	agg := func(id string) *tenantAgg {
+		a, ok := aggs[id]
+		if !ok {
+			a = &tenantAgg{status: map[int]int{}}
+			aggs[id] = a
+		}
+		return a
+	}
 	type call struct {
 		path string
 		body string
+		ten  string
+	}
+	tenantOf := func(i int) string {
+		if opts.tenants > 0 {
+			return fmt.Sprintf("t%d", i%opts.tenants)
+		}
+		return ""
 	}
 	work := make(chan call, requests)
 	for i := 0; i < requests; i++ {
@@ -195,10 +269,10 @@ func runLoadgen(baseURL string, clients, requests int, bodies []string, writeEve
 				writeSeq++
 				body = strings.Replace(body, "%d", strconv.FormatInt(writeSeq, 10), 1)
 			}
-			work <- call{path: "/ingest", body: body}
+			work <- call{path: "/ingest", body: body, ten: tenantOf(i)}
 			continue
 		}
-		work <- call{path: "/query", body: bodies[i%len(bodies)]}
+		work <- call{path: "/query", body: bodies[i%len(bodies)], ten: tenantOf(i)}
 	}
 	close(work)
 
@@ -209,10 +283,27 @@ func runLoadgen(baseURL string, clients, requests int, bodies []string, writeEve
 		go func() {
 			defer wg.Done()
 			for w := range work {
+				tenantID := w.ten
+				if tenantID == "" {
+					tenantID = "anon"
+				}
 				if stream && w.path == "/query" {
-					ttfr, total, code, ok, failed, err := streamOnce(hc, baseURL, w.body)
+					ttfr, total, code, ok, failed, err := streamOnce(hc, baseURL, w.body, w.ten, opts.class)
 					mu.Lock()
 					reads++
+					if opts.perTenant() {
+						a := agg(tenantID)
+						a.requests++
+						switch {
+						case err != nil:
+							a.netErrs++
+						default:
+							a.status[code]++
+							if code >= 200 && code < 300 && ok && !failed {
+								a.latencies = append(a.latencies, total)
+							}
+						}
+					}
 					switch {
 					case err != nil:
 						netErrs++
@@ -239,13 +330,25 @@ func runLoadgen(baseURL string, clients, requests int, bodies []string, writeEve
 					continue
 				}
 				rt0 := time.Now()
-				resp, err := hc.Post(baseURL+w.path, "application/json", bytes.NewReader([]byte(w.body)))
+				resp, err := postJSON(hc, baseURL+w.path, w.body, w.ten, opts.class)
 				lat := time.Since(rt0)
 				mu.Lock()
 				if w.path == "/ingest" {
 					writes++
 				} else {
 					reads++
+				}
+				if opts.perTenant() && w.path == "/query" {
+					a := agg(tenantID)
+					a.requests++
+					if err != nil {
+						a.netErrs++
+					} else {
+						a.status[resp.StatusCode]++
+						if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+							a.latencies = append(a.latencies, lat)
+						}
+					}
 				}
 				if err != nil {
 					netErrs++
@@ -266,7 +369,52 @@ func runLoadgen(baseURL string, clients, requests int, bodies []string, writeEve
 			}
 		}()
 	}
+	// The abuser tenant fires unpaced from dedicated goroutines for as long
+	// as the configured run lasts — extra traffic beyond -requests, so it is
+	// accounted per-tenant but kept out of the headline served/latency
+	// numbers. The interesting outcome is server-side: with a low
+	// -tenant-quota for "abuser" its row fills with 429s while the
+	// well-behaved tenants' percentiles stay flat.
+	stopAbuse := make(chan struct{})
+	var awg sync.WaitGroup
+	if opts.abuser {
+		abuseBody := bodies[0]
+		for c := 0; c < 4; c++ {
+			awg.Add(1)
+			go func() {
+				defer awg.Done()
+				for {
+					select {
+					case <-stopAbuse:
+						return
+					default:
+					}
+					rt0 := time.Now()
+					resp, err := postJSON(hc, baseURL+"/query", abuseBody, "abuser", opts.class)
+					lat := time.Since(rt0)
+					mu.Lock()
+					a := agg("abuser")
+					a.requests++
+					if err != nil {
+						a.netErrs++
+					} else {
+						a.status[resp.StatusCode]++
+						if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+							a.latencies = append(a.latencies, lat)
+						}
+					}
+					mu.Unlock()
+					if resp != nil {
+						_, _ = io.Copy(io.Discard, resp.Body)
+						_ = resp.Body.Close()
+					}
+				}
+			}()
+		}
+	}
 	wg.Wait()
+	close(stopAbuse)
+	awg.Wait()
 	elapsed := time.Since(t0)
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
@@ -313,7 +461,45 @@ func runLoadgen(baseURL string, clients, requests int, bodies []string, writeEve
 	if netErrs > 0 {
 		fmt.Printf("  network errors %d\n", netErrs)
 	}
+	if opts.perTenant() {
+		ids := make([]string, 0, len(aggs))
+		for id := range aggs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Printf("  tenants:\n")
+		for _, id := range ids {
+			a := aggs[id]
+			sort.Slice(a.latencies, func(i, j int) bool { return a.latencies[i] < a.latencies[j] })
+			fmt.Printf("    %-10s %6d reqs, %6d served, %5d rate-limited(429), %5d 503, p50=%s p99=%s\n",
+				id, a.requests, len(a.latencies), a.status[429], a.status[503],
+				pctOf(a.latencies, 0.50).Round(time.Microsecond),
+				pctOf(a.latencies, 0.99).Round(time.Microsecond))
+		}
+	}
 	printServerStats(hc, baseURL)
+	if opts.fairBound > 0 {
+		// The isolation assertion: pool every non-abuser tenant's served
+		// reads and require their p99 under the bound — the abuser may be
+		// drowning in 429s, but it must not drag the others' tail with it.
+		var well []time.Duration
+		for id, a := range aggs {
+			if id != "abuser" {
+				well = append(well, a.latencies...)
+			}
+		}
+		sort.Slice(well, func(i, j int) bool { return well[i] < well[j] })
+		p99 := pctOf(well, 0.99)
+		if len(well) == 0 {
+			return fmt.Errorf("fairness: no served well-behaved reads to measure")
+		}
+		if p99 > opts.fairBound {
+			return fmt.Errorf("fairness: well-behaved p99 %s exceeds -fair-bound %s",
+				p99.Round(time.Microsecond), opts.fairBound)
+		}
+		fmt.Printf("  fairness    well-behaved p99 %s within bound %s (%d served reads)\n",
+			p99.Round(time.Microsecond), opts.fairBound, len(well))
+	}
 	return nil
 }
 
@@ -346,9 +532,9 @@ func pctOf(sorted []time.Duration, q float64) time.Duration {
 // without one was cut off mid-flight), and whether that terminal record
 // was the in-band error — a query that FAILED after the 200 status line,
 // which must not count as a served read.
-func streamOnce(hc *http.Client, baseURL, body string) (ttfr, total time.Duration, code int, complete, failed bool, err error) {
+func streamOnce(hc *http.Client, baseURL, body, ten, class string) (ttfr, total time.Duration, code int, complete, failed bool, err error) {
 	t0 := time.Now()
-	resp, err := hc.Post(baseURL+"/query/stream", "application/json", bytes.NewReader([]byte(body)))
+	resp, err := postJSON(hc, baseURL+"/query/stream", body, ten, class)
 	if err != nil {
 		return 0, 0, 0, false, false, err
 	}
@@ -404,6 +590,12 @@ func printServerStats(hc *http.Client, baseURL string) {
 		ExecMaxParallel    float64            `json:"executor_max_parallel"`
 		RequestLatencyUS   map[string]float64 `json:"request_latency_us"`
 		StreamTTFRUS       map[string]float64 `json:"stream_ttfr_us"`
+		TenantCount        int64              `json:"tenant_count"`
+		TenantRatelimited  int64              `json:"tenant_ratelimited"`
+		ShedStream         int64              `json:"tenant_shed_stream"`
+		ShedCold           int64              `json:"tenant_shed_cold"`
+		ShedDeadline       int64              `json:"tenant_shed_deadline"`
+		BreakerRejects     int64              `json:"breaker_rejects"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		return
@@ -424,6 +616,11 @@ func printServerStats(hc *http.Client, baseURL string) {
 	}
 	fmt.Printf("  executor    %d concurrent / %d sequential plans, max node parallelism %.0f, data version %d\n",
 		stats.ExecConcurrent, stats.ExecSequential, stats.ExecMaxParallel, stats.DataVersion)
+	if shed := stats.ShedStream + stats.ShedCold + stats.ShedDeadline; stats.TenantRatelimited+shed+stats.BreakerRejects > 0 || stats.TenantCount > 1 {
+		fmt.Printf("  resilience  %d tenants, %d rate-limited, %d shed (stream %d / cold %d / deadline %d), %d breaker rejects\n",
+			stats.TenantCount, stats.TenantRatelimited, shed,
+			stats.ShedStream, stats.ShedCold, stats.ShedDeadline, stats.BreakerRejects)
+	}
 	printQuantiles("latency", stats.RequestLatencyUS)
 	printQuantiles("ttfr", stats.StreamTTFRUS)
 }

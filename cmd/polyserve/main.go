@@ -38,6 +38,13 @@ Serves SQL, natural-language, text and multi-engine program queries over a
 seeded demo deployment (see -scenario). Admission control bounds concurrent
 executions; a plan cache skips recompilation of hot queries.
 
+Requests carry a tenant identity in the X-Tenant header (default "anon") and
+a priority class in X-Priority (interactive, batch, background). Per-tenant
+token buckets, weighted-fair admission, circuit breakers and load shedding
+isolate tenants under overload (-tenant-rate, -tenant-quota,
+-shed-highwater, -breaker-*). SIGTERM drains in-flight work bounded by
+-drain-timeout before exiting.
+
 Usage:
   polyserve [flags]
 
@@ -63,6 +70,18 @@ func main() {
 	subplanCache := flag.Int64("subplancache", 64<<20, "subplan-cache byte budget for memoized intermediates shared across near-identical queries; 0 disables")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profile handlers under /debug/pprof/")
 	traceAll := flag.Bool("traceall", false, "trace every request server-side so /debug/queries captures recent and slowest executions")
+	tenantRate := flag.Float64("tenant-rate", 0, "default per-tenant request rate limit in req/s (0 = unlimited)")
+	tenantBurst := flag.Float64("tenant-burst", 0, "default per-tenant token-bucket burst (effective only with -tenant-rate > 0; clamped to >= 1)")
+	tenantQuota := flag.String("tenant-quota", "", `per-tenant quota overrides: "tenant=rate:burst[:weight],..." (weight biases weighted-fair admission)`)
+	maxTenants := flag.Int("max-tenants", 0, "bound on tracked tenant identities; least-recently-seen evicted beyond it (0 = default 1024)")
+	shedHighWater := flag.Float64("shed-highwater", 0, "load-shed high-water utilization fraction of workers+queue (0 = default 0.85; negative disables shedding)")
+	cacheShare := flag.Float64("cache-share", 0, "per-tenant fraction of result/subplan cache bytes enforced under multi-tenant contention (0 = default 0.5; >= 1 disables)")
+	breakerWindow := flag.Duration("breaker-window", 0, "circuit-breaker rolling error window (0 = default 10s)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before half-open probing (0 = default 5s)")
+	breakerMinSamples := flag.Int("breaker-min-samples", 0, "minimum requests in the window before a breaker may trip (0 = default 20)")
+	breakerRatio := flag.Float64("breaker-ratio", 0, "failure ratio that trips a tenant's breaker (0 = default 0.5)")
+	noBreaker := flag.Bool("no-breaker", false, "disable per-tenant circuit breakers")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "bound on draining in-flight requests at shutdown; new work gets 503 while draining")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -71,39 +90,55 @@ func main() {
 		os.Exit(2)
 	}
 
+	quotas, err := polystore.ParseTenantQuotas(*tenantQuota)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "polyserve: -tenant-quota: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *queue == 0 {
+		*queue = -1 // flag 0 means "no queue"; Config zero means "default"
+	}
+	if *resultCache == 0 {
+		*resultCache = -1 // flag 0 means "off"; Config zero means "default"
+	}
+	if *subplanCache == 0 {
+		*subplanCache = -1 // flag 0 means "off"; Config zero means "default"
+	}
+	cfg := polystore.ServeConfig{
+		Workers:             *workers,
+		QueueDepth:          *queue,
+		DefaultTimeout:      *timeout,
+		PlanCacheSize:       *planCache,
+		ResultCacheSize:     *resultCache,
+		SubplanCacheBytes:   *subplanCache,
+		EnablePprof:         *pprofOn,
+		TraceAll:            *traceAll,
+		TenantRate:          *tenantRate,
+		TenantBurst:         *tenantBurst,
+		TenantQuotas:        quotas,
+		MaxTenants:          *maxTenants,
+		TenantCacheShare:    *cacheShare,
+		ShedHighWater:       *shedHighWater,
+		DisableBreaker:      *noBreaker,
+		BreakerWindow:       *breakerWindow,
+		BreakerCooldown:     *breakerCooldown,
+		BreakerMinSamples:   *breakerMinSamples,
+		BreakerFailureRatio: *breakerRatio,
+		DrainTimeout:        *drainTimeout,
+	}
+
 	if err := run(*addr, *scenario, *patients, *customers, *txPerCustomer,
-		*accel, *level, *seed, *workers, *queue, *timeout, *planCache, *resultCache,
-		*subplanCache, *pprofOn, *traceAll); err != nil {
+		*accel, *level, *seed, cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "polyserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, scenario string, patients, customers, txPerCustomer int,
-	accel bool, level int, seed int64, workers, queue int,
-	timeout time.Duration, planCache, resultCache int, subplanCache int64,
-	pprofOn, traceAll bool) error {
+	accel bool, level int, seed int64, cfg polystore.ServeConfig) error {
 	rng := rand.New(rand.NewSource(seed))
 	var opts []polystore.Option
-	if queue == 0 {
-		queue = -1 // flag 0 means "no queue"; Config zero means "default"
-	}
-	if resultCache == 0 {
-		resultCache = -1 // flag 0 means "off"; Config zero means "default"
-	}
-	if subplanCache == 0 {
-		subplanCache = -1 // flag 0 means "off"; Config zero means "default"
-	}
-	cfg := polystore.ServeConfig{
-		Workers:           workers,
-		QueueDepth:        queue,
-		DefaultTimeout:    timeout,
-		PlanCacheSize:     planCache,
-		ResultCacheSize:   resultCache,
-		SubplanCacheBytes: subplanCache,
-		EnablePprof:       pprofOn,
-		TraceAll:          traceAll,
-	}
 
 	wantClinical := scenario == "clinical" || scenario == "both"
 	wantRetail := scenario == "retail" || scenario == "both"
@@ -158,7 +193,11 @@ func run(addr, scenario string, patients, customers, txPerCustomer int,
 	defer stop()
 
 	fmt.Printf("polyserve: scenario=%s listening on %s (workers=%d queue=%d timeout=%s plancache=%d resultcache=%d subplancache=%d accel=%t pprof=%t traceall=%t)\n",
-		scenario, addr, workers, queue, timeout, planCache, resultCache, subplanCache, accel, pprofOn, traceAll)
+		scenario, addr, cfg.Workers, cfg.QueueDepth, cfg.DefaultTimeout, cfg.PlanCacheSize,
+		cfg.ResultCacheSize, cfg.SubplanCacheBytes, accel, cfg.EnablePprof, cfg.TraceAll)
+	fmt.Printf("polyserve: tenancy rate=%g burst=%g quotas=%d maxtenants=%d shed=%g cacheshare=%g breaker=%t drain=%s\n",
+		cfg.TenantRate, cfg.TenantBurst, len(cfg.TenantQuotas), cfg.MaxTenants,
+		cfg.ShedHighWater, cfg.TenantCacheShare, !cfg.DisableBreaker, cfg.DrainTimeout)
 	err := sys.Serve(ctx, addr, cfg)
 	if err != nil && ctx.Err() == nil {
 		return err

@@ -10,6 +10,7 @@ import (
 	"polystorepp/internal/ir"
 	"polystorepp/internal/obs"
 	"polystorepp/internal/subplan"
+	"polystorepp/internal/tenant"
 )
 
 // Subplan cache integration: before a plan executes, the runtime probes the
@@ -51,6 +52,12 @@ func WithSubplanCacheBytes(n int64) Option {
 // the state they started with, and the old cache drains by garbage
 // collection.
 func (r *Runtime) ConfigureSubplanCache(n int64) {
+	r.ConfigureSubplanCacheShared(n, 0)
+}
+
+// ConfigureSubplanCacheShared is ConfigureSubplanCache with an explicit
+// per-tenant byte share (see subplan.NewCacheShared).
+func (r *Runtime) ConfigureSubplanCacheShared(n int64, share float64) {
 	if n < 0 {
 		r.subplan.Store(nil)
 		return
@@ -58,7 +65,7 @@ func (r *Runtime) ConfigureSubplanCache(n int64) {
 	if n == 0 {
 		n = DefaultSubplanCacheBytes
 	}
-	r.subplan.Store(&subplanState{cache: subplan.NewCache(n), flight: subplan.NewFlight()})
+	r.subplan.Store(&subplanState{cache: subplan.NewCacheShared(n, share), flight: subplan.NewFlight()})
 }
 
 // SubplanCacheStats is the structural snapshot /stats and /metrics expose.
@@ -68,6 +75,7 @@ type SubplanCacheStats struct {
 	Bytes     int64
 	MaxBytes  int64
 	Evictions int64
+	Owners    int
 }
 
 // SubplanCacheStats snapshots the subplan cache (zero value when disabled).
@@ -83,7 +91,18 @@ func (r *Runtime) SubplanCacheStats() SubplanCacheStats {
 		Bytes:     s.Bytes,
 		MaxBytes:  s.MaxBytes,
 		Evictions: s.Evictions,
+		Owners:    s.Owners,
 	}
+}
+
+// SubplanOwnerBytes snapshots per-tenant subplan cache charges (nil when
+// the cache is disabled).
+func (r *Runtime) SubplanOwnerBytes() map[string]int64 {
+	sp := r.subplan.Load()
+	if sp == nil {
+		return nil
+	}
+	return sp.cache.OwnerBytes()
 }
 
 // pendingPub is one subtree this execution will publish when its root's
@@ -102,6 +121,9 @@ type pendingPub struct {
 type planProbe struct {
 	rt *Runtime
 	sp *subplanState
+	// tenant is who this execution runs for, captured at prepare time; the
+	// cache charges published entries to it.
+	tenant string
 	// serve maps every node covered by a cache hit to its replay cost;
 	// hit roots additionally appear in out with the memoized batch.
 	// Interior served nodes yield an empty value — closedness guarantees
@@ -145,6 +167,7 @@ func (r *Runtime) prepareSubplan(ctx context.Context, plan *compiler.Plan) *plan
 	pr := &planProbe{
 		rt:      r,
 		sp:      sp,
+		tenant:  tenant.From(ctx),
 		serve:   make(map[ir.NodeID]*subplan.NodeCost),
 		out:     make(map[ir.NodeID]adapter.Value),
 		capture: make(map[ir.NodeID]bool),
@@ -381,7 +404,7 @@ func (pr *planProbe) publish(pub pendingPub) {
 		Costs:  costs,
 		Bytes:  root.out.Batch.ByteSize(),
 	}
-	if pr.sp.cache.Put(pub.key, e) {
+	if pr.sp.cache.Put(pub.key, e, pr.tenant) {
 		pr.rt.reg.Counter("core.subplan.published").Inc()
 	} else {
 		pr.rt.reg.Counter("core.subplan.bypassed").Inc()

@@ -16,6 +16,7 @@ type CostCache[V any] struct {
 	evictions  int64
 	order      *list.List // front = most recently used; values are *costEntry[V]
 	entries    map[string]*list.Element
+	onEvict    func(key string, cost int64)
 }
 
 type costEntry[V any] struct {
@@ -79,9 +80,37 @@ func (c *CostCache[V]) Put(key string, v V, cost int64) (V, bool) {
 		delete(c.entries, e.key)
 		c.cost -= e.cost
 		c.evictions++
+		if c.onEvict != nil {
+			c.onEvict(e.key, e.cost)
+		}
 	}
 	return v, true
 }
+
+// Remove evicts the entry under key, reporting whether it was present. The
+// eviction callback fires for removed entries, and removals count toward
+// Evictions.
+func (c *CostCache[V]) Remove(key string) bool {
+	el, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*costEntry[V])
+	c.order.Remove(el)
+	delete(c.entries, e.key)
+	c.cost -= e.cost
+	c.evictions++
+	if c.onEvict != nil {
+		c.onEvict(e.key, e.cost)
+	}
+	return true
+}
+
+// SetOnEvict registers fn to run whenever an entry leaves the cache (LRU
+// eviction or Remove), receiving the departing key and its charged cost.
+// Callbacks run synchronously inside Put/Remove and must not call back into
+// the cache.
+func (c *CostCache[V]) SetOnEvict(fn func(key string, cost int64)) { c.onEvict = fn }
 
 // Len returns the number of cached entries.
 func (c *CostCache[V]) Len() int { return c.order.Len() }

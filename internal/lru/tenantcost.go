@@ -1,0 +1,165 @@
+package lru
+
+import "container/list"
+
+// TenantCostCache wraps CostCache with per-owner cost accounting: every
+// entry is charged to the tenant that inserted it, and when more than one
+// tenant holds entries, each tenant's total charge is capped at a share of
+// the cost budget. A tenant flooding the cache with its own results then
+// evicts its *own* oldest entries, not everyone else's — cache pollution
+// stops being a cross-tenant attack. With a single owner (the common
+// single-tenant deployment) no share is enforced and the full budget
+// applies, so behavior is identical to a plain CostCache.
+//
+// Like CostCache, it is NOT safe for concurrent use: callers guard it with
+// their own lock.
+type TenantCostCache[V any] struct {
+	c       *CostCache[V]
+	maxCost int64
+	share   float64 // per-owner fraction of maxCost, enforced when owners > 1
+	owners  map[string]*ownerCharge
+	keys    map[string]ownedKey // mirror: key -> owner + charged cost
+}
+
+type ownerCharge struct {
+	cost  int64
+	order *list.List // key insertion order; front = oldest
+	elems map[string]*list.Element
+}
+
+type ownedKey struct {
+	owner string
+	cost  int64
+}
+
+// DefaultTenantShare is the per-tenant cost fraction when none is
+// configured: half the budget, so two contending tenants split it evenly
+// and no one tenant can hold more than half while contended.
+const DefaultTenantShare = 0.5
+
+// NewTenantCost builds a tenant-charged cache over the same bounds as
+// NewCost. share is the per-owner fraction of maxCost enforced while more
+// than one owner holds entries; share <= 0 selects DefaultTenantShare,
+// share >= 1 disables per-owner capping.
+func NewTenantCost[V any](maxEntries int, maxCost int64, share float64) *TenantCostCache[V] {
+	if share <= 0 {
+		share = DefaultTenantShare
+	}
+	t := &TenantCostCache[V]{
+		c:       NewCost[V](maxEntries, maxCost),
+		maxCost: maxCost,
+		share:   share,
+		owners:  make(map[string]*ownerCharge),
+		keys:    make(map[string]ownedKey),
+	}
+	t.c.SetOnEvict(t.uncharge)
+	return t
+}
+
+// Get returns the value under key, marking it most recently used.
+func (t *TenantCostCache[V]) Get(key string) (V, bool) { return t.c.Get(key) }
+
+// Put stores v under key with the given cost, charged to owner, with the
+// same incumbent and oversized-bypass semantics as CostCache.Put. After a
+// successful insert, if more than one owner holds entries and owner's total
+// charge exceeds its share of the budget, owner's oldest entries are
+// evicted (never the entry just inserted) until it fits.
+func (t *TenantCostCache[V]) Put(key string, v V, cost int64, owner string) (V, bool) {
+	if _, exists := t.keys[key]; exists {
+		// Incumbent: touch it and keep its value and original charge, matching
+		// CostCache's racing-fill semantics.
+		got, _ := t.c.Get(key)
+		return got, true
+	}
+	if cost < 1 {
+		cost = 1 // mirror CostCache's clamp so charges match real occupancy
+	}
+	got, ok := t.c.Put(key, v, cost)
+	if !ok {
+		return got, false
+	}
+	oc := t.owners[owner]
+	if oc == nil {
+		oc = &ownerCharge{order: list.New(), elems: make(map[string]*list.Element)}
+		t.owners[owner] = oc
+	}
+	oc.cost += cost
+	oc.elems[key] = oc.order.PushBack(key)
+	t.keys[key] = ownedKey{owner: owner, cost: cost}
+	t.enforceShare(owner, key)
+	return got, true
+}
+
+// enforceShare trims owner back under its budget share, sparing keep (the
+// entry that triggered the trim): a single entry larger than the share is
+// admitted — the global cost bound still applies — because evicting the
+// newcomer itself would make oversized inserts silently uncacheable for
+// contended tenants only.
+func (t *TenantCostCache[V]) enforceShare(owner, keep string) {
+	if t.maxCost <= 0 || t.share >= 1 || len(t.owners) < 2 {
+		return
+	}
+	limit := int64(t.share * float64(t.maxCost))
+	oc := t.owners[owner]
+	for oc != nil && oc.cost > limit && oc.order.Len() > 1 {
+		oldest := oc.order.Front().Value.(string)
+		if oldest == keep {
+			break
+		}
+		t.c.Remove(oldest) // fires uncharge via the eviction callback
+		oc = t.owners[owner]
+	}
+}
+
+// uncharge is the CostCache eviction callback: it refunds the departing
+// entry's cost to its owner's ledger.
+func (t *TenantCostCache[V]) uncharge(key string, _ int64) {
+	ok, exists := t.keys[key]
+	if !exists {
+		return
+	}
+	delete(t.keys, key)
+	oc := t.owners[ok.owner]
+	if oc == nil {
+		return
+	}
+	oc.cost -= ok.cost
+	if el, present := oc.elems[key]; present {
+		oc.order.Remove(el)
+		delete(oc.elems, key)
+	}
+	if oc.order.Len() == 0 {
+		delete(t.owners, ok.owner)
+	}
+}
+
+// Remove evicts the entry under key, reporting whether it was present.
+func (t *TenantCostCache[V]) Remove(key string) bool { return t.c.Remove(key) }
+
+// Len returns the number of cached entries.
+func (t *TenantCostCache[V]) Len() int { return t.c.Len() }
+
+// Cost returns the summed cost of the cached entries.
+func (t *TenantCostCache[V]) Cost() int64 { return t.c.Cost() }
+
+// Evictions returns how many entries have been evicted over the cache's
+// lifetime.
+func (t *TenantCostCache[V]) Evictions() int64 { return t.c.Evictions() }
+
+// Owners returns how many distinct tenants currently hold entries.
+func (t *TenantCostCache[V]) Owners() int { return len(t.owners) }
+
+// OwnerCost returns the bytes currently charged to one owner.
+func (t *TenantCostCache[V]) OwnerCost(owner string) int64 {
+	if oc := t.owners[owner]; oc != nil {
+		return oc.cost
+	}
+	return 0
+}
+
+// EachOwner visits every owner's current charge.
+func (t *TenantCostCache[V]) EachOwner(fn func(owner string, cost int64)) {
+	for owner, oc := range t.owners {
+		fn(owner, oc.cost)
+	}
+}

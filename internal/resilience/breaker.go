@@ -1,0 +1,260 @@
+// Package resilience provides the overload-protection primitives of the
+// Polystore++ serving layer: per-tenant circuit breakers and high-water-mark
+// load shedding. Together with per-tenant quotas (internal/tenant) they are
+// the middleware's answer to the principle the admission controller already
+// cites from BigDAWG: refuse work you cannot schedule — and refuse the
+// *right* work first, so graceful degradation sheds streaming and cold-cache
+// executions before cached point reads, and a tenant whose queries keep
+// failing or timing out stops burning worker deadline budget for everyone.
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// Closed: requests flow; failures are counted in a rolling window.
+	Closed BreakerState = iota
+	// Open: requests are rejected outright until the cooldown elapses.
+	Open
+	// HalfOpen: a bounded number of probe requests test recovery.
+	HalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes a Breaker. The zero value selects the documented
+// defaults.
+type BreakerConfig struct {
+	// Window is the rolling interval failure rates are computed over
+	// (default 10s), split into Buckets sub-intervals (default 10).
+	Window  time.Duration
+	Buckets int
+	// MinSamples is the minimum number of recorded outcomes inside the
+	// window before the failure ratio is trusted (default 20) — a single
+	// failed request must not open a breaker.
+	MinSamples int
+	// FailureRatio opens the breaker when failures/samples reaches it
+	// (default 0.5).
+	FailureRatio float64
+	// Cooldown is how long an open breaker rejects before probing
+	// (default 5s).
+	Cooldown time.Duration
+	// HalfOpenProbes bounds concurrent trial requests in half-open state and
+	// is the number of consecutive successes that close the breaker
+	// (default 3).
+	HalfOpenProbes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 10
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 20
+	}
+	if c.FailureRatio <= 0 {
+		c.FailureRatio = 0.5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 3
+	}
+	return c
+}
+
+// Breaker is a closed/open/half-open circuit breaker over error and timeout
+// rates in a rolling bucketed window. The serving layer keeps one per
+// tenant: a tenant whose queries persistently fail or hit their deadlines
+// trips its own breaker and is rejected cheaply (503 + Retry-After) instead
+// of occupying workers for full deadline budgets, while other tenants'
+// breakers stay closed.
+//
+// All methods take the current time explicitly so state transitions are
+// deterministic under test. Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu          sync.Mutex
+	state       BreakerState
+	buckets     []bucket // ring, one per Window/Buckets slice
+	idx         int      // current bucket
+	bucketStart time.Time
+	openedAt    time.Time
+	probes      int // half-open: in-flight probes
+	probeOKs    int // half-open: consecutive successes
+	opens       int64
+}
+
+type bucket struct {
+	ok, fail int64
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{cfg: cfg, buckets: make([]bucket, cfg.Buckets)}
+}
+
+// bucketLen is the duration one ring bucket covers.
+func (b *Breaker) bucketLen() time.Duration {
+	return b.cfg.Window / time.Duration(b.cfg.Buckets)
+}
+
+// advance rotates the ring forward to cover now, zeroing buckets that fell
+// out of the window. Called with the lock held.
+func (b *Breaker) advance(now time.Time) {
+	if b.bucketStart.IsZero() {
+		b.bucketStart = now
+		return
+	}
+	steps := int(now.Sub(b.bucketStart) / b.bucketLen())
+	if steps <= 0 {
+		return
+	}
+	if steps > len(b.buckets) {
+		steps = len(b.buckets)
+	}
+	for i := 0; i < steps; i++ {
+		b.idx = (b.idx + 1) % len(b.buckets)
+		b.buckets[b.idx] = bucket{}
+	}
+	b.bucketStart = now
+}
+
+// totals sums the window. Called with the lock held.
+func (b *Breaker) totals() (ok, fail int64) {
+	for _, bk := range b.buckets {
+		ok += bk.ok
+		fail += bk.fail
+	}
+	return ok, fail
+}
+
+// Allow reports whether a request may proceed at time now. When the breaker
+// is open it returns false plus the remaining cooldown — the honest
+// Retry-After for the 503. In half-open state up to HalfOpenProbes requests
+// are admitted as recovery probes; the rest are rejected with the bucket
+// interval as the retry hint.
+func (b *Breaker) Allow(now time.Time) (ok bool, retryAfter time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true, 0
+	case Open:
+		if rem := b.cfg.Cooldown - now.Sub(b.openedAt); rem > 0 {
+			return false, rem
+		}
+		b.state = HalfOpen
+		b.probes = 0
+		b.probeOKs = 0
+		fallthrough
+	default: // HalfOpen
+		if b.probes >= b.cfg.HalfOpenProbes {
+			return false, b.bucketLen()
+		}
+		b.probes++
+		return true, 0
+	}
+}
+
+// Record feeds one finished request's outcome at time now. Failures are
+// execution errors and deadline expiries; rejections (rate limits, queue
+// overflow, shedding) must NOT be recorded — they are the server's
+// condition, not the tenant's workload health.
+func (b *Breaker) Record(now time.Time, success bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if !success {
+			b.trip(now)
+			return
+		}
+		b.probeOKs++
+		if b.probeOKs >= b.cfg.HalfOpenProbes {
+			// Recovered: close with a clean window.
+			b.state = Closed
+			for i := range b.buckets {
+				b.buckets[i] = bucket{}
+			}
+			b.bucketStart = now
+		}
+	case Closed:
+		b.advance(now)
+		if success {
+			b.buckets[b.idx].ok++
+			return
+		}
+		b.buckets[b.idx].fail++
+		okN, failN := b.totals()
+		if n := okN + failN; n >= int64(b.cfg.MinSamples) &&
+			float64(failN)/float64(n) >= b.cfg.FailureRatio {
+			b.trip(now)
+		}
+	case Open:
+		// A request admitted before the trip finishing late: ignore.
+	}
+}
+
+// trip opens the breaker. Called with the lock held.
+func (b *Breaker) trip(now time.Time) {
+	b.state = Open
+	b.openedAt = now
+	b.opens++
+	for i := range b.buckets {
+		b.buckets[i] = bucket{}
+	}
+	b.bucketStart = now
+}
+
+// State returns the current position (advancing Open -> HalfOpen is left to
+// the next Allow, so a snapshot may read Open past the cooldown).
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return Closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens returns how many times the breaker has tripped over its lifetime.
+func (b *Breaker) Opens() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

@@ -1,0 +1,247 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func testBreaker() *Breaker {
+	return NewBreaker(BreakerConfig{
+		Window:         time.Second,
+		Buckets:        10,
+		MinSamples:     10,
+		FailureRatio:   0.5,
+		Cooldown:       time.Second,
+		HalfOpenProbes: 2,
+	})
+}
+
+func TestBreakerOpensOnFailureRate(t *testing.T) {
+	b := testBreaker()
+	now := time.Now()
+	// 5 successes + 4 failures: 9 samples, under MinSamples — stays closed.
+	for i := 0; i < 5; i++ {
+		b.Record(now, true)
+	}
+	for i := 0; i < 4; i++ {
+		b.Record(now, false)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v before MinSamples, want closed", b.State())
+	}
+	// Tenth sample is a failure: 5/10 >= 0.5 — trips.
+	b.Record(now, false)
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	ok, retry := b.Allow(now)
+	if ok {
+		t.Fatal("open breaker admitted")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retryAfter = %v", retry)
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("opens = %d", b.Opens())
+	}
+}
+
+func TestBreakerSuccessesKeepItClosed(t *testing.T) {
+	b := testBreaker()
+	now := time.Now()
+	for i := 0; i < 100; i++ {
+		b.Record(now.Add(time.Duration(i)*10*time.Millisecond), i%10 == 0) // 90% failures but...
+	}
+	// ...90% failure rate must open it, of course.
+	if b.State() != Open {
+		t.Fatal("heavy failures did not open breaker")
+	}
+	b2 := testBreaker()
+	for i := 0; i < 100; i++ {
+		b2.Record(now.Add(time.Duration(i)*10*time.Millisecond), i%10 != 0) // 10% failures
+	}
+	if b2.State() != Closed {
+		t.Fatal("10% failure rate opened breaker")
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	b := testBreaker()
+	now := time.Now()
+	for i := 0; i < 10; i++ {
+		b.Record(now, false)
+	}
+	if b.State() != Open {
+		t.Fatal("not open")
+	}
+	// Cooldown elapses: probes admitted, bounded by HalfOpenProbes.
+	later := now.Add(1100 * time.Millisecond)
+	if ok, _ := b.Allow(later); !ok {
+		t.Fatal("probe 1 rejected after cooldown")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if ok, _ := b.Allow(later); !ok {
+		t.Fatal("probe 2 rejected")
+	}
+	if ok, _ := b.Allow(later); ok {
+		t.Fatal("third concurrent probe admitted beyond HalfOpenProbes=2")
+	}
+	// Both probes succeed: closed again, clean window.
+	b.Record(later, true)
+	b.Record(later, true)
+	if b.State() != Closed {
+		t.Fatalf("state = %v after recovery, want closed", b.State())
+	}
+	if ok, _ := b.Allow(later); !ok {
+		t.Fatal("closed breaker rejected")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b := testBreaker()
+	now := time.Now()
+	for i := 0; i < 10; i++ {
+		b.Record(now, false)
+	}
+	later := now.Add(1100 * time.Millisecond)
+	if ok, _ := b.Allow(later); !ok {
+		t.Fatal("probe rejected")
+	}
+	b.Record(later, false)
+	if b.State() != Open {
+		t.Fatalf("state = %v after failed probe, want open", b.State())
+	}
+	// Fresh cooldown from the reopen.
+	if ok, _ := b.Allow(later.Add(500 * time.Millisecond)); ok {
+		t.Fatal("admitted during fresh cooldown")
+	}
+	if b.Opens() != 2 {
+		t.Fatalf("opens = %d, want 2", b.Opens())
+	}
+}
+
+func TestBreakerWindowExpiry(t *testing.T) {
+	b := testBreaker()
+	now := time.Now()
+	for i := 0; i < 9; i++ {
+		b.Record(now, false)
+	}
+	// The window (1s) rolls past: old failures age out, so one more failure
+	// does not trip.
+	b.Record(now.Add(2*time.Second), false)
+	if b.State() != Closed {
+		t.Fatal("aged-out failures still tripped breaker")
+	}
+}
+
+func TestBreakerNilSafe(t *testing.T) {
+	var b *Breaker
+	if ok, _ := b.Allow(time.Now()); !ok {
+		t.Fatal("nil breaker must admit")
+	}
+	b.Record(time.Now(), false)
+	if b.State() != Closed || b.Opens() != 0 {
+		t.Fatal("nil breaker state")
+	}
+}
+
+func TestBreakerConcurrent(t *testing.T) {
+	b := testBreaker()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			now := time.Now()
+			for i := 0; i < 500; i++ {
+				if ok, _ := b.Allow(now); ok {
+					b.Record(now, (i+g)%3 != 0)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestShedderOrder(t *testing.T) {
+	s := NewShedder(0.8)
+	// Below high water: everything admitted.
+	for _, k := range []WorkKind{KindCached, KindCold, KindStream} {
+		if v := s.Decide(k, 7, 10, 0, 4, 0); v.Shed {
+			t.Fatalf("%v shed at 70%% load", k)
+		}
+	}
+	// At high water: streams shed, cold and cached still admitted.
+	if v := s.Decide(KindStream, 8, 10, 0, 4, 0); !v.Shed || v.Reason != "stream" {
+		t.Fatalf("stream at 80%% = %+v", v)
+	}
+	if v := s.Decide(KindCold, 8, 10, 0, 4, 0); v.Shed {
+		t.Fatal("cold shed at 80%")
+	}
+	// At the cold threshold (0.8 + 0.1 = 0.9): cold shed too, cached never.
+	if v := s.Decide(KindCold, 9, 10, 0, 4, 0); !v.Shed || v.Reason != "cold" {
+		t.Fatalf("cold at 90%% = %+v", v)
+	}
+	if v := s.Decide(KindCached, 10, 10, 0, 4, 0); v.Shed {
+		t.Fatal("cached read shed")
+	}
+	if v := s.Decide(KindStream, 8, 10, 0, 4, 0); v.RetryAfter < time.Second {
+		t.Fatalf("RetryAfter = %v, want >= 1s floor", v.RetryAfter)
+	}
+}
+
+func TestShedderDeadlineAware(t *testing.T) {
+	s := NewShedder(0.8)
+	for i := 0; i < 20; i++ {
+		s.Observe(100 * time.Millisecond)
+	}
+	est := s.EstWait(8, 4) // 8 queued / 4 workers ~ 2 service times ~ 200ms
+	if est < 100*time.Millisecond || est > 400*time.Millisecond {
+		t.Fatalf("EstWait = %v", est)
+	}
+	// 50ms of budget left but ~200ms of queue ahead: shed regardless of kind
+	// or load fraction.
+	if v := s.Decide(KindCold, 2, 100, 8, 4, 50*time.Millisecond); !v.Shed || v.Reason != "deadline" {
+		t.Fatalf("deadline verdict = %+v", v)
+	}
+	// Plenty of budget: admitted.
+	if v := s.Decide(KindCold, 2, 100, 8, 4, 5*time.Second); v.Shed {
+		t.Fatalf("shed with ample budget: %+v", v)
+	}
+	// Unknown budget (0): deadline shedding skipped.
+	if v := s.Decide(KindCold, 2, 100, 8, 4, 0); v.Shed {
+		t.Fatal("shed with unknown budget")
+	}
+}
+
+func TestShedderDisabled(t *testing.T) {
+	s := NewShedder(-1)
+	if s.Enabled() {
+		t.Fatal("negative high water must disable")
+	}
+	if v := s.Decide(KindStream, 100, 10, 50, 1, time.Nanosecond); v.Shed {
+		t.Fatal("disabled shedder shed")
+	}
+	var nilShedder *Shedder
+	if v := nilShedder.Decide(KindStream, 100, 10, 50, 1, 0); v.Shed {
+		t.Fatal("nil shedder shed")
+	}
+	nilShedder.Observe(time.Second)
+}
+
+func TestShedderEWMAConverges(t *testing.T) {
+	s := NewShedder(0)
+	s.Observe(80 * time.Millisecond)
+	if got := s.ServiceEWMA(); got != 80*time.Millisecond {
+		t.Fatalf("first observation = %v", got)
+	}
+	for i := 0; i < 100; i++ {
+		s.Observe(10 * time.Millisecond)
+	}
+	if got := s.ServiceEWMA(); got > 15*time.Millisecond {
+		t.Fatalf("EWMA did not converge down: %v", got)
+	}
+}

@@ -1,0 +1,166 @@
+package resilience
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// WorkKind classifies admission-bound work by what overload should drop
+// first. The ordering encodes the serving layer's degradation policy:
+// cached point reads are nearly free and keep their hit rate (and the
+// caches warm) through an overload spike, so they are shed last; cold
+// (cache-miss) executions burn a worker for a full plan; streaming
+// executions additionally pin their worker across the client's read
+// cadence, so they go first.
+type WorkKind int
+
+const (
+	// KindCached is a read served (or likely served) from the result cache —
+	// never shed below admission's own hard bound.
+	KindCached WorkKind = iota
+	// KindCold is a buffered execution that must run the plan.
+	KindCold
+	// KindStream is a partial-result streaming execution.
+	KindStream
+)
+
+// String names the kind.
+func (k WorkKind) String() string {
+	switch k {
+	case KindCached:
+		return "cached"
+	case KindCold:
+		return "cold"
+	case KindStream:
+		return "stream"
+	}
+	return "unknown"
+}
+
+// ShedderConfig tunes a Shedder. The zero value selects the defaults; a
+// negative HighWater disables shedding entirely.
+type ShedderConfig struct {
+	// HighWater is the inflight-load fraction of admission capacity
+	// (workers + queue) above which streaming work is shed (default 0.85).
+	// Cold work is shed halfway between HighWater and full capacity; cached
+	// reads are never shed (admission's queue bound still applies to all).
+	HighWater float64
+}
+
+// DefaultHighWater is the shedding threshold when none is configured.
+const DefaultHighWater = 0.85
+
+// Shedder decides, per request, whether overload demands dropping it before
+// it queues. It also maintains an EWMA of observed service times so the
+// decision is deadline-aware: a request whose estimated queue wait already
+// exceeds its remaining deadline is shed immediately — an honest 503 now
+// instead of a certain 504 after occupying queue space.
+type Shedder struct {
+	highWater float64
+	// ewmaNS is the exponentially weighted moving average of service time in
+	// nanoseconds (atomic; alpha 1/8 applied under CAS).
+	ewmaNS atomic.Int64
+}
+
+// NewShedder builds a shedder. highWater 0 selects DefaultHighWater;
+// negative disables shedding (Decide always admits).
+func NewShedder(highWater float64) *Shedder {
+	if highWater == 0 {
+		highWater = DefaultHighWater
+	}
+	return &Shedder{highWater: highWater}
+}
+
+// Enabled reports whether the shedder ever drops anything.
+func (s *Shedder) Enabled() bool { return s != nil && s.highWater > 0 }
+
+// Observe folds one completed execution's wall time into the service-time
+// EWMA.
+func (s *Shedder) Observe(d time.Duration) {
+	if s == nil || d <= 0 {
+		return
+	}
+	for {
+		old := s.ewmaNS.Load()
+		var next int64
+		if old == 0 {
+			next = int64(d)
+		} else {
+			next = old + (int64(d)-old)/8
+		}
+		if s.ewmaNS.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ServiceEWMA returns the current service-time estimate (0 before any
+// observation).
+func (s *Shedder) ServiceEWMA() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.ewmaNS.Load())
+}
+
+// EstWait estimates how long a request entering the queue now will wait:
+// queued requests ahead of it divided across the workers, at the EWMA
+// service time.
+func (s *Shedder) EstWait(queued int64, workers int) time.Duration {
+	if s == nil || queued <= 0 || workers < 1 {
+		return 0
+	}
+	return time.Duration(queued) * s.ServiceEWMA() / time.Duration(workers)
+}
+
+// Verdict is a shed decision.
+type Verdict struct {
+	// Shed reports whether the request must be dropped (503 + Retry-After).
+	Shed bool
+	// Reason labels the drop for counters: "stream", "cold", "deadline".
+	Reason string
+	// RetryAfter is the client hint — the estimated time for load to drain
+	// below the threshold, floored at one second.
+	RetryAfter time.Duration
+}
+
+// Decide applies the degradation policy to one request. load is admission's
+// current inflight (executing + queued) count, capacity its hard bound
+// (workers + queue), queued the waiters ahead, and remaining the request's
+// deadline budget (0 when unknown — deadline shedding then skips).
+func (s *Shedder) Decide(kind WorkKind, load, capacity, queued int64, workers int, remaining time.Duration) Verdict {
+	if !s.Enabled() || capacity <= 0 {
+		return Verdict{}
+	}
+	// Deadline-aware: if the queue ahead already eats the whole budget, the
+	// request cannot finish in time no matter its kind.
+	if remaining > 0 && queued > 0 {
+		if est := s.EstWait(queued, workers); est > remaining {
+			return Verdict{Shed: true, Reason: "deadline", RetryAfter: retryHint(est - remaining)}
+		}
+	}
+	frac := float64(load) / float64(capacity)
+	switch kind {
+	case KindStream:
+		if frac >= s.highWater {
+			return Verdict{Shed: true, Reason: "stream", RetryAfter: retryHint(s.EstWait(queued, workers))}
+		}
+	case KindCold:
+		if frac >= s.highWater+(1-s.highWater)/2 {
+			return Verdict{Shed: true, Reason: "cold", RetryAfter: retryHint(s.EstWait(queued, workers))}
+		}
+	case KindCached:
+		// Never shed: a cached read holds no worker long enough to matter,
+		// and serving it keeps well-behaved tenants' p99 flat through the
+		// spike.
+	}
+	return Verdict{}
+}
+
+// retryHint floors a drain estimate to a usable Retry-After.
+func retryHint(d time.Duration) time.Duration {
+	if d < time.Second {
+		return time.Second
+	}
+	return d
+}

@@ -1,25 +1,85 @@
 package server
 
 import (
+	"container/list"
 	"context"
 	"errors"
+	"fmt"
+	"sync"
 	"sync/atomic"
+	"time"
+
+	"polystorepp/internal/tenant"
 )
 
-// ErrOverloaded is returned by the admission controller when a request
-// arrives while workers are busy and the wait queue is already full — the
-// handler maps it to HTTP 429 so load sheds at the front door instead of
-// piling up unbounded goroutines (the polystore equivalent of BigDAWG's
-// middleware refusing work it cannot schedule).
+// ErrOverloaded is the sentinel admission failures match with errors.Is.
+// The concrete error is always an *OverloadError carrying the queue depth
+// at rejection time, so the handler can emit an honest Retry-After instead
+// of a hard-coded hint.
 var ErrOverloaded = errors.New("server: overloaded, queue full")
 
-// admission is a bounded worker pool with a bounded wait queue. At most
-// `workers` requests execute concurrently; at most `queue` more may wait for
-// a worker. Anything beyond that is rejected immediately.
+// OverloadError reports an admission rejection: the wait queue was already
+// full when the request arrived. It matches ErrOverloaded under errors.Is
+// (the polystore equivalent of BigDAWG's middleware refusing work it cannot
+// schedule — load sheds at the front door instead of piling up unbounded
+// goroutines).
+type OverloadError struct {
+	// Depth is the number of requests queued ahead at rejection time.
+	Depth int
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("server: overloaded, queue full (%d queued)", e.Depth)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) true for every OverloadError.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// admission is a two-level scheduler in front of the bounded worker pool:
+// per-tenant token buckets gate request *rate* upstream (see tenants.go);
+// this controller schedules request *order*. At most `workers` requests
+// execute concurrently; at most `queueCap` more wait. Waiters are grouped
+// into flows keyed (tenant, class) and granted worker slots weighted-fair
+// by virtual time: each grant advances its flow's clock by 1/weight, and
+// the flow with the smallest clock wins the next free worker. One abusive
+// tenant with a thousand queued requests therefore gets the same grant rate
+// as a well-behaved tenant with two — its surplus just waits (or overflows
+// into typed OverloadError rejections), while priority classes weight
+// interactive grants over batch over background. A single-tenant
+// deployment has exactly one flow, which degenerates to the FIFO semaphore
+// this scheduler replaced.
 type admission struct {
-	sem   chan struct{} // worker slots
-	limit int64         // workers + queue
-	load  atomic.Int64  // executing + queued
+	mu       sync.Mutex
+	workers  int
+	queueCap int
+	running  int
+	flows    map[flowKey]*admFlow
+	vclock   float64 // virtual time of the last grant
+
+	// Lock-free mirrors for the hot read paths (shedding checks, /healthz,
+	// /stats, /metrics).
+	load  atomic.Int64 // executing + queued
+	depth atomic.Int64 // queued only
+}
+
+// flowKey identifies one weighted-fair flow.
+type flowKey struct {
+	tenant string
+	class  tenant.Class
+}
+
+// admFlow is one flow's FIFO of waiters plus its virtual clock.
+type admFlow struct {
+	weight  float64
+	vtime   float64
+	waiters *list.List // of *admWaiter
+}
+
+// admWaiter is one queued request.
+type admWaiter struct {
+	grant   chan struct{}
+	flow    flowKey
+	granted bool // set under admission.mu before grant closes
 }
 
 // newAdmission builds a controller with the given worker and queue bounds
@@ -32,33 +92,162 @@ func newAdmission(workers, queue int) *admission {
 		queue = 0
 	}
 	return &admission{
-		sem:   make(chan struct{}, workers),
-		limit: int64(workers + queue),
+		workers:  workers,
+		queueCap: queue,
+		flows:    make(map[flowKey]*admFlow),
 	}
 }
 
-// acquire claims a worker slot, waiting in the queue if needed. It fails
-// with ErrOverloaded when the queue is full, or the context error if the
-// caller's deadline expires while still queued.
-func (a *admission) acquire(ctx context.Context) error {
-	if a.load.Add(1) > a.limit {
-		a.load.Add(-1)
-		return ErrOverloaded
+// acquire claims a worker slot for the given flow, waiting weighted-fair in
+// the queue if needed. It fails with an *OverloadError (errors.Is
+// ErrOverloaded) when the queue is full, or the context error if the
+// caller's deadline expires while still queued. weight <= 0 derives the
+// flow weight from the class alone.
+func (a *admission) acquire(ctx context.Context, fk flowKey, weight float64) error {
+	if weight <= 0 {
+		weight = fk.class.Weight()
 	}
+	a.mu.Lock()
+	queued := a.queuedLocked()
+	if a.running < a.workers && queued == 0 {
+		a.running++
+		a.mu.Unlock()
+		a.load.Add(1)
+		return nil
+	}
+	if queued >= a.queueCap {
+		a.mu.Unlock()
+		return &OverloadError{Depth: queued}
+	}
+	w := &admWaiter{grant: make(chan struct{}), flow: fk}
+	f := a.flows[fk]
+	if f == nil {
+		// New (or re-activated) flows start at the global virtual clock:
+		// they compete fairly from now on but earn no credit for idle time.
+		f = &admFlow{weight: weight, vtime: a.vclock, waiters: list.New()}
+		a.flows[fk] = f
+	}
+	f.weight = weight // later arrivals may carry an updated quota weight
+	f.waiters.PushBack(w)
+	a.depth.Add(1)
+	a.load.Add(1)
+	// A worker may have freed between the fast-path check and the enqueue.
+	a.dispatchLocked()
+	a.mu.Unlock()
+
 	select {
-	case a.sem <- struct{}{}:
+	case <-w.grant:
 		return nil
 	case <-ctx.Done():
-		a.load.Add(-1)
+		a.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation: the slot is ours, so return
+			// it through the normal release path before reporting the error.
+			a.mu.Unlock()
+			a.release()
+			return ctx.Err()
+		}
+		a.removeWaiterLocked(w)
+		a.mu.Unlock()
 		return ctx.Err()
 	}
 }
 
-// release returns the worker slot claimed by a successful acquire.
+// release returns the worker slot claimed by a successful acquire and
+// dispatches the next weighted-fair waiter, if any.
 func (a *admission) release() {
-	<-a.sem
+	a.mu.Lock()
+	a.running--
+	a.dispatchLocked()
+	a.mu.Unlock()
 	a.load.Add(-1)
+}
+
+// dispatchLocked grants free workers to queued flows in virtual-time order.
+// Called with the lock held.
+func (a *admission) dispatchLocked() {
+	for a.running < a.workers {
+		var best *admFlow
+		var bestKey flowKey
+		for k, f := range a.flows {
+			if f.waiters.Len() == 0 {
+				continue
+			}
+			if best == nil || f.vtime < best.vtime {
+				best, bestKey = f, k
+			}
+		}
+		if best == nil {
+			return
+		}
+		el := best.waiters.Front()
+		best.waiters.Remove(el)
+		w := el.Value.(*admWaiter)
+		best.vtime += 1 / best.weight
+		if best.vtime > a.vclock {
+			a.vclock = best.vtime
+		}
+		if best.waiters.Len() == 0 {
+			delete(a.flows, bestKey)
+		}
+		a.running++
+		a.depth.Add(-1)
+		w.granted = true
+		close(w.grant)
+	}
+}
+
+// removeWaiterLocked drops a canceled waiter from its flow's queue. Called
+// with the lock held, only when the waiter was not granted.
+func (a *admission) removeWaiterLocked(w *admWaiter) {
+	f := a.flows[w.flow]
+	if f == nil {
+		return
+	}
+	for el := f.waiters.Front(); el != nil; el = el.Next() {
+		if el.Value.(*admWaiter) == w {
+			f.waiters.Remove(el)
+			a.depth.Add(-1)
+			a.load.Add(-1)
+			break
+		}
+	}
+	if f.waiters.Len() == 0 {
+		delete(a.flows, w.flow)
+	}
+}
+
+// queuedLocked counts waiters across flows. Called with the lock held.
+func (a *admission) queuedLocked() int {
+	n := 0
+	for _, f := range a.flows {
+		n += f.waiters.Len()
+	}
+	return n
 }
 
 // inflight returns the current number of executing plus queued requests.
 func (a *admission) inflight() int64 { return a.load.Load() }
+
+// queueDepth returns the current number of queued (not yet executing)
+// requests.
+func (a *admission) queueDepth() int64 { return a.depth.Load() }
+
+// capacity returns the hard admission bound (workers + queue) — the
+// denominator of the shedder's high-water fraction.
+func (a *admission) capacity() int64 { return int64(a.workers + a.queueCap) }
+
+// retryAfterHint converts a queue depth into a coarse Retry-After for 429
+// responses: the estimated time for that much queued work to drain, floored
+// at one second. svc is the observed per-request service time (0 falls back
+// to the floor).
+func retryAfterHint(depth int, workers int, svc time.Duration) time.Duration {
+	if workers < 1 {
+		workers = 1
+	}
+	d := time.Duration(depth) * svc / time.Duration(workers)
+	if d < time.Second {
+		return time.Second
+	}
+	return d
+}

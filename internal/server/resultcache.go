@@ -18,10 +18,14 @@ import (
 //
 // Admission is cost-aware: the cache is bounded by total result bytes as
 // well as entry count, and a single result larger than the whole byte budget
-// bypasses the cache instead of flushing it (lru.CostCache).
+// bypasses the cache instead of flushing it. Resident bytes are charged to
+// the tenant whose execution filled each entry, and while more than one
+// tenant holds entries each is capped at a share of the budget — one
+// tenant's churn evicts its own results, not everyone else's
+// (lru.TenantCostCache).
 type resultCache struct {
 	mu       sync.Mutex
-	entries  *lru.CostCache[resultEntry]
+	entries  *lru.TenantCostCache[resultEntry]
 	bypassed int64
 }
 
@@ -36,9 +40,11 @@ const entryOverheadBytes = 512
 
 // newResultCache returns a cache bounded to capacity entries (capacity < 1
 // is clamped to 1; callers disable caching by not constructing one) and
-// maxBytes total result bytes (<= 0 disables the byte bound).
-func newResultCache(capacity int, maxBytes int64) *resultCache {
-	return &resultCache{entries: lru.NewCost[resultEntry](capacity, maxBytes)}
+// maxBytes total result bytes (<= 0 disables the byte bound). share is the
+// per-tenant byte fraction enforced under contention (0 selects the
+// default).
+func newResultCache(capacity int, maxBytes int64, share float64) *resultCache {
+	return &resultCache{entries: lru.NewTenantCost[resultEntry](capacity, maxBytes, share)}
 }
 
 // get returns the cached outcome for key, marking it most recently used.
@@ -52,14 +58,15 @@ func (c *resultCache) get(key string) (*core.Results, *core.Report, bool) {
 	return e.res, e.rep, true
 }
 
-// put stores an executed outcome under key, charged at its payload size
-// (racing executions of the same key produce equivalent results; the
-// incumbent wins). Oversized results are bypassed, not admitted.
-func (c *resultCache) put(key string, res *core.Results, rep *core.Report) {
+// put stores an executed outcome under key, charged at its payload size to
+// owner — the tenant whose execution produced it (racing executions of the
+// same key produce equivalent results; the incumbent wins). Oversized
+// results are bypassed, not admitted.
+func (c *resultCache) put(key string, res *core.Results, rep *core.Report, owner string) {
 	cost := resultBytes(res) + entryOverheadBytes
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, admitted := c.entries.Put(key, resultEntry{res: res, rep: rep}, cost); !admitted {
+	if _, admitted := c.entries.Put(key, resultEntry{res: res, rep: rep}, cost, owner); !admitted {
 		c.bypassed++
 	}
 }
@@ -88,4 +95,13 @@ func (c *resultCache) bytes() (total, bypassed int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.entries.Cost(), c.bypassed
+}
+
+// ownerBytes snapshots per-tenant charged bytes.
+func (c *resultCache) ownerBytes() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := make(map[string]int64, c.entries.Owners())
+	c.entries.EachOwner(func(owner string, cost int64) { m[owner] = cost })
+	return m
 }

@@ -47,7 +47,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"polystorepp/internal/adapter"
@@ -59,6 +61,8 @@ import (
 	"polystorepp/internal/metrics"
 	"polystorepp/internal/obs"
 	"polystorepp/internal/partition"
+	"polystorepp/internal/resilience"
+	"polystorepp/internal/tenant"
 )
 
 // Config tunes the serving subsystem. Zero values select the documented
@@ -114,6 +118,42 @@ type Config struct {
 	// recent and slowest executions even when clients never ask for traces.
 	// Off by default: tracing is per-request opt-in via "trace": true.
 	TraceAll bool
+
+	// TenantRate / TenantBurst are the default per-tenant token bucket:
+	// sustained requests per second and burst capacity applied to every
+	// tenant without an explicit quota. Zero rate means unlimited — the
+	// single-tenant default.
+	TenantRate  float64
+	TenantBurst float64
+	// TenantQuotas overrides rate/burst/weight per tenant id (see
+	// tenant.ParseQuotas for the flag syntax).
+	TenantQuotas map[string]tenant.Quota
+	// MaxTenants bounds live per-tenant state records; beyond it the least
+	// recently seen tenant is evicted (default 1024).
+	MaxTenants int
+	// TenantCacheShare is the fraction of each byte-bounded cache (results,
+	// subplans) one tenant may occupy while other tenants hold entries
+	// (default 0.5; >= 1 disables per-tenant capping).
+	TenantCacheShare float64
+	// ShedHighWater is the inflight fraction of admission capacity above
+	// which streaming work is shed; cold executions shed halfway between it
+	// and full capacity, cached reads never (default 0.85; negative disables
+	// shedding).
+	ShedHighWater float64
+	// DisableBreaker turns off per-tenant circuit breakers (on by default).
+	DisableBreaker bool
+	// BreakerWindow / BreakerMinSamples / BreakerFailureRatio /
+	// BreakerCooldown tune the per-tenant breakers (zero values select
+	// resilience.BreakerConfig defaults: 10s window, 20 samples, 0.5 ratio,
+	// 5s cooldown).
+	BreakerWindow       time.Duration
+	BreakerMinSamples   int
+	BreakerFailureRatio float64
+	BreakerCooldown     time.Duration
+	// DrainTimeout bounds graceful shutdown: after SIGTERM the server
+	// rejects new work with 503 and gives in-flight requests (streams
+	// included) this long to finish (default 15s).
+	DrainTimeout time.Duration
 }
 
 // NLBinding names the engines the NL translator builds programs against.
@@ -156,6 +196,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxRows <= 0 {
 		c.MaxRows = 1000
 	}
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = tenant.DefaultMaxTenants
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 15 * time.Second
+	}
 	return c
 }
 
@@ -169,10 +215,17 @@ type Server struct {
 	results *resultCache // nil when disabled
 	flight  *flightGroup // nil when disabled
 	adm     *admission
+	tenants *tenantControl
 	nl      *eide.NLTranslator
 	reg     *metrics.Registry
 	mux     *http.ServeMux
 	traces  *obs.TraceLog
+
+	// draining rejects new work with 503 while in-flight requests finish
+	// (graceful shutdown); httpInflight counts requests currently inside
+	// ServeHTTP, which Drain waits on.
+	draining     atomic.Bool
+	httpInflight atomic.Int64
 
 	// touches memoizes compiler.TouchesOf per plan-cache key so the hot path
 	// builds version vectors without re-walking (or re-parsing) the program.
@@ -195,11 +248,12 @@ func New(rt *core.Runtime, opts compiler.Options, cfg Config) *Server {
 		traces:  obs.NewTraceLog(traceLogRecent, traceLogSlowest),
 		touches: lru.New[compiler.Touches](cfg.PlanCacheSize),
 	}
+	s.tenants = newTenantControl(cfg)
 	if cfg.ResultCacheSize > 0 {
-		s.results = newResultCache(cfg.ResultCacheSize, cfg.ResultCacheBytes)
+		s.results = newResultCache(cfg.ResultCacheSize, cfg.ResultCacheBytes, cfg.TenantCacheShare)
 	}
 	if cfg.SubplanCacheBytes != 0 {
-		rt.ConfigureSubplanCache(cfg.SubplanCacheBytes)
+		rt.ConfigureSubplanCacheShared(cfg.SubplanCacheBytes, cfg.TenantCacheShare)
 	}
 	if !cfg.DisableSingleFlight {
 		s.flight = newFlightGroup()
@@ -220,8 +274,56 @@ func New(rt *core.Runtime, opts compiler.Options, cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. While draining it rejects work-bearing
+// requests with 503 (observability endpoints stay up so operators can watch
+// the drain), and it counts in-flight requests so Drain can wait for them.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() && drainRejected(r.URL.Path) {
+		s.reg.Counter("server.drain.rejected").Inc()
+		w.Header().Set("Connection", "close")
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", errDraining)
+		return
+	}
+	s.httpInflight.Add(1)
+	defer s.httpInflight.Add(-1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// drainRejected reports whether a path carries work that a draining server
+// must refuse. Health, metrics and stats stay served.
+func drainRejected(path string) bool {
+	switch path {
+	case "/query", "/query/stream", "/ingest":
+		return true
+	}
+	return false
+}
+
+// StartDrain flips the server into draining mode: new work is rejected with
+// 503 while already-admitted requests (streams included) run to completion.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain blocks until every in-flight request has finished or ctx expires,
+// returning ctx's error in the latter case. Call StartDrain first or new
+// arrivals will keep the count from reaching zero.
+func (s *Server) Drain(ctx context.Context) error {
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.httpInflight.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
 
 // PlanCacheStats returns (hits, misses, size) of the plan cache.
 func (s *Server) PlanCacheStats() (hits, misses int64, size int) { return s.cache.Stats() }
@@ -268,6 +370,11 @@ type QueryRequest struct {
 	// or a trailing NDJSON trace record on /query/stream). Tracing never
 	// changes results and does not participate in cache keys.
 	Trace bool `json:"trace,omitempty"`
+	// Class is the request's priority class: "interactive" (default),
+	// "batch" or "background". Takes precedence over the X-Priority header.
+	// Classes map to weighted-fair admission weights, and never to cache
+	// keys — a cached result is the same result at any priority.
+	Class string `json:"class,omitempty"`
 }
 
 // QueryResponse is the POST /query success body.
@@ -334,14 +441,22 @@ type preparedQuery struct {
 	touches compiler.Touches
 	vv      string
 	resKey  string
+
+	// Multi-tenancy: who the request runs for, at what priority, and the
+	// weighted-fair flow weight (tenant weight x class weight).
+	tenant string
+	class  tenant.Class
+	weight float64
+	state  *tenantState
 }
 
 // prepareQuery decodes the request body, builds and checks the program, and
-// derives the deadline, options and cache keys. On failure it writes the
-// error response and returns nil (nothing has been executed yet, so plain
-// HTTP status codes still apply on both the buffered and streaming paths).
-func (s *Server) prepareQuery(w http.ResponseWriter, r *http.Request) *preparedQuery {
-	p := &preparedQuery{}
+// derives the deadline, options, cache keys and tenant flow. On failure it
+// writes the error response and returns nil (nothing has been executed yet,
+// so plain HTTP status codes still apply on both the buffered and streaming
+// paths).
+func (s *Server) prepareQuery(w http.ResponseWriter, r *http.Request, ten string, ts *tenantState) *preparedQuery {
+	p := &preparedQuery{tenant: ten, state: ts}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&p.req); err != nil {
@@ -349,6 +464,21 @@ func (s *Server) prepareQuery(w http.ResponseWriter, r *http.Request) *preparedQ
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return nil
 	}
+
+	// Priority class: request body first, X-Priority header as fallback,
+	// interactive when neither is set.
+	className := p.req.Class
+	if className == "" {
+		className = r.Header.Get(tenant.ClassHeader)
+	}
+	class, ok := tenant.ParseClass(className)
+	if !ok {
+		s.reg.Counter("server.bad_request").Inc()
+		writeError(w, http.StatusBadRequest, "unknown class %q (want interactive, batch or background)", className)
+		return nil
+	}
+	p.class = class
+	p.weight = ts.quota.AdmissionWeight(class)
 
 	var err error
 	p.prog, p.nlRule, err = s.buildProgram(&p.req)
@@ -436,16 +566,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter("server.requests").Inc()
 	t0 := time.Now()
 
-	p := s.prepareQuery(w, r)
+	ten := tenant.FromHTTP(r)
+	ts := s.tenants.state(ten)
+	if err := s.tenants.admit(ts, t0); err != nil {
+		s.writeQueryError(w, err, 0)
+		return
+	}
+
+	p := s.prepareQuery(w, r, ten, ts)
 	if p == nil {
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), p.timeout)
 	defer cancel()
+	ctx = tenant.With(ctx, ten)
 	tr := s.startTrace(p)
+	tr.Annotate("tenant", ten)
+	tr.Annotate("class", p.class.String())
 	ctx = obs.With(ctx, tr)
 
 	out, err := s.runQuery(ctx, p, nil)
+	s.tenants.finish(ts, err, time.Since(t0), time.Now())
 	tree := tr.Finish()
 	s.traces.Record(tree)
 	if err != nil {
@@ -610,16 +751,37 @@ func (s *Server) runQuery(ctx context.Context, p *preparedQuery, sink core.Resul
 // maps to 503 + Retry-After rather than to the leaders' own 499/504.
 var errLeadersGone = errors.New("server: shared execution repeatedly canceled by its leaders; retry")
 
-// executeOnce acquires a worker, compiles (through the plan cache) and
-// executes — streaming sink-node batches through sink when one is attached —
-// then publishes the outcome to the result cache.
+// executeOnce sheds or acquires a worker, compiles (through the plan cache)
+// and executes — streaming sink-node batches through sink when one is
+// attached — then publishes the outcome to the result cache. Result-cache
+// hits and single-flight followers never reach this function, which is what
+// makes the shedder's "cached reads survive overload" policy structural:
+// only work that must actually occupy a worker can be shed.
 func (s *Server) executeOnce(ctx context.Context, p *preparedQuery, sink core.ResultSink) (*core.Results, *core.Report, bool, error) {
 	tr := obs.From(ctx)
+	kind := resilience.KindCold
+	if sink != nil {
+		kind = resilience.KindStream
+	}
+	var remaining time.Duration
+	if dl, ok := ctx.Deadline(); ok {
+		remaining = time.Until(dl)
+	}
+	if v := s.tenants.shedder.Decide(kind, s.adm.inflight(), s.adm.capacity(),
+		s.adm.queueDepth(), s.cfg.Workers, remaining); v.Shed {
+		s.reg.Counter("server.shed." + v.Reason).Inc()
+		if p.state != nil {
+			p.state.shed.Add(1)
+		}
+		tr.Event("admission.shed", v.Reason)
+		return nil, nil, false, &ShedError{Reason: v.Reason, RetryAfter: v.RetryAfter}
+	}
+
 	var admT0 time.Time
 	if tr != nil {
 		admT0 = time.Now()
 	}
-	if err := s.adm.acquire(ctx); err != nil {
+	if err := s.adm.acquire(ctx, flowKey{tenant: p.tenant, class: p.class}, p.weight); err != nil {
 		return nil, nil, false, err
 	}
 	defer s.adm.release()
@@ -637,7 +799,13 @@ func (s *Server) executeOnce(ctx context.Context, p *preparedQuery, sink core.Re
 		s.reg.Counter("server.plancache.misses").Inc()
 	}
 	tr.Event("cache.plan", hitMiss(hit))
+	execT0 := time.Now()
 	res, rep, err := s.rt.ExecuteStream(ctx, plan, sink)
+	if err == nil {
+		// Feed the shedder's service-time EWMA with real execution times so
+		// its deadline-aware wait estimates track the current workload.
+		s.tenants.shedder.Observe(time.Since(execT0))
+	}
 	if err != nil {
 		return nil, nil, hit, err
 	}
@@ -650,7 +818,7 @@ func (s *Server) executeOnce(ctx context.Context, p *preparedQuery, sink core.Re
 	// gets it — one response computed over moving data is the same contract
 	// a non-caching server gives.
 	if s.results != nil && s.rt.VersionVector(p.touches) == p.vv {
-		s.results.put(p.resKey, pruneToSinks(res), rep)
+		s.results.put(p.resKey, pruneToSinks(res), rep, p.tenant)
 	}
 	return res, rep, hit, nil
 }
@@ -671,45 +839,82 @@ func pruneToSinks(res *core.Results) *core.Results {
 }
 
 // classifyQueryError maps a runQuery failure to its wire status, message
-// and whether a Retry-After hint applies, bumping the matching counter.
-// Shared by the buffered path (real HTTP status) and the streaming path
-// (in-band NDJSON error record — the status line is long gone once partial
-// results have been flushed).
-func (s *Server) classifyQueryError(err error, timeout time.Duration) (status int, msg string, retryAfter bool) {
+// and Retry-After hint (0 = none), bumping the matching counter. Shared by
+// the buffered path (real HTTP status) and the streaming path (in-band
+// NDJSON error record — the status line is long gone once partial results
+// have been flushed).
+func (s *Server) classifyQueryError(err error, timeout time.Duration) (status int, msg string, retryAfter time.Duration) {
+	var reject *RejectError
+	var oe *OverloadError
 	switch {
+	case errors.As(err, &reject):
+		// Pre-execution refusal: per-tenant rate limit (429) or open circuit
+		// breaker (503), each carrying its own honest backoff.
+		s.reg.Counter("server.tenant." + reject.Reason).Inc()
+		if reject.Status == http.StatusTooManyRequests {
+			s.reg.Counter("server.rejected").Inc()
+		}
+		return reject.Status, reject.msg, ceilSecond(reject.RetryAfter)
 	case errors.Is(err, ErrOverloaded):
 		s.reg.Counter("server.rejected").Inc()
-		return http.StatusTooManyRequests, err.Error(), true
+		// The typed error carries the queue depth at rejection time; convert
+		// it to an honest drain estimate instead of a hard-coded hint.
+		retry := time.Second
+		if errors.As(err, &oe) {
+			retry = retryAfterHint(oe.Depth, s.cfg.Workers, s.tenants.shedder.ServiceEWMA())
+		}
+		return http.StatusTooManyRequests, err.Error(), retry
+	case errors.Is(err, errShed):
+		s.reg.Counter("server.rejected").Inc()
+		retry := time.Second
+		var se *ShedError
+		if errors.As(err, &se) && se.RetryAfter > 0 {
+			retry = se.RetryAfter
+		}
+		return http.StatusServiceUnavailable, err.Error(), retry
 	case errors.Is(err, compiler.ErrCompile):
 		s.reg.Counter("server.bad_request").Inc()
-		return http.StatusBadRequest, fmt.Sprintf("compile: %v", err), false
+		return http.StatusBadRequest, fmt.Sprintf("compile: %v", err), 0
 	case errors.Is(err, errLeadersGone):
 		s.reg.Counter("server.exec_errors").Inc()
-		return http.StatusServiceUnavailable, err.Error(), true
+		return http.StatusServiceUnavailable, err.Error(), time.Second
 	case errors.Is(err, context.DeadlineExceeded):
 		s.reg.Counter("server.deadline").Inc()
-		return http.StatusGatewayTimeout, fmt.Sprintf("deadline exceeded after %s", timeout), false
+		return http.StatusGatewayTimeout, fmt.Sprintf("deadline exceeded after %s", timeout), 0
 	case errors.Is(err, context.Canceled):
 		// Client went away; the status code is never seen.
-		return 499, "canceled", false
+		return 499, "canceled", 0
 	case errors.Is(err, errStreamWrite):
 		// The streaming client stopped reading; nobody sees this either
 		// (writeStreamError counts the abort).
-		return 499, err.Error(), false
+		return 499, err.Error(), 0
 	default:
 		s.reg.Counter("server.exec_errors").Inc()
-		return http.StatusInternalServerError, fmt.Sprintf("execute: %v", err), false
+		return http.StatusInternalServerError, fmt.Sprintf("execute: %v", err), 0
 	}
 }
 
-// writeQueryError maps a runQuery failure onto the wire: admission overload
-// (429), compile rejection (400), deadline (504), client cancellation (499),
-// execution failure (500). Only valid before the first response byte — the
-// streaming handler switches to in-band error records once flushed.
+// ceilSecond rounds a backoff up to whole seconds (the Retry-After header
+// unit), minimum 1.
+func ceilSecond(d time.Duration) time.Duration {
+	if d <= 0 {
+		return time.Second
+	}
+	if r := d % time.Second; r != 0 {
+		d += time.Second - r
+	}
+	return d
+}
+
+// writeQueryError maps a runQuery failure onto the wire: rate limit or
+// admission overload (429), compile rejection (400), breaker or shed (503),
+// deadline (504), client cancellation (499), execution failure (500). Only
+// valid before the first response byte — the streaming handler switches to
+// in-band error records once flushed.
 func (s *Server) writeQueryError(w http.ResponseWriter, err error, timeout time.Duration) {
 	status, msg, retryAfter := s.classifyQueryError(err, timeout)
-	if retryAfter {
-		w.Header().Set("Retry-After", "1")
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt(int64(ceilSecond(retryAfter)/time.Second), 10))
 	}
 	writeError(w, status, "%s", msg)
 }
@@ -888,6 +1093,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	// Writes share the tenant's token bucket with queries (one entitlement
+	// per tenant, not one per endpoint) but skip the breaker: ingest failures
+	// are validation errors, not worker-budget burn.
+	ten := tenant.FromHTTP(r)
+	ts := s.tenants.state(ten)
+	ts.requests.Add(1)
+	if ok, retry := ts.bucket.Allow(time.Now()); !ok {
+		ts.ratelimited.Add(1)
+		s.reg.Counter("server.tenant.rate").Inc()
+		s.reg.Counter("server.rejected").Inc()
+		w.Header().Set("Retry-After", strconv.FormatInt(int64(ceilSecond(retry)/time.Second), 10))
+		writeError(w, http.StatusTooManyRequests, "tenant %q over its request rate", ten)
+		return
+	}
+
 	var req IngestRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -921,10 +1141,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
+		"status":   status,
 		"engines":  s.rt.Engines(),
 		"inflight": s.adm.inflight(),
+		"queued":   s.adm.queueDepth(),
+		"tenants":  s.tenants.registry.Len(),
 	})
 }
 
@@ -945,12 +1171,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.reg.Gauge("core.subplan.evictions").Set(float64(sp.Evictions))
 	}
 	s.reg.Gauge("server.inflight").Set(float64(s.adm.inflight()))
+	s.reg.Gauge("server.queued").Set(float64(s.adm.queueDepth()))
+	s.reg.Gauge("server.tenants").Set(float64(s.tenants.registry.Len()))
 	s.reg.Gauge("server.data_version").Set(float64(s.rt.DataVersion()))
+	if ewma := s.tenants.shedder.ServiceEWMA(); ewma > 0 {
+		s.reg.Gauge("server.shed.service_ewma_seconds").Set(ewma.Seconds())
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	if err := s.reg.WriteText(w); err != nil {
 		return
 	}
 	_ = s.rt.OpStats().WriteProm(w, metrics.SanitizeMetricName)
+	// Per-tenant families (tenant_*, breaker_*) carry manual labels from the
+	// bounded tenant registry — the label-free metrics registry never learns
+	// tenant names, so hostile identity floods cannot grow it.
+	s.tenants.writeProm(w)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -964,6 +1199,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resultBytes, resultBypassed = s.results.bytes()
 	}
 	spStats := s.rt.SubplanCacheStats()
+	resultOwners := map[string]int64{}
+	if s.results != nil {
+		resultOwners = s.results.ownerBytes()
+	}
+	subplanOwners := s.rt.SubplanOwnerBytes()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"requests":        s.reg.Counter("server.requests").Value(),
 		"rejected":        s.reg.Counter("server.rejected").Value(),
@@ -1019,12 +1259,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"executor_sequential_plans": s.reg.Counter("core.exec.sequential").Value(),
 		"executor_max_parallel":     s.reg.Gauge("core.exec.max_parallel").Value(),
 		"inflight":                  s.adm.inflight(),
+		"queued":                    s.adm.queueDepth(),
 		"workers":                   s.cfg.Workers,
 		"queue_depth":               max(0, s.cfg.QueueDepth),
-		"engines":                   s.rt.Engines(),
-		"default_level":             s.opts.Level,
-		"default_accel":             s.opts.Accel,
-		"default_timeout":           s.cfg.DefaultTimeout.String(),
+		// Multi-tenant resilience: per-tenant quotas, weighted-fair admission,
+		// circuit breakers and load shedding (this PR's layer).
+		"draining":           s.draining.Load(),
+		"tenant_count":       s.tenants.registry.Len(),
+		"tenant_ratelimited": s.reg.Counter("server.tenant.rate").Value(),
+		"tenant_shed_stream": s.reg.Counter("server.shed.stream").Value(),
+		"tenant_shed_cold":   s.reg.Counter("server.shed.cold").Value(),
+		"tenant_shed_deadline": s.reg.Counter(
+			"server.shed.deadline").Value(),
+		"breaker_rejects": s.reg.Counter("server.tenant.breaker").Value(),
+		"drain_rejected":  s.reg.Counter("server.drain.rejected").Value(),
+		"tenants":         s.tenants.snapshot(resultOwners, subplanOwners),
+		"engines":         s.rt.Engines(),
+		"default_level":   s.opts.Level,
+		"default_accel":   s.opts.Accel,
+		"default_timeout": s.cfg.DefaultTimeout.String(),
 		// Per-operator runtime statistics (the obs.OpStats registry) and the
 		// serving-latency quantiles — the observability surfaces PR 6 added.
 		"op_stats":           s.rt.OpStats().Snapshot(),
@@ -1049,8 +1302,10 @@ func (s *Server) latencyQuantilesUS(name string) map[string]float64 {
 	}
 }
 
-// ListenAndServe runs the server on addr until ctx is canceled, then shuts
-// down gracefully (in-flight requests get 5s to drain).
+// ListenAndServe runs the server on addr until ctx is canceled, then drains
+// gracefully: new work is rejected with 503 immediately, while in-flight
+// requests — long streams included — get Config.DrainTimeout to finish
+// before the listener is torn down.
 func ListenAndServe(ctx context.Context, addr string, s *Server) error {
 	hs := &http.Server{Addr: addr, Handler: s}
 	errc := make(chan error, 1)
@@ -1059,6 +1314,12 @@ func ListenAndServe(ctx context.Context, addr string, s *Server) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		s.StartDrain()
+		dctx, dcancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		_ = s.Drain(dctx)
+		dcancel()
+		// In-flight handlers have returned (or overstayed the drain window);
+		// Shutdown now only has idle connections to close.
 		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		return hs.Shutdown(sctx)

@@ -157,9 +157,12 @@ func TestDeadlineExceeded(t *testing.T) {
 func TestQueueOverflow429(t *testing.T) {
 	// Disable the dedup layers: identical in-flight queries would otherwise
 	// single-flight into one execution and never overflow the queue.
+	// ShedHighWater -1 disables load shedding so overflow exercises the queue
+	// bound's 429 path rather than the shedder's earlier 503.
 	ts := newTestServer(t, polystore.ServeConfig{
 		Workers: 1, QueueDepth: 1,
 		ResultCacheSize: -1, DisableSingleFlight: true,
+		ShedHighWater: -1,
 	})
 	heavy := `{"frontend":"nl","statement":"predict long stay"}`
 

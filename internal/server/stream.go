@@ -40,6 +40,7 @@ import (
 	"polystorepp/internal/ir"
 	"polystorepp/internal/metrics"
 	"polystorepp/internal/obs"
+	"polystorepp/internal/tenant"
 )
 
 // streamSchemaRecord is the first NDJSON line of a tabular stream.
@@ -215,12 +216,20 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter("server.stream.requests").Inc()
 	t0 := time.Now()
 
-	p := s.prepareQuery(w, r)
+	ten := tenant.FromHTTP(r)
+	ts := s.tenants.state(ten)
+	if err := s.tenants.admit(ts, t0); err != nil {
+		s.writeQueryError(w, err, 0)
+		return
+	}
+
+	p := s.prepareQuery(w, r, ten, ts)
 	if p == nil {
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), p.timeout)
 	defer cancel()
+	ctx = tenant.With(ctx, ten)
 
 	// Streaming writes happen while this request holds its worker slot, and
 	// a ctx deadline cannot interrupt a socket write blocked on a client
@@ -231,10 +240,13 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	_ = http.NewResponseController(w).SetWriteDeadline(time.Now().Add(p.timeout + streamWriteGrace))
 
 	tr := s.startTrace(p)
+	tr.Annotate("tenant", ten)
+	tr.Annotate("class", p.class.String())
 	ctx = obs.With(ctx, tr)
 
 	stream := newNDJSONStream(w, s.effectiveMaxRows(&p.req), s.reg, t0)
 	out, err := s.runQuery(ctx, p, stream)
+	s.tenants.finish(ts, err, time.Since(t0), time.Now())
 	tree := tr.Finish()
 	s.traces.Record(tree)
 	if err != nil {

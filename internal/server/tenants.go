@@ -1,0 +1,251 @@
+// Per-tenant serving state: every request resolves (via X-Tenant) to one
+// tenantState holding its token bucket, circuit breaker, and counters. The
+// registry is bounded (identity floods evict the least-recently-seen tenant
+// instead of growing without bound), and per-tenant observability is
+// emitted from registry snapshots rather than per-tenant metric names, so
+// hostile ids cannot leak entries into the metrics registry.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"polystorepp/internal/compiler"
+	"polystorepp/internal/resilience"
+	"polystorepp/internal/tenant"
+)
+
+// tenantState is one tenant's live serving state.
+type tenantState struct {
+	id      string
+	quota   tenant.Quota
+	bucket  *tenant.Bucket      // nil-safe: unlimited when rate <= 0
+	breaker *resilience.Breaker // nil when breakers are disabled
+
+	requests       atomic.Int64
+	ratelimited    atomic.Int64
+	shed           atomic.Int64
+	breakerRejects atomic.Int64
+	failures       atomic.Int64 // exec errors + deadline expiries
+	served         atomic.Int64 // completed (non-rejected) requests
+	latencyUS      atomic.Int64 // summed wall time of served requests
+}
+
+// tenantControl owns the per-tenant registry plus the shared load shedder.
+type tenantControl struct {
+	registry *tenant.Registry[*tenantState]
+	shedder  *resilience.Shedder
+}
+
+// newTenantControl wires quotas and breaker config into a bounded registry.
+func newTenantControl(cfg Config) *tenantControl {
+	bcfg := resilience.BreakerConfig{
+		Window:       cfg.BreakerWindow,
+		MinSamples:   cfg.BreakerMinSamples,
+		FailureRatio: cfg.BreakerFailureRatio,
+		Cooldown:     cfg.BreakerCooldown,
+	}
+	build := func(id string) *tenantState {
+		q, ok := cfg.TenantQuotas[id]
+		if !ok {
+			q = tenant.Quota{Rate: cfg.TenantRate, Burst: cfg.TenantBurst}
+		}
+		ts := &tenantState{id: id, quota: q, bucket: tenant.NewBucket(q.Rate, q.Burst)}
+		if !cfg.DisableBreaker {
+			ts.breaker = resilience.NewBreaker(bcfg)
+		}
+		return ts
+	}
+	return &tenantControl{
+		registry: tenant.NewRegistry(cfg.MaxTenants, build),
+		shedder:  resilience.NewShedder(cfg.ShedHighWater),
+	}
+}
+
+// state returns (building if first seen) the tenant's record.
+func (tc *tenantControl) state(id string) *tenantState { return tc.registry.Get(id) }
+
+// admit runs the pre-execution gates for one request: the tenant's token
+// bucket, then its circuit breaker. A nil error admits; otherwise the
+// returned error is a *RejectError carrying the wire status and Retry-After.
+func (tc *tenantControl) admit(ts *tenantState, now time.Time) error {
+	ts.requests.Add(1)
+	if ok, retry := ts.bucket.Allow(now); !ok {
+		ts.ratelimited.Add(1)
+		return &RejectError{
+			Status:     429,
+			Reason:     "rate",
+			RetryAfter: retry,
+			msg:        fmt.Sprintf("tenant %q over its request rate", ts.id),
+		}
+	}
+	if ok, retry := ts.breaker.Allow(now); !ok {
+		ts.breakerRejects.Add(1)
+		return &RejectError{
+			Status:     503,
+			Reason:     "breaker",
+			RetryAfter: retry,
+			msg:        fmt.Sprintf("tenant %q circuit breaker open", ts.id),
+		}
+	}
+	return nil
+}
+
+// finish folds one completed request into the tenant's breaker and latency
+// accounting. Rejections (rate limit, queue overflow, shedding, open
+// breaker, repeatedly-canceled leaders) are the server's condition, not the
+// tenant's workload health, so they feed neither; client-side cancellations
+// and malformed queries don't trip breakers either. What counts as failure
+// is what burns worker budget for nothing: execution errors and deadline
+// expiries.
+func (tc *tenantControl) finish(ts *tenantState, err error, wall time.Duration, now time.Time) {
+	if isRejection(err) {
+		return
+	}
+	ts.served.Add(1)
+	ts.latencyUS.Add(wall.Microseconds())
+	failure := isTenantFailure(err)
+	if failure {
+		ts.failures.Add(1)
+	}
+	ts.breaker.Record(now, !failure)
+}
+
+// isRejection reports whether err is the serving layer refusing work before
+// executing it.
+func isRejection(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *RejectError
+	return errors.Is(err, ErrOverloaded) || errors.Is(err, errShed) ||
+		errors.Is(err, errDraining) || errors.Is(err, errLeadersGone) ||
+		errors.As(err, &re)
+}
+
+// isTenantFailure reports whether err reflects the tenant's workload
+// failing (executed and errored, or ran out its deadline) — the outcomes a
+// circuit breaker exists to stop paying for.
+func isTenantFailure(err error) bool {
+	if err == nil {
+		return false
+	}
+	switch {
+	case errors.Is(err, compiler.ErrCompile), // malformed query: cheap, pre-execution
+		errors.Is(err, errStreamWrite),   // client stopped reading
+		errors.Is(err, context.Canceled): // client went away
+		return false
+	}
+	return true // execution error or context.DeadlineExceeded
+}
+
+// RejectError is a pre-execution refusal (rate limit or open breaker): the
+// request was never admitted, and the client owes a backoff of RetryAfter.
+type RejectError struct {
+	Status     int // 429 (rate) or 503 (breaker)
+	Reason     string
+	RetryAfter time.Duration
+	msg        string
+}
+
+func (e *RejectError) Error() string { return e.msg }
+
+// errShed is the sentinel shed failures match with errors.Is; concrete
+// values are *ShedError.
+var errShed = errors.New("server: overload shed")
+
+// ShedError reports that the load shedder dropped this request before it
+// queued: an honest 503 now instead of a likely 504 later.
+type ShedError struct {
+	Reason     string // "stream", "cold", "deadline"
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("server: overloaded, %s work shed", e.Reason)
+}
+
+// Is makes errors.Is(err, errShed) true for every ShedError.
+func (e *ShedError) Is(target error) bool { return target == errShed }
+
+// errDraining rejects new work while the server drains for shutdown.
+var errDraining = errors.New("server: draining for shutdown")
+
+// tenantSnapshot is one tenant's row in /stats.
+type tenantSnapshot struct {
+	Requests       int64   `json:"requests"`
+	RateLimited    int64   `json:"ratelimited"`
+	Shed           int64   `json:"shed"`
+	BreakerRejects int64   `json:"breaker_rejects"`
+	BreakerState   string  `json:"breaker_state"`
+	BreakerOpens   int64   `json:"breaker_opens"`
+	Failures       int64   `json:"failures"`
+	MeanLatencyUS  float64 `json:"mean_latency_us"`
+	ResultBytes    int64   `json:"result_cache_bytes"`
+	SubplanBytes   int64   `json:"subplan_cache_bytes"`
+}
+
+// snapshot renders every live tenant's counters, folding in per-tenant
+// cache charges from the two byte-bounded caches.
+func (tc *tenantControl) snapshot(resultBytes, subplanBytes map[string]int64) map[string]tenantSnapshot {
+	out := make(map[string]tenantSnapshot)
+	tc.registry.Each(func(id string, ts *tenantState) {
+		snap := tenantSnapshot{
+			Requests:       ts.requests.Load(),
+			RateLimited:    ts.ratelimited.Load(),
+			Shed:           ts.shed.Load(),
+			BreakerRejects: ts.breakerRejects.Load(),
+			BreakerState:   ts.breaker.State().String(),
+			BreakerOpens:   ts.breaker.Opens(),
+			Failures:       ts.failures.Load(),
+			ResultBytes:    resultBytes[id],
+			SubplanBytes:   subplanBytes[id],
+		}
+		if served := ts.served.Load(); served > 0 {
+			snap.MeanLatencyUS = float64(ts.latencyUS.Load()) / float64(served)
+		}
+		out[id] = snap
+	})
+	return out
+}
+
+// writeProm emits the per-tenant metric families in Prometheus text format
+// with manual tenant labels (the metrics registry is label-free; emitting
+// from the bounded registry snapshot keeps cardinality bounded too).
+func (tc *tenantControl) writeProm(w io.Writer) {
+	type row struct {
+		id string
+		ts *tenantState
+	}
+	var rows []row
+	tc.registry.Each(func(id string, ts *tenantState) { rows = append(rows, row{id, ts}) })
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+
+	emit := func(name, help string, value func(*tenantState) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s{tenant=%q} %d\n", name, r.id, value(r.ts))
+		}
+	}
+	emit("tenant_requests_total", "Requests received per tenant.",
+		func(ts *tenantState) int64 { return ts.requests.Load() })
+	emit("tenant_ratelimited_total", "Requests rejected by per-tenant token buckets.",
+		func(ts *tenantState) int64 { return ts.ratelimited.Load() })
+	emit("tenant_shed_total", "Requests dropped by the load shedder per tenant.",
+		func(ts *tenantState) int64 { return ts.shed.Load() })
+	emit("tenant_failures_total", "Executed requests that errored or timed out per tenant.",
+		func(ts *tenantState) int64 { return ts.failures.Load() })
+	emit("breaker_rejects_total", "Requests rejected by open circuit breakers per tenant.",
+		func(ts *tenantState) int64 { return ts.breakerRejects.Load() })
+	emit("breaker_opens_total", "Circuit breaker trips per tenant.",
+		func(ts *tenantState) int64 { return ts.breaker.Opens() })
+	fmt.Fprintf(w, "# HELP breaker_state Circuit breaker position per tenant (0=closed 1=open 2=half-open).\n# TYPE breaker_state gauge\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "breaker_state{tenant=%q} %d\n", r.id, int(r.ts.breaker.State()))
+	}
+}

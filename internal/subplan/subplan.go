@@ -71,18 +71,27 @@ func maxEntriesFor(maxBytes int64) int {
 	return n
 }
 
-// Cache is a byte-bounded, mutex-guarded LRU of subplan entries.
+// Cache is a byte-bounded, mutex-guarded LRU of subplan entries. Entries
+// are charged to the tenant whose execution published them: while more than
+// one tenant holds entries, each tenant's bytes are capped at a share of
+// the budget, so one tenant's working set cannot evict everyone else's
+// memoized intermediates (see lru.TenantCostCache).
 type Cache struct {
 	mu       sync.Mutex
-	entries  *lru.CostCache[*Entry]
+	entries  *lru.TenantCostCache[*Entry]
 	maxBytes int64
 }
 
 // NewCache returns a cache bounded to maxBytes of memoized intermediates
-// (plus per-entry overhead).
-func NewCache(maxBytes int64) *Cache {
+// (plus per-entry overhead), with the default per-tenant share.
+func NewCache(maxBytes int64) *Cache { return NewCacheShared(maxBytes, 0) }
+
+// NewCacheShared is NewCache with an explicit per-tenant cost share
+// (fraction of maxBytes one tenant may hold while others hold entries);
+// share <= 0 selects the default, >= 1 disables per-tenant capping.
+func NewCacheShared(maxBytes int64, share float64) *Cache {
 	return &Cache{
-		entries:  lru.NewCost[*Entry](maxEntriesFor(maxBytes), maxBytes),
+		entries:  lru.NewTenantCost[*Entry](maxEntriesFor(maxBytes), maxBytes, share),
 		maxBytes: maxBytes,
 	}
 }
@@ -94,13 +103,14 @@ func (c *Cache) Get(key string) (*Entry, bool) {
 	return c.entries.Get(key)
 }
 
-// Put admits e under key, charging its payload plus overhead. It reports
-// whether the key is now cached: false means the entry was oversized and
-// bypassed. A racing fill keeps the incumbent (equivalent value).
-func (c *Cache) Put(key string, e *Entry) bool {
+// Put admits e under key, charging its payload plus overhead to owner (the
+// publishing tenant). It reports whether the key is now cached: false means
+// the entry was oversized and bypassed. A racing fill keeps the incumbent
+// (equivalent value).
+func (c *Cache) Put(key string, e *Entry, owner string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	_, ok := c.entries.Put(key, e, e.Bytes+entryOverheadBytes)
+	_, ok := c.entries.Put(key, e, e.Bytes+entryOverheadBytes, owner)
 	return ok
 }
 
@@ -110,6 +120,7 @@ type Stats struct {
 	Bytes     int64
 	MaxBytes  int64
 	Evictions int64
+	Owners    int
 }
 
 // Stats snapshots entry count, charged bytes, and lifetime evictions.
@@ -121,5 +132,15 @@ func (c *Cache) Stats() Stats {
 		Bytes:     c.entries.Cost(),
 		MaxBytes:  c.maxBytes,
 		Evictions: c.entries.Evictions(),
+		Owners:    c.entries.Owners(),
 	}
+}
+
+// OwnerBytes snapshots the bytes currently charged to each tenant.
+func (c *Cache) OwnerBytes() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := make(map[string]int64, c.entries.Owners())
+	c.entries.EachOwner(func(owner string, cost int64) { m[owner] = cost })
+	return m
 }

@@ -22,7 +22,7 @@ func testEntry(t *testing.T, rows int) *Entry {
 func TestCachePutGet(t *testing.T) {
 	c := NewCache(1 << 20)
 	e := testEntry(t, 10)
-	if !c.Put("k", e) {
+	if !c.Put("k", e, "anon") {
 		t.Fatal("put bypassed a small entry")
 	}
 	got, ok := c.Get("k")
@@ -38,7 +38,7 @@ func TestCachePutGet(t *testing.T) {
 func TestCacheOversizedBypass(t *testing.T) {
 	c := NewCache(256) // smaller than any real batch + overhead
 	e := testEntry(t, 100)
-	if c.Put("k", e) {
+	if c.Put("k", e, "anon") {
 		t.Fatal("oversized entry admitted")
 	}
 	if _, ok := c.Get("k"); ok {
@@ -52,7 +52,7 @@ func TestCacheByteBoundEvicts(t *testing.T) {
 	c := NewCache(3 * per)
 	keys := []string{"a", "b", "c", "d", "e"}
 	for _, k := range keys {
-		if !c.Put(k, testEntry(t, 100)) {
+		if !c.Put(k, testEntry(t, 100), "anon") {
 			t.Fatalf("put %s bypassed", k)
 		}
 	}
@@ -75,8 +75,8 @@ func TestCacheIncumbentWins(t *testing.T) {
 	c := NewCache(1 << 20)
 	first := testEntry(t, 5)
 	second := testEntry(t, 5)
-	c.Put("k", first)
-	c.Put("k", second)
+	c.Put("k", first, "anon")
+	c.Put("k", second, "anon")
 	got, _ := c.Get("k")
 	if got != first {
 		t.Fatal("racing fill displaced the incumbent entry")

@@ -1,0 +1,143 @@
+package tenant
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Quota is one tenant's entitlement: a request-rate token bucket plus a
+// weighted-fair admission weight. The zero value means "unlimited rate,
+// weight 1" — the degenerate single-tenant configuration.
+type Quota struct {
+	// Rate is the sustained request rate in tokens per second; <= 0 means
+	// unlimited (the bucket always admits).
+	Rate float64
+	// Burst is the bucket capacity — how many requests may arrive at once
+	// after an idle period. Clamped to at least 1 when Rate > 0.
+	Burst float64
+	// Weight scales the tenant's share of admission grants relative to other
+	// tenants in the same class; < 1 is treated as 1.
+	Weight float64
+}
+
+// weight returns the effective admission weight.
+func (q Quota) weight() float64 {
+	if q.Weight < 1 {
+		return 1
+	}
+	return q.Weight
+}
+
+// AdmissionWeight combines the tenant weight with a class weight into the
+// flow weight the weighted-fair queue schedules on.
+func (q Quota) AdmissionWeight(c Class) float64 { return q.weight() * c.Weight() }
+
+// Bucket is a token bucket refilled on the monotonic clock (time.Time
+// arithmetic in Go uses the monotonic reading, so wall-clock jumps cannot
+// mint or destroy tokens). Safe for concurrent use.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 disables limiting
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// NewBucket returns a bucket that admits rate requests per second with the
+// given burst capacity, starting full. rate <= 0 builds an unlimited bucket.
+func NewBucket(rate, burst float64) *Bucket {
+	if rate > 0 && burst < 1 {
+		burst = 1
+	}
+	return &Bucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// Allow takes one token at time now. When the bucket is empty it reports
+// false plus how long until one token refills — the honest Retry-After
+// value for a 429.
+func (b *Bucket) Allow(now time.Time) (ok bool, retryAfter time.Duration) {
+	if b == nil || b.rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if dt := now.Sub(b.last); dt > 0 {
+		b.tokens += dt.Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// ParseQuotas parses a per-tenant quota override spec of the form
+//
+//	tenantA=rate:burst,tenantB=rate:burst:weight
+//
+// Rate is requests/second (0 = unlimited), burst the bucket capacity,
+// weight the optional admission weight (default 1).
+func ParseQuotas(spec string) (map[string]Quota, error) {
+	out := make(map[string]Quota)
+	if strings.TrimSpace(spec) == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, rest, ok := strings.Cut(part, "=")
+		if !ok || !ValidID(id) {
+			return nil, fmt.Errorf("tenant: bad quota entry %q (want tenant=rate:burst[:weight])", part)
+		}
+		fields := strings.Split(rest, ":")
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("tenant: bad quota value %q for %s (want rate:burst[:weight])", rest, id)
+		}
+		var q Quota
+		var err error
+		if q.Rate, err = strconv.ParseFloat(fields[0], 64); err != nil {
+			return nil, fmt.Errorf("tenant: bad rate in %q: %v", part, err)
+		}
+		if q.Burst, err = strconv.ParseFloat(fields[1], 64); err != nil {
+			return nil, fmt.Errorf("tenant: bad burst in %q: %v", part, err)
+		}
+		if len(fields) == 3 {
+			if q.Weight, err = strconv.ParseFloat(fields[2], 64); err != nil {
+				return nil, fmt.Errorf("tenant: bad weight in %q: %v", part, err)
+			}
+		}
+		out[id] = q
+	}
+	return out, nil
+}
+
+// FormatQuotas renders overrides in ParseQuotas form, sorted by tenant —
+// for startup logs and tests.
+func FormatQuotas(m map[string]Quota) string {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	parts := make([]string, 0, len(ids))
+	for _, id := range ids {
+		q := m[id]
+		if q.Weight > 1 {
+			parts = append(parts, fmt.Sprintf("%s=%g:%g:%g", id, q.Rate, q.Burst, q.Weight))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s=%g:%g", id, q.Rate, q.Burst))
+		}
+	}
+	return strings.Join(parts, ",")
+}

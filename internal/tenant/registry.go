@@ -1,0 +1,90 @@
+package tenant
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Registry is a bounded map of per-tenant state, generic over what a tenant
+// record holds (the server composes a token bucket, a circuit breaker and
+// counters into one). The bound defends the serving layer against identity
+// floods: a hostile client minting fresh tenant ids can allocate at most
+// max records, after which the least-recently-seen tenant is evicted — its
+// quota and breaker state reset to defaults on return, which is the mild
+// failure mode (a re-admitted tenant gets one fresh burst, never unbounded
+// memory).
+type Registry[T any] struct {
+	mu      sync.Mutex
+	max     int
+	build   func(id string) T
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type regEntry[T any] struct {
+	id  string
+	val T
+}
+
+// DefaultMaxTenants bounds tracked tenants when no explicit cap is given.
+const DefaultMaxTenants = 1024
+
+// NewRegistry builds a registry bounded to max live tenants (<= 0 selects
+// DefaultMaxTenants); build constructs the state for a first-seen tenant.
+func NewRegistry[T any](max int, build func(id string) T) *Registry[T] {
+	if max <= 0 {
+		max = DefaultMaxTenants
+	}
+	return &Registry[T]{
+		max:     max,
+		build:   build,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Get returns the state for id, creating it on first sight and marking it
+// most recently used. Creation beyond the bound evicts the least-recently
+// used tenant.
+func (r *Registry[T]) Get(id string) T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.entries[id]; ok {
+		r.order.MoveToFront(el)
+		return el.Value.(*regEntry[T]).val
+	}
+	v := r.build(id)
+	r.entries[id] = r.order.PushFront(&regEntry[T]{id: id, val: v})
+	for r.order.Len() > r.max {
+		oldest := r.order.Back()
+		delete(r.entries, oldest.Value.(*regEntry[T]).id)
+		r.order.Remove(oldest)
+	}
+	return v
+}
+
+// Len returns the number of live tenant records.
+func (r *Registry[T]) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.order.Len()
+}
+
+// Each visits every live tenant in most-recently-used order. The callback
+// must not call back into the registry.
+func (r *Registry[T]) Each(fn func(id string, v T)) {
+	r.mu.Lock()
+	type pair struct {
+		id string
+		v  T
+	}
+	snap := make([]pair, 0, r.order.Len())
+	for el := r.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*regEntry[T])
+		snap = append(snap, pair{e.id, e.val})
+	}
+	r.mu.Unlock()
+	for _, p := range snap {
+		fn(p.id, p.v)
+	}
+}

@@ -1,0 +1,173 @@
+package tenant
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestFromHTTP(t *testing.T) {
+	cases := []struct {
+		header string
+		want   string
+	}{
+		{"", Anon},
+		{"alice", "alice"},
+		{"team-7.staging_x", "team-7.staging_x"},
+		{"bad tenant!", Invalid},
+		{"{\"x\":1}", Invalid},
+		{string(make([]byte, MaxIDLen+1)), Invalid},
+	}
+	for _, c := range cases {
+		r, _ := http.NewRequest(http.MethodPost, "/query", nil)
+		if c.header != "" {
+			r.Header.Set(Header, c.header)
+		}
+		if got := FromHTTP(r); got != c.want {
+			t.Errorf("FromHTTP(%q) = %q, want %q", c.header, got, c.want)
+		}
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	for s, want := range map[string]Class{
+		"": Interactive, "interactive": Interactive, "batch": Batch, "background": Background,
+	} {
+		got, ok := ParseClass(s)
+		if !ok || got != want {
+			t.Errorf("ParseClass(%q) = %v, %v", s, got, ok)
+		}
+	}
+	if _, ok := ParseClass("urgent"); ok {
+		t.Error("ParseClass accepted unknown class")
+	}
+	if Interactive.Weight() <= Batch.Weight() || Batch.Weight() <= Background.Weight() {
+		t.Errorf("class weights not ordered: %g %g %g",
+			Interactive.Weight(), Batch.Weight(), Background.Weight())
+	}
+}
+
+func TestBucketRefill(t *testing.T) {
+	b := NewBucket(10, 2) // 10/s, burst 2
+	now := time.Now()
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Allow(now); !ok {
+			t.Fatalf("burst take %d rejected", i)
+		}
+	}
+	ok, retry := b.Allow(now)
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if retry <= 0 || retry > 150*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want ~100ms", retry)
+	}
+	// One token refills after 100ms at rate 10/s.
+	if ok, _ := b.Allow(now.Add(110 * time.Millisecond)); !ok {
+		t.Fatal("refilled bucket rejected")
+	}
+	// Refill never exceeds burst: after a long idle gap only 2 tokens exist.
+	later := now.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Allow(later); !ok {
+			t.Fatalf("post-idle take %d rejected", i)
+		}
+	}
+	if ok, _ := b.Allow(later); ok {
+		t.Fatal("burst cap not enforced after idle")
+	}
+}
+
+func TestBucketUnlimited(t *testing.T) {
+	b := NewBucket(0, 0)
+	for i := 0; i < 1000; i++ {
+		if ok, _ := b.Allow(time.Now()); !ok {
+			t.Fatal("unlimited bucket rejected")
+		}
+	}
+	var nilBucket *Bucket
+	if ok, _ := nilBucket.Allow(time.Now()); !ok {
+		t.Fatal("nil bucket must admit")
+	}
+}
+
+func TestParseQuotas(t *testing.T) {
+	m, err := ParseQuotas("alice=100:200,bob=5:5:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := m["alice"]; q.Rate != 100 || q.Burst != 200 || q.weight() != 1 {
+		t.Fatalf("alice = %+v", q)
+	}
+	if q := m["bob"]; q.Rate != 5 || q.Burst != 5 || q.Weight != 4 {
+		t.Fatalf("bob = %+v", q)
+	}
+	if got := FormatQuotas(m); got != "alice=100:200,bob=5:5:4" {
+		t.Fatalf("FormatQuotas = %q", got)
+	}
+	for _, bad := range []string{"=1:2", "a b=1:2", "x=1", "x=1:2:3:4", "x=y:2"} {
+		if _, err := ParseQuotas(bad); err == nil {
+			t.Errorf("ParseQuotas(%q) accepted", bad)
+		}
+	}
+	if m, err := ParseQuotas("  "); err != nil || len(m) != 0 {
+		t.Fatalf("empty spec: %v %v", m, err)
+	}
+}
+
+func TestQuotaAdmissionWeight(t *testing.T) {
+	q := Quota{Weight: 2}
+	if w := q.AdmissionWeight(Interactive); w != 32 {
+		t.Fatalf("weight = %g, want 32", w)
+	}
+	if w := (Quota{}).AdmissionWeight(Background); w != 1 {
+		t.Fatalf("zero quota background weight = %g, want 1", w)
+	}
+}
+
+func TestRegistryBound(t *testing.T) {
+	built := 0
+	r := NewRegistry(4, func(id string) *int { built++; n := len(id); return &n })
+	ids := []string{"a", "bb", "ccc", "dddd"}
+	for _, id := range ids {
+		r.Get(id)
+	}
+	if r.Len() != 4 || built != 4 {
+		t.Fatalf("len=%d built=%d", r.Len(), built)
+	}
+	// Re-get keeps identity.
+	p := r.Get("a")
+	if p != r.Get("a") {
+		t.Fatal("Get not stable")
+	}
+	// Fifth tenant evicts the least recently used ("bb": "a" was re-got).
+	r.Get("eeeee")
+	if r.Len() != 4 {
+		t.Fatalf("len=%d after eviction, want 4", r.Len())
+	}
+	seen := map[string]bool{}
+	r.Each(func(id string, _ *int) { seen[id] = true })
+	if seen["bb"] || !seen["a"] || !seen["eeeee"] {
+		t.Fatalf("eviction order wrong: %v", seen)
+	}
+	// Evicted tenant rebuilds fresh state.
+	before := built
+	r.Get("bb")
+	if built != before+1 {
+		t.Fatal("evicted tenant not rebuilt")
+	}
+}
+
+func TestContextTenant(t *testing.T) {
+	ctx := context.Background()
+	if From(ctx) != Anon {
+		t.Fatal("unset context must resolve to Anon")
+	}
+	if got := From(With(ctx, "alice")); got != "alice" {
+		t.Fatalf("From = %q", got)
+	}
+	if got := From(With(ctx, "")); got != Anon {
+		t.Fatalf("empty id From = %q", got)
+	}
+}

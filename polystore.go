@@ -38,6 +38,7 @@ import (
 	"polystorepp/internal/relational"
 	"polystorepp/internal/server"
 	"polystorepp/internal/streamstore"
+	"polystorepp/internal/tenant"
 	"polystorepp/internal/textstore"
 	"polystorepp/internal/timeseries"
 )
@@ -66,7 +67,17 @@ type (
 	ServeConfig = server.Config
 	// NLBinding names the engines the served NL translator targets.
 	NLBinding = server.NLBinding
+	// TenantQuota is one tenant's rate limit, burst allowance and
+	// weighted-fair admission weight (ServeConfig.TenantQuotas).
+	TenantQuota = tenant.Quota
 )
+
+// ParseTenantQuotas parses a "tenant=rate:burst[:weight],..." spec into a
+// ServeConfig.TenantQuotas map — the format polyserve's -tenant-quota flag
+// accepts.
+func ParseTenantQuotas(spec string) (map[string]TenantQuota, error) {
+	return tenant.ParseQuotas(spec)
+}
 
 // System is one Polystore++ deployment: engines + adapters + devices +
 // middleware. Construct with New.
