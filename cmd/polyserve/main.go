@@ -45,6 +45,11 @@ isolate tenants under overload (-tenant-rate, -tenant-quota,
 -shed-highwater, -breaker-*). SIGTERM drains in-flight work bounded by
 -drain-timeout before exiting.
 
+Adaptive feedback-driven planning is on by default: observed per-operator
+statistics cap oversized pinned partition fan-outs and inform device
+placement once confident. Results are byte-identical either way; disable
+with -no-adaptive to pin fully static planning.
+
 Usage:
   polyserve [flags]
 
@@ -82,6 +87,8 @@ func main() {
 	breakerRatio := flag.Float64("breaker-ratio", 0, "failure ratio that trips a tenant's breaker (0 = default 0.5)")
 	noBreaker := flag.Bool("no-breaker", false, "disable per-tenant circuit breakers")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "bound on draining in-flight requests at shutdown; new work gets 503 while draining")
+	adaptive := flag.Bool("adaptive", true, "adaptive feedback-driven planning: observed per-operator statistics cap pinned partition fan-outs and inform device placement")
+	noAdaptive := flag.Bool("no-adaptive", false, "disable adaptive feedback-driven planning (overrides -adaptive)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -126,6 +133,7 @@ func main() {
 		BreakerMinSamples:   *breakerMinSamples,
 		BreakerFailureRatio: *breakerRatio,
 		DrainTimeout:        *drainTimeout,
+		DisableAdaptive:     !*adaptive || *noAdaptive,
 	}
 
 	if err := run(*addr, *scenario, *patients, *customers, *txPerCustomer,
@@ -195,9 +203,10 @@ func run(addr, scenario string, patients, customers, txPerCustomer int,
 	fmt.Printf("polyserve: scenario=%s listening on %s (workers=%d queue=%d timeout=%s plancache=%d resultcache=%d subplancache=%d accel=%t pprof=%t traceall=%t)\n",
 		scenario, addr, cfg.Workers, cfg.QueueDepth, cfg.DefaultTimeout, cfg.PlanCacheSize,
 		cfg.ResultCacheSize, cfg.SubplanCacheBytes, accel, cfg.EnablePprof, cfg.TraceAll)
-	fmt.Printf("polyserve: tenancy rate=%g burst=%g quotas=%d maxtenants=%d shed=%g cacheshare=%g breaker=%t drain=%s\n",
+	fmt.Printf("polyserve: tenancy rate=%g burst=%g quotas=%d maxtenants=%d shed=%g cacheshare=%g breaker=%t drain=%s adaptive=%t\n",
 		cfg.TenantRate, cfg.TenantBurst, len(cfg.TenantQuotas), cfg.MaxTenants,
-		cfg.ShedHighWater, cfg.TenantCacheShare, !cfg.DisableBreaker, cfg.DrainTimeout)
+		cfg.ShedHighWater, cfg.TenantCacheShare, !cfg.DisableBreaker, cfg.DrainTimeout,
+		!cfg.DisableAdaptive)
 	err := sys.Serve(ctx, addr, cfg)
 	if err != nil && ctx.Err() == nil {
 		return err

@@ -15,6 +15,7 @@ import (
 	"polystorepp/internal/ir"
 	"polystorepp/internal/kvstore"
 	"polystorepp/internal/mlengine"
+	"polystorepp/internal/partition"
 	"polystorepp/internal/relational"
 	"polystorepp/internal/streamstore"
 	"polystorepp/internal/tensor"
@@ -258,7 +259,8 @@ func (a *Timeseries) exec(ctx context.Context, n *ir.Node, _ []Value, emit Batch
 		if err != nil {
 			return Value{}, info, err
 		}
-		wrs, err := a.store.WindowN(n.StringAttr("series"), n.IntAttr("from"), n.IntAttr("to"), n.IntAttr("width"), agg, int(n.IntAttr("parts")))
+		parts := partition.CapParts(ctx, int(n.IntAttr("parts")))
+		wrs, err := a.store.WindowN(n.StringAttr("series"), n.IntAttr("from"), n.IntAttr("to"), n.IntAttr("width"), agg, parts)
 		if err != nil {
 			return Value{}, info, err
 		}
@@ -286,7 +288,7 @@ func (a *Timeseries) exec(ctx context.Context, n *ir.Node, _ []Value, emit Batch
 		info.RowsOut = int64(out.Rows())
 		// The window fold's automatic fan-out is chunk-count-driven inside the
 		// store; only an explicit pin is observable here (0 = automatic).
-		info.Parts = int(n.IntAttr("parts"))
+		info.Parts = parts
 		info.Native = fmt.Sprintf("Window(%s, %d)", n.StringAttr("series"), n.IntAttr("width"))
 		info.Kernels = []KernelCall{{Class: hw.KWindowAgg, Work: hw.Work{Items: items, Bytes: items * 16}, OutBytes: out.ByteSize()}}
 		return Value{Batch: out}, info, nil

@@ -112,7 +112,7 @@ func (a *Relational) Execute(ctx context.Context, n *ir.Node, inputs []Value) (V
 			return Value{}, info, fmt.Errorf("%w: filter without pred", ErrBadNode)
 		}
 		op := relational.NewFilter(&batchSource{b: in}, pred)
-		op.Parts = int(n.IntAttr("parts"))
+		op.Parts = partition.CapParts(ctx, int(n.IntAttr("parts")))
 		out, err := relational.Run(ctx, op)
 		if err != nil {
 			return Value{}, info, err
@@ -137,7 +137,7 @@ func (a *Relational) Execute(ctx context.Context, n *ir.Node, inputs []Value) (V
 		if err != nil {
 			return Value{}, info, err
 		}
-		op.Parts = int(n.IntAttr("parts"))
+		op.Parts = partition.CapParts(ctx, int(n.IntAttr("parts")))
 		out, err := relational.Run(ctx, op)
 		if err != nil {
 			return Value{}, info, err
@@ -171,7 +171,7 @@ func (a *Relational) Execute(ctx context.Context, n *ir.Node, inputs []Value) (V
 			if err != nil {
 				return Value{}, info, err
 			}
-			op.Parts = int(n.IntAttr("parts"))
+			op.Parts = partition.CapParts(ctx, int(n.IntAttr("parts")))
 			out, err = relational.Run(ctx, op)
 			if err != nil {
 				return Value{}, info, err
@@ -240,7 +240,7 @@ func (a *Relational) Execute(ctx context.Context, n *ir.Node, inputs []Value) (V
 		if err != nil {
 			return Value{}, info, err
 		}
-		op.Parts = int(n.IntAttr("parts"))
+		op.Parts = partition.CapParts(ctx, int(n.IntAttr("parts")))
 		out, err := relational.Run(ctx, op)
 		if err != nil {
 			return Value{}, info, err
@@ -380,7 +380,7 @@ func (a *Relational) ExecuteStream(ctx context.Context, n *ir.Node, inputs []Val
 		if err != nil {
 			return Value{}, info, err
 		}
-		op.Parts = int(n.IntAttr("parts"))
+		op.Parts = partition.CapParts(ctx, int(n.IntAttr("parts")))
 		out, err := relational.RunEmit(ctx, op, emit)
 		if err != nil {
 			return Value{}, info, err

@@ -24,11 +24,13 @@ import (
 	"polystorepp/internal/adapter"
 	"polystorepp/internal/cast"
 	"polystorepp/internal/compiler"
+	"polystorepp/internal/feedback"
 	"polystorepp/internal/hw"
 	"polystorepp/internal/ir"
 	"polystorepp/internal/metrics"
 	"polystorepp/internal/migrate"
 	"polystorepp/internal/obs"
+	"polystorepp/internal/partition"
 )
 
 // Sentinel errors.
@@ -65,6 +67,12 @@ type Runtime struct {
 	// option (0 default, negative disabled).
 	subplan      atomic.Pointer[subplanState]
 	subplanBytes int64
+
+	// fb is the adaptive feedback state (feedback.go); nil disables the
+	// loop. fbCfg/fbOn carry the construction-time option.
+	fb    atomic.Pointer[feedbackState]
+	fbCfg feedback.Config
+	fbOn  bool
 }
 
 // Option configures a Runtime.
@@ -118,6 +126,9 @@ func NewRuntime(host *hw.Device, opts ...Option) *Runtime {
 		r.migrator = migrate.New(host, hw.NewRDMANIC())
 	}
 	r.ConfigureSubplanCache(r.subplanBytes)
+	if r.fbOn {
+		r.ConfigureFeedback(r.fbCfg)
+	}
 	r.preloadKernels()
 	return r
 }
@@ -346,6 +357,7 @@ func (r *Runtime) executeSequential(ctx context.Context, plan *compiler.Plan, st
 	tr := obs.From(ctx)
 	pr := r.prepareSubplan(ctx, plan)
 	defer pr.close()
+	fb := r.prepareFeedback(plan)
 	for _, id := range order {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
@@ -359,7 +371,7 @@ func (r *Runtime) executeSequential(ctx context.Context, plan *compiler.Plan, st
 				start = finish[in]
 			}
 		}
-		run := r.runNode(ctx, n, inputs, st, pr)
+		run := r.runNode(ctx, n, inputs, st, pr, fb)
 		if run.err != nil {
 			return nil, nil, fmt.Errorf("%w: node %d (%s): %w", ErrExec, id, n.Kind, run.err)
 		}
@@ -374,6 +386,7 @@ func (r *Runtime) executeSequential(ctx context.Context, plan *compiler.Plan, st
 		finish[id] = nr.Finish
 		rep.absorb(nr, run)
 		pr.onNodeCosted(id, run)
+		fb.observe(n, run)
 	}
 	rep.finalize(t0, g, finish)
 	return &Results{Values: values, Sinks: g.Sinks()}, rep, nil
@@ -425,6 +438,10 @@ type nodeRun struct {
 	// interior runs without materialized outputs.
 	rows   int
 	cached bool
+	// adaptParts/adaptWas record an adaptive fan-out override applied to
+	// this node (feedback.go): it ran at adaptParts instead of the pinned
+	// adaptWas. Zero when no override applied; surfaced on trace spans.
+	adaptParts, adaptWas int
 }
 
 // runNode performs a node's real work — adapter translation and native
@@ -432,12 +449,17 @@ type nodeRun struct {
 // st designates this node for streaming, output batches flow through the
 // sink as the adapter produces them (stream.go). Nodes covered by a
 // subplan-cache hit (pr) skip real work entirely and return a synthesized
-// run carrying the memoized batch and replay costing.
-func (r *Runtime) runNode(ctx context.Context, n *ir.Node, inputs []adapter.Value, st *nodeStream, pr *planProbe) *nodeRun {
+// run carrying the memoized batch and replay costing. An adaptive fan-out
+// override (fb) rides the context so the adapter's partition sizing sees it.
+func (r *Runtime) runNode(ctx context.Context, n *ir.Node, inputs []adapter.Value, st *nodeStream, pr *planProbe, fb *fbExec) *nodeRun {
 	if run := pr.serveNode(ctx, n, st); run != nil {
 		return run
 	}
 	run := &nodeRun{}
+	if o, ok := fb.override(n.ID); ok {
+		ctx = partition.WithMaxParts(ctx, o.parts)
+		run.adaptParts, run.adaptWas = o.parts, o.was
+	}
 	t0 := time.Now()
 	run.hostStart = t0
 	for _, in := range inputs {
@@ -574,14 +596,20 @@ func (r *Runtime) chargeKernel(n *ir.Node, call adapter.KernelCall) (*hw.Device,
 	if err != nil {
 		bestCost = hw.Zero
 	}
+	// The comparison (not the charge) blends the static host estimate with
+	// the observed wall EWMA of this (engine, op) once feedback is confident
+	// — placement decisions track measured reality while simulated Reports
+	// stay within the static cost model.
+	bestSeconds := r.observedHostSeconds(n, bestCost.Seconds)
 	offload := false
 	for _, d := range r.accels {
 		est, err := estimateOffload(d, r.mode, call)
 		if err != nil {
 			continue
 		}
-		if est.Seconds < bestCost.Seconds {
+		if est.Seconds < bestSeconds {
 			bestDev, bestCost, offload = d, est, true
+			bestSeconds = est.Seconds
 		}
 	}
 	if !offload {

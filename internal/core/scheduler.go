@@ -74,6 +74,7 @@ func (r *Runtime) executeConcurrent(ctx context.Context, plan *compiler.Plan, st
 	tr := obs.From(ctx)
 	pr := r.prepareSubplan(ctx, plan)
 	defer pr.close()
+	fb := r.prepareFeedback(plan)
 
 	// execCtx cancels every in-flight worker when the coordinator returns
 	// early (error or caller cancellation).
@@ -101,6 +102,7 @@ func (r *Runtime) executeConcurrent(ctx context.Context, plan *compiler.Plan, st
 		st:        st,
 		tr:        tr,
 		pr:        pr,
+		fb:        fb,
 	}
 	// Create every queue before any dispatch (workers never mutate the map),
 	// each sized to the nodes it will ever receive so dispatching never
@@ -191,6 +193,7 @@ func (r *Runtime) executeConcurrent(ctx context.Context, plan *compiler.Plan, st
 		finish[id] = nr.Finish
 		rep.absorb(nr, sn.run)
 		pr.onNodeCosted(id, sn.run)
+		fb.observe(sn.n, sn.run)
 	}
 
 	// Tear down the pools; in-flight adapter calls observe the cancellation.
@@ -233,6 +236,10 @@ type scheduler struct {
 	// decision maps are read-only during execution, so workers consult it
 	// without coordination.
 	pr *planProbe
+	// fb is the execution's feedback state (nil when disabled); the override
+	// map is read-only during execution, so workers consult it without
+	// coordination, and only the coordinator feeds observations back.
+	fb *fbExec
 
 	inflight    atomic.Int32
 	maxInflight atomic.Int32
@@ -265,7 +272,7 @@ func (s *scheduler) runScheduled(ctx context.Context, sn *schedNode) {
 		// writes.
 		inputs[i] = s.nodes[in].run.out
 	}
-	sn.run = s.rt.runNode(ctx, sn.n, inputs, s.st, s.pr)
+	sn.run = s.rt.runNode(ctx, sn.n, inputs, s.st, s.pr, s.fb)
 	sn.run.queue = queued
 	close(sn.done)
 	if sn.run.err != nil {

@@ -299,7 +299,7 @@ func TestSubplanMidFlightWriteSkipsPublish(t *testing.T) {
 		for i, in := range n.Inputs {
 			inputs[i] = values[in]
 		}
-		run := rt.runNode(ctx, n, inputs, nil, pr)
+		run := rt.runNode(ctx, n, inputs, nil, pr, nil)
 		if run.err != nil {
 			t.Fatal(run.err)
 		}

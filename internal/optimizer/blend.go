@@ -1,0 +1,35 @@
+package optimizer
+
+// Observed-cost blending: the bridge between the static LogCA cost models
+// the DSE/pareto machinery and the runtime's device choice plan from, and
+// the wall times the feedback store actually measured. Static estimates
+// are never discarded — the blend weight ramps with sample confidence and
+// is capped, so one anomalous burst of observations cannot fully override
+// the model, and cold keys (below the confidence threshold) stay purely
+// static.
+
+// maxObservedWeight caps how much of the blended estimate observation may
+// contribute: even an arbitrarily confident EWMA keeps a static floor, so
+// a workload shift is re-learned from a model-anchored estimate instead of
+// a fully unmoored one.
+const maxObservedWeight = 0.75
+
+// BlendedSeconds blends a static cost-model estimate with an observed mean
+// (both in seconds) by sample confidence: below confident samples the
+// static estimate is returned untouched; above it the observed weight is
+// samples/(samples+confident), capped at maxObservedWeight. Non-positive
+// observed values (nothing measured) also fall back to the static
+// estimate.
+func BlendedSeconds(static, observed float64, samples, confident int64) float64 {
+	if confident <= 0 {
+		confident = 1
+	}
+	if samples < confident || observed <= 0 {
+		return static
+	}
+	w := float64(samples) / float64(samples+confident)
+	if w > maxObservedWeight {
+		w = maxObservedWeight
+	}
+	return (1-w)*static + w*observed
+}

@@ -1,0 +1,43 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBlendedSecondsColdFallsBackToStatic(t *testing.T) {
+	if got := BlendedSeconds(1.0, 100.0, 2, 3); got != 1.0 {
+		t.Fatalf("below confidence: got %v, want static 1.0", got)
+	}
+	if got := BlendedSeconds(1.0, 0, 50, 3); got != 1.0 {
+		t.Fatalf("no observation: got %v, want static 1.0", got)
+	}
+}
+
+func TestBlendedSecondsConvergesTowardObserved(t *testing.T) {
+	static, observed := 1.0, 3.0
+	prev := static
+	for _, samples := range []int64{3, 10, 100, 10000} {
+		got := BlendedSeconds(static, observed, samples, 3)
+		if got < prev {
+			t.Fatalf("blend not monotone toward observed: samples=%d got=%v prev=%v", samples, got, prev)
+		}
+		if got <= static || got >= observed {
+			t.Fatalf("blend out of (static, observed): samples=%d got=%v", samples, got)
+		}
+		prev = got
+	}
+	// The cap keeps a static floor even at absurd confidence.
+	limit := (1-maxObservedWeight)*static + maxObservedWeight*observed
+	if got := BlendedSeconds(static, observed, 1<<40, 3); math.Abs(got-limit) > 1e-9 {
+		t.Fatalf("cap violated: got %v, want %v", got, limit)
+	}
+}
+
+func TestBlendedSecondsAtThreshold(t *testing.T) {
+	// Exactly at the threshold the observed weight is 1/2.
+	got := BlendedSeconds(2.0, 4.0, 3, 3)
+	if math.Abs(got-3.0) > 1e-9 {
+		t.Fatalf("at threshold: got %v, want 3.0", got)
+	}
+}

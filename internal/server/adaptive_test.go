@@ -1,0 +1,195 @@
+// Server-level tests of adaptive feedback-driven planning: with every
+// reuse layer off, an adaptive server's result payloads must be
+// byte-identical to a static server's across partition fan-outs 1/2/7/64,
+// buffered and streamed, before and after the feedback store crosses its
+// confidence threshold; /stats must expose the feedback counters; traces
+// must annotate fan-out overrides.
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"polystorepp"
+)
+
+// adaptiveOffCfg disables every reuse layer AND the feedback loop: the
+// golden, fully static server.
+func adaptiveOffCfg() polystore.ServeConfig {
+	return polystore.ServeConfig{
+		ResultCacheSize: -1, DisableSingleFlight: true,
+		Workers: 8, QueueDepth: 256, SubplanCacheBytes: -1,
+		DisableAdaptive: true,
+	}
+}
+
+// adaptiveOnCfg keeps the feedback loop (the server default) with every
+// reuse layer off, so each request truly executes and truly observes.
+func adaptiveOnCfg() polystore.ServeConfig {
+	cfg := adaptiveOffCfg()
+	cfg.DisableAdaptive = false
+	return cfg
+}
+
+// adaptivePayload is the slice of a QueryResponse the adaptive loop must
+// keep invariant: the answer itself. Simulated latency/energy are excluded
+// by design — feedback-blended device placement is history-dependent, so
+// those fields may differ between a cold and a learned server.
+type adaptivePayload struct {
+	Columns    []string `json:"columns"`
+	Rows       [][]any  `json:"rows"`
+	RowCount   int      `json:"row_count"`
+	Truncated  bool     `json:"truncated"`
+	Migrations int      `json:"migrations"`
+	Nodes      int      `json:"nodes"`
+}
+
+func adaptiveResponse(t *testing.T, raw []byte) *adaptivePayload {
+	t.Helper()
+	out := &adaptivePayload{}
+	if err := json.Unmarshal(raw, out); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, raw)
+	}
+	return out
+}
+
+// TestAdaptiveEquivalenceProperty is the acceptance suite: randomized query
+// bodies at partition fan-outs 1/2/7/64 against a static server (golden)
+// and an adaptive server queried five times each — enough rounds that the
+// feedback store crosses its confidence threshold (3 samples) mid-test and
+// fan-out overrides engage. Every round's payload must equal the golden,
+// buffered and streamed.
+func TestAdaptiveEquivalenceProperty(t *testing.T) {
+	static := newStreamTestServer(t, adaptiveOffCfg())
+	adaptive := newStreamTestServer(t, adaptiveOnCfg())
+	rng := rand.New(rand.NewSource(43))
+	bodies := randomQueryBodies(rng, 6)
+	for i, tmpl := range bodies {
+		for _, parts := range []int{1, 2, 7, 64} {
+			body := fmt.Sprintf(tmpl, parts)
+			t.Run(fmt.Sprintf("q%d_parts%d", i, parts), func(t *testing.T) {
+				code, raw := postRaw(t, static, body)
+				if code != http.StatusOK {
+					t.Fatalf("static status %d: %s", code, raw)
+				}
+				want := adaptiveResponse(t, raw)
+				for round := 0; round < 5; round++ { // cold .. past confidence
+					code, raw := postRaw(t, adaptive, body)
+					if code != http.StatusOK {
+						t.Fatalf("adaptive round %d status %d: %s", round, code, raw)
+					}
+					if got := adaptiveResponse(t, raw); !reflect.DeepEqual(got, want) {
+						t.Fatalf("round %d diverged\nbody: %s\n got: %+v\nwant: %+v",
+							round, body, got, want)
+					}
+				}
+				// Streamed execution on the learned server: same rows.
+				scode, lines, sraw := postStream(t, adaptive, body)
+				if scode != http.StatusOK {
+					t.Fatalf("stream status %d: %s", scode, sraw)
+				}
+				_, batches, terminal := splitStream(t, lines)
+				if terminal.Type == "summary" {
+					if rows := concatRows(batches); len(rows) != want.RowCount {
+						t.Fatalf("streamed %d rows, want %d", len(rows), want.RowCount)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestAdaptiveStatsAndTraceSurface drives one small-input query with an
+// absurdly pinned fan-out until the feedback store is confident, then
+// checks that (a) /stats exposes the feedback counters and records fan-out
+// overrides, and (b) a traced request annotates the overridden span with
+// the adaptive fanout and the pinned original.
+func TestAdaptiveStatsAndTraceSurface(t *testing.T) {
+	ts := newStreamTestServer(t, adaptiveOnCfg())
+	// patients holds 120 rows: a 64-way fan-out spreads < 2 rows per
+	// partition, so once confident the loop must cap it to 1.
+	body := `{"frontend":"sql","statement":"SELECT pid, age + 1 AS adj FROM patients","parts":64,"max_rows":100000}`
+	for i := 0; i < 8; i++ {
+		if code, raw := postRaw(t, ts, body); code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, raw)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"feedback_enabled", "feedback_samples", "feedback_keys",
+		"feedback_evictions", "feedback_epoch", "feedback_plans_influenced",
+		"feedback_fanout_overrides", "feedback_blended_costs",
+	} {
+		if _, ok := stats[key]; !ok {
+			t.Fatalf("/stats missing %q", key)
+		}
+	}
+	if stats["feedback_enabled"] != true {
+		t.Fatalf("feedback_enabled = %v, want true", stats["feedback_enabled"])
+	}
+	if n, _ := stats["feedback_samples"].(float64); n <= 0 {
+		t.Fatalf("feedback_samples = %v, want > 0", stats["feedback_samples"])
+	}
+	if n, _ := stats["feedback_keys"].(float64); n <= 0 {
+		t.Fatalf("feedback_keys = %v, want > 0", stats["feedback_keys"])
+	}
+	if n, _ := stats["feedback_fanout_overrides"].(float64); n <= 0 {
+		t.Fatalf("feedback_fanout_overrides = %v, want > 0 after %d warm requests",
+			stats["feedback_fanout_overrides"], 8)
+	}
+	if n, _ := stats["feedback_plans_influenced"].(float64); n <= 0 {
+		t.Fatalf("feedback_plans_influenced = %v, want > 0", stats["feedback_plans_influenced"])
+	}
+	assertAdaptiveTrace(t, ts, strings.Replace(body, `"parts":64`, `"parts":64,"trace":true`, 1))
+}
+
+// assertAdaptiveTrace fires one traced request and requires a span whose
+// adaptive annotation shows the fan-out capped below its pinned original.
+func assertAdaptiveTrace(t *testing.T, ts *httptest.Server, body string) {
+	t.Helper()
+	code, raw := postRaw(t, ts, body)
+	if code != http.StatusOK {
+		t.Fatalf("traced status %d: %s", code, raw)
+	}
+	var resp struct {
+		Trace *struct {
+			Spans []struct {
+				Kind     string `json:"kind"`
+				Adaptive *struct {
+					Fanout int `json:"fanout"`
+					Was    int `json:"was"`
+				} `json:"adaptive"`
+			} `json:"spans"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatalf("unmarshal trace: %v", err)
+	}
+	if resp.Trace == nil {
+		t.Fatalf("no trace in response: %s", raw)
+	}
+	for _, sp := range resp.Trace.Spans {
+		if sp.Adaptive != nil {
+			if sp.Adaptive.Fanout >= sp.Adaptive.Was {
+				t.Fatalf("span %s: adaptive fanout %d not below pinned %d",
+					sp.Kind, sp.Adaptive.Fanout, sp.Adaptive.Was)
+			}
+			return
+		}
+	}
+	t.Fatalf("no span carries an adaptive annotation: %s", raw)
+}

@@ -56,6 +56,7 @@ import (
 	"polystorepp/internal/compiler"
 	"polystorepp/internal/core"
 	"polystorepp/internal/eide"
+	"polystorepp/internal/feedback"
 	"polystorepp/internal/ir"
 	"polystorepp/internal/lru"
 	"polystorepp/internal/metrics"
@@ -154,6 +155,11 @@ type Config struct {
 	// rejects new work with 503 and gives in-flight requests (streams
 	// included) this long to finish (default 15s).
 	DrainTimeout time.Duration
+	// DisableAdaptive turns off the adaptive feedback loop (on by default):
+	// observed per-operator statistics capping pinned partition fan-outs
+	// and informing device placement. Results are byte-identical either way
+	// — the loop only changes execution speed and placement.
+	DisableAdaptive bool
 }
 
 // NLBinding names the engines the NL translator builds programs against.
@@ -254,6 +260,11 @@ func New(rt *core.Runtime, opts compiler.Options, cfg Config) *Server {
 	}
 	if cfg.SubplanCacheBytes != 0 {
 		rt.ConfigureSubplanCacheShared(cfg.SubplanCacheBytes, cfg.TenantCacheShare)
+	}
+	if cfg.DisableAdaptive {
+		rt.DisableFeedback()
+	} else {
+		rt.ConfigureFeedback(feedback.Config{})
 	}
 	if !cfg.DisableSingleFlight {
 		s.flight = newFlightGroup()
@@ -1170,6 +1181,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.reg.Gauge("core.subplan.bytes").Set(float64(sp.Bytes))
 		s.reg.Gauge("core.subplan.evictions").Set(float64(sp.Evictions))
 	}
+	if fb := s.rt.FeedbackStats(); fb.Enabled {
+		s.reg.Gauge("core.feedback.samples").Set(float64(fb.Samples))
+		s.reg.Gauge("core.feedback.keys").Set(float64(fb.Keys))
+		s.reg.Gauge("core.feedback.evictions").Set(float64(fb.Evictions))
+		s.reg.Gauge("core.feedback.epoch").Set(float64(fb.Epoch))
+	}
 	s.reg.Gauge("server.inflight").Set(float64(s.adm.inflight()))
 	s.reg.Gauge("server.queued").Set(float64(s.adm.queueDepth()))
 	s.reg.Gauge("server.tenants").Set(float64(s.tenants.registry.Len()))
@@ -1199,6 +1216,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resultBytes, resultBypassed = s.results.bytes()
 	}
 	spStats := s.rt.SubplanCacheStats()
+	fbStats := s.rt.FeedbackStats()
 	resultOwners := map[string]int64{}
 	if s.results != nil {
 		resultOwners = s.results.ownerBytes()
@@ -1286,6 +1304,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"partition_spawned":  pSpawned,
 		"partition_inlined":  pInlined,
 		"traces_recorded":    traceTotal,
+		// Adaptive feedback loop: runtime statistics closing the loop into
+		// partition sizing and engine placement (this PR's layer).
+		"feedback_enabled":          fbStats.Enabled,
+		"feedback_samples":          fbStats.Samples,
+		"feedback_keys":             fbStats.Keys,
+		"feedback_evictions":        fbStats.Evictions,
+		"feedback_epoch":            fbStats.Epoch,
+		"feedback_plans_influenced": s.reg.Counter("core.feedback.plans_influenced").Value(),
+		"feedback_fanout_overrides": s.reg.Counter("core.feedback.fanout_overrides").Value(),
+		"feedback_blended_costs":    s.reg.Counter("core.feedback.blended_costs").Value(),
 	})
 }
 
