@@ -614,6 +614,16 @@ func printServerStats(hc *http.Client, baseURL string) {
 		ShedCold           int64              `json:"tenant_shed_cold"`
 		ShedDeadline       int64              `json:"tenant_shed_deadline"`
 		BreakerRejects     int64              `json:"breaker_rejects"`
+		Backend            struct {
+			Kind           string `json:"kind"`
+			Durable        bool   `json:"durable"`
+			SyncPolicy     string `json:"sync_policy"`
+			WALAppends     uint64 `json:"wal_appends"`
+			WALBytes       int64  `json:"wal_bytes"`
+			WALFsyncs      uint64 `json:"wal_fsyncs"`
+			ReplayRecords  uint64 `json:"replay_records"`
+			SnapshotWrites uint64 `json:"snapshot_writes"`
+		} `json:"backend"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		return
@@ -638,6 +648,12 @@ func printServerStats(hc *http.Client, baseURL string) {
 		fmt.Printf("  resilience  %d tenants, %d rate-limited, %d shed (stream %d / cold %d / deadline %d), %d breaker rejects\n",
 			stats.TenantCount, stats.TenantRatelimited, shed,
 			stats.ShedStream, stats.ShedCold, stats.ShedDeadline, stats.BreakerRejects)
+	}
+	if stats.Backend.Durable {
+		fmt.Printf("  durability  %s sync=%s, %d WAL appends (%s, %d fsyncs), %d replayed at boot, %d snapshots\n",
+			stats.Backend.Kind, stats.Backend.SyncPolicy,
+			stats.Backend.WALAppends, fmtBytes(stats.Backend.WALBytes), stats.Backend.WALFsyncs,
+			stats.Backend.ReplayRecords, stats.Backend.SnapshotWrites)
 	}
 	printQuantiles("latency", stats.RequestLatencyUS)
 	printQuantiles("ttfr", stats.StreamTTFRUS)

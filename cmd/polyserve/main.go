@@ -29,6 +29,9 @@ import (
 	"polystorepp"
 	"polystorepp/internal/datagen"
 	"polystorepp/internal/hw"
+	"polystorepp/internal/kvstore"
+	"polystorepp/internal/relational"
+	"polystorepp/internal/timeseries"
 )
 
 func usage() {
@@ -49,6 +52,13 @@ Adaptive feedback-driven planning is on by default: observed per-operator
 statistics cap oversized pinned partition fan-outs and inform device
 placement once confident. Results are byte-identical either way; disable
 with -no-adaptive to pin fully static planning.
+
+With -data-dir the relational, timeseries and key/value engines persist
+through a write-ahead log with snapshot compaction: acknowledged ingests
+survive a crash, and a restart over the same directory recovers them instead
+of reseeding. -wal-sync trades durability for write latency (group,
+interval, off); -snapshot-bytes sets the log size that triggers compaction.
+Text and stream engines are demo-seeded only and always reseed.
 
 Usage:
   polyserve [flags]
@@ -89,6 +99,9 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "bound on draining in-flight requests at shutdown; new work gets 503 while draining")
 	adaptive := flag.Bool("adaptive", true, "adaptive feedback-driven planning: observed per-operator statistics cap pinned partition fan-outs and inform device placement")
 	noAdaptive := flag.Bool("no-adaptive", false, "disable adaptive feedback-driven planning (overrides -adaptive)")
+	dataDir := flag.String("data-dir", "", "durable storage directory: WAL + snapshot persistence for relational, timeseries and kv engines (empty = in-memory only)")
+	walSync := flag.String("wal-sync", "group", "WAL fsync policy: group (fsync before ack), interval (ack first, fsync every 100ms), off (never fsync)")
+	snapshotBytes := flag.Int64("snapshot-bytes", 0, "WAL size that triggers snapshot compaction (0 = default 8 MiB; negative disables automatic snapshots)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -137,14 +150,15 @@ func main() {
 	}
 
 	if err := run(*addr, *scenario, *patients, *customers, *txPerCustomer,
-		*accel, *level, *seed, cfg); err != nil {
+		*accel, *level, *seed, *dataDir, *walSync, *snapshotBytes, cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "polyserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, scenario string, patients, customers, txPerCustomer int,
-	accel bool, level int, seed int64, cfg polystore.ServeConfig) error {
+	accel bool, level int, seed int64, dataDir, walSync string, snapshotBytes int64,
+	cfg polystore.ServeConfig) error {
 	rng := rand.New(rand.NewSource(seed))
 	var opts []polystore.Option
 
@@ -154,14 +168,46 @@ func run(addr, scenario string, patients, customers, txPerCustomer int,
 		return fmt.Errorf("unknown scenario %q (want clinical, retail, or both)", scenario)
 	}
 
+	// With -data-dir the durable engines (relational, timeseries, kv) live on
+	// the WAL backend. A directory with prior state recovers into fresh empty
+	// stores — the demo seed only applies on first boot, so acknowledged
+	// ingests survive restarts instead of being reseeded over.
+	var bk polystore.Backend
+	recovering := false
+	if dataDir != "" {
+		pol, err := polystore.ParseWALSyncPolicy(walSync)
+		if err != nil {
+			return err
+		}
+		bk, err = polystore.OpenBackend("wal", polystore.BackendConfig{
+			Dir: dataDir, Sync: pol, SnapshotBytes: snapshotBytes,
+			Logf: func(format string, args ...any) {
+				fmt.Printf("polyserve: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("open backend: %w", err)
+		}
+		recovering = polystore.BackendHasState(dataDir)
+	}
+
 	if wantClinical {
 		data, err := datagen.GenerateClinical(rng, patients)
 		if err != nil {
 			return fmt.Errorf("generate clinical data: %w", err)
 		}
+		rel, ts := data.Relational, data.Timeseries
+		if recovering {
+			rel = relational.NewStore("db-clinical")
+			ts = timeseries.New("ts-vitals")
+		}
+		if bk != nil {
+			bk.AttachRelational("db-clinical", rel)
+			bk.AttachTimeseries("ts-vitals", ts)
+		}
 		opts = append(opts,
-			polystore.WithRelational("db-clinical", data.Relational),
-			polystore.WithTimeseries("ts-vitals", data.Timeseries),
+			polystore.WithRelational("db-clinical", rel),
+			polystore.WithTimeseries("ts-vitals", ts),
 			polystore.WithText("txt-notes", data.Text),
 			polystore.WithStream("st-devices", data.Stream),
 			polystore.WithML("ml"),
@@ -178,15 +224,45 @@ func run(addr, scenario string, patients, customers, txPerCustomer int,
 		if err != nil {
 			return fmt.Errorf("generate retail data: %w", err)
 		}
+		rel, ts, kv := data.Relational, data.Timeseries, data.KV
+		if recovering {
+			rel = relational.NewStore("db-retail")
+			ts = timeseries.New("ts-clicks")
+			kv = kvstore.New("kv-events")
+		}
+		if bk != nil {
+			bk.AttachRelational("db-retail", rel)
+			bk.AttachTimeseries("ts-clicks", ts)
+			bk.AttachKV("kv-events", kv)
+		}
 		opts = append(opts,
-			polystore.WithRelational("db-retail", data.Relational),
-			polystore.WithTimeseries("ts-clicks", data.Timeseries),
-			polystore.WithKV("kv-events", data.KV),
+			polystore.WithRelational("db-retail", rel),
+			polystore.WithTimeseries("ts-clicks", ts),
+			polystore.WithKV("kv-events", kv),
 		)
 		if !wantClinical {
 			opts = append(opts, polystore.WithML("ml"))
 			cfg.DefaultSQLEngine = "db-retail"
 		}
+	}
+	if bk != nil {
+		rec, err := bk.Recover()
+		if err != nil {
+			return fmt.Errorf("recover %s: %w", dataDir, err)
+		}
+		if err := bk.Start(); err != nil {
+			return fmt.Errorf("start backend: %w", err)
+		}
+		if !rec.Recovered {
+			// First boot over this directory: persist the demo seed so the
+			// next restart recovers rather than reseeds.
+			if err := bk.Checkpoint(); err != nil {
+				return fmt.Errorf("checkpoint seed: %w", err)
+			}
+		}
+		defer bk.Close()
+		opts = append(opts, polystore.WithBackend(bk))
+		cfg.Backend = bk
 	}
 	if accel {
 		opts = append(opts, polystore.WithAccelerators(hw.Coprocessor,
@@ -207,6 +283,11 @@ func run(addr, scenario string, patients, customers, txPerCustomer int,
 		cfg.TenantRate, cfg.TenantBurst, len(cfg.TenantQuotas), cfg.MaxTenants,
 		cfg.ShedHighWater, cfg.TenantCacheShare, !cfg.DisableBreaker, cfg.DrainTimeout,
 		!cfg.DisableAdaptive)
+	if bk != nil {
+		bs := bk.Stats()
+		fmt.Printf("polyserve: durability dir=%s sync=%s snapshot-trigger=%d recovered=%t replay-records=%d\n",
+			dataDir, bs.SyncPolicy, bs.SnapshotTrigger, recovering, bs.ReplayRecords)
+	}
 	err := sys.Serve(ctx, addr, cfg)
 	if err != nil && ctx.Err() == nil {
 		return err

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"polystorepp/internal/backend"
 	"polystorepp/internal/cast"
 	"polystorepp/internal/graphstore"
 	"polystorepp/internal/hw"
@@ -484,16 +485,32 @@ func (a *Stream) Execute(_ context.Context, n *ir.Node, _ []Value) (Value, ExecI
 
 // --- KV adapter ---
 
-// KV adapts a key/value engine instance.
+// KV adapts a key/value engine instance. caps are the capabilities granted
+// by negotiation with the hosting storage backend: when the backend cannot
+// execute prefix scans natively, the adapter compensates with a full key
+// scan filtered adapter-side (correct on any backend, costed accordingly).
 type KV struct {
 	name  string
 	store *kvstore.Store
+	caps  backend.Capabilities
 }
 
-// NewKV returns a KV adapter.
+// NewKV returns a KV adapter over a backend with full native capabilities
+// (the in-memory and WAL backends both qualify).
 func NewKV(name string, store *kvstore.Store) *KV {
-	return &KV{name: name, store: store}
+	return NewKVWithCapabilities(name, store, backend.Full())
 }
+
+// NewKVWithCapabilities returns a KV adapter negotiated against the hosting
+// backend's offered capabilities: the adapter requests full pushdown, uses
+// what is granted natively, and compensates for the residual itself.
+func NewKVWithCapabilities(name string, store *kvstore.Store, offered backend.Capabilities) *KV {
+	granted, _ := backend.Negotiate(backend.Full(), offered)
+	return &KV{name: name, store: store, caps: granted}
+}
+
+// Capabilities reports the granted capability set (observability and tests).
+func (a *KV) Capabilities() backend.Capabilities { return a.caps }
 
 // Engine implements Adapter.
 func (a *KV) Engine() string { return a.name }
@@ -529,7 +546,22 @@ func (a *KV) exec(ctx context.Context, n *ir.Node, _ []Value, emit BatchSink) (V
 	info := ExecInfo{RuleNodes: 1}
 	switch n.Kind {
 	case ir.OpKVScan:
-		keys := a.store.ScanPrefix(n.StringAttr("prefix"))
+		prefix := n.StringAttr("prefix")
+		var keys []string
+		native := fmt.Sprintf("ScanPrefix(%q)", prefix)
+		if a.caps.PrefixScan {
+			keys = a.store.ScanPrefix(prefix)
+		} else {
+			// Residual compensation: the backend only offers full scans, so
+			// enumerate every key and filter here. Same rows, more work —
+			// visible in Native and charged via the kernel's item count.
+			for _, k := range a.store.ScanPrefix("") {
+				if strings.HasPrefix(k, prefix) {
+					keys = append(keys, k)
+				}
+			}
+			native = fmt.Sprintf("Scan()+filter(%q)", prefix)
+		}
 		s := cast.MustSchema(cast.Column{Name: "key", Type: cast.String}, cast.Column{Name: "value", Type: cast.String})
 		out := cast.NewBatch(s, len(keys))
 		ge := growEmitter{emit: emit}
@@ -549,7 +581,7 @@ func (a *KV) exec(ctx context.Context, n *ir.Node, _ []Value, emit BatchSink) (V
 			return Value{}, info, err
 		}
 		info.RowsOut = int64(out.Rows())
-		info.Native = fmt.Sprintf("ScanPrefix(%q)", n.StringAttr("prefix"))
+		info.Native = native
 		info.Kernels = []KernelCall{{Class: hw.KHashProbe, Work: hw.Work{Items: int64(a.store.Len())}, OutBytes: out.ByteSize()}}
 		return Value{Batch: out}, info, nil
 

@@ -1,0 +1,182 @@
+// Package backend is the storage-backend abstraction under the polystore's
+// native engines: who owns the bytes, what survives a crash, and what the
+// engine can execute natively (capability negotiation for pushdown).
+//
+// Two backends ship today. "memory" wraps the existing in-memory stores as
+// the reference implementation — full pushdown, nothing survives a restart;
+// it is the semantics every durable backend must match and the baseline the
+// equivalence tests pin against. "wal" gives the same engines a durable
+// path: every applied mutation (kvstore put/delete, timeseries append,
+// relational insert and schema change) is journaled as a typed record into a
+// write-ahead log with fsync-batched group commit, replayed on boot, and
+// compacted into a snapshot once the log passes a size threshold.
+//
+// The correctness seam is the version vector. Every store's monotonic
+// mutation counter keys the serving layer's result and subplan caches; each
+// WAL record carries the counter value its mutation produced, the snapshot
+// header persists the counters at snapshot time, and recovery pins the
+// restored counters to those watermarks plus one epoch bump — so a
+// post-restart version vector is always strictly past any value an
+// acknowledged pre-crash state ever presented, and cache keys can never
+// alias stale pre-restart entries.
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"polystorepp/internal/kvstore"
+	"polystorepp/internal/relational"
+	"polystorepp/internal/timeseries"
+)
+
+// ErrClosed is returned by operations on a closed backend.
+var ErrClosed = errors.New("backend: closed")
+
+// Backend is one storage substrate hosting the native engines' stores.
+// Lifecycle: Open (via the Registry) → Attach* each store → Recover (load
+// any persisted state into the attached, still-empty stores) → seed if
+// Recover found nothing → Start (begin journaling new mutations) → serve,
+// calling Barrier after each acknowledged write batch → Close.
+type Backend interface {
+	// Kind returns the registry name ("memory", "wal").
+	Kind() string
+	// Capabilities reports what the backend executes natively.
+	Capabilities() Capabilities
+
+	// AttachKV, AttachTimeseries and AttachRelational bind engine stores to
+	// the backend under their engine names. Attach before Recover/Start.
+	AttachKV(name string, s *kvstore.Store)
+	AttachTimeseries(name string, s *timeseries.Store)
+	AttachRelational(name string, s *relational.Store)
+
+	// Recover loads persisted state (snapshot, then WAL replay) into the
+	// attached stores and advances their version counters past the persisted
+	// watermarks. Recovered reports whether any persisted state existed —
+	// when false the caller should seed and Checkpoint.
+	Recover() (RecoverStats, error)
+	// Start installs the journal taps on the attached stores and opens the
+	// active log segment; mutations from here on are captured.
+	Start() error
+	// Barrier blocks until every mutation journaled so far is durable under
+	// the configured sync policy. The write path calls it before
+	// acknowledging a client write.
+	Barrier(ctx context.Context) error
+	// Checkpoint forces a snapshot of the attached stores and truncates the
+	// log to records newer than it.
+	Checkpoint() error
+	// Stats reports durability counters for /stats and /metrics.
+	Stats() Stats
+	// Close stops journaling, makes the log durable and releases files.
+	Close() error
+}
+
+// RecoverStats describes one boot-time recovery pass.
+type RecoverStats struct {
+	// Recovered is true when any persisted state (snapshot or log records)
+	// was found and loaded.
+	Recovered bool
+	// SnapshotLoaded is true when a snapshot file was loaded.
+	SnapshotLoaded bool
+	// Records/Skipped/Bytes count replayed log records: applied, skipped as
+	// already covered by the snapshot (or unroutable), and payload bytes read.
+	Records uint64
+	Skipped uint64
+	Bytes   uint64
+	// Truncated is true when replay stopped at a torn or corrupt record (the
+	// expected crash signature: an un-fsynced tail).
+	Truncated bool
+}
+
+// Stats is the durability counter set a backend exposes. Zero-valued (with
+// Durable false) for backends with nothing to report.
+type Stats struct {
+	Kind         string
+	Durable      bool
+	SyncPolicy   string
+	Capabilities string
+
+	WALAppends      uint64 // records journaled
+	WALBytes        uint64 // framed bytes appended
+	WALFsyncs       uint64 // fsync calls issued
+	WALErrors       uint64 // write/fsync failures (sticky; Barrier surfaces them)
+	WALSegmentBytes int64  // bytes in the active segment (snapshot trigger input)
+
+	ReplayRecords   uint64 // records applied during the last recovery
+	ReplaySkipped   uint64 // records skipped (covered by snapshot or unroutable)
+	ReplayBytes     uint64 // payload bytes read during the last recovery
+	ReplayTruncated uint64 // 1 when replay stopped at a torn tail
+	ReplaySnapshot  uint64 // 1 when a snapshot was loaded during recovery
+
+	SnapshotWrites    uint64 // snapshots written since open
+	SnapshotLastBytes int64  // size of the most recent snapshot
+	SnapshotTrigger   int64  // configured WAL size that forces a snapshot
+}
+
+// Config parameterizes backend construction. Memory ignores everything but
+// Logf; wal requires Dir.
+type Config struct {
+	// Dir is the durable backend's data directory (created if absent).
+	Dir string
+	// Sync selects the WAL fsync policy; empty means SyncGroup.
+	Sync SyncPolicy
+	// SnapshotBytes is the active-segment size that triggers snapshot
+	// compaction. 0 means the 8 MiB default; negative disables automatic
+	// snapshots (Checkpoint still works).
+	SnapshotBytes int64
+	// Logf, when set, receives recovery/compaction progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Factory constructs a backend of one registered kind.
+type Factory func(Config) (Backend, error)
+
+var registry = struct {
+	mu sync.RWMutex
+	m  map[string]Factory
+}{m: make(map[string]Factory)}
+
+// Register installs a named backend constructor. Later registrations of the
+// same kind win, so tests can shadow built-ins.
+func Register(kind string, f Factory) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	registry.m[kind] = f
+}
+
+// Open constructs a backend of the named kind.
+func Open(kind string, cfg Config) (Backend, error) {
+	registry.mu.RLock()
+	f, ok := registry.m[kind]
+	registry.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("backend: unknown kind %q (have %v)", kind, Kinds())
+	}
+	return f(cfg)
+}
+
+// Kinds returns the registered backend kinds, sorted.
+func Kinds() []string {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	out := make([]string, 0, len(registry.m))
+	for k := range registry.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register("memory", func(cfg Config) (Backend, error) { return NewMemory(), nil })
+	Register("wal", func(cfg Config) (Backend, error) { return OpenDurable(cfg) })
+}

@@ -1,0 +1,417 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"polystorepp/internal/cast"
+	"polystorepp/internal/kvstore"
+	"polystorepp/internal/relational"
+	"polystorepp/internal/timeseries"
+)
+
+// stores is one full deployment of the three durable engines.
+type stores struct {
+	kv  *kvstore.Store
+	ts  *timeseries.Store
+	rel *relational.Store
+}
+
+func newStores(t *testing.T) stores {
+	t.Helper()
+	rel := relational.NewStore("db")
+	tbl, err := rel.CreateTable("events", cast.MustSchema(
+		cast.Column{Name: "id", Type: cast.Int64},
+		cast.Column{Name: "kind", Type: cast.String},
+		cast.Column{Name: "score", Type: cast.Float64},
+		cast.Column{Name: "ok", Type: cast.Bool},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateBTreeIndex("id"); err != nil {
+		t.Fatal(err)
+	}
+	return stores{kv: kvstore.New("kv"), ts: timeseries.New("ts"), rel: rel}
+}
+
+func attach(b Backend, s stores) {
+	b.AttachKV("kv", s.kv)
+	b.AttachTimeseries("ts", s.ts)
+	b.AttachRelational("db", s.rel)
+}
+
+// writeMix applies n writes across all three engines, identical for any
+// stores value — the workload equivalence tests replay on both sides.
+func writeMix(t *testing.T, s stores, lo, hi int) {
+	t.Helper()
+	tbl, err := s.rel.Table("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := lo; i < hi; i++ {
+		s.kv.Put(fmt.Sprintf("k%03d", i), []byte(fmt.Sprintf("v%d", i)))
+		if i%7 == 3 {
+			s.kv.Delete(fmt.Sprintf("k%03d", i-2))
+		}
+		if err := s.ts.Append("cpu", int64(i+1)*1000, float64(i)*0.5); err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.Insert(int64(i), fmt.Sprintf("kind-%d", i%3), float64(i)*1.25, i%2 == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// versions captures the three engines' version counters.
+func versions(s stores) [3]uint64 {
+	return [3]uint64{s.kv.Version(), s.ts.Version(), s.rel.Version()}
+}
+
+// assertEquiv asserts got serves byte-identical reads to want across all
+// three engines.
+func assertEquiv(t *testing.T, want, got stores) {
+	t.Helper()
+	wk, gk := want.kv.ScanPrefix(""), got.kv.ScanPrefix("")
+	if len(wk) != len(gk) {
+		t.Fatalf("kv keys: want %d got %d", len(wk), len(gk))
+	}
+	for i := range wk {
+		if wk[i] != gk[i] {
+			t.Fatalf("kv key[%d]: want %q got %q", i, wk[i], gk[i])
+		}
+		wv, werr := want.kv.Get(wk[i])
+		gv, gerr := got.kv.Get(gk[i])
+		if (werr == nil) != (gerr == nil) || string(wv) != string(gv) {
+			t.Fatalf("kv %q: want %q/%v got %q/%v", wk[i], wv, werr, gv, gerr)
+		}
+	}
+	wp, werr := want.ts.Range("cpu", 0, 1<<62)
+	gp, gerr := got.ts.Range("cpu", 0, 1<<62)
+	if (werr == nil) != (gerr == nil) {
+		t.Fatalf("ts range: want err %v got %v", werr, gerr)
+	}
+	if len(wp) != len(gp) {
+		t.Fatalf("ts points: want %d got %d", len(wp), len(gp))
+	}
+	for i := range wp {
+		if wp[i] != gp[i] {
+			t.Fatalf("ts point[%d]: want %+v got %+v", i, wp[i], gp[i])
+		}
+	}
+	wt, err := want.rel.Table("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := got.rel.Table("events")
+	if err != nil {
+		t.Fatalf("recovered table: %v", err)
+	}
+	if !wt.Snapshot().Equal(gt.Snapshot()) {
+		t.Fatalf("relational heaps differ: want %d rows got %d", wt.Rows(), gt.Rows())
+	}
+	if wt.HasBTree("id") != gt.HasBTree("id") {
+		t.Fatalf("btree index lost across recovery")
+	}
+}
+
+// openStarted opens a wal backend over dir, attaches s, recovers and starts.
+func openStarted(t *testing.T, dir string, s stores) (Backend, RecoverStats) {
+	t.Helper()
+	b, err := Open("wal", Config{Dir: dir, Sync: SyncGroup, SnapshotBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attach(b, s)
+	rec, err := b.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return b, rec
+}
+
+func TestDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	live := newStores(t)
+	b, rec := openStarted(t, dir, live)
+	if rec.Recovered {
+		t.Fatalf("fresh dir reported recovered state: %+v", rec)
+	}
+	writeMix(t, live, 0, 40)
+	if err := b.Barrier(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	preVV := versions(live)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the same writes applied to a never-persisted deployment.
+	ref := newStores(t)
+	writeMix(t, ref, 0, 40)
+
+	recovered := newStores(t)
+	b2, rec2 := openStarted(t, dir, recovered)
+	defer b2.Close()
+	if !rec2.Recovered || rec2.Records == 0 {
+		t.Fatalf("expected replayed records, got %+v", rec2)
+	}
+	assertEquiv(t, ref, recovered)
+	postVV := versions(recovered)
+	for i := range preVV {
+		if postVV[i] <= preVV[i] {
+			t.Fatalf("engine %d version vector did not strictly advance: pre %d post %d", i, preVV[i], postVV[i])
+		}
+	}
+}
+
+func TestDurableSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	live := newStores(t)
+	b, _ := openStarted(t, dir, live)
+	writeMix(t, live, 0, 25)
+	if err := b.Barrier(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := b.Stats()
+	if st.SnapshotWrites != 1 || st.SnapshotLastBytes <= 0 {
+		t.Fatalf("expected one snapshot, got %+v", st)
+	}
+	// Post-checkpoint writes land in the new active segment only.
+	writeMix(t, live, 25, 40)
+	if err := b.Barrier(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("expected sealed segments compacted away, have %v", segs)
+	}
+
+	ref := newStores(t)
+	writeMix(t, ref, 0, 40)
+	recovered := newStores(t)
+	b2, rec := openStarted(t, dir, recovered)
+	defer b2.Close()
+	if !rec.SnapshotLoaded {
+		t.Fatalf("expected snapshot load, got %+v", rec)
+	}
+	assertEquiv(t, ref, recovered)
+}
+
+func TestDurableAutoSnapshotTrigger(t *testing.T) {
+	dir := t.TempDir()
+	live := newStores(t)
+	b, err := Open("wal", Config{Dir: dir, Sync: SyncGroup, SnapshotBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attach(b, live)
+	if _, err := b.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		writeMix(t, live, i*5, i*5+5)
+		if err := b.Barrier(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Stats().SnapshotWrites; got == 0 {
+		t.Fatalf("size trigger never snapshotted (segment bytes %d)", b.Stats().WALSegmentBytes)
+	}
+	// And the compacted state still recovers whole.
+	ref := newStores(t)
+	writeMix(t, ref, 0, 150)
+	recovered := newStores(t)
+	b2, _ := openStarted(t, dir, recovered)
+	defer b2.Close()
+	assertEquiv(t, ref, recovered)
+}
+
+func TestDurableTornTailRecoversPrefix(t *testing.T) {
+	dir := t.TempDir()
+	live := newStores(t)
+	b, _ := openStarted(t, dir, live)
+	writeMix(t, live, 0, 20)
+	if err := b.Barrier(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write: append garbage to the live segment.
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, segName(segs[len(segs)-1])), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	ref := newStores(t)
+	writeMix(t, ref, 0, 20)
+	recovered := newStores(t)
+	b2, rec := openStarted(t, dir, recovered)
+	defer b2.Close()
+	if !rec.Truncated {
+		t.Fatalf("expected torn-tail truncation, got %+v", rec)
+	}
+	assertEquiv(t, ref, recovered)
+}
+
+func TestKVTTLSurvivesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	live := newStores(t)
+	b, _ := openStarted(t, dir, live)
+	live.kv.PutTTL("ephemeral", []byte("x"), time.Minute)
+	live.kv.PutTTL("expired", []byte("y"), -time.Second)
+	live.kv.Put("forever", []byte("z"))
+	if err := b.Barrier(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered := newStores(t)
+	b2, _ := openStarted(t, dir, recovered)
+	defer b2.Close()
+	if _, err := recovered.kv.Get("ephemeral"); err != nil {
+		t.Fatalf("live TTL entry lost: %v", err)
+	}
+	if _, err := recovered.kv.Get("expired"); err == nil {
+		t.Fatalf("negative-TTL entry came back alive")
+	}
+	if v, err := recovered.kv.Get("forever"); err != nil || string(v) != "z" {
+		t.Fatalf("forever: %q %v", v, err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	kinds := Kinds()
+	want := map[string]bool{"memory": false, "wal": false}
+	for _, k := range kinds {
+		if _, ok := want[k]; ok {
+			want[k] = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Fatalf("kind %q not registered (have %v)", k, kinds)
+		}
+	}
+	if _, err := Open("bogus", Config{}); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+	m, err := Open("memory", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind() != "memory" || m.Capabilities().Durable {
+		t.Fatalf("memory backend: %s %+v", m.Kind(), m.Capabilities())
+	}
+	if _, err := Open("wal", Config{}); err == nil {
+		t.Fatal("wal backend without Dir must fail")
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	req := Full()
+	granted, residual := Negotiate(req, Full())
+	if granted != Full() || residual != (Capabilities{}) {
+		t.Fatalf("full vs full: granted %+v residual %+v", granted, residual)
+	}
+	limited := Capabilities{PredicatePushdown: true}
+	granted, residual = Negotiate(req, limited)
+	if !granted.PredicatePushdown || granted.LimitPushdown || granted.PrefixScan {
+		t.Fatalf("granted %+v", granted)
+	}
+	if residual.PredicatePushdown || !residual.LimitPushdown || !residual.PrefixScan {
+		t.Fatalf("residual %+v", residual)
+	}
+	if got := (Capabilities{}).String(); got != "none" {
+		t.Fatalf("empty caps string %q", got)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncGroup, SyncInterval, SyncOff} {
+		pol := pol
+		t.Run(string(pol), func(t *testing.T) {
+			dir := t.TempDir()
+			live := newStores(t)
+			b, err := Open("wal", Config{Dir: dir, Sync: pol, SnapshotBytes: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			attach(b, live)
+			if _, err := b.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Start(); err != nil {
+				t.Fatal(err)
+			}
+			writeMix(t, live, 0, 10)
+			if err := b.Barrier(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Close(); err != nil {
+				t.Fatal(err)
+			}
+			ref := newStores(t)
+			writeMix(t, ref, 0, 10)
+			recovered := newStores(t)
+			b2, _ := openStarted(t, dir, recovered)
+			defer b2.Close()
+			assertEquiv(t, ref, recovered)
+		})
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad sync policy must fail")
+	}
+}
+
+func TestHasState(t *testing.T) {
+	dir := t.TempDir()
+	if HasState(dir) {
+		t.Fatal("empty dir has state")
+	}
+	live := newStores(t)
+	b, _ := openStarted(t, dir, live)
+	writeMix(t, live, 0, 3)
+	if err := b.Barrier(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !HasState(dir) {
+		t.Fatal("dir with segments reports no state")
+	}
+}

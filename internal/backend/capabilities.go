@@ -1,0 +1,68 @@
+package backend
+
+import "strings"
+
+// Capabilities declares what a storage backend can execute natively, the
+// contract the middleware negotiates pushdown against (the BigDAWG
+// island/shim question: does this engine run the predicate, or do we?).
+// The in-memory reference backend and the WAL-durable backend both host the
+// native engines and advertise full pushdown; an adapter over an external
+// engine would advertise only what that engine's query surface supports,
+// and the residual executes in the middleware's own operators.
+type Capabilities struct {
+	// PredicatePushdown: the backend evaluates filter predicates natively.
+	PredicatePushdown bool
+	// LimitPushdown: the backend bounds result cardinality natively.
+	LimitPushdown bool
+	// PrefixScan: the backend enumerates keys by prefix natively (the KV
+	// engine's range surface); without it the middleware scans everything
+	// and filters.
+	PrefixScan bool
+	// Durable: acknowledged writes survive a process crash.
+	Durable bool
+}
+
+// Full returns the full pushdown capability set (not durable; durability is
+// a property of the concrete backend, not of the query surface).
+func Full() Capabilities {
+	return Capabilities{PredicatePushdown: true, LimitPushdown: true, PrefixScan: true}
+}
+
+// Negotiate splits a requested pushdown set against what a backend offers:
+// granted executes inside the backend, residual must execute in the
+// middleware's operators. Requested capabilities the backend lacks are never
+// silently dropped — they always come back in residual.
+func Negotiate(requested, offered Capabilities) (granted, residual Capabilities) {
+	granted = Capabilities{
+		PredicatePushdown: requested.PredicatePushdown && offered.PredicatePushdown,
+		LimitPushdown:     requested.LimitPushdown && offered.LimitPushdown,
+		PrefixScan:        requested.PrefixScan && offered.PrefixScan,
+	}
+	residual = Capabilities{
+		PredicatePushdown: requested.PredicatePushdown && !offered.PredicatePushdown,
+		LimitPushdown:     requested.LimitPushdown && !offered.LimitPushdown,
+		PrefixScan:        requested.PrefixScan && !offered.PrefixScan,
+	}
+	return granted, residual
+}
+
+// String renders the set compactly for /stats ("predicate,limit,prefix-scan,durable").
+func (c Capabilities) String() string {
+	var parts []string
+	if c.PredicatePushdown {
+		parts = append(parts, "predicate")
+	}
+	if c.LimitPushdown {
+		parts = append(parts, "limit")
+	}
+	if c.PrefixScan {
+		parts = append(parts, "prefix-scan")
+	}
+	if c.Durable {
+		parts = append(parts, "durable")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}

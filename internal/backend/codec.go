@@ -1,0 +1,196 @@
+package backend
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"polystorepp/internal/cast"
+)
+
+// Binary primitives shared by the WAL record format and the snapshot layout:
+// fixed-width little-endian integers, IEEE-754 floats, and u32
+// length-prefixed strings/byte slices. Values from relational rows are
+// self-describing (one type tag per value) so a record decodes without the
+// table schema in hand.
+
+// ErrCorrupt marks an undecodable frame or payload.
+var ErrCorrupt = errors.New("backend: corrupt record")
+
+// maxFrame bounds a single framed payload (a defense against decoding a
+// garbage length as gigabytes).
+const maxFrame = 64 << 20
+
+// Value type tags for self-describing relational row values.
+const (
+	tagInt64 byte = iota + 1
+	tagFloat64
+	tagString
+	tagBool
+)
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v byte)  { e.buf = append(e.buf, v) }
+func (e *encoder) u32(v uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+}
+func (e *encoder) u64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+func (e *encoder) i64(v int64)   { e.u64(uint64(v)) }
+func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+func (e *encoder) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// val encodes one relational row value with its type tag.
+func (e *encoder) val(v any) error {
+	switch x := v.(type) {
+	case int64:
+		e.u8(tagInt64)
+		e.i64(x)
+	case int:
+		e.u8(tagInt64)
+		e.i64(int64(x))
+	case float64:
+		e.u8(tagFloat64)
+		e.f64(x)
+	case string:
+		e.u8(tagString)
+		e.str(x)
+	case bool:
+		e.u8(tagBool)
+		if x {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+	default:
+		return fmt.Errorf("backend: unencodable value type %T", v)
+	}
+	return nil
+}
+
+// schema encodes a relational schema (column names and types).
+func (e *encoder) schema(s cast.Schema) {
+	e.u32(uint32(s.Len()))
+	for i := 0; i < s.Len(); i++ {
+		c := s.Col(i)
+		e.str(c.Name)
+		e.u8(byte(c.Type))
+	}
+}
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = ErrCorrupt
+	}
+}
+
+func (d *decoder) u8() byte {
+	if d.err != nil || d.off+1 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) i64() int64   { return int64(d.u64()) }
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *decoder) str() string {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || d.off+n > len(d.buf) {
+		d.fail()
+		return ""
+	}
+	v := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return v
+}
+
+func (d *decoder) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || d.off+n > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	v := make([]byte, n)
+	copy(v, d.buf[d.off:d.off+n])
+	d.off += n
+	return v
+}
+
+func (d *decoder) val() any {
+	switch d.u8() {
+	case tagInt64:
+		return d.i64()
+	case tagFloat64:
+		return d.f64()
+	case tagString:
+		return d.str()
+	case tagBool:
+		return d.u8() != 0
+	default:
+		d.fail()
+		return nil
+	}
+}
+
+func (d *decoder) schema() cast.Schema {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || n > 1<<16 {
+		d.fail()
+		return cast.Schema{}
+	}
+	cols := make([]cast.Column, 0, n)
+	for i := 0; i < n; i++ {
+		name := d.str()
+		typ := cast.Type(d.u8())
+		if d.err != nil {
+			return cast.Schema{}
+		}
+		cols = append(cols, cast.Column{Name: name, Type: typ})
+	}
+	s, err := cast.NewSchema(cols...)
+	if err != nil {
+		d.fail()
+		return cast.Schema{}
+	}
+	return s
+}

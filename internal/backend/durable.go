@@ -1,0 +1,661 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"polystorepp/internal/kvstore"
+	"polystorepp/internal/relational"
+	"polystorepp/internal/timeseries"
+)
+
+// WAL record types.
+const (
+	recKVPut byte = iota + 1
+	recKVDelete
+	recTSAppend
+	recRelInsert
+	recRelCreate
+	recRelIndex
+)
+
+// Index kinds inside recRelIndex records.
+const (
+	idxBTree byte = 1
+	idxHash  byte = 2
+)
+
+// defaultSnapshotBytes is the active-segment size that triggers snapshot
+// compaction when Config.SnapshotBytes is 0.
+const defaultSnapshotBytes = 8 << 20
+
+// Durable is the WAL + snapshot backend: the native in-memory engines with
+// every applied mutation journaled into a segmented write-ahead log
+// (fsync-batched group commit), replayed on boot, and compacted into a
+// snapshot once the active segment passes the size threshold. Read
+// semantics are exactly the memory backend's — durability changes what
+// survives, never what a query returns.
+type Durable struct {
+	cfg       Config
+	snapBytes int64
+
+	mu      sync.Mutex
+	kv      map[string]*kvstore.Store
+	ts      map[string]*timeseries.Store
+	rel     map[string]*relational.Store
+	w       *wal
+	nextSeg uint64
+	started bool
+	closed  bool
+	rec     RecoverStats
+
+	snapshotting   atomic.Bool
+	snapshotWrites atomic.Uint64
+	snapshotLast   atomic.Int64
+	wg             sync.WaitGroup
+}
+
+// OpenDurable constructs the "wal" backend over cfg.Dir (created if absent).
+// No files are written until Start.
+func OpenDurable(cfg Config) (*Durable, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("backend: wal backend requires a data directory")
+	}
+	if _, err := ParseSyncPolicy(string(cfg.Sync)); err != nil {
+		return nil, err
+	}
+	if cfg.Sync == "" {
+		cfg.Sync = SyncGroup
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	snapBytes := cfg.SnapshotBytes
+	if snapBytes == 0 {
+		snapBytes = defaultSnapshotBytes
+	}
+	return &Durable{
+		cfg:       cfg,
+		snapBytes: snapBytes,
+		kv:        make(map[string]*kvstore.Store),
+		ts:        make(map[string]*timeseries.Store),
+		rel:       make(map[string]*relational.Store),
+		nextSeg:   1,
+	}, nil
+}
+
+// HasState reports whether dir holds recoverable state (a snapshot or any
+// non-empty log segment) — the boot-time "recover or seed?" question.
+func HasState(dir string) bool {
+	if fi, err := os.Stat(filepath.Join(dir, snapFile)); err == nil && fi.Size() > 0 {
+		return true
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return false
+	}
+	for _, idx := range segs {
+		if fi, err := os.Stat(filepath.Join(dir, segName(idx))); err == nil && fi.Size() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Kind implements Backend.
+func (d *Durable) Kind() string { return "wal" }
+
+// Capabilities implements Backend: the native engines' full pushdown, plus
+// durability.
+func (d *Durable) Capabilities() Capabilities {
+	c := Full()
+	c.Durable = true
+	return c
+}
+
+// AttachKV implements Backend.
+func (d *Durable) AttachKV(name string, s *kvstore.Store) {
+	d.mu.Lock()
+	d.kv[name] = s
+	d.mu.Unlock()
+}
+
+// AttachTimeseries implements Backend.
+func (d *Durable) AttachTimeseries(name string, s *timeseries.Store) {
+	d.mu.Lock()
+	d.ts[name] = s
+	d.mu.Unlock()
+}
+
+// AttachRelational implements Backend.
+func (d *Durable) AttachRelational(name string, s *relational.Store) {
+	d.mu.Lock()
+	d.rel[name] = s
+	d.mu.Unlock()
+}
+
+// Recover implements Backend: snapshot restore, then WAL replay with
+// version-watermark guards (records a snapshot already covers are skipped),
+// then one epoch bump per store so post-restart version vectors are
+// strictly past every acknowledged pre-crash value. Attached stores must be
+// empty. Call before Start.
+func (d *Durable) Recover() (RecoverStats, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.started {
+		return RecoverStats{}, fmt.Errorf("backend: Recover after Start")
+	}
+	var rec RecoverStats
+
+	snap, snapSize, ok, err := readSnapshot(d.cfg.Dir)
+	if err != nil {
+		return rec, fmt.Errorf("backend: load snapshot: %w", err)
+	}
+	if ok {
+		rec.Recovered, rec.SnapshotLoaded = true, true
+		d.snapshotLast.Store(snapSize)
+		if err := d.restoreSnapshotLocked(snap); err != nil {
+			return rec, err
+		}
+	}
+
+	segs, err := listSegments(d.cfg.Dir)
+	if err != nil {
+		return rec, err
+	}
+	if n := len(segs); n > 0 {
+		d.nextSeg = segs[n-1] + 1
+	}
+	bytes, truncated, err := replaySegments(d.cfg.Dir, segs, func(payload []byte) error {
+		applied, aerr := d.applyRecordLocked(payload)
+		if aerr != nil {
+			// A record that cannot apply (unroutable store, divergent
+			// schema) is counted, logged and skipped: recovery restores the
+			// longest consistent prefix rather than refusing to boot.
+			d.cfg.logf("backend: replay skip: %v", aerr)
+			rec.Skipped++
+			return nil
+		}
+		if applied {
+			rec.Records++
+		} else {
+			rec.Skipped++
+		}
+		return nil
+	})
+	if err != nil {
+		return rec, fmt.Errorf("backend: replay: %w", err)
+	}
+	rec.Bytes = bytes
+	rec.Truncated = truncated
+	if rec.Records > 0 {
+		rec.Recovered = true
+	}
+
+	if rec.Recovered {
+		for _, s := range d.kv {
+			s.BumpVersion()
+		}
+		for _, s := range d.ts {
+			s.BumpVersion()
+		}
+		for _, s := range d.rel {
+			s.BumpVersion()
+		}
+	}
+	d.rec = rec
+	d.cfg.logf("backend: recovered snapshot=%t records=%d skipped=%d bytes=%d truncated=%t",
+		rec.SnapshotLoaded, rec.Records, rec.Skipped, rec.Bytes, rec.Truncated)
+	return rec, nil
+}
+
+// restoreSnapshotLocked loads decoded snapshot state into attached stores.
+func (d *Durable) restoreSnapshotLocked(snap snapshotData) error {
+	for name, dump := range snap.kv {
+		s, ok := d.kv[name]
+		if !ok {
+			d.cfg.logf("backend: snapshot kv store %q not attached; dropped", name)
+			continue
+		}
+		if err := s.RestoreState(dump.data, dump.shardVersions); err != nil {
+			return err
+		}
+	}
+	for name, dump := range snap.ts {
+		s, ok := d.ts[name]
+		if !ok {
+			d.cfg.logf("backend: snapshot timeseries store %q not attached; dropped", name)
+			continue
+		}
+		if err := s.RestoreState(dump.series, dump.version); err != nil {
+			return err
+		}
+	}
+	for name, dump := range snap.rel {
+		s, ok := d.rel[name]
+		if !ok {
+			d.cfg.logf("backend: snapshot relational store %q not attached; dropped", name)
+			continue
+		}
+		if err := s.RestoreState(dump.tables, dump.storeVersion); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyRecordLocked decodes and applies one WAL record; applied is false
+// when the record is already covered by restored state.
+func (d *Durable) applyRecordLocked(payload []byte) (applied bool, err error) {
+	dec := &decoder{buf: payload}
+	typ := dec.u8()
+	store := dec.str()
+	switch typ {
+	case recKVPut:
+		key := dec.str()
+		var ent kvstore.Entry
+		ent.Version = dec.i64()
+		ent.WrittenAt = fromUnixNano(dec.i64())
+		ent.ExpiresAt = fromUnixNano(dec.i64())
+		ent.Value = dec.bytes()
+		shardVer := dec.u64()
+		if dec.err != nil {
+			return false, dec.err
+		}
+		s, ok := d.kv[store]
+		if !ok {
+			return false, fmt.Errorf("kv store %q not attached", store)
+		}
+		return s.ReplayPut(key, ent, shardVer), nil
+	case recKVDelete:
+		key := dec.str()
+		shardVer := dec.u64()
+		if dec.err != nil {
+			return false, dec.err
+		}
+		s, ok := d.kv[store]
+		if !ok {
+			return false, fmt.Errorf("kv store %q not attached", store)
+		}
+		return s.ReplayDelete(key, shardVer), nil
+	case recTSAppend:
+		series := dec.str()
+		ts := dec.i64()
+		v := dec.f64()
+		ver := dec.u64()
+		if dec.err != nil {
+			return false, dec.err
+		}
+		s, ok := d.ts[store]
+		if !ok {
+			return false, fmt.Errorf("timeseries store %q not attached", store)
+		}
+		return s.ReplayAppend(series, ts, v, ver)
+	case recRelInsert:
+		table := dec.str()
+		ver := dec.u64()
+		nrows := int(dec.u32())
+		ncols := int(dec.u32())
+		if dec.err != nil || nrows < 0 || ncols < 0 || nrows > 1<<24 || ncols > 1<<16 {
+			return false, ErrCorrupt
+		}
+		rows := make([][]any, 0, nrows)
+		for r := 0; r < nrows; r++ {
+			vals := make([]any, ncols)
+			for c := 0; c < ncols; c++ {
+				vals[c] = dec.val()
+			}
+			rows = append(rows, vals)
+		}
+		if dec.err != nil {
+			return false, dec.err
+		}
+		s, ok := d.rel[store]
+		if !ok {
+			return false, fmt.Errorf("relational store %q not attached", store)
+		}
+		return s.ReplayInsert(table, rows, ver)
+	case recRelCreate:
+		table := dec.str()
+		schema := dec.schema()
+		storeVer := dec.u64()
+		if dec.err != nil {
+			return false, dec.err
+		}
+		s, ok := d.rel[store]
+		if !ok {
+			return false, fmt.Errorf("relational store %q not attached", store)
+		}
+		return s.ReplayCreateTable(table, schema, storeVer)
+	case recRelIndex:
+		table := dec.str()
+		col := dec.str()
+		kind := dec.u8()
+		ver := dec.u64()
+		if dec.err != nil {
+			return false, dec.err
+		}
+		s, ok := d.rel[store]
+		if !ok {
+			return false, fmt.Errorf("relational store %q not attached", store)
+		}
+		op := relational.JournalBTreeIndex
+		if kind == idxHash {
+			op = relational.JournalHashIndex
+		}
+		return s.ReplayIndex(table, col, op, ver)
+	}
+	return false, fmt.Errorf("%w: record type %d", ErrCorrupt, typ)
+}
+
+// Start implements Backend: opens the active log segment and installs the
+// journal taps on every attached store. Mutations from here on are
+// captured; call after Recover (and after seeding, so seed data lands in
+// the first Checkpoint snapshot rather than the log).
+func (d *Durable) Start() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if d.started {
+		return nil
+	}
+	w, err := openWAL(d.cfg.Dir, d.cfg.Sync, d.nextSeg)
+	if err != nil {
+		return err
+	}
+	d.w = w
+	d.started = true
+	for name, s := range d.kv {
+		name := name
+		s.SetJournal(func(r kvstore.JournalRecord) { w.append(encodeKVRecord(name, r)) })
+	}
+	for name, s := range d.ts {
+		name := name
+		s.SetJournal(func(series string, ts int64, v float64, ver uint64) {
+			w.append(encodeTSRecord(name, series, ts, v, ver))
+		})
+	}
+	for name, s := range d.rel {
+		name := name
+		s.SetJournal(func(r relational.JournalRecord) {
+			payload, err := encodeRelRecord(name, r)
+			if err != nil {
+				d.cfg.logf("backend: %v", err)
+				w.errors.Add(1)
+				return
+			}
+			w.append(payload)
+		})
+	}
+	return nil
+}
+
+// Barrier implements Backend: block until everything journaled so far is
+// durable under the sync policy, then consider triggering a background
+// snapshot. The write path calls this before acknowledging a client write,
+// so under SyncGroup "acknowledged" means "fsynced".
+func (d *Durable) Barrier(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	w := d.w
+	d.mu.Unlock()
+	if w == nil {
+		return nil
+	}
+	if err := w.sync(w.tail()); err != nil {
+		return err
+	}
+	d.maybeSnapshot()
+	return nil
+}
+
+// maybeSnapshot starts a background checkpoint when the active segment has
+// outgrown the threshold and none is already running.
+func (d *Durable) maybeSnapshot() {
+	if d.snapBytes <= 0 {
+		return
+	}
+	d.mu.Lock()
+	w, closed := d.w, d.closed
+	d.mu.Unlock()
+	if w == nil || closed || w.segmentBytes() < d.snapBytes {
+		return
+	}
+	if !d.snapshotting.CompareAndSwap(false, true) {
+		return
+	}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		defer d.snapshotting.Store(false)
+		if err := d.checkpoint(); err != nil {
+			d.cfg.logf("backend: background snapshot: %v", err)
+		}
+	}()
+}
+
+// Checkpoint implements Backend: force a snapshot now (also waits out any
+// background one first).
+func (d *Durable) Checkpoint() error {
+	for {
+		if d.snapshotting.CompareAndSwap(false, true) {
+			break
+		}
+		d.wg.Wait()
+	}
+	defer d.snapshotting.Store(false)
+	return d.checkpoint()
+}
+
+// checkpoint seals the active segment, snapshots every attached store, and
+// removes the sealed segments the snapshot now covers. Correctness: a
+// journal record is appended only after its mutation applied, so the store
+// state read here is a superset of every sealed record; records still
+// arriving into the new active segment carry version watermarks past the
+// snapshot's and replay skips any overlap.
+func (d *Durable) checkpoint() error {
+	d.mu.Lock()
+	if d.closed || d.w == nil {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	w := d.w
+	kv, ts, rel := d.kv, d.ts, d.rel
+	d.mu.Unlock()
+
+	sealed, err := w.rotate()
+	if err != nil {
+		return fmt.Errorf("backend: rotate: %w", err)
+	}
+
+	snap := snapshotData{
+		kv:  make(map[string]kvDump, len(kv)),
+		ts:  make(map[string]tsDump, len(ts)),
+		rel: make(map[string]relDump, len(rel)),
+	}
+	for name, s := range kv {
+		data, vers := s.SnapshotState()
+		snap.kv[name] = kvDump{data: data, shardVersions: vers}
+	}
+	for name, s := range ts {
+		series, ver := s.SnapshotState()
+		snap.ts[name] = tsDump{series: series, version: ver}
+	}
+	for name, s := range rel {
+		tables, ver := s.SnapshotState()
+		snap.rel[name] = relDump{tables: tables, storeVersion: ver}
+	}
+	payload, err := encodeSnapshot(snap)
+	if err != nil {
+		return fmt.Errorf("backend: encode snapshot: %w", err)
+	}
+	size, err := writeSnapshot(d.cfg.Dir, payload)
+	if err != nil {
+		return fmt.Errorf("backend: write snapshot: %w", err)
+	}
+	d.snapshotWrites.Add(1)
+	d.snapshotLast.Store(size)
+
+	segs, err := listSegments(d.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	var old []uint64
+	for _, idx := range segs {
+		if idx <= sealed {
+			old = append(old, idx)
+		}
+	}
+	if err := removeSegments(d.cfg.Dir, old); err != nil {
+		return err
+	}
+	d.cfg.logf("backend: snapshot %d bytes, %d sealed segment(s) compacted", size, len(old))
+	return nil
+}
+
+// Stats implements Backend.
+func (d *Durable) Stats() Stats {
+	d.mu.Lock()
+	w, rec := d.w, d.rec
+	d.mu.Unlock()
+	st := Stats{
+		Kind:            "wal",
+		Durable:         true,
+		SyncPolicy:      string(d.cfg.Sync),
+		Capabilities:    d.Capabilities().String(),
+		ReplayRecords:   rec.Records,
+		ReplaySkipped:   rec.Skipped,
+		ReplayBytes:     rec.Bytes,
+		SnapshotWrites:  d.snapshotWrites.Load(),
+		SnapshotTrigger: d.snapBytes,
+	}
+	if rec.Truncated {
+		st.ReplayTruncated = 1
+	}
+	if rec.SnapshotLoaded {
+		st.ReplaySnapshot = 1
+	}
+	st.SnapshotLastBytes = d.snapshotLast.Load()
+	if w != nil {
+		st.WALAppends = w.appends.Load()
+		st.WALBytes = w.bytes.Load()
+		st.WALFsyncs = w.fsyncs.Load()
+		st.WALErrors = w.errors.Load()
+		st.WALSegmentBytes = w.segmentBytes()
+	}
+	return st
+}
+
+// Close implements Backend: detach the journal taps, finish any background
+// snapshot, make the log durable and release files.
+func (d *Durable) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	w := d.w
+	kv, ts, rel := d.kv, d.ts, d.rel
+	d.mu.Unlock()
+	for _, s := range kv {
+		s.SetJournal(nil)
+	}
+	for _, s := range ts {
+		s.SetJournal(nil)
+	}
+	for _, s := range rel {
+		s.SetJournal(nil)
+	}
+	d.wg.Wait()
+	if w == nil {
+		return nil
+	}
+	return w.close()
+}
+
+// encodeKVRecord renders a kvstore journal record as a WAL payload.
+func encodeKVRecord(store string, r kvstore.JournalRecord) []byte {
+	e := &encoder{}
+	if r.Op == kvstore.JournalDelete {
+		e.u8(recKVDelete)
+		e.str(store)
+		e.str(r.Key)
+		e.u64(r.ShardVersion)
+		return e.buf
+	}
+	e.u8(recKVPut)
+	e.str(store)
+	e.str(r.Key)
+	e.i64(r.Entry.Version)
+	e.i64(unixNano(r.Entry.WrittenAt))
+	e.i64(unixNano(r.Entry.ExpiresAt))
+	e.bytes(r.Entry.Value)
+	e.u64(r.ShardVersion)
+	return e.buf
+}
+
+// encodeTSRecord renders a timeseries append as a WAL payload.
+func encodeTSRecord(store, series string, ts int64, v float64, ver uint64) []byte {
+	e := &encoder{}
+	e.u8(recTSAppend)
+	e.str(store)
+	e.str(series)
+	e.i64(ts)
+	e.f64(v)
+	e.u64(ver)
+	return e.buf
+}
+
+// encodeRelRecord renders a relational journal record as a WAL payload.
+func encodeRelRecord(store string, r relational.JournalRecord) ([]byte, error) {
+	e := &encoder{}
+	switch r.Op {
+	case relational.JournalInsert:
+		e.u8(recRelInsert)
+		e.str(store)
+		e.str(r.Table)
+		e.u64(r.TableVersion)
+		e.u32(uint32(len(r.Rows)))
+		ncols := 0
+		if len(r.Rows) > 0 {
+			ncols = len(r.Rows[0])
+		}
+		e.u32(uint32(ncols))
+		for _, row := range r.Rows {
+			for _, v := range row {
+				if err := e.val(v); err != nil {
+					return nil, fmt.Errorf("backend: journal %s.%s: %w", store, r.Table, err)
+				}
+			}
+		}
+	case relational.JournalCreateTable:
+		e.u8(recRelCreate)
+		e.str(store)
+		e.str(r.Table)
+		e.schema(r.Schema)
+		e.u64(r.StoreVersion)
+	case relational.JournalBTreeIndex, relational.JournalHashIndex:
+		e.u8(recRelIndex)
+		e.str(store)
+		e.str(r.Table)
+		e.str(r.Col)
+		if r.Op == relational.JournalHashIndex {
+			e.u8(idxHash)
+		} else {
+			e.u8(idxBTree)
+		}
+		e.u64(r.TableVersion)
+	default:
+		return nil, fmt.Errorf("backend: journal op %d", r.Op)
+	}
+	return e.buf, nil
+}

@@ -1,0 +1,54 @@
+package backend
+
+import (
+	"context"
+
+	"polystorepp/internal/kvstore"
+	"polystorepp/internal/relational"
+	"polystorepp/internal/timeseries"
+)
+
+// Memory is the reference backend: the native in-memory engines exactly as
+// they are, full pushdown, nothing persisted. Every durable backend must be
+// read-equivalent to it after recovery — the property the WAL replay
+// equivalence suite pins.
+type Memory struct{}
+
+// NewMemory returns the reference in-memory backend.
+func NewMemory() *Memory { return &Memory{} }
+
+// Kind implements Backend.
+func (m *Memory) Kind() string { return "memory" }
+
+// Capabilities implements Backend: full pushdown, not durable.
+func (m *Memory) Capabilities() Capabilities { return Full() }
+
+// AttachKV implements Backend (stores need no binding; they are the storage).
+func (m *Memory) AttachKV(name string, s *kvstore.Store) {}
+
+// AttachTimeseries implements Backend.
+func (m *Memory) AttachTimeseries(name string, s *timeseries.Store) {}
+
+// AttachRelational implements Backend.
+func (m *Memory) AttachRelational(name string, s *relational.Store) {}
+
+// Recover implements Backend: there is never persisted state.
+func (m *Memory) Recover() (RecoverStats, error) { return RecoverStats{}, nil }
+
+// Start implements Backend: nothing to journal into.
+func (m *Memory) Start() error { return nil }
+
+// Barrier implements Backend: in-memory applies are immediately "durable"
+// for the lifetime the backend promises (the process).
+func (m *Memory) Barrier(ctx context.Context) error { return ctx.Err() }
+
+// Checkpoint implements Backend: nothing to compact.
+func (m *Memory) Checkpoint() error { return nil }
+
+// Stats implements Backend.
+func (m *Memory) Stats() Stats {
+	return Stats{Kind: "memory", Capabilities: Full().String()}
+}
+
+// Close implements Backend.
+func (m *Memory) Close() error { return nil }

@@ -1,0 +1,398 @@
+package backend
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"polystorepp/internal/cast"
+	"polystorepp/internal/kvstore"
+	"polystorepp/internal/relational"
+	"polystorepp/internal/timeseries"
+)
+
+// Snapshot layout. One file, written atomically (temp + fsync + rename):
+//
+//	magic "PPSNAP1\n" | payload len u64 | payload crc u32 | payload
+//
+// The payload opens with the version-vector header: every attached store's
+// persisted version watermarks (per-shard counters for kv, the store counter
+// for timeseries, store + per-table counters for relational). Recovery pins
+// the restored counters to these watermarks — the seam that keeps
+// post-restart version vectors strictly monotonic past the acknowledged
+// pre-crash state. Data sections follow in the same store order.
+const snapMagic = "PPSNAP1\n"
+
+const (
+	snapFile = "snapshot.db"
+	snapTemp = "snapshot.tmp"
+)
+
+// Engine kinds in the snapshot header.
+const (
+	engKV byte = iota + 1
+	engTS
+	engRel
+)
+
+// kvDump is one kv store's snapshot state.
+type kvDump struct {
+	data          map[string][]kvstore.Entry
+	shardVersions []uint64
+}
+
+// tsDump is one timeseries store's snapshot state.
+type tsDump struct {
+	series  map[string][]timeseries.Point
+	version uint64
+}
+
+// relDump is one relational store's snapshot state.
+type relDump struct {
+	tables       []relational.TableDump
+	storeVersion uint64
+}
+
+// snapshotData is the decoded whole-deployment snapshot.
+type snapshotData struct {
+	kv  map[string]kvDump
+	ts  map[string]tsDump
+	rel map[string]relDump
+}
+
+// unixNano encodes a time with the zero value as 0 (time.Time{}.UnixNano()
+// is a large negative sentinel that must not round-trip as a real instant).
+func unixNano(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+func fromUnixNano(n int64) time.Time {
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// encodeSnapshot renders the deployment state as a snapshot payload.
+func encodeSnapshot(s snapshotData) ([]byte, error) {
+	e := &encoder{}
+	kvNames, tsNames, relNames := sortedKeys(s.kv), sortedKeys(s.ts), sortedKeys(s.rel)
+	e.u32(uint32(len(kvNames) + len(tsNames) + len(relNames)))
+
+	// Version-vector header.
+	for _, n := range kvNames {
+		d := s.kv[n]
+		e.u8(engKV)
+		e.str(n)
+		e.u32(uint32(len(d.shardVersions)))
+		for _, v := range d.shardVersions {
+			e.u64(v)
+		}
+	}
+	for _, n := range tsNames {
+		e.u8(engTS)
+		e.str(n)
+		e.u64(s.ts[n].version)
+	}
+	for _, n := range relNames {
+		d := s.rel[n]
+		e.u8(engRel)
+		e.str(n)
+		e.u64(d.storeVersion)
+		e.u32(uint32(len(d.tables)))
+		for _, t := range d.tables {
+			e.str(t.Name)
+			e.u64(t.Version)
+		}
+	}
+
+	// Data sections, same order.
+	for _, n := range kvNames {
+		d := s.kv[n]
+		e.u32(uint32(len(d.data)))
+		for _, key := range sortedKeys(d.data) {
+			vs := d.data[key]
+			e.str(key)
+			e.u32(uint32(len(vs)))
+			for _, ent := range vs {
+				e.i64(ent.Version)
+				e.i64(unixNano(ent.WrittenAt))
+				e.i64(unixNano(ent.ExpiresAt))
+				e.bytes(ent.Value)
+			}
+		}
+	}
+	for _, n := range tsNames {
+		d := s.ts[n]
+		e.u32(uint32(len(d.series)))
+		for _, sn := range sortedKeys(d.series) {
+			pts := d.series[sn]
+			e.str(sn)
+			e.u32(uint32(len(pts)))
+			for _, p := range pts {
+				e.i64(p.TS)
+				e.f64(p.Value)
+			}
+		}
+	}
+	for _, n := range relNames {
+		d := s.rel[n]
+		e.u32(uint32(len(d.tables)))
+		for _, t := range d.tables {
+			e.str(t.Name)
+			e.schema(t.Schema)
+			e.u32(uint32(len(t.BTreeCols)))
+			for _, c := range t.BTreeCols {
+				e.str(c)
+			}
+			e.u32(uint32(len(t.HashCols)))
+			for _, c := range t.HashCols {
+				e.str(c)
+			}
+			rows := t.Rows.Rows()
+			cols := t.Schema.Len()
+			e.u32(uint32(rows))
+			e.u32(uint32(cols))
+			for r := 0; r < rows; r++ {
+				for c := 0; c < cols; c++ {
+					v, err := t.Rows.Value(r, c)
+					if err != nil {
+						return nil, err
+					}
+					if err := e.val(v); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return e.buf, nil
+}
+
+// decodeSnapshot parses a snapshot payload.
+func decodeSnapshot(buf []byte) (snapshotData, error) {
+	out := snapshotData{
+		kv:  make(map[string]kvDump),
+		ts:  make(map[string]tsDump),
+		rel: make(map[string]relDump),
+	}
+	d := &decoder{buf: buf}
+	n := int(d.u32())
+	if d.err != nil || n < 0 || n > 1<<20 {
+		return out, ErrCorrupt
+	}
+	type hdr struct {
+		kind byte
+		name string
+	}
+	order := make([]hdr, 0, n)
+	relTableVersions := make(map[string]map[string]uint64)
+	for i := 0; i < n; i++ {
+		kind := d.u8()
+		name := d.str()
+		order = append(order, hdr{kind, name})
+		switch kind {
+		case engKV:
+			ns := int(d.u32())
+			if d.err != nil || ns < 0 || ns > 1<<10 {
+				return out, ErrCorrupt
+			}
+			vs := make([]uint64, ns)
+			for j := range vs {
+				vs[j] = d.u64()
+			}
+			out.kv[name] = kvDump{data: make(map[string][]kvstore.Entry), shardVersions: vs}
+		case engTS:
+			out.ts[name] = tsDump{series: make(map[string][]timeseries.Point), version: d.u64()}
+		case engRel:
+			sv := d.u64()
+			nt := int(d.u32())
+			if d.err != nil || nt < 0 || nt > 1<<20 {
+				return out, ErrCorrupt
+			}
+			tv := make(map[string]uint64, nt)
+			for j := 0; j < nt; j++ {
+				tn := d.str()
+				tv[tn] = d.u64()
+			}
+			out.rel[name] = relDump{storeVersion: sv}
+			relTableVersions[name] = tv
+		default:
+			return out, ErrCorrupt
+		}
+		if d.err != nil {
+			return out, d.err
+		}
+	}
+	for _, h := range order {
+		switch h.kind {
+		case engKV:
+			dump := out.kv[h.name]
+			nk := int(d.u32())
+			for i := 0; i < nk && d.err == nil; i++ {
+				key := d.str()
+				nv := int(d.u32())
+				if d.err != nil || nv < 0 || nv > 1<<24 {
+					return out, ErrCorrupt
+				}
+				vs := make([]kvstore.Entry, 0, nv)
+				for j := 0; j < nv; j++ {
+					var ent kvstore.Entry
+					ent.Version = d.i64()
+					ent.WrittenAt = fromUnixNano(d.i64())
+					ent.ExpiresAt = fromUnixNano(d.i64())
+					ent.Value = d.bytes()
+					vs = append(vs, ent)
+				}
+				dump.data[key] = vs
+			}
+			out.kv[h.name] = dump
+		case engTS:
+			dump := out.ts[h.name]
+			ns := int(d.u32())
+			for i := 0; i < ns && d.err == nil; i++ {
+				name := d.str()
+				np := int(d.u32())
+				if d.err != nil || np < 0 || np > 1<<28 {
+					return out, ErrCorrupt
+				}
+				pts := make([]timeseries.Point, 0, np)
+				for j := 0; j < np; j++ {
+					ts := d.i64()
+					v := d.f64()
+					pts = append(pts, timeseries.Point{TS: ts, Value: v})
+				}
+				dump.series[name] = pts
+			}
+			out.ts[h.name] = dump
+		case engRel:
+			dump := out.rel[h.name]
+			nt := int(d.u32())
+			for i := 0; i < nt && d.err == nil; i++ {
+				tname := d.str()
+				schema := d.schema()
+				nb := int(d.u32())
+				if d.err != nil || nb < 0 || nb > 1<<10 {
+					return out, ErrCorrupt
+				}
+				var btrees, hashes []string
+				for j := 0; j < nb; j++ {
+					btrees = append(btrees, d.str())
+				}
+				nh := int(d.u32())
+				if d.err != nil || nh < 0 || nh > 1<<10 {
+					return out, ErrCorrupt
+				}
+				for j := 0; j < nh; j++ {
+					hashes = append(hashes, d.str())
+				}
+				rows := int(d.u32())
+				cols := int(d.u32())
+				if d.err != nil || rows < 0 || cols < 0 || cols != schema.Len() {
+					return out, ErrCorrupt
+				}
+				batch := cast.NewBatch(schema, rows)
+				vals := make([]any, cols)
+				for r := 0; r < rows; r++ {
+					for c := 0; c < cols; c++ {
+						vals[c] = d.val()
+					}
+					if d.err != nil {
+						return out, d.err
+					}
+					if err := batch.AppendRow(vals...); err != nil {
+						return out, fmt.Errorf("backend: snapshot table %q row %d: %w", tname, r, err)
+					}
+				}
+				dump.tables = append(dump.tables, relational.TableDump{
+					Name: tname, Schema: schema, Rows: batch,
+					BTreeCols: btrees, HashCols: hashes,
+					Version: relTableVersions[h.name][tname],
+				})
+			}
+			out.rel[h.name] = dump
+		}
+		if d.err != nil {
+			return out, d.err
+		}
+	}
+	return out, d.err
+}
+
+// writeSnapshot persists the payload atomically into dir.
+func writeSnapshot(dir string, payload []byte) (int64, error) {
+	hdr := make([]byte, len(snapMagic)+12)
+	copy(hdr, snapMagic)
+	binary.LittleEndian.PutUint64(hdr[len(snapMagic):], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[len(snapMagic)+8:], crc32.ChecksumIEEE(payload))
+
+	tmp := filepath.Join(dir, snapTemp)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := f.Write(hdr); err == nil {
+		_, err = f.Write(payload)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapFile)); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return int64(len(hdr) + len(payload)), nil
+}
+
+// readSnapshot loads and verifies the snapshot file; ok is false when none
+// exists.
+func readSnapshot(dir string) (data snapshotData, size int64, ok bool, err error) {
+	raw, rerr := os.ReadFile(filepath.Join(dir, snapFile))
+	if rerr != nil {
+		if os.IsNotExist(rerr) {
+			return snapshotData{}, 0, false, nil
+		}
+		return snapshotData{}, 0, false, rerr
+	}
+	if len(raw) < len(snapMagic)+12 || string(raw[:len(snapMagic)]) != snapMagic {
+		return snapshotData{}, 0, false, fmt.Errorf("%w: snapshot header", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint64(raw[len(snapMagic):])
+	crc := binary.LittleEndian.Uint32(raw[len(snapMagic)+8:])
+	payload := raw[len(snapMagic)+12:]
+	if uint64(len(payload)) != n || crc32.ChecksumIEEE(payload) != crc {
+		return snapshotData{}, 0, false, fmt.Errorf("%w: snapshot payload", ErrCorrupt)
+	}
+	data, derr := decodeSnapshot(payload)
+	if derr != nil {
+		return snapshotData{}, 0, false, derr
+	}
+	return data, int64(len(raw)), true, nil
+}

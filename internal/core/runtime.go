@@ -73,6 +73,18 @@ type Runtime struct {
 	fb    atomic.Pointer[feedbackState]
 	fbCfg feedback.Config
 	fbOn  bool
+
+	// barrier, when non-nil, is awaited after every applied ingest so a
+	// write is only acknowledged once the storage backend has made it
+	// durable (WAL group commit). Nil for in-memory deployments.
+	barrier DurabilityBarrier
+}
+
+// DurabilityBarrier is the slice of the storage backend contract the runtime
+// needs: block until every journaled mutation so far is durable under the
+// backend's sync policy. Satisfied by backend.Backend.
+type DurabilityBarrier interface {
+	Barrier(ctx context.Context) error
 }
 
 // Option configures a Runtime.
@@ -107,6 +119,14 @@ func WithEngineWorkers(n int) Option {
 // knob for experiments.
 func WithSequentialExecutor() Option {
 	return func(r *Runtime) { r.sequential = true }
+}
+
+// WithDurabilityBarrier attaches the storage backend's durability barrier:
+// Ingest blocks on it after the engine applies a write, so acknowledgement
+// implies the mutation is journaled per the backend's sync policy. Nil (the
+// default) acknowledges on apply, the in-memory contract.
+func WithDurabilityBarrier(b DurabilityBarrier) Option {
+	return func(r *Runtime) { r.barrier = b }
 }
 
 // NewRuntime returns a runtime with the given host CPU model.
@@ -204,7 +224,11 @@ func (r *Runtime) DataVersion() uint64 {
 	return v
 }
 
-// Ingest routes one serving-path write to the named engine's adapter.
+// Ingest routes one serving-path write to the named engine's adapter. With a
+// durability barrier attached, the write is acknowledged only after the
+// backend reports it durable — an error from the barrier means the mutation
+// applied in memory but its journal entry may be lost, and the caller must
+// not acknowledge it.
 func (r *Runtime) Ingest(ctx context.Context, engine string, w adapter.Ingest) error {
 	a, ok := r.adapters[engine]
 	if !ok {
@@ -214,7 +238,15 @@ func (r *Runtime) Ingest(ctx context.Context, engine string, w adapter.Ingest) e
 	if !ok {
 		return fmt.Errorf("%w: engine %q does not accept writes", ErrExec, engine)
 	}
-	return ing.Ingest(ctx, w)
+	if err := ing.Ingest(ctx, w); err != nil {
+		return err
+	}
+	if r.barrier != nil {
+		if err := r.barrier.Barrier(ctx); err != nil {
+			return fmt.Errorf("%w: durability barrier: %w", ErrExec, err)
+		}
+	}
+	return nil
 }
 
 // VersionVector renders the data versions of exactly the engines (and, for

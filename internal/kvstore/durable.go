@@ -1,0 +1,165 @@
+// Durability hooks: the journal tap the storage backend layer
+// (internal/backend) uses to capture every applied mutation, plus the
+// replay/snapshot/restore surface recovery drives. The store itself stays
+// storage-agnostic — it emits typed records and accepts them back; framing,
+// fsync policy and files belong to the backend.
+package kvstore
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// ShardCount is the fixed hash-shard count, exported so snapshot encodings
+// can persist the per-shard mutation counters (the store's version vector
+// contribution is their sum).
+const ShardCount = numShards
+
+// JournalOp identifies a journaled mutation kind.
+type JournalOp uint8
+
+// Journaled mutation kinds.
+const (
+	JournalPut JournalOp = iota + 1
+	JournalDelete
+)
+
+// JournalRecord describes one applied mutation. ShardVersion is the key's
+// shard mutation counter immediately after the apply: per-shard counters are
+// bumped under the shard lock, so records for the same shard carry strictly
+// increasing ShardVersion values — replay uses them as per-shard log sequence
+// numbers to skip records already covered by a snapshot.
+type JournalRecord struct {
+	Op           JournalOp
+	Key          string
+	Entry        Entry // JournalPut only; Value must be treated as read-only
+	ShardVersion uint64
+}
+
+// JournalFn receives every applied mutation. It is called while the key's
+// shard lock is held, so it must be fast and must not call back into the
+// store.
+type JournalFn func(JournalRecord)
+
+// SetJournal installs (or, with nil, removes) the mutation journal. Install
+// it after any bulk load or recovery so seed data is captured by snapshots
+// rather than re-journaled.
+func (s *Store) SetJournal(fn JournalFn) {
+	if fn == nil {
+		s.journal.Store(nil)
+		return
+	}
+	s.journal.Store(&fn)
+}
+
+// journalTap is the Store-side storage for the hook; it lives here (not in
+// kvstore.go) so the hot path only pays an atomic load.
+type journalTap = atomic.Pointer[JournalFn]
+
+// ReplayPut applies a journaled put during recovery, returning false when the
+// record is already covered by the shard's restored state (ShardVersion not
+// past the shard counter). The entry is stored verbatim — version, write time
+// and absolute expiry — so recovered reads are byte-identical to the
+// pre-crash store.
+func (s *Store) ReplayPut(key string, e Entry, shardVersion uint64) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if shardVersion <= sh.version {
+		return false
+	}
+	own := make([]byte, len(e.Value))
+	copy(own, e.Value)
+	e.Value = own
+	sh.data[key] = append(sh.data[key], e)
+	if !e.ExpiresAt.IsZero() && s.now().Before(e.ExpiresAt) &&
+		(sh.nextExpiry.IsZero() || e.ExpiresAt.Before(sh.nextExpiry)) {
+		sh.nextExpiry = e.ExpiresAt
+	}
+	sh.version = shardVersion
+	return true
+}
+
+// ReplayDelete applies a journaled delete during recovery; false when the
+// record is already covered by the shard's restored state.
+func (s *Store) ReplayDelete(key string, shardVersion uint64) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if shardVersion <= sh.version {
+		return false
+	}
+	delete(sh.data, key)
+	sh.version = shardVersion
+	return true
+}
+
+// SnapshotState returns a deep-enough copy of the store for snapshot
+// encoding: every key's version list plus the per-shard mutation counters.
+// Each shard's keys and counter are captured together under its read lock,
+// so every (key set, counter) pair is a consistent cut — the property replay
+// needs to skip WAL records the snapshot already covers. Entry values are
+// shared (they are immutable once written).
+func (s *Store) SnapshotState() (map[string][]Entry, []uint64) {
+	data := make(map[string][]Entry)
+	versions := make([]uint64, numShards)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, vs := range sh.data {
+			cp := make([]Entry, len(vs))
+			copy(cp, vs)
+			data[k] = cp
+		}
+		versions[i] = sh.version
+		sh.mu.RUnlock()
+	}
+	return data, versions
+}
+
+// RestoreState loads a snapshot dump into an empty store: entries verbatim,
+// per-shard counters to the persisted watermarks, expiry watermarks
+// recomputed from entries still in the future. Call before SetJournal.
+func (s *Store) RestoreState(data map[string][]Entry, shardVersions []uint64) error {
+	if len(shardVersions) != numShards {
+		return fmt.Errorf("kvstore: restore %q: %d shard versions, want %d",
+			s.name, len(shardVersions), numShards)
+	}
+	now := s.now()
+	for k, vs := range data {
+		sh := s.shardFor(k)
+		sh.mu.Lock()
+		cp := make([]Entry, len(vs))
+		copy(cp, vs)
+		sh.data[k] = cp
+		for _, e := range cp {
+			if !e.ExpiresAt.IsZero() && now.Before(e.ExpiresAt) &&
+				(sh.nextExpiry.IsZero() || e.ExpiresAt.Before(sh.nextExpiry)) {
+				sh.nextExpiry = e.ExpiresAt
+			}
+		}
+		sh.mu.Unlock()
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if shardVersions[i] > sh.version {
+			sh.version = shardVersions[i]
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// BumpVersion advances the store's mutation count by one without any data
+// change: the recovery epoch bump. After a crash the persisted watermark is
+// the version of the last durable write, but the pre-crash process may have
+// advanced further in memory (unacknowledged writes, lazy TTL expiry bumps);
+// recovery bumps once past the watermark so a post-restart version vector
+// never re-presents a value whose results an external cache may still hold.
+func (s *Store) BumpVersion() {
+	sh := &s.shards[0]
+	sh.mu.Lock()
+	sh.version++
+	sh.mu.Unlock()
+}

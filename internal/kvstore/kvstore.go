@@ -59,6 +59,9 @@ type Store struct {
 	name   string
 	now    func() time.Time
 	shards [numShards]shard
+	// journal, when installed, receives every applied mutation (durability
+	// tap; see durable.go). Atomic so installation never races hot-path puts.
+	journal journalTap
 }
 
 // Option configures a Store.
@@ -112,14 +115,23 @@ func (s *Store) PutTTL(key string, value []byte, ttl time.Duration) int64 {
 	own := make([]byte, len(value))
 	copy(own, value)
 	e := Entry{Value: own, Version: ver, WrittenAt: s.now()}
-	if ttl > 0 {
+	if ttl != 0 {
+		// A negative ttl stores an already-expired entry (dead on arrival,
+		// reads get ErrExpired) rather than falling through to "never
+		// expires". Only future expiries feed the shard watermark: a
+		// born-dead entry never changes visibility later, so the put's own
+		// version bump below covers it and the watermark stays an earliest
+		// *future* expiry.
 		e.ExpiresAt = e.WrittenAt.Add(ttl)
-		if sh.nextExpiry.IsZero() || e.ExpiresAt.Before(sh.nextExpiry) {
+		if ttl > 0 && (sh.nextExpiry.IsZero() || e.ExpiresAt.Before(sh.nextExpiry)) {
 			sh.nextExpiry = e.ExpiresAt
 		}
 	}
 	sh.data[key] = append(versions, e)
 	sh.version++
+	if j := s.journal.Load(); j != nil {
+		(*j)(JournalRecord{Op: JournalPut, Key: key, Entry: e, ShardVersion: sh.version})
+	}
 	return ver
 }
 
@@ -226,6 +238,9 @@ func (s *Store) Delete(key string) {
 	if _, ok := sh.data[key]; ok {
 		delete(sh.data, key)
 		sh.version++
+		if j := s.journal.Load(); j != nil {
+			(*j)(JournalRecord{Op: JournalDelete, Key: key, ShardVersion: sh.version})
+		}
 	}
 }
 

@@ -179,3 +179,43 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatalf("Len = %d", s.Len())
 	}
 }
+
+func TestPutTTLNegativeIsDeadOnArrival(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := New("kv", WithClock(func() time.Time { return now }))
+	s.PutTTL("live", []byte("v"), time.Minute)
+
+	// A negative TTL used to fall through the `ttl > 0` guard and store an
+	// entry that never expires. It must instead store an already-expired
+	// entry: dead to reads from the moment it lands.
+	v0 := s.Version()
+	if ver := s.PutTTL("dead", []byte("v"), -time.Second); ver == 0 {
+		t.Fatal("negative-TTL put reported no write")
+	}
+	if _, err := s.Get("dead"); !errors.Is(err, ErrExpired) {
+		t.Fatalf("negative-TTL entry readable: want ErrExpired, got %v", err)
+	}
+	if s.Version() <= v0 {
+		t.Fatal("negative-TTL put did not bump the version")
+	}
+
+	// The dead entry's past ExpiresAt must not poison the shard's next-expiry
+	// watermark: its visibility never changes again, so the version must hold
+	// still until the genuinely-live entry expires.
+	v1 := s.Version()
+	now = now.Add(10 * time.Second)
+	if got := s.Version(); got != v1 {
+		t.Fatalf("version moved (%d -> %d) with only a dead-on-arrival entry in the window", v1, got)
+	}
+	now = now.Add(51 * time.Second) // past "live"'s expiry
+	if got := s.Version(); got <= v1 {
+		t.Fatal("live entry's expiry no longer advances the version")
+	}
+
+	// Zero TTL still means "never expires".
+	s.PutTTL("forever", []byte("v"), 0)
+	now = now.Add(24 * time.Hour)
+	if _, err := s.Get("forever"); err != nil {
+		t.Fatalf("zero-TTL entry expired: %v", err)
+	}
+}

@@ -100,6 +100,12 @@ func (t *TenantCostCache[V]) enforceShare(owner, keep string) {
 		return
 	}
 	limit := int64(t.share * float64(t.maxCost))
+	if limit < 1 {
+		// Fractional shares of tiny budgets truncate to 0, which would trim
+		// every contended tenant down to a single entry regardless of cost.
+		// The share is "a fraction of the budget", never "nothing".
+		limit = 1
+	}
 	oc := t.owners[owner]
 	for oc != nil && oc.cost > limit && oc.order.Len() > 1 {
 		oldest := oc.order.Front().Value.(string)

@@ -126,3 +126,26 @@ func TestCostCacheRemove(t *testing.T) {
 		t.Fatalf("evict callback saw %v", evicted)
 	}
 }
+
+func TestTenantCostTinyBudgetShareClampsToOne(t *testing.T) {
+	// share * maxCost < 1 truncates to a zero limit, which used to trim every
+	// contended tenant down to a single entry no matter how cheap its
+	// entries were. The limit clamps to >= 1, so unit-cost entries behave
+	// like any other cost that exceeds the share: the newcomer is spared and
+	// older entries trim one at a time, not wholesale.
+	c := NewTenantCost[int](100, 4, 0.1) // share limit would truncate to 0
+	c.Put("bob-1", 1, 1, "bob")
+	c.Put("a1", 1, 1, "alice")
+	c.Put("a2", 2, 1, "alice")
+	// Alice is over the clamped limit (1), so her older entry trims — but
+	// she keeps the newest rather than being flushed to nothing.
+	if _, ok := c.Get("a2"); !ok {
+		t.Fatal("newest entry evicted under tiny-budget share")
+	}
+	if got := c.OwnerCost("alice"); got < 1 {
+		t.Fatalf("alice charge = %d, want >= 1 (clamped share)", got)
+	}
+	if _, ok := c.Get("bob-1"); !ok {
+		t.Fatal("bob's entry evicted by alice's inserts")
+	}
+}

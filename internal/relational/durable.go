@@ -1,0 +1,250 @@
+// Durability hooks: the journal tap the storage backend layer
+// (internal/backend) uses to capture applied mutations — row inserts and
+// schema changes — plus the replay/snapshot/restore surface recovery drives.
+// The store emits typed records and accepts them back; framing, fsync policy
+// and files belong to the backend.
+package relational
+
+import (
+	"fmt"
+	"sort"
+
+	"polystorepp/internal/cast"
+)
+
+// JournalOp identifies a journaled mutation kind.
+type JournalOp uint8
+
+// Journaled mutation kinds.
+const (
+	JournalCreateTable JournalOp = iota + 1
+	JournalInsert
+	JournalBTreeIndex
+	JournalHashIndex
+)
+
+// JournalRecord describes one applied mutation. TableVersion is the table's
+// mutation count immediately after the apply: it is bumped under the table
+// lock, so records for one table carry strictly increasing versions — replay
+// uses them as per-table log sequence numbers to skip records a snapshot
+// already covers. StoreVersion plays the same role for schema mutations
+// (table creation), which bump the store-level counter instead.
+type JournalRecord struct {
+	Op           JournalOp
+	Table        string
+	Schema       cast.Schema // JournalCreateTable only
+	Rows         [][]any     // JournalInsert only; values must be treated as read-only
+	Col          string      // index ops only
+	StoreVersion uint64      // JournalCreateTable only
+	TableVersion uint64
+}
+
+// JournalFn receives every applied mutation. It is called while the store or
+// table lock is held, so it must be fast and must not call back into the
+// store.
+type JournalFn func(JournalRecord)
+
+// SetJournal installs (or, with nil, removes) the mutation journal for the
+// store and every table it ever creates. Install it after any bulk load or
+// recovery so seed data is captured by snapshots rather than re-journaled.
+func (s *Store) SetJournal(fn JournalFn) {
+	if fn == nil {
+		s.journal.Store(nil)
+		return
+	}
+	s.journal.Store(&fn)
+}
+
+// ReplayCreateTable applies a journaled table creation during recovery;
+// false when the table already exists (covered by the snapshot).
+func (s *Store) ReplayCreateTable(name string, schema cast.Schema, storeVersion uint64) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; ok {
+		return false, nil
+	}
+	t := &Table{name: name, schema: schema, heap: cast.NewBatch(schema, 0),
+		btrees: make(map[string]*btree), hashes: make(map[string]map[string][]int32),
+		version: 1, journal: &s.journal}
+	s.tables[name] = t
+	if storeVersion > s.version {
+		s.version = storeVersion
+	} else {
+		s.version++
+	}
+	return true, nil
+}
+
+// ReplayInsert applies a journaled insert during recovery, returning false
+// when the record is already covered by the table's restored state
+// (TableVersion not past the table counter). The table version is pinned to
+// the record's, keeping post-recovery version vectors identical to the
+// pre-crash acknowledged state.
+func (s *Store) ReplayInsert(table string, rows [][]any, tableVersion uint64) (bool, error) {
+	t, err := s.Table(table)
+	if err != nil {
+		return false, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if tableVersion <= t.version {
+		return false, nil
+	}
+	for _, vals := range rows {
+		r := t.heap.Rows()
+		if err := t.heap.AppendRow(vals...); err != nil {
+			return false, err
+		}
+		if err := t.indexRow(r); err != nil {
+			return false, err
+		}
+	}
+	t.version = tableVersion
+	return true, nil
+}
+
+// ReplayIndex applies a journaled index build during recovery; false when
+// already covered.
+func (s *Store) ReplayIndex(table, col string, op JournalOp, tableVersion uint64) (bool, error) {
+	t, err := s.Table(table)
+	if err != nil {
+		return false, err
+	}
+	if tableVersion <= t.Version() {
+		return false, nil
+	}
+	switch op {
+	case JournalBTreeIndex:
+		err = t.CreateBTreeIndex(col)
+	case JournalHashIndex:
+		err = t.CreateHashIndex(col)
+	default:
+		err = fmt.Errorf("relational: replay index op %d", op)
+	}
+	if err != nil {
+		return false, err
+	}
+	t.mu.Lock()
+	if tableVersion > t.version {
+		t.version = tableVersion
+	}
+	t.mu.Unlock()
+	return true, nil
+}
+
+// TableDump is the serializable state of one table: schema, heap rows
+// (a read-only view — append-only storage keeps it stable), index column
+// lists (indexes themselves are rebuilt on restore) and the mutation count,
+// all captured together under the table read lock so the pair is a
+// consistent cut.
+type TableDump struct {
+	Name      string
+	Schema    cast.Schema
+	Rows      *cast.Batch
+	BTreeCols []string
+	HashCols  []string
+	Version   uint64
+}
+
+// SnapshotState returns every table's dump plus the store-level schema
+// mutation count.
+func (s *Store) SnapshotState() ([]TableDump, uint64) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	storeVersion := s.version
+	s.mu.RUnlock()
+	sort.Strings(names)
+	dumps := make([]TableDump, 0, len(names))
+	for _, n := range names {
+		t, err := s.Table(n)
+		if err != nil {
+			continue // dropped between the list and the dump; tables are never dropped today
+		}
+		t.mu.RLock()
+		d := TableDump{Name: n, Schema: t.schema, Rows: t.heap.View(), Version: t.version}
+		for col := range t.btrees {
+			d.BTreeCols = append(d.BTreeCols, col)
+		}
+		for col := range t.hashes {
+			d.HashCols = append(d.HashCols, col)
+		}
+		t.mu.RUnlock()
+		sort.Strings(d.BTreeCols)
+		sort.Strings(d.HashCols)
+		dumps = append(dumps, d)
+	}
+	return dumps, storeVersion
+}
+
+// RestoreState loads a snapshot dump into an empty store: tables recreated,
+// heaps bulk-loaded, indexes rebuilt, and every version counter pinned to
+// its persisted watermark. A table that already exists is reused when it is
+// still empty (the boot code pre-created the schema before recovery); a
+// table that already holds rows is a real conflict and fails the restore.
+// Call before SetJournal.
+func (s *Store) RestoreState(dumps []TableDump, storeVersion uint64) error {
+	for _, d := range dumps {
+		t, err := s.Table(d.Name)
+		switch {
+		case err == nil:
+			if t.Rows() != 0 {
+				return fmt.Errorf("relational: restore %q table %q: already holds %d rows", s.name, d.Name, t.Rows())
+			}
+		default:
+			if t, err = s.CreateTable(d.Name, d.Schema); err != nil {
+				return fmt.Errorf("relational: restore %q: %w", s.name, err)
+			}
+		}
+		if err := t.InsertBatch(d.Rows); err != nil {
+			return fmt.Errorf("relational: restore %q table %q: %w", s.name, d.Name, err)
+		}
+		for _, col := range d.BTreeCols {
+			if err := t.CreateBTreeIndex(col); err != nil {
+				return fmt.Errorf("relational: restore %q table %q btree %q: %w", s.name, d.Name, col, err)
+			}
+		}
+		for _, col := range d.HashCols {
+			if err := t.CreateHashIndex(col); err != nil {
+				return fmt.Errorf("relational: restore %q table %q hash %q: %w", s.name, d.Name, col, err)
+			}
+		}
+		t.mu.Lock()
+		if d.Version > t.version {
+			t.version = d.Version
+		}
+		t.mu.Unlock()
+	}
+	s.mu.Lock()
+	if storeVersion > s.version {
+		s.version = storeVersion
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// BumpVersion advances the store's schema mutation count by one without any
+// data change: the recovery epoch bump. See kvstore.BumpVersion for the
+// rationale — the persisted watermark may trail the pre-crash in-memory
+// counter, and recovery moves strictly past it.
+func (s *Store) BumpVersion() {
+	s.mu.Lock()
+	s.version++
+	s.mu.Unlock()
+}
+
+// journalRows extracts the just-appended heap rows [start, end) as value
+// slices for a journal record. Caller holds the table lock.
+func (t *Table) journalRows(start, end int) [][]any {
+	rows := make([][]any, 0, end-start)
+	for r := start; r < end; r++ {
+		vals, err := t.heap.Row(r)
+		if err != nil {
+			continue // unreachable: r is in range and the heap is well-typed
+		}
+		rows = append(rows, vals)
+	}
+	return rows
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"polystorepp/internal/cast"
 )
@@ -30,6 +31,10 @@ type Store struct {
 	tables map[string]*Table
 	// version counts schema mutations (table creation); see Version.
 	version uint64
+	// journal, when installed, receives every applied mutation across the
+	// store and its tables (durability tap; see durable.go). Atomic so
+	// installation never races hot-path inserts.
+	journal atomic.Pointer[JournalFn]
 }
 
 // NewStore returns an empty store with the given instance name.
@@ -51,9 +56,13 @@ func (s *Store) CreateTable(name string, schema cast.Schema) (*Table, error) {
 	// mutation to table-scoped version queries (a missing table reads as 0).
 	t := &Table{name: name, schema: schema, heap: cast.NewBatch(schema, 0),
 		btrees: make(map[string]*btree), hashes: make(map[string]map[string][]int32),
-		version: 1}
+		version: 1, journal: &s.journal}
 	s.tables[name] = t
 	s.version++
+	if j := s.journal.Load(); j != nil {
+		(*j)(JournalRecord{Op: JournalCreateTable, Table: name, Schema: schema,
+			StoreVersion: s.version, TableVersion: t.version})
+	}
 	return t, nil
 }
 
@@ -130,6 +139,8 @@ type Table struct {
 	hashes map[string]map[string][]int32
 	// version counts mutations (inserts and index builds); see Version.
 	version uint64
+	// journal points at the owning store's mutation tap (see durable.go).
+	journal *atomic.Pointer[JournalFn]
 }
 
 // Version returns the table's monotonic mutation count.
@@ -161,7 +172,25 @@ func (t *Table) Insert(vals ...any) error {
 		return err
 	}
 	t.version++
-	return t.indexRow(row)
+	if err := t.indexRow(row); err != nil {
+		return err
+	}
+	if j := t.loadJournal(); j != nil {
+		j(JournalRecord{Op: JournalInsert, Table: t.name,
+			Rows: t.journalRows(row, t.heap.Rows()), TableVersion: t.version})
+	}
+	return nil
+}
+
+// loadJournal returns the installed mutation tap, if any.
+func (t *Table) loadJournal() JournalFn {
+	if t.journal == nil {
+		return nil
+	}
+	if j := t.journal.Load(); j != nil {
+		return *j
+	}
+	return nil
 }
 
 // InsertBatch appends all rows of b (schema-checked).
@@ -177,6 +206,10 @@ func (t *Table) InsertBatch(b *cast.Batch) error {
 		if err := t.indexRow(r); err != nil {
 			return err
 		}
+	}
+	if j := t.loadJournal(); j != nil {
+		j(JournalRecord{Op: JournalInsert, Table: t.name,
+			Rows: t.journalRows(start, t.heap.Rows()), TableVersion: t.version})
 	}
 	return nil
 }
@@ -232,6 +265,9 @@ func (t *Table) CreateBTreeIndex(col string) error {
 	}
 	t.btrees[col] = bt
 	t.version++
+	if j := t.loadJournal(); j != nil {
+		j(JournalRecord{Op: JournalBTreeIndex, Table: t.name, Col: col, TableVersion: t.version})
+	}
 	return nil
 }
 
@@ -253,6 +289,9 @@ func (t *Table) CreateHashIndex(col string) error {
 	}
 	t.hashes[col] = h
 	t.version++
+	if j := t.loadJournal(); j != nil {
+		j(JournalRecord{Op: JournalHashIndex, Table: t.name, Col: col, TableVersion: t.version})
+	}
 	return nil
 }
 

@@ -53,6 +53,7 @@ import (
 	"time"
 
 	"polystorepp/internal/adapter"
+	"polystorepp/internal/backend"
 	"polystorepp/internal/compiler"
 	"polystorepp/internal/core"
 	"polystorepp/internal/eide"
@@ -160,6 +161,13 @@ type Config struct {
 	// and informing device placement. Results are byte-identical either way
 	// — the loop only changes execution speed and placement.
 	DisableAdaptive bool
+
+	// Backend is the storage backend the deployment's stores are attached to
+	// (nil means the in-memory reference backend). The server does not drive
+	// it — recovery and the runtime's ingest barrier are wired at boot — but
+	// exposes its durability statistics on /stats and /metrics so operators
+	// can watch WAL volume, replay outcomes and snapshot compaction.
+	Backend backend.Backend
 }
 
 // NLBinding names the engines the NL translator builds programs against.
@@ -922,9 +930,16 @@ func ceilSecond(d time.Duration) time.Duration {
 // deadline (504), client cancellation (499), execution failure (500). Only
 // valid before the first response byte — the streaming handler switches to
 // in-band error records once flushed.
+//
+// Every 429 and 503 carries a Retry-After of at least 1 — even when the
+// classifier's backoff hint is zero or sub-second. RFC 9110 allows 0, but a
+// zero (or absent) hint makes well-behaved clients retry immediately, which
+// is exactly wrong under overload; and the header unit is whole seconds, so
+// sub-second hints must round up, never truncate to 0.
 func (s *Server) writeQueryError(w http.ResponseWriter, err error, timeout time.Duration) {
 	status, msg, retryAfter := s.classifyQueryError(err, timeout)
-	if retryAfter > 0 {
+	backpressure := status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+	if backpressure || retryAfter > 0 {
 		w.Header().Set("Retry-After", strconv.FormatInt(int64(ceilSecond(retryAfter)/time.Second), 10))
 	}
 	writeError(w, status, "%s", msg)
@@ -1191,6 +1206,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.Gauge("server.queued").Set(float64(s.adm.queueDepth()))
 	s.reg.Gauge("server.tenants").Set(float64(s.tenants.registry.Len()))
 	s.reg.Gauge("server.data_version").Set(float64(s.rt.DataVersion()))
+	if s.cfg.Backend != nil {
+		bs := s.cfg.Backend.Stats()
+		s.reg.Gauge("backend.wal.appends").Set(float64(bs.WALAppends))
+		s.reg.Gauge("backend.wal.bytes").Set(float64(bs.WALBytes))
+		s.reg.Gauge("backend.wal.fsyncs").Set(float64(bs.WALFsyncs))
+		s.reg.Gauge("backend.wal.errors").Set(float64(bs.WALErrors))
+		s.reg.Gauge("backend.wal.segment_bytes").Set(float64(bs.WALSegmentBytes))
+		s.reg.Gauge("backend.replay.records").Set(float64(bs.ReplayRecords))
+		s.reg.Gauge("backend.replay.skipped").Set(float64(bs.ReplaySkipped))
+		s.reg.Gauge("backend.replay.bytes").Set(float64(bs.ReplayBytes))
+		s.reg.Gauge("backend.replay.truncated").Set(float64(bs.ReplayTruncated))
+		s.reg.Gauge("backend.replay.snapshot").Set(float64(bs.ReplaySnapshot))
+		s.reg.Gauge("backend.snapshot.writes").Set(float64(bs.SnapshotWrites))
+		s.reg.Gauge("backend.snapshot.last_bytes").Set(float64(bs.SnapshotLastBytes))
+	}
 	if ewma := s.tenants.shedder.ServiceEWMA(); ewma > 0 {
 		s.reg.Gauge("server.shed.service_ewma_seconds").Set(ewma.Seconds())
 	}
@@ -1314,7 +1344,39 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"feedback_plans_influenced": s.reg.Counter("core.feedback.plans_influenced").Value(),
 		"feedback_fanout_overrides": s.reg.Counter("core.feedback.fanout_overrides").Value(),
 		"feedback_blended_costs":    s.reg.Counter("core.feedback.blended_costs").Value(),
+		// Storage backend durability (WAL + snapshots, this PR's layer).
+		"backend": s.backendStats(),
 	})
+}
+
+// backendStats renders the storage backend's durability counters for /stats.
+// The in-memory default reports itself with Durable false so dashboards can
+// key off one shape either way.
+func (s *Server) backendStats() map[string]any {
+	b := s.cfg.Backend
+	if b == nil {
+		b = backend.NewMemory()
+	}
+	bs := b.Stats()
+	return map[string]any{
+		"kind":                bs.Kind,
+		"durable":             bs.Durable,
+		"sync_policy":         bs.SyncPolicy,
+		"capabilities":        bs.Capabilities,
+		"wal_appends":         bs.WALAppends,
+		"wal_bytes":           bs.WALBytes,
+		"wal_fsyncs":          bs.WALFsyncs,
+		"wal_errors":          bs.WALErrors,
+		"wal_segment_bytes":   bs.WALSegmentBytes,
+		"replay_records":      bs.ReplayRecords,
+		"replay_skipped":      bs.ReplaySkipped,
+		"replay_bytes":        bs.ReplayBytes,
+		"replay_truncated":    bs.ReplayTruncated,
+		"replay_snapshot":     bs.ReplaySnapshot,
+		"snapshot_writes":     bs.SnapshotWrites,
+		"snapshot_last_bytes": bs.SnapshotLastBytes,
+		"snapshot_trigger":    bs.SnapshotTrigger,
+	}
 }
 
 // latencyQuantilesUS renders a latency histogram's p50/p95/p99 in

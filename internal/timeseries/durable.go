@@ -1,0 +1,108 @@
+// Durability hooks: the journal tap the storage backend layer
+// (internal/backend) uses to capture every applied append, plus the
+// replay/snapshot/restore surface recovery drives. The store emits typed
+// records and accepts them back; framing, fsync policy and files belong to
+// the backend.
+package timeseries
+
+import (
+	"fmt"
+	"sort"
+)
+
+// JournalFn receives every applied append with the store's post-apply
+// mutation count. Appends bump the counter under the store write lock, so
+// records carry strictly increasing versions — replay uses them as log
+// sequence numbers to skip records a snapshot already covers. The hook runs
+// under the write lock: it must be fast and must not call back into the
+// store.
+type JournalFn func(series string, ts int64, value float64, version uint64)
+
+// SetJournal installs (or, with nil, removes) the append journal. Install it
+// after any bulk load or recovery so seed data is captured by snapshots
+// rather than re-journaled.
+func (s *Store) SetJournal(fn JournalFn) {
+	s.mu.Lock()
+	s.journal = fn
+	s.mu.Unlock()
+}
+
+// ReplayAppend applies a journaled append during recovery, returning false
+// when the record is already covered by the restored state (version not past
+// the store counter). The store version is pinned to the record's, keeping
+// post-recovery version vectors identical to the pre-crash acknowledged
+// state.
+func (s *Store) ReplayAppend(name string, ts int64, v float64, version uint64) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if version <= s.version {
+		return false, nil
+	}
+	sr, ok := s.series[name]
+	if !ok {
+		sr = &series{}
+		s.series[name] = sr
+	}
+	if err := sr.append(ts, v); err != nil {
+		return false, err
+	}
+	s.version = version
+	return true, nil
+}
+
+// SnapshotState returns every series fully decoded plus the store mutation
+// count, captured together under the read lock so the (points, count) pair
+// is a consistent cut.
+func (s *Store) SnapshotState() (map[string][]Point, uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string][]Point, len(s.series))
+	for name, sr := range s.series {
+		pts := make([]Point, 0, sr.n)
+		for _, c := range sr.chunks {
+			pts = append(pts, c.decode()...)
+		}
+		out[name] = pts
+	}
+	return out, s.version
+}
+
+// RestoreState loads a snapshot dump into an empty store, re-encoding each
+// series (points must be strictly time-ascending, which decoded snapshots
+// are by construction) and pinning the mutation count to the persisted
+// watermark. Call before SetJournal.
+func (s *Store) RestoreState(data map[string][]Point, version uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(data))
+	for n := range data {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sr, ok := s.series[name]
+		if !ok {
+			sr = &series{}
+			s.series[name] = sr
+		}
+		for _, p := range data[name] {
+			if err := sr.append(p.TS, p.Value); err != nil {
+				return fmt.Errorf("timeseries: restore %q series %q: %w", s.name, name, err)
+			}
+		}
+	}
+	if version > s.version {
+		s.version = version
+	}
+	return nil
+}
+
+// BumpVersion advances the store's mutation count by one without any data
+// change: the recovery epoch bump. See kvstore.BumpVersion for the
+// rationale — the persisted watermark may trail the pre-crash in-memory
+// counter, and recovery moves strictly past it.
+func (s *Store) BumpVersion() {
+	s.mu.Lock()
+	s.version++
+	s.mu.Unlock()
+}

@@ -119,6 +119,9 @@ type Store struct {
 	series map[string]*series
 	// version counts appends; result caches key on it (see Version).
 	version uint64
+	// journal, when installed, receives every applied append (durability
+	// tap; see durable.go). Guarded by mu.
+	journal JournalFn
 }
 
 // New returns an empty store.
@@ -143,6 +146,9 @@ func (s *Store) Append(name string, ts int64, v float64) error {
 		return err
 	}
 	s.version++
+	if s.journal != nil {
+		s.journal(name, ts, v, s.version)
+	}
 	return nil
 }
 

@@ -27,6 +27,7 @@ import (
 	"net/http"
 
 	"polystorepp/internal/adapter"
+	"polystorepp/internal/backend"
 	"polystorepp/internal/compiler"
 	"polystorepp/internal/core"
 	"polystorepp/internal/eide"
@@ -70,7 +71,40 @@ type (
 	// TenantQuota is one tenant's rate limit, burst allowance and
 	// weighted-fair admission weight (ServeConfig.TenantQuotas).
 	TenantQuota = tenant.Quota
+	// Backend is a pluggable storage backend hosting the engines' stores
+	// ("memory" or "wal"); open one with OpenBackend, attach stores, Recover,
+	// then pass it to WithBackend so acknowledged writes wait on its
+	// durability barrier.
+	Backend = backend.Backend
+	// BackendConfig parameterizes OpenBackend (data dir, WAL sync policy,
+	// snapshot trigger).
+	BackendConfig = backend.Config
+	// BackendCapabilities describes what a backend executes natively
+	// (pushdown negotiation) and whether it persists.
+	BackendCapabilities = backend.Capabilities
+	// WALSyncPolicy selects when the durable backend fsyncs relative to
+	// write acknowledgement ("group", "interval", "off").
+	WALSyncPolicy = backend.SyncPolicy
 )
+
+// OpenBackend constructs a storage backend of the named kind ("memory",
+// "wal"). See backend.Open.
+func OpenBackend(kind string, cfg BackendConfig) (Backend, error) {
+	return backend.Open(kind, cfg)
+}
+
+// BackendKinds lists the registered storage backend kinds.
+func BackendKinds() []string { return backend.Kinds() }
+
+// ParseWALSyncPolicy validates a WAL sync policy flag value; empty selects
+// the group-commit default.
+func ParseWALSyncPolicy(s string) (WALSyncPolicy, error) {
+	return backend.ParseSyncPolicy(s)
+}
+
+// BackendHasState reports whether dir holds persisted state from a previous
+// run — the boot-time fork between recovering and seeding fresh demo data.
+func BackendHasState(dir string) bool { return backend.HasState(dir) }
 
 // ParseTenantQuotas parses a "tenant=rate:burst[:weight],..." spec into a
 // ServeConfig.TenantQuotas map — the format polyserve's -tenant-quota flag
@@ -184,6 +218,18 @@ func WithSequentialExecutor() Option {
 // offload).
 func WithMigrator(m *migrate.Migrator) Option {
 	return func(sys *System) { sys.migrator = m }
+}
+
+// WithBackend attaches a storage backend's durability barrier to the
+// runtime: Ingest acknowledges a write only after the backend reports it
+// durable. The caller owns the backend lifecycle (Attach/Recover/Start
+// before building the System, Close after).
+func WithBackend(b Backend) Option {
+	return func(sys *System) {
+		if b != nil {
+			sys.rtOpts = append(sys.rtOpts, core.WithDurabilityBarrier(b))
+		}
+	}
 }
 
 // New builds a System. The default compiler options enable all
