@@ -77,7 +77,8 @@ type Backend interface {
 // RecoverStats describes one boot-time recovery pass.
 type RecoverStats struct {
 	// Recovered is true when any persisted state (snapshot or log records)
-	// was found and loaded.
+	// was found — including records that could not be applied (Skipped), so
+	// a misconfigured boot never seeds and compacts over acknowledged data.
 	Recovered bool
 	// SnapshotLoaded is true when a snapshot file was loaded.
 	SnapshotLoaded bool

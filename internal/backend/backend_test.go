@@ -261,6 +261,23 @@ func TestDurableTornTailRecoversPrefix(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Simulate a crash mid-write: append garbage to the live segment.
+	tearSegmentTail(t, dir)
+
+	ref := newStores(t)
+	writeMix(t, ref, 0, 20)
+	recovered := newStores(t)
+	b2, rec := openStarted(t, dir, recovered)
+	defer b2.Close()
+	if !rec.Truncated {
+		t.Fatalf("expected torn-tail truncation, got %+v", rec)
+	}
+	assertEquiv(t, ref, recovered)
+}
+
+// tearSegmentTail appends a partial frame to the newest segment in dir,
+// simulating a crash mid-write.
+func tearSegmentTail(t *testing.T, dir string) {
+	t.Helper()
 	segs, err := listSegments(dir)
 	if err != nil || len(segs) == 0 {
 		t.Fatalf("segments: %v %v", segs, err)
@@ -273,16 +290,126 @@ func TestDurableTornTailRecoversPrefix(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
+}
 
-	ref := newStores(t)
-	writeMix(t, ref, 0, 20)
-	recovered := newStores(t)
-	b2, rec := openStarted(t, dir, recovered)
-	defer b2.Close()
+// TestDurableTornSegmentRepairedAcrossRestarts pins the double-crash case:
+// after recovery #1 stops at a torn frame in segment N, new writes land in
+// segment N+1 — recovery #2 must serve BOTH the pre-tear prefix and the
+// post-recovery writes, which requires recovery #1 to have truncated the
+// torn segment rather than leaving the torn frame as a permanent replay
+// stop.
+func TestDurableTornSegmentRepairedAcrossRestarts(t *testing.T) {
+	dir := t.TempDir()
+	live := newStores(t)
+	b, _ := openStarted(t, dir, live)
+	writeMix(t, live, 0, 10)
+	if err := b.Barrier(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tearSegmentTail(t, dir)
+
+	// Restart #1 replays the valid prefix and repairs the torn segment;
+	// further acknowledged writes go to the next segment.
+	mid := newStores(t)
+	b2, rec := openStarted(t, dir, mid)
 	if !rec.Truncated {
 		t.Fatalf("expected torn-tail truncation, got %+v", rec)
 	}
+	writeMix(t, mid, 10, 20)
+	if err := b2.Barrier(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart #2 (a clean one) must see both generations.
+	ref := newStores(t)
+	writeMix(t, ref, 0, 20)
+	recovered := newStores(t)
+	b3, rec2 := openStarted(t, dir, recovered)
+	defer b3.Close()
+	if rec2.Truncated {
+		t.Fatalf("torn segment not repaired on first recovery: %+v", rec2)
+	}
+	if rec2.Records == 0 {
+		t.Fatalf("second recovery replayed nothing: %+v", rec2)
+	}
 	assertEquiv(t, ref, recovered)
+}
+
+// TestDurableSkippedRecordsStillRecovered pins Recovered=true when the log
+// holds records that cannot be applied (unroutable stores after a
+// reconfigured boot): the caller must not seed + Checkpoint over them.
+func TestDurableSkippedRecordsStillRecovered(t *testing.T) {
+	dir := t.TempDir()
+	live := newStores(t)
+	b, _ := openStarted(t, dir, live)
+	writeMix(t, live, 0, 5)
+	if err := b.Barrier(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with no stores attached: every record is unroutable.
+	b2, err := Open("wal", Config{Dir: dir, Sync: SyncGroup, SnapshotBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := b2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Records != 0 || rec.Skipped == 0 {
+		t.Fatalf("expected all records skipped, got %+v", rec)
+	}
+	if !rec.Recovered {
+		t.Fatalf("skipped-only replay must still report recovered state: %+v", rec)
+	}
+	if err := b2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The data is still on disk for a correctly configured boot.
+	ref := newStores(t)
+	writeMix(t, ref, 0, 5)
+	recovered := newStores(t)
+	b3, rec3 := openStarted(t, dir, recovered)
+	defer b3.Close()
+	if !rec3.Recovered || rec3.Records == 0 {
+		t.Fatalf("expected full recovery after reattach, got %+v", rec3)
+	}
+	assertEquiv(t, ref, recovered)
+}
+
+// TestWALAppendAfterCloseFailsSync pins the sticky-error path: a record
+// arriving after close() released the file handle must fail the next sync
+// rather than be silently dropped and acknowledged.
+func TestWALAppendAfterCloseFailsSync(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(dir, SyncGroup, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := w.append([]byte("before"))
+	if err := w.sync(seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	seq = w.append([]byte("after"))
+	if err := w.sync(seq); err == nil {
+		t.Fatal("append after close must surface a sticky error on sync")
+	}
+	if w.errors.Load() == 0 {
+		t.Fatal("dropped append not counted as an error")
+	}
 }
 
 func TestKVTTLSurvivesRecovery(t *testing.T) {

@@ -53,7 +53,11 @@ type Durable struct {
 	closed  bool
 	rec     RecoverStats
 
-	snapshotting   atomic.Bool
+	// snapMu serializes checkpoints (forced and background). The background
+	// path acquires it with TryLock under d.mu, together with the closed
+	// check and wg.Add, so a snapshot goroutine can never be added after
+	// Close's wg.Wait has started.
+	snapMu         sync.Mutex
 	snapshotWrites atomic.Uint64
 	snapshotLast   atomic.Int64
 	wg             sync.WaitGroup
@@ -192,7 +196,12 @@ func (d *Durable) Recover() (RecoverStats, error) {
 	}
 	rec.Bytes = bytes
 	rec.Truncated = truncated
-	if rec.Records > 0 {
+	// Skipped records are still evidence of previously acknowledged state:
+	// a dir replayed under a configuration whose stores don't route (every
+	// record skipped, no snapshot) must NOT report Recovered=false, or the
+	// caller would seed and Checkpoint over it — compacting away the sealed
+	// segments and permanently discarding that data.
+	if rec.Records > 0 || rec.Skipped > 0 {
 		rec.Recovered = true
 	}
 
@@ -424,34 +433,28 @@ func (d *Durable) maybeSnapshot() {
 		return
 	}
 	d.mu.Lock()
-	w, closed := d.w, d.closed
+	run := !d.closed && d.w != nil && d.w.segmentBytes() >= d.snapBytes && d.snapMu.TryLock()
+	if run {
+		d.wg.Add(1)
+	}
 	d.mu.Unlock()
-	if w == nil || closed || w.segmentBytes() < d.snapBytes {
+	if !run {
 		return
 	}
-	if !d.snapshotting.CompareAndSwap(false, true) {
-		return
-	}
-	d.wg.Add(1)
 	go func() {
 		defer d.wg.Done()
-		defer d.snapshotting.Store(false)
+		defer d.snapMu.Unlock()
 		if err := d.checkpoint(); err != nil {
 			d.cfg.logf("backend: background snapshot: %v", err)
 		}
 	}()
 }
 
-// Checkpoint implements Backend: force a snapshot now (also waits out any
-// background one first).
+// Checkpoint implements Backend: force a snapshot now (waiting out any
+// background one first — snapMu serializes checkpoints).
 func (d *Durable) Checkpoint() error {
-	for {
-		if d.snapshotting.CompareAndSwap(false, true) {
-			break
-		}
-		d.wg.Wait()
-	}
-	defer d.snapshotting.Store(false)
+	d.snapMu.Lock()
+	defer d.snapMu.Unlock()
 	return d.checkpoint()
 }
 

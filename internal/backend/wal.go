@@ -145,8 +145,14 @@ func (w *wal) append(payload []byte) uint64 {
 	defer w.mu.Unlock()
 	w.seq++
 	seq := w.seq
-	if w.werr == nil && w.f != nil {
-		if _, err := w.f.Write(fr); err != nil {
+	if w.werr == nil {
+		if w.f == nil {
+			// A record arriving after close() released the handle is lost;
+			// sticky failure so a concurrent Barrier fails instead of
+			// acknowledging a write that was never journaled.
+			w.werr = fmt.Errorf("backend: wal append: %w", ErrClosed)
+			w.errors.Add(1)
+		} else if _, err := w.f.Write(fr); err != nil {
 			w.werr = fmt.Errorf("backend: wal append: %w", err)
 			w.errors.Add(1)
 		} else {
@@ -242,13 +248,21 @@ func (w *wal) rotate() (sealed uint64, err error) {
 	w.mu.Unlock()
 
 	if old != nil {
-		if err := old.Sync(); err == nil {
+		if serr := old.Sync(); serr == nil {
 			w.fsyncs.Add(1)
 			if w.synced.Load() < top {
 				w.synced.Store(top)
 			}
 		} else {
+			// The sealed segment holds records that may never reach disk, and
+			// no later fsync (of the new, empty active file) covers them.
+			// Sticky failure: Barrier must refuse to acknowledge them.
 			w.errors.Add(1)
+			w.mu.Lock()
+			if w.werr == nil {
+				w.werr = fmt.Errorf("backend: wal seal fsync: %w", serr)
+			}
+			w.mu.Unlock()
 		}
 		old.Close()
 	}
@@ -293,35 +307,53 @@ func (w *wal) close() error {
 // replayFn receives one decoded record payload during replay.
 type replayFn func(payload []byte) error
 
-// replaySegments reads the framed records of the given segments in order,
-// stopping cleanly at the first torn or corrupt frame (the crash signature:
-// an un-fsynced tail). It returns payload bytes consumed and whether replay
-// stopped early.
+// replaySegments reads the framed records of the given segments in order. A
+// torn or corrupt frame (the crash signature: an un-fsynced tail) ends that
+// segment's replay at its valid prefix; the segment is truncated to that
+// prefix on disk and replay continues with the next segment. The repair
+// matters across restarts: after a crash the torn segment stops being the
+// last one — new writes land in fresh segments — and without it every later
+// recovery would stop at the same torn frame and silently drop the
+// acknowledged records in those later segments. It returns payload bytes
+// consumed and whether any segment was cut short.
 func replaySegments(dir string, segs []uint64, fn replayFn) (bytes uint64, truncated bool, err error) {
 	for _, idx := range segs {
-		data, rerr := os.ReadFile(filepath.Join(dir, segName(idx)))
+		path := filepath.Join(dir, segName(idx))
+		data, rerr := os.ReadFile(path)
 		if rerr != nil {
 			return bytes, truncated, rerr
 		}
 		off := 0
+		torn := false
 		for off < len(data) {
 			if off+8 > len(data) {
-				return bytes, true, nil
+				torn = true
+				break
 			}
 			n := int(binary.LittleEndian.Uint32(data[off:]))
 			crc := binary.LittleEndian.Uint32(data[off+4:])
 			if n < 0 || n > maxFrame || off+8+n > len(data) {
-				return bytes, true, nil
+				torn = true
+				break
 			}
 			payload := data[off+8 : off+8+n]
 			if crc32.ChecksumIEEE(payload) != crc {
-				return bytes, true, nil
+				torn = true
+				break
 			}
 			if ferr := fn(payload); ferr != nil {
 				return bytes, truncated, ferr
 			}
 			bytes += uint64(n)
 			off += 8 + n
+		}
+		if torn {
+			truncated = true
+			if terr := os.Truncate(path, int64(off)); terr != nil {
+				// Fail loudly: booting over an unrepaired torn segment would
+				// re-lose everything journaled after it on the next restart.
+				return bytes, truncated, fmt.Errorf("backend: repair torn segment %s: %w", segName(idx), terr)
+			}
 		}
 	}
 	return bytes, truncated, nil
